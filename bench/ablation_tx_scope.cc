@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablation: NoMap's transaction-scope selection (paper Section V-C).
+ * Sweeps the write-set size of a streaming kernel across the RTM and
+ * ROT capacity boundaries and reports what the planner chose (whole
+ * nest / innermost / tiled) and what the HTM observed (commits,
+ * capacity aborts, recompilations).
+ */
+
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "support/logging.h"
+#include "support/statistics.h"
+
+using namespace nomap;
+
+namespace {
+
+std::string
+streamKernel(int elems)
+{
+    return strprintf(R"JS(
+function fill(dst, bias) {
+    var n = dst.length;
+    for (var i = 0; i < n; i++) {
+        dst[i] = (i + bias) & 1023;
+    }
+    return dst[n - 1];
+}
+var dst = [];
+for (var i = 0; i < %d; i++) dst[i] = 0;
+var out = 0;
+for (var r = 0; r < 80; r++) out = fill(dst, r);
+result = out;
+)JS", elems);
+}
+
+void
+sweep(Architecture arch)
+{
+    std::printf("Transaction scope sweep under %s (write capacity "
+                "%s)\n\n", architectureName(arch),
+                arch == Architecture::NoMapRTM ? "32KB L1D"
+                                               : "256KB L2");
+    TextTable table;
+    table.header({"array KB", "commits", "cap aborts", "tiled loops",
+                  "recompiles", "avg WF KB", "instr vs Base"});
+    for (int kb : {4, 16, 32, 64, 128, 256, 384}) {
+        int elems = kb * 1024 / 8;
+        std::string src = streamKernel(elems);
+
+        EngineConfig base_config;
+        base_config.arch = Architecture::Base;
+        Engine base_engine(base_config);
+        double base_instr = static_cast<double>(
+            base_engine.run(src).stats.totalInstructions());
+
+        EngineConfig config;
+        config.arch = arch;
+        Engine engine(config);
+        EngineResult r = engine.run(src);
+        const FunctionState *state = engine.functionState("fill");
+        uint32_t tiled = state && state->ftl
+                             ? state->ftl->planResult.tiledLoops
+                             : 0;
+        table.row({std::to_string(kb),
+                   std::to_string(r.stats.txCommits),
+                   std::to_string(r.stats.txAbortsCapacity),
+                   std::to_string(tiled),
+                   std::to_string(r.stats.ftlRecompiles),
+                   fmtDouble(r.stats.avgWriteFootprintBytes / 1024.0,
+                             1),
+                   fmtDouble(r.stats.totalInstructions() / base_instr,
+                             3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    sweep(Architecture::NoMap);
+    sweep(Architecture::NoMapRTM);
+    std::printf("Expected shape: transactions fit easily under ROT "
+                "until the write set approaches 256KB, where the "
+                "planner tiles; under RTM the boundary is 32KB, so "
+                "most sizes run tiled or detransactionalized — the "
+                "paper's explanation for Kraken's flat RTM bars.\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Reproduces Figure 3: number of SMP-guarding checks executed by
+ * FTL-compiled code per 100 dynamic instructions, broken down by
+ * category (Bounds / Overflow / Type / Property / Other), for the
+ * unmodified (Base) architecture.
+ *
+ * Paper reference points: AvgT = 8.1 (SunSpider) and 8.5 (Kraken)
+ * checks per 100 instructions; AvgS = 11.3 and 12.0. Overflow checks
+ * are the largest category (47% / 29% of checks, AvgT), bounds checks
+ * second (19% / 27%).
+ */
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace nomap;
+using namespace nomap::bench;
+
+namespace {
+
+void
+report(const char *title, const std::vector<BenchmarkSpec> &suite)
+{
+    std::vector<RunResult> runs = runSuite(suite, Architecture::Base);
+
+    std::printf("Figure 3 (%s): SMP-guarding checks per 100 dynamic "
+                "instructions\n\n", title);
+    TextTable table;
+    table.header({"Bench", "Bounds", "Overflow", "Type", "Property",
+                  "Other", "Total/100"});
+    auto emit_row = [&](const std::string &label,
+                        const double counts[5], double instr) {
+        std::vector<std::string> cells{label};
+        double total = 0;
+        for (int k = 0; k < 5; ++k) {
+            cells.push_back(fmtDouble(100.0 * counts[k] / instr, 2));
+            total += counts[k];
+        }
+        cells.push_back(fmtDouble(100.0 * total / instr, 1));
+        table.row(cells);
+    };
+
+    double sum_s[5] = {}, sum_t[5] = {};
+    double rate_s[5] = {}, rate_t[5] = {};
+    double n_s = 0, n_t = 0;
+    for (const RunResult &r : runs) {
+        double instr = static_cast<double>(r.stats.totalInstructions());
+        double counts[5];
+        for (int k = 0; k < 5; ++k) {
+            counts[k] = static_cast<double>(
+                r.stats.checks[static_cast<size_t>(k)]);
+        }
+        if (r.inAvgS)
+            emit_row(r.id, counts, instr);
+        for (int k = 0; k < 5; ++k) {
+            double rate = counts[k] / instr;
+            rate_t[k] += rate;
+            sum_t[k] += counts[k];
+            if (r.inAvgS) {
+                rate_s[k] += rate;
+                sum_s[k] += counts[k];
+            }
+        }
+        n_t += 1;
+        if (r.inAvgS)
+            n_s += 1;
+    }
+    double avg_s[5], avg_t[5];
+    for (int k = 0; k < 5; ++k) {
+        avg_s[k] = 100.0 * rate_s[k] / n_s;
+        avg_t[k] = 100.0 * rate_t[k] / n_t;
+    }
+    // Averages of per-benchmark rates (already per-100).
+    std::vector<std::string> row_s{"AvgS"}, row_t{"AvgT"};
+    double tot_s = 0, tot_t = 0;
+    for (int k = 0; k < 5; ++k) {
+        row_s.push_back(fmtDouble(avg_s[k], 2));
+        row_t.push_back(fmtDouble(avg_t[k], 2));
+        tot_s += avg_s[k];
+        tot_t += avg_t[k];
+    }
+    row_s.push_back(fmtDouble(tot_s, 1));
+    row_t.push_back(fmtDouble(tot_t, 1));
+    table.row(row_s);
+    table.row(row_t);
+    std::printf("%s\n", table.render().c_str());
+
+    // Category shares (paper quotes overflow/bounds shares of AvgT).
+    double total_t = 0;
+    for (int k = 0; k < 5; ++k)
+        total_t += sum_t[k];
+    std::printf("Category shares (AvgT): ");
+    const char *names[5] = {"Bounds", "Overflow", "Type", "Property",
+                            "Other"};
+    for (int k = 0; k < 5; ++k) {
+        std::printf("%s %s  ", names[k],
+                    fmtPercent(sum_t[k] / total_t, 0).c_str());
+    }
+    std::printf("\n\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    report("SunSpider", sunspiderSuite());
+    report("Kraken", krakenSuite());
+    std::printf("Paper: AvgT 8.1 (SunSpider) / 8.5 (Kraken) per 100; "
+                "AvgS 11.3 / 12.0.\n"
+                "Paper shares (AvgT): overflow 47%%/29%%, bounds "
+                "19%%/27%%.\n");
+    return 0;
+}

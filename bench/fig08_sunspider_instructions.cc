@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Figure 8: total dynamic instructions executed by each
+ * SunSpider benchmark under the six architectures of Table II,
+ * normalized to Base, broken into NoFTL / NoTM / TMUnopt / TMOpt.
+ *
+ * Paper reference (AvgS reductions vs Base): NoMap_S 6.3%,
+ * NoMap_B 8.6%, NoMap 14.2%, NoMap_BC 17.1%, NoMap_RTM 5.1%.
+ * AvgT: NoMap 19.7%, NoMap_RTM 14.2%.
+ */
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace nomap;
+using namespace nomap::bench;
+
+int
+main()
+{
+    const auto &suite = sunspiderSuite();
+    std::printf("Figure 8: SunSpider dynamic instructions, "
+                "normalized to Base\n\n");
+
+    std::vector<std::vector<RunResult>> all;
+    for (Architecture arch : allArchitectures())
+        all.push_back(runSuite(suite, arch));
+
+    TextTable table;
+    table.header({"Bench", "Arch", "NoFTL", "NoTM", "TMUnopt",
+                  "TMOpt", "Total(norm)"});
+    auto add_rows = [&](const std::string &label, size_t idx,
+                        bool avgs_only) {
+        double base_total = 0;
+        if (idx != SIZE_MAX) {
+            base_total = static_cast<double>(
+                all[0][idx].stats.totalInstructions());
+        }
+        for (size_t a = 0; a < all.size(); ++a) {
+            const ExecutionStats *stats =
+                idx == SIZE_MAX ? nullptr : &all[a][idx].stats;
+            double parts[4];
+            double norm;
+            if (stats) {
+                for (int k = 0; k < 4; ++k) {
+                    parts[k] = static_cast<double>(stats->instr[k]) /
+                               base_total;
+                }
+                norm = static_cast<double>(
+                           stats->totalInstructions()) /
+                       base_total;
+            } else {
+                // Average of per-benchmark normalized values.
+                double sums[5] = {};
+                double n = 0;
+                for (size_t i = 0; i < suite.size(); ++i) {
+                    if (avgs_only && !suite[i].inAvgS)
+                        continue;
+                    double bt = static_cast<double>(
+                        all[0][i].stats.totalInstructions());
+                    for (int k = 0; k < 4; ++k) {
+                        sums[k] += all[a][i].stats.instr[k] / bt;
+                    }
+                    sums[4] +=
+                        all[a][i].stats.totalInstructions() / bt;
+                    n += 1;
+                }
+                for (int k = 0; k < 4; ++k)
+                    parts[k] = sums[k] / n;
+                norm = sums[4] / n;
+            }
+            table.row({a == 0 ? label : "",
+                       architectureName(allArchitectures()[a]),
+                       fmtDouble(parts[0], 3), fmtDouble(parts[1], 3),
+                       fmtDouble(parts[2], 3), fmtDouble(parts[3], 3),
+                       fmtDouble(norm, 3)});
+        }
+    };
+
+    for (size_t i = 0; i < suite.size(); ++i) {
+        if (suite[i].inAvgS)
+            add_rows(suite[i].id, i, false);
+    }
+    add_rows("AvgS", SIZE_MAX, true);
+    add_rows("AvgT", SIZE_MAX, false);
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper (AvgS, instructions removed vs Base): "
+                "NoMap_S 6.3%%, NoMap_B 8.6%%, NoMap 14.2%%, "
+                "NoMap_BC 17.1%%, NoMap_RTM 5.1%%\n");
+    return 0;
+}

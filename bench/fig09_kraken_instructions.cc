@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces Figure 9: Kraken dynamic instructions under the six
+ * architectures, normalized to Base, broken into NoFTL / NoTM /
+ * TMUnopt / TMOpt.
+ *
+ * Paper reference (AvgS reductions vs Base): NoMap 11.5%,
+ * NoMap_BC 18.0%, NoMap_RTM ~0%. AvgT: NoMap 7.8%.
+ */
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace nomap;
+using namespace nomap::bench;
+
+int
+main()
+{
+    const auto &suite = krakenSuite();
+    std::printf("Figure 9: Kraken dynamic instructions, normalized "
+                "to Base\n\n");
+
+    std::vector<std::vector<RunResult>> all;
+    for (Architecture arch : allArchitectures())
+        all.push_back(runSuite(suite, arch));
+
+    TextTable table;
+    table.header({"Bench", "Arch", "NoFTL", "NoTM", "TMUnopt",
+                  "TMOpt", "Total(norm)"});
+
+    auto avg_row = [&](const std::string &label, bool avgs_only) {
+        for (size_t a = 0; a < all.size(); ++a) {
+            double sums[5] = {};
+            double n = 0;
+            for (size_t i = 0; i < suite.size(); ++i) {
+                if (avgs_only && !suite[i].inAvgS)
+                    continue;
+                double bt = static_cast<double>(
+                    all[0][i].stats.totalInstructions());
+                for (int k = 0; k < 4; ++k)
+                    sums[k] += all[a][i].stats.instr[k] / bt;
+                sums[4] += all[a][i].stats.totalInstructions() / bt;
+                n += 1;
+            }
+            table.row({a == 0 ? label : "",
+                       architectureName(allArchitectures()[a]),
+                       fmtDouble(sums[0] / n, 3),
+                       fmtDouble(sums[1] / n, 3),
+                       fmtDouble(sums[2] / n, 3),
+                       fmtDouble(sums[3] / n, 3),
+                       fmtDouble(sums[4] / n, 3)});
+        }
+    };
+
+    for (size_t i = 0; i < suite.size(); ++i) {
+        if (!suite[i].inAvgS)
+            continue;
+        double bt = static_cast<double>(
+            all[0][i].stats.totalInstructions());
+        for (size_t a = 0; a < all.size(); ++a) {
+            const ExecutionStats &stats = all[a][i].stats;
+            table.row({a == 0 ? suite[i].id : "",
+                       architectureName(allArchitectures()[a]),
+                       fmtDouble(stats.instr[0] / bt, 3),
+                       fmtDouble(stats.instr[1] / bt, 3),
+                       fmtDouble(stats.instr[2] / bt, 3),
+                       fmtDouble(stats.instr[3] / bt, 3),
+                       fmtDouble(stats.totalInstructions() / bt, 3)});
+        }
+    }
+    avg_row("AvgS", true);
+    avg_row("AvgT", false);
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper (AvgS, instructions removed vs Base): "
+                "NoMap 11.5%%, NoMap_BC 18.0%%, NoMap_RTM ~0%%; "
+                "AvgT: NoMap 7.8%%\n");
+    return 0;
+}

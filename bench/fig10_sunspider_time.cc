@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Figure 10: SunSpider execution time under the six
+ * architectures, normalized to Base, split into TMTime (cycles spent
+ * inside transactions) and NonTMTime.
+ *
+ * Paper reference (AvgS time reductions vs Base): NoMap 16.7%,
+ * NoMap_RTM 6.5%. AvgT: NoMap 21.7%, NoMap_RTM 15.0%.
+ */
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace nomap;
+using namespace nomap::bench;
+
+int
+main()
+{
+    const auto &suite = sunspiderSuite();
+    std::printf("Figure 10: SunSpider execution time (cycles), "
+                "normalized to Base\n\n");
+
+    std::vector<std::vector<RunResult>> all;
+    for (Architecture arch : allArchitectures())
+        all.push_back(runSuite(suite, arch));
+
+    TextTable table;
+    table.header({"Bench", "Arch", "TMTime", "NonTMTime",
+                  "Total(norm)"});
+    auto avg_row = [&](const std::string &label, bool avgs_only) {
+        for (size_t a = 0; a < all.size(); ++a) {
+            double tm = 0, non_tm = 0, n = 0;
+            for (size_t i = 0; i < suite.size(); ++i) {
+                if (avgs_only && !suite[i].inAvgS)
+                    continue;
+                double bt = all[0][i].stats.totalCycles();
+                tm += all[a][i].stats.cyclesTm / bt;
+                non_tm += all[a][i].stats.cyclesNonTm / bt;
+                n += 1;
+            }
+            table.row({a == 0 ? label : "",
+                       architectureName(allArchitectures()[a]),
+                       fmtDouble(tm / n, 3), fmtDouble(non_tm / n, 3),
+                       fmtDouble((tm + non_tm) / n, 3)});
+        }
+    };
+    for (size_t i = 0; i < suite.size(); ++i) {
+        if (!suite[i].inAvgS)
+            continue;
+        double bt = all[0][i].stats.totalCycles();
+        for (size_t a = 0; a < all.size(); ++a) {
+            const ExecutionStats &stats = all[a][i].stats;
+            table.row({a == 0 ? suite[i].id : "",
+                       architectureName(allArchitectures()[a]),
+                       fmtDouble(stats.cyclesTm / bt, 3),
+                       fmtDouble(stats.cyclesNonTm / bt, 3),
+                       fmtDouble(stats.totalCycles() / bt, 3)});
+        }
+    }
+    avg_row("AvgS", true);
+    avg_row("AvgT", false);
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper (AvgS, time reduction vs Base): NoMap 16.7%%, "
+                "NoMap_RTM 6.5%%; AvgT: 21.7%% / 15.0%%\n");
+    return 0;
+}

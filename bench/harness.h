@@ -1,0 +1,86 @@
+#ifndef NOMAP_BENCH_HARNESS_H
+#define NOMAP_BENCH_HARNESS_H
+
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ *
+ * Every bench binary regenerates one artifact of the paper's
+ * evaluation and prints it as an aligned text table, with the paper's
+ * reported numbers alongside where applicable. Averages follow the
+ * paper: AvgS over the Table III subset, AvgT over the whole suite.
+ */
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "suites/suite.h"
+#include "support/statistics.h"
+
+namespace nomap {
+namespace bench {
+
+/** Result of running one benchmark under one architecture. */
+struct RunResult {
+    std::string id;
+    bool inAvgS = false;
+    ExecutionStats stats;
+};
+
+/** Run a whole suite under one architecture. */
+inline std::vector<RunResult>
+runSuite(const std::vector<BenchmarkSpec> &suite, Architecture arch,
+         Tier max_tier = Tier::Ftl)
+{
+    std::vector<RunResult> results;
+    for (const BenchmarkSpec &spec : suite) {
+        EngineConfig config;
+        config.arch = arch;
+        config.maxTier = max_tier;
+        Engine engine(config);
+        EngineResult r = engine.run(spec.source);
+        results.push_back({spec.id, spec.inAvgS, r.stats});
+    }
+    return results;
+}
+
+/** Extract one metric from every run. */
+template <typename Fn>
+std::vector<double>
+metric(const std::vector<RunResult> &runs, Fn fn, bool avgs_only)
+{
+    std::vector<double> out;
+    for (const RunResult &r : runs) {
+        if (avgs_only && !r.inAvgS)
+            continue;
+        out.push_back(fn(r));
+    }
+    return out;
+}
+
+/** AvgS/AvgT pair of a per-benchmark metric. */
+template <typename Fn>
+std::pair<double, double>
+averages(const std::vector<RunResult> &runs, Fn fn)
+{
+    return {mean(metric(runs, fn, true)),
+            mean(metric(runs, fn, false))};
+}
+
+/** The six architectures in paper order. */
+inline const std::vector<Architecture> &
+allArchitectures()
+{
+    static const std::vector<Architecture> archs = {
+        Architecture::Base,   Architecture::NoMapS,
+        Architecture::NoMapB, Architecture::NoMap,
+        Architecture::NoMapBC, Architecture::NoMapRTM,
+    };
+    return archs;
+}
+
+} // namespace bench
+} // namespace nomap
+
+#endif // NOMAP_BENCH_HARNESS_H

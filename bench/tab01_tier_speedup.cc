@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces Table I: steady-state speedup of each JavaScriptCore
+ * tier over the Interpreter tier, for SunSpider and Kraken, reported
+ * as AvgS and AvgT.
+ *
+ * Paper values for reference:
+ *   SunSpider  Baseline 2.13x/1.88x, DFG 7.71x/6.64x, FTL 11.48x/9.37x
+ *   Kraken     Baseline 1.22x/0.87x, DFG 8.45x/6.67x, FTL 15.03x/10.94x
+ */
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace nomap;
+using namespace nomap::bench;
+
+namespace {
+
+struct SuiteSpeedups {
+    double avgs[3];
+    double avgt[3];
+};
+
+SuiteSpeedups
+measure(const std::vector<BenchmarkSpec> &suite)
+{
+    // Per-benchmark interpreter cycles, then speedups per tier cap.
+    std::vector<RunResult> interp =
+        runSuite(suite, Architecture::Base, Tier::Interpreter);
+    const Tier caps[3] = {Tier::Baseline, Tier::Dfg, Tier::Ftl};
+    SuiteSpeedups out{};
+    for (int t = 0; t < 3; ++t) {
+        std::vector<RunResult> runs =
+            runSuite(suite, Architecture::Base, caps[t]);
+        std::vector<double> speedups_s, speedups_t;
+        for (size_t i = 0; i < runs.size(); ++i) {
+            double s = interp[i].stats.totalCycles() /
+                       runs[i].stats.totalCycles();
+            speedups_t.push_back(s);
+            if (runs[i].inAvgS)
+                speedups_s.push_back(s);
+        }
+        out.avgs[t] = mean(speedups_s);
+        out.avgt[t] = mean(speedups_t);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table I: speedup of tiers over the Interpreter "
+                "(steady state)\n\n");
+    SuiteSpeedups ss = measure(sunspiderSuite());
+    SuiteSpeedups kk = measure(krakenSuite());
+
+    TextTable table;
+    table.header({"Highest Tier", "SunSpider AvgS", "SunSpider AvgT",
+                  "Kraken AvgS", "Kraken AvgT"});
+    const char *tiers[3] = {"Baseline", "DFG", "FTL"};
+    const double paper_ss[3][2] = {{2.13, 1.88}, {7.71, 6.64},
+                                   {11.48, 9.37}};
+    const double paper_kk[3][2] = {{1.22, 0.87}, {8.45, 6.67},
+                                   {15.03, 10.94}};
+    for (int t = 0; t < 3; ++t) {
+        table.row({tiers[t], fmtDouble(ss.avgs[t], 2) + "x",
+                   fmtDouble(ss.avgt[t], 2) + "x",
+                   fmtDouble(kk.avgs[t], 2) + "x",
+                   fmtDouble(kk.avgt[t], 2) + "x"});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    TextTable paper;
+    paper.header({"(paper)", "SunSpider AvgS", "SunSpider AvgT",
+                  "Kraken AvgS", "Kraken AvgT"});
+    for (int t = 0; t < 3; ++t) {
+        paper.row({tiers[t], fmtDouble(paper_ss[t][0], 2) + "x",
+                   fmtDouble(paper_ss[t][1], 2) + "x",
+                   fmtDouble(paper_kk[t][0], 2) + "x",
+                   fmtDouble(paper_kk[t][1], 2) + "x"});
+    }
+    std::printf("%s", paper.render().c_str());
+    return 0;
+}

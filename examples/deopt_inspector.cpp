@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deoptimization / abort inspector.
+ *
+ * Feeds a function corner-case inputs *after* it has been compiled by
+ * the top tier, and traces what happens under each architecture:
+ *  - Base: the failing check's SMP fires and execution OSR-exits to
+ *    the Baseline tier mid-function;
+ *  - NoMap: the failing check is a transactional abort — the HTM
+ *    rolls memory back and execution re-enters Baseline at the loop
+ *    head ("Entry3", paper Figure 5).
+ *
+ * The inspected corner cases: an int32 accumulator overflowing, and
+ * an object whose shape differs from the trained one.
+ */
+
+#include <cstdio>
+
+#include "engine/engine.h"
+
+using namespace nomap;
+
+namespace {
+
+void
+inspect(const char *title, const char *program)
+{
+    std::printf("=== %s ===\n", title);
+    for (Architecture arch :
+         {Architecture::Base, Architecture::NoMap}) {
+        EngineConfig config;
+        config.arch = arch;
+        Engine engine(config);
+        EngineResult r = engine.run(program);
+        std::printf("%-8s result=%-14s deopts=%llu  tx aborts=%llu "
+                    "(check %llu, SOF %llu)  commits=%llu\n",
+                    architectureName(arch), r.resultString.c_str(),
+                    static_cast<unsigned long long>(r.stats.deopts),
+                    static_cast<unsigned long long>(r.stats.txAborts),
+                    static_cast<unsigned long long>(
+                        r.stats.txAbortsCheck),
+                    static_cast<unsigned long long>(r.stats.txAbortsSof),
+                    static_cast<unsigned long long>(r.stats.txCommits));
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    inspect("integer overflow after training", R"JS(
+function accumulate(step, n) {
+    var acc = 0;
+    for (var i = 0; i < n; i++) acc = acc + step;
+    return acc;
+}
+var out = 0;
+for (var r = 0; r < 120; r++) out = accumulate(1000, 50);
+out = accumulate(1000000000, 50);
+result = out;
+)JS");
+
+    inspect("shape change after training", R"JS(
+function readX(p, n) {
+    var acc = 0;
+    for (var i = 0; i < n; i++) acc += p.x;
+    return acc;
+}
+var trained = {x: 3, y: 4};
+var out = 0;
+for (var r = 0; r < 120; r++) out = readX(trained, 40);
+var different = {y: 9, x: 5};
+out += readX(different, 40);
+result = out;
+)JS");
+
+    inspect("out-of-bounds read after training", R"JS(
+function sumFirst(arr, k) {
+    var acc = 0;
+    for (var i = 0; i < k; i++) {
+        var v = arr[i];
+        if (v === undefined) acc += 1000;
+        else acc += v;
+    }
+    return acc;
+}
+var data = [];
+for (var i = 0; i < 64; i++) data[i] = 2;
+var out = 0;
+for (var r = 0; r < 120; r++) out = sumFirst(data, 64);
+out = sumFirst(data, 66);
+result = out;
+)JS");
+    return 0;
+}

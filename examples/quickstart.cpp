@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: run a JS-subset program under two architectures and
+ * compare what NoMap changed.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "engine/engine.h"
+
+using namespace nomap;
+
+int
+main()
+{
+    const char *program = R"JS(
+function dotProduct(a, b) {
+    var sum = 0;
+    for (var i = 0; i < a.length; i++) {
+        sum += a[i] * b[i];
+    }
+    return sum;
+}
+var a = [];
+var b = [];
+for (var i = 0; i < 300; i++) {
+    a[i] = i % 13;
+    b[i] = i % 7;
+}
+var out = 0;
+for (var round = 0; round < 120; round++) {
+    out = dotProduct(a, b);
+}
+print("dot product:", out);
+result = out;
+)JS";
+
+    for (Architecture arch :
+         {Architecture::Base, Architecture::NoMap}) {
+        EngineConfig config;
+        config.arch = arch;
+        Engine engine(config);
+        EngineResult r = engine.run(program);
+
+        std::printf("--- %s ---\n", architectureName(arch));
+        std::printf("program output: %s", r.printed.c_str());
+        std::printf("result global : %s\n", r.resultString.c_str());
+        std::printf("instructions  : %llu\n",
+                    static_cast<unsigned long long>(
+                        r.stats.totalInstructions()));
+        std::printf("cycles        : %.0f\n", r.stats.totalCycles());
+        std::printf("checks run    : %llu  (bounds %llu, overflow "
+                    "%llu, type %llu)\n",
+                    static_cast<unsigned long long>(
+                        r.stats.totalChecks()),
+                    static_cast<unsigned long long>(
+                        r.stats.checksOf(CheckKind::Bounds)),
+                    static_cast<unsigned long long>(
+                        r.stats.checksOf(CheckKind::Overflow)),
+                    static_cast<unsigned long long>(
+                        r.stats.checksOf(CheckKind::Type)));
+        std::printf("transactions  : %llu commits, %llu aborts\n\n",
+                    static_cast<unsigned long long>(r.stats.txCommits),
+                    static_cast<unsigned long long>(r.stats.txAborts));
+    }
+    return 0;
+}

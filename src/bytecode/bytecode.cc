@@ -1,0 +1,52 @@
+#include "bytecode/bytecode.h"
+
+#include <sstream>
+
+namespace nomap {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::LoadConst: return "LoadConst";
+      case Opcode::Move: return "Move";
+      case Opcode::LoadGlobal: return "LoadGlobal";
+      case Opcode::StoreGlobal: return "StoreGlobal";
+      case Opcode::Binary: return "Binary";
+      case Opcode::Unary: return "Unary";
+      case Opcode::GetProp: return "GetProp";
+      case Opcode::SetProp: return "SetProp";
+      case Opcode::GetIndex: return "GetIndex";
+      case Opcode::SetIndex: return "SetIndex";
+      case Opcode::NewArray: return "NewArray";
+      case Opcode::NewObject: return "NewObject";
+      case Opcode::Call: return "Call";
+      case Opcode::CallNative: return "CallNative";
+      case Opcode::CallMethod: return "CallMethod";
+      case Opcode::Jump: return "Jump";
+      case Opcode::JumpIfTrue: return "JumpIfTrue";
+      case Opcode::JumpIfFalse: return "JumpIfFalse";
+      case Opcode::Return: return "Return";
+      case Opcode::ReturnUndef: return "ReturnUndef";
+      case Opcode::LoopHeader: return "LoopHeader";
+    }
+    return "?";
+}
+
+std::string
+BytecodeFunction::disassemble() const
+{
+    std::ostringstream out;
+    out << "function " << name << " (params=" << numParams
+        << " locals=" << numLocals << " regs=" << numRegs
+        << " loops=" << numLoops << ")\n";
+    for (size_t pc = 0; pc < code.size(); ++pc) {
+        const BytecodeInstr &instr = code[pc];
+        out << "  " << pc << ": " << opcodeName(instr.op) << " a=" <<
+            instr.a << " b=" << instr.b << " c=" << instr.c
+            << " imm=" << instr.imm << "\n";
+    }
+    return out.str();
+}
+
+} // namespace nomap

@@ -1,0 +1,50 @@
+#ifndef NOMAP_BYTECODE_BYTECODE_H
+#define NOMAP_BYTECODE_BYTECODE_H
+
+/**
+ * @file
+ * Compiled-function container: bytecode, constants, and metadata.
+ * One BytecodeFunction exists per source function, plus one for the
+ * implicit top-level "<main>" function.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bytecode/opcode.h"
+#include "bytecode/profile.h"
+#include "vm/value.h"
+
+namespace nomap {
+
+/** Object-literal descriptor: property name ids in insertion order. */
+struct ObjectDesc {
+    std::vector<uint32_t> nameIds;
+};
+
+/** A compiled function. */
+struct BytecodeFunction {
+    std::string name;
+    uint32_t funcId = 0;
+    uint16_t numParams = 0;
+    /** Params + named locals (the registers OSR stack maps cover). */
+    uint16_t numLocals = 0;
+    /** Total frame size including expression temporaries. */
+    uint16_t numRegs = 0;
+    uint32_t numLoops = 0;
+
+    std::vector<BytecodeInstr> code;
+    std::vector<Value> constants;
+    std::vector<ObjectDesc> objectDescs;
+
+    /** Type feedback, sized by the compiler after emission. */
+    FunctionProfile profile;
+
+    /** Pretty-print for tests/debugging. */
+    std::string disassemble() const;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_BYTECODE_BYTECODE_H

@@ -1,0 +1,919 @@
+#include "bytecode/compiler.h"
+
+#include <functional>
+
+#include "support/logging.h"
+#include "vm/builtins.h"
+
+namespace nomap {
+
+int32_t
+CompiledProgram::findFunction(const std::string &name) const
+{
+    auto it = functionIds.find(name);
+    return it == functionIds.end() ? -1
+                                   : static_cast<int32_t>(it->second);
+}
+
+namespace {
+
+/** Per-function compilation state. */
+class FunctionCompiler
+{
+  public:
+    FunctionCompiler(CompiledProgram &program, Heap &heap,
+                     BytecodeFunction &fn, bool is_main)
+        : prog(program), heapRef(heap), out(fn), isMain(is_main)
+    {
+    }
+
+    void
+    compileFunction(const FunctionDecl &decl)
+    {
+        for (const std::string &param : decl.params)
+            declareLocal(param);
+        out.numParams = static_cast<uint16_t>(decl.params.size());
+        for (const StmtPtr &stmt : decl.body)
+            hoistVars(*stmt);
+        out.numLocals = static_cast<uint16_t>(locals.size());
+        nextTemp = out.numLocals;
+        highWater = nextTemp;
+        for (const StmtPtr &stmt : decl.body)
+            compileStmt(*stmt);
+        emit(Opcode::ReturnUndef, 0, 0, 0, 0, 0);
+        finish();
+    }
+
+    void
+    compileMain(const std::vector<StmtPtr> &top_level)
+    {
+        // Top-level vars become globals; no hoisting into the frame.
+        out.numParams = 0;
+        out.numLocals = 0;
+        nextTemp = 0;
+        highWater = 0;
+        for (const StmtPtr &stmt : top_level)
+            compileStmt(*stmt);
+        emit(Opcode::ReturnUndef, 0, 0, 0, 0, 0);
+        finish();
+    }
+
+  private:
+    struct LoopContext {
+        std::vector<uint32_t> breakPatches;
+        std::vector<uint32_t> continuePatches;
+        /** True for switch statements: break targets them, continue
+         *  falls through to the enclosing loop. */
+        bool isSwitch = false;
+    };
+
+    void
+    finish()
+    {
+        out.numRegs = highWater;
+        out.numLoops = loopCount;
+        out.profile.sizeFor(out.code.size(), loopCount);
+    }
+
+    // ---- Registers ------------------------------------------------------
+    void
+    declareLocal(const std::string &name)
+    {
+        if (locals.count(name))
+            return;
+        uint16_t reg = static_cast<uint16_t>(locals.size());
+        locals.emplace(name, reg);
+    }
+
+    void
+    hoistVars(const Stmt &stmt)
+    {
+        switch (stmt.kind) {
+          case StmtKind::VarDecl:
+            for (const auto &d :
+                 static_cast<const VarDeclStmt &>(stmt).decls) {
+                declareLocal(d.first);
+            }
+            break;
+          case StmtKind::Block:
+            for (const StmtPtr &s :
+                 static_cast<const BlockStmt &>(stmt).body) {
+                hoistVars(*s);
+            }
+            break;
+          case StmtKind::If: {
+            const auto &ifs = static_cast<const IfStmt &>(stmt);
+            hoistVars(*ifs.thenStmt);
+            if (ifs.elseStmt)
+                hoistVars(*ifs.elseStmt);
+            break;
+          }
+          case StmtKind::While:
+            hoistVars(*static_cast<const WhileStmt &>(stmt).body);
+            break;
+          case StmtKind::DoWhile:
+            hoistVars(*static_cast<const DoWhileStmt &>(stmt).body);
+            break;
+          case StmtKind::For: {
+            const auto &loop = static_cast<const ForStmt &>(stmt);
+            if (loop.init)
+                hoistVars(*loop.init);
+            hoistVars(*loop.body);
+            break;
+          }
+          case StmtKind::Switch: {
+            const auto &sw = static_cast<const SwitchStmt &>(stmt);
+            for (const SwitchClause &clause : sw.clauses) {
+                for (const StmtPtr &inner : clause.body)
+                    hoistVars(*inner);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    uint16_t
+    allocTemp()
+    {
+        uint16_t reg = nextTemp++;
+        if (nextTemp > highWater)
+            highWater = nextTemp;
+        NOMAP_ASSERT(nextTemp < 0xfff0);
+        return reg;
+    }
+
+    void
+    freeTo(uint16_t mark)
+    {
+        nextTemp = mark;
+    }
+
+    uint16_t tempMark() const { return nextTemp; }
+
+    bool
+    isLocalReg(uint16_t reg) const
+    {
+        return reg < out.numLocals;
+    }
+
+    // ---- Emission ---------------------------------------------------------
+    uint32_t
+    emit(Opcode op, uint16_t a, uint16_t b, uint16_t c, uint32_t imm,
+         uint32_t line)
+    {
+        BytecodeInstr instr;
+        instr.op = op;
+        instr.a = a;
+        instr.b = b;
+        instr.c = c;
+        instr.imm = imm;
+        instr.line = line;
+        out.code.push_back(instr);
+        return static_cast<uint32_t>(out.code.size() - 1);
+    }
+
+    uint32_t
+    addConstant(Value v)
+    {
+        for (size_t i = 0; i < out.constants.size(); ++i) {
+            if (out.constants[i] == v)
+                return static_cast<uint32_t>(i);
+        }
+        out.constants.push_back(v);
+        return static_cast<uint32_t>(out.constants.size() - 1);
+    }
+
+    void
+    patchJump(uint32_t at)
+    {
+        out.code[at].imm = static_cast<uint32_t>(out.code.size());
+    }
+
+    uint32_t here() const
+    {
+        return static_cast<uint32_t>(out.code.size());
+    }
+
+    // ---- Statements ----------------------------------------------------
+    void
+    compileStmt(const Stmt &stmt)
+    {
+        uint16_t mark = tempMark();
+        switch (stmt.kind) {
+          case StmtKind::Expression:
+            compileExpr(*static_cast<const ExpressionStmt &>(stmt).expr);
+            break;
+          case StmtKind::VarDecl: {
+            const auto &decl = static_cast<const VarDeclStmt &>(stmt);
+            for (const auto &d : decl.decls) {
+                if (!d.second)
+                    continue;
+                uint16_t value = compileExpr(*d.second);
+                storeToName(d.first, value, stmt.line);
+            }
+            break;
+          }
+          case StmtKind::Block:
+            for (const StmtPtr &s :
+                 static_cast<const BlockStmt &>(stmt).body) {
+                compileStmt(*s);
+            }
+            break;
+          case StmtKind::If: {
+            const auto &ifs = static_cast<const IfStmt &>(stmt);
+            uint16_t cond = compileExpr(*ifs.cond);
+            uint32_t to_else =
+                emit(Opcode::JumpIfFalse, 0, cond, 0, 0, stmt.line);
+            freeTo(mark);
+            compileStmt(*ifs.thenStmt);
+            if (ifs.elseStmt) {
+                uint32_t to_end =
+                    emit(Opcode::Jump, 0, 0, 0, 0, stmt.line);
+                patchJump(to_else);
+                compileStmt(*ifs.elseStmt);
+                patchJump(to_end);
+            } else {
+                patchJump(to_else);
+            }
+            break;
+          }
+          case StmtKind::While: {
+            const auto &loop = static_cast<const WhileStmt &>(stmt);
+            uint32_t loop_id = loopCount++;
+            loops.emplace_back();
+            uint32_t head = here();
+            emit(Opcode::LoopHeader, 0, 0, 0, loop_id, stmt.line);
+            uint16_t cond = compileExpr(*loop.cond);
+            uint32_t exit_jump =
+                emit(Opcode::JumpIfFalse, 0, cond, 0, 0, stmt.line);
+            freeTo(mark);
+            compileStmt(*loop.body);
+            for (uint32_t at : loops.back().continuePatches)
+                out.code[at].imm = head;
+            emit(Opcode::Jump, 0, 0, 0, head, stmt.line);
+            patchJump(exit_jump);
+            for (uint32_t at : loops.back().breakPatches)
+                patchJump(at);
+            loops.pop_back();
+            break;
+          }
+          case StmtKind::DoWhile: {
+            const auto &loop = static_cast<const DoWhileStmt &>(stmt);
+            uint32_t loop_id = loopCount++;
+            loops.emplace_back();
+            uint32_t head = here();
+            emit(Opcode::LoopHeader, 0, 0, 0, loop_id, stmt.line);
+            compileStmt(*loop.body);
+            uint32_t cond_at = here();
+            for (uint32_t at : loops.back().continuePatches)
+                out.code[at].imm = cond_at;
+            uint16_t cond = compileExpr(*loop.cond);
+            emit(Opcode::JumpIfTrue, 0, cond, 0, head, stmt.line);
+            freeTo(mark);
+            for (uint32_t at : loops.back().breakPatches)
+                patchJump(at);
+            loops.pop_back();
+            break;
+          }
+          case StmtKind::For: {
+            const auto &loop = static_cast<const ForStmt &>(stmt);
+            if (loop.init)
+                compileStmt(*loop.init);
+            uint32_t loop_id = loopCount++;
+            loops.emplace_back();
+            uint32_t head = here();
+            emit(Opcode::LoopHeader, 0, 0, 0, loop_id, stmt.line);
+            uint32_t exit_jump = 0;
+            bool has_cond = loop.cond != nullptr;
+            if (has_cond) {
+                uint16_t cond = compileExpr(*loop.cond);
+                exit_jump =
+                    emit(Opcode::JumpIfFalse, 0, cond, 0, 0, stmt.line);
+                freeTo(mark);
+            }
+            compileStmt(*loop.body);
+            uint32_t update_at = here();
+            for (uint32_t at : loops.back().continuePatches)
+                out.code[at].imm = update_at;
+            if (loop.update) {
+                compileExpr(*loop.update);
+                freeTo(mark);
+            }
+            emit(Opcode::Jump, 0, 0, 0, head, stmt.line);
+            if (has_cond)
+                patchJump(exit_jump);
+            for (uint32_t at : loops.back().breakPatches)
+                patchJump(at);
+            loops.pop_back();
+            break;
+          }
+          case StmtKind::Return: {
+            const auto &ret = static_cast<const ReturnStmt &>(stmt);
+            if (ret.value) {
+                uint16_t v = compileExpr(*ret.value);
+                emit(Opcode::Return, 0, v, 0, 0, stmt.line);
+            } else {
+                emit(Opcode::ReturnUndef, 0, 0, 0, 0, stmt.line);
+            }
+            break;
+          }
+          case StmtKind::Break: {
+            if (loops.empty())
+                fatal("line %u: break outside loop", stmt.line);
+            uint32_t at = emit(Opcode::Jump, 0, 0, 0, 0, stmt.line);
+            loops.back().breakPatches.push_back(at);
+            break;
+          }
+          case StmtKind::Continue: {
+            // Continue skips over enclosing switches.
+            LoopContext *target = nullptr;
+            for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
+                if (!it->isSwitch) {
+                    target = &*it;
+                    break;
+                }
+            }
+            if (!target)
+                fatal("line %u: continue outside loop", stmt.line);
+            uint32_t at = emit(Opcode::Jump, 0, 0, 0, 0, stmt.line);
+            target->continuePatches.push_back(at);
+            break;
+          }
+          case StmtKind::Switch:
+            compileSwitch(static_cast<const SwitchStmt &>(stmt));
+            break;
+          case StmtKind::Empty:
+            break;
+        }
+        freeTo(mark);
+    }
+
+    void
+    compileSwitch(const SwitchStmt &stmt)
+    {
+        // Evaluate the discriminant once, run the case tests in
+        // order (strict equality), then lay the clause bodies out
+        // sequentially so fall-through is the natural control flow.
+        uint16_t disc = allocTemp();
+        {
+            uint16_t mark = tempMark();
+            uint16_t v = compileExpr(*stmt.discriminant);
+            if (v != disc)
+                emit(Opcode::Move, disc, v, 0, 0, stmt.line);
+            freeTo(mark);
+        }
+        loops.emplace_back();
+        loops.back().isSwitch = true;
+
+        std::vector<std::pair<size_t, uint32_t>> test_jumps;
+        int32_t default_idx = -1;
+        for (size_t i = 0; i < stmt.clauses.size(); ++i) {
+            const SwitchClause &clause = stmt.clauses[i];
+            if (!clause.test) {
+                default_idx = static_cast<int32_t>(i);
+                continue;
+            }
+            uint16_t mark = tempMark();
+            uint16_t t = compileExpr(*clause.test);
+            uint16_t cond = allocTemp();
+            emit(Opcode::Binary, cond, disc, t,
+                 static_cast<uint32_t>(BinaryOp::StrictEq), stmt.line);
+            uint32_t at =
+                emit(Opcode::JumpIfTrue, 0, cond, 0, 0, stmt.line);
+            test_jumps.emplace_back(i, at);
+            freeTo(mark);
+        }
+        uint32_t no_match = emit(Opcode::Jump, 0, 0, 0, 0, stmt.line);
+
+        std::vector<uint32_t> body_pcs(stmt.clauses.size());
+        for (size_t i = 0; i < stmt.clauses.size(); ++i) {
+            body_pcs[i] = here();
+            uint16_t mark = tempMark();
+            for (const StmtPtr &inner : stmt.clauses[i].body)
+                compileStmt(*inner);
+            freeTo(mark);
+        }
+        for (auto &[idx, at] : test_jumps)
+            out.code[at].imm = body_pcs[idx];
+        if (default_idx >= 0) {
+            out.code[no_match].imm =
+                body_pcs[static_cast<size_t>(default_idx)];
+        } else {
+            patchJump(no_match);
+        }
+        for (uint32_t at : loops.back().breakPatches)
+            patchJump(at);
+        loops.pop_back();
+    }
+
+    // ---- Names ------------------------------------------------------------
+    void
+    storeToName(const std::string &name, uint16_t value, uint32_t line)
+    {
+        auto it = locals.find(name);
+        if (it != locals.end()) {
+            if (value != it->second)
+                emit(Opcode::Move, it->second, value, 0, 0, line);
+            return;
+        }
+        uint32_t g = heapRef.globalIndex(name);
+        emit(Opcode::StoreGlobal, 0, value, 0, g, line);
+    }
+
+    uint16_t
+    loadName(const std::string &name, uint32_t line)
+    {
+        auto it = locals.find(name);
+        if (it != locals.end())
+            return it->second;
+        int32_t fid = prog.findFunction(name);
+        if (fid >= 0) {
+            uint16_t dst = allocTemp();
+            emit(Opcode::LoadConst, dst, 0, 0,
+                 addConstant(Value::function(
+                     static_cast<uint32_t>(fid))),
+                 line);
+            return dst;
+        }
+        uint32_t g = heapRef.globalIndex(name);
+        uint16_t dst = allocTemp();
+        emit(Opcode::LoadGlobal, dst, 0, 0, g, line);
+        return dst;
+    }
+
+    // ---- Expressions ---------------------------------------------------
+    /** Compile @p expr; returns the register holding the result. */
+    uint16_t
+    compileExpr(const Expr &expr)
+    {
+        switch (expr.kind) {
+          case ExprKind::NumberLit: {
+            uint16_t dst = allocTemp();
+            emit(Opcode::LoadConst, dst, 0, 0,
+                 addConstant(Value::number(
+                     static_cast<const NumberLitExpr &>(expr).value)),
+                 expr.line);
+            return dst;
+          }
+          case ExprKind::StringLit: {
+            uint16_t dst = allocTemp();
+            uint32_t sid = heapRef.stringTable().intern(
+                static_cast<const StringLitExpr &>(expr).value);
+            emit(Opcode::LoadConst, dst, 0, 0,
+                 addConstant(Value::string(sid)), expr.line);
+            return dst;
+          }
+          case ExprKind::BoolLit: {
+            uint16_t dst = allocTemp();
+            emit(Opcode::LoadConst, dst, 0, 0,
+                 addConstant(Value::boolean(
+                     static_cast<const BoolLitExpr &>(expr).value)),
+                 expr.line);
+            return dst;
+          }
+          case ExprKind::NullLit: {
+            uint16_t dst = allocTemp();
+            emit(Opcode::LoadConst, dst, 0, 0, addConstant(Value::null()),
+                 expr.line);
+            return dst;
+          }
+          case ExprKind::UndefinedLit: {
+            uint16_t dst = allocTemp();
+            emit(Opcode::LoadConst, dst, 0, 0,
+                 addConstant(Value::undefined()), expr.line);
+            return dst;
+          }
+          case ExprKind::ArrayLit:
+            return compileArrayLit(
+                static_cast<const ArrayLitExpr &>(expr));
+          case ExprKind::ObjectLit:
+            return compileObjectLit(
+                static_cast<const ObjectLitExpr &>(expr));
+          case ExprKind::Ident:
+            return loadName(static_cast<const IdentExpr &>(expr).name,
+                            expr.line);
+          case ExprKind::Unary: {
+            const auto &un = static_cast<const UnaryExpr &>(expr);
+            uint16_t src = compileExpr(*un.operand);
+            uint16_t dst = allocTemp();
+            emit(Opcode::Unary, dst, src, 0,
+                 static_cast<uint32_t>(un.op), expr.line);
+            return dst;
+          }
+          case ExprKind::Binary: {
+            const auto &bin = static_cast<const BinaryExpr &>(expr);
+            uint16_t lhs = compileExpr(*bin.lhs);
+            uint16_t rhs = compileExpr(*bin.rhs);
+            uint16_t dst = allocTemp();
+            emit(Opcode::Binary, dst, lhs, rhs,
+                 static_cast<uint32_t>(bin.op), expr.line);
+            return dst;
+          }
+          case ExprKind::Logical: {
+            const auto &log = static_cast<const LogicalExpr &>(expr);
+            uint16_t dst = allocTemp();
+            uint16_t lhs = compileExpr(*log.lhs);
+            emit(Opcode::Move, dst, lhs, 0, 0, expr.line);
+            uint32_t skip =
+                emit(log.op == LogicalOp::And ? Opcode::JumpIfFalse
+                                              : Opcode::JumpIfTrue,
+                     0, dst, 0, 0, expr.line);
+            uint16_t mark = tempMark();
+            uint16_t rhs = compileExpr(*log.rhs);
+            emit(Opcode::Move, dst, rhs, 0, 0, expr.line);
+            freeTo(mark);
+            patchJump(skip);
+            return dst;
+          }
+          case ExprKind::Conditional: {
+            const auto &c = static_cast<const ConditionalExpr &>(expr);
+            uint16_t dst = allocTemp();
+            uint16_t cond = compileExpr(*c.cond);
+            uint32_t to_else =
+                emit(Opcode::JumpIfFalse, 0, cond, 0, 0, expr.line);
+            uint16_t mark = tempMark();
+            uint16_t t = compileExpr(*c.thenExpr);
+            emit(Opcode::Move, dst, t, 0, 0, expr.line);
+            freeTo(mark);
+            uint32_t to_end = emit(Opcode::Jump, 0, 0, 0, 0, expr.line);
+            patchJump(to_else);
+            uint16_t f = compileExpr(*c.elseExpr);
+            emit(Opcode::Move, dst, f, 0, 0, expr.line);
+            freeTo(mark);
+            patchJump(to_end);
+            return dst;
+          }
+          case ExprKind::Assign: {
+            const auto &a = static_cast<const AssignExpr &>(expr);
+            uint16_t v = compileExpr(*a.value);
+            compileStoreTarget(*a.target, v);
+            return v;
+          }
+          case ExprKind::CompoundAssign:
+            return compileCompoundAssign(
+                static_cast<const CompoundAssignExpr &>(expr));
+          case ExprKind::PreIncDec: {
+            const auto &p = static_cast<const PreIncDecExpr &>(expr);
+            return compileIncDec(*p.target, p.isIncrement, false,
+                                 expr.line);
+          }
+          case ExprKind::PostIncDec: {
+            const auto &p = static_cast<const PostIncDecExpr &>(expr);
+            return compileIncDec(*p.target, p.isIncrement, true,
+                                 expr.line);
+          }
+          case ExprKind::Member: {
+            const auto &m = static_cast<const MemberExpr &>(expr);
+            // Math.PI / Math.E resolve to constants at compile time
+            // (unless a local shadows the Math name).
+            if (m.object->kind == ExprKind::Ident) {
+                const std::string &obj_name =
+                    static_cast<const IdentExpr &>(*m.object).name;
+                if (obj_name == "Math" && !locals.count(obj_name)) {
+                    double constant = 0.0;
+                    bool known = false;
+                    if (m.property == "PI") {
+                        constant = 3.141592653589793;
+                        known = true;
+                    } else if (m.property == "E") {
+                        constant = 2.718281828459045;
+                        known = true;
+                    }
+                    if (known) {
+                        uint16_t dst = allocTemp();
+                        emit(Opcode::LoadConst, dst, 0, 0,
+                             addConstant(Value::boxDouble(constant)),
+                             expr.line);
+                        return dst;
+                    }
+                }
+            }
+            uint16_t obj = compileExpr(*m.object);
+            uint16_t dst = allocTemp();
+            uint32_t name = heapRef.stringTable().intern(m.property);
+            emit(Opcode::GetProp, dst, obj, 0, name, expr.line);
+            return dst;
+          }
+          case ExprKind::Index: {
+            const auto &ix = static_cast<const IndexExpr &>(expr);
+            uint16_t obj = compileExpr(*ix.object);
+            uint16_t idx = compileExpr(*ix.index);
+            uint16_t dst = allocTemp();
+            emit(Opcode::GetIndex, dst, obj, idx, 0, expr.line);
+            return dst;
+          }
+          case ExprKind::Call:
+            return compileCall(static_cast<const CallExpr &>(expr));
+        }
+        panic("bad expr kind");
+    }
+
+    uint16_t
+    compileArrayLit(const ArrayLitExpr &arr)
+    {
+        uint16_t first = nextTemp;
+        for (const ExprPtr &elem : arr.elements) {
+            uint16_t slot = allocTemp();
+            uint16_t mark = tempMark();
+            uint16_t v = compileExpr(*elem);
+            if (v != slot)
+                emit(Opcode::Move, slot, v, 0, 0, arr.line);
+            freeTo(mark);
+        }
+        uint16_t dst = allocTemp();
+        emit(Opcode::NewArray, dst, first,
+             static_cast<uint16_t>(arr.elements.size()), 0, arr.line);
+        return dst;
+    }
+
+    uint16_t
+    compileObjectLit(const ObjectLitExpr &obj)
+    {
+        ObjectDesc desc;
+        uint16_t first = nextTemp;
+        for (const auto &prop : obj.properties) {
+            desc.nameIds.push_back(
+                heapRef.stringTable().intern(prop.first));
+            uint16_t slot = allocTemp();
+            uint16_t mark = tempMark();
+            uint16_t v = compileExpr(*prop.second);
+            if (v != slot)
+                emit(Opcode::Move, slot, v, 0, 0, obj.line);
+            freeTo(mark);
+        }
+        out.objectDescs.push_back(std::move(desc));
+        uint32_t desc_idx =
+            static_cast<uint32_t>(out.objectDescs.size() - 1);
+        uint16_t dst = allocTemp();
+        emit(Opcode::NewObject, dst, first,
+             static_cast<uint16_t>(obj.properties.size()), desc_idx,
+             obj.line);
+        return dst;
+    }
+
+    void
+    compileStoreTarget(const Expr &target, uint16_t value)
+    {
+        switch (target.kind) {
+          case ExprKind::Ident:
+            storeToName(static_cast<const IdentExpr &>(target).name,
+                        value, target.line);
+            break;
+          case ExprKind::Member: {
+            const auto &m = static_cast<const MemberExpr &>(target);
+            uint16_t obj = compileExpr(*m.object);
+            uint32_t name = heapRef.stringTable().intern(m.property);
+            emit(Opcode::SetProp, 0, obj, value, name, target.line);
+            break;
+          }
+          case ExprKind::Index: {
+            const auto &ix = static_cast<const IndexExpr &>(target);
+            uint16_t obj = compileExpr(*ix.object);
+            uint16_t idx = compileExpr(*ix.index);
+            emit(Opcode::SetIndex, obj, idx, value, 0, target.line);
+            break;
+          }
+          default:
+            fatal("line %u: invalid assignment target", target.line);
+        }
+    }
+
+    uint16_t
+    compileCompoundAssign(const CompoundAssignExpr &a)
+    {
+        switch (a.target->kind) {
+          case ExprKind::Ident: {
+            const auto &id = static_cast<const IdentExpr &>(*a.target);
+            uint16_t cur = loadName(id.name, a.line);
+            uint16_t rhs = compileExpr(*a.value);
+            uint16_t dst = allocTemp();
+            emit(Opcode::Binary, dst, cur, rhs,
+                 static_cast<uint32_t>(a.op), a.line);
+            storeToName(id.name, dst, a.line);
+            return dst;
+          }
+          case ExprKind::Member: {
+            const auto &m = static_cast<const MemberExpr &>(*a.target);
+            uint16_t obj = compileExpr(*m.object);
+            uint32_t name = heapRef.stringTable().intern(m.property);
+            uint16_t cur = allocTemp();
+            emit(Opcode::GetProp, cur, obj, 0, name, a.line);
+            uint16_t rhs = compileExpr(*a.value);
+            uint16_t dst = allocTemp();
+            emit(Opcode::Binary, dst, cur, rhs,
+                 static_cast<uint32_t>(a.op), a.line);
+            emit(Opcode::SetProp, 0, obj, dst, name, a.line);
+            return dst;
+          }
+          case ExprKind::Index: {
+            const auto &ix = static_cast<const IndexExpr &>(*a.target);
+            uint16_t obj = compileExpr(*ix.object);
+            uint16_t idx = compileExpr(*ix.index);
+            uint16_t cur = allocTemp();
+            emit(Opcode::GetIndex, cur, obj, idx, 0, a.line);
+            uint16_t rhs = compileExpr(*a.value);
+            uint16_t dst = allocTemp();
+            emit(Opcode::Binary, dst, cur, rhs,
+                 static_cast<uint32_t>(a.op), a.line);
+            emit(Opcode::SetIndex, obj, idx, dst, 0, a.line);
+            return dst;
+          }
+          default:
+            fatal("line %u: invalid compound-assignment target", a.line);
+        }
+    }
+
+    uint16_t
+    compileIncDec(const Expr &target, bool increment, bool post,
+                  uint32_t line)
+    {
+        // Compile as: old = ToNumber(load); new = old +/- 1; store new;
+        // result = post ? old : new.
+        auto load_store =
+            [&](std::function<uint16_t()> load,
+                std::function<void(uint16_t)> store) -> uint16_t {
+            uint16_t raw = load();
+            uint16_t old_num = allocTemp();
+            emit(Opcode::Unary, old_num, raw, 0,
+                 static_cast<uint32_t>(UnaryOp::Plus), line);
+            uint16_t one = allocTemp();
+            emit(Opcode::LoadConst, one, 0, 0,
+                 addConstant(Value::int32(1)), line);
+            uint16_t fresh = allocTemp();
+            emit(Opcode::Binary, fresh, old_num, one,
+                 static_cast<uint32_t>(increment ? BinaryOp::Add
+                                                 : BinaryOp::Sub),
+                 line);
+            store(fresh);
+            return post ? old_num : fresh;
+        };
+
+        switch (target.kind) {
+          case ExprKind::Ident: {
+            const auto &id = static_cast<const IdentExpr &>(target);
+            return load_store(
+                [&] { return loadName(id.name, line); },
+                [&](uint16_t v) { storeToName(id.name, v, line); });
+          }
+          case ExprKind::Member: {
+            const auto &m = static_cast<const MemberExpr &>(target);
+            uint16_t obj = compileExpr(*m.object);
+            uint32_t name = heapRef.stringTable().intern(m.property);
+            return load_store(
+                [&] {
+                    uint16_t dst = allocTemp();
+                    emit(Opcode::GetProp, dst, obj, 0, name, line);
+                    return dst;
+                },
+                [&](uint16_t v) {
+                    emit(Opcode::SetProp, 0, obj, v, name, line);
+                });
+          }
+          case ExprKind::Index: {
+            const auto &ix = static_cast<const IndexExpr &>(target);
+            uint16_t obj = compileExpr(*ix.object);
+            uint16_t idx = compileExpr(*ix.index);
+            return load_store(
+                [&] {
+                    uint16_t dst = allocTemp();
+                    emit(Opcode::GetIndex, dst, obj, idx, 0, line);
+                    return dst;
+                },
+                [&](uint16_t v) {
+                    emit(Opcode::SetIndex, obj, idx, v, 0, line);
+                });
+          }
+          default:
+            fatal("line %u: invalid ++/-- target", line);
+        }
+    }
+
+    uint16_t
+    compileCall(const CallExpr &call)
+    {
+        uint32_t nargs = static_cast<uint32_t>(call.args.size());
+        if (nargs > 15)
+            fatal("line %u: too many call arguments", call.line);
+
+        // Builtin via Object.member (Math.sqrt, String.fromCharCode)?
+        if (call.callee->kind == ExprKind::Member) {
+            const auto &m = static_cast<const MemberExpr &>(*call.callee);
+            if (m.object->kind == ExprKind::Ident) {
+                const std::string &obj_name =
+                    static_cast<const IdentExpr &>(*m.object).name;
+                BuiltinId bid;
+                if (!locals.count(obj_name) &&
+                    resolveBuiltin(obj_name, m.property, &bid)) {
+                    uint16_t first = compileArgs(call);
+                    uint16_t dst = allocTemp();
+                    emit(Opcode::CallNative, dst, first,
+                         static_cast<uint16_t>(nargs),
+                         static_cast<uint32_t>(bid), call.line);
+                    return dst;
+                }
+            }
+            // Method call on an arbitrary receiver.
+            uint16_t recv = compileExpr(*m.object);
+            uint32_t name = heapRef.stringTable().intern(m.property);
+            uint16_t first = compileArgs(call);
+            uint16_t dst = allocTemp();
+            emit(Opcode::CallMethod, dst, recv, first,
+                 name * 16 + nargs, call.line);
+            return dst;
+        }
+
+        if (call.callee->kind == ExprKind::Ident) {
+            const std::string &name =
+                static_cast<const IdentExpr &>(*call.callee).name;
+            int32_t fid = prog.findFunction(name);
+            if (fid >= 0) {
+                uint16_t first = compileArgs(call);
+                uint16_t dst = allocTemp();
+                emit(Opcode::Call, dst, first,
+                     static_cast<uint16_t>(nargs),
+                     static_cast<uint32_t>(fid), call.line);
+                return dst;
+            }
+            BuiltinId bid;
+            if (resolveGlobalBuiltin(name, &bid)) {
+                uint16_t first = compileArgs(call);
+                uint16_t dst = allocTemp();
+                emit(Opcode::CallNative, dst, first,
+                     static_cast<uint16_t>(nargs),
+                     static_cast<uint32_t>(bid), call.line);
+                return dst;
+            }
+            fatal("line %u: call to unknown function '%s'", call.line,
+                  name.c_str());
+        }
+        fatal("line %u: unsupported call target", call.line);
+    }
+
+    /** Evaluate args into consecutive temps; returns the first reg. */
+    uint16_t
+    compileArgs(const CallExpr &call)
+    {
+        uint16_t first = nextTemp;
+        for (const ExprPtr &arg : call.args) {
+            uint16_t slot = allocTemp();
+            uint16_t mark = tempMark();
+            uint16_t v = compileExpr(*arg);
+            if (v != slot)
+                emit(Opcode::Move, slot, v, 0, 0, call.line);
+            freeTo(mark);
+        }
+        return first;
+    }
+
+    CompiledProgram &prog;
+    Heap &heapRef;
+    BytecodeFunction &out;
+    bool isMain;
+
+    std::unordered_map<std::string, uint16_t> locals;
+    uint16_t nextTemp = 0;
+    uint16_t highWater = 0;
+    uint32_t loopCount = 0;
+    std::vector<LoopContext> loops;
+};
+
+} // namespace
+
+CompiledProgram
+compile(const Program &program, Heap &heap)
+{
+    CompiledProgram compiled;
+
+    // Reserve funcId 0 for <main>, then register all declared
+    // functions so calls can be resolved in any order.
+    auto main_fn = std::make_unique<BytecodeFunction>();
+    main_fn->name = "<main>";
+    main_fn->funcId = 0;
+    compiled.functions.push_back(std::move(main_fn));
+
+    for (const auto &decl : program.functions) {
+        if (compiled.functionIds.count(decl->name))
+            fatal("line %u: duplicate function '%s'", decl->line,
+                  decl->name.c_str());
+        auto fn = std::make_unique<BytecodeFunction>();
+        fn->name = decl->name;
+        fn->funcId = static_cast<uint32_t>(compiled.functions.size());
+        compiled.functionIds.emplace(decl->name, fn->funcId);
+        compiled.functions.push_back(std::move(fn));
+    }
+
+    for (size_t i = 0; i < program.functions.size(); ++i) {
+        BytecodeFunction &fn = *compiled.functions[i + 1];
+        FunctionCompiler fc(compiled, heap, fn, false);
+        fc.compileFunction(*program.functions[i]);
+    }
+    {
+        FunctionCompiler fc(compiled, heap, *compiled.functions[0], true);
+        fc.compileMain(program.topLevel);
+    }
+    return compiled;
+}
+
+} // namespace nomap

@@ -1,0 +1,50 @@
+#ifndef NOMAP_BYTECODE_COMPILER_H
+#define NOMAP_BYTECODE_COMPILER_H
+
+/**
+ * @file
+ * AST -> bytecode compiler.
+ *
+ * Produces one BytecodeFunction per source function plus the implicit
+ * "<main>" function (funcId 0) holding the top-level statements.
+ * Top-level `var` declarations become globals (as in real JS);
+ * function-local `var`s become frame registers.
+ *
+ * Builtin calls (Math.sqrt, print, ...) are resolved at compile time
+ * to CallNative; calls to unknown identifiers are compile errors
+ * (the subset has no first-class function values).
+ */
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bytecode/bytecode.h"
+#include "js/ast.h"
+#include "vm/heap.h"
+
+namespace nomap {
+
+/** A whole compiled program: function table, <main> at index 0. */
+struct CompiledProgram {
+    std::vector<std::unique_ptr<BytecodeFunction>> functions;
+
+    BytecodeFunction &main() { return *functions[0]; }
+
+    /** funcId for a named function, or -1. */
+    int32_t findFunction(const std::string &name) const;
+
+    std::unordered_map<std::string, uint32_t> functionIds;
+};
+
+/**
+ * Compile a parsed program. Throws FatalError on semantic errors
+ * (unknown callee, break outside loop, ...).
+ *
+ * @param heap Supplies global-variable indices and string interning.
+ */
+CompiledProgram compile(const Program &program, Heap &heap);
+
+} // namespace nomap
+
+#endif // NOMAP_BYTECODE_COMPILER_H

@@ -1,0 +1,59 @@
+#ifndef NOMAP_BYTECODE_OPCODE_H
+#define NOMAP_BYTECODE_OPCODE_H
+
+/**
+ * @file
+ * Register-based bytecode shared by the Interpreter and Baseline
+ * tiers, and the input to the DFG/FTL IR builder.
+ *
+ * Frame layout: [params][locals][temps]. Register indices are
+ * uint16_t. Instructions are fixed-width with three register operands
+ * (a, b, c) and one 32-bit immediate.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace nomap {
+
+/** Bytecode operations. */
+enum class Opcode : uint8_t {
+    LoadConst,    ///< a <- constants[imm]
+    Move,         ///< a <- b
+    LoadGlobal,   ///< a <- globals[imm]
+    StoreGlobal,  ///< globals[imm] <- b
+    Binary,       ///< a <- b (BinaryOp)imm c        [profiled]
+    Unary,        ///< a <- (UnaryOp)imm b           [profiled]
+    GetProp,      ///< a <- b.names[imm]             [profiled, IC]
+    SetProp,      ///< b.names[imm] <- c             [profiled, IC]
+    GetIndex,     ///< a <- b[c]                     [profiled]
+    SetIndex,     ///< a[b] <- c                     [profiled]
+    NewArray,     ///< a <- [regs b .. b+c-1]
+    NewObject,    ///< a <- {desc imm, values regs b .. b+c-1}
+    Call,         ///< a <- functions[imm](regs b .. b+c-1)
+    CallNative,   ///< a <- builtin[imm](regs b .. b+c-1)
+    CallMethod,   ///< a <- b.method[imm>>4](regs c .. c+(imm&15)-1)
+    Jump,         ///< pc <- imm
+    JumpIfTrue,   ///< if (truthy b) pc <- imm
+    JumpIfFalse,  ///< if (!truthy b) pc <- imm
+    Return,       ///< return b
+    ReturnUndef,  ///< return undefined
+    LoopHeader,   ///< loop-entry marker; imm = loop id  [profiled]
+};
+
+/** Printable opcode name. */
+const char *opcodeName(Opcode op);
+
+/** One bytecode instruction. */
+struct BytecodeInstr {
+    Opcode op;
+    uint16_t a = 0;
+    uint16_t b = 0;
+    uint16_t c = 0;
+    uint32_t imm = 0;
+    uint32_t line = 0; ///< Source line for diagnostics.
+};
+
+} // namespace nomap
+
+#endif // NOMAP_BYTECODE_OPCODE_H

@@ -1,0 +1,103 @@
+#ifndef NOMAP_BYTECODE_PROFILE_H
+#define NOMAP_BYTECODE_PROFILE_H
+
+/**
+ * @file
+ * Type-feedback profiles collected by the Interpreter and Baseline
+ * tiers, consumed by the DFG/FTL IR builder to decide what to
+ * speculate on. This mirrors JavaScriptCore's value profiles and
+ * array profiles: the higher tier emits a *check* for exactly the
+ * speculation the profile justifies.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/shape.h"
+#include "vm/value.h"
+
+namespace nomap {
+
+/** Operand/result kinds observed at a binary/unary operation. */
+struct ArithProfile {
+    uint16_t lhsMask = 0;
+    uint16_t rhsMask = 0;
+    uint16_t resultMask = 0;
+    bool sawIntOverflow = false;
+
+    bool
+    lhsOnly(uint16_t mask) const
+    {
+        return lhsMask != 0 && (lhsMask & ~mask) == 0;
+    }
+    bool
+    rhsOnly(uint16_t mask) const
+    {
+        return rhsMask != 0 && (rhsMask & ~mask) == 0;
+    }
+};
+
+/** Shape feedback at a property access site (inline-cache state). */
+struct PropertyProfile {
+    uint16_t baseMask = 0;
+    uint32_t shape = kInvalidShape; ///< Monomorphic shape, if any.
+    int32_t slot = -1;              ///< Slot for that shape.
+    bool polymorphic = false;       ///< More than one shape seen.
+
+    bool
+    monomorphicObject() const
+    {
+        return baseMask == kMaskObject && !polymorphic &&
+               shape != kInvalidShape && slot >= 0;
+    }
+};
+
+/** Feedback at an indexed access site. */
+struct IndexProfile {
+    uint16_t baseMask = 0;
+    uint16_t indexMask = 0;
+    uint16_t elemMask = 0;
+    bool sawOutOfBounds = false;
+    bool sawHole = false;
+};
+
+/** Per-loop trip-count feedback (drives transaction sizing). */
+struct LoopProfile {
+    uint64_t entries = 0;
+    uint64_t totalIterations = 0;
+
+    double
+    avgTripCount() const
+    {
+        return entries ? static_cast<double>(totalIterations) /
+                             static_cast<double>(entries)
+                       : 0.0;
+    }
+};
+
+/** All profile state for one function. */
+struct FunctionProfile {
+    /** Indexed by bytecode pc (sparse; only profiled ops use them). */
+    std::vector<ArithProfile> arith;
+    std::vector<PropertyProfile> property;
+    std::vector<IndexProfile> index;
+    /** Indexed by loop id. */
+    std::vector<LoopProfile> loops;
+
+    /** Hotness: calls + scaled back edges; drives tier-up. */
+    uint64_t callCount = 0;
+    uint64_t backEdgeCount = 0;
+
+    void
+    sizeFor(size_t code_len, size_t loop_count)
+    {
+        arith.resize(code_len);
+        property.resize(code_len);
+        index.resize(code_len);
+        loops.resize(loop_count);
+    }
+};
+
+} // namespace nomap
+
+#endif // NOMAP_BYTECODE_PROFILE_H

@@ -1,0 +1,83 @@
+#ifndef NOMAP_ENGINE_CONFIG_H
+#define NOMAP_ENGINE_CONFIG_H
+
+/**
+ * @file
+ * Engine configuration: the architectures of the paper's Table II
+ * plus tiering policy knobs.
+ */
+
+#include <cstdint>
+
+#include "engine/cost_model.h"
+#include "htm/transaction.h"
+
+namespace nomap {
+
+/** The six evaluated architectures (paper Table II). */
+enum class Architecture : uint8_t {
+    Base,     ///< Unmodified JavaScriptCore-like pipeline.
+    NoMapS,   ///< Transactions + SMP->abort + cross-abort opts.
+    NoMapB,   ///< NoMap_S + bounds-check hoisting/sinking.
+    NoMap,    ///< NoMap_B + SOF overflow-check removal (proposed).
+    NoMapBC,  ///< Unrealistic bound: all in-tx checks removed.
+    NoMapRTM, ///< NoMap_B on Intel-style heavyweight HTM.
+};
+
+/** Printable architecture name (matches the paper's labels). */
+inline const char *
+architectureName(Architecture arch)
+{
+    switch (arch) {
+      case Architecture::Base: return "Base";
+      case Architecture::NoMapS: return "NoMap_S";
+      case Architecture::NoMapB: return "NoMap_B";
+      case Architecture::NoMap: return "NoMap";
+      case Architecture::NoMapBC: return "NoMap_BC";
+      case Architecture::NoMapRTM: return "NoMap_RTM";
+    }
+    return "?";
+}
+
+/** Does this architecture place transactions at all? */
+inline bool
+usesTransactions(Architecture arch)
+{
+    return arch != Architecture::Base;
+}
+
+/** HTM flavor an architecture targets. */
+inline HtmMode
+htmModeOf(Architecture arch)
+{
+    return arch == Architecture::NoMapRTM ? HtmMode::Rtm : HtmMode::Rot;
+}
+
+/** Full engine configuration. */
+struct EngineConfig {
+    Architecture arch = Architecture::Base;
+    /** Highest tier allowed (paper Table I caps this). */
+    Tier maxTier = Tier::Ftl;
+
+    // Tier-up thresholds (hotness = calls + backEdges/8).
+    uint64_t baselineThreshold = 4;
+    uint64_t dfgThreshold = 16;
+    uint64_t ftlThreshold = 60;
+
+    /** Seed for Math.random() and any synthetic workload data. */
+    uint64_t rngSeed = 0x5eed;
+
+    /**
+     * Abort watchdog: a transaction exceeding this many charged
+     * instructions is killed (models the timer interrupt that aborts
+     * real hardware transactions).
+     */
+    uint64_t txWatchdogInstructions = 400ull * 1000 * 1000;
+
+    /** Consecutive explicit aborts before detransactionalizing. */
+    uint32_t abortEscalationLimit = 8;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_ENGINE_CONFIG_H

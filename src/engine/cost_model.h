@@ -1,0 +1,104 @@
+#ifndef NOMAP_ENGINE_COST_MODEL_H
+#define NOMAP_ENGINE_COST_MODEL_H
+
+/**
+ * @file
+ * The instruction-cost and timing model.
+ *
+ * Every value here is an *x86-64-equivalent dynamic instruction count*
+ * for one operation in a given tier, or a cycle cost for the timing
+ * model. The absolute values are calibrated once so that the
+ * tier-speedup ladder lands near the paper's Table I; every relative
+ * NoMap effect (Figures 8-11) then emerges from the passes themselves
+ * removing or adding operations, not from tuning.
+ *
+ * Tier rationale:
+ *  - Interpreter: dispatch loop + operand decode + boxing on every
+ *    bytecode, and every non-trivial operation is a runtime call.
+ *  - Baseline: templated machine code per bytecode; property access
+ *    through inline caches; arithmetic still goes through runtime
+ *    helpers for non-int cases.
+ *  - DFG: speculative typed code with checks; moderate instruction
+ *    selection quality.
+ *  - FTL: LLVM-quality selection; each IR op costs roughly its real
+ *    x86 equivalent.
+ */
+
+#include <cstdint>
+
+namespace nomap {
+
+/** Compiler tiers (paper Figure 2). */
+enum class Tier : uint8_t {
+    Interpreter,
+    Baseline,
+    Dfg,
+    Ftl,
+};
+
+/** Printable tier name. */
+inline const char *
+tierName(Tier tier)
+{
+    switch (tier) {
+      case Tier::Interpreter: return "Interpreter";
+      case Tier::Baseline: return "Baseline";
+      case Tier::Dfg: return "DFG";
+      case Tier::Ftl: return "FTL";
+    }
+    return "?";
+}
+
+/** Static cost table; all units are dynamic instructions. */
+struct CostModel {
+    // ---- Interpreter (per bytecode op) --------------------------------
+    static constexpr uint32_t kInterpDispatch = 26;
+
+    // ---- Baseline (per bytecode op) ------------------------------------
+    static constexpr uint32_t kBaselineOp = 11;
+    static constexpr uint32_t kBaselineArith = 14;   ///< Helper stub.
+    static constexpr uint32_t kBaselineIcHit = 12;   ///< Monomorphic IC.
+    static constexpr uint32_t kBaselineIcMiss = 36; ///< Slow path.
+    static constexpr uint32_t kBaselineIndex = 18;
+    static constexpr uint32_t kBaselineCall = 14;
+
+    // ---- Runtime helpers (charged wherever they are invoked) ----------
+    static constexpr uint32_t kRuntimeGenericOp = 28;
+    static constexpr uint32_t kRuntimePropAccess = 34;
+    static constexpr uint32_t kRuntimeIndexAccess = 26;
+    static constexpr uint32_t kRuntimeNativeCall = 18;
+    static constexpr uint32_t kRuntimeMethodCall = 30;
+    static constexpr uint32_t kRuntimeAllocation = 40;
+
+    // ---- FTL IR ops (x86-equivalent) ------------------------------------
+    static constexpr uint32_t kFtlConst = 1;
+    static constexpr uint32_t kFtlMove = 0;  ///< Register allocation.
+    static constexpr uint32_t kFtlArith = 1;
+    static constexpr uint32_t kFtlDoubleArith = 1;
+    static constexpr uint32_t kFtlCompareBranch = 2;
+    static constexpr uint32_t kFtlConvert = 1;
+    static constexpr uint32_t kFtlLoad = 2;
+    static constexpr uint32_t kFtlStore = 3; ///< store + GC barrier.
+    static constexpr uint32_t kFtlElemAddr = 1; ///< Index scaling.
+    static constexpr uint32_t kFtlCallOverhead = 6;
+    static constexpr uint32_t kFtlCheck = 2;    ///< cmp + jcc.
+    static constexpr uint32_t kFtlOverflowCheck = 1; ///< jo only.
+    static constexpr uint32_t kFtlTxBegin = 3;
+    static constexpr uint32_t kFtlTxEnd = 2;
+
+    /** DFG uses the same IR but worse instruction selection. */
+    static constexpr double kDfgFactor = 2.1;
+
+    // ---- Timing model (cycles) -------------------------------------------
+    /** Cycles per plain instruction (wide superscalar, ~IPC 2.5). */
+    static constexpr double kCpiBase = 0.4;
+    /** Extra cycles per executed check (branch + dependency). */
+    static constexpr double kCheckExtraCycles = 0.5;
+    /** Extra cycles per memory access beyond an L1 hit (added from
+     *  the cache model's reported latency). */
+    static constexpr double kMemLatencyScale = 1.0;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_ENGINE_COST_MODEL_H

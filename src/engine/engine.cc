@@ -1,0 +1,222 @@
+#include "engine/engine.h"
+
+#include "js/parser.h"
+#include "support/logging.h"
+
+namespace nomap {
+
+Engine::Engine(const EngineConfig &config)
+    : engineConfig(config)
+{
+    shapesPtr = std::make_unique<ShapeTable>();
+    stringsPtr = std::make_unique<StringTable>();
+    heapPtr = std::make_unique<Heap>(*shapesPtr, *stringsPtr);
+    runtimePtr = std::make_unique<Runtime>(*heapPtr);
+    builtinsPtr =
+        std::make_unique<Builtins>(*runtimePtr, config.rngSeed);
+    htmPtr =
+        std::make_unique<TransactionManager>(htmModeOf(config.arch));
+    memPtr = std::make_unique<MemHierarchy>();
+
+    htmPtr->setRollbackClient(heapPtr.get());
+    heapPtr->setTransactionManager(htmPtr.get());
+
+    acctPtr = std::make_unique<Accounting>(stats);
+    envPtr = std::make_unique<ExecEnv>(
+        ExecEnv{*heapPtr, *runtimePtr, *builtinsPtr, *htmPtr, *memPtr,
+                *acctPtr, *this, nullptr});
+    interpreter =
+        std::make_unique<BytecodeExecutor>(*envPtr, Tier::Interpreter);
+    baselineExec =
+        std::make_unique<BytecodeExecutor>(*envPtr, Tier::Baseline);
+    irExec =
+        std::make_unique<IrExecutor>(*envPtr, *baselineExec,
+                                     engineConfig);
+}
+
+Engine::~Engine() = default;
+
+EngineResult
+Engine::run(const std::string &source)
+{
+    Program ast = parseProgram(source);
+    programPtr = std::make_unique<CompiledProgram>(
+        compile(ast, *heapPtr));
+    envPtr->program = programPtr.get();
+
+    functionStates.clear();
+    functionStates.resize(programPtr->functions.size());
+
+    // Execute <main> (always interpreted: top-level runs once).
+    interpreter->run(programPtr->main(), nullptr, 0);
+
+    EngineResult result;
+    int32_t result_global = heapPtr->findGlobal("result");
+    result.resultValue = result_global >= 0
+                             ? heapPtr->getGlobal(
+                                   static_cast<uint32_t>(result_global))
+                             : Value::undefined();
+    result.resultString =
+        heapPtr->valueToDisplayString(result.resultValue);
+    result.printed = builtinsPtr->printedOutput();
+
+    // Copy transaction summary into the stats.
+    const HtmStats &hs = htmPtr->stats();
+    stats.txCommits = hs.commits;
+    stats.txAborts = hs.aborts;
+    stats.txAbortsCapacity =
+        hs.abortsByCode[static_cast<size_t>(AbortCode::Capacity)];
+    stats.txAbortsCheck =
+        hs.abortsByCode[static_cast<size_t>(AbortCode::ExplicitCheck)];
+    stats.txAbortsSof = hs.abortsByCode[static_cast<size_t>(
+        AbortCode::StickyOverflow)];
+    stats.avgWriteFootprintBytes = hs.avgWriteFootprintBytes();
+    stats.maxWriteFootprintBytes = hs.maxWriteFootprintBytes;
+    stats.maxWriteWaysUsed = hs.maxWriteWaysUsed;
+
+    result.stats = stats;
+    return result;
+}
+
+uint64_t
+Engine::hotness(const BytecodeFunction &fn) const
+{
+    return fn.profile.callCount + fn.profile.backEdgeCount / 8;
+}
+
+void
+Engine::maybeTierUp(uint32_t func_id)
+{
+    BytecodeFunction &fn = *programPtr->functions[func_id];
+    FunctionState &state = functionStates[func_id];
+    uint64_t heat = hotness(fn);
+
+    Tier want = Tier::Interpreter;
+    if (heat >= engineConfig.ftlThreshold)
+        want = Tier::Ftl;
+    else if (heat >= engineConfig.dfgThreshold)
+        want = Tier::Dfg;
+    else if (heat >= engineConfig.baselineThreshold)
+        want = Tier::Baseline;
+    if (want > engineConfig.maxTier)
+        want = engineConfig.maxTier;
+    if (want <= state.tier)
+        return;
+
+    switch (want) {
+      case Tier::Baseline:
+        ++stats.baselineCompiles;
+        break;
+      case Tier::Dfg:
+        state.dfg = std::make_unique<CompiledIr>(
+            compileFunction(fn, *heapPtr, Tier::Dfg,
+                            engineConfig.arch));
+        ++stats.dfgCompiles;
+        break;
+      case Tier::Ftl:
+        state.ftl = std::make_unique<CompiledIr>(
+            compileFunction(fn, *heapPtr, Tier::Ftl, engineConfig.arch,
+                            state.txScopeLevel));
+        ++stats.ftlCompiles;
+        break;
+      default:
+        break;
+    }
+    state.tier = want;
+}
+
+Value
+Engine::call(uint32_t func_id, const Value *args, uint32_t nargs)
+{
+    NOMAP_ASSERT(programPtr && func_id < programPtr->functions.size());
+    BytecodeFunction &fn = *programPtr->functions[func_id];
+    FunctionState &state = functionStates[func_id];
+
+    ++fn.profile.callCount;
+    maybeTierUp(func_id);
+
+    switch (state.tier) {
+      case Tier::Interpreter:
+        return interpreter->run(fn, args, nargs);
+      case Tier::Baseline:
+        return baselineExec->run(fn, args, nargs);
+      case Tier::Dfg:
+        return irExec->run(state.dfg->ir, fn, args, nargs);
+      case Tier::Ftl: {
+        ++stats.ftlFunctionCalls;
+        uint64_t cap_before = htmPtr->stats().abortsByCode[
+            static_cast<size_t>(AbortCode::Capacity)];
+        uint64_t chk_before = htmPtr->stats().abortsByCode[
+            static_cast<size_t>(AbortCode::ExplicitCheck)];
+        uint64_t commits_before = htmPtr->stats().commits;
+
+        Value v = irExec->run(state.ftl->ir, fn, args, nargs);
+
+        // NoMap runtime policy (paper V-C): repeated capacity aborts
+        // shrink the transaction scope and recompile; repeated
+        // explicit aborts eventually drop transactions entirely.
+        const HtmStats &hs = htmPtr->stats();
+        uint64_t new_caps = hs.abortsByCode[static_cast<size_t>(
+                                AbortCode::Capacity)] -
+                            cap_before;
+        uint64_t new_chks = hs.abortsByCode[static_cast<size_t>(
+                                AbortCode::ExplicitCheck)] -
+                            chk_before;
+        uint64_t new_commits = hs.commits - commits_before;
+        if (new_commits > 0 && new_caps == 0 && new_chks == 0) {
+            state.consecutiveCapacityAborts = 0;
+            state.consecutiveCheckAborts = 0;
+        }
+        bool recompile = false;
+        if (new_caps > 0) {
+            state.consecutiveCapacityAborts +=
+                static_cast<uint32_t>(new_caps);
+            if (state.consecutiveCapacityAborts >= 2 &&
+                state.txScopeLevel < 3) {
+                ++state.txScopeLevel;
+                recompile = true;
+                state.consecutiveCapacityAborts = 0;
+            }
+        }
+        if (new_chks > 0) {
+            state.consecutiveCheckAborts +=
+                static_cast<uint32_t>(new_chks);
+            if (state.consecutiveCheckAborts >=
+                    engineConfig.abortEscalationLimit &&
+                state.txScopeLevel < 3) {
+                state.txScopeLevel = 3;
+                recompile = true;
+                state.consecutiveCheckAborts = 0;
+            }
+        }
+        if (recompile) {
+            state.ftl = std::make_unique<CompiledIr>(compileFunction(
+                fn, *heapPtr, Tier::Ftl, engineConfig.arch,
+                state.txScopeLevel));
+            ++stats.ftlRecompiles;
+        }
+        return v;
+      }
+    }
+    panic("bad tier");
+}
+
+const FunctionState *
+Engine::functionState(const std::string &name) const
+{
+    if (!programPtr)
+        return nullptr;
+    int32_t id = programPtr->findFunction(name);
+    if (id < 0)
+        return nullptr;
+    return &functionStates[static_cast<size_t>(id)];
+}
+
+const IrFunction *
+Engine::ftlIr(const std::string &name) const
+{
+    const FunctionState *state = functionState(name);
+    return state && state->ftl ? &state->ftl->ir : nullptr;
+}
+
+} // namespace nomap

@@ -1,0 +1,126 @@
+#ifndef NOMAP_ENGINE_ENGINE_H
+#define NOMAP_ENGINE_ENGINE_H
+
+/**
+ * @file
+ * The public entry point of the library.
+ *
+ * An Engine owns one complete VM instance: string/shape tables, heap,
+ * runtime, builtins, HTM manager, cache hierarchy, code cache, and
+ * the tiering controller. `Engine::run` executes a JS-subset program
+ * under the configured architecture (paper Table II) and returns the
+ * collected ExecutionStats — the raw material for every figure and
+ * table reproduction in bench/.
+ *
+ * Typical use:
+ * @code
+ *   EngineConfig config;
+ *   config.arch = Architecture::NoMap;
+ *   Engine engine(config);
+ *   EngineResult result = engine.run(source);
+ *   std::cout << result.stats.totalInstructions() << "\n";
+ * @endcode
+ */
+
+#include <memory>
+#include <string>
+
+#include "engine/config.h"
+#include "engine/stats.h"
+#include "ftl/compile.h"
+#include "ftl/ir_executor.h"
+#include "interp/bytecode_executor.h"
+
+namespace nomap {
+
+/** Outcome of one Engine::run. */
+struct EngineResult {
+    /** Value of the program's `result` global (undefined if unset). */
+    Value resultValue;
+    /** Display string of resultValue (valid after run returns). */
+    std::string resultString;
+    /** Everything print() emitted. */
+    std::string printed;
+    /** All counters. */
+    ExecutionStats stats;
+};
+
+/** Per-function tiering state. */
+struct FunctionState {
+    Tier tier = Tier::Interpreter;
+    std::unique_ptr<CompiledIr> dfg;
+    std::unique_ptr<CompiledIr> ftl;
+    /** NoMap recompilation escalation (0 nest, 1 inner, 2 tile, 3 off). */
+    uint32_t txScopeLevel = 0;
+    uint32_t consecutiveCapacityAborts = 0;
+    uint32_t consecutiveCheckAborts = 0;
+};
+
+/** One self-contained VM + JIT + hardware model instance. */
+class Engine : public CallDispatcher
+{
+  public:
+    explicit Engine(const EngineConfig &config = EngineConfig());
+    ~Engine() override;
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Parse, compile, and execute @p source to completion.
+     * Throws FatalError on syntax/semantic errors.
+     *
+     * An Engine may run several programs in sequence: they share the
+     * heap (globals persist, like successive scripts in one page) and
+     * the statistics accumulate across runs. Use a fresh Engine for
+     * isolated measurements.
+     */
+    EngineResult run(const std::string &source);
+
+    // ---- CallDispatcher ------------------------------------------------
+    Value call(uint32_t func_id, const Value *args,
+               uint32_t nargs) override;
+
+    // ---- Introspection (tests, benches, examples) ---------------------
+    const EngineConfig &config() const { return engineConfig; }
+    Heap &heap() { return *heapPtr; }
+    TransactionManager &htm() { return *htmPtr; }
+    MemHierarchy &memHierarchy() { return *memPtr; }
+    const CompiledProgram *program() const { return programPtr.get(); }
+
+    /** Tiering state of a function (by name; nullptr if unknown). */
+    const FunctionState *functionState(const std::string &name) const;
+
+    /** The FTL IR compiled for a function, if any (for inspection). */
+    const IrFunction *ftlIr(const std::string &name) const;
+
+  private:
+    void maybeTierUp(uint32_t func_id);
+    uint64_t hotness(const BytecodeFunction &fn) const;
+
+    EngineConfig engineConfig;
+
+    // Construction order matters: tables before heap, heap before
+    // runtime, everything before executors.
+    std::unique_ptr<ShapeTable> shapesPtr;
+    std::unique_ptr<StringTable> stringsPtr;
+    std::unique_ptr<Heap> heapPtr;
+    std::unique_ptr<Runtime> runtimePtr;
+    std::unique_ptr<Builtins> builtinsPtr;
+    std::unique_ptr<TransactionManager> htmPtr;
+    std::unique_ptr<MemHierarchy> memPtr;
+
+    ExecutionStats stats;
+    std::unique_ptr<Accounting> acctPtr;
+    std::unique_ptr<ExecEnv> envPtr;
+    std::unique_ptr<BytecodeExecutor> interpreter;
+    std::unique_ptr<BytecodeExecutor> baselineExec;
+    std::unique_ptr<IrExecutor> irExec;
+
+    std::unique_ptr<CompiledProgram> programPtr;
+    std::vector<FunctionState> functionStates;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_ENGINE_ENGINE_H

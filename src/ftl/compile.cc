@@ -1,0 +1,74 @@
+#include "ftl/compile.h"
+
+#include "support/logging.h"
+
+namespace nomap {
+
+CompiledIr
+compileFunction(const BytecodeFunction &fn, Heap &heap, Tier tier,
+                Architecture arch, uint32_t tx_scope_level)
+{
+    CompiledIr out;
+    out.ir = buildIr(fn, heap, tier);
+
+    if (tier == Tier::Dfg) {
+        // The DFG runs its abstract interpreter and little else.
+        runKindInference(out.ir, out.passStats);
+        runLocalCse(out.ir, out.passStats);
+        out.ir.verify();
+        return out;
+    }
+
+    // FTL. NoMap's transformation runs *before* the optimization
+    // pipeline so every pass sees aborts instead of SMPs (paper IV-B).
+    if (usesTransactions(arch)) {
+        PlannerConfig pc;
+        pc.htmMode = htmModeOf(arch);
+        pc.scopeLevel = tx_scope_level;
+        out.planResult = planTransactions(out.ir, fn.profile, pc);
+    }
+
+    runKindInference(out.ir, out.passStats);
+    runCheckElim(out.ir, out.passStats);
+    runLocalCse(out.ir, out.passStats);
+    runLicm(out.ir, out.passStats);
+    runStoreSink(out.ir, out.passStats);
+    // A second round: promotion and hoisting expose more redundancy.
+    runLocalCse(out.ir, out.passStats);
+    runCheckElim(out.ir, out.passStats);
+    runDce(out.ir, out.passStats);
+    for (int i = 0; i < 6; ++i) {
+        uint32_t before = out.passStats.emptyLoopsRemoved +
+                          out.passStats.deadOpsRemoved;
+        runLoopAccumulatorDce(out.ir, out.passStats);
+        runDce(out.ir, out.passStats);
+        runEmptyLoopElim(out.ir, out.passStats);
+        if (out.passStats.emptyLoopsRemoved +
+                out.passStats.deadOpsRemoved == before) {
+            break;
+        }
+    }
+
+    switch (arch) {
+      case Architecture::Base:
+      case Architecture::NoMapS:
+        break;
+      case Architecture::NoMapB:
+      case Architecture::NoMapRTM:
+        runBoundsCombine(out.ir, out.passStats);
+        break;
+      case Architecture::NoMap:
+        runBoundsCombine(out.ir, out.passStats);
+        runSofElim(out.ir, out.passStats);
+        break;
+      case Architecture::NoMapBC:
+        runBoundsCombine(out.ir, out.passStats);
+        runRemoveConvertedChecks(out.ir, out.passStats);
+        break;
+    }
+
+    out.ir.verify();
+    return out;
+}
+
+} // namespace nomap

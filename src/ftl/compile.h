@@ -1,0 +1,38 @@
+#ifndef NOMAP_FTL_COMPILE_H
+#define NOMAP_FTL_COMPILE_H
+
+/**
+ * @file
+ * DFG/FTL compilation driver: builds IR from bytecode + profiles,
+ * runs the NoMap planner (for NoMap architectures), then the
+ * optimization pipeline appropriate to the tier and architecture.
+ */
+
+#include "engine/config.h"
+#include "ir/builder.h"
+#include "nomap/planner.h"
+#include "passes/passes.h"
+
+namespace nomap {
+
+/** Result of one DFG/FTL compilation. */
+struct CompiledIr {
+    IrFunction ir;
+    PassStats passStats;
+    PlanResult planResult;
+};
+
+/**
+ * Compile @p fn at @p tier for @p arch.
+ *
+ * @param tx_scope_level NoMap recompilation escalation: 0 = loop
+ *        nest, 1 = innermost, 2 = tiled, 3 = no transactions (set
+ *        after repeated capacity aborts at run time).
+ */
+CompiledIr compileFunction(const BytecodeFunction &fn, Heap &heap,
+                           Tier tier, Architecture arch,
+                           uint32_t tx_scope_level = 0);
+
+} // namespace nomap
+
+#endif // NOMAP_FTL_COMPILE_H

@@ -1,0 +1,746 @@
+#include "ftl/ir_executor.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace nomap {
+
+namespace {
+
+/** x86-64-equivalent instruction count for one IR op. */
+uint32_t
+baseCost(IrOp op)
+{
+    switch (op) {
+      case IrOp::Nop: return 0;
+      case IrOp::Const: return CostModel::kFtlConst;
+      case IrOp::Move: return CostModel::kFtlMove;
+      case IrOp::AddInt:
+      case IrOp::SubInt:
+      case IrOp::MulInt:
+      case IrOp::NegInt:
+      case IrOp::BitAndInt:
+      case IrOp::BitOrInt:
+      case IrOp::BitXorInt:
+      case IrOp::ShlInt:
+      case IrOp::ShrInt:
+      case IrOp::UShrInt:
+      case IrOp::BitNotInt:
+        return CostModel::kFtlArith;
+      case IrOp::AddDouble:
+      case IrOp::SubDouble:
+      case IrOp::MulDouble:
+      case IrOp::DivDouble:
+      case IrOp::ModDouble:
+      case IrOp::NegDouble:
+        return CostModel::kFtlDoubleArith;
+      case IrOp::CmpInt:
+      case IrOp::CmpDouble:
+      case IrOp::ToDouble:
+      case IrOp::ToBoolean:
+      case IrOp::NotBool:
+        return 1;
+      case IrOp::CheckInt32:
+      case IrOp::CheckNumber:
+      case IrOp::CheckShape:
+      case IrOp::CheckArray:
+      case IrOp::CheckIndexInt:
+      case IrOp::CheckBounds:
+      case IrOp::CheckNotHole:
+        return CostModel::kFtlCheck;
+      case IrOp::CheckBoundsRange:
+        return CostModel::kFtlCheck + 1;
+      case IrOp::CheckOverflow:
+        return CostModel::kFtlOverflowCheck;
+      case IrOp::GetSlot:
+      case IrOp::GetArrayLen:
+      case IrOp::LoadGlobal:
+        return CostModel::kFtlLoad;
+      case IrOp::SetSlot:
+      case IrOp::StoreGlobal:
+        return CostModel::kFtlStore;
+      case IrOp::GetElem:
+        return CostModel::kFtlLoad + 2 * CostModel::kFtlElemAddr;
+      case IrOp::SetElem:
+        return CostModel::kFtlStore + 2 * CostModel::kFtlElemAddr;
+      case IrOp::GenericBinary:
+      case IrOp::GenericUnary:
+      case IrOp::GenericGetProp:
+      case IrOp::GenericSetProp:
+      case IrOp::GenericGetIndex:
+      case IrOp::GenericSetIndex:
+      case IrOp::NewArray:
+      case IrOp::NewObject:
+      case IrOp::Call:
+      case IrOp::CallNative:
+      case IrOp::CallMethod:
+        return CostModel::kFtlCallOverhead;
+      case IrOp::Intrinsic:
+        return 8; // sqrtsd-class inlined sequence.
+      case IrOp::Jump:
+      case IrOp::Return:
+      case IrOp::ReturnUndef:
+        return 1;
+      case IrOp::Branch:
+        return 2;
+      case IrOp::TxBegin: return CostModel::kFtlTxBegin;
+      case IrOp::TxEnd: return CostModel::kFtlTxEnd;
+      case IrOp::TxTile: return 2;
+    }
+    return 1;
+}
+
+/** Deterministic garbage produced by unguarded speculative ops. */
+Value
+garbageValue()
+{
+    return Value::int32(0);
+}
+
+} // namespace
+
+IrExecutor::IrExecutor(ExecEnv &env_, BytecodeExecutor &baseline_,
+                       const EngineConfig &config_)
+    : env(env_), baseline(baseline_), config(config_)
+{
+}
+
+Value
+IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
+                uint32_t nargs)
+{
+    std::vector<Value> regs(ir.numRegs, Value::undefined());
+    std::vector<uint8_t> overflow(ir.numRegs, 0);
+    for (uint32_t i = 0; i < fn.numParams; ++i)
+        regs[i] = i < nargs ? args[i] : Value::undefined();
+
+    const bool dfg = ir.tier == Tier::Dfg;
+    const bool ftl = ir.tier == Tier::Ftl;
+    // Frame prologue + argument marshalling.
+    env.acct.chargeInstructions(ir.tier, 8, ir.txAware);
+
+    // Transaction-owner state for this frame.
+    bool tx_owner = false;
+    std::vector<Value> tx_snapshot;
+    uint32_t tx_entry_pc = 0;
+    uint64_t tx_instr = 0;
+    uint64_t tile_count = 0;
+
+    auto charge = [&](uint32_t cost) {
+        uint32_t scaled =
+            dfg ? static_cast<uint32_t>(
+                      std::lround(cost * CostModel::kDfgFactor))
+                : cost;
+        env.acct.chargeInstructions(ir.tier, scaled, ir.txAware);
+        if (tx_owner)
+            tx_instr += scaled;
+    };
+
+    auto sync_tx_flag = [&] {
+        env.acct.setInTransaction(env.htm.inTransaction());
+    };
+
+    // After an abort (memory already rolled back), re-enter the
+    // Baseline tier at the transaction's entry SMP (paper "Entry3").
+    auto resume_baseline = [&]() -> Value {
+        env.mem.discardSpeculative();
+        tx_owner = false;
+        sync_tx_flag();
+        std::vector<Value> locals(
+            tx_snapshot.begin(),
+            tx_snapshot.begin() +
+                std::min<size_t>(tx_snapshot.size(), ir.bytecodeRegs));
+        return baseline.runFrom(fn, locals, tx_entry_pc);
+    };
+
+    uint32_t block = 0;
+    size_t idx = 0;
+
+    try {
+        for (;;) {
+            NOMAP_ASSERT(block < ir.blocks.size());
+            IrBlock &blk = ir.blocks[block];
+            NOMAP_ASSERT(idx < blk.instrs.size());
+            IrInstr &instr = blk.instrs[idx];
+            charge(baseCost(instr.op));
+
+            // Watchdog: a timer interrupt would abort a transaction
+            // that runs unreasonably long (e.g. spinning on garbage
+            // after speculative check removal).
+            if (tx_owner && tx_instr > config.txWatchdogInstructions) {
+                env.acct.chargeCycles(
+                    env.htm.abort(AbortCode::Irrevocable));
+                return resume_baseline();
+            }
+
+            bool in_tx = env.htm.inTransaction();
+
+            switch (instr.op) {
+              case IrOp::Nop:
+                break;
+              case IrOp::Const:
+                regs[instr.dst] = ir.constants[instr.imm];
+                break;
+              case IrOp::Move:
+                regs[instr.dst] = regs[instr.a];
+                overflow[instr.dst] = overflow[instr.a];
+                break;
+
+              // ---- Integer arithmetic (sets the overflow flag) -----
+              case IrOp::AddInt:
+              case IrOp::SubInt:
+              case IrOp::MulInt: {
+                Value va = regs[instr.a];
+                Value vb = regs[instr.b];
+                if (!va.isInt32() || !vb.isInt32()) {
+                    NOMAP_ASSERT(in_tx);
+                    regs[instr.dst] = garbageValue();
+                    overflow[instr.dst] = 0;
+                    break;
+                }
+                int64_t wide;
+                int64_t x = va.asInt32();
+                int64_t y = vb.asInt32();
+                if (instr.op == IrOp::AddInt)
+                    wide = x + y;
+                else if (instr.op == IrOp::SubInt)
+                    wide = x - y;
+                else
+                    wide = x * y;
+                bool ovf = wide < INT32_MIN || wide > INT32_MAX;
+                regs[instr.dst] =
+                    Value::int32(static_cast<int32_t>(wide));
+                overflow[instr.dst] = ovf;
+                if (ovf && in_tx)
+                    env.htm.noteArithmeticOverflow();
+                break;
+              }
+              case IrOp::NegInt: {
+                Value va = regs[instr.a];
+                if (!va.isInt32()) {
+                    NOMAP_ASSERT(in_tx);
+                    regs[instr.dst] = garbageValue();
+                    break;
+                }
+                int32_t x = va.asInt32();
+                bool ovf = (x == 0) || (x == INT32_MIN);
+                regs[instr.dst] =
+                    Value::int32(ovf && x == INT32_MIN ? x : -x);
+                overflow[instr.dst] = ovf;
+                if (ovf && in_tx)
+                    env.htm.noteArithmeticOverflow();
+                break;
+              }
+
+              // ---- Double arithmetic -------------------------------
+              case IrOp::AddDouble:
+              case IrOp::SubDouble:
+              case IrOp::MulDouble:
+              case IrOp::DivDouble:
+              case IrOp::ModDouble: {
+                Value va = regs[instr.a];
+                Value vb = regs[instr.b];
+                if (!va.isNumber() || !vb.isNumber()) {
+                    NOMAP_ASSERT(in_tx);
+                    regs[instr.dst] = garbageValue();
+                    break;
+                }
+                double x = va.asNumber();
+                double y = vb.asNumber();
+                double r;
+                switch (instr.op) {
+                  case IrOp::AddDouble: r = x + y; break;
+                  case IrOp::SubDouble: r = x - y; break;
+                  case IrOp::MulDouble: r = x * y; break;
+                  case IrOp::DivDouble: r = x / y; break;
+                  default: r = std::fmod(x, y); break;
+                }
+                regs[instr.dst] = Value::number(r);
+                break;
+              }
+              case IrOp::NegDouble: {
+                Value va = regs[instr.a];
+                if (!va.isNumber()) {
+                    NOMAP_ASSERT(in_tx);
+                    regs[instr.dst] = garbageValue();
+                    break;
+                }
+                regs[instr.dst] = Value::boxDouble(-va.asNumber());
+                break;
+              }
+
+              // ---- Bitwise / shifts ---------------------------------
+              case IrOp::BitAndInt:
+              case IrOp::BitOrInt:
+              case IrOp::BitXorInt:
+              case IrOp::ShlInt:
+              case IrOp::ShrInt:
+              case IrOp::UShrInt: {
+                Value va = regs[instr.a];
+                Value vb = regs[instr.b];
+                if (!va.isInt32() || !vb.isInt32()) {
+                    NOMAP_ASSERT(in_tx);
+                    regs[instr.dst] = garbageValue();
+                    break;
+                }
+                int32_t x = va.asInt32();
+                uint32_t sh = static_cast<uint32_t>(vb.asInt32()) & 31;
+                switch (instr.op) {
+                  case IrOp::BitAndInt:
+                    regs[instr.dst] = Value::int32(x & vb.asInt32());
+                    break;
+                  case IrOp::BitOrInt:
+                    regs[instr.dst] = Value::int32(x | vb.asInt32());
+                    break;
+                  case IrOp::BitXorInt:
+                    regs[instr.dst] = Value::int32(x ^ vb.asInt32());
+                    break;
+                  case IrOp::ShlInt:
+                    regs[instr.dst] = Value::int32(x << sh);
+                    break;
+                  case IrOp::ShrInt:
+                    regs[instr.dst] = Value::int32(x >> sh);
+                    break;
+                  default:
+                    regs[instr.dst] = Value::number(
+                        static_cast<double>(
+                            static_cast<uint32_t>(x) >> sh));
+                    break;
+                }
+                break;
+              }
+              case IrOp::BitNotInt: {
+                Value va = regs[instr.a];
+                if (!va.isInt32()) {
+                    NOMAP_ASSERT(in_tx);
+                    regs[instr.dst] = garbageValue();
+                    break;
+                }
+                regs[instr.dst] = Value::int32(~va.asInt32());
+                break;
+              }
+
+              // ---- Comparisons -------------------------------------
+              case IrOp::CmpInt:
+              case IrOp::CmpDouble: {
+                Value va = regs[instr.a];
+                Value vb = regs[instr.b];
+                if (!va.isNumber() || !vb.isNumber()) {
+                    NOMAP_ASSERT(in_tx);
+                    regs[instr.dst] = Value::boolean(false);
+                    break;
+                }
+                double x = va.asNumber();
+                double y = vb.asNumber();
+                bool r;
+                switch (static_cast<BinaryOp>(instr.imm)) {
+                  case BinaryOp::Lt: r = x < y; break;
+                  case BinaryOp::Le: r = x <= y; break;
+                  case BinaryOp::Gt: r = x > y; break;
+                  case BinaryOp::Ge: r = x >= y; break;
+                  case BinaryOp::Eq:
+                  case BinaryOp::StrictEq: r = x == y; break;
+                  case BinaryOp::NotEq:
+                  case BinaryOp::StrictNotEq: r = x != y; break;
+                  default:
+                    panic("bad compare subop");
+                }
+                regs[instr.dst] = Value::boolean(r);
+                break;
+              }
+              case IrOp::ToDouble:
+                regs[instr.dst] =
+                    Value::boxDouble(regs[instr.a].asNumber());
+                break;
+              case IrOp::ToBoolean:
+                regs[instr.dst] = Value::boolean(
+                    env.runtime.toBoolean(regs[instr.a]));
+                break;
+              case IrOp::NotBool:
+                regs[instr.dst] =
+                    Value::boolean(!regs[instr.a].asBoolean());
+                break;
+
+              // ---- Checks -------------------------------------------
+              case IrOp::CheckInt32:
+              case IrOp::CheckNumber:
+              case IrOp::CheckShape:
+              case IrOp::CheckArray:
+              case IrOp::CheckIndexInt:
+              case IrOp::CheckBounds:
+              case IrOp::CheckBoundsRange:
+              case IrOp::CheckOverflow:
+              case IrOp::CheckNotHole: {
+                if (ftl)
+                    env.acct.recordCheck(checkKindOf(instr.op));
+                bool pass;
+                Value va = regs[instr.a];
+                switch (instr.op) {
+                  case IrOp::CheckInt32:
+                  case IrOp::CheckIndexInt:
+                    pass = va.isInt32();
+                    break;
+                  case IrOp::CheckNumber:
+                    pass = va.isNumber();
+                    break;
+                  case IrOp::CheckShape:
+                    pass = va.isObject() &&
+                           env.heap.object(va.payload()).shape ==
+                               instr.imm;
+                    break;
+                  case IrOp::CheckArray:
+                    pass = va.isArray();
+                    break;
+                  case IrOp::CheckBounds: {
+                    Value vi = regs[instr.b];
+                    pass = va.isArray() && vi.isInt32() &&
+                           vi.asInt32() >= 0 &&
+                           static_cast<uint32_t>(vi.asInt32()) <
+                               env.heap.array(va.payload()).length();
+                    break;
+                  }
+                  case IrOp::CheckBoundsRange: {
+                    Value lo = regs[instr.b];
+                    Value hi = regs[instr.c];
+                    if (!lo.isInt32() || !hi.isInt32() ||
+                        !va.isArray()) {
+                        pass = false;
+                    } else if (hi.asInt32() < lo.asInt32()) {
+                        pass = true; // Zero-trip loop: vacuous.
+                    } else {
+                        pass = lo.asInt32() >= 0 &&
+                               static_cast<uint32_t>(hi.asInt32()) <
+                                   env.heap.array(va.payload())
+                                       .length();
+                        }
+                    break;
+                  }
+                  case IrOp::CheckOverflow:
+                    pass = !overflow[instr.a];
+                    break;
+                  case IrOp::CheckNotHole:
+                    pass = !va.isUndefined();
+                    break;
+                  default:
+                    pass = true;
+                    break;
+                }
+                if (pass)
+                    break;
+
+                if (!instr.converted) {
+                    // OSR exit through the stack map: hand the
+                    // baseline registers to the Baseline tier at the
+                    // SMP's bytecode pc.
+                    ++env.acct.stats().deopts;
+                    NOMAP_ASSERT(instr.smpPc != kNoSmp);
+                    std::vector<Value> locals(
+                        regs.begin(), regs.begin() + ir.bytecodeRegs);
+                    return baseline.runFrom(fn, locals, instr.smpPc);
+                }
+                // Converted check: transactional abort.
+                ++checkAborts;
+                env.acct.chargeCycles(
+                    env.htm.abort(AbortCode::ExplicitCheck));
+                if (!tx_owner) {
+                    // The transaction belongs to a caller; unwind.
+                    sync_tx_flag();
+                    throw TxAbortUnwind{AbortCode::ExplicitCheck};
+                }
+                return resume_baseline();
+              }
+
+              // ---- Memory -------------------------------------------
+              case IrOp::GetSlot: {
+                Value va = regs[instr.a];
+                if (!va.isObject() ||
+                    instr.imm >=
+                        env.heap.object(va.payload()).slots.size()) {
+                    NOMAP_ASSERT(in_tx);
+                    regs[instr.dst] = garbageValue();
+                    break;
+                }
+                regs[instr.dst] =
+                    env.heap.getSlot(va.payload(), instr.imm);
+                env.memAccess(
+                    env.heap.slotAddr(va.payload(), instr.imm), false);
+                break;
+              }
+              case IrOp::SetSlot: {
+                Value va = regs[instr.a];
+                if (!va.isObject() ||
+                    instr.imm >=
+                        env.heap.object(va.payload()).slots.size()) {
+                    NOMAP_ASSERT(in_tx);
+                    break; // Speculative store to nowhere.
+                }
+                env.heap.setSlot(va.payload(), instr.imm,
+                                 regs[instr.b]);
+                env.memAccess(
+                    env.heap.slotAddr(va.payload(), instr.imm), true);
+                break;
+              }
+              case IrOp::GetArrayLen: {
+                Value va = regs[instr.a];
+                if (!va.isArray()) {
+                    NOMAP_ASSERT(in_tx);
+                    regs[instr.dst] = garbageValue();
+                    break;
+                }
+                regs[instr.dst] = Value::int32(static_cast<int32_t>(
+                    env.heap.array(va.payload()).length()));
+                env.memAccess(env.heap.array(va.payload()).baseAddr,
+                              false);
+                break;
+              }
+              case IrOp::GetElem: {
+                Value va = regs[instr.a];
+                Value vi = regs[instr.b];
+                if (!va.isArray() || !vi.isInt32()) {
+                    NOMAP_ASSERT(in_tx);
+                    regs[instr.dst] = garbageValue();
+                    break;
+                }
+                const JsArray &arr = env.heap.array(va.payload());
+                int32_t i = vi.asInt32();
+                if (i < 0 ||
+                    static_cast<uint32_t>(i) >= arr.length()) {
+                    NOMAP_ASSERT(in_tx);
+                    regs[instr.dst] = garbageValue();
+                    if (i >= 0) {
+                        env.memAccess(
+                            arr.baseAddr + 8ull *
+                                static_cast<uint32_t>(i),
+                            false);
+                    }
+                    break;
+                }
+                regs[instr.dst] = arr.storage[static_cast<size_t>(i)];
+                env.memAccess(env.heap.elementAddr(
+                                  va.payload(),
+                                  static_cast<uint32_t>(i)),
+                              false);
+                break;
+              }
+              case IrOp::SetElem: {
+                Value va = regs[instr.a];
+                Value vi = regs[instr.b];
+                if (!va.isArray() || !vi.isInt32()) {
+                    NOMAP_ASSERT(in_tx);
+                    break;
+                }
+                const JsArray &arr = env.heap.array(va.payload());
+                int32_t i = vi.asInt32();
+                if (i < 0 ||
+                    static_cast<uint32_t>(i) >= arr.length()) {
+                    NOMAP_ASSERT(in_tx);
+                    if (i >= 0) {
+                        Addr addr = arr.baseAddr +
+                                    8ull * static_cast<uint32_t>(i);
+                        if (!env.htm.recordWrite(addr))
+                            throw TxAbortUnwind{AbortCode::Capacity};
+                        env.memAccess(addr, true);
+                    }
+                    break; // Speculative OOB store: dropped.
+                }
+                env.heap.setElementFast(va.payload(),
+                                        static_cast<uint32_t>(i),
+                                        regs[instr.c]);
+                env.memAccess(env.heap.elementAddr(
+                                  va.payload(),
+                                  static_cast<uint32_t>(i)),
+                              true);
+                break;
+              }
+              case IrOp::LoadGlobal:
+                regs[instr.dst] = env.heap.getGlobal(instr.imm);
+                env.memAccess(env.heap.globalAddr(instr.imm), false);
+                break;
+              case IrOp::StoreGlobal:
+                env.heap.setGlobal(instr.imm, regs[instr.a]);
+                env.memAccess(env.heap.globalAddr(instr.imm), true);
+                break;
+
+              // ---- Generic runtime fallbacks -----------------------
+              case IrOp::GenericBinary:
+                env.acct.chargeRuntime(CostModel::kRuntimeGenericOp);
+                regs[instr.dst] = env.runtime.applyBinary(
+                    static_cast<BinaryOp>(instr.imm), regs[instr.a],
+                    regs[instr.b]);
+                break;
+              case IrOp::GenericUnary:
+                env.acct.chargeRuntime(CostModel::kRuntimeGenericOp);
+                regs[instr.dst] = env.runtime.applyUnary(
+                    static_cast<UnaryOp>(instr.imm), regs[instr.a]);
+                break;
+              case IrOp::GenericGetProp: {
+                env.acct.chargeRuntime(CostModel::kRuntimePropAccess);
+                Addr addr = 0;
+                regs[instr.dst] = env.runtime.getPropertyGeneric(
+                    regs[instr.a], instr.imm, &addr);
+                env.memAccess(addr, false);
+                break;
+              }
+              case IrOp::GenericSetProp: {
+                env.acct.chargeRuntime(CostModel::kRuntimePropAccess);
+                Addr addr = 0;
+                env.runtime.setPropertyGeneric(regs[instr.a], instr.imm,
+                                               regs[instr.b], &addr);
+                env.memAccess(addr, true);
+                break;
+              }
+              case IrOp::GenericGetIndex: {
+                env.acct.chargeRuntime(CostModel::kRuntimeIndexAccess);
+                Addr addr = 0;
+                regs[instr.dst] = env.runtime.getIndexGeneric(
+                    regs[instr.a], regs[instr.b], &addr);
+                env.memAccess(addr, false);
+                break;
+              }
+              case IrOp::GenericSetIndex: {
+                env.acct.chargeRuntime(CostModel::kRuntimeIndexAccess);
+                Addr addr = 0;
+                env.runtime.setIndexGeneric(regs[instr.a],
+                                            regs[instr.b],
+                                            regs[instr.c], &addr);
+                env.memAccess(addr, true);
+                break;
+              }
+              case IrOp::NewArray: {
+                env.acct.chargeRuntime(CostModel::kRuntimeAllocation);
+                Value arr = env.heap.allocArray(instr.imm);
+                for (uint32_t i = 0; i < instr.imm; ++i) {
+                    env.heap.setElementFast(arr.payload(), i,
+                                            regs[instr.a + i]);
+                }
+                regs[instr.dst] = arr;
+                break;
+              }
+              case IrOp::NewObject: {
+                env.acct.chargeRuntime(CostModel::kRuntimeAllocation);
+                Value obj = env.heap.allocObject();
+                // The descriptor lives in the bytecode function.
+                const ObjectDesc &desc = fn.objectDescs[instr.imm];
+                for (uint32_t i = 0; i < instr.b; ++i) {
+                    env.heap.setProperty(obj.payload(),
+                                         desc.nameIds[i],
+                                         regs[instr.a + i]);
+                }
+                regs[instr.dst] = obj;
+                break;
+              }
+
+              // ---- Calls ---------------------------------------------
+              case IrOp::Call:
+                regs[instr.dst] = env.dispatcher.call(
+                    instr.imm, regs.data() + instr.a, instr.b);
+                break;
+              case IrOp::CallNative: {
+                auto bid = static_cast<BuiltinId>(instr.imm);
+                if (bid == BuiltinId::Print)
+                    env.irrevocableEvent();
+                env.acct.chargeRuntime(CostModel::kRuntimeNativeCall);
+                regs[instr.dst] = env.builtins.call(
+                    bid, regs.data() + instr.a, instr.b);
+                break;
+              }
+              case IrOp::Intrinsic:
+                regs[instr.dst] = env.builtins.call(
+                    static_cast<BuiltinId>(instr.imm),
+                    regs.data() + instr.a, instr.b);
+                break;
+              case IrOp::CallMethod: {
+                env.acct.chargeRuntime(CostModel::kRuntimeMethodCall);
+                uint32_t name_id = instr.imm / 16;
+                uint32_t margs = instr.imm % 16;
+                regs[instr.dst] = env.builtins.callMethod(
+                    regs[instr.a], name_id, regs.data() + instr.b,
+                    margs);
+                break;
+              }
+
+              // ---- Control flow --------------------------------------
+              case IrOp::Jump:
+                block = instr.imm;
+                idx = 0;
+                continue;
+              case IrOp::Branch: {
+                bool taken = env.runtime.toBoolean(regs[instr.a]);
+                block = taken ? instr.imm : instr.imm2;
+                idx = 0;
+                continue;
+              }
+              case IrOp::Return:
+                NOMAP_ASSERT(!tx_owner);
+                return regs[instr.a];
+              case IrOp::ReturnUndef:
+                NOMAP_ASSERT(!tx_owner);
+                return Value::undefined();
+
+              // ---- Transactions --------------------------------------
+              case IrOp::TxBegin: {
+                bool outermost = !env.htm.inTransaction();
+                env.acct.chargeCycles(env.htm.begin());
+                sync_tx_flag();
+                if (outermost) {
+                    tx_owner = true;
+                    tx_snapshot.assign(
+                        regs.begin(), regs.begin() + ir.bytecodeRegs);
+                    tx_entry_pc = instr.smpPc;
+                    tx_instr = 0;
+                    tile_count = 0;
+                }
+                break;
+              }
+              case IrOp::TxEnd: {
+                CommitResult r = env.htm.end();
+                env.acct.chargeCycles(r.cycles);
+                if (r.committed) {
+                    if (!env.htm.inTransaction()) {
+                        env.mem.commitSpeculative();
+                        tx_owner = false;
+                    }
+                    sync_tx_flag();
+                    break;
+                }
+                // SOF abort at commit (paper Figure 7).
+                if (!tx_owner) {
+                    sync_tx_flag();
+                    throw TxAbortUnwind{r.abortCode};
+                }
+                return resume_baseline();
+              }
+              case IrOp::TxTile: {
+                if (!tx_owner)
+                    break; // Nested: tiling disabled.
+                ++tile_count;
+                if (tile_count % instr.imm != 0)
+                    break;
+                CommitResult r = env.htm.end();
+                env.acct.chargeCycles(r.cycles);
+                if (!r.committed)
+                    return resume_baseline();
+                env.mem.commitSpeculative();
+                env.acct.chargeCycles(env.htm.begin());
+                tx_snapshot.assign(regs.begin(),
+                                   regs.begin() + ir.bytecodeRegs);
+                tx_entry_pc = instr.smpPc;
+                tx_instr = 0;
+                break;
+              }
+            }
+            ++idx;
+        }
+    } catch (TxAbortUnwind &unwind) {
+        if (!tx_owner) {
+            sync_tx_flag();
+            throw; // Outer frame owns the transaction.
+        }
+        if (unwind.code == AbortCode::Capacity)
+            ++capAborts;
+        return resume_baseline();
+    }
+}
+
+} // namespace nomap

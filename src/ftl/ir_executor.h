@@ -1,0 +1,60 @@
+#ifndef NOMAP_FTL_IR_EXECUTOR_H
+#define NOMAP_FTL_IR_EXECUTOR_H
+
+/**
+ * @file
+ * Executor for DFG/FTL IR.
+ *
+ * This stands in for the machine code LLVM would emit: it runs the
+ * optimized IR while the cost model counts the x86-64-equivalent
+ * dynamic instructions each IR op would have compiled to. Everything
+ * observable — check executions by category, deoptimizations through
+ * stack maps, transactions with true rollback and Baseline re-entry,
+ * cache and HTM footprint traffic — happens for real.
+ *
+ * Speculative-execution rule: inside a transaction, a type-mismatched
+ * fast op (possible after NoMap's speculative hoisting or check
+ * combining) produces a deterministic garbage value, exactly like
+ * hardware executing past a removed check; the transaction's
+ * remaining/sunk checks abort before such garbage can commit. Outside
+ * a transaction every fast op is fully guarded by construction and a
+ * mismatch is a compiler bug (simulator panic).
+ */
+
+#include "engine/config.h"
+#include "interp/bytecode_executor.h"
+#include "ir/ir.h"
+
+namespace nomap {
+
+/** Executes one IR function invocation (including nested tiers). */
+class IrExecutor
+{
+  public:
+    IrExecutor(ExecEnv &env, BytecodeExecutor &baseline,
+               const EngineConfig &config);
+
+    /**
+     * Run @p ir. @p fn is the bytecode (deopt target / profiles).
+     * May recursively dispatch calls through env.dispatcher.
+     */
+    Value run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
+              uint32_t nargs);
+
+    /** Consecutive capacity aborts observed (engine escalates scope). */
+    uint32_t consecutiveCapacityAborts() const { return capAborts; }
+    /** Consecutive explicit-check aborts (engine detransactionalizes). */
+    uint32_t consecutiveCheckAborts() const { return checkAborts; }
+    void resetAbortFeedback() { capAborts = 0; checkAborts = 0; }
+
+  private:
+    ExecEnv &env;
+    BytecodeExecutor &baseline;
+    const EngineConfig &config;
+    uint32_t capAborts = 0;
+    uint32_t checkAborts = 0;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_FTL_IR_EXECUTOR_H

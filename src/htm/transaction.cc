@@ -1,0 +1,147 @@
+#include "htm/transaction.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace nomap {
+
+namespace {
+
+// ROT bounds writes by L2 geometry; RTM bounds writes by L1D geometry.
+constexpr uint32_t kL1Size = 32 * 1024;
+constexpr uint32_t kL1Ways = 8;
+constexpr uint32_t kL2Size = 256 * 1024;
+constexpr uint32_t kL2Ways = 8;
+
+} // namespace
+
+TransactionManager::TransactionManager(HtmMode mode)
+    : htmMode(mode),
+      writeSet(mode == HtmMode::Rot ? kL2Size : kL1Size,
+               mode == HtmMode::Rot ? kL2Ways : kL1Ways),
+      readSet(kL2Size, kL2Ways)
+{
+}
+
+uint32_t
+TransactionManager::begin()
+{
+    ++depth;
+    if (depth > 1)
+        return 0; // Flattened nesting: inner begins are free.
+
+    sofFlag = false;
+    writeSet.clear();
+    readSet.clear();
+    if (rollback)
+        rollback->txCheckpoint();
+    ++statsData.begins;
+    return htmMode == HtmMode::Rot ? kRotBeginCycles : kRtmBeginCycles;
+}
+
+CommitResult
+TransactionManager::end()
+{
+    NOMAP_ASSERT(depth > 0);
+    CommitResult result;
+    if (depth > 1) {
+        --depth;
+        result.committed = true;
+        result.cycles = 0;
+        return result;
+    }
+
+    // Outermost XEnd: the hardware checks the SOF first.
+    if (sofFlag) {
+        result.committed = false;
+        result.abortCode = AbortCode::StickyOverflow;
+        result.cycles = abort(AbortCode::StickyOverflow);
+        return result;
+    }
+
+    uint64_t wf = writeSet.footprintBytes();
+    statsData.totalWriteFootprintBytes += wf;
+    statsData.maxWriteFootprintBytes =
+        std::max(statsData.maxWriteFootprintBytes, wf);
+    statsData.maxWriteWaysUsed =
+        std::max(statsData.maxWriteWaysUsed, writeSet.maxWaysUsed());
+    statsData.totalReadFootprintBytes += readSet.footprintBytes();
+
+    depth = 0;
+    if (rollback)
+        rollback->txDiscardLog();
+    writeSet.clear();
+    readSet.clear();
+    ++statsData.commits;
+
+    result.committed = true;
+    result.cycles =
+        htmMode == HtmMode::Rot ? kRotCommitCycles : kRtmCommitCycles;
+    return result;
+}
+
+uint32_t
+TransactionManager::abort(AbortCode code)
+{
+    NOMAP_ASSERT(depth > 0);
+    NOMAP_ASSERT(code != AbortCode::None);
+    if (rollback)
+        rollback->txRollback();
+    finishAbortBookkeeping(code);
+    return kAbortCycles;
+}
+
+void
+TransactionManager::finishAbortBookkeeping(AbortCode code)
+{
+    depth = 0;
+    sofFlag = false;
+    writeSet.clear();
+    readSet.clear();
+    ++statsData.aborts;
+    ++statsData.abortsByCode[static_cast<size_t>(code)];
+}
+
+bool
+TransactionManager::recordWrite(Addr addr)
+{
+    NOMAP_ASSERT(depth > 0);
+    if (writeSet.insert(addr))
+        return true;
+    abort(AbortCode::Capacity);
+    return false;
+}
+
+bool
+TransactionManager::recordRead(Addr addr)
+{
+    NOMAP_ASSERT(depth > 0);
+    if (htmMode != HtmMode::Rtm)
+        return true; // ROT does not track reads at all.
+    if (readSet.insert(addr))
+        return true;
+    abort(AbortCode::Capacity);
+    return false;
+}
+
+double
+TransactionManager::readLatencyFactor() const
+{
+    return htmMode == HtmMode::Rtm ? 1.2 : 1.0;
+}
+
+const char *
+abortCodeName(AbortCode code)
+{
+    switch (code) {
+      case AbortCode::None: return "none";
+      case AbortCode::ExplicitCheck: return "explicit-check";
+      case AbortCode::Capacity: return "capacity";
+      case AbortCode::StickyOverflow: return "sticky-overflow";
+      case AbortCode::Irrevocable: return "irrevocable";
+    }
+    return "unknown";
+}
+
+} // namespace nomap

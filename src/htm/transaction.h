@@ -1,0 +1,210 @@
+#ifndef NOMAP_HTM_TRANSACTION_H
+#define NOMAP_HTM_TRANSACTION_H
+
+/**
+ * @file
+ * Hardware transactional memory simulator.
+ *
+ * Two HTM flavors are modeled, following the paper:
+ *
+ *  - **ROT** (IBM POWER8 Rollback-Only Transaction mode): only the
+ *    *write* footprint is tracked, bounded by the 256 KB 8-way L2.
+ *    XBegin costs a memory fence; XEnd flash-clears SW bits (5 cycles)
+ *    and does not wait for the write buffer to drain. Reads are free.
+ *
+ *  - **RTM** (Intel TSX Restricted Transactional Memory): writes must
+ *    fit the 32 KB 8-way L1D and reads the 256 KB 8-way L2; XEnd
+ *    stalls >= 13 cycles for write-buffer drain, and transactional
+ *    reads are ~20% slower (Ritson & Barnes measurements cited by the
+ *    paper).
+ *
+ * Nesting is flattened: inner begin/end only adjust a depth counter,
+ * and an abort anywhere unwinds the whole nest. The simulator also
+ * implements the paper's Sticky Overflow Flag (SOF): integer overflow
+ * inside a transaction latches the flag; the outermost XEnd checks it
+ * and converts a latched overflow into an abort.
+ *
+ * Memory rollback itself is delegated to a RollbackClient (the VM
+ * heap keeps a logical undo log), keeping this library independent of
+ * the VM's data representation.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/footprint.h"
+
+namespace nomap {
+
+/** Why a transaction aborted. */
+enum class AbortCode : uint8_t {
+    None,
+    ExplicitCheck,   ///< A formerly SMP-guarding check failed.
+    Capacity,        ///< Footprint exceeded cache geometry.
+    StickyOverflow,  ///< SOF latched; detected at XEnd.
+    Irrevocable,     ///< I/O, exception, or signal inside the nest.
+};
+
+/** Which HTM flavor a TransactionManager models. */
+enum class HtmMode : uint8_t {
+    Rot,  ///< Lightweight rollback-only mode (paper's target).
+    Rtm,  ///< Heavyweight Intel-style mode.
+};
+
+/** Per-manager aggregate statistics (drives Table IV). */
+struct HtmStats {
+    uint64_t begins = 0;           ///< Outermost transaction begins.
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t abortsByCode[5] = {0, 0, 0, 0, 0};
+    /** Sum over committed transactions of write footprint bytes. */
+    uint64_t totalWriteFootprintBytes = 0;
+    uint64_t maxWriteFootprintBytes = 0;
+    /** Largest associativity any set needed across all transactions. */
+    uint32_t maxWriteWaysUsed = 0;
+    uint64_t totalReadFootprintBytes = 0;
+
+    double
+    avgWriteFootprintBytes() const
+    {
+        return commits ? static_cast<double>(totalWriteFootprintBytes) /
+                             static_cast<double>(commits)
+                       : 0.0;
+    }
+};
+
+/**
+ * Interface the memory owner implements so aborts can restore state.
+ */
+class RollbackClient
+{
+  public:
+    virtual ~RollbackClient() = default;
+
+    /** Called at the outermost XBegin: start logging writes. */
+    virtual void txCheckpoint() = 0;
+
+    /** Called on abort: undo every write since txCheckpoint(). */
+    virtual void txRollback() = 0;
+
+    /** Called on commit: discard the undo log. */
+    virtual void txDiscardLog() = 0;
+};
+
+/** Result of an XEnd. */
+struct CommitResult {
+    bool committed = false;
+    AbortCode abortCode = AbortCode::None;
+    /** Cycles charged for the commit (or abort handling). */
+    uint32_t cycles = 0;
+};
+
+/**
+ * The HTM state machine for a single hardware thread (JavaScript is
+ * single-threaded, so no conflict detection is modeled).
+ */
+class TransactionManager
+{
+  public:
+    explicit TransactionManager(HtmMode mode = HtmMode::Rot);
+
+    HtmMode mode() const { return htmMode; }
+
+    /** Attach the memory owner that knows how to undo writes. */
+    void setRollbackClient(RollbackClient *client) { rollback = client; }
+
+    /** True while inside a (possibly nested) transaction. */
+    bool inTransaction() const { return depth > 0; }
+
+    /**
+     * XBegin. Outermost begin clears the SOF, checkpoints memory, and
+     * charges the fence cost.
+     * @return Cycles charged.
+     */
+    uint32_t begin();
+
+    /**
+     * XEnd. Inner ends are free; the outermost end checks the SOF,
+     * publishes footprint stats, and either commits or aborts.
+     */
+    CommitResult end();
+
+    /**
+     * Explicit abort (failed check or irrevocable event). Rolls back
+     * memory through the client, discards speculative cache state,
+     * and unwinds the whole nest.
+     * @return Cycles charged for abort handling.
+     */
+    uint32_t abort(AbortCode code);
+
+    /**
+     * Record a transactional store to @p addr.
+     * @return false if this store overflowed the write footprint; the
+     *         manager has already aborted the transaction in that
+     *         case and the caller must unwind.
+     */
+    bool recordWrite(Addr addr);
+
+    /**
+     * Record a transactional load (tracked only under RTM).
+     * @return false on read-set overflow (transaction aborted).
+     */
+    bool recordRead(Addr addr);
+
+    /** An integer operation overflowed: latch the SOF. */
+    void noteArithmeticOverflow() { sofFlag = true; }
+
+    /** True if the SOF is currently latched. */
+    bool stickyOverflow() const { return sofFlag; }
+
+    /** Extra latency multiplier for transactional loads (RTM: 1.2). */
+    double readLatencyFactor() const;
+
+    /** Write footprint of the current transaction, in bytes. */
+    uint64_t currentWriteFootprintBytes() const
+    {
+        return writeSet.footprintBytes();
+    }
+
+    const HtmStats &stats() const { return statsData; }
+    void resetStats() { statsData = HtmStats(); }
+
+    /** Cost constants (cycles), exposed for the timing model/tests. */
+    static constexpr uint32_t kRotBeginCycles = 20;  ///< mfence-like.
+    static constexpr uint32_t kRotCommitCycles = 5;  ///< SW flash-clear.
+    static constexpr uint32_t kRtmBeginCycles = 20;
+    static constexpr uint32_t kRtmCommitCycles = 13; ///< Drain stall.
+    static constexpr uint32_t kAbortCycles = 150;    ///< Rollback cost.
+
+  private:
+    void finishAbortBookkeeping(AbortCode code);
+
+    HtmMode htmMode;
+    RollbackClient *rollback = nullptr;
+    uint32_t depth = 0;
+    bool sofFlag = false;
+
+    FootprintTracker writeSet;
+    FootprintTracker readSet;
+
+    HtmStats statsData;
+};
+
+/** Human-readable abort-code name. */
+const char *abortCodeName(AbortCode code);
+
+/**
+ * Thrown when a transaction aborts while execution is nested inside
+ * callees (capacity overflow in a runtime helper, irrevocable event,
+ * SOF at XEnd). The abort itself — memory rollback, cache discard,
+ * statistics — has already happened by the time this is thrown; the
+ * FTL frame that opened the transaction catches it and transfers
+ * execution to the Baseline tier at the transaction's entry SMP.
+ */
+struct TxAbortUnwind {
+    AbortCode code = AbortCode::None;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_HTM_TRANSACTION_H

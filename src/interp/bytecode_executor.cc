@@ -1,0 +1,357 @@
+#include "interp/bytecode_executor.h"
+
+#include "support/logging.h"
+
+namespace nomap {
+
+BytecodeExecutor::BytecodeExecutor(ExecEnv &env_, Tier tier_)
+    : env(env_), tier(tier_)
+{
+    NOMAP_ASSERT(tier == Tier::Interpreter || tier == Tier::Baseline);
+}
+
+Value
+BytecodeExecutor::run(BytecodeFunction &fn, const Value *args,
+                      uint32_t nargs)
+{
+    std::vector<Value> regs(fn.numRegs, Value::undefined());
+    for (uint32_t i = 0; i < fn.numParams; ++i)
+        regs[i] = i < nargs ? args[i] : Value::undefined();
+    return execute(fn, regs, 0);
+}
+
+Value
+BytecodeExecutor::runFrom(BytecodeFunction &fn,
+                          const std::vector<Value> &locals, uint32_t pc)
+{
+    std::vector<Value> regs(fn.numRegs, Value::undefined());
+    for (size_t i = 0; i < locals.size() && i < regs.size(); ++i)
+        regs[i] = locals[i];
+    return execute(fn, regs, pc);
+}
+
+void
+BytecodeExecutor::profileBinary(ArithProfile &prof, Value lhs, Value rhs,
+                                Value result)
+{
+    prof.lhsMask |= valueKindMask(lhs.kind());
+    prof.rhsMask |= valueKindMask(rhs.kind());
+    prof.resultMask |= valueKindMask(result.kind());
+    // Int operands producing a non-int number indicate overflow or a
+    // fractional result; the IR builder uses this to decide between
+    // int32 speculation (with overflow check) and double math.
+    if (lhs.isInt32() && rhs.isInt32() && result.isBoxedDouble())
+        prof.sawIntOverflow = true;
+}
+
+Value
+BytecodeExecutor::execute(BytecodeFunction &fn, std::vector<Value> &regs,
+                          uint32_t pc)
+{
+    const bool interp = tier == Tier::Interpreter;
+    FunctionProfile &prof = fn.profile;
+    bool came_from_back_edge = false;
+
+    auto charge = [&](uint32_t amount) {
+        env.acct.chargeInstructions(tier, amount);
+    };
+
+    for (;;) {
+        NOMAP_ASSERT(pc < fn.code.size());
+        const BytecodeInstr &instr = fn.code[pc];
+        // Every op pays the tier's base cost; specific ops add more.
+        charge(interp ? CostModel::kInterpDispatch
+                      : CostModel::kBaselineOp);
+
+        switch (instr.op) {
+          case Opcode::LoadConst:
+            regs[instr.a] = fn.constants[instr.imm];
+            break;
+
+          case Opcode::Move:
+            regs[instr.a] = regs[instr.b];
+            break;
+
+          case Opcode::LoadGlobal:
+            regs[instr.a] = env.heap.getGlobal(instr.imm);
+            env.memAccess(env.heap.globalAddr(instr.imm), false);
+            break;
+
+          case Opcode::StoreGlobal:
+            env.heap.setGlobal(instr.imm, regs[instr.b]);
+            env.memAccess(env.heap.globalAddr(instr.imm), true);
+            break;
+
+          case Opcode::Binary: {
+            Value lhs = regs[instr.b];
+            Value rhs = regs[instr.c];
+            auto op = static_cast<BinaryOp>(instr.imm);
+            Value result;
+            if (!interp && lhs.isInt32() && rhs.isInt32() &&
+                (op == BinaryOp::Add || op == BinaryOp::Sub)) {
+                // Baseline fast path: inline int32 add/sub with an
+                // overflow bail to the generic helper.
+                int64_t wide = op == BinaryOp::Add
+                                   ? static_cast<int64_t>(lhs.asInt32()) +
+                                         rhs.asInt32()
+                                   : static_cast<int64_t>(lhs.asInt32()) -
+                                         rhs.asInt32();
+                if (wide >= INT32_MIN && wide <= INT32_MAX) {
+                    result = Value::int32(static_cast<int32_t>(wide));
+                    charge(2);
+                } else {
+                    result = env.runtime.applyBinary(op, lhs, rhs);
+                    env.acct.chargeRuntime(CostModel::kRuntimeGenericOp);
+                }
+            } else {
+                result = env.runtime.applyBinary(op, lhs, rhs);
+                env.acct.chargeRuntime(interp
+                                           ? CostModel::kRuntimeGenericOp
+                                           : CostModel::kBaselineArith);
+            }
+            profileBinary(prof.arith[pc], lhs, rhs, result);
+            regs[instr.a] = result;
+            break;
+          }
+
+          case Opcode::Unary: {
+            Value src = regs[instr.b];
+            Value result = env.runtime.applyUnary(
+                static_cast<UnaryOp>(instr.imm), src);
+            ArithProfile &ap = prof.arith[pc];
+            ap.lhsMask |= valueKindMask(src.kind());
+            ap.resultMask |= valueKindMask(result.kind());
+            regs[instr.a] = result;
+            break;
+          }
+
+          case Opcode::GetProp: {
+            Value base = regs[instr.b];
+            PropertyProfile &pp = prof.property[pc];
+            pp.baseMask |= valueKindMask(base.kind());
+            Addr addr = 0;
+            Value result;
+            if (!interp && base.isObject()) {
+                // Baseline inline cache.
+                const JsObject &obj = env.heap.object(base.payload());
+                if (pp.shape == obj.shape && pp.slot >= 0) {
+                    result = env.heap.getSlot(
+                        base.payload(), static_cast<uint32_t>(pp.slot));
+                    addr = env.heap.slotAddr(
+                        base.payload(), static_cast<uint32_t>(pp.slot));
+                    charge(CostModel::kBaselineIcHit);
+                } else {
+                    result = env.runtime.getPropertyGeneric(
+                        base, instr.imm, &addr);
+                    env.acct.chargeRuntime(CostModel::kBaselineIcMiss);
+                    int32_t slot = env.heap.shapeTable().lookup(
+                        obj.shape, instr.imm);
+                    if (pp.shape != kInvalidShape &&
+                        pp.shape != obj.shape) {
+                        pp.polymorphic = true;
+                    }
+                    pp.shape = obj.shape;
+                    pp.slot = slot;
+                }
+            } else {
+                result = env.runtime.getPropertyGeneric(base, instr.imm,
+                                                        &addr);
+                env.acct.chargeRuntime(CostModel::kRuntimePropAccess);
+                if (base.isObject()) {
+                    const JsObject &obj =
+                        env.heap.object(base.payload());
+                    if (pp.shape != kInvalidShape &&
+                        pp.shape != obj.shape) {
+                        pp.polymorphic = true;
+                    }
+                    pp.shape = obj.shape;
+                    pp.slot = env.heap.shapeTable().lookup(obj.shape,
+                                                           instr.imm);
+                }
+            }
+            env.memAccess(addr, false);
+            regs[instr.a] = result;
+            break;
+          }
+
+          case Opcode::SetProp: {
+            Value base = regs[instr.b];
+            PropertyProfile &pp = prof.property[pc];
+            pp.baseMask |= valueKindMask(base.kind());
+            Addr addr = 0;
+            if (base.isObject()) {
+                const JsObject &obj = env.heap.object(base.payload());
+                if (!interp && pp.shape == obj.shape && pp.slot >= 0) {
+                    env.heap.setSlot(base.payload(),
+                                     static_cast<uint32_t>(pp.slot),
+                                     regs[instr.c]);
+                    addr = env.heap.slotAddr(
+                        base.payload(), static_cast<uint32_t>(pp.slot));
+                    charge(CostModel::kBaselineIcHit);
+                } else {
+                    if (pp.shape != kInvalidShape &&
+                        pp.shape != obj.shape) {
+                        pp.polymorphic = true;
+                    }
+                    env.runtime.setPropertyGeneric(base, instr.imm,
+                                                   regs[instr.c], &addr);
+                    env.acct.chargeRuntime(
+                        interp ? CostModel::kRuntimePropAccess
+                               : CostModel::kBaselineIcMiss);
+                    const JsObject &after =
+                        env.heap.object(base.payload());
+                    pp.shape = after.shape;
+                    pp.slot = env.heap.shapeTable().lookup(after.shape,
+                                                           instr.imm);
+                }
+            } else {
+                env.runtime.setPropertyGeneric(base, instr.imm,
+                                               regs[instr.c], &addr);
+                env.acct.chargeRuntime(CostModel::kRuntimePropAccess);
+            }
+            env.memAccess(addr, true);
+            break;
+          }
+
+          case Opcode::GetIndex: {
+            Value base = regs[instr.b];
+            Value index = regs[instr.c];
+            IndexProfile &ip = prof.index[pc];
+            ip.baseMask |= valueKindMask(base.kind());
+            ip.indexMask |= valueKindMask(index.kind());
+            Addr addr = 0;
+            Value result =
+                env.runtime.getIndexGeneric(base, index, &addr);
+            if (base.isArray() && index.isInt32()) {
+                int32_t i = index.asInt32();
+                uint32_t len = env.heap.array(base.payload()).length();
+                if (i < 0 || static_cast<uint32_t>(i) >= len)
+                    ip.sawOutOfBounds = true;
+                else if (result.isUndefined())
+                    ip.sawHole = true;
+            }
+            ip.elemMask |= valueKindMask(result.kind());
+            env.acct.chargeRuntime(interp
+                                       ? CostModel::kRuntimeIndexAccess
+                                       : CostModel::kBaselineIndex);
+            env.memAccess(addr, false);
+            regs[instr.a] = result;
+            break;
+          }
+
+          case Opcode::SetIndex: {
+            Value base = regs[instr.a];
+            Value index = regs[instr.b];
+            IndexProfile &ip = prof.index[pc];
+            ip.baseMask |= valueKindMask(base.kind());
+            ip.indexMask |= valueKindMask(index.kind());
+            if (base.isArray() && index.isInt32()) {
+                int32_t i = index.asInt32();
+                uint32_t len = env.heap.array(base.payload()).length();
+                if (i < 0 || static_cast<uint32_t>(i) >= len)
+                    ip.sawOutOfBounds = true;
+            }
+            Addr addr = 0;
+            env.runtime.setIndexGeneric(base, index, regs[instr.c],
+                                        &addr);
+            env.acct.chargeRuntime(interp
+                                       ? CostModel::kRuntimeIndexAccess
+                                       : CostModel::kBaselineIndex);
+            env.memAccess(addr, true);
+            break;
+          }
+
+          case Opcode::NewArray: {
+            Value arr = env.heap.allocArray(instr.c);
+            for (uint16_t i = 0; i < instr.c; ++i) {
+                env.heap.setElementFast(arr.payload(), i,
+                                        regs[instr.b + i]);
+            }
+            env.acct.chargeRuntime(CostModel::kRuntimeAllocation);
+            regs[instr.a] = arr;
+            break;
+          }
+
+          case Opcode::NewObject: {
+            Value obj = env.heap.allocObject();
+            const ObjectDesc &desc = fn.objectDescs[instr.imm];
+            for (uint16_t i = 0; i < instr.c; ++i) {
+                env.heap.setProperty(obj.payload(), desc.nameIds[i],
+                                     regs[instr.b + i]);
+            }
+            env.acct.chargeRuntime(CostModel::kRuntimeAllocation);
+            regs[instr.a] = obj;
+            break;
+          }
+
+          case Opcode::Call: {
+            env.acct.chargeRuntime(interp ? CostModel::kRuntimeGenericOp
+                                          : CostModel::kBaselineCall);
+            regs[instr.a] = env.dispatcher.call(
+                instr.imm, regs.data() + instr.b, instr.c);
+            break;
+          }
+
+          case Opcode::CallNative: {
+            auto bid = static_cast<BuiltinId>(instr.imm);
+            if (bid == BuiltinId::Print)
+                env.irrevocableEvent();
+            env.acct.chargeRuntime(CostModel::kRuntimeNativeCall);
+            regs[instr.a] = env.builtins.call(
+                bid, regs.data() + instr.b, instr.c);
+            break;
+          }
+
+          case Opcode::CallMethod: {
+            uint32_t name_id = instr.imm / 16;
+            uint32_t nargs = instr.imm % 16;
+            env.acct.chargeRuntime(CostModel::kRuntimeMethodCall);
+            regs[instr.a] = env.builtins.callMethod(
+                regs[instr.b], name_id, regs.data() + instr.c, nargs);
+            break;
+          }
+
+          case Opcode::Jump:
+            if (instr.imm <= pc) {
+                came_from_back_edge = true;
+                ++prof.backEdgeCount;
+            }
+            pc = instr.imm;
+            continue;
+
+          case Opcode::JumpIfTrue:
+          case Opcode::JumpIfFalse: {
+            bool truthy = env.runtime.toBoolean(regs[instr.b]);
+            bool taken = (instr.op == Opcode::JumpIfTrue) == truthy;
+            charge(2);
+            if (taken) {
+                if (instr.imm <= pc) {
+                    came_from_back_edge = true;
+                    ++prof.backEdgeCount;
+                }
+                pc = instr.imm;
+                continue;
+            }
+            break;
+          }
+
+          case Opcode::Return:
+            return regs[instr.b];
+
+          case Opcode::ReturnUndef:
+            return Value::undefined();
+
+          case Opcode::LoopHeader: {
+            LoopProfile &lp = prof.loops[instr.imm];
+            if (!came_from_back_edge)
+                ++lp.entries;
+            ++lp.totalIterations;
+            break;
+          }
+        }
+        came_from_back_edge = false;
+        ++pc;
+    }
+}
+
+} // namespace nomap

@@ -1,0 +1,60 @@
+#ifndef NOMAP_INTERP_BYTECODE_EXECUTOR_H
+#define NOMAP_INTERP_BYTECODE_EXECUTOR_H
+
+/**
+ * @file
+ * Tier 0 (Interpreter) and Tier 1 (Baseline) executor.
+ *
+ * Both tiers execute the same register bytecode; they differ in the
+ * per-operation instruction cost (the interpreter pays dispatch and
+ * boxing overhead on every op) and in property access: the Baseline
+ * tier uses monomorphic inline caches seeded by the shared profile,
+ * the Interpreter always takes the generic runtime path.
+ *
+ * Both tiers collect type feedback into FunctionProfile — that
+ * feedback is what the DFG/FTL IR builder speculates on (and what
+ * each FTL check guards).
+ *
+ * The executor also serves as the OSR-exit landing pad: runFrom()
+ * resumes execution at an arbitrary bytecode pc with a materialized
+ * register file, which is exactly what a deoptimizing SMP (or an
+ * aborting NoMap transaction) transfers to.
+ */
+
+#include <vector>
+
+#include "bytecode/compiler.h"
+#include "interp/exec_env.h"
+
+namespace nomap {
+
+/** Executes bytecode in Interpreter or Baseline mode. */
+class BytecodeExecutor
+{
+  public:
+    BytecodeExecutor(ExecEnv &env, Tier tier);
+
+    /** Normal call entry. */
+    Value run(BytecodeFunction &fn, const Value *args, uint32_t nargs);
+
+    /**
+     * OSR entry: resume at @p pc with the given locals (registers
+     * [0, numLocals) of the frame; temporaries start undefined).
+     */
+    Value runFrom(BytecodeFunction &fn, const std::vector<Value> &locals,
+                  uint32_t pc);
+
+  private:
+    Value execute(BytecodeFunction &fn, std::vector<Value> &regs,
+                  uint32_t pc);
+
+    void profileBinary(ArithProfile &prof, Value lhs, Value rhs,
+                       Value result);
+
+    ExecEnv &env;
+    Tier tier;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_INTERP_BYTECODE_EXECUTOR_H

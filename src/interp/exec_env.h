@@ -1,0 +1,94 @@
+#ifndef NOMAP_INTERP_EXEC_ENV_H
+#define NOMAP_INTERP_EXEC_ENV_H
+
+/**
+ * @file
+ * Shared execution environment threaded through all tier executors.
+ *
+ * Bundles the VM state (heap, runtime, builtins), the hardware models
+ * (HTM manager, cache hierarchy), the accounting context, and the
+ * call dispatcher that routes calls to the tier chosen by the engine's
+ * tiering policy.
+ */
+
+#include "engine/accounting.h"
+#include "htm/transaction.h"
+#include "memsim/hierarchy.h"
+#include "vm/builtins.h"
+#include "vm/heap.h"
+#include "vm/runtime.h"
+
+namespace nomap {
+
+struct CompiledProgram;
+
+/**
+ * Routes function calls through the engine so each call runs in the
+ * callee's current best tier (and counts toward its hotness).
+ */
+class CallDispatcher
+{
+  public:
+    virtual ~CallDispatcher() = default;
+
+    /** Invoke function @p func_id with @p nargs arguments. */
+    virtual Value call(uint32_t func_id, const Value *args,
+                       uint32_t nargs) = 0;
+};
+
+/** Everything an executor needs, by reference. */
+struct ExecEnv {
+    Heap &heap;
+    Runtime &runtime;
+    Builtins &builtins;
+    TransactionManager &htm;
+    MemHierarchy &mem;
+    Accounting &acct;
+    CallDispatcher &dispatcher;
+    /** Set by the engine once the program is compiled. */
+    CompiledProgram *program = nullptr;
+
+    /**
+     * Model one data-memory access: cache timing, SW pinning for
+     * transactional stores, and RTM read-set tracking / read latency
+     * penalty. Write-set tracking happens centrally in the Heap.
+     *
+     * @param addr Byte address (0 = no memory touched; ignored).
+     * @param is_write True for stores.
+     */
+    void
+    memAccess(Addr addr, bool is_write)
+    {
+        if (addr == 0)
+            return;
+        bool in_tx = htm.inTransaction();
+        uint32_t lat = mem.access(addr, is_write, is_write && in_tx);
+        if (in_tx) {
+            if (!is_write) {
+                if (!htm.recordRead(addr))
+                    throw TxAbortUnwind{AbortCode::Capacity};
+                acct.chargeCycles((htm.readLatencyFactor() - 1.0) *
+                                  static_cast<double>(lat));
+            }
+        }
+        acct.chargeMemLatency(lat, mem.latency().l1Hit);
+    }
+
+    /**
+     * Guard an irrevocable action (I/O). Inside a transaction this
+     * aborts and unwinds to the transaction owner, which re-executes
+     * non-transactionally in the Baseline tier.
+     */
+    void
+    irrevocableEvent()
+    {
+        if (htm.inTransaction()) {
+            acct.chargeCycles(htm.abort(AbortCode::Irrevocable));
+            throw TxAbortUnwind{AbortCode::Irrevocable};
+        }
+    }
+};
+
+} // namespace nomap
+
+#endif // NOMAP_INTERP_EXEC_ENV_H

@@ -1,0 +1,526 @@
+#include "ir/builder.h"
+
+#include <unordered_map>
+
+#include "vm/builtins.h"
+
+#include "support/logging.h"
+
+namespace nomap {
+
+namespace {
+
+constexpr uint16_t kNumericMask = kMaskInt32 | kMaskDouble;
+
+/** Incremental builder state. */
+class IrBuilder
+{
+  public:
+    IrBuilder(const BytecodeFunction &fn_, Heap &heap_, Tier tier_)
+        : fn(fn_), heap(heap_), tier(tier_),
+          lengthNameId(heap_.stringTable().intern("length"))
+    {
+    }
+
+    IrFunction
+    build()
+    {
+        out.funcId = fn.funcId;
+        out.tier = tier;
+        out.bytecodeRegs = fn.numRegs;
+        out.numRegs = fn.numRegs;
+        out.constants = fn.constants;
+
+        findLeaders();
+        createBlocks();
+        translateAll();
+        linkPreds();
+        out.verify();
+        return std::move(out);
+    }
+
+  private:
+    // ---- CFG construction -------------------------------------------------
+    void
+    findLeaders()
+    {
+        isLeader.assign(fn.code.size(), false);
+        isLeader[0] = true;
+        for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+            const BytecodeInstr &instr = fn.code[pc];
+            switch (instr.op) {
+              case Opcode::Jump:
+                isLeader[instr.imm] = true;
+                if (pc + 1 < fn.code.size())
+                    isLeader[pc + 1] = true;
+                break;
+              case Opcode::JumpIfTrue:
+              case Opcode::JumpIfFalse:
+                isLeader[instr.imm] = true;
+                if (pc + 1 < fn.code.size())
+                    isLeader[pc + 1] = true;
+                break;
+              case Opcode::Return:
+              case Opcode::ReturnUndef:
+                if (pc + 1 < fn.code.size())
+                    isLeader[pc + 1] = true;
+                break;
+              case Opcode::LoopHeader:
+                isLeader[pc] = true;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    void
+    createBlocks()
+    {
+        blockOfPc.assign(fn.code.size(), 0);
+        uint32_t current = 0;
+        for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+            if (isLeader[pc]) {
+                current = static_cast<uint32_t>(out.blocks.size());
+                out.blocks.emplace_back();
+                out.blocks.back().firstPc = static_cast<uint32_t>(pc);
+                if (fn.code[pc].op == Opcode::LoopHeader) {
+                    out.blocks.back().loopId =
+                        static_cast<int32_t>(fn.code[pc].imm);
+                }
+            }
+            blockOfPc[pc] = current;
+        }
+    }
+
+    void
+    linkPreds()
+    {
+        for (size_t bi = 0; bi < out.blocks.size(); ++bi) {
+            for (uint32_t succ : out.blocks[bi].succs) {
+                out.blocks[succ].preds.push_back(
+                    static_cast<uint32_t>(bi));
+            }
+        }
+    }
+
+    // ---- Emission helpers ---------------------------------------------------
+    IrInstr &
+    emit(IrOp op, uint16_t dst = 0, uint16_t a = 0, uint16_t b = 0,
+         uint16_t c = 0, uint32_t imm = 0)
+    {
+        IrInstr instr;
+        instr.op = op;
+        instr.dst = dst;
+        instr.a = a;
+        instr.b = b;
+        instr.c = c;
+        instr.imm = imm;
+        curBlock->instrs.push_back(instr);
+        return curBlock->instrs.back();
+    }
+
+    IrInstr &
+    emitCheck(IrOp op, uint16_t a, uint32_t pc, uint16_t b = 0,
+              uint32_t imm = 0)
+    {
+        IrInstr &instr = emit(op, 0, a, b, 0, imm);
+        instr.smpPc = pc;
+        return instr;
+    }
+
+    void
+    terminate()
+    {
+        if (!curBlock->instrs.empty()) {
+            IrOp last = curBlock->instrs.back().op;
+            if (last == IrOp::Jump || last == IrOp::Branch ||
+                last == IrOp::Return || last == IrOp::ReturnUndef) {
+                return;
+            }
+        }
+        // Fall through to the next block.
+        uint32_t next = curBlockIdx + 1;
+        NOMAP_ASSERT(next < out.blocks.size());
+        IrInstr &jump = emit(IrOp::Jump);
+        jump.imm = next;
+        curBlock->succs.push_back(next);
+    }
+
+    // ---- Speculation decisions ------------------------------------------
+    /**
+     * Emit the checked int32 unboxing of @p reg unless it is already
+     * proven int32 within this bytecode op sequence.
+     */
+    void
+    speculateInt32(uint16_t reg, uint32_t pc)
+    {
+        emitCheck(IrOp::CheckInt32, reg, pc);
+    }
+
+    void
+    speculateNumber(uint16_t reg, uint32_t pc)
+    {
+        emitCheck(IrOp::CheckNumber, reg, pc);
+    }
+
+    // ---- Translation -----------------------------------------------------
+    void
+    translateAll()
+    {
+        for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+            if (isLeader[pc]) {
+                curBlockIdx = blockOfPc[pc];
+                curBlock = &out.blocks[curBlockIdx];
+            }
+            translate(static_cast<uint32_t>(pc));
+            // Block ends when the next pc is a leader.
+            if (pc + 1 >= fn.code.size() || isLeader[pc + 1])
+                terminate();
+        }
+    }
+
+    void
+    translate(uint32_t pc)
+    {
+        const BytecodeInstr &bc = fn.code[pc];
+        switch (bc.op) {
+          case Opcode::LoadConst:
+            emit(IrOp::Const, bc.a, 0, 0, 0, bc.imm);
+            break;
+          case Opcode::Move:
+            emit(IrOp::Move, bc.a, bc.b);
+            break;
+          case Opcode::LoadGlobal:
+            emit(IrOp::LoadGlobal, bc.a, 0, 0, 0, bc.imm);
+            break;
+          case Opcode::StoreGlobal:
+            emit(IrOp::StoreGlobal, 0, bc.b, 0, 0, bc.imm);
+            break;
+          case Opcode::Binary:
+            translateBinary(pc, bc);
+            break;
+          case Opcode::Unary:
+            translateUnary(pc, bc);
+            break;
+          case Opcode::GetProp:
+            translateGetProp(pc, bc);
+            break;
+          case Opcode::SetProp:
+            translateSetProp(pc, bc);
+            break;
+          case Opcode::GetIndex:
+            translateGetIndex(pc, bc);
+            break;
+          case Opcode::SetIndex:
+            translateSetIndex(pc, bc);
+            break;
+          case Opcode::NewArray:
+            emit(IrOp::NewArray, bc.a, bc.b, 0, 0, bc.c);
+            break;
+          case Opcode::NewObject:
+            emit(IrOp::NewObject, bc.a, bc.b, bc.c, 0, bc.imm);
+            break;
+          case Opcode::Call:
+            emit(IrOp::Call, bc.a, bc.b, bc.c, 0, bc.imm);
+            break;
+          case Opcode::CallNative: {
+            // Math builtins inline into FTL code (LLVM would lower
+            // them to sqrtsd & friends); the rest stay runtime calls.
+            auto bid = static_cast<BuiltinId>(bc.imm);
+            bool inlinable =
+                bid >= BuiltinId::MathAbs && bid <= BuiltinId::MathRound;
+            emit(inlinable ? IrOp::Intrinsic : IrOp::CallNative, bc.a,
+                 bc.b, bc.c, 0, bc.imm);
+            break;
+          }
+          case Opcode::CallMethod:
+            emit(IrOp::CallMethod, bc.a, bc.b, bc.c, 0, bc.imm);
+            break;
+          case Opcode::Jump: {
+            IrInstr &jump = emit(IrOp::Jump);
+            jump.imm = blockOfPc[bc.imm];
+            curBlock->succs.push_back(jump.imm);
+            break;
+          }
+          case Opcode::JumpIfTrue:
+          case Opcode::JumpIfFalse: {
+            uint32_t taken = blockOfPc[bc.imm];
+            uint32_t fall = blockOfPc[pc + 1];
+            IrInstr &branch = emit(IrOp::Branch, 0, bc.b);
+            if (bc.op == Opcode::JumpIfTrue) {
+                branch.imm = taken;
+                branch.imm2 = fall;
+            } else {
+                branch.imm = fall;
+                branch.imm2 = taken;
+            }
+            curBlock->succs.push_back(branch.imm);
+            curBlock->succs.push_back(branch.imm2);
+            break;
+          }
+          case Opcode::Return:
+            emit(IrOp::Return, 0, bc.b);
+            break;
+          case Opcode::ReturnUndef:
+            emit(IrOp::ReturnUndef);
+            break;
+          case Opcode::LoopHeader:
+            // Structural marker only (block.loopId already set).
+            break;
+        }
+    }
+
+    static bool
+    isCompare(BinaryOp op)
+    {
+        switch (op) {
+          case BinaryOp::Lt:
+          case BinaryOp::Le:
+          case BinaryOp::Gt:
+          case BinaryOp::Ge:
+          case BinaryOp::Eq:
+          case BinaryOp::NotEq:
+          case BinaryOp::StrictEq:
+          case BinaryOp::StrictNotEq:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    void
+    translateBinary(uint32_t pc, const BytecodeInstr &bc)
+    {
+        auto op = static_cast<BinaryOp>(bc.imm);
+        const ArithProfile &ap = fn.profile.arith[pc];
+        bool lhs_int = ap.lhsOnly(kMaskInt32);
+        bool rhs_int = ap.rhsOnly(kMaskInt32);
+        bool lhs_num = ap.lhsOnly(kNumericMask);
+        bool rhs_num = ap.rhsOnly(kNumericMask);
+
+        if (isCompare(op)) {
+            if (lhs_int && rhs_int) {
+                speculateInt32(bc.b, pc);
+                speculateInt32(bc.c, pc);
+                emit(IrOp::CmpInt, bc.a, bc.b, bc.c, 0, bc.imm);
+            } else if (lhs_num && rhs_num) {
+                speculateNumber(bc.b, pc);
+                speculateNumber(bc.c, pc);
+                emit(IrOp::CmpDouble, bc.a, bc.b, bc.c, 0, bc.imm);
+            } else {
+                emit(IrOp::GenericBinary, bc.a, bc.b, bc.c, 0, bc.imm);
+            }
+            return;
+        }
+
+        switch (op) {
+          case BinaryOp::Add:
+          case BinaryOp::Sub:
+          case BinaryOp::Mul: {
+            IrOp int_op = op == BinaryOp::Add   ? IrOp::AddInt
+                          : op == BinaryOp::Sub ? IrOp::SubInt
+                                                : IrOp::MulInt;
+            IrOp dbl_op = op == BinaryOp::Add   ? IrOp::AddDouble
+                          : op == BinaryOp::Sub ? IrOp::SubDouble
+                                                : IrOp::MulDouble;
+            if (lhs_int && rhs_int && !ap.sawIntOverflow) {
+                // Int32 speculation: the fast path the paper's
+                // overflow checks guard.
+                speculateInt32(bc.b, pc);
+                speculateInt32(bc.c, pc);
+                emit(int_op, bc.a, bc.b, bc.c);
+                emitCheck(IrOp::CheckOverflow, bc.a, pc);
+            } else if (lhs_num && rhs_num) {
+                speculateNumber(bc.b, pc);
+                speculateNumber(bc.c, pc);
+                emit(dbl_op, bc.a, bc.b, bc.c);
+            } else {
+                emit(IrOp::GenericBinary, bc.a, bc.b, bc.c, 0, bc.imm);
+            }
+            break;
+          }
+          case BinaryOp::Div:
+          case BinaryOp::Mod: {
+            // Like JSC, integer division is not speculated: results
+            // are fractional too often. Use double math when numeric.
+            if (lhs_num && rhs_num) {
+                speculateNumber(bc.b, pc);
+                speculateNumber(bc.c, pc);
+                emit(op == BinaryOp::Div ? IrOp::DivDouble
+                                         : IrOp::ModDouble,
+                     bc.a, bc.b, bc.c);
+            } else {
+                emit(IrOp::GenericBinary, bc.a, bc.b, bc.c, 0, bc.imm);
+            }
+            break;
+          }
+          case BinaryOp::BitAnd:
+          case BinaryOp::BitOr:
+          case BinaryOp::BitXor:
+          case BinaryOp::Shl:
+          case BinaryOp::Shr:
+          case BinaryOp::UShr: {
+            if (lhs_int && rhs_int) {
+                speculateInt32(bc.b, pc);
+                speculateInt32(bc.c, pc);
+                IrOp bit_op;
+                switch (op) {
+                  case BinaryOp::BitAnd: bit_op = IrOp::BitAndInt; break;
+                  case BinaryOp::BitOr: bit_op = IrOp::BitOrInt; break;
+                  case BinaryOp::BitXor: bit_op = IrOp::BitXorInt; break;
+                  case BinaryOp::Shl: bit_op = IrOp::ShlInt; break;
+                  case BinaryOp::Shr: bit_op = IrOp::ShrInt; break;
+                  default: bit_op = IrOp::UShrInt; break;
+                }
+                emit(bit_op, bc.a, bc.b, bc.c);
+            } else {
+                emit(IrOp::GenericBinary, bc.a, bc.b, bc.c, 0, bc.imm);
+            }
+            break;
+          }
+          default:
+            emit(IrOp::GenericBinary, bc.a, bc.b, bc.c, 0, bc.imm);
+            break;
+        }
+    }
+
+    void
+    translateUnary(uint32_t pc, const BytecodeInstr &bc)
+    {
+        auto op = static_cast<UnaryOp>(bc.imm);
+        const ArithProfile &ap = fn.profile.arith[pc];
+        bool src_int = ap.lhsOnly(kMaskInt32);
+        bool src_num = ap.lhsOnly(kNumericMask);
+
+        switch (op) {
+          case UnaryOp::Neg:
+            if (src_int && !ap.sawIntOverflow) {
+                speculateInt32(bc.b, pc);
+                emit(IrOp::NegInt, bc.a, bc.b);
+                emitCheck(IrOp::CheckOverflow, bc.a, pc);
+            } else if (src_num) {
+                speculateNumber(bc.b, pc);
+                emit(IrOp::NegDouble, bc.a, bc.b);
+            } else {
+                emit(IrOp::GenericUnary, bc.a, bc.b, 0, 0, bc.imm);
+            }
+            break;
+          case UnaryOp::Plus:
+            if (src_num) {
+                speculateNumber(bc.b, pc);
+                emit(IrOp::Move, bc.a, bc.b);
+            } else {
+                emit(IrOp::GenericUnary, bc.a, bc.b, 0, 0, bc.imm);
+            }
+            break;
+          case UnaryOp::Not: {
+            uint16_t tmp = out.allocTemp();
+            emit(IrOp::ToBoolean, tmp, bc.b);
+            emit(IrOp::NotBool, bc.a, tmp);
+            break;
+          }
+          case UnaryOp::BitNot:
+            if (src_int) {
+                speculateInt32(bc.b, pc);
+                emit(IrOp::BitNotInt, bc.a, bc.b);
+            } else {
+                emit(IrOp::GenericUnary, bc.a, bc.b, 0, 0, bc.imm);
+            }
+            break;
+          case UnaryOp::Typeof:
+            emit(IrOp::GenericUnary, bc.a, bc.b, 0, 0, bc.imm);
+            break;
+        }
+    }
+
+    void
+    translateGetProp(uint32_t pc, const BytecodeInstr &bc)
+    {
+        const PropertyProfile &pp = fn.profile.property[pc];
+        if (pp.baseMask == kMaskArray && bc.imm == lengthNameId) {
+            emitCheck(IrOp::CheckArray, bc.b, pc);
+            emit(IrOp::GetArrayLen, bc.a, bc.b);
+            return;
+        }
+        if (pp.monomorphicObject()) {
+            emitCheck(IrOp::CheckShape, bc.b, pc, 0, pp.shape);
+            emit(IrOp::GetSlot, bc.a, bc.b, 0, 0,
+                 static_cast<uint32_t>(pp.slot));
+            return;
+        }
+        emit(IrOp::GenericGetProp, bc.a, bc.b, 0, 0, bc.imm);
+    }
+
+    void
+    translateSetProp(uint32_t pc, const BytecodeInstr &bc)
+    {
+        const PropertyProfile &pp = fn.profile.property[pc];
+        if (pp.monomorphicObject()) {
+            emitCheck(IrOp::CheckShape, bc.b, pc, 0, pp.shape);
+            emit(IrOp::SetSlot, 0, bc.b, bc.c, 0,
+                 static_cast<uint32_t>(pp.slot));
+            return;
+        }
+        emit(IrOp::GenericSetProp, 0, bc.b, bc.c, 0, bc.imm);
+    }
+
+    void
+    translateGetIndex(uint32_t pc, const BytecodeInstr &bc)
+    {
+        const IndexProfile &ip = fn.profile.index[pc];
+        bool idx_int = ip.indexMask != 0 &&
+                       (ip.indexMask & ~kMaskInt32) == 0;
+        if (ip.baseMask == kMaskArray && idx_int && !ip.sawOutOfBounds) {
+            emitCheck(IrOp::CheckArray, bc.b, pc);
+            // The bounds check subsumes the index-int check (JSC's
+            // IntegerCheckCombining folds them the same way).
+            emitCheck(IrOp::CheckBounds, bc.b, pc, bc.c);
+            emit(IrOp::GetElem, bc.a, bc.b, bc.c);
+            // Contiguous arrays may contain holes; a hole must deopt
+            // so the Baseline tier can return `undefined` with full
+            // semantics (paper: the most common "Other" check).
+            emitCheck(IrOp::CheckNotHole, bc.a, pc);
+            return;
+        }
+        emit(IrOp::GenericGetIndex, bc.a, bc.b, bc.c);
+    }
+
+    void
+    translateSetIndex(uint32_t pc, const BytecodeInstr &bc)
+    {
+        const IndexProfile &ip = fn.profile.index[pc];
+        bool idx_int = ip.indexMask != 0 &&
+                       (ip.indexMask & ~kMaskInt32) == 0;
+        if (ip.baseMask == kMaskArray && idx_int && !ip.sawOutOfBounds) {
+            emitCheck(IrOp::CheckArray, bc.a, pc);
+            emitCheck(IrOp::CheckBounds, bc.a, pc, bc.b);
+            emit(IrOp::SetElem, 0, bc.a, bc.b, bc.c);
+            return;
+        }
+        emit(IrOp::GenericSetIndex, 0, bc.a, bc.b, bc.c);
+    }
+
+    const BytecodeFunction &fn;
+    Heap &heap;
+    Tier tier;
+    uint32_t lengthNameId;
+
+    IrFunction out;
+    std::vector<bool> isLeader;
+    std::vector<uint32_t> blockOfPc;
+    IrBlock *curBlock = nullptr;
+    uint32_t curBlockIdx = 0;
+};
+
+} // namespace
+
+IrFunction
+buildIr(const BytecodeFunction &fn, Heap &heap, Tier tier)
+{
+    NOMAP_ASSERT(tier == Tier::Dfg || tier == Tier::Ftl);
+    IrBuilder builder(fn, heap, tier);
+    return builder.build();
+}
+
+} // namespace nomap

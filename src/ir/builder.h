@@ -1,0 +1,34 @@
+#ifndef NOMAP_IR_BUILDER_H
+#define NOMAP_IR_BUILDER_H
+
+/**
+ * @file
+ * Bytecode + type feedback -> typed IR.
+ *
+ * The builder performs the speculation step of a real DFG/FTL
+ * pipeline: wherever the profile shows a stable shape/type it emits
+ * the fast typed operation guarded by exactly the checks that protect
+ * the speculation, each check carrying a Stack Map Point back to the
+ * bytecode pc it would deoptimize to. Where the profile is
+ * polymorphic or has seen corner cases (out-of-bounds writes,
+ * non-numeric operands), it conservatively emits generic runtime
+ * operations, which are unoptimizable but check-free.
+ */
+
+#include "bytecode/bytecode.h"
+#include "ir/ir.h"
+#include "vm/heap.h"
+
+namespace nomap {
+
+/**
+ * Build IR for @p fn at tier @p tier (Dfg or Ftl).
+ *
+ * @param fn      The function's bytecode + collected profile.
+ * @param heap    For the string table ("length" detection).
+ */
+IrFunction buildIr(const BytecodeFunction &fn, Heap &heap, Tier tier);
+
+} // namespace nomap
+
+#endif // NOMAP_IR_BUILDER_H

@@ -1,0 +1,314 @@
+#include "ir/ir.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace nomap {
+
+bool
+isCheckOp(IrOp op)
+{
+    switch (op) {
+      case IrOp::CheckInt32:
+      case IrOp::CheckNumber:
+      case IrOp::CheckShape:
+      case IrOp::CheckArray:
+      case IrOp::CheckIndexInt:
+      case IrOp::CheckBounds:
+      case IrOp::CheckBoundsRange:
+      case IrOp::CheckOverflow:
+      case IrOp::CheckNotHole:
+        return true;
+      default:
+        return false;
+    }
+}
+
+CheckKind
+checkKindOf(IrOp op)
+{
+    switch (op) {
+      case IrOp::CheckBounds:
+      case IrOp::CheckBoundsRange:
+        return CheckKind::Bounds;
+      case IrOp::CheckOverflow:
+        return CheckKind::Overflow;
+      case IrOp::CheckInt32:
+      case IrOp::CheckNumber:
+      case IrOp::CheckArray:
+        return CheckKind::Type;
+      case IrOp::CheckShape:
+        return CheckKind::Property;
+      case IrOp::CheckIndexInt:
+      case IrOp::CheckNotHole:
+        return CheckKind::Other;
+      default:
+        panic("checkKindOf on non-check op");
+    }
+}
+
+bool
+readsMemory(IrOp op)
+{
+    switch (op) {
+      case IrOp::GetSlot:
+      case IrOp::GetArrayLen:
+      case IrOp::GetElem:
+      case IrOp::LoadGlobal:
+        return true;
+      default:
+        return isOpaqueCall(op);
+    }
+}
+
+bool
+writesMemory(IrOp op)
+{
+    switch (op) {
+      case IrOp::SetSlot:
+      case IrOp::SetElem:
+      case IrOp::StoreGlobal:
+        return true;
+      default:
+        return isOpaqueCall(op);
+    }
+}
+
+bool
+isOpaqueCall(IrOp op)
+{
+    switch (op) {
+      case IrOp::GenericBinary:
+      case IrOp::GenericUnary:
+      case IrOp::GenericGetProp:
+      case IrOp::GenericSetProp:
+      case IrOp::GenericGetIndex:
+      case IrOp::GenericSetIndex:
+      case IrOp::NewArray:
+      case IrOp::NewObject:
+      case IrOp::Call:
+      case IrOp::CallNative:
+      case IrOp::CallMethod:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isPureValueOp(IrOp op)
+{
+    switch (op) {
+      case IrOp::Const:
+      case IrOp::Move:
+      case IrOp::AddInt:
+      case IrOp::SubInt:
+      case IrOp::MulInt:
+      case IrOp::NegInt:
+      case IrOp::AddDouble:
+      case IrOp::SubDouble:
+      case IrOp::MulDouble:
+      case IrOp::DivDouble:
+      case IrOp::ModDouble:
+      case IrOp::NegDouble:
+      case IrOp::BitAndInt:
+      case IrOp::BitOrInt:
+      case IrOp::BitXorInt:
+      case IrOp::ShlInt:
+      case IrOp::ShrInt:
+      case IrOp::UShrInt:
+      case IrOp::BitNotInt:
+      case IrOp::CmpInt:
+      case IrOp::CmpDouble:
+      case IrOp::ToDouble:
+      case IrOp::ToBoolean:
+      case IrOp::NotBool:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+definesDst(IrOp op)
+{
+    if (isPureValueOp(op))
+        return true;
+    switch (op) {
+      case IrOp::GetSlot:
+      case IrOp::GetArrayLen:
+      case IrOp::GetElem:
+      case IrOp::LoadGlobal:
+      case IrOp::GenericBinary:
+      case IrOp::GenericUnary:
+      case IrOp::GenericGetProp:
+      case IrOp::GenericGetIndex:
+      case IrOp::NewArray:
+      case IrOp::NewObject:
+      case IrOp::Call:
+      case IrOp::CallNative:
+      case IrOp::Intrinsic:
+      case IrOp::CallMethod:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+irOpName(IrOp op)
+{
+    switch (op) {
+      case IrOp::Nop: return "Nop";
+      case IrOp::Const: return "Const";
+      case IrOp::Move: return "Move";
+      case IrOp::AddInt: return "AddInt";
+      case IrOp::SubInt: return "SubInt";
+      case IrOp::MulInt: return "MulInt";
+      case IrOp::NegInt: return "NegInt";
+      case IrOp::AddDouble: return "AddDouble";
+      case IrOp::SubDouble: return "SubDouble";
+      case IrOp::MulDouble: return "MulDouble";
+      case IrOp::DivDouble: return "DivDouble";
+      case IrOp::ModDouble: return "ModDouble";
+      case IrOp::NegDouble: return "NegDouble";
+      case IrOp::BitAndInt: return "BitAndInt";
+      case IrOp::BitOrInt: return "BitOrInt";
+      case IrOp::BitXorInt: return "BitXorInt";
+      case IrOp::ShlInt: return "ShlInt";
+      case IrOp::ShrInt: return "ShrInt";
+      case IrOp::UShrInt: return "UShrInt";
+      case IrOp::BitNotInt: return "BitNotInt";
+      case IrOp::CmpInt: return "CmpInt";
+      case IrOp::CmpDouble: return "CmpDouble";
+      case IrOp::ToDouble: return "ToDouble";
+      case IrOp::ToBoolean: return "ToBoolean";
+      case IrOp::NotBool: return "NotBool";
+      case IrOp::CheckInt32: return "CheckInt32";
+      case IrOp::CheckNumber: return "CheckNumber";
+      case IrOp::CheckShape: return "CheckShape";
+      case IrOp::CheckArray: return "CheckArray";
+      case IrOp::CheckIndexInt: return "CheckIndexInt";
+      case IrOp::CheckBounds: return "CheckBounds";
+      case IrOp::CheckBoundsRange: return "CheckBoundsRange";
+      case IrOp::CheckOverflow: return "CheckOverflow";
+      case IrOp::CheckNotHole: return "CheckNotHole";
+      case IrOp::GetSlot: return "GetSlot";
+      case IrOp::SetSlot: return "SetSlot";
+      case IrOp::GetArrayLen: return "GetArrayLen";
+      case IrOp::GetElem: return "GetElem";
+      case IrOp::SetElem: return "SetElem";
+      case IrOp::LoadGlobal: return "LoadGlobal";
+      case IrOp::StoreGlobal: return "StoreGlobal";
+      case IrOp::GenericBinary: return "GenericBinary";
+      case IrOp::GenericUnary: return "GenericUnary";
+      case IrOp::GenericGetProp: return "GenericGetProp";
+      case IrOp::GenericSetProp: return "GenericSetProp";
+      case IrOp::GenericGetIndex: return "GenericGetIndex";
+      case IrOp::GenericSetIndex: return "GenericSetIndex";
+      case IrOp::NewArray: return "NewArray";
+      case IrOp::NewObject: return "NewObject";
+      case IrOp::Call: return "Call";
+      case IrOp::CallNative: return "CallNative";
+      case IrOp::Intrinsic: return "Intrinsic";
+      case IrOp::CallMethod: return "CallMethod";
+      case IrOp::Jump: return "Jump";
+      case IrOp::Branch: return "Branch";
+      case IrOp::Return: return "Return";
+      case IrOp::ReturnUndef: return "ReturnUndef";
+      case IrOp::TxBegin: return "TxBegin";
+      case IrOp::TxEnd: return "TxEnd";
+      case IrOp::TxTile: return "TxTile";
+    }
+    return "?";
+}
+
+std::string
+IrFunction::print() const
+{
+    std::ostringstream out;
+    out << "ir function #" << funcId << " tier=" << tierName(tier)
+        << " regs=" << numRegs << " (bytecode " << bytecodeRegs << ")"
+        << (txAware ? " tx-aware" : "") << "\n";
+    for (size_t bi = 0; bi < blocks.size(); ++bi) {
+        const IrBlock &block = blocks[bi];
+        out << " block " << bi;
+        if (block.loopId >= 0)
+            out << " (loop " << block.loopId << ")";
+        out << " -> [";
+        for (size_t s = 0; s < block.succs.size(); ++s) {
+            if (s)
+                out << ", ";
+            out << block.succs[s];
+        }
+        out << "]\n";
+        for (const IrInstr &instr : block.instrs) {
+            out << "   " << irOpName(instr.op);
+            if (definesDst(instr.op))
+                out << " r" << instr.dst << " <-";
+            out << " a=r" << instr.a << " b=r" << instr.b << " c=r"
+                << instr.c << " imm=" << instr.imm;
+            if (instr.imm2)
+                out << " imm2=" << instr.imm2;
+            if (instr.smpPc != kNoSmp) {
+                out << (instr.converted ? " abort" : " smp@")
+                    << instr.smpPc;
+            }
+            out << "\n";
+        }
+    }
+    return out.str();
+}
+
+void
+IrFunction::verify() const
+{
+    NOMAP_ASSERT(!blocks.empty());
+    for (size_t bi = 0; bi < blocks.size(); ++bi) {
+        const IrBlock &block = blocks[bi];
+        NOMAP_ASSERT(!block.instrs.empty());
+        const IrInstr &last = block.instrs.back();
+        switch (last.op) {
+          case IrOp::Jump:
+            NOMAP_ASSERT(block.succs.size() == 1);
+            NOMAP_ASSERT(last.imm == block.succs[0]);
+            break;
+          case IrOp::Branch:
+            NOMAP_ASSERT(block.succs.size() == 2);
+            NOMAP_ASSERT(last.imm == block.succs[0]);
+            NOMAP_ASSERT(last.imm2 == block.succs[1]);
+            break;
+          case IrOp::Return:
+          case IrOp::ReturnUndef:
+            NOMAP_ASSERT(block.succs.empty());
+            break;
+          default:
+            panic("block %zu not terminated (%s)", bi,
+                  irOpName(last.op));
+        }
+        for (uint32_t succ : block.succs)
+            NOMAP_ASSERT(succ < blocks.size());
+        for (const IrInstr &instr : block.instrs) {
+            if (definesDst(instr.op))
+                NOMAP_ASSERT(instr.dst < numRegs);
+        }
+        // Terminators only at the end.
+        for (size_t i = 0; i + 1 < block.instrs.size(); ++i) {
+            IrOp op = block.instrs[i].op;
+            NOMAP_ASSERT(op != IrOp::Jump && op != IrOp::Branch &&
+                         op != IrOp::Return && op != IrOp::ReturnUndef);
+        }
+    }
+    // preds consistent with succs.
+    std::vector<std::vector<uint32_t>> expected(blocks.size());
+    for (size_t bi = 0; bi < blocks.size(); ++bi) {
+        for (uint32_t succ : blocks[bi].succs)
+            expected[succ].push_back(static_cast<uint32_t>(bi));
+    }
+    for (size_t bi = 0; bi < blocks.size(); ++bi) {
+        NOMAP_ASSERT(expected[bi].size() == blocks[bi].preds.size());
+    }
+}
+
+} // namespace nomap

@@ -1,0 +1,230 @@
+#ifndef NOMAP_IR_IR_H
+#define NOMAP_IR_IR_H
+
+/**
+ * @file
+ * The typed intermediate representation shared by the DFG and FTL
+ * tiers.
+ *
+ * The IR is a CFG of basic blocks over *virtual registers*. Registers
+ * [0, bytecodeRegs) mirror the Baseline frame one-to-one — that
+ * identity mapping IS the OSR stack map: a deoptimizing check simply
+ * hands registers [0, bytecodeRegs) plus its bytecode pc to the
+ * Baseline executor. Registers >= bytecodeRegs are compiler
+ * temporaries created by optimization passes (e.g. promoted
+ * accumulators) and never appear in stack maps.
+ *
+ * Checks are first-class instructions. Each check carries:
+ *  - its paper Figure-3 category (Bounds/Overflow/Type/Property/Other),
+ *  - `smpPc`, the bytecode pc its Stack Map Point transfers to, and
+ *  - `converted`, set by NoMap when the SMP has been replaced by a
+ *    transactional abort.
+ *
+ * In Base/DFG compilation, an un-converted check behaves like LLVM's
+ * patchpoint/stackmap intrinsics behave in real FTL: an opaque call
+ * that (a) keeps every baseline register alive and (b) clobbers
+ * memory-availability facts. Both properties are what cripples
+ * optimization around SMPs — and both vanish when NoMap converts the
+ * SMP to an abort. The passes in src/passes query these properties
+ * through the helpers at the bottom of this header.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/cost_model.h"
+#include "engine/stats.h"
+#include "js/ast.h"
+#include "vm/value.h"
+
+namespace nomap {
+
+/** IR operations. */
+enum class IrOp : uint8_t {
+    Nop,
+
+    // ---- Pure value ops -------------------------------------------------
+    Const,        ///< dst <- constants[imm]
+    Move,         ///< dst <- ra
+    AddInt,       ///< dst <- ra + rb (sets overflow flag of dst)
+    SubInt,       ///< dst <- ra - rb (overflow flag)
+    MulInt,       ///< dst <- ra * rb (overflow flag)
+    NegInt,       ///< dst <- -ra (overflow on 0 and INT32_MIN)
+    AddDouble, SubDouble, MulDouble, DivDouble, ModDouble,
+    NegDouble,
+    BitAndInt, BitOrInt, BitXorInt, ShlInt, ShrInt, UShrInt,
+    BitNotInt,
+    CmpInt,       ///< dst <- ra (BinaryOp)imm rb, int operands
+    CmpDouble,    ///< dst <- ra (BinaryOp)imm rb, numeric operands
+    ToDouble,     ///< dst <- (double)ra
+    ToBoolean,    ///< dst <- truthiness(ra)
+    NotBool,      ///< dst <- !ra (ra is boolean)
+
+    // ---- Checks (SMP-guarded speculation guards) ---------------------
+    CheckInt32,       ///< ra is an int32            [Type]
+    CheckNumber,      ///< ra is a number            [Type]
+    CheckShape,       ///< ra is object w/ shape imm [Property]
+    CheckArray,       ///< ra is an array            [Type]
+    CheckIndexInt,    ///< ra is an int32 index      [Other]
+    CheckBounds,      ///< rb in [0, len(ra))        [Bounds]
+    CheckBoundsRange, ///< rb..rc in [0, len(ra)) (combined) [Bounds]
+    CheckOverflow,    ///< overflow flag of reg ra clear [Overflow]
+    CheckNotHole,     ///< ra is not undefined       [Other]
+
+    // ---- Memory ---------------------------------------------------------
+    GetSlot,      ///< dst <- object(ra).slots[imm]
+    SetSlot,      ///< object(ra).slots[imm] <- rb
+    GetArrayLen,  ///< dst <- array(ra).length
+    GetElem,      ///< dst <- array(ra)[rb]
+    SetElem,      ///< array(ra)[rb] <- rc
+    LoadGlobal,   ///< dst <- globals[imm]
+    StoreGlobal,  ///< globals[imm] <- ra
+
+    // ---- Generic runtime fallbacks ------------------------------------
+    GenericBinary,   ///< dst <- runtime binop (imm=BinaryOp)
+    GenericUnary,    ///< dst <- runtime unop (imm=UnaryOp)
+    GenericGetProp,  ///< dst <- ra.prop[imm]
+    GenericSetProp,  ///< ra.prop[imm] <- rb
+    GenericGetIndex, ///< dst <- ra[rb]
+    GenericSetIndex, ///< ra[rb] <- rc
+    NewArray,        ///< dst <- [regs ra .. ra+imm-1]
+    NewObject,       ///< dst <- {desc imm, values ra .. ra+rb-1}
+
+    // ---- Calls ------------------------------------------------------------
+    Call,        ///< dst <- functions[imm](ra .. ra+rb-1)
+    CallNative,  ///< dst <- builtin[imm](ra .. ra+rb-1) (runtime)
+    Intrinsic,   ///< dst <- builtin[imm](ra .. ra+rb-1) (inlined)
+    CallMethod,  ///< dst <- ra.m[imm>>4](rb .. rb+(imm&15)-1)
+
+    // ---- Control flow ---------------------------------------------------
+    Jump,        ///< goto block imm
+    Branch,      ///< if truthy(ra) goto imm else imm2
+    Return,      ///< return ra
+    ReturnUndef,
+
+    // ---- Transactions (NoMap) ------------------------------------------
+    TxBegin,     ///< Open transaction; smpPc = Baseline re-entry pc.
+    TxEnd,       ///< Commit (checks SOF under full NoMap).
+    TxTile,      ///< Commit + reopen every imm iterations (tiling).
+};
+
+/** Sentinel for "no SMP attached". */
+constexpr uint32_t kNoSmp = 0xffffffffu;
+
+/** One IR instruction. */
+struct IrInstr {
+    IrOp op = IrOp::Nop;
+    uint16_t dst = 0;
+    uint16_t a = 0;
+    uint16_t b = 0;
+    uint16_t c = 0;
+    uint32_t imm = 0;
+    uint32_t imm2 = 0;
+    /** Bytecode pc of the SMP this check deopts to (kNoSmp if none). */
+    uint32_t smpPc = kNoSmp;
+    /** NoMap converted this check's SMP into a transactional abort. */
+    bool converted = false;
+
+    bool isCheck() const;
+};
+
+/** A basic block. */
+struct IrBlock {
+    std::vector<IrInstr> instrs;
+    std::vector<uint32_t> succs;
+    std::vector<uint32_t> preds;
+    /** Loop id when this block is a bytecode LoopHeader (-1 if not). */
+    int32_t loopId = -1;
+    /** First bytecode pc this block was built from. */
+    uint32_t firstPc = 0;
+};
+
+/**
+ * One transaction region created by the NoMap planner: TxBegin sits
+ * at the end of @p beginBlock (the loop preheader), TxEnd at the top
+ * of each block in @p endBlocks (dedicated loop-exit blocks).
+ */
+struct TxRegion {
+    uint32_t loopHeader = 0;
+    uint32_t beginBlock = 0;
+    std::vector<uint32_t> blocks;    ///< Loop blocks inside the region.
+    std::vector<uint32_t> endBlocks; ///< Blocks holding the TxEnd.
+};
+
+/** A compiled IR function. */
+struct IrFunction {
+    uint32_t funcId = 0;
+    Tier tier = Tier::Ftl;
+    /** Registers mirroring the bytecode frame (the stack-map prefix). */
+    uint16_t bytecodeRegs = 0;
+    /** Total virtual registers including pass-created temporaries. */
+    uint16_t numRegs = 0;
+    /** True when NoMap instrumented this function with transactions. */
+    bool txAware = false;
+
+    std::vector<IrBlock> blocks;
+    std::vector<Value> constants;
+    /** Transaction regions (filled by the NoMap planner). */
+    std::vector<TxRegion> txRegions;
+
+    /** Allocate a fresh pass temporary register. */
+    uint16_t
+    allocTemp()
+    {
+        return numRegs++;
+    }
+
+    uint32_t
+    addConstant(Value v)
+    {
+        for (size_t i = 0; i < constants.size(); ++i) {
+            if (constants[i] == v)
+                return static_cast<uint32_t>(i);
+        }
+        constants.push_back(v);
+        return static_cast<uint32_t>(constants.size() - 1);
+    }
+
+    /** Human-readable dump (tests, debugging). */
+    std::string print() const;
+
+    /** Structural sanity checks; panics on corruption. */
+    void verify() const;
+};
+
+// ---- Classification helpers used by passes and executors ---------------
+
+/** True for the Check* family. */
+bool isCheckOp(IrOp op);
+
+/** Figure-3 category of a check op. */
+CheckKind checkKindOf(IrOp op);
+
+/** True if the op reads heap/global memory. */
+bool readsMemory(IrOp op);
+
+/** True if the op writes heap/global memory. */
+bool writesMemory(IrOp op);
+
+/** True for calls and generic ops that may touch arbitrary state. */
+bool isOpaqueCall(IrOp op);
+
+/** True for pure, speculation-free value computations. */
+bool isPureValueOp(IrOp op);
+
+/** True if the instruction defines `dst`. */
+bool definesDst(IrOp op);
+
+/** Printable op name. */
+const char *irOpName(IrOp op);
+
+inline bool
+IrInstr::isCheck() const
+{
+    return isCheckOp(op);
+}
+
+} // namespace nomap
+
+#endif // NOMAP_IR_IR_H

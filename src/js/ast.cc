@@ -1,0 +1,193 @@
+#include "js/ast.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace nomap {
+
+namespace {
+
+const char *
+binaryOpName(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Add: return "+";
+      case BinaryOp::Sub: return "-";
+      case BinaryOp::Mul: return "*";
+      case BinaryOp::Div: return "/";
+      case BinaryOp::Mod: return "%";
+      case BinaryOp::BitAnd: return "&";
+      case BinaryOp::BitOr: return "|";
+      case BinaryOp::BitXor: return "^";
+      case BinaryOp::Shl: return "<<";
+      case BinaryOp::Shr: return ">>";
+      case BinaryOp::UShr: return ">>>";
+      case BinaryOp::Lt: return "<";
+      case BinaryOp::Le: return "<=";
+      case BinaryOp::Gt: return ">";
+      case BinaryOp::Ge: return ">=";
+      case BinaryOp::Eq: return "==";
+      case BinaryOp::NotEq: return "!=";
+      case BinaryOp::StrictEq: return "===";
+      case BinaryOp::StrictNotEq: return "!==";
+    }
+    return "?";
+}
+
+void
+print(const Expr &expr, std::ostringstream &out)
+{
+    switch (expr.kind) {
+      case ExprKind::NumberLit:
+        out << static_cast<const NumberLitExpr &>(expr).value;
+        break;
+      case ExprKind::StringLit:
+        out << '"' << static_cast<const StringLitExpr &>(expr).value
+            << '"';
+        break;
+      case ExprKind::BoolLit:
+        out << (static_cast<const BoolLitExpr &>(expr).value ? "true"
+                                                             : "false");
+        break;
+      case ExprKind::NullLit:
+        out << "null";
+        break;
+      case ExprKind::UndefinedLit:
+        out << "undefined";
+        break;
+      case ExprKind::ArrayLit: {
+        const auto &arr = static_cast<const ArrayLitExpr &>(expr);
+        out << '[';
+        for (size_t i = 0; i < arr.elements.size(); ++i) {
+            if (i)
+                out << ", ";
+            print(*arr.elements[i], out);
+        }
+        out << ']';
+        break;
+      }
+      case ExprKind::ObjectLit: {
+        const auto &obj = static_cast<const ObjectLitExpr &>(expr);
+        out << '{';
+        for (size_t i = 0; i < obj.properties.size(); ++i) {
+            if (i)
+                out << ", ";
+            out << obj.properties[i].first << ": ";
+            print(*obj.properties[i].second, out);
+        }
+        out << '}';
+        break;
+      }
+      case ExprKind::Ident:
+        out << static_cast<const IdentExpr &>(expr).name;
+        break;
+      case ExprKind::Unary: {
+        const auto &un = static_cast<const UnaryExpr &>(expr);
+        switch (un.op) {
+          case UnaryOp::Neg: out << "-"; break;
+          case UnaryOp::Plus: out << "+"; break;
+          case UnaryOp::Not: out << "!"; break;
+          case UnaryOp::BitNot: out << "~"; break;
+          case UnaryOp::Typeof: out << "typeof "; break;
+        }
+        out << '(';
+        print(*un.operand, out);
+        out << ')';
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto &bin = static_cast<const BinaryExpr &>(expr);
+        out << '(';
+        print(*bin.lhs, out);
+        out << ' ' << binaryOpName(bin.op) << ' ';
+        print(*bin.rhs, out);
+        out << ')';
+        break;
+      }
+      case ExprKind::Logical: {
+        const auto &log = static_cast<const LogicalExpr &>(expr);
+        out << '(';
+        print(*log.lhs, out);
+        out << (log.op == LogicalOp::And ? " && " : " || ");
+        print(*log.rhs, out);
+        out << ')';
+        break;
+      }
+      case ExprKind::Conditional: {
+        const auto &c = static_cast<const ConditionalExpr &>(expr);
+        out << '(';
+        print(*c.cond, out);
+        out << " ? ";
+        print(*c.thenExpr, out);
+        out << " : ";
+        print(*c.elseExpr, out);
+        out << ')';
+        break;
+      }
+      case ExprKind::Assign: {
+        const auto &a = static_cast<const AssignExpr &>(expr);
+        print(*a.target, out);
+        out << " = ";
+        print(*a.value, out);
+        break;
+      }
+      case ExprKind::CompoundAssign: {
+        const auto &a = static_cast<const CompoundAssignExpr &>(expr);
+        print(*a.target, out);
+        out << ' ' << binaryOpName(a.op) << "= ";
+        print(*a.value, out);
+        break;
+      }
+      case ExprKind::PreIncDec: {
+        const auto &p = static_cast<const PreIncDecExpr &>(expr);
+        out << (p.isIncrement ? "++" : "--");
+        print(*p.target, out);
+        break;
+      }
+      case ExprKind::PostIncDec: {
+        const auto &p = static_cast<const PostIncDecExpr &>(expr);
+        print(*p.target, out);
+        out << (p.isIncrement ? "++" : "--");
+        break;
+      }
+      case ExprKind::Member: {
+        const auto &m = static_cast<const MemberExpr &>(expr);
+        print(*m.object, out);
+        out << '.' << m.property;
+        break;
+      }
+      case ExprKind::Index: {
+        const auto &ix = static_cast<const IndexExpr &>(expr);
+        print(*ix.object, out);
+        out << '[';
+        print(*ix.index, out);
+        out << ']';
+        break;
+      }
+      case ExprKind::Call: {
+        const auto &call = static_cast<const CallExpr &>(expr);
+        print(*call.callee, out);
+        out << '(';
+        for (size_t i = 0; i < call.args.size(); ++i) {
+            if (i)
+                out << ", ";
+            print(*call.args[i], out);
+        }
+        out << ')';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+exprToString(const Expr &expr)
+{
+    std::ostringstream out;
+    print(expr, out);
+    return out.str();
+}
+
+} // namespace nomap

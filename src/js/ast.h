@@ -1,0 +1,313 @@
+#ifndef NOMAP_JS_AST_H
+#define NOMAP_JS_AST_H
+
+/**
+ * @file
+ * Abstract syntax tree for the JavaScript subset.
+ *
+ * The subset is deliberately closure-free: all functions are declared
+ * at the top level and identifiers resolve to parameters, function
+ * locals, other functions, or globals. This keeps frame layout flat,
+ * which is what lets the tiers share a simple register-file frame and
+ * makes OSR stack maps exact.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nomap {
+
+/** Discriminator for Expr subclasses. */
+enum class ExprKind : uint8_t {
+    NumberLit, StringLit, BoolLit, NullLit, UndefinedLit,
+    ArrayLit, ObjectLit,
+    Ident,
+    Unary, Binary, Logical, Conditional,
+    Assign, CompoundAssign, PreIncDec, PostIncDec,
+    Member,     // obj.prop
+    Index,      // obj[expr]
+    Call,       // f(args) or obj.method(args)
+};
+
+/** Discriminator for Stmt subclasses. */
+enum class StmtKind : uint8_t {
+    Expression, VarDecl, Block, If, While, DoWhile, For,
+    Return, Break, Continue, Empty, Switch,
+};
+
+/** Unary operators. */
+enum class UnaryOp : uint8_t { Neg, Plus, Not, BitNot, Typeof };
+
+/** Binary operators (arithmetic, bitwise, comparison). */
+enum class BinaryOp : uint8_t {
+    Add, Sub, Mul, Div, Mod,
+    BitAnd, BitOr, BitXor, Shl, Shr, UShr,
+    Lt, Le, Gt, Ge, Eq, NotEq, StrictEq, StrictNotEq,
+};
+
+/** Short-circuit operators. */
+enum class LogicalOp : uint8_t { And, Or };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Base class for all expressions. */
+struct Expr {
+    explicit Expr(ExprKind k) : kind(k) {}
+    virtual ~Expr() = default;
+
+    ExprKind kind;
+    uint32_t line = 0;
+};
+
+struct NumberLitExpr : Expr {
+    explicit NumberLitExpr(double v)
+        : Expr(ExprKind::NumberLit), value(v) {}
+    double value;
+};
+
+struct StringLitExpr : Expr {
+    explicit StringLitExpr(std::string v)
+        : Expr(ExprKind::StringLit), value(std::move(v)) {}
+    std::string value;
+};
+
+struct BoolLitExpr : Expr {
+    explicit BoolLitExpr(bool v) : Expr(ExprKind::BoolLit), value(v) {}
+    bool value;
+};
+
+struct NullLitExpr : Expr {
+    NullLitExpr() : Expr(ExprKind::NullLit) {}
+};
+
+struct UndefinedLitExpr : Expr {
+    UndefinedLitExpr() : Expr(ExprKind::UndefinedLit) {}
+};
+
+struct ArrayLitExpr : Expr {
+    ArrayLitExpr() : Expr(ExprKind::ArrayLit) {}
+    std::vector<ExprPtr> elements;
+};
+
+struct ObjectLitExpr : Expr {
+    ObjectLitExpr() : Expr(ExprKind::ObjectLit) {}
+    std::vector<std::pair<std::string, ExprPtr>> properties;
+};
+
+struct IdentExpr : Expr {
+    explicit IdentExpr(std::string n)
+        : Expr(ExprKind::Ident), name(std::move(n)) {}
+    std::string name;
+};
+
+struct UnaryExpr : Expr {
+    UnaryExpr(UnaryOp o, ExprPtr e)
+        : Expr(ExprKind::Unary), op(o), operand(std::move(e)) {}
+    UnaryOp op;
+    ExprPtr operand;
+};
+
+struct BinaryExpr : Expr {
+    BinaryExpr(BinaryOp o, ExprPtr l, ExprPtr r)
+        : Expr(ExprKind::Binary), op(o),
+          lhs(std::move(l)), rhs(std::move(r)) {}
+    BinaryOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+struct LogicalExpr : Expr {
+    LogicalExpr(LogicalOp o, ExprPtr l, ExprPtr r)
+        : Expr(ExprKind::Logical), op(o),
+          lhs(std::move(l)), rhs(std::move(r)) {}
+    LogicalOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+struct ConditionalExpr : Expr {
+    ConditionalExpr(ExprPtr c, ExprPtr t, ExprPtr f)
+        : Expr(ExprKind::Conditional), cond(std::move(c)),
+          thenExpr(std::move(t)), elseExpr(std::move(f)) {}
+    ExprPtr cond;
+    ExprPtr thenExpr;
+    ExprPtr elseExpr;
+};
+
+/** target = value, where target is Ident, Member, or Index. */
+struct AssignExpr : Expr {
+    AssignExpr(ExprPtr t, ExprPtr v)
+        : Expr(ExprKind::Assign), target(std::move(t)),
+          value(std::move(v)) {}
+    ExprPtr target;
+    ExprPtr value;
+};
+
+/** target op= value. */
+struct CompoundAssignExpr : Expr {
+    CompoundAssignExpr(BinaryOp o, ExprPtr t, ExprPtr v)
+        : Expr(ExprKind::CompoundAssign), op(o),
+          target(std::move(t)), value(std::move(v)) {}
+    BinaryOp op;
+    ExprPtr target;
+    ExprPtr value;
+};
+
+/** ++x / --x. */
+struct PreIncDecExpr : Expr {
+    PreIncDecExpr(bool inc, ExprPtr t)
+        : Expr(ExprKind::PreIncDec), isIncrement(inc),
+          target(std::move(t)) {}
+    bool isIncrement;
+    ExprPtr target;
+};
+
+/** x++ / x--. */
+struct PostIncDecExpr : Expr {
+    PostIncDecExpr(bool inc, ExprPtr t)
+        : Expr(ExprKind::PostIncDec), isIncrement(inc),
+          target(std::move(t)) {}
+    bool isIncrement;
+    ExprPtr target;
+};
+
+struct MemberExpr : Expr {
+    MemberExpr(ExprPtr obj, std::string prop)
+        : Expr(ExprKind::Member), object(std::move(obj)),
+          property(std::move(prop)) {}
+    ExprPtr object;
+    std::string property;
+};
+
+struct IndexExpr : Expr {
+    IndexExpr(ExprPtr obj, ExprPtr idx)
+        : Expr(ExprKind::Index), object(std::move(obj)),
+          index(std::move(idx)) {}
+    ExprPtr object;
+    ExprPtr index;
+};
+
+struct CallExpr : Expr {
+    explicit CallExpr(ExprPtr c)
+        : Expr(ExprKind::Call), callee(std::move(c)) {}
+    ExprPtr callee; ///< Ident or Member (for builtins like Math.sqrt).
+    std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** Base class for all statements. */
+struct Stmt {
+    explicit Stmt(StmtKind k) : kind(k) {}
+    virtual ~Stmt() = default;
+
+    StmtKind kind;
+    uint32_t line = 0;
+};
+
+struct ExpressionStmt : Stmt {
+    explicit ExpressionStmt(ExprPtr e)
+        : Stmt(StmtKind::Expression), expr(std::move(e)) {}
+    ExprPtr expr;
+};
+
+struct VarDeclStmt : Stmt {
+    VarDeclStmt() : Stmt(StmtKind::VarDecl) {}
+    /** Each declarator: name and optional initializer. */
+    std::vector<std::pair<std::string, ExprPtr>> decls;
+};
+
+struct BlockStmt : Stmt {
+    BlockStmt() : Stmt(StmtKind::Block) {}
+    std::vector<StmtPtr> body;
+};
+
+struct IfStmt : Stmt {
+    IfStmt(ExprPtr c, StmtPtr t, StmtPtr e)
+        : Stmt(StmtKind::If), cond(std::move(c)),
+          thenStmt(std::move(t)), elseStmt(std::move(e)) {}
+    ExprPtr cond;
+    StmtPtr thenStmt;
+    StmtPtr elseStmt; ///< may be null
+};
+
+struct WhileStmt : Stmt {
+    WhileStmt(ExprPtr c, StmtPtr b)
+        : Stmt(StmtKind::While), cond(std::move(c)),
+          body(std::move(b)) {}
+    ExprPtr cond;
+    StmtPtr body;
+};
+
+struct DoWhileStmt : Stmt {
+    DoWhileStmt(StmtPtr b, ExprPtr c)
+        : Stmt(StmtKind::DoWhile), body(std::move(b)),
+          cond(std::move(c)) {}
+    StmtPtr body;
+    ExprPtr cond;
+};
+
+struct ForStmt : Stmt {
+    ForStmt() : Stmt(StmtKind::For) {}
+    StmtPtr init;   ///< VarDecl or Expression; may be null
+    ExprPtr cond;   ///< may be null (infinite)
+    ExprPtr update; ///< may be null
+    StmtPtr body;
+};
+
+struct ReturnStmt : Stmt {
+    explicit ReturnStmt(ExprPtr v)
+        : Stmt(StmtKind::Return), value(std::move(v)) {}
+    ExprPtr value; ///< may be null (returns undefined)
+};
+
+struct BreakStmt : Stmt {
+    BreakStmt() : Stmt(StmtKind::Break) {}
+};
+
+struct ContinueStmt : Stmt {
+    ContinueStmt() : Stmt(StmtKind::Continue) {}
+};
+
+struct EmptyStmt : Stmt {
+    EmptyStmt() : Stmt(StmtKind::Empty) {}
+};
+
+/** One `case expr:` (or `default:` when test is null) clause. */
+struct SwitchClause {
+    ExprPtr test; ///< null for default.
+    std::vector<StmtPtr> body;
+};
+
+/** switch with C-style fall-through; break exits the switch. */
+struct SwitchStmt : Stmt {
+    explicit SwitchStmt(ExprPtr d)
+        : Stmt(StmtKind::Switch), discriminant(std::move(d)) {}
+    ExprPtr discriminant;
+    std::vector<SwitchClause> clauses;
+};
+
+/** A top-level function declaration. */
+struct FunctionDecl {
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<StmtPtr> body;
+    uint32_t line = 0;
+};
+
+/** A whole parsed program: functions plus top-level statements. */
+struct Program {
+    std::vector<std::unique_ptr<FunctionDecl>> functions;
+    std::vector<StmtPtr> topLevel;
+};
+
+/** Pretty-print an expression (used in tests and diagnostics). */
+std::string exprToString(const Expr &expr);
+
+} // namespace nomap
+
+#endif // NOMAP_JS_AST_H

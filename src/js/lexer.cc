@@ -1,0 +1,405 @@
+#include "js/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace nomap {
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::EndOfFile: return "eof";
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::Number: return "number";
+      case TokenKind::String: return "string";
+      case TokenKind::KwVar: return "var";
+      case TokenKind::KwFunction: return "function";
+      case TokenKind::KwReturn: return "return";
+      case TokenKind::KwIf: return "if";
+      case TokenKind::KwElse: return "else";
+      case TokenKind::KwWhile: return "while";
+      case TokenKind::KwDo: return "do";
+      case TokenKind::KwFor: return "for";
+      case TokenKind::KwBreak: return "break";
+      case TokenKind::KwContinue: return "continue";
+      case TokenKind::KwTrue: return "true";
+      case TokenKind::KwFalse: return "false";
+      case TokenKind::KwNull: return "null";
+      case TokenKind::KwUndefined: return "undefined";
+      case TokenKind::KwTypeof: return "typeof";
+      case TokenKind::KwSwitch: return "switch";
+      case TokenKind::KwCase: return "case";
+      case TokenKind::KwDefault: return "default";
+      case TokenKind::LParen: return "(";
+      case TokenKind::RParen: return ")";
+      case TokenKind::LBrace: return "{";
+      case TokenKind::RBrace: return "}";
+      case TokenKind::LBracket: return "[";
+      case TokenKind::RBracket: return "]";
+      case TokenKind::Semicolon: return ";";
+      case TokenKind::Comma: return ",";
+      case TokenKind::Dot: return ".";
+      case TokenKind::Colon: return ":";
+      case TokenKind::Question: return "?";
+      case TokenKind::Assign: return "=";
+      case TokenKind::PlusAssign: return "+=";
+      case TokenKind::MinusAssign: return "-=";
+      case TokenKind::StarAssign: return "*=";
+      case TokenKind::SlashAssign: return "/=";
+      case TokenKind::PercentAssign: return "%=";
+      case TokenKind::AndAssign: return "&=";
+      case TokenKind::OrAssign: return "|=";
+      case TokenKind::XorAssign: return "^=";
+      case TokenKind::ShlAssign: return "<<=";
+      case TokenKind::ShrAssign: return ">>=";
+      case TokenKind::UShrAssign: return ">>>=";
+      case TokenKind::Plus: return "+";
+      case TokenKind::Minus: return "-";
+      case TokenKind::Star: return "*";
+      case TokenKind::Slash: return "/";
+      case TokenKind::Percent: return "%";
+      case TokenKind::PlusPlus: return "++";
+      case TokenKind::MinusMinus: return "--";
+      case TokenKind::EqEq: return "==";
+      case TokenKind::NotEq: return "!=";
+      case TokenKind::EqEqEq: return "===";
+      case TokenKind::NotEqEq: return "!==";
+      case TokenKind::Lt: return "<";
+      case TokenKind::Gt: return ">";
+      case TokenKind::Le: return "<=";
+      case TokenKind::Ge: return ">=";
+      case TokenKind::AndAnd: return "&&";
+      case TokenKind::OrOr: return "||";
+      case TokenKind::Not: return "!";
+      case TokenKind::BitAnd: return "&";
+      case TokenKind::BitOr: return "|";
+      case TokenKind::BitXor: return "^";
+      case TokenKind::BitNot: return "~";
+      case TokenKind::Shl: return "<<";
+      case TokenKind::Shr: return ">>";
+      case TokenKind::UShr: return ">>>";
+    }
+    return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind> &
+keywordTable()
+{
+    static const std::unordered_map<std::string, TokenKind> table = {
+        {"var", TokenKind::KwVar},
+        {"function", TokenKind::KwFunction},
+        {"return", TokenKind::KwReturn},
+        {"if", TokenKind::KwIf},
+        {"else", TokenKind::KwElse},
+        {"while", TokenKind::KwWhile},
+        {"do", TokenKind::KwDo},
+        {"for", TokenKind::KwFor},
+        {"break", TokenKind::KwBreak},
+        {"continue", TokenKind::KwContinue},
+        {"true", TokenKind::KwTrue},
+        {"false", TokenKind::KwFalse},
+        {"null", TokenKind::KwNull},
+        {"undefined", TokenKind::KwUndefined},
+        {"typeof", TokenKind::KwTypeof},
+        {"switch", TokenKind::KwSwitch},
+        {"case", TokenKind::KwCase},
+        {"default", TokenKind::KwDefault},
+    };
+    return table;
+}
+
+} // namespace
+
+Lexer::Lexer(std::string source)
+    : src(std::move(source))
+{
+}
+
+std::vector<Token>
+Lexer::lexAll()
+{
+    std::vector<Token> tokens;
+    for (;;) {
+        Token tok = next();
+        bool done = tok.kind == TokenKind::EndOfFile;
+        tokens.push_back(std::move(tok));
+        if (done)
+            break;
+    }
+    return tokens;
+}
+
+char
+Lexer::peek(int ahead) const
+{
+    size_t idx = pos + static_cast<size_t>(ahead);
+    return idx < src.size() ? src[idx] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    char c = src[pos++];
+    if (c == '\n') {
+        ++line;
+        column = 1;
+    } else {
+        ++column;
+    }
+    return c;
+}
+
+bool
+Lexer::match(char expected)
+{
+    if (peek() != expected)
+        return false;
+    advance();
+    return true;
+}
+
+void
+Lexer::skipWhitespaceAndComments()
+{
+    for (;;) {
+        char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (peek() != '\n' && peek() != '\0')
+                advance();
+        } else if (c == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            while (!(peek() == '*' && peek(1) == '/')) {
+                if (peek() == '\0')
+                    fatal("unterminated block comment at line %u", line);
+                advance();
+            }
+            advance();
+            advance();
+        } else {
+            return;
+        }
+    }
+}
+
+Token
+Lexer::makeToken(TokenKind kind)
+{
+    Token tok;
+    tok.kind = kind;
+    tok.line = tokLine;
+    tok.column = tokColumn;
+    return tok;
+}
+
+Token
+Lexer::lexNumber()
+{
+    size_t start = pos;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        advance();
+        advance();
+        while (std::isxdigit(static_cast<unsigned char>(peek())))
+            advance();
+        Token tok = makeToken(TokenKind::Number);
+        tok.number = static_cast<double>(
+            std::strtoull(src.c_str() + start + 2, nullptr, 16));
+        return tok;
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+        size_t mark = pos;
+        advance();
+        if (peek() == '+' || peek() == '-')
+            advance();
+        if (std::isdigit(static_cast<unsigned char>(peek()))) {
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                advance();
+        } else {
+            pos = mark; // not an exponent after all
+        }
+    }
+    Token tok = makeToken(TokenKind::Number);
+    tok.number = std::strtod(src.c_str() + start, nullptr);
+    return tok;
+}
+
+Token
+Lexer::lexString(char quote)
+{
+    std::string value;
+    while (peek() != quote) {
+        char c = peek();
+        if (c == '\0')
+            fatal("unterminated string at line %u", tokLine);
+        if (c == '\\') {
+            advance();
+            char esc = advance();
+            switch (esc) {
+              case 'n': value.push_back('\n'); break;
+              case 't': value.push_back('\t'); break;
+              case 'r': value.push_back('\r'); break;
+              case '0': value.push_back('\0'); break;
+              case '\\': value.push_back('\\'); break;
+              case '\'': value.push_back('\''); break;
+              case '"': value.push_back('"'); break;
+              default:
+                fatal("bad escape '\\%c' at line %u", esc, tokLine);
+            }
+        } else {
+            value.push_back(advance());
+        }
+    }
+    advance(); // closing quote
+    Token tok = makeToken(TokenKind::String);
+    tok.text = std::move(value);
+    return tok;
+}
+
+Token
+Lexer::lexIdentifierOrKeyword()
+{
+    size_t start = pos;
+    while (std::isalnum(static_cast<unsigned char>(peek())) ||
+           peek() == '_' || peek() == '$') {
+        advance();
+    }
+    std::string name = src.substr(start, pos - start);
+    auto it = keywordTable().find(name);
+    if (it != keywordTable().end())
+        return makeToken(it->second);
+    Token tok = makeToken(TokenKind::Identifier);
+    tok.text = std::move(name);
+    return tok;
+}
+
+Token
+Lexer::next()
+{
+    skipWhitespaceAndComments();
+    tokLine = line;
+    tokColumn = column;
+    char c = peek();
+    if (c == '\0')
+        return makeToken(TokenKind::EndOfFile);
+
+    if (std::isdigit(static_cast<unsigned char>(c)))
+        return lexNumber();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$')
+        return lexIdentifierOrKeyword();
+    if (c == '"' || c == '\'') {
+        advance();
+        return lexString(c);
+    }
+
+    advance();
+    switch (c) {
+      case '(': return makeToken(TokenKind::LParen);
+      case ')': return makeToken(TokenKind::RParen);
+      case '{': return makeToken(TokenKind::LBrace);
+      case '}': return makeToken(TokenKind::RBrace);
+      case '[': return makeToken(TokenKind::LBracket);
+      case ']': return makeToken(TokenKind::RBracket);
+      case ';': return makeToken(TokenKind::Semicolon);
+      case ',': return makeToken(TokenKind::Comma);
+      case '.': return makeToken(TokenKind::Dot);
+      case ':': return makeToken(TokenKind::Colon);
+      case '?': return makeToken(TokenKind::Question);
+      case '~': return makeToken(TokenKind::BitNot);
+      case '+':
+        if (match('+'))
+            return makeToken(TokenKind::PlusPlus);
+        if (match('='))
+            return makeToken(TokenKind::PlusAssign);
+        return makeToken(TokenKind::Plus);
+      case '-':
+        if (match('-'))
+            return makeToken(TokenKind::MinusMinus);
+        if (match('='))
+            return makeToken(TokenKind::MinusAssign);
+        return makeToken(TokenKind::Minus);
+      case '*':
+        if (match('='))
+            return makeToken(TokenKind::StarAssign);
+        return makeToken(TokenKind::Star);
+      case '/':
+        if (match('='))
+            return makeToken(TokenKind::SlashAssign);
+        return makeToken(TokenKind::Slash);
+      case '%':
+        if (match('='))
+            return makeToken(TokenKind::PercentAssign);
+        return makeToken(TokenKind::Percent);
+      case '=':
+        if (match('=')) {
+            if (match('='))
+                return makeToken(TokenKind::EqEqEq);
+            return makeToken(TokenKind::EqEq);
+        }
+        return makeToken(TokenKind::Assign);
+      case '!':
+        if (match('=')) {
+            if (match('='))
+                return makeToken(TokenKind::NotEqEq);
+            return makeToken(TokenKind::NotEq);
+        }
+        return makeToken(TokenKind::Not);
+      case '<':
+        if (match('<')) {
+            if (match('='))
+                return makeToken(TokenKind::ShlAssign);
+            return makeToken(TokenKind::Shl);
+        }
+        if (match('='))
+            return makeToken(TokenKind::Le);
+        return makeToken(TokenKind::Lt);
+      case '>':
+        if (match('>')) {
+            if (match('>')) {
+                if (match('='))
+                    return makeToken(TokenKind::UShrAssign);
+                return makeToken(TokenKind::UShr);
+            }
+            if (match('='))
+                return makeToken(TokenKind::ShrAssign);
+            return makeToken(TokenKind::Shr);
+        }
+        if (match('='))
+            return makeToken(TokenKind::Ge);
+        return makeToken(TokenKind::Gt);
+      case '&':
+        if (match('&'))
+            return makeToken(TokenKind::AndAnd);
+        if (match('='))
+            return makeToken(TokenKind::AndAssign);
+        return makeToken(TokenKind::BitAnd);
+      case '|':
+        if (match('|'))
+            return makeToken(TokenKind::OrOr);
+        if (match('='))
+            return makeToken(TokenKind::OrAssign);
+        return makeToken(TokenKind::BitOr);
+      case '^':
+        if (match('='))
+            return makeToken(TokenKind::XorAssign);
+        return makeToken(TokenKind::BitXor);
+      default:
+        fatal("unexpected character '%c' at line %u", c, tokLine);
+    }
+}
+
+} // namespace nomap

@@ -1,0 +1,48 @@
+#ifndef NOMAP_JS_LEXER_H
+#define NOMAP_JS_LEXER_H
+
+/**
+ * @file
+ * Hand-written lexer for the JavaScript subset. Supports //- and
+ * block comments, decimal and hex number literals, single- and
+ * double-quoted strings with the common escapes.
+ */
+
+#include <string>
+#include <vector>
+
+#include "js/token.h"
+
+namespace nomap {
+
+/** Turns source text into a token vector (throws FatalError on bad input). */
+class Lexer
+{
+  public:
+    explicit Lexer(std::string source);
+
+    /** Lex the whole input; the last token is always EndOfFile. */
+    std::vector<Token> lexAll();
+
+  private:
+    Token next();
+    char peek(int ahead = 0) const;
+    char advance();
+    bool match(char expected);
+    void skipWhitespaceAndComments();
+    Token makeToken(TokenKind kind);
+    Token lexNumber();
+    Token lexString(char quote);
+    Token lexIdentifierOrKeyword();
+
+    std::string src;
+    size_t pos = 0;
+    uint32_t line = 1;
+    uint32_t column = 1;
+    uint32_t tokLine = 1;
+    uint32_t tokColumn = 1;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_JS_LEXER_H

@@ -1,0 +1,70 @@
+#ifndef NOMAP_JS_PARSER_H
+#define NOMAP_JS_PARSER_H
+
+/**
+ * @file
+ * Recursive-descent parser for the JavaScript subset. Produces a
+ * Program (top-level function declarations plus top-level statements).
+ * Throws FatalError with line information on syntax errors.
+ */
+
+#include <string>
+#include <vector>
+
+#include "js/ast.h"
+#include "js/token.h"
+
+namespace nomap {
+
+/** Parse full source text into a Program. */
+Program parseProgram(const std::string &source);
+
+/** Internal parser class, exposed for unit testing. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens);
+
+    Program parse();
+
+  private:
+    const Token &peek(int ahead = 0) const;
+    const Token &advance();
+    bool check(TokenKind kind) const;
+    bool match(TokenKind kind);
+    const Token &expect(TokenKind kind, const char *context);
+
+    std::unique_ptr<FunctionDecl> parseFunction();
+    StmtPtr parseStatement();
+    StmtPtr parseBlock();
+    StmtPtr parseVarDecl();
+    StmtPtr parseIf();
+    StmtPtr parseWhile();
+    StmtPtr parseDoWhile();
+    StmtPtr parseFor();
+    StmtPtr parseSwitch();
+
+    ExprPtr parseExpression();
+    ExprPtr parseAssignment();
+    ExprPtr parseConditional();
+    ExprPtr parseLogicalOr();
+    ExprPtr parseLogicalAnd();
+    ExprPtr parseBitOr();
+    ExprPtr parseBitXor();
+    ExprPtr parseBitAnd();
+    ExprPtr parseEquality();
+    ExprPtr parseRelational();
+    ExprPtr parseShift();
+    ExprPtr parseAdditive();
+    ExprPtr parseMultiplicative();
+    ExprPtr parseUnary();
+    ExprPtr parsePostfix();
+    ExprPtr parsePrimary();
+
+    std::vector<Token> toks;
+    size_t pos = 0;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_JS_PARSER_H

@@ -1,0 +1,57 @@
+#ifndef NOMAP_JS_TOKEN_H
+#define NOMAP_JS_TOKEN_H
+
+/**
+ * @file
+ * Token definitions for the JavaScript-subset lexer.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace nomap {
+
+/** Token kinds, including all operators the subset supports. */
+enum class TokenKind : uint8_t {
+    EndOfFile,
+    Identifier,
+    Number,
+    String,
+
+    // Keywords.
+    KwVar, KwFunction, KwReturn, KwIf, KwElse, KwWhile, KwDo, KwFor,
+    KwBreak, KwContinue, KwTrue, KwFalse, KwNull, KwUndefined, KwTypeof,
+    KwSwitch, KwCase, KwDefault,
+
+    // Punctuation.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semicolon, Comma, Dot, Colon, Question,
+
+    // Operators.
+    Assign,            // =
+    PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+    AndAssign, OrAssign, XorAssign, ShlAssign, ShrAssign, UShrAssign,
+    Plus, Minus, Star, Slash, Percent,
+    PlusPlus, MinusMinus,
+    EqEq, NotEq, EqEqEq, NotEqEq,
+    Lt, Gt, Le, Ge,
+    AndAnd, OrOr, Not,
+    BitAnd, BitOr, BitXor, BitNot,
+    Shl, Shr, UShr,
+};
+
+/** One lexed token with source position for error messages. */
+struct Token {
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;     ///< Identifier name or string contents.
+    double number = 0.0;  ///< Value for Number tokens.
+    uint32_t line = 0;
+    uint32_t column = 0;
+};
+
+/** Printable token-kind name (for diagnostics and tests). */
+const char *tokenKindName(TokenKind kind);
+
+} // namespace nomap
+
+#endif // NOMAP_JS_TOKEN_H

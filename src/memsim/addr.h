@@ -1,0 +1,33 @@
+#ifndef NOMAP_MEMSIM_ADDR_H
+#define NOMAP_MEMSIM_ADDR_H
+
+/**
+ * @file
+ * Abstract physical addresses.
+ *
+ * The VM heap hands out abstract addresses from a bump allocator
+ * (vm/heap.h). Those addresses exist purely so the cache and HTM
+ * simulators can reason about spatial locality, line granularity, and
+ * set-index conflicts, exactly as a Pin-based model of the paper's
+ * Skylake machine would.
+ */
+
+#include <cstdint>
+
+namespace nomap {
+
+using Addr = uint64_t;
+
+/** Cache line size used throughout the model (Skylake: 64 bytes). */
+constexpr uint32_t kLineSize = 64;
+
+/** Round an address down to its line base. */
+constexpr Addr
+lineBase(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineSize - 1);
+}
+
+} // namespace nomap
+
+#endif // NOMAP_MEMSIM_ADDR_H

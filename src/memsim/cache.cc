@@ -1,0 +1,165 @@
+#include "memsim/cache.h"
+
+#include "support/logging.h"
+
+namespace nomap {
+
+Cache::Cache(uint32_t size_bytes, uint32_t ways_)
+    : ways(ways_)
+{
+    NOMAP_ASSERT(ways > 0);
+    NOMAP_ASSERT(size_bytes % (kLineSize * ways) == 0);
+    uint32_t num_sets = size_bytes / (kLineSize * ways);
+    NOMAP_ASSERT((num_sets & (num_sets - 1)) == 0);
+    sets.resize(num_sets);
+    for (auto &set : sets)
+        set.lines.resize(ways);
+}
+
+uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<uint32_t>((addr / kLineSize) &
+                                 (sets.size() - 1));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return (addr / kLineSize) / sets.size();
+}
+
+void
+Cache::trackSwHighWater(const Set &set)
+{
+    uint32_t sw_ways = 0;
+    for (const Line &line : set.lines) {
+        if (line.valid && line.sw)
+            ++sw_ways;
+    }
+    if (sw_ways > statsData.maxSwWaysInSet)
+        statsData.maxSwWaysInSet = sw_ways;
+}
+
+CacheResult
+Cache::access(Addr addr, bool is_write, bool speculative)
+{
+    Set &set = sets[setIndex(addr)];
+    Addr tag = tagOf(addr);
+    ++lruClock;
+
+    for (Line &line : set.lines) {
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = lruClock;
+            if (is_write && speculative)
+                line.sw = true;
+            ++statsData.hits;
+            trackSwHighWater(set);
+            return CacheResult::Hit;
+        }
+    }
+
+    // Miss: pick a victim. Prefer an invalid way, then the LRU non-SW
+    // line. If every way holds speculative state, installing the new
+    // line would lose transactional writes.
+    Line *victim = nullptr;
+    for (Line &line : set.lines) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+    }
+    if (!victim) {
+        for (Line &line : set.lines) {
+            if (line.sw)
+                continue;
+            if (!victim || line.lruStamp < victim->lruStamp)
+                victim = &line;
+        }
+    }
+    if (!victim) {
+        ++statsData.misses;
+        return CacheResult::SWConflict;
+    }
+
+    if (victim->valid)
+        ++statsData.evictions;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->sw = is_write && speculative;
+    victim->lruStamp = lruClock;
+    ++statsData.misses;
+    trackSwHighWater(set);
+    return CacheResult::Miss;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Set &set = sets[setIndex(addr)];
+    Addr tag = tagOf(addr);
+    for (const Line &line : set.lines) {
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::isSpeculative(Addr addr) const
+{
+    const Set &set = sets[setIndex(addr)];
+    Addr tag = tagOf(addr);
+    for (const Line &line : set.lines) {
+        if (line.valid && line.tag == tag)
+            return line.sw;
+    }
+    return false;
+}
+
+void
+Cache::flashClearSw()
+{
+    for (Set &set : sets) {
+        for (Line &line : set.lines)
+            line.sw = false;
+    }
+}
+
+void
+Cache::invalidateSw()
+{
+    for (Set &set : sets) {
+        for (Line &line : set.lines) {
+            if (line.sw) {
+                line.sw = false;
+                line.valid = false;
+            }
+        }
+    }
+}
+
+uint32_t
+Cache::swLineCount() const
+{
+    uint32_t count = 0;
+    for (const Set &set : sets) {
+        for (const Line &line : set.lines) {
+            if (line.valid && line.sw)
+                ++count;
+        }
+    }
+    return count;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Set &set : sets) {
+        for (Line &line : set.lines)
+            line = Line();
+    }
+    lruClock = 0;
+}
+
+} // namespace nomap

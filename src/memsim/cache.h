@@ -1,0 +1,123 @@
+#ifndef NOMAP_MEMSIM_CACHE_H
+#define NOMAP_MEMSIM_CACHE_H
+
+/**
+ * @file
+ * Set-associative cache model with LRU replacement and per-line
+ * speculative-write (SW) bits.
+ *
+ * The SW bit marks lines written inside a hardware transaction. A
+ * transactional commit flash-clears all SW bits (modeled elsewhere as a
+ * fixed 5-cycle cost, following the paper's platform description). A
+ * line whose SW bit is set must not be silently evicted: doing so would
+ * lose speculative state, so the cache reports the condition to its
+ * owner, which translates it into a transaction capacity abort.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/addr.h"
+
+namespace nomap {
+
+/** Outcome of a single cache access. */
+enum class CacheResult : uint8_t {
+    Hit,
+    Miss,          ///< Miss; a victim (possibly invalid) was replaced.
+    SWConflict,    ///< Miss, and every way of the set holds an SW line.
+};
+
+/** Aggregate counters for one cache. */
+struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    /** Largest number of SW lines simultaneously resident in one set. */
+    uint32_t maxSwWaysInSet = 0;
+
+    double
+    missRate() const
+    {
+        uint64_t total = hits + misses;
+        return total ? static_cast<double>(misses) / total : 0.0;
+    }
+};
+
+/**
+ * A single level of set-associative cache.
+ *
+ * Geometry is (size, ways, 64-byte lines). Replacement is true LRU per
+ * set, with the twist that SW lines are never chosen as victims while a
+ * non-SW candidate exists.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes Total capacity in bytes.
+     * @param ways Associativity.
+     */
+    Cache(uint32_t size_bytes, uint32_t ways);
+
+    /**
+     * Access one line.
+     *
+     * @param addr Byte address (any offset within the line).
+     * @param is_write True for stores.
+     * @param speculative True when executing inside a transaction and
+     *        the access is a store whose line must be pinned (SW).
+     * @return Hit, Miss, or SWConflict when the line cannot be
+     *         installed without evicting speculative state.
+     */
+    CacheResult access(Addr addr, bool is_write, bool speculative = false);
+
+    /** True if the line is currently resident. */
+    bool contains(Addr addr) const;
+
+    /** True if the line is resident with its SW bit set. */
+    bool isSpeculative(Addr addr) const;
+
+    /** Clear all SW bits (transaction commit). */
+    void flashClearSw();
+
+    /** Invalidate all SW lines (transaction abort discards them). */
+    void invalidateSw();
+
+    /** Number of lines currently holding speculative state. */
+    uint32_t swLineCount() const;
+
+    /** Drop all lines and reset LRU state (stats are preserved). */
+    void invalidateAll();
+
+    const CacheStats &stats() const { return statsData; }
+    void resetStats() { statsData = CacheStats(); }
+
+    uint32_t numSets() const { return static_cast<uint32_t>(sets.size()); }
+    uint32_t numWays() const { return ways; }
+
+  private:
+    struct Line {
+        Addr tag = 0;
+        bool valid = false;
+        bool sw = false;
+        uint64_t lruStamp = 0;
+    };
+
+    struct Set {
+        std::vector<Line> lines;
+    };
+
+    uint32_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    void trackSwHighWater(const Set &set);
+
+    uint32_t ways;
+    std::vector<Set> sets;
+    uint64_t lruClock = 0;
+    CacheStats statsData;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_MEMSIM_CACHE_H

@@ -1,0 +1,45 @@
+#include "memsim/hierarchy.h"
+
+namespace nomap {
+
+MemHierarchy::MemHierarchy()
+    : l1d(32 * 1024, 8),
+      l2c(256 * 1024, 8)
+{
+}
+
+uint32_t
+MemHierarchy::access(Addr addr, bool is_write, bool speculative)
+{
+    CacheResult r1 = l1d.access(addr, is_write, speculative);
+    if (r1 == CacheResult::Hit)
+        return lat.l1Hit;
+
+    CacheResult r2 = l2c.access(addr, is_write, speculative);
+    if (r2 == CacheResult::Hit)
+        return lat.l2Hit;
+    return lat.memAccess;
+}
+
+void
+MemHierarchy::commitSpeculative()
+{
+    l1d.flashClearSw();
+    l2c.flashClearSw();
+}
+
+void
+MemHierarchy::discardSpeculative()
+{
+    l1d.invalidateSw();
+    l2c.invalidateSw();
+}
+
+void
+MemHierarchy::resetStats()
+{
+    l1d.resetStats();
+    l2c.resetStats();
+}
+
+} // namespace nomap

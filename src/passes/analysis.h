@@ -1,0 +1,109 @@
+#ifndef NOMAP_PASSES_ANALYSIS_H
+#define NOMAP_PASSES_ANALYSIS_H
+
+/**
+ * @file
+ * Shared CFG analyses: register uses/defs, reverse postorder,
+ * dominators, and natural-loop discovery. All passes and the NoMap
+ * transaction planner are built on these.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace nomap {
+
+/** Registers read by an instruction (appended to @p uses). */
+void collectUses(const IrInstr &instr, std::vector<uint16_t> &uses);
+
+/** Register written, or -1. */
+int32_t defOf(const IrInstr &instr);
+
+/** Reverse postorder over reachable blocks from block 0. */
+std::vector<uint32_t> reversePostorder(const IrFunction &fn);
+
+/**
+ * Immediate dominators (classic iterative algorithm).
+ * idom[0] == 0; unreachable blocks get idom == UINT32_MAX.
+ */
+std::vector<uint32_t> computeIdoms(const IrFunction &fn);
+
+/** True if @p a dominates @p b under @p idom. */
+bool dominates(const std::vector<uint32_t> &idom, uint32_t a, uint32_t b);
+
+/** A natural loop. */
+struct NaturalLoop {
+    uint32_t header = 0;
+    /** Blocks in the loop, including the header. */
+    std::vector<uint32_t> blocks;
+    /** Blocks inside with a successor outside (exit sources). */
+    std::vector<uint32_t> exitingBlocks;
+    /** Blocks outside with a predecessor inside (exit targets). */
+    std::vector<uint32_t> exitTargets;
+    /** In-loop predecessors of the header (latches). */
+    std::vector<uint32_t> latches;
+    /** Loop id from the bytecode LoopHeader, or -1. */
+    int32_t loopId = -1;
+    /** Header of the innermost enclosing loop, or -1. */
+    int32_t parentHeader = -1;
+
+    bool
+    contains(uint32_t block) const
+    {
+        for (uint32_t b : blocks) {
+            if (b == block)
+                return true;
+        }
+        return false;
+    }
+};
+
+/**
+ * Find all natural loops (one per header; back edges to the same
+ * header are merged). Sorted outermost-first by block count.
+ */
+std::vector<NaturalLoop> findLoops(const IrFunction &fn,
+                                   const std::vector<uint32_t> &idom);
+
+/**
+ * Guarantee a dedicated preheader: a block whose single successor is
+ * the loop header and which is the only non-latch predecessor of the
+ * header. May append a new block to the function (invalidating loop
+ * analyses — callers re-run findLoops afterwards if needed).
+ *
+ * @return The preheader block index.
+ */
+uint32_t ensurePreheader(IrFunction &fn, const NaturalLoop &loop);
+
+/**
+ * Split every loop-exit edge so each exit target reached from the
+ * loop is a dedicated trampoline block with only in-loop
+ * predecessors (a safe place for sunk stores and combined bounds
+ * checks). Returns the trampoline block for each exiting edge.
+ * Invalidates dominator/loop analyses.
+ */
+std::vector<uint32_t> ensureDedicatedExits(IrFunction &fn,
+                                           NaturalLoop &loop);
+
+/** True if any instruction in the loop is an un-converted SMP check. */
+bool loopHasUnconvertedSmp(const IrFunction &fn, const NaturalLoop &loop);
+
+/** True if the loop contains calls or generic (opaque) operations. */
+bool loopHasOpaqueOps(const IrFunction &fn, const NaturalLoop &loop);
+
+/** Registers defined anywhere inside the loop. */
+std::vector<bool> regsDefinedInLoop(const IrFunction &fn,
+                                    const NaturalLoop &loop);
+
+/**
+ * Per-block live-in register sets under the DCE liveness rules:
+ * converted-check uses do not count; opaque SMPs, TxBegin, and
+ * TxTile keep the whole baseline frame alive.
+ */
+std::vector<std::vector<bool>> computeLiveIn(const IrFunction &fn);
+
+} // namespace nomap
+
+#endif // NOMAP_PASSES_ANALYSIS_H

@@ -1,0 +1,157 @@
+#include "passes/passes.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "passes/analysis.h"
+
+namespace nomap {
+
+namespace {
+
+/** Canonical encoding of a check fact. */
+uint64_t
+factKey(const IrInstr &instr)
+{
+    return (static_cast<uint64_t>(instr.op) << 56) |
+           (static_cast<uint64_t>(instr.a) << 40) |
+           (static_cast<uint64_t>(instr.b) << 24) |
+           (static_cast<uint64_t>(instr.imm) & 0xffffff);
+}
+
+using FactSet = std::unordered_set<uint64_t>;
+
+/** Does this fact mention register @p reg as an operand? */
+bool
+factUsesReg(uint64_t fact, uint16_t reg)
+{
+    auto op = static_cast<IrOp>(fact >> 56);
+    uint16_t a = static_cast<uint16_t>((fact >> 40) & 0xffff);
+    uint16_t b = static_cast<uint16_t>((fact >> 24) & 0xffff);
+    if (a == reg)
+        return true;
+    return op == IrOp::CheckBounds && b == reg;
+}
+
+/** Is this a heap-dependent fact (invalidated by opaque calls)? */
+bool
+heapDependent(uint64_t fact)
+{
+    auto op = static_cast<IrOp>(fact >> 56);
+    return op == IrOp::CheckShape || op == IrOp::CheckBounds ||
+           op == IrOp::CheckArray;
+}
+
+void
+transfer(const IrInstr &instr, FactSet &facts)
+{
+    // Un-converted SMPs are opaque patchpoints: all facts die.
+    if (instr.isCheck() && !instr.converted) {
+        facts.clear();
+        facts.insert(factKey(instr));
+        return;
+    }
+    if (instr.isCheck()) {
+        facts.insert(factKey(instr));
+        return;
+    }
+    if (isOpaqueCall(instr.op)) {
+        // Calls / generic ops can reshape objects and resize arrays.
+        for (auto it = facts.begin(); it != facts.end();) {
+            if (heapDependent(*it))
+                it = facts.erase(it);
+            else
+                ++it;
+        }
+    }
+    int32_t def = defOf(instr);
+    if (def >= 0) {
+        uint16_t reg = static_cast<uint16_t>(def);
+        for (auto it = facts.begin(); it != facts.end();) {
+            if (factUsesReg(*it, reg))
+                it = facts.erase(it);
+            else
+                ++it;
+        }
+    }
+}
+
+FactSet
+intersect(const FactSet &a, const FactSet &b)
+{
+    FactSet out;
+    for (uint64_t f : a) {
+        if (b.count(f))
+            out.insert(f);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+runCheckElim(IrFunction &fn, PassStats &stats)
+{
+    size_t nblocks = fn.blocks.size();
+    std::vector<FactSet> out(nblocks);
+    std::vector<bool> visited(nblocks, false);
+    std::vector<uint32_t> rpo = reversePostorder(fn);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : rpo) {
+            FactSet facts;
+            bool first = true;
+            if (b != 0) {
+                for (uint32_t pred : fn.blocks[b].preds) {
+                    if (!visited[pred])
+                        continue;
+                    if (first) {
+                        facts = out[pred];
+                        first = false;
+                    } else {
+                        facts = intersect(facts, out[pred]);
+                    }
+                }
+            }
+            for (const IrInstr &instr : fn.blocks[b].instrs)
+                transfer(instr, facts);
+            if (!visited[b] || facts != out[b]) {
+                out[b] = std::move(facts);
+                visited[b] = true;
+                changed = true;
+            }
+        }
+    }
+
+    // Rewalk with the converged IN sets and drop redundant checks.
+    for (uint32_t b = 0; b < nblocks; ++b) {
+        FactSet facts;
+        bool first = true;
+        if (b != 0) {
+            for (uint32_t pred : fn.blocks[b].preds) {
+                if (first) {
+                    facts = out[pred];
+                    first = false;
+                } else {
+                    facts = intersect(facts, out[pred]);
+                }
+            }
+        }
+        auto &instrs = fn.blocks[b].instrs;
+        std::vector<IrInstr> kept;
+        kept.reserve(instrs.size());
+        for (IrInstr &instr : instrs) {
+            if (instr.isCheck() && facts.count(factKey(instr))) {
+                ++stats.checksRemovedRedundant;
+                continue;
+            }
+            transfer(instr, facts);
+            kept.push_back(instr);
+        }
+        instrs = std::move(kept);
+    }
+}
+
+} // namespace nomap

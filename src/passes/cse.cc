@@ -1,0 +1,148 @@
+#include "passes/passes.h"
+
+#include <unordered_map>
+
+#include "passes/analysis.h"
+
+namespace nomap {
+
+namespace {
+
+/** Alias classes for load value-numbering. */
+enum class AliasClass : uint8_t { ObjectSlots, ArrayElems, Globals };
+
+struct MemEpochs {
+    uint64_t objectSlots = 0;
+    uint64_t arrayElems = 0;
+    uint64_t globals = 0;
+
+    uint64_t
+    of(AliasClass cls) const
+    {
+        switch (cls) {
+          case AliasClass::ObjectSlots: return objectSlots;
+          case AliasClass::ArrayElems: return arrayElems;
+          case AliasClass::Globals: return globals;
+        }
+        return 0;
+    }
+};
+
+} // namespace
+
+void
+runLocalCse(IrFunction &fn, PassStats &stats)
+{
+    for (IrBlock &block : fn.blocks) {
+        // Value numbers per register; bumped on redefinition. Every
+        // register starts with a *distinct* number (its own index) so
+        // different registers never alias in lookup keys.
+        std::vector<uint64_t> reg_version(fn.numRegs);
+        for (uint16_t r = 0; r < fn.numRegs; ++r)
+            reg_version[r] = r;
+        uint64_t next_version = fn.numRegs;
+        MemEpochs epochs;
+
+        // key -> (register, version at definition). The version lets
+        // us reject entries whose holding register was overwritten.
+        std::unordered_map<std::string, std::pair<uint16_t, uint64_t>>
+            available;
+
+        auto version_of = [&](uint16_t reg) {
+            return reg_version[reg];
+        };
+        auto invalidate_reg = [&](uint16_t reg) {
+            reg_version[reg] = next_version++;
+        };
+
+        for (IrInstr &instr : block.instrs) {
+            // Un-converted SMPs: opaque — drop every memory fact (LLVM
+            // patchpoint behaviour the paper identifies).
+            if (instr.isCheck() && !instr.converted) {
+                ++epochs.objectSlots;
+                ++epochs.arrayElems;
+                ++epochs.globals;
+            }
+
+            bool subsumable = false;
+            std::string key;
+            if (isPureValueOp(instr.op) && instr.op != IrOp::Move &&
+                instr.op != IrOp::Const) {
+                key = std::to_string(static_cast<int>(instr.op)) + ":" +
+                      std::to_string(version_of(instr.a)) + ":" +
+                      std::to_string(version_of(instr.b)) + ":" +
+                      std::to_string(instr.imm);
+                subsumable = true;
+            } else if (instr.op == IrOp::GetSlot) {
+                key = "slot:" + std::to_string(version_of(instr.a)) +
+                      ":" + std::to_string(instr.imm) + "@" +
+                      std::to_string(epochs.of(AliasClass::ObjectSlots));
+                subsumable = true;
+            } else if (instr.op == IrOp::GetArrayLen) {
+                key = "len:" + std::to_string(version_of(instr.a)) +
+                      "@" +
+                      std::to_string(epochs.of(AliasClass::ArrayElems));
+                subsumable = true;
+            } else if (instr.op == IrOp::GetElem) {
+                key = "elem:" + std::to_string(version_of(instr.a)) +
+                      ":" + std::to_string(version_of(instr.b)) + "@" +
+                      std::to_string(epochs.of(AliasClass::ArrayElems));
+                subsumable = true;
+            } else if (instr.op == IrOp::LoadGlobal) {
+                key = "glob:" + std::to_string(instr.imm) + "@" +
+                      std::to_string(epochs.of(AliasClass::Globals));
+                subsumable = true;
+            }
+
+            if (subsumable) {
+                auto it = available.find(key);
+                if (it != available.end() &&
+                    reg_version[it->second.first] ==
+                        it->second.second) {
+                    // Replace with a register copy.
+                    uint16_t src = it->second.first;
+                    uint16_t dst = instr.dst;
+                    instr = IrInstr();
+                    instr.op = IrOp::Move;
+                    instr.dst = dst;
+                    instr.a = src;
+                    invalidate_reg(dst);
+                    // dst now shadows src's value: future lookups of
+                    // the same key keep pointing at src.
+                    ++stats.opsCseEliminated;
+                    continue;
+                }
+            }
+
+            // Effects on memory epochs.
+            switch (instr.op) {
+              case IrOp::SetSlot:
+                ++epochs.objectSlots;
+                break;
+              case IrOp::SetElem:
+                ++epochs.arrayElems;
+                break;
+              case IrOp::StoreGlobal:
+                ++epochs.globals;
+                break;
+              default:
+                if (isOpaqueCall(instr.op)) {
+                    ++epochs.objectSlots;
+                    ++epochs.arrayElems;
+                    ++epochs.globals;
+                }
+                break;
+            }
+
+            int32_t def = defOf(instr);
+            if (def >= 0) {
+                uint16_t reg = static_cast<uint16_t>(def);
+                invalidate_reg(reg);
+                if (subsumable)
+                    available[key] = {reg, reg_version[reg]};
+            }
+        }
+    }
+}
+
+} // namespace nomap

@@ -1,0 +1,192 @@
+#include "passes/passes.h"
+
+#include "passes/analysis.h"
+#include "vm/builtins.h"
+
+namespace nomap {
+
+namespace {
+
+using BitSet = std::vector<bool>;
+
+void
+setBit(BitSet &set, uint16_t reg)
+{
+    set[reg] = true;
+}
+
+bool
+unionInto(BitSet &dst, const BitSet &src)
+{
+    bool changed = false;
+    for (size_t i = 0; i < dst.size(); ++i) {
+        if (src[i] && !dst[i]) {
+            dst[i] = true;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+/** Is the instruction always necessary regardless of its result? */
+bool
+hasSideEffects(const IrInstr &instr)
+{
+    // Math intrinsics are pure except Math.random (RNG state).
+    if (instr.op == IrOp::Intrinsic) {
+        return static_cast<BuiltinId>(instr.imm) ==
+               BuiltinId::MathRandom;
+    }
+    switch (instr.op) {
+      case IrOp::SetSlot:
+      case IrOp::SetElem:
+      case IrOp::StoreGlobal:
+      case IrOp::GenericSetProp:
+      case IrOp::GenericSetIndex:
+      case IrOp::Call:
+      case IrOp::CallNative:
+      case IrOp::CallMethod:
+      case IrOp::GenericBinary:
+      case IrOp::GenericUnary:
+      case IrOp::GenericGetProp:
+      case IrOp::GenericGetIndex:
+      case IrOp::NewArray:
+      case IrOp::NewObject:
+      case IrOp::Jump:
+      case IrOp::Branch:
+      case IrOp::Return:
+      case IrOp::ReturnUndef:
+      case IrOp::TxBegin:
+      case IrOp::TxEnd:
+      case IrOp::TxTile:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Do this instruction's uses count toward register liveness? Uses by
+ * converted checks do not: a check dies with the value it guards, so
+ * counting its uses would keep dead values alive forever.
+ */
+bool
+usesCountForLiveness(const IrInstr &instr)
+{
+    if (!instr.isCheck())
+        return true;
+    // CheckBoundsRange is synthesized by bounds combining after DCE
+    // runs, but be safe in case of re-runs: its operands are
+    // pass-created temporaries with no other uses.
+    return !instr.converted;
+}
+
+void
+runDceOnce(IrFunction &fn, PassStats &stats)
+{
+    size_t nblocks = fn.blocks.size();
+    std::vector<BitSet> live_out(nblocks, BitSet(fn.numRegs, false));
+
+    // Backward liveness to fixpoint.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t bi = nblocks; bi-- > 0;) {
+            const IrBlock &block = fn.blocks[bi];
+            BitSet live = live_out[bi];
+            for (size_t ii = block.instrs.size(); ii-- > 0;) {
+                const IrInstr &instr = block.instrs[ii];
+                int32_t def = defOf(instr);
+                if (def >= 0)
+                    live[static_cast<size_t>(def)] = false;
+                if (usesCountForLiveness(instr)) {
+                    std::vector<uint16_t> uses;
+                    collectUses(instr, uses);
+                    for (uint16_t u : uses)
+                        setBit(live, u);
+                }
+                // Opaque SMPs and transaction snapshots need the whole
+                // baseline frame reconstructible.
+                bool snapshots =
+                    (instr.isCheck() && !instr.converted) ||
+                    instr.op == IrOp::TxBegin ||
+                    instr.op == IrOp::TxTile;
+                if (snapshots) {
+                    for (uint16_t r = 0; r < fn.bytecodeRegs; ++r)
+                        setBit(live, r);
+                }
+            }
+            // Propagate to predecessors' live-out.
+            for (uint32_t pred : fn.blocks[bi].preds)
+                changed |= unionInto(live_out[pred], live);
+        }
+    }
+
+    // Sweep: delete pure ops and loads whose result is dead, and
+    // converted checks whose guarded registers are all dead.
+    for (size_t bi = 0; bi < nblocks; ++bi) {
+        IrBlock &block = fn.blocks[bi];
+        BitSet live = live_out[bi];
+        std::vector<bool> keep(block.instrs.size(), true);
+        for (size_t ii = block.instrs.size(); ii-- > 0;) {
+            const IrInstr &instr = block.instrs[ii];
+            bool removable = false;
+            if (!hasSideEffects(instr) && !instr.isCheck()) {
+                int32_t def = defOf(instr);
+                if (def >= 0 && !live[static_cast<size_t>(def)])
+                    removable = true;
+            } else if (instr.isCheck() && instr.converted) {
+                // A converted check survives only while some operand
+                // still feeds live (non-check) computation.
+                std::vector<uint16_t> uses;
+                collectUses(instr, uses);
+                bool any_live = false;
+                for (uint16_t u : uses)
+                    any_live |= live[u];
+                removable = !any_live && !uses.empty();
+            }
+            if (removable) {
+                keep[ii] = false;
+                ++stats.deadOpsRemoved;
+                continue;
+            }
+            // Update running liveness.
+            int32_t def = defOf(instr);
+            if (def >= 0)
+                live[static_cast<size_t>(def)] = false;
+            if (usesCountForLiveness(instr)) {
+                std::vector<uint16_t> uses;
+                collectUses(instr, uses);
+                for (uint16_t u : uses)
+                    setBit(live, u);
+            }
+            if ((instr.isCheck() && !instr.converted) ||
+                instr.op == IrOp::TxBegin || instr.op == IrOp::TxTile) {
+                for (uint16_t r = 0; r < fn.bytecodeRegs; ++r)
+                    setBit(live, r);
+            }
+        }
+        std::vector<IrInstr> kept;
+        kept.reserve(block.instrs.size());
+        for (size_t ii = 0; ii < block.instrs.size(); ++ii) {
+            if (keep[ii])
+                kept.push_back(block.instrs[ii]);
+        }
+        block.instrs = std::move(kept);
+    }
+}
+
+} // namespace
+
+void
+runDce(IrFunction &fn, PassStats &stats)
+{
+    // Removing one dead op can make its operands dead; iterate.
+    uint32_t before;
+    do {
+        before = stats.deadOpsRemoved;
+        runDceOnce(fn, stats);
+    } while (stats.deadOpsRemoved != before);
+}
+
+} // namespace nomap

@@ -1,0 +1,213 @@
+#include "passes/passes.h"
+
+#include "passes/analysis.h"
+#include "support/logging.h"
+
+namespace nomap {
+
+namespace {
+
+/** Small kind lattice for static inference. */
+enum class StaticKind : uint8_t {
+    Unknown,  ///< Top: anything.
+    Int32,
+    Number,   ///< Int32 or double.
+    Boolean,
+    Array,    ///< Proven array (a register fact: regs don't mutate).
+    NotHole,  ///< Known not-undefined, kind otherwise unknown.
+};
+
+StaticKind
+meet(StaticKind a, StaticKind b)
+{
+    if (a == b)
+        return a;
+    auto numeric = [](StaticKind k) {
+        return k == StaticKind::Int32 || k == StaticKind::Number;
+    };
+    if (numeric(a) && numeric(b))
+        return StaticKind::Number;
+    if (a == StaticKind::Unknown || b == StaticKind::Unknown)
+        return StaticKind::Unknown;
+    // Different concrete kinds are still known-not-undefined.
+    return StaticKind::NotHole;
+}
+
+bool
+satisfies(StaticKind kind, IrOp check)
+{
+    switch (check) {
+      case IrOp::CheckInt32:
+      case IrOp::CheckIndexInt:
+        return kind == StaticKind::Int32;
+      case IrOp::CheckNumber:
+        return kind == StaticKind::Int32 || kind == StaticKind::Number;
+      case IrOp::CheckNotHole:
+        return kind != StaticKind::Unknown;
+      case IrOp::CheckArray:
+        return kind == StaticKind::Array;
+      default:
+        return false; // Shape/bounds/overflow: not register facts.
+    }
+}
+
+StaticKind
+kindOfConstant(Value v)
+{
+    if (v.isInt32())
+        return StaticKind::Int32;
+    if (v.isBoxedDouble())
+        return StaticKind::Number;
+    if (v.isBoolean())
+        return StaticKind::Boolean;
+    if (v.isUndefined())
+        return StaticKind::Unknown;
+    return StaticKind::NotHole;
+}
+
+/** Transfer function for one instruction; returns refined state. */
+void
+transfer(const IrFunction &fn, const IrInstr &instr,
+         std::vector<StaticKind> &state)
+{
+    switch (instr.op) {
+      case IrOp::Const:
+        state[instr.dst] = kindOfConstant(fn.constants[instr.imm]);
+        break;
+      case IrOp::Move:
+        state[instr.dst] = state[instr.a];
+        break;
+      case IrOp::AddInt:
+      case IrOp::SubInt:
+      case IrOp::MulInt:
+      case IrOp::NegInt:
+        // Guarded by CheckOverflow (or by the SOF at commit): the
+        // committed result is always an int32.
+        state[instr.dst] = StaticKind::Int32;
+        break;
+      case IrOp::BitAndInt:
+      case IrOp::BitOrInt:
+      case IrOp::BitXorInt:
+      case IrOp::ShlInt:
+      case IrOp::ShrInt:
+      case IrOp::BitNotInt:
+        state[instr.dst] = StaticKind::Int32;
+        break;
+      case IrOp::UShrInt: // May exceed int32 range (>>> of negative).
+      case IrOp::AddDouble:
+      case IrOp::SubDouble:
+      case IrOp::MulDouble:
+      case IrOp::DivDouble:
+      case IrOp::ModDouble:
+      case IrOp::NegDouble:
+      case IrOp::ToDouble:
+        state[instr.dst] = StaticKind::Number;
+        break;
+      case IrOp::CmpInt:
+      case IrOp::CmpDouble:
+      case IrOp::ToBoolean:
+      case IrOp::NotBool:
+        state[instr.dst] = StaticKind::Boolean;
+        break;
+      case IrOp::GetArrayLen:
+        state[instr.dst] = StaticKind::Int32;
+        break;
+      case IrOp::CheckInt32:
+      case IrOp::CheckIndexInt:
+        state[instr.a] = StaticKind::Int32;
+        break;
+      case IrOp::CheckNumber:
+        if (state[instr.a] != StaticKind::Int32)
+            state[instr.a] = StaticKind::Number;
+        break;
+      case IrOp::CheckNotHole:
+        if (state[instr.a] == StaticKind::Unknown)
+            state[instr.a] = StaticKind::NotHole;
+        break;
+      case IrOp::CheckArray:
+        state[instr.a] = StaticKind::Array;
+        break;
+      case IrOp::CheckBounds:
+        // A passed bounds check implies the base is an array.
+        state[instr.a] = StaticKind::Array;
+        break;
+      default: {
+        int32_t def = defOf(instr);
+        if (def >= 0)
+            state[static_cast<size_t>(def)] = StaticKind::Unknown;
+        break;
+      }
+    }
+}
+
+} // namespace
+
+void
+runKindInference(IrFunction &fn, PassStats &stats)
+{
+    size_t nblocks = fn.blocks.size();
+    std::vector<std::vector<StaticKind>> in(
+        nblocks, std::vector<StaticKind>(fn.numRegs,
+                                         StaticKind::Unknown));
+    std::vector<std::vector<StaticKind>> outs = in;
+    std::vector<bool> visited(nblocks, false);
+
+    std::vector<uint32_t> rpo = reversePostorder(fn);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : rpo) {
+            // Meet over visited predecessors (entry starts Unknown —
+            // params can be anything).
+            std::vector<StaticKind> state(fn.numRegs,
+                                          StaticKind::Unknown);
+            bool first = true;
+            if (b != 0) {
+                for (uint32_t pred : fn.blocks[b].preds) {
+                    if (!visited[pred])
+                        continue;
+                    if (first) {
+                        state = outs[pred];
+                        first = false;
+                    } else {
+                        for (size_t r = 0; r < state.size(); ++r)
+                            state[r] = meet(state[r], outs[pred][r]);
+                    }
+                }
+                if (first) {
+                    // No visited preds yet (loop entry in progress):
+                    // keep Unknown.
+                }
+            }
+            in[b] = state;
+            for (const IrInstr &instr : fn.blocks[b].instrs)
+                transfer(fn, instr, state);
+            if (!visited[b] || state != outs[b]) {
+                outs[b] = std::move(state);
+                visited[b] = true;
+                changed = true;
+            }
+        }
+    }
+
+    // Delete checks that the inferred kinds prove.
+    for (uint32_t b = 0; b < nblocks; ++b) {
+        std::vector<StaticKind> state = in[b];
+        auto &instrs = fn.blocks[b].instrs;
+        std::vector<IrInstr> kept;
+        kept.reserve(instrs.size());
+        for (IrInstr &instr : instrs) {
+            bool removable = instr.isCheck() &&
+                             satisfies(state[instr.a], instr.op);
+            transfer(fn, instr, state);
+            if (removable) {
+                ++stats.checksRemovedByKinds;
+            } else {
+                kept.push_back(instr);
+            }
+        }
+        instrs = std::move(kept);
+    }
+}
+
+} // namespace nomap

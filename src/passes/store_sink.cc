@@ -1,0 +1,275 @@
+#include "passes/passes.h"
+
+#include <map>
+
+#include "passes/analysis.h"
+#include "support/logging.h"
+
+namespace nomap {
+
+namespace {
+
+/** A promotable memory location. */
+struct Location {
+    bool isGlobal = false;
+    uint16_t objReg = 0; ///< Invariant object register (slots only).
+    uint32_t index = 0;  ///< Slot index or global index.
+
+    bool
+    operator<(const Location &other) const
+    {
+        return std::tie(isGlobal, objReg, index) <
+               std::tie(other.isGlobal, other.objReg, other.index);
+    }
+};
+
+bool
+matchLoad(const IrInstr &instr, Location *loc)
+{
+    if (instr.op == IrOp::GetSlot) {
+        loc->isGlobal = false;
+        loc->objReg = instr.a;
+        loc->index = instr.imm;
+        return true;
+    }
+    if (instr.op == IrOp::LoadGlobal) {
+        loc->isGlobal = true;
+        loc->objReg = 0;
+        loc->index = instr.imm;
+        return true;
+    }
+    return false;
+}
+
+bool
+matchStore(const IrInstr &instr, Location *loc, uint16_t *src)
+{
+    if (instr.op == IrOp::SetSlot) {
+        loc->isGlobal = false;
+        loc->objReg = instr.a;
+        loc->index = instr.imm;
+        *src = instr.b;
+        return true;
+    }
+    if (instr.op == IrOp::StoreGlobal) {
+        loc->isGlobal = true;
+        loc->objReg = 0;
+        loc->index = instr.imm;
+        *src = instr.a;
+        return true;
+    }
+    return false;
+}
+
+/** Is this loop fully contained in one of the function's tx regions? */
+const TxRegion *
+enclosingRegion(const IrFunction &fn, const NaturalLoop &loop)
+{
+    for (const TxRegion &region : fn.txRegions) {
+        bool all = true;
+        for (uint32_t b : loop.blocks) {
+            bool found = false;
+            for (uint32_t rb : region.blocks)
+                found |= (rb == b);
+            if (!found) {
+                all = false;
+                break;
+            }
+        }
+        if (all)
+            return &region;
+    }
+    return nullptr;
+}
+
+void
+promoteLoop(IrFunction &fn, NaturalLoop &loop, const TxRegion &region,
+            PassStats &stats)
+{
+    if (loopHasUnconvertedSmp(fn, loop) || loopHasOpaqueOps(fn, loop))
+        return;
+
+    std::vector<bool> defined = regsDefinedInLoop(fn, loop);
+
+    // Gather candidate locations: stored at least once, object
+    // register invariant, and no ambiguous aliasing (a second access
+    // to the same slot index through a *different* object register,
+    // or any SetElem that could be... SetElem writes array storage,
+    // which never aliases object slots or globals in this VM).
+    struct Candidate {
+        uint32_t loads = 0;
+        uint32_t stores = 0;
+        bool invalid = false;
+    };
+    std::map<Location, Candidate> candidates;
+    for (uint32_t b : loop.blocks) {
+        for (const IrInstr &instr : fn.blocks[b].instrs) {
+            Location loc;
+            uint16_t src;
+            if (matchLoad(instr, &loc)) {
+                Candidate &cand = candidates[loc];
+                ++cand.loads;
+                if (!loc.isGlobal && defined[loc.objReg])
+                    cand.invalid = true;
+            } else if (matchStore(instr, &loc, &src)) {
+                Candidate &cand = candidates[loc];
+                ++cand.stores;
+                if (!loc.isGlobal && defined[loc.objReg])
+                    cand.invalid = true;
+            }
+        }
+    }
+    // Reject same-slot accesses through different registers (the two
+    // registers might hold the same object).
+    for (auto &entry : candidates) {
+        if (entry.first.isGlobal)
+            continue;
+        for (auto &other : candidates) {
+            if (other.first.isGlobal)
+                continue;
+            if (entry.first.index == other.first.index &&
+                entry.first.objReg != other.first.objReg) {
+                entry.second.invalid = true;
+                other.second.invalid = true;
+            }
+        }
+    }
+
+    // Decide where the final stores go: this loop's own exit blocks
+    // if it is the region loop (before TxEnd), otherwise dedicated
+    // exit trampolines inside the enclosing transaction.
+    std::vector<uint32_t> sink_blocks;
+    if (loop.header == region.loopHeader) {
+        sink_blocks = region.endBlocks;
+    } else {
+        sink_blocks = ensureDedicatedExits(fn, loop);
+    }
+
+    for (auto &entry : candidates) {
+        const Location &loc = entry.first;
+        Candidate &cand = entry.second;
+        if (cand.invalid || cand.stores == 0)
+            continue;
+
+        uint16_t temp = fn.allocTemp();
+
+        // Preheader (= region begin block for the region loop, or
+        // the loop's own preheader): load the initial value. Using
+        // the region's begin block is always safe; for inner loops
+        // the location is loop-invariant across the outer iterations
+        // only if... it is not, so use the loop's own preheader.
+        uint32_t ph_block;
+        {
+            NaturalLoop tmp_loop = loop;
+            ph_block = ensurePreheader(fn, tmp_loop);
+        }
+        IrBlock &ph = fn.blocks[ph_block];
+        IrInstr load;
+        load.op = loc.isGlobal ? IrOp::LoadGlobal : IrOp::GetSlot;
+        load.dst = temp;
+        load.a = loc.objReg;
+        load.imm = loc.index;
+        ph.instrs.insert(ph.instrs.end() - 1, load);
+
+        // Rewrite in-loop accesses.
+        for (uint32_t b : loop.blocks) {
+            for (IrInstr &instr : fn.blocks[b].instrs) {
+                Location l2;
+                uint16_t src;
+                if (matchLoad(instr, &l2) && !(l2 < loc) &&
+                    !(loc < l2)) {
+                    uint16_t dst = instr.dst;
+                    instr = IrInstr();
+                    instr.op = IrOp::Move;
+                    instr.dst = dst;
+                    instr.a = temp;
+                    ++stats.loadsPromoted;
+                } else if (matchStore(instr, &l2, &src) &&
+                           !(l2 < loc) && !(loc < l2)) {
+                    instr = IrInstr();
+                    instr.op = IrOp::Move;
+                    instr.dst = temp;
+                    instr.a = src;
+                    ++stats.storesSunk;
+                }
+            }
+        }
+
+        // A tiled loop commits mid-flight: flush the promoted value
+        // to memory right before every TxTile so the committed state
+        // (and any abort re-entry) sees it.
+        for (uint32_t b : loop.blocks) {
+            auto &instrs = fn.blocks[b].instrs;
+            for (size_t i = 0; i < instrs.size(); ++i) {
+                if (instrs[i].op != IrOp::TxTile)
+                    continue;
+                IrInstr flush;
+                if (loc.isGlobal) {
+                    flush.op = IrOp::StoreGlobal;
+                    flush.a = temp;
+                    flush.imm = loc.index;
+                } else {
+                    flush.op = IrOp::SetSlot;
+                    flush.a = loc.objReg;
+                    flush.b = temp;
+                    flush.imm = loc.index;
+                }
+                instrs.insert(instrs.begin() + i, flush);
+                ++i; // Skip past the TxTile we just shifted.
+            }
+        }
+
+        // Materialize the final store at every sink block.
+        for (uint32_t sb : sink_blocks) {
+            IrBlock &block = fn.blocks[sb];
+            IrInstr store;
+            if (loc.isGlobal) {
+                store.op = IrOp::StoreGlobal;
+                store.a = temp;
+                store.imm = loc.index;
+            } else {
+                store.op = IrOp::SetSlot;
+                store.a = loc.objReg;
+                store.b = temp;
+                store.imm = loc.index;
+            }
+            // Before the terminator and before any TxEnd already
+            // placed at the top of the block.
+            size_t pos = 0;
+            block.instrs.insert(block.instrs.begin() + pos, store);
+        }
+    }
+}
+
+} // namespace
+
+void
+runStoreSink(IrFunction &fn, PassStats &stats)
+{
+    if (fn.txRegions.empty())
+        return;
+    std::vector<uint32_t> idom = computeIdoms(fn);
+    std::vector<NaturalLoop> loops = findLoops(fn, idom);
+    // Innermost first.
+    for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
+        const TxRegion *region = enclosingRegion(fn, *it);
+        if (region)
+            promoteLoop(fn, *it, *region, stats);
+        // Loop analyses are invalidated by block splits; recompute.
+        idom = computeIdoms(fn);
+        std::vector<NaturalLoop> fresh = findLoops(fn, idom);
+        // Match remaining loops by header.
+        std::vector<NaturalLoop> remaining;
+        for (auto jt = it + 1; jt != loops.rend(); ++jt) {
+            for (NaturalLoop &cand : fresh) {
+                if (cand.header == jt->header) {
+                    *jt = cand;
+                    break;
+                }
+            }
+        }
+    }
+    fn.verify();
+}
+
+} // namespace nomap

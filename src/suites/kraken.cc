@@ -1,0 +1,412 @@
+#include "suites/suite.h"
+
+/**
+ * @file
+ * Kraken-class workloads K01-K14 (original code; see suite.h).
+ *
+ * Kraken's distinguishing trait for NoMap is write-footprint scale:
+ * the imaging/audio workloads stream through multi-thousand-element
+ * arrays, producing transactional write sets far beyond a 32 KB L1D —
+ * which is why NoMap_RTM gains nothing on Kraken in the paper while
+ * ROT-style HTM still fits everything in the 256 KB L2.
+ */
+
+namespace nomap {
+
+std::vector<BenchmarkSpec>
+krakenAll()
+{
+    std::vector<BenchmarkSpec> v;
+
+    // K01 ai-astar: grid cost propagation with a frontier list.
+    v.push_back({"K01", "ai-astar", R"JS(
+function relax(cost, width, height, passes) {
+    var changed = 0;
+    for (var p = 0; p < passes; p++) {
+        for (var y = 1; y < height - 1; y++) {
+            var row = y * width;
+            for (var x = 1; x < width - 1; x++) {
+                var i = row + x;
+                var best = cost[i];
+                var up = cost[i - width] + 1;
+                var down = cost[i + width] + 1;
+                var left = cost[i - 1] + 1;
+                var right = cost[i + 1] + 1;
+                if (up < best) best = up;
+                if (down < best) best = down;
+                if (left < best) best = left;
+                if (right < best) best = right;
+                if (best < cost[i]) { cost[i] = best; changed++; }
+            }
+        }
+    }
+    return changed;
+}
+var width = 64; var height = 48;
+var cost = [];
+for (var i = 0; i < width * height; i++) cost[i] = 9999;
+cost[width * 24 + 32] = 0;
+var total = 0;
+for (var f = 0; f < 70; f++) {
+    for (var j = 0; j < cost.length; j++) {
+        if (j != width * 24 + 32) cost[j] = 9999;
+    }
+    total = relax(cost, width, height, 3);
+}
+result = total;
+)JS", true, ""});
+
+    // K02 audio-beat-detection: envelope tracking through list
+    // methods and allocation — runtime dominated (>=95% non-FTL).
+    v.push_back({"K02", "audio-beat-detection", R"JS(
+function detect(samples) {
+    var peaks = [];
+    var env = 0;
+    for (var i = 0; i < samples.length; i++) {
+        var s = samples[i];
+        if (s < 0) s = -s;
+        env = env * 0.9 + s * 0.1;
+        if (s > env * 2.5) peaks.push(i);
+    }
+    return peaks;
+}
+var samples = [];
+for (var i = 0; i < 150; i++) {
+    samples.push(Math.sin(i * 0.3) + ((i % 37) == 0 ? 4.0 : 0.0));
+}
+var count = 0;
+for (var f = 0; f < 120; f++) {
+    var peaks = detect(samples);
+    count = peaks.length + peaks.indexOf(37);
+}
+result = count;
+)JS", false, ">=95% non-FTL instructions (paper Table III)"});
+
+    // K03 audio-dft: naive DFT assembled through push() — method-call
+    // (runtime) dominated.
+    v.push_back({"K03", "audio-dft", R"JS(
+function dft(signal, bins) {
+    var out = [];
+    var n = signal.length;
+    for (var k = 0; k < bins; k++) {
+        var re = 0; var im = 0;
+        for (var t = 0; t < n; t++) {
+            var ang = 6.283185307 * k * t / n;
+            re += signal[t] * Math.cos(ang);
+            im -= signal[t] * Math.sin(ang);
+        }
+        out.push(Math.sqrt(re * re + im * im));
+    }
+    return out;
+}
+var signal = [];
+for (var i = 0; i < 48; i++) signal.push(Math.sin(i * 0.7));
+var out = 0;
+for (var f = 0; f < 110; f++) {
+    var spec = dft(signal, 12);
+    out = Math.floor(spec[3] * 1000);
+}
+result = out;
+)JS", false, ">=95% non-FTL instructions (paper Table III)"});
+
+    // K04 audio-fft: butterfly mixing through helper calls and fresh
+    // allocations per frame — non-FTL dominated.
+    v.push_back({"K04", "audio-fft", R"JS(
+function butterfly(re, im, i, j, wr, wi) {
+    var tr = re[j] * wr - im[j] * wi;
+    var ti = re[j] * wi + im[j] * wr;
+    re[j] = re[i] - tr;
+    im[j] = im[i] - ti;
+    re[i] = re[i] + tr;
+    im[i] = im[i] + ti;
+}
+function fftPass(re, im, half) {
+    for (var i = 0; i < half; i++) {
+        var ang = -3.14159265 * i / half;
+        butterfly(re, im, i, i + half, Math.cos(ang), Math.sin(ang));
+    }
+}
+var hash = 0;
+for (var f = 0; f < 110; f++) {
+    var re = []; var im = [];
+    for (var i = 0; i < 64; i++) { re.push(Math.sin(i)); im.push(0); }
+    fftPass(re, im, 32);
+    fftPass(re, im, 16);
+    fftPass(re, im, 8);
+    hash = Math.floor(re[5] * 1000) & 65535;
+}
+result = hash;
+)JS", false, ">=95% non-FTL instructions (paper Table III)"});
+
+    // K05 audio-oscillator: waveform synthesis into a large buffer
+    // with a per-sample generator call — much of the transaction's
+    // time runs unoptimized callee code (paper: TMTime >> TMOpt).
+    v.push_back({"K05", "audio-oscillator", R"JS(
+function oscSample(phase, detune) {
+    var s = Math.sin(phase);
+    var saw = phase * 0.318309886 - 1.0;
+    return s * 0.7 + saw * 0.3 + detune;
+}
+function fillBuffer(buf, phase0, step) {
+    var n = buf.length;
+    var phase = phase0;
+    for (var i = 0; i < n; i++) {
+        buf[i] = oscSample(phase, 0.001);
+        phase += step;
+        if (phase > 6.283185307) phase -= 6.283185307;
+    }
+    return buf[n - 1];
+}
+var buf = [];
+for (var i = 0; i < 6000; i++) buf[i] = 0;
+var last = 0;
+for (var f = 0; f < 90; f++) last = fillBuffer(buf, f * 0.01, 0.07);
+result = Math.floor(last * 100000);
+)JS", true, ""});
+
+    // K06 imaging-darkroom: per-pixel brightness/contrast through a
+    // helper call; 8000-pixel channel = 64 KB of writes.
+    v.push_back({"K06", "imaging-darkroom", R"JS(
+function adjust(p, brightness, contrast) {
+    var x = ((p - 128) * contrast >> 7) + 128 + brightness;
+    if (x < 0) x = 0;
+    if (x > 255) x = 255;
+    return x;
+}
+function darkroom(src, dst, brightness, contrast) {
+    var n = src.length;
+    for (var i = 0; i < n; i++) {
+        dst[i] = adjust(src[i], brightness, contrast);
+    }
+    return dst[n >> 1];
+}
+var src = []; var dst = [];
+for (var i = 0; i < 8000; i++) { src[i] = (i * 37) & 255; dst[i] = 0; }
+var mid = 0;
+for (var f = 0; f < 80; f++) mid = darkroom(src, dst, (f % 16) - 8, 140);
+result = mid;
+)JS", true, ""});
+
+    // K07 imaging-desaturate: straight-line integer pixel loop —
+    // NoMap's best case on Kraken; 3x 4000x8B channels read, one
+    // written (32 KB write set: too big for RTM's budget, fine for
+    // ROT).
+    v.push_back({"K07", "imaging-desaturate", R"JS(
+function desaturate(r, g, b, out) {
+    var n = out.length;
+    for (var i = 0; i < n; i++) {
+        out[i] = (r[i] * 30 + g[i] * 59 + b[i] * 11) / 100 | 0;
+    }
+    return out[n - 1];
+}
+var r = []; var g = []; var b = []; var out = [];
+for (var i = 0; i < 4400; i++) {
+    r[i] = (i * 3) & 255; g[i] = (i * 7) & 255; b[i] = (i * 11) & 255;
+    out[i] = 0;
+}
+var last = 0;
+for (var f = 0; f < 90; f++) last = desaturate(r, g, b, out);
+result = last;
+)JS", true, ""});
+
+    // K08 imaging-gaussian-blur: 1D separable stencil, double
+    // weights, two passes over 4000-element channels.
+    v.push_back({"K08", "imaging-gaussian-blur", R"JS(
+function blurPass(src, dst) {
+    var n = src.length;
+    for (var i = 2; i < n - 2; i++) {
+        dst[i] = src[i - 2] * 0.0614 + src[i - 1] * 0.2448 +
+                 src[i] * 0.3877 + src[i + 1] * 0.2448 +
+                 src[i + 2] * 0.0614;
+    }
+    dst[0] = src[0]; dst[1] = src[1];
+    dst[n - 2] = src[n - 2]; dst[n - 1] = src[n - 1];
+    return dst[n >> 1];
+}
+var a = []; var b = [];
+for (var i = 0; i < 4000; i++) { a[i] = (i * 13) & 255; b[i] = 0; }
+var mid = 0;
+for (var f = 0; f < 80; f++) {
+    blurPass(a, b);
+    mid = blurPass(b, a);
+}
+result = Math.floor(mid * 1000);
+)JS", true, ""});
+
+    // K09 json-parse-financial: character-level parsing with string
+    // methods and object building — runtime dominated.
+    v.push_back({"K09", "json-parse-financial", R"JS(
+function parseNumber(s, start) {
+    var n = 0;
+    var i = start;
+    while (i < s.length) {
+        var c = s.charCodeAt(i);
+        if (c < 48 || c > 57) break;
+        n = n * 10 + (c - 48);
+        i++;
+    }
+    return {value: n, next: i};
+}
+function parseRow(s) {
+    var total = 0;
+    var i = 0;
+    while (i < s.length) {
+        var c = s.charCodeAt(i);
+        if (c >= 48 && c <= 57) {
+            var r = parseNumber(s, i);
+            total += r.value;
+            i = r.next;
+        } else {
+            i++;
+        }
+    }
+    return total;
+}
+var row = "{\"open\": 1375, \"high\": 1395, \"low\": 1362, \"close\": 1380, \"vol\": 991200}";
+var sum = 0;
+for (var f = 0; f < 150; f++) sum = parseRow(row);
+result = sum;
+)JS", false, ">=95% non-FTL instructions (paper Table III)"});
+
+    // K10 json-stringify-tinderbox: string assembly via join/concat.
+    v.push_back({"K10", "json-stringify-tinderbox", R"JS(
+function stringify(build) {
+    var parts = [];
+    parts.push("{\"name\": \"" + build.name + "\"");
+    parts.push(", \"time\": " + build.time);
+    parts.push(", \"status\": \"" + build.status + "\"}");
+    return parts.join("");
+}
+var hash = 0;
+for (var f = 0; f < 160; f++) {
+    var s = stringify({name: "linux-" + (f % 10), time: 100000 + f,
+                       status: (f % 3) == 0 ? "green" : "orange"});
+    hash = (hash + s.length + s.charCodeAt(9)) & 65535;
+}
+result = hash;
+)JS", false, ">=95% non-FTL instructions (paper Table III)"});
+
+    // K11 stanford-crypto-aes: wider state than S13; multiple table
+    // and state arrays hot at once.
+    v.push_back({"K11", "stanford-crypto-aes", R"JS(
+function round(ctx) {
+    var n = ctx.state.length;
+    for (var i = 0; i < n; i++) {
+        var x = ctx.state[i];
+        ctx.state[i] = (ctx.t0[x & 255] ^ ctx.t1[(x >> 8) & 255] ^
+                        ctx.key[i]) & 65535;
+    }
+}
+function finalMix(ctx) {
+    var acc = 0;
+    var st = ctx.state;
+    var n = st.length;
+    for (var i = 0; i < n; i++) acc = (acc + st[i] * 31) & 1048575;
+    return acc;
+}
+function encryptBlock(ctx, rounds) {
+    for (var r = 0; r < rounds; r++) round(ctx);
+    return finalMix(ctx);
+}
+var ctx = {state: [], key: [], t0: [], t1: []};
+for (var i = 0; i < 256; i++) {
+    ctx.t0[i] = (i * 179 + 3) & 65535;
+    ctx.t1[i] = (i * 83 + 7) & 65535;
+}
+for (var i = 0; i < 3072; i++) {
+    ctx.state[i] = i & 65535;
+    ctx.key[i] = (i * 5) & 65535;
+}
+var out = 0;
+for (var f = 0; f < 60; f++) out = encryptBlock(ctx, 2);
+result = out;
+)JS", true, ""});
+
+    // K12 stanford-crypto-ccm: CTR-style xor stream + MAC accumulate.
+    v.push_back({"K12", "stanford-crypto-ccm", R"JS(
+function ctrXor(data, stream, out) {
+    var n = data.length;
+    for (var i = 0; i < n; i++) out[i] = data[i] ^ stream[i];
+}
+function mac(out) {
+    var m = 0;
+    var n = out.length;
+    for (var i = 0; i < n; i++) m = (m + out[i] * 13 + (m >> 3)) & 1048575;
+    return m;
+}
+function ccm(data, stream, out, rounds) {
+    var tag = 0;
+    for (var r = 0; r < rounds; r++) {
+        ctrXor(data, stream, out);
+        tag = (tag + mac(out)) & 1048575;
+    }
+    return tag;
+}
+var data = []; var stream = []; var out = [];
+for (var i = 0; i < 3072; i++) {
+    data[i] = (i * 29) & 255; stream[i] = (i * 101 + 17) & 255; out[i] = 0;
+}
+var tag = 0;
+for (var f = 0; f < 70; f++) tag = ccm(data, stream, out, 2);
+result = tag;
+)JS", true, ""});
+
+    // K13 stanford-crypto-pbkdf2: repeated keyed mixing rounds.
+    v.push_back({"K13", "stanford-crypto-pbkdf2", R"JS(
+function prf(block, salt, iter) {
+    var n = block.length;
+    for (var i = 0; i < n; i++) {
+        var x = (block[i] + salt[i] + iter) & 1048575;
+        block[i] = (x ^ (x >> 5) ^ (x << 2)) & 1048575;
+    }
+}
+function derive(block, salt, acc, iters) {
+    var n = block.length;
+    for (var it = 0; it < iters; it++) {
+        prf(block, salt, it);
+        for (var i = 0; i < n; i++) acc[i] = acc[i] ^ block[i];
+    }
+    var h = 0;
+    for (var j = 0; j < n; j++) h = (h + acc[j]) & 1048575;
+    return h;
+}
+var block = []; var salt = []; var acc = [];
+for (var i = 0; i < 1536; i++) {
+    block[i] = i; salt[i] = (i * 7 + 1) & 255; acc[i] = 0;
+}
+var out = 0;
+for (var f = 0; f < 70; f++) out = derive(block, salt, acc, 3);
+result = out;
+)JS", true, ""});
+
+    // K14 stanford-crypto-sha256-iterative: masked-lane compression
+    // over a large message buffer.
+    v.push_back({"K14", "stanford-crypto-sha256-iterative", R"JS(
+function compress(w, state) {
+    var a = state[0]; var b = state[1]; var c = state[2]; var d = state[3];
+    var n = w.length;
+    for (var t = 0; t < n; t++) {
+        var s1 = ((a >> 2) | (a << 10)) & 4095;
+        var ch = (a & b) ^ ((~a) & c);
+        var t1 = (d + s1 + ch + w[t]) & 1048575;
+        d = c; c = b; b = a;
+        a = (t1 + ((b & c) | (b & d) | (c & d))) & 1048575;
+    }
+    state[0] = (state[0] + a) & 1048575;
+    state[1] = (state[1] + b) & 1048575;
+    state[2] = (state[2] + c) & 1048575;
+    state[3] = (state[3] + d) & 1048575;
+    return state[0];
+}
+var w = []; var state = [1779033703 & 1048575, 3144134277 & 1048575,
+                         1013904242 & 1048575, 2773480762 & 1048575];
+for (var i = 0; i < 512; i++) w[i] = (i * 40503 + 11) & 1048575;
+var out = 0;
+for (var f = 0; f < 100; f++) out = compress(w, state);
+result = out;
+)JS", true, ""});
+
+    return v;
+}
+
+} // namespace nomap

@@ -1,0 +1,64 @@
+#ifndef NOMAP_SUITES_SHOOTOUT_H
+#define NOMAP_SUITES_SHOOTOUT_H
+
+/**
+ * @file
+ * Shootout kernels for the paper's motivational Figure 1.
+ *
+ * Figure 1 compares the Shootout suite across C, JavaScript (JSC),
+ * Python (PyPy), PHP (HHVM), and Ruby (JRuby). We reproduce it as a
+ * model with honest mechanics:
+ *
+ *  - "JavaScript": the kernel's JS-subset source run through this
+ *    repository's full pipeline (Base architecture, FTL tier), in
+ *    simulated cycles.
+ *  - "C": the same kernel implemented natively in C++ and *costed
+ *    analytically* with per-iteration x86 instruction estimates fed
+ *    through the same cycle model — no boxing, no checks, no runtime
+ *    calls. The native implementation really computes the result (so
+ *    we can cross-validate against the VM).
+ *  - "Python"/"PHP"/"Ruby": the JS source run interpreter-only, with
+ *    dispatch-cost multipliers calibrated once against the reference
+ *    interpreters' published relative speeds (CPython-like = 1.0,
+ *    HHVM-era PHP = 2.2x, JRuby-era Ruby = 3.2x slower dispatch).
+ *
+ * EXPERIMENTS.md documents this as a *model* of the figure: the
+ * ordering and log-scale magnitudes are the reproduction target, not
+ * the absolute numbers.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nomap {
+
+/** One Shootout kernel. */
+struct ShootoutKernel {
+    std::string name;
+    std::string jsSource; ///< JS-subset implementation.
+    /**
+     * Native implementation: returns the kernel's result (for
+     * cross-validation with the VM run) and sets @p instructions to
+     * the analytic dynamic-instruction estimate of compiled C.
+     */
+    double (*native)(uint64_t *instructions);
+    /** Expected `result` global as a string (cross-check). */
+    std::string expected;
+};
+
+/** The kernels shown in Figure 1. */
+const std::vector<ShootoutKernel> &shootoutSuite();
+
+/** Interpreter dispatch multipliers for the modeled languages. */
+struct LanguageModel {
+    const char *name;
+    double dispatchFactor;
+};
+
+/** Python / PHP / Ruby interpreter models (see file comment). */
+const std::vector<LanguageModel> &languageModels();
+
+} // namespace nomap
+
+#endif // NOMAP_SUITES_SHOOTOUT_H

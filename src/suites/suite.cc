@@ -1,0 +1,43 @@
+#include "suites/suite.h"
+
+namespace nomap {
+
+// Defined in sunspider_a.cc / sunspider_b.cc / kraken.cc.
+std::vector<BenchmarkSpec> sunspiderPartA();
+std::vector<BenchmarkSpec> sunspiderPartB();
+std::vector<BenchmarkSpec> krakenAll();
+
+const std::vector<BenchmarkSpec> &
+sunspiderSuite()
+{
+    static const std::vector<BenchmarkSpec> suite = [] {
+        std::vector<BenchmarkSpec> v = sunspiderPartA();
+        std::vector<BenchmarkSpec> b = sunspiderPartB();
+        v.insert(v.end(), b.begin(), b.end());
+        return v;
+    }();
+    return suite;
+}
+
+const std::vector<BenchmarkSpec> &
+krakenSuite()
+{
+    static const std::vector<BenchmarkSpec> suite = krakenAll();
+    return suite;
+}
+
+const BenchmarkSpec *
+findBenchmark(const std::string &id)
+{
+    for (const BenchmarkSpec &spec : sunspiderSuite()) {
+        if (spec.id == id)
+            return &spec;
+    }
+    for (const BenchmarkSpec &spec : krakenSuite()) {
+        if (spec.id == id)
+            return &spec;
+    }
+    return nullptr;
+}
+
+} // namespace nomap

@@ -1,0 +1,47 @@
+#ifndef NOMAP_SUITES_SUITE_H
+#define NOMAP_SUITES_SUITE_H
+
+/**
+ * @file
+ * Benchmark suites for the evaluation.
+ *
+ * The paper evaluates SunSpider (26 benchmarks) and Kraken (14).
+ * Those suites are real-world web workloads we cannot ship, so each
+ * entry here is a from-scratch workload written in the JS subset that
+ * matches the *behavioural class* of its namesake: the same hot-loop
+ * structure, data-type mix, check mix (overflow-heavy vs bounds-heavy
+ * vs property-heavy), FTL coverage (some benchmarks deliberately
+ * spend >=95% of their time in runtime/lower-tier code), and write-
+ * footprint scale (Kraken's transactional write sets exceed a 32 KB
+ * L1D, which is what starves RTM in the paper). Table III's AvgS /
+ * AvgT membership is reproduced exactly.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nomap {
+
+/** One benchmark. */
+struct BenchmarkSpec {
+    std::string id;       ///< "S01".."S26" / "K01".."K14".
+    std::string name;     ///< Namesake workload (e.g. "3d-cube").
+    std::string source;   ///< JS-subset program text.
+    bool inAvgS = true;   ///< Paper Table III membership.
+    /** Why a benchmark is excluded from AvgS ("" if included). */
+    std::string exclusionReason;
+};
+
+/** The 26 SunSpider-class workloads (S01..S26). */
+const std::vector<BenchmarkSpec> &sunspiderSuite();
+
+/** The 14 Kraken-class workloads (K01..K14). */
+const std::vector<BenchmarkSpec> &krakenSuite();
+
+/** Look up one benchmark by id across both suites (nullptr if none). */
+const BenchmarkSpec *findBenchmark(const std::string &id);
+
+} // namespace nomap
+
+#endif // NOMAP_SUITES_SUITE_H

@@ -1,0 +1,380 @@
+#include "suites/suite.h"
+
+/**
+ * @file
+ * SunSpider-class workloads S01-S13. All programs are original code
+ * written for this reproduction; each matches the behavioural class
+ * of its namesake (see suite.h).
+ */
+
+namespace nomap {
+
+std::vector<BenchmarkSpec>
+sunspiderPartA()
+{
+    std::vector<BenchmarkSpec> v;
+
+    // S01 3d-cube: 3D point rotation. Double math over parallel
+    // coordinate arrays held in an object; property + bounds checks.
+    v.push_back({"S01", "3d-cube", R"JS(
+function rotateAll(cube, sinA, cosA, sinB, cosB) {
+    var n = cube.xs.length;
+    var check = 0;
+    for (var i = 0; i < n; i++) {
+        var x = cube.xs[i]; var y = cube.ys[i]; var z = cube.zs[i];
+        var y2 = y * cosA - z * sinA;
+        var z2 = y * sinA + z * cosA;
+        var x2 = x * cosB - z2 * sinB;
+        var z3 = x * sinB + z2 * cosB;
+        cube.xs[i] = x2; cube.ys[i] = y2; cube.zs[i] = z3;
+        check = check + 1;
+    }
+    cube.checksum = cube.xs[0] + cube.ys[1] + cube.zs[2];
+    return check;
+}
+var cube = {xs: [], ys: [], zs: [], checksum: 0};
+for (var i = 0; i < 400; i++) {
+    cube.xs[i] = (i % 17) * 0.25;
+    cube.ys[i] = (i % 11) * 0.5;
+    cube.zs[i] = (i % 7) * 0.125;
+}
+var total = 0;
+for (var f = 0; f < 140; f++) {
+    total = rotateAll(cube, 0.0998, 0.995, 0.1986, 0.98);
+}
+result = Math.floor(cube.checksum * 1000) + total;
+)JS", true, ""});
+
+    // S02 3d-morph: sine-wave morphing whose results are never
+    // consumed — the paper reports NoMap optimizes this away as dead
+    // code once SMP liveness disappears.
+    v.push_back({"S02", "3d-morph", R"JS(
+function morph(n, phase) {
+    var a = 0;
+    for (var i = 0; i < n; i++) {
+        a = a + Math.sin((i + phase) * 0.00314) * 0.501;
+        a = a * 0.9999;
+    }
+    return 0;
+}
+var sink = 0;
+for (var f = 0; f < 140; f++) sink += morph(900, f);
+result = sink;
+)JS", false, "dead code under NoMap (paper Table III)"});
+
+    // S03 3d-raytrace: vector math through small helper functions
+    // called from the hot loop — most FTL instructions end up NoTM or
+    // TMUnopt, so NoMap gains little (matches the paper's S03).
+    v.push_back({"S03", "3d-raytrace", R"JS(
+function dot(ax, ay, az, bx, by, bz) {
+    return ax * bx + ay * by + az * bz;
+}
+function shade(t, light) {
+    if (t < 0) return 0;
+    var s = t * light;
+    if (s > 255) return 255;
+    return s;
+}
+function trace(dirs, light) {
+    var n = dirs.length;
+    var acc = 0;
+    for (var i = 0; i < n; i++) {
+        var d = dirs[i];
+        var t = dot(d, d * 0.5, d * 0.25, 0.577, 0.577, 0.577);
+        acc = acc + shade(t, light);
+    }
+    return acc;
+}
+var dirs = [];
+for (var i = 0; i < 300; i++) dirs[i] = (i % 23) * 0.043;
+var out = 0;
+for (var f = 0; f < 150; f++) out = trace(dirs, 40.0);
+result = Math.floor(out);
+)JS", true, ""});
+
+    // S04 access-binary-trees: allocation + recursion dominated.
+    v.push_back({"S04", "access-binary-trees", R"JS(
+function bottomUp(item, depth) {
+    if (depth <= 0) return {item: item, left: null, right: null};
+    return {item: item,
+            left: bottomUp(2 * item - 1, depth - 1),
+            right: bottomUp(2 * item, depth - 1)};
+}
+function checkTree(node) {
+    if (node.left === null) return node.item;
+    return node.item + checkTree(node.left) - checkTree(node.right);
+}
+var sum = 0;
+for (var f = 0; f < 160; f++) {
+    var tree = bottomUp(f % 4, 5);
+    sum += checkTree(tree);
+}
+result = sum;
+)JS", true, ""});
+
+    // S05 access-fannkuch: permutation flipping; integer arrays,
+    // swaps, bounds checks everywhere.
+    v.push_back({"S05", "access-fannkuch", R"JS(
+function fannkuch(n, perm, perm1, count) {
+    for (var i = 0; i < n; i++) perm1[i] = i;
+    var flipsMax = 0;
+    var r = n;
+    var iters = 0;
+    while (iters < 300) {
+        iters++;
+        while (r != 1) { count[r - 1] = r; r--; }
+        for (var j = 0; j < n; j++) perm[j] = perm1[j];
+        var flips = 0;
+        var k = perm[0];
+        while (k != 0) {
+            var half = (k + 1) >> 1;
+            for (var m = 0; m < half; m++) {
+                var t = perm[m];
+                perm[m] = perm[k - m];
+                perm[k - m] = t;
+            }
+            flips++;
+            k = perm[0];
+        }
+        if (flips > flipsMax) flipsMax = flips;
+        while (r != n) {
+            var p0 = perm1[0];
+            for (var q = 0; q < r; q++) perm1[q] = perm1[q + 1];
+            perm1[r] = p0;
+            count[r] = count[r] - 1;
+            if (count[r] > 0) break;
+            r++;
+        }
+        if (r == n) break;
+    }
+    return flipsMax;
+}
+var perm = []; var perm1 = []; var count = [];
+for (var i = 0; i < 8; i++) { perm[i] = 0; perm1[i] = 0; count[i] = 0; }
+var best = 0;
+for (var f = 0; f < 130; f++) best = fannkuch(7, perm, perm1, count);
+result = best;
+)JS", true, ""});
+
+    // S06 access-nbody: objects with x/y/z/vx/vy/vz properties,
+    // double physics, sqrt intrinsics.
+    v.push_back({"S06", "access-nbody", R"JS(
+function advance(bodies, dt) {
+    var n = bodies.length;
+    for (var i = 0; i < n; i++) {
+        var bi = bodies[i];
+        for (var j = i + 1; j < n; j++) {
+            var bj = bodies[j];
+            var dx = bi.x - bj.x;
+            var dy = bi.y - bj.y;
+            var dz = bi.z - bj.z;
+            var d2 = dx * dx + dy * dy + dz * dz + 0.1;
+            var mag = dt / (d2 * Math.sqrt(d2));
+            bi.vx -= dx * bj.mass * mag;
+            bi.vy -= dy * bj.mass * mag;
+            bi.vz -= dz * bj.mass * mag;
+            bj.vx += dx * bi.mass * mag;
+            bj.vy += dy * bi.mass * mag;
+            bj.vz += dz * bi.mass * mag;
+        }
+    }
+    for (var k = 0; k < n; k++) {
+        var b = bodies[k];
+        b.x += dt * b.vx;
+        b.y += dt * b.vy;
+        b.z += dt * b.vz;
+    }
+}
+function energy(bodies) {
+    var e = 0;
+    for (var i = 0; i < bodies.length; i++) {
+        var b = bodies[i];
+        e += 0.5 * b.mass * (b.vx * b.vx + b.vy * b.vy + b.vz * b.vz);
+    }
+    return e;
+}
+var bodies = [];
+for (var i = 0; i < 5; i++) {
+    bodies[i] = {x: i * 1.5, y: i * 0.5 - 1.0, z: 2.0 - i,
+                 vx: 0.01 * i, vy: -0.005 * i, vz: 0.002,
+                 mass: 1.0 + i * 0.1};
+}
+for (var f = 0; f < 220; f++) advance(bodies, 0.01);
+result = Math.floor(energy(bodies) * 100000);
+)JS", true, ""});
+
+    // S07 access-nsieve: sieve of Eratosthenes; strided boolean-array
+    // writes (bounds checks with non-unit stride stay per-iteration).
+    v.push_back({"S07", "access-nsieve", R"JS(
+function nsieve(m, flags) {
+    var count = 0;
+    for (var i = 2; i < m; i++) flags[i] = true;
+    for (var p = 2; p < m; p++) {
+        if (flags[p]) {
+            count++;
+            for (var k = p + p; k < m; k += p) flags[k] = false;
+        }
+    }
+    return count;
+}
+var flags = [];
+flags[1200] = false;
+var primes = 0;
+for (var f = 0; f < 130; f++) primes = nsieve(1200, flags);
+result = primes;
+)JS", true, ""});
+
+    // S08 bitops-3bit-bits-in-byte: pure bit arithmetic accumulated
+    // into an unused local — dead code under NoMap.
+    v.push_back({"S08", "bitops-3bit-bits-in-byte", R"JS(
+function bits3(n) {
+    var sink = 0;
+    for (var i = 0; i < n; i++) {
+        var b = i & 255;
+        var c = (b & 1) + ((b >> 1) & 1) + ((b >> 2) & 1) +
+                ((b >> 3) & 1) + ((b >> 4) & 1) + ((b >> 5) & 1) +
+                ((b >> 6) & 1) + ((b >> 7) & 1);
+        sink = (sink + c) & 1023;
+    }
+    return 0;
+}
+var z = 0;
+for (var f = 0; f < 150; f++) z += bits3(1000);
+result = z;
+)JS", false, "dead code under NoMap (paper Table III)"});
+
+    // S09 bitops-bits-in-byte: same shape, shift-loop variant.
+    v.push_back({"S09", "bitops-bits-in-byte", R"JS(
+function bitsInByte(n) {
+    var sink = 0;
+    for (var i = 0; i < n; i++) {
+        var b = i & 255;
+        var m = 1;
+        var c = 0;
+        while (m < 256) {
+            if (b & m) c++;
+            m = m << 1;
+        }
+        sink = (sink + c) & 4095;
+    }
+    return 0;
+}
+var z = 0;
+for (var f = 0; f < 140; f++) z += bitsInByte(700);
+result = z;
+)JS", false, "dead code under NoMap (paper Table III)"});
+
+    // S10 bitops-bitwise-and: tight loop of int adds + masks writing
+    // a global — the paper highlights S10 as the SOF showcase.
+    v.push_back({"S10", "bitops-bitwise-and", R"JS(
+var acc = 305419896;
+function grind(n) {
+    for (var i = 0; i < n; i++) {
+        acc = (acc + i) & 2147483647;
+        acc = (acc + (i << 3)) & 1073741823;
+    }
+    return acc;
+}
+var out = 0;
+for (var f = 0; f < 140; f++) out = grind(1100);
+result = out;
+)JS", true, ""});
+
+    // S11 bitops-nsieve-bits: sieve over a packed bit array.
+    v.push_back({"S11", "bitops-nsieve-bits", R"JS(
+function nsieveBits(m, words) {
+    var count = 0;
+    var nw = words.length;
+    for (var w = 0; w < nw; w++) words[w] = -1;
+    for (var p = 2; p < m; p++) {
+        if (words[p >> 5] & (1 << (p & 31))) {
+            count++;
+            for (var k = p + p; k < m; k += p) {
+                words[k >> 5] = words[k >> 5] & ~(1 << (k & 31));
+            }
+        }
+    }
+    return count;
+}
+var words = [];
+for (var i = 0; i < 40; i++) words[i] = 0;
+var primes = 0;
+for (var f = 0; f < 140; f++) primes = nsieveBits(1200, words);
+result = primes;
+)JS", true, ""});
+
+    // S12 controlflow-recursive: ackermann/fib/tak recursion; call
+    // overhead dominates, little for transactions to win.
+    v.push_back({"S12", "controlflow-recursive", R"JS(
+function ack(m, n) {
+    if (m == 0) return n + 1;
+    if (n == 0) return ack(m - 1, 1);
+    return ack(m - 1, ack(m, n - 1));
+}
+function fib(n) {
+    if (n < 2) return 1;
+    return fib(n - 2) + fib(n - 1);
+}
+var s = 0;
+for (var f = 0; f < 150; f++) {
+    s = ack(2, 3) + fib(10);
+}
+result = s;
+)JS", true, ""});
+
+    // S13 crypto-aes: many small loops over state/key byte arrays
+    // with table lookups — the paper's bounds-check-sinking showcase
+    // (72 checks from 29 loops sunk).
+    v.push_back({"S13", "crypto-aes", R"JS(
+function subBytes(ctx) {
+    var n = ctx.state.length;
+    for (var i = 0; i < n; i++) {
+        ctx.state[i] = ctx.sbox[ctx.state[i] & 255];
+    }
+}
+function shiftRows(ctx) {
+    var n = ctx.state.length;
+    for (var i = 0; i < n; i++) ctx.tmp[i] = ctx.state[(i * 5) % n];
+    for (var j = 0; j < n; j++) ctx.state[j] = ctx.tmp[j];
+}
+function addRoundKey(ctx) {
+    var n = ctx.state.length;
+    for (var i = 0; i < n; i++) {
+        ctx.state[i] = ctx.state[i] ^ ctx.key[i];
+    }
+}
+function mixColumns(ctx) {
+    var n = ctx.state.length;
+    for (var i = 0; i < n; i++) {
+        var x = ctx.state[i];
+        ctx.state[i] = ((x << 1) ^ (x >> 7)) & 255;
+    }
+}
+function encrypt(ctx, rounds) {
+    for (var r = 0; r < rounds; r++) {
+        subBytes(ctx);
+        shiftRows(ctx);
+        mixColumns(ctx);
+        addRoundKey(ctx);
+    }
+    var acc = 0;
+    var st = ctx.state;
+    for (var i = 0; i < st.length; i++) acc = (acc + st[i]) & 65535;
+    return acc;
+}
+var ctx = {state: [], sbox: [], key: [], tmp: []};
+for (var i = 0; i < 256; i++) ctx.sbox[i] = (i * 7 + 99) & 255;
+for (var i = 0; i < 64; i++) {
+    ctx.state[i] = i * 3 & 255;
+    ctx.key[i] = i * 11 & 255;
+    ctx.tmp[i] = 0;
+}
+var out = 0;
+for (var f = 0; f < 150; f++) out = encrypt(ctx, 4);
+result = out;
+)JS", true, ""});
+
+    return v;
+}
+
+} // namespace nomap

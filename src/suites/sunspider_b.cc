@@ -1,0 +1,385 @@
+#include "suites/suite.h"
+
+/**
+ * @file
+ * SunSpider-class workloads S14-S26 (original code; see suite.h).
+ * S17 and S21-S26 deliberately spend >=95% of their time in runtime
+ * helpers / lower tiers (string methods, allocation, generic ops), so
+ * they are excluded from AvgS exactly as in the paper's Table III.
+ */
+
+namespace nomap {
+
+std::vector<BenchmarkSpec>
+sunspiderPartB()
+{
+    std::vector<BenchmarkSpec> v;
+
+    // S14 crypto-md5: masked 16-bit-lane integer mixing (keeps the
+    // int32 fast path live while exercising overflow checks).
+    v.push_back({"S14", "crypto-md5", R"JS(
+function mix(words, rounds) {
+    var a = 1732584193 & 65535;
+    var b = 4023233417 & 65535;
+    var c = 2562383102 & 65535;
+    var d = 271733878 & 65535;
+    var n = words.length;
+    for (var r = 0; r < rounds; r++) {
+        for (var i = 0; i < n; i++) {
+            var f = (b & c) | ((~b) & d);
+            var t = (a + f + words[i] + 47) & 65535;
+            a = d; d = c; c = b;
+            b = (b + ((t << 3) | (t >> 13))) & 65535;
+        }
+    }
+    return ((a << 16) | b) + c + d;
+}
+var words = [];
+for (var i = 0; i < 128; i++) words[i] = (i * 2654435 + 17) & 65535;
+var out = 0;
+for (var f = 0; f < 140; f++) out = mix(words, 4);
+result = out;
+)JS", true, ""});
+
+    // S15 crypto-sha1: rotate/xor rounds over a message schedule.
+    v.push_back({"S15", "crypto-sha1", R"JS(
+function schedule(w) {
+    for (var t = 16; t < 80; t++) {
+        var x = w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16];
+        w[t] = ((x << 1) | (x >>> 31)) & 16777215;
+    }
+}
+function rounds(w) {
+    var a = 1, b = 2, c = 3, d = 4, e = 5;
+    for (var t = 0; t < 80; t++) {
+        var f = 0;
+        if (t < 20) f = (b & c) | ((~b) & d);
+        else if (t < 40) f = b ^ c ^ d;
+        else if (t < 60) f = (b & c) | (b & d) | (c & d);
+        else f = b ^ c ^ d;
+        var tmp = (((a << 5) | (a >>> 27)) + f + e + w[t]) & 16777215;
+        e = d; d = c; c = b;
+        b = ((b << 30) | (b >>> 2)) & 16777215;
+        a = tmp;
+    }
+    return a + b + c + d + e;
+}
+function sha1ish(w, blocks) {
+    var h = 0;
+    for (var bIdx = 0; bIdx < blocks; bIdx++) {
+        schedule(w);
+        h = (h + rounds(w)) & 16777215;
+    }
+    return h;
+}
+var w = [];
+for (var i = 0; i < 80; i++) w[i] = (i * 131071 + 7) & 16777215;
+var out = 0;
+for (var f = 0; f < 130; f++) out = sha1ish(w, 3);
+result = out;
+)JS", true, ""});
+
+    // S16 date-format-tofte: formatting via string building — mostly
+    // runtime (NoFTL) work, kept in AvgS like the paper's S16 but
+    // showing little NoMap benefit.
+    v.push_back({"S16", "date-format-tofte", R"JS(
+function pad2(n) {
+    if (n < 10) return "0" + n;
+    return "" + n;
+}
+function formatStamp(day, month, year, h, m, s) {
+    return pad2(day) + "/" + pad2(month) + "/" + year + " " +
+           pad2(h) + ":" + pad2(m) + ":" + pad2(s);
+}
+var hash = 0;
+for (var f = 0; f < 160; f++) {
+    var s = formatStamp(f % 28 + 1, f % 12 + 1, 2008, f % 24,
+                        f % 60, (f * 7) % 60);
+    hash = (hash + s.length + s.charCodeAt(0)) & 65535;
+}
+result = hash;
+)JS", true, ""});
+
+    // S17 date-format-xparb: heavier string formatting; >=95%
+    // non-FTL, excluded from AvgS.
+    v.push_back({"S17", "date-format-xparb", R"JS(
+function monthName(m) {
+    var names = ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul",
+                 "Aug", "Sep", "Oct", "Nov", "Dec"];
+    return names[m % 12];
+}
+function longFormat(day, month, year) {
+    var suffix = "th";
+    if (day % 10 == 1 && day != 11) suffix = "st";
+    else if (day % 10 == 2 && day != 12) suffix = "nd";
+    else if (day % 10 == 3 && day != 13) suffix = "rd";
+    return monthName(month) + " " + day + suffix + ", " + year;
+}
+var hash = 0;
+for (var f = 0; f < 220; f++) {
+    var s = longFormat(f % 28 + 1, f % 12, 1990 + (f % 30));
+    hash = (hash + s.length * 31 + s.charCodeAt(s.length - 1)) & 65535;
+}
+result = hash;
+)JS", false, ">=95% non-FTL instructions (paper Table III)"});
+
+    // S18 math-cordic: CORDIC rotation against an angle-table object;
+    // the paper reports NoMap finds a redundant load and sinks
+    // another within cordicsincos — the x/y property traffic here
+    // reproduces that pattern.
+    v.push_back({"S18", "math-cordic", R"JS(
+function cordicsincos(state, angles, target) {
+    state.x = 607252935;
+    state.y = 0;
+    var z = target;
+    var n = angles.length;
+    for (var i = 0; i < n; i++) {
+        var dx = state.x >> 3;
+        var dy = state.y >> 3;
+        var da = angles[i];
+        if (z >= 0) {
+            state.x = state.x - dy;
+            state.y = state.y + dx;
+            z = z - da;
+        } else {
+            state.x = state.x + dy;
+            state.y = state.y - dx;
+            z = z + da;
+        }
+    }
+    return state.x - state.y;
+}
+var angles = [];
+for (var i = 0; i < 40; i++) angles[i] = 2949120 >> i;
+var state = {x: 0, y: 0};
+var out = 0;
+for (var f = 0; f < 300; f++) out = cordicsincos(state, angles, 1474560);
+result = out;
+)JS", true, ""});
+
+    // S19 math-partial-sums: double series with intrinsics.
+    v.push_back({"S19", "math-partial-sums", R"JS(
+function partial(n) {
+    var a1 = 0; var a2 = 0; var a3 = 0; var a4 = 0;
+    var twothirds = 2.0 / 3.0;
+    var alt = -1.0;
+    for (var k = 1; k <= n; k++) {
+        var k2 = k * k;
+        var sk = Math.sin(k);
+        var ck = Math.cos(k);
+        alt = -alt;
+        a1 += Math.pow(twothirds, k - 1);
+        a2 += 1.0 / (k2 * (1.0 + sk * sk));
+        a3 += 1.0 / (k2 * (1.0 + ck * ck));
+        a4 += alt / k;
+    }
+    return a1 + a2 + a3 + a4;
+}
+var out = 0;
+for (var f = 0; f < 150; f++) out = partial(220);
+result = Math.floor(out * 1000000);
+)JS", true, ""});
+
+    // S20 math-spectral-norm: nested loops over double vectors.
+    v.push_back({"S20", "math-spectral-norm", R"JS(
+function A(i, j) {
+    return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1);
+}
+function multAv(u, v) {
+    var n = u.length;
+    for (var i = 0; i < n; i++) {
+        var t = 0;
+        for (var j = 0; j < n; j++) t += A(i, j) * u[j];
+        v[i] = t;
+    }
+}
+function multAtv(u, v) {
+    var n = u.length;
+    for (var i = 0; i < n; i++) {
+        var t = 0;
+        for (var j = 0; j < n; j++) t += A(j, i) * u[j];
+        v[i] = t;
+    }
+}
+var u = []; var w = []; var x = [];
+for (var i = 0; i < 40; i++) { u[i] = 1.0; w[i] = 0; x[i] = 0; }
+for (var f = 0; f < 130; f++) {
+    multAv(u, w);
+    multAtv(w, x);
+}
+var vBv = 0; var vv = 0;
+for (var i2 = 0; i2 < 40; i2++) {
+    vBv += u[i2] * x[i2];
+    vv += x[i2] * x[i2];
+}
+result = Math.floor(Math.sqrt(vBv / vv) * 1000000);
+)JS", true, ""});
+
+    // S21 regexp-dna (no regexp engine in the subset): pattern
+    // scanning with string methods — runtime dominated.
+    v.push_back({"S21", "regexp-dna", R"JS(
+function countPattern(seq, pat) {
+    var count = 0;
+    var start = 0;
+    while (true) {
+        var rest = seq.substring(start, seq.length);
+        var at = rest.indexOf(pat);
+        if (at < 0) break;
+        count++;
+        start = start + at + 1;
+    }
+    return count;
+}
+var seq = "";
+var bases = "acgt";
+for (var i = 0; i < 60; i++) {
+    seq = seq + bases.charAt((i * 7) % 4) + "gg" +
+          bases.charAt((i * 13) % 4) + "tta";
+}
+var total = 0;
+for (var f = 0; f < 90; f++) {
+    total = countPattern(seq, "gg") + countPattern(seq, "tta") +
+            countPattern(seq, "agg");
+}
+result = total;
+)JS", false, ">=95% non-FTL instructions (paper Table III)"});
+
+    // S22 string-base64: chunked encode with fromCharCode/charCodeAt.
+    v.push_back({"S22", "string-base64", R"JS(
+function encodeChunk(data, table, from, to, parts) {
+    var out = "";
+    for (var i = from; i + 2 < to; i += 3) {
+        var n = (data.charCodeAt(i) << 16) |
+                (data.charCodeAt(i + 1) << 8) | data.charCodeAt(i + 2);
+        out = out + table.charAt((n >> 18) & 63) +
+              table.charAt((n >> 12) & 63) +
+              table.charAt((n >> 6) & 63) + table.charAt(n & 63);
+    }
+    parts.push(out);
+}
+var table = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+var data = "";
+for (var i = 0; i < 30; i++) data = data + "Man is distinguished";
+var hash = 0;
+for (var f = 0; f < 60; f++) {
+    var parts = [];
+    for (var c = 0; c < data.length; c += 60)
+        encodeChunk(data, table, c, c + 60, parts);
+    var enc = parts.join("");
+    hash = (hash + enc.length + enc.charCodeAt(5)) & 65535;
+}
+result = hash;
+)JS", false, ">=95% non-FTL instructions (paper Table III)"});
+
+    // S23 string-fasta: weighted random sequence emission.
+    v.push_back({"S23", "string-fasta", R"JS(
+function emit(codes, weights, n, out) {
+    for (var i = 0; i < n; i++) {
+        var r = Math.random();
+        var k = 0;
+        while (k < weights.length - 1 && r >= weights[k]) {
+            r -= weights[k];
+            k++;
+        }
+        out.push(codes.charAt(k));
+    }
+    return out.length;
+}
+var codes = "acgt";
+var weights = [0.27, 0.12, 0.12, 0.49];
+var hash = 0;
+for (var f = 0; f < 70; f++) {
+    var out = [];
+    emit(codes, weights, 120, out);
+    var s = out.join("");
+    hash = (hash + s.charCodeAt(0) + s.length) & 65535;
+}
+result = hash;
+)JS", false, ">=95% non-FTL instructions (paper Table III)"});
+
+    // S24 string-tagcloud: object/string churn with generic property
+    // access by computed names.
+    v.push_back({"S24", "string-tagcloud", R"JS(
+function style(weight) {
+    return "font-size: " + (8 + weight * 3) + "px";
+}
+var tags = {};
+var names = ["web", "js", "css", "html", "dom", "ajax", "json", "api"];
+var hash = 0;
+for (var f = 0; f < 120; f++) {
+    for (var i = 0; i < names.length; i++) {
+        var name = names[i];
+        var cur = tags[name];
+        if (cur === undefined) cur = 0;
+        tags[name] = cur + 1;
+    }
+    var s = style(tags[names[f % 8]] % 10);
+    hash = (hash + s.length + s.charCodeAt(10)) & 65535;
+}
+result = hash;
+)JS", false, ">=95% non-FTL instructions (paper Table III)"});
+
+    // S25 string-unpack-code: split/join/charCodeAt decompression.
+    v.push_back({"S25", "string-unpack-code", R"JS(
+function unpack(packed, dict) {
+    var words = packed.split("|");
+    var out = [];
+    for (var i = 0; i < words.length; i++) {
+        var w = words[i];
+        switch (w.length) {
+          case 0:
+            break;
+          case 1: {
+            var k = w.charCodeAt(0) - 97;
+            if (k >= 0 && k < dict.length) { out.push(dict[k]); break; }
+            out.push(w);
+            break;
+          }
+          default:
+            out.push(w);
+        }
+    }
+    return out.join(" ");
+}
+var dict = ["function", "return", "var", "while", "for", "if"];
+var packed = "a|x|b|y|c|i|d|j|e|k|f|z";
+var hash = 0;
+for (var f = 0; f < 120; f++) {
+    var code = unpack(packed, dict);
+    hash = (hash + code.length + code.charCodeAt(3)) & 65535;
+}
+result = hash;
+)JS", false, ">=95% non-FTL instructions (paper Table III)"});
+
+    // S26 string-validate-input: field validation via char classes.
+    v.push_back({"S26", "string-validate-input", R"JS(
+function isDigit(c) { return c >= 48 && c <= 57; }
+function isAlpha(c) {
+    return (c >= 97 && c <= 122) || (c >= 65 && c <= 90);
+}
+function validateEmail(s) {
+    var at = s.indexOf("@");
+    if (at <= 0) return false;
+    var dot = s.substring(at, s.length).indexOf(".");
+    if (dot < 0) return false;
+    for (var i = 0; i < at; i++) {
+        var c = s.charCodeAt(i);
+        if (!isAlpha(c) && !isDigit(c) && c != 46) return false;
+    }
+    return true;
+}
+var samples = ["user@host.com", "bad-email", "a.b@c.d", "@nohost",
+               "name123@web.org", "x@y", "first.last@mail.net"];
+var valid = 0;
+for (var f = 0; f < 130; f++) {
+    for (var i = 0; i < samples.length; i++) {
+        if (validateEmail(samples[i])) valid++;
+    }
+}
+result = valid;
+)JS", false, ">=95% non-FTL instructions (paper Table III)"});
+
+    return v;
+}
+
+} // namespace nomap

@@ -1,0 +1,57 @@
+#ifndef NOMAP_SUPPORT_LOGGING_H
+#define NOMAP_SUPPORT_LOGGING_H
+
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * `fatal` reports a condition caused by the user of the library (bad
+ * program source, invalid configuration) and throws FatalError so
+ * embedders can recover. `panic` reports an internal invariant
+ * violation (a bug in the simulator itself) and aborts.
+ */
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace nomap {
+
+/** Exception thrown by fatal(): a user-level, recoverable error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a user-caused error by throwing FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal bug and abort the process. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning on stderr (non-fatal). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Internal assertion macro. Unlike NDEBUG-controlled assert(), this is
+ * always on: simulator invariants must hold in release builds too.
+ */
+#define NOMAP_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::nomap::panic("assertion failed at %s:%d: %s",              \
+                           __FILE__, __LINE__, #cond);                   \
+        }                                                                 \
+    } while (0)
+
+} // namespace nomap
+
+#endif // NOMAP_SUPPORT_LOGGING_H

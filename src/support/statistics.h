@@ -1,0 +1,58 @@
+#ifndef NOMAP_SUPPORT_STATISTICS_H
+#define NOMAP_SUPPORT_STATISTICS_H
+
+/**
+ * @file
+ * Small summary-statistics helpers used by the benchmark harnesses:
+ * arithmetic and geometric means, min/max, and fixed-width table
+ * formatting for the figure/table reproduction output.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nomap {
+
+/** Arithmetic mean of a vector; 0 if empty. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean of a vector of positive values; 0 if empty. */
+double geomean(const std::vector<double> &xs);
+
+/** Minimum; 0 if empty. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum; 0 if empty. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Fixed-width text table builder for printing paper tables/figures as
+ * aligned rows on stdout.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headerCells;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Format a ratio as a percentage string, e.g. 0.142 -> "14.2%". */
+std::string fmtPercent(double ratio, int decimals = 1);
+
+} // namespace nomap
+
+#endif // NOMAP_SUPPORT_STATISTICS_H

@@ -1,0 +1,333 @@
+#include "vm/builtins.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace nomap {
+
+bool
+resolveBuiltin(const std::string &object, const std::string &member,
+               BuiltinId *id_out)
+{
+    static const std::unordered_map<std::string, BuiltinId> math = {
+        {"abs", BuiltinId::MathAbs},     {"floor", BuiltinId::MathFloor},
+        {"ceil", BuiltinId::MathCeil},   {"sqrt", BuiltinId::MathSqrt},
+        {"sin", BuiltinId::MathSin},     {"cos", BuiltinId::MathCos},
+        {"tan", BuiltinId::MathTan},     {"atan", BuiltinId::MathAtan},
+        {"atan2", BuiltinId::MathAtan2}, {"exp", BuiltinId::MathExp},
+        {"log", BuiltinId::MathLog},     {"pow", BuiltinId::MathPow},
+        {"min", BuiltinId::MathMin},     {"max", BuiltinId::MathMax},
+        {"random", BuiltinId::MathRandom},
+        {"round", BuiltinId::MathRound},
+    };
+    if (object == "Math") {
+        auto it = math.find(member);
+        if (it == math.end())
+            return false;
+        *id_out = it->second;
+        return true;
+    }
+    if (object == "String" && member == "fromCharCode") {
+        *id_out = BuiltinId::StringFromCharCode;
+        return true;
+    }
+    return false;
+}
+
+bool
+resolveGlobalBuiltin(const std::string &name, BuiltinId *id_out)
+{
+    if (name == "print") {
+        *id_out = BuiltinId::Print;
+        return true;
+    }
+    if (name == "parseInt") {
+        *id_out = BuiltinId::ParseInt;
+        return true;
+    }
+    if (name == "parseFloat") {
+        *id_out = BuiltinId::ParseFloat;
+        return true;
+    }
+    if (name == "isNaN") {
+        *id_out = BuiltinId::IsNaN;
+        return true;
+    }
+    return false;
+}
+
+const char *
+builtinName(BuiltinId id)
+{
+    switch (id) {
+      case BuiltinId::MathAbs: return "Math.abs";
+      case BuiltinId::MathFloor: return "Math.floor";
+      case BuiltinId::MathCeil: return "Math.ceil";
+      case BuiltinId::MathSqrt: return "Math.sqrt";
+      case BuiltinId::MathSin: return "Math.sin";
+      case BuiltinId::MathCos: return "Math.cos";
+      case BuiltinId::MathTan: return "Math.tan";
+      case BuiltinId::MathAtan: return "Math.atan";
+      case BuiltinId::MathAtan2: return "Math.atan2";
+      case BuiltinId::MathExp: return "Math.exp";
+      case BuiltinId::MathLog: return "Math.log";
+      case BuiltinId::MathPow: return "Math.pow";
+      case BuiltinId::MathMin: return "Math.min";
+      case BuiltinId::MathMax: return "Math.max";
+      case BuiltinId::MathRandom: return "Math.random";
+      case BuiltinId::MathRound: return "Math.round";
+      case BuiltinId::StringFromCharCode: return "String.fromCharCode";
+      case BuiltinId::Print: return "print";
+      case BuiltinId::ParseInt: return "parseInt";
+      case BuiltinId::ParseFloat: return "parseFloat";
+      case BuiltinId::IsNaN: return "isNaN";
+      case BuiltinId::NumBuiltins: break;
+    }
+    return "?";
+}
+
+Builtins::Builtins(Runtime &runtime, uint64_t rng_seed)
+    : rt(runtime), rngState(rng_seed)
+{
+}
+
+Value
+Builtins::call(BuiltinId id, const Value *args, uint32_t nargs)
+{
+    auto num = [&](uint32_t i) {
+        return i < nargs ? rt.toNumber(args[i]) : std::nan("");
+    };
+    switch (id) {
+      case BuiltinId::MathAbs:
+        return Value::number(std::fabs(num(0)));
+      case BuiltinId::MathFloor:
+        return Value::number(std::floor(num(0)));
+      case BuiltinId::MathCeil:
+        return Value::number(std::ceil(num(0)));
+      case BuiltinId::MathSqrt:
+        return Value::boxDouble(std::sqrt(num(0)));
+      case BuiltinId::MathSin:
+        return Value::boxDouble(std::sin(num(0)));
+      case BuiltinId::MathCos:
+        return Value::boxDouble(std::cos(num(0)));
+      case BuiltinId::MathTan:
+        return Value::boxDouble(std::tan(num(0)));
+      case BuiltinId::MathAtan:
+        return Value::boxDouble(std::atan(num(0)));
+      case BuiltinId::MathAtan2:
+        return Value::boxDouble(std::atan2(num(0), num(1)));
+      case BuiltinId::MathExp:
+        return Value::boxDouble(std::exp(num(0)));
+      case BuiltinId::MathLog:
+        return Value::boxDouble(std::log(num(0)));
+      case BuiltinId::MathPow:
+        return Value::number(std::pow(num(0), num(1)));
+      case BuiltinId::MathMin: {
+        double best = std::numeric_limits<double>::infinity();
+        for (uint32_t i = 0; i < nargs; ++i)
+            best = std::fmin(best, rt.toNumber(args[i]));
+        return Value::number(best);
+      }
+      case BuiltinId::MathMax: {
+        double best = -std::numeric_limits<double>::infinity();
+        for (uint32_t i = 0; i < nargs; ++i)
+            best = std::fmax(best, rt.toNumber(args[i]));
+        return Value::number(best);
+      }
+      case BuiltinId::MathRandom:
+        return Value::boxDouble(rngState.nextDouble());
+      case BuiltinId::MathRound:
+        return Value::number(std::floor(num(0) + 0.5));
+      case BuiltinId::StringFromCharCode: {
+        std::string s;
+        for (uint32_t i = 0; i < nargs; ++i) {
+            s.push_back(static_cast<char>(
+                static_cast<int>(rt.toNumber(args[i])) & 0xff));
+        }
+        return Value::string(rt.heap().stringTable().intern(s));
+      }
+      case BuiltinId::Print: {
+        std::string line;
+        for (uint32_t i = 0; i < nargs; ++i) {
+            if (i)
+                line += " ";
+            line += rt.toString(args[i]);
+        }
+        line += "\n";
+        if (printSink)
+            printSink(line);
+        else
+            printed += line;
+        return Value::undefined();
+      }
+      case BuiltinId::ParseInt: {
+        if (nargs == 0)
+            return Value::boxDouble(std::nan(""));
+        std::string s = rt.toString(args[0]);
+        int base = nargs > 1 ? static_cast<int>(rt.toNumber(args[1])) : 10;
+        char *end = nullptr;
+        long long v = std::strtoll(s.c_str(), &end, base);
+        if (end == s.c_str())
+            return Value::boxDouble(std::nan(""));
+        return Value::number(static_cast<double>(v));
+      }
+      case BuiltinId::ParseFloat: {
+        if (nargs == 0)
+            return Value::boxDouble(std::nan(""));
+        std::string s = rt.toString(args[0]);
+        char *end = nullptr;
+        double v = std::strtod(s.c_str(), &end);
+        if (end == s.c_str())
+            return Value::boxDouble(std::nan(""));
+        return Value::number(v);
+      }
+      case BuiltinId::IsNaN: {
+        double d = num(0);
+        return Value::boolean(d != d);
+      }
+      case BuiltinId::NumBuiltins:
+        break;
+    }
+    panic("bad builtin id");
+}
+
+Value
+Builtins::callMethod(Value receiver, uint32_t name_id, const Value *args,
+                     uint32_t nargs)
+{
+    const std::string &name = rt.heap().stringTable().get(name_id);
+    if (receiver.isString())
+        return stringMethod(receiver, name, args, nargs);
+    if (receiver.isArray())
+        return arrayMethod(receiver, name, args, nargs);
+    return Value::undefined();
+}
+
+Value
+Builtins::stringMethod(Value receiver, const std::string &name,
+                       const Value *args, uint32_t nargs)
+{
+    const std::string &s = rt.heap().stringTable().get(receiver.payload());
+    StringTable &st = rt.heap().stringTable();
+
+    if (name == "charCodeAt") {
+        int64_t i =
+            nargs ? static_cast<int64_t>(rt.toNumber(args[0])) : 0;
+        if (i < 0 || i >= static_cast<int64_t>(s.size()))
+            return Value::boxDouble(std::nan(""));
+        return Value::int32(static_cast<unsigned char>(s[i]));
+    }
+    if (name == "charAt") {
+        int64_t i =
+            nargs ? static_cast<int64_t>(rt.toNumber(args[0])) : 0;
+        if (i < 0 || i >= static_cast<int64_t>(s.size()))
+            return Value::string(st.intern(""));
+        return Value::string(st.intern(std::string(1, s[i])));
+    }
+    if (name == "substring") {
+        int64_t a = nargs > 0
+                        ? static_cast<int64_t>(rt.toNumber(args[0]))
+                        : 0;
+        int64_t b = nargs > 1
+                        ? static_cast<int64_t>(rt.toNumber(args[1]))
+                        : static_cast<int64_t>(s.size());
+        a = std::max<int64_t>(0,
+                std::min<int64_t>(a, static_cast<int64_t>(s.size())));
+        b = std::max<int64_t>(0,
+                std::min<int64_t>(b, static_cast<int64_t>(s.size())));
+        if (a > b)
+            std::swap(a, b);
+        return Value::string(st.intern(s.substr(a, b - a)));
+    }
+    if (name == "indexOf") {
+        if (!nargs || !args[0].isString())
+            return Value::int32(-1);
+        const std::string &needle = st.get(args[0].payload());
+        size_t pos = s.find(needle);
+        return Value::int32(pos == std::string::npos
+                                ? -1
+                                : static_cast<int32_t>(pos));
+    }
+    if (name == "toUpperCase" || name == "toLowerCase") {
+        std::string out = s;
+        for (char &c : out) {
+            c = name[2] == 'U'
+                    ? static_cast<char>(
+                          std::toupper(static_cast<unsigned char>(c)))
+                    : static_cast<char>(
+                          std::tolower(static_cast<unsigned char>(c)));
+        }
+        return Value::string(st.intern(out));
+    }
+    if (name == "split") {
+        Value arr_v = rt.heap().allocArray(0);
+        uint32_t arr_id = arr_v.payload();
+        std::string sep = nargs ? rt.toString(args[0]) : "";
+        if (sep.empty()) {
+            for (char c : s) {
+                rt.heap().arrayPush(
+                    arr_id, Value::string(st.intern(std::string(1, c))));
+            }
+        } else {
+            size_t start = 0;
+            for (;;) {
+                size_t pos = s.find(sep, start);
+                if (pos == std::string::npos) {
+                    rt.heap().arrayPush(
+                        arr_id,
+                        Value::string(st.intern(s.substr(start))));
+                    break;
+                }
+                rt.heap().arrayPush(
+                    arr_id, Value::string(
+                                st.intern(s.substr(start, pos - start))));
+                start = pos + sep.size();
+            }
+        }
+        return arr_v;
+    }
+    return Value::undefined();
+}
+
+Value
+Builtins::arrayMethod(Value receiver, const std::string &name,
+                      const Value *args, uint32_t nargs)
+{
+    uint32_t arr_id = receiver.payload();
+    if (name == "push") {
+        uint32_t len = 0;
+        for (uint32_t i = 0; i < nargs; ++i)
+            len = rt.heap().arrayPush(arr_id, args[i]);
+        return Value::int32(static_cast<int32_t>(len));
+    }
+    if (name == "pop")
+        return rt.heap().arrayPop(arr_id);
+    if (name == "join") {
+        std::string sep = nargs ? rt.toString(args[0]) : ",";
+        const JsArray &arr = rt.heap().array(arr_id);
+        std::string out;
+        for (uint32_t i = 0; i < arr.length(); ++i) {
+            if (i)
+                out += sep;
+            Value elem = arr.storage[i];
+            if (!elem.isUndefined() && !elem.isNull())
+                out += rt.toString(elem);
+        }
+        return Value::string(rt.heap().stringTable().intern(out));
+    }
+    if (name == "indexOf") {
+        const JsArray &arr = rt.heap().array(arr_id);
+        if (!nargs)
+            return Value::int32(-1);
+        for (uint32_t i = 0; i < arr.length(); ++i) {
+            if (rt.strictEquals(arr.storage[i], args[0]))
+                return Value::int32(static_cast<int32_t>(i));
+        }
+        return Value::int32(-1);
+    }
+    return Value::undefined();
+}
+
+} // namespace nomap

@@ -1,0 +1,408 @@
+#include "vm/runtime.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "support/logging.h"
+
+namespace nomap {
+
+Runtime::Runtime(Heap &heap)
+    : heapRef(heap),
+      lengthNameId(heap.stringTable().intern("length"))
+{
+}
+
+double
+Runtime::toNumber(Value v) const
+{
+    switch (v.kind()) {
+      case ValueKind::Int32:
+        return static_cast<double>(v.asInt32());
+      case ValueKind::Double:
+        return v.asBoxedDouble();
+      case ValueKind::Boolean:
+        return v.asBoolean() ? 1.0 : 0.0;
+      case ValueKind::Null:
+        return 0.0;
+      case ValueKind::String: {
+        const std::string &s = heapRef.stringTable().get(v.payload());
+        if (s.empty())
+            return 0.0;
+        char *end = nullptr;
+        double d = std::strtod(s.c_str(), &end);
+        // Trailing non-space characters make the conversion fail.
+        while (end && *end == ' ')
+            ++end;
+        if (!end || *end != '\0')
+            return std::nan("");
+        return d;
+      }
+      case ValueKind::Undefined:
+      case ValueKind::Object:
+      case ValueKind::Array:
+      case ValueKind::Function:
+      case ValueKind::NativeFunction:
+      default:
+        return std::nan("");
+    }
+}
+
+bool
+Runtime::toBoolean(Value v) const
+{
+    switch (v.kind()) {
+      case ValueKind::Int32:
+        return v.asInt32() != 0;
+      case ValueKind::Double: {
+        double d = v.asBoxedDouble();
+        return d != 0.0 && d == d;
+      }
+      case ValueKind::Boolean:
+        return v.asBoolean();
+      case ValueKind::Undefined:
+      case ValueKind::Null:
+        return false;
+      case ValueKind::String:
+        return !heapRef.stringTable().get(v.payload()).empty();
+      default:
+        return true; // Objects, arrays, functions are truthy.
+    }
+}
+
+std::string
+Runtime::toString(Value v) const
+{
+    return heapRef.valueToDisplayString(v);
+}
+
+int32_t
+Runtime::toInt32(Value v) const
+{
+    if (v.isInt32())
+        return v.asInt32();
+    double d = toNumber(v);
+    if (d != d || std::isinf(d))
+        return 0;
+    // ECMA-262 modular conversion.
+    double m = std::fmod(std::trunc(d), 4294967296.0);
+    if (m < 0)
+        m += 4294967296.0;
+    uint32_t u = static_cast<uint32_t>(m);
+    return static_cast<int32_t>(u);
+}
+
+uint32_t
+Runtime::toUint32(Value v) const
+{
+    return static_cast<uint32_t>(toInt32(v));
+}
+
+Value
+Runtime::typeofValue(Value v)
+{
+    const char *name;
+    switch (v.kind()) {
+      case ValueKind::Int32:
+      case ValueKind::Double: name = "number"; break;
+      case ValueKind::Boolean: name = "boolean"; break;
+      case ValueKind::Undefined: name = "undefined"; break;
+      case ValueKind::Null: name = "object"; break; // JS quirk.
+      case ValueKind::String: name = "string"; break;
+      case ValueKind::Function:
+      case ValueKind::NativeFunction: name = "function"; break;
+      default: name = "object"; break;
+    }
+    return Value::string(heapRef.stringTable().intern(name));
+}
+
+Value
+Runtime::genericAdd(Value a, Value b)
+{
+    if (a.isNumber() && b.isNumber())
+        return Value::number(a.asNumber() + b.asNumber());
+    if (a.isString() || b.isString()) {
+        std::string s = toString(a) + toString(b);
+        return Value::string(heapRef.stringTable().intern(s));
+    }
+    return Value::number(toNumber(a) + toNumber(b));
+}
+
+Value
+Runtime::genericSub(Value a, Value b) const
+{
+    return Value::number(toNumber(a) - toNumber(b));
+}
+
+Value
+Runtime::genericMul(Value a, Value b) const
+{
+    return Value::number(toNumber(a) * toNumber(b));
+}
+
+Value
+Runtime::genericDiv(Value a, Value b) const
+{
+    return Value::number(toNumber(a) / toNumber(b));
+}
+
+Value
+Runtime::genericMod(Value a, Value b) const
+{
+    return Value::number(std::fmod(toNumber(a), toNumber(b)));
+}
+
+Value
+Runtime::genericBitAnd(Value a, Value b) const
+{
+    return Value::int32(toInt32(a) & toInt32(b));
+}
+
+Value
+Runtime::genericBitOr(Value a, Value b) const
+{
+    return Value::int32(toInt32(a) | toInt32(b));
+}
+
+Value
+Runtime::genericBitXor(Value a, Value b) const
+{
+    return Value::int32(toInt32(a) ^ toInt32(b));
+}
+
+Value
+Runtime::genericShl(Value a, Value b) const
+{
+    return Value::int32(toInt32(a) << (toUint32(b) & 31));
+}
+
+Value
+Runtime::genericShr(Value a, Value b) const
+{
+    return Value::int32(toInt32(a) >> (toUint32(b) & 31));
+}
+
+Value
+Runtime::genericUShr(Value a, Value b) const
+{
+    uint32_t r = toUint32(a) >> (toUint32(b) & 31);
+    return Value::number(static_cast<double>(r));
+}
+
+Value
+Runtime::genericNeg(Value a) const
+{
+    if (a.isInt32() && a.asInt32() != 0 &&
+        a.asInt32() != INT32_MIN) {
+        return Value::int32(-a.asInt32());
+    }
+    return Value::boxDouble(-toNumber(a));
+}
+
+Value
+Runtime::genericBitNot(Value a) const
+{
+    return Value::int32(~toInt32(a));
+}
+
+Value
+Runtime::genericLt(Value a, Value b) const
+{
+    if (a.isString() && b.isString()) {
+        return Value::boolean(heapRef.stringTable().get(a.payload()) <
+                              heapRef.stringTable().get(b.payload()));
+    }
+    return Value::boolean(toNumber(a) < toNumber(b));
+}
+
+Value
+Runtime::genericLe(Value a, Value b) const
+{
+    if (a.isString() && b.isString()) {
+        return Value::boolean(heapRef.stringTable().get(a.payload()) <=
+                              heapRef.stringTable().get(b.payload()));
+    }
+    return Value::boolean(toNumber(a) <= toNumber(b));
+}
+
+Value
+Runtime::genericGt(Value a, Value b) const
+{
+    if (a.isString() && b.isString()) {
+        return Value::boolean(heapRef.stringTable().get(a.payload()) >
+                              heapRef.stringTable().get(b.payload()));
+    }
+    return Value::boolean(toNumber(a) > toNumber(b));
+}
+
+Value
+Runtime::genericGe(Value a, Value b) const
+{
+    if (a.isString() && b.isString()) {
+        return Value::boolean(heapRef.stringTable().get(a.payload()) >=
+                              heapRef.stringTable().get(b.payload()));
+    }
+    return Value::boolean(toNumber(a) >= toNumber(b));
+}
+
+bool
+Runtime::looseEquals(Value a, Value b) const
+{
+    if (a.isNumber() && b.isNumber())
+        return a.asNumber() == b.asNumber();
+    if ((a.isNull() || a.isUndefined()) &&
+        (b.isNull() || b.isUndefined())) {
+        return true;
+    }
+    if (a.isNumber() && b.isString())
+        return a.asNumber() == toNumber(b);
+    if (a.isString() && b.isNumber())
+        return toNumber(a) == b.asNumber();
+    if (a.isBoolean() || b.isBoolean()) {
+        if (a.kind() != b.kind())
+            return toNumber(a) == toNumber(b);
+    }
+    return strictEquals(a, b);
+}
+
+bool
+Runtime::strictEquals(Value a, Value b) const
+{
+    if (a.isNumber() && b.isNumber())
+        return a.asNumber() == b.asNumber();
+    if (a.kind() != b.kind())
+        return false;
+    return a == b; // Identity: strings interned, objects by id.
+}
+
+Value
+Runtime::applyBinary(BinaryOp op, Value a, Value b)
+{
+    switch (op) {
+      case BinaryOp::Add: return genericAdd(a, b);
+      case BinaryOp::Sub: return genericSub(a, b);
+      case BinaryOp::Mul: return genericMul(a, b);
+      case BinaryOp::Div: return genericDiv(a, b);
+      case BinaryOp::Mod: return genericMod(a, b);
+      case BinaryOp::BitAnd: return genericBitAnd(a, b);
+      case BinaryOp::BitOr: return genericBitOr(a, b);
+      case BinaryOp::BitXor: return genericBitXor(a, b);
+      case BinaryOp::Shl: return genericShl(a, b);
+      case BinaryOp::Shr: return genericShr(a, b);
+      case BinaryOp::UShr: return genericUShr(a, b);
+      case BinaryOp::Lt: return genericLt(a, b);
+      case BinaryOp::Le: return genericLe(a, b);
+      case BinaryOp::Gt: return genericGt(a, b);
+      case BinaryOp::Ge: return genericGe(a, b);
+      case BinaryOp::Eq: return Value::boolean(looseEquals(a, b));
+      case BinaryOp::NotEq: return Value::boolean(!looseEquals(a, b));
+      case BinaryOp::StrictEq: return Value::boolean(strictEquals(a, b));
+      case BinaryOp::StrictNotEq:
+        return Value::boolean(!strictEquals(a, b));
+    }
+    panic("bad binary op");
+}
+
+Value
+Runtime::applyUnary(UnaryOp op, Value a)
+{
+    switch (op) {
+      case UnaryOp::Neg: return genericNeg(a);
+      case UnaryOp::Plus: return Value::number(toNumber(a));
+      case UnaryOp::Not: return Value::boolean(!toBoolean(a));
+      case UnaryOp::BitNot: return genericBitNot(a);
+      case UnaryOp::Typeof: return typeofValue(a);
+    }
+    panic("bad unary op");
+}
+
+Value
+Runtime::getPropertyGeneric(Value base, uint32_t name_id, Addr *addr_out)
+{
+    if (addr_out)
+        *addr_out = 0;
+    if (base.isObject())
+        return heapRef.getProperty(base.payload(), name_id, addr_out);
+    if (base.isArray()) {
+        if (name_id == lengthNameId) {
+            return Value::int32(static_cast<int32_t>(
+                heapRef.array(base.payload()).length()));
+        }
+        return Value::undefined();
+    }
+    if (base.isString()) {
+        if (name_id == lengthNameId) {
+            return Value::int32(static_cast<int32_t>(
+                heapRef.stringTable().get(base.payload()).size()));
+        }
+        return Value::undefined();
+    }
+    return Value::undefined();
+}
+
+void
+Runtime::setPropertyGeneric(Value base, uint32_t name_id, Value v,
+                            Addr *addr_out)
+{
+    if (addr_out)
+        *addr_out = 0;
+    if (base.isObject()) {
+        heapRef.setProperty(base.payload(), name_id, v, addr_out);
+        return;
+    }
+    // Stores to non-objects are silently ignored (sloppy-mode JS).
+}
+
+Value
+Runtime::getIndexGeneric(Value base, Value index, Addr *addr_out)
+{
+    if (addr_out)
+        *addr_out = 0;
+    if (base.isArray()) {
+        if (index.isInt32()) {
+            return heapRef.getElement(base.payload(), index.asInt32(),
+                                      addr_out);
+        }
+        double d = toNumber(index);
+        int64_t i = static_cast<int64_t>(d);
+        if (static_cast<double>(i) != d)
+            return Value::undefined();
+        return heapRef.getElement(base.payload(), i, addr_out);
+    }
+    if (base.isString()) {
+        const std::string &s = heapRef.stringTable().get(base.payload());
+        int64_t i = static_cast<int64_t>(toNumber(index));
+        if (i < 0 || i >= static_cast<int64_t>(s.size()))
+            return Value::undefined();
+        std::string c(1, s[static_cast<size_t>(i)]);
+        return Value::string(heapRef.stringTable().intern(c));
+    }
+    if (base.isObject()) {
+        // obj[k] where k stringifies to a property name.
+        uint32_t name = heapRef.stringTable().intern(toString(index));
+        return heapRef.getProperty(base.payload(), name, addr_out);
+    }
+    return Value::undefined();
+}
+
+void
+Runtime::setIndexGeneric(Value base, Value index, Value v, Addr *addr_out)
+{
+    if (addr_out)
+        *addr_out = 0;
+    if (base.isArray()) {
+        double d = toNumber(index);
+        int64_t i = static_cast<int64_t>(d);
+        if (static_cast<double>(i) != d || i < 0)
+            return; // Non-integer indices ignored in the subset.
+        heapRef.setElement(base.payload(), i, v, addr_out);
+        return;
+    }
+    if (base.isObject()) {
+        uint32_t name = heapRef.stringTable().intern(toString(index));
+        heapRef.setProperty(base.payload(), name, v, addr_out);
+        return;
+    }
+}
+
+} // namespace nomap

@@ -1,0 +1,117 @@
+#ifndef NOMAP_VM_RUNTIME_H
+#define NOMAP_VM_RUNTIME_H
+
+/**
+ * @file
+ * Generic runtime operations.
+ *
+ * These implement the full corner-case semantics of the JS subset:
+ * the "runtime calls" that Baseline-tier code uses for every operation
+ * (paper Figure 4b), and that FTL-tier code avoids by speculating and
+ * checking. toNumber/genericAdd/etc. never fail: like JavaScript, they
+ * handle every input combination.
+ */
+
+#include <string>
+
+#include "js/ast.h"
+#include "vm/heap.h"
+#include "vm/value.h"
+
+namespace nomap {
+
+/** Stateless helpers bound to a Heap (for string/array access). */
+class Runtime
+{
+  public:
+    explicit Runtime(Heap &heap);
+
+    // ---- Conversions ----------------------------------------------------
+    /** ToNumber: booleans/null/strings convert; objects/undefined → NaN. */
+    double toNumber(Value v) const;
+
+    /** ToBoolean (JS truthiness). */
+    bool toBoolean(Value v) const;
+
+    /** ToString for concatenation and display. */
+    std::string toString(Value v) const;
+
+    /** ToInt32 (modular wrap of the number value, per ECMA-262). */
+    int32_t toInt32(Value v) const;
+
+    /** ToUint32. */
+    uint32_t toUint32(Value v) const;
+
+    /** typeof operator result (interned string Value). */
+    Value typeofValue(Value v);
+
+    // ---- Generic operators ------------------------------------------------
+    /** JS '+': numeric add or string concatenation. */
+    Value genericAdd(Value a, Value b);
+
+    Value genericSub(Value a, Value b) const;
+    Value genericMul(Value a, Value b) const;
+    Value genericDiv(Value a, Value b) const;
+    Value genericMod(Value a, Value b) const;
+
+    Value genericBitAnd(Value a, Value b) const;
+    Value genericBitOr(Value a, Value b) const;
+    Value genericBitXor(Value a, Value b) const;
+    Value genericShl(Value a, Value b) const;
+    Value genericShr(Value a, Value b) const;
+    Value genericUShr(Value a, Value b) const;
+
+    Value genericNeg(Value a) const;
+    Value genericBitNot(Value a) const;
+
+    /** Relational compare (numbers or strings; mixed -> numeric). */
+    Value genericLt(Value a, Value b) const;
+    Value genericLe(Value a, Value b) const;
+    Value genericGt(Value a, Value b) const;
+    Value genericGe(Value a, Value b) const;
+
+    /** Loose equality (numeric coercion between number kinds only). */
+    bool looseEquals(Value a, Value b) const;
+
+    /** Strict equality (===). */
+    bool strictEquals(Value a, Value b) const;
+
+    /** Dispatch a BinaryOp generically. */
+    Value applyBinary(BinaryOp op, Value a, Value b);
+
+    /** Dispatch a UnaryOp generically. */
+    Value applyUnary(UnaryOp op, Value a);
+
+    // ---- Property access with full semantics ------------------------------
+    /**
+     * Generic property load: objects by shape lookup; arrays and
+     * strings expose 'length'; everything else yields undefined.
+     */
+    Value getPropertyGeneric(Value base, uint32_t name_id,
+                             Addr *addr_out = nullptr);
+
+    /** Generic property store; non-objects are ignored (no throw). */
+    void setPropertyGeneric(Value base, uint32_t name_id, Value v,
+                            Addr *addr_out = nullptr);
+
+    /**
+     * Generic indexed load (paper: loadArrayValue). Arrays: bounds-
+     * and hole-safe; strings: one-character string; else undefined.
+     */
+    Value getIndexGeneric(Value base, Value index,
+                          Addr *addr_out = nullptr);
+
+    /** Generic indexed store; arrays elongate as needed. */
+    void setIndexGeneric(Value base, Value index, Value v,
+                         Addr *addr_out = nullptr);
+
+    Heap &heap() { return heapRef; }
+
+  private:
+    Heap &heapRef;
+    uint32_t lengthNameId;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_VM_RUNTIME_H

@@ -1,0 +1,218 @@
+#ifndef NOMAP_VM_VALUE_H
+#define NOMAP_VM_VALUE_H
+
+/**
+ * @file
+ * NaN-boxed JavaScript value.
+ *
+ * All values fit in 64 bits, as in JavaScriptCore. Non-double values
+ * live in the negative quiet-NaN space: the top 16 bits select a tag
+ * that no canonicalized double can produce (the VM canonicalizes every
+ * NaN result to 0x7FF8000000000000 before boxing, so tag patterns are
+ * unreachable as doubles).
+ *
+ * JavaScript numbers are doubles by default; the VM keeps a separate
+ * Int32 representation as the fast path, exactly the optimization
+ * whose overflow checks the paper's SOF mechanism targets.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace nomap {
+
+/** Runtime kind of a boxed value. */
+enum class ValueKind : uint8_t {
+    Int32,
+    Double,
+    Boolean,
+    Undefined,
+    Null,
+    Object,
+    Array,
+    String,
+    Function,       ///< User function (index into the code cache).
+    NativeFunction, ///< Builtin (index into the builtin registry).
+};
+
+/** Bitmask form of ValueKind used by type-feedback profiles. */
+enum ValueKindMask : uint16_t {
+    kMaskInt32 = 1 << 0,
+    kMaskDouble = 1 << 1,
+    kMaskBoolean = 1 << 2,
+    kMaskUndefined = 1 << 3,
+    kMaskNull = 1 << 4,
+    kMaskObject = 1 << 5,
+    kMaskArray = 1 << 6,
+    kMaskString = 1 << 7,
+    kMaskFunction = 1 << 8,
+    kMaskNative = 1 << 9,
+};
+
+/** Convert a kind to its profile mask bit. */
+uint16_t valueKindMask(ValueKind kind);
+
+/** A NaN-boxed value. Trivially copyable; 8 bytes. */
+class Value
+{
+  public:
+    /** Default-constructed values are undefined. */
+    Value() : bits(kUndefinedBits) {}
+
+    // ---- Constructors -------------------------------------------------
+    static Value
+    int32(int32_t v)
+    {
+        return Value((kTagInt32 << 48) |
+                     static_cast<uint32_t>(v));
+    }
+
+    static Value
+    number(double v)
+    {
+        // Prefer the int32 representation when exact (excluding -0).
+        int32_t as_int = static_cast<int32_t>(v);
+        if (static_cast<double>(as_int) == v &&
+            !(v == 0.0 && std::signbit(v))) {
+            return int32(as_int);
+        }
+        return boxDouble(v);
+    }
+
+    static Value
+    boxDouble(double v)
+    {
+        if (v != v)
+            return Value(kCanonicalNan);
+        uint64_t b;
+        std::memcpy(&b, &v, sizeof(b));
+        return Value(b);
+    }
+
+    static Value
+    boolean(bool v)
+    {
+        return Value(v ? kTrueBits : kFalseBits);
+    }
+
+    static Value undefined() { return Value(kUndefinedBits); }
+    static Value null() { return Value(kNullBits); }
+
+    static Value
+    object(uint32_t heap_id)
+    {
+        return Value((kTagObject << 48) | heap_id);
+    }
+
+    static Value
+    array(uint32_t heap_id)
+    {
+        return Value((kTagArray << 48) | heap_id);
+    }
+
+    static Value
+    string(uint32_t string_id)
+    {
+        return Value((kTagString << 48) | string_id);
+    }
+
+    static Value
+    function(uint32_t func_id)
+    {
+        return Value((kTagFunction << 48) | func_id);
+    }
+
+    static Value
+    nativeFunction(uint32_t builtin_id)
+    {
+        return Value((kTagNative << 48) | builtin_id);
+    }
+
+    // ---- Predicates ---------------------------------------------------
+    bool isInt32() const { return tag() == kTagInt32; }
+    bool isBoxedDouble() const { return tag() < kTagInt32; }
+    bool isNumber() const { return isInt32() || isBoxedDouble(); }
+    bool
+    isBoolean() const
+    {
+        return bits == kTrueBits || bits == kFalseBits;
+    }
+    bool isUndefined() const { return bits == kUndefinedBits; }
+    bool isNull() const { return bits == kNullBits; }
+    bool isObject() const { return tag() == kTagObject; }
+    bool isArray() const { return tag() == kTagArray; }
+    bool isString() const { return tag() == kTagString; }
+    bool isFunction() const { return tag() == kTagFunction; }
+    bool isNativeFunction() const { return tag() == kTagNative; }
+
+    /** Runtime kind. */
+    ValueKind kind() const;
+
+    // ---- Accessors (caller must check the predicate first) -----------
+    int32_t
+    asInt32() const
+    {
+        return static_cast<int32_t>(bits & 0xffffffffu);
+    }
+
+    double
+    asBoxedDouble() const
+    {
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    /** Numeric value of an Int32 or boxed double. */
+    double
+    asNumber() const
+    {
+        return isInt32() ? static_cast<double>(asInt32())
+                         : asBoxedDouble();
+    }
+
+    bool asBoolean() const { return bits == kTrueBits; }
+    uint32_t payload() const
+    {
+        return static_cast<uint32_t>(bits & 0xffffffffu);
+    }
+
+    uint64_t rawBits() const { return bits; }
+
+    bool operator==(const Value &other) const
+    {
+        return bits == other.bits;
+    }
+    bool operator!=(const Value &other) const
+    {
+        return bits != other.bits;
+    }
+
+  private:
+    explicit Value(uint64_t b) : bits(b) {}
+
+    uint64_t tag() const { return bits >> 48; }
+
+    static constexpr uint64_t kCanonicalNan = 0x7ff8000000000000ull;
+    static constexpr uint64_t kTagInt32 = 0xfff1;
+    static constexpr uint64_t kTagObject = 0xfff2;
+    static constexpr uint64_t kTagArray = 0xfff3;
+    static constexpr uint64_t kTagString = 0xfff4;
+    static constexpr uint64_t kTagFunction = 0xfff5;
+    static constexpr uint64_t kTagNative = 0xfff6;
+    static constexpr uint64_t kTagSpecial = 0xfff7;
+    static constexpr uint64_t kUndefinedBits = (kTagSpecial << 48) | 0;
+    static constexpr uint64_t kNullBits = (kTagSpecial << 48) | 1;
+    static constexpr uint64_t kFalseBits = (kTagSpecial << 48) | 2;
+    static constexpr uint64_t kTrueBits = (kTagSpecial << 48) | 3;
+
+    uint64_t bits;
+};
+
+static_assert(sizeof(Value) == 8, "Value must stay NaN-box sized");
+
+} // namespace nomap
+
+#endif // NOMAP_VM_VALUE_H

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "bytecode/compiler.h"
+#include "js/parser.h"
+#include "support/logging.h"
+
+namespace nomap {
+namespace {
+
+class BytecodeTest : public ::testing::Test
+{
+  protected:
+    BytecodeTest() : heap(shapes, strings) {}
+
+    CompiledProgram
+    compileSrc(const std::string &src)
+    {
+        Program ast = parseProgram(src);
+        return compile(ast, heap);
+    }
+
+    static uint32_t
+    countOp(const BytecodeFunction &fn, Opcode op)
+    {
+        uint32_t n = 0;
+        for (const BytecodeInstr &instr : fn.code)
+            n += instr.op == op;
+        return n;
+    }
+
+    ShapeTable shapes;
+    StringTable strings;
+    Heap heap;
+};
+
+TEST_F(BytecodeTest, MainIsFunctionZero)
+{
+    CompiledProgram p = compileSrc("var x = 1;");
+    ASSERT_GE(p.functions.size(), 1u);
+    EXPECT_EQ(p.main().name, "<main>");
+    EXPECT_EQ(p.main().funcId, 0u);
+}
+
+TEST_F(BytecodeTest, TopLevelVarsAreGlobals)
+{
+    compileSrc("var x = 1; var y = 2;");
+    EXPECT_GE(heap.findGlobal("x"), 0);
+    EXPECT_GE(heap.findGlobal("y"), 0);
+}
+
+TEST_F(BytecodeTest, FunctionLocalsAreRegisters)
+{
+    CompiledProgram p =
+        compileSrc("function f(a, b) { var c = a + b; return c; }");
+    const BytecodeFunction &fn = *p.functions[1];
+    EXPECT_EQ(fn.numParams, 2u);
+    EXPECT_EQ(fn.numLocals, 3u); // a, b, c.
+    EXPECT_GE(fn.numRegs, fn.numLocals);
+    // Locals never touch the global table.
+    EXPECT_EQ(countOp(fn, Opcode::LoadGlobal), 0u);
+    EXPECT_EQ(countOp(fn, Opcode::StoreGlobal), 0u);
+    EXPECT_LT(heap.findGlobal("c"), 0);
+}
+
+TEST_F(BytecodeTest, VarHoisting)
+{
+    // `v` is used before its declaration statement: still a local.
+    CompiledProgram p = compileSrc(
+        "function f() { v = 3; var v; return v; }");
+    EXPECT_EQ(p.functions[1]->numLocals, 1u);
+    EXPECT_LT(heap.findGlobal("v"), 0);
+}
+
+TEST_F(BytecodeTest, LoopHeadersGetIds)
+{
+    CompiledProgram p = compileSrc(
+        "function f(n) { for (var i = 0; i < n; i++) {"
+        " for (var j = 0; j < n; j++) {} } while (n) n--; }");
+    const BytecodeFunction &fn = *p.functions[1];
+    EXPECT_EQ(fn.numLoops, 3u);
+    EXPECT_EQ(countOp(fn, Opcode::LoopHeader), 3u);
+}
+
+TEST_F(BytecodeTest, BuiltinsResolveAtCompileTime)
+{
+    CompiledProgram p = compileSrc(
+        "function f(x) { return Math.sqrt(x) + Math.floor(x); }");
+    EXPECT_EQ(countOp(*p.functions[1], Opcode::CallNative), 2u);
+    EXPECT_EQ(countOp(*p.functions[1], Opcode::CallMethod), 0u);
+}
+
+TEST_F(BytecodeTest, MethodCallsStayDynamic)
+{
+    CompiledProgram p =
+        compileSrc("function f(s) { return s.charCodeAt(0); }");
+    EXPECT_EQ(countOp(*p.functions[1], Opcode::CallMethod), 1u);
+}
+
+TEST_F(BytecodeTest, UnknownCalleeIsError)
+{
+    EXPECT_THROW(compileSrc("nope();"), FatalError);
+}
+
+TEST_F(BytecodeTest, DuplicateFunctionIsError)
+{
+    EXPECT_THROW(compileSrc("function f() {} function f() {}"),
+                 FatalError);
+}
+
+TEST_F(BytecodeTest, BreakOutsideLoopIsError)
+{
+    EXPECT_THROW(compileSrc("break;"), FatalError);
+}
+
+TEST_F(BytecodeTest, CallsResolveToFunctionIds)
+{
+    CompiledProgram p = compileSrc(
+        "function g() { return 1; } function f() { return g(); }"
+        "f();");
+    int32_t g = p.findFunction("g");
+    ASSERT_GE(g, 0);
+    const BytecodeFunction &fn =
+        *p.functions[static_cast<size_t>(p.findFunction("f"))];
+    bool found = false;
+    for (const BytecodeInstr &instr : fn.code) {
+        if (instr.op == Opcode::Call)
+            found = instr.imm == static_cast<uint32_t>(g);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(BytecodeTest, ForwardReferenceWorks)
+{
+    // f calls g which is declared later.
+    CompiledProgram p = compileSrc(
+        "function f() { return g(); } function g() { return 2; }");
+    EXPECT_GE(p.findFunction("g"), 0);
+}
+
+TEST_F(BytecodeTest, ConstantsDeduplicated)
+{
+    CompiledProgram p = compileSrc(
+        "function f() { return 7 + 7 + 7; }");
+    EXPECT_EQ(p.functions[1]->constants.size(), 1u);
+}
+
+TEST_F(BytecodeTest, ObjectLiteralDescriptors)
+{
+    CompiledProgram p = compileSrc(
+        "function f() { return {alpha: 1, beta: 2}; }");
+    const BytecodeFunction &fn = *p.functions[1];
+    ASSERT_EQ(fn.objectDescs.size(), 1u);
+    ASSERT_EQ(fn.objectDescs[0].nameIds.size(), 2u);
+    EXPECT_EQ(strings.get(fn.objectDescs[0].nameIds[0]), "alpha");
+    EXPECT_EQ(strings.get(fn.objectDescs[0].nameIds[1]), "beta");
+}
+
+TEST_F(BytecodeTest, ProfileSizedToCode)
+{
+    CompiledProgram p = compileSrc(
+        "function f(a) { for (var i = 0; i < a; i++) {} }");
+    const BytecodeFunction &fn = *p.functions[1];
+    EXPECT_EQ(fn.profile.arith.size(), fn.code.size());
+    EXPECT_EQ(fn.profile.loops.size(), fn.numLoops);
+}
+
+TEST_F(BytecodeTest, SwitchCompilesToStrictEqChain)
+{
+    CompiledProgram p = compileSrc(
+        "function f(n) { switch (n) { case 1: return 10;"
+        " case 2: return 20; default: return 0; } }");
+    const BytecodeFunction &fn = *p.functions[1];
+    uint32_t eq_tests = 0;
+    for (const BytecodeInstr &instr : fn.code) {
+        if (instr.op == Opcode::Binary &&
+            static_cast<BinaryOp>(instr.imm) == BinaryOp::StrictEq) {
+            ++eq_tests;
+        }
+    }
+    EXPECT_EQ(eq_tests, 2u); // One per non-default clause.
+}
+
+TEST_F(BytecodeTest, MathConstantsFoldToLiterals)
+{
+    CompiledProgram p =
+        compileSrc("function f() { return Math.PI + Math.E; }");
+    const BytecodeFunction &fn = *p.functions[1];
+    EXPECT_EQ(countOp(fn, Opcode::GetProp), 0u);
+    EXPECT_EQ(countOp(fn, Opcode::LoadGlobal), 0u);
+    bool has_pi = false;
+    for (const Value &v : fn.constants) {
+        has_pi |= v.isBoxedDouble() &&
+                  v.asBoxedDouble() > 3.14 && v.asBoxedDouble() < 3.15;
+    }
+    EXPECT_TRUE(has_pi);
+}
+
+TEST_F(BytecodeTest, DisassembleMentionsOps)
+{
+    CompiledProgram p = compileSrc("function f(a) { return a + 1; }");
+    std::string dis = p.functions[1]->disassemble();
+    EXPECT_NE(dis.find("Binary"), std::string::npos);
+    EXPECT_NE(dis.find("Return"), std::string::npos);
+}
+
+} // namespace
+} // namespace nomap

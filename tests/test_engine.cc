@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "support/logging.h"
+
+namespace nomap {
+namespace {
+
+const Architecture kAllArchs[] = {
+    Architecture::Base,   Architecture::NoMapS, Architecture::NoMapB,
+    Architecture::NoMap,  Architecture::NoMapBC,
+    Architecture::NoMapRTM,
+};
+
+EngineResult
+runWith(Architecture arch, const std::string &src,
+        Tier max_tier = Tier::Ftl)
+{
+    EngineConfig config;
+    config.arch = arch;
+    config.maxTier = max_tier;
+    Engine engine(config);
+    return engine.run(src);
+}
+
+/** The paper's Figure 4 example, adapted to the subset. */
+const char *kSumLoop = R"JS(
+function makeObj(n) {
+    var obj = {values: [], sum: 0};
+    for (var i = 0; i < n; i++) obj.values[i] = i % 7;
+    return obj;
+}
+function sumInto(obj) {
+    var len = obj.values.length;
+    for (var idx = 0; idx < len; idx++) {
+        var value = obj.values[idx];
+        obj.sum += value;
+    }
+    return obj.sum;
+}
+var o = makeObj(200);
+var total = 0;
+for (var r = 0; r < 120; r++) {
+    o.sum = 0;
+    total = sumInto(o);
+}
+result = total;
+)JS";
+
+TEST(Engine, SumLoopCorrectAcrossArchitectures)
+{
+    // 200 elements of i%7: sum = sum over i in [0,200) of i%7.
+    int expected = 0;
+    for (int i = 0; i < 200; ++i)
+        expected += i % 7;
+    for (Architecture arch : kAllArchs) {
+        EngineResult r = runWith(arch, kSumLoop);
+        EXPECT_EQ(r.resultString, std::to_string(expected))
+            << architectureName(arch);
+    }
+}
+
+TEST(Engine, SumLoopReachesFtlAndPlacesTransactions)
+{
+    EngineConfig config;
+    config.arch = Architecture::NoMap;
+    Engine engine(config);
+    engine.run(kSumLoop);
+    const FunctionState *state = engine.functionState("sumInto");
+    ASSERT_NE(state, nullptr);
+    EXPECT_EQ(state->tier, Tier::Ftl);
+    ASSERT_NE(state->ftl, nullptr);
+    EXPECT_GT(state->ftl->planResult.transactionsPlaced, 0u);
+    EXPECT_GT(state->ftl->planResult.checksConverted, 0u);
+    EXPECT_GT(engine.htm().stats().commits, 0u);
+    EXPECT_EQ(engine.htm().stats().aborts, 0u);
+}
+
+TEST(Engine, NoMapExecutesFewerInstructionsThanBase)
+{
+    uint64_t base = runWith(Architecture::Base, kSumLoop)
+                        .stats.totalInstructions();
+    uint64_t s = runWith(Architecture::NoMapS, kSumLoop)
+                     .stats.totalInstructions();
+    uint64_t full = runWith(Architecture::NoMap, kSumLoop)
+                        .stats.totalInstructions();
+    uint64_t bc = runWith(Architecture::NoMapBC, kSumLoop)
+                      .stats.totalInstructions();
+    EXPECT_LT(s, base);
+    EXPECT_LT(full, s);
+    EXPECT_LE(bc, full);
+}
+
+TEST(Engine, ChecksDropAcrossNoMapVariants)
+{
+    uint64_t base =
+        runWith(Architecture::Base, kSumLoop).stats.totalChecks();
+    uint64_t b =
+        runWith(Architecture::NoMapB, kSumLoop).stats.totalChecks();
+    uint64_t full =
+        runWith(Architecture::NoMap, kSumLoop).stats.totalChecks();
+    EXPECT_LT(b, base);
+    EXPECT_LT(full, b);
+}
+
+TEST(Engine, TierLadderSpeedsUp)
+{
+    auto cycles = [&](Tier cap) {
+        return runWith(Architecture::Base, kSumLoop, cap)
+            .stats.totalCycles();
+    };
+    double interp = cycles(Tier::Interpreter);
+    double baseline = cycles(Tier::Baseline);
+    double dfg = cycles(Tier::Dfg);
+    double ftl = cycles(Tier::Ftl);
+    EXPECT_GT(interp, baseline);
+    EXPECT_GT(baseline, dfg);
+    EXPECT_GT(dfg, ftl);
+}
+
+TEST(Engine, ArithmeticAndControlFlow)
+{
+    const char *src = R"JS(
+function collatzLen(n) {
+    var len = 0;
+    while (n != 1) {
+        if (n % 2 == 0) n = n / 2;
+        else n = 3 * n + 1;
+        len++;
+    }
+    return len;
+}
+var best = 0;
+for (var i = 1; i < 400; i++) {
+    var l = collatzLen(i);
+    if (l > best) best = l;
+}
+result = best;
+)JS";
+    std::string expected;
+    {
+        // Host-language reference.
+        int best = 0;
+        for (int i = 1; i < 400; ++i) {
+            long long n = i;
+            int len = 0;
+            while (n != 1) {
+                n = n % 2 == 0 ? n / 2 : 3 * n + 1;
+                ++len;
+            }
+            if (len > best)
+                best = len;
+        }
+        expected = std::to_string(best);
+    }
+    for (Architecture arch : kAllArchs)
+        EXPECT_EQ(runWith(arch, src).resultString, expected)
+            << architectureName(arch);
+}
+
+TEST(Engine, StringWorkload)
+{
+    const char *src = R"JS(
+function hash(s) {
+    var h = 0;
+    for (var i = 0; i < s.length; i++) {
+        h = (h * 31 + s.charCodeAt(i)) & 0xffffff;
+    }
+    return h;
+}
+var acc = 0;
+for (var r = 0; r < 80; r++) {
+    acc = (acc + hash("the quick brown fox jumps over the lazy dog"))
+          & 0xffffff;
+}
+result = acc;
+)JS";
+    std::string base = runWith(Architecture::Base, src).resultString;
+    for (Architecture arch : kAllArchs)
+        EXPECT_EQ(runWith(arch, src).resultString, base)
+            << architectureName(arch);
+}
+
+TEST(Engine, OverflowDeoptProducesCorrectDoubleResult)
+{
+    // The accumulator overflows int32 range mid-run: Base deopts via
+    // the overflow SMP; full NoMap detects it through the SOF at
+    // XEnd, rolls back, and re-executes in Baseline.
+    const char *src = R"JS(
+function grow(n) {
+    var x = 1000000;
+    var acc = 0;
+    for (var i = 0; i < n; i++) {
+        acc = acc + x;
+    }
+    return acc;
+}
+var out = 0;
+for (var r = 0; r < 90; r++) out = grow(40);
+for (var r2 = 0; r2 < 3; r2++) out = grow(4000);
+result = out;
+)JS";
+    for (Architecture arch : kAllArchs)
+        EXPECT_EQ(runWith(arch, src).resultString, "4000000000")
+            << architectureName(arch);
+}
+
+TEST(Engine, ShapeChangeDeopts)
+{
+    // After FTL compiles reads of p.x for one shape, objects with a
+    // different shape arrive: the property check must deopt (Base) or
+    // abort (NoMap) and still produce correct values.
+    const char *src = R"JS(
+function getX(p) {
+    var acc = 0;
+    for (var i = 0; i < 50; i++) acc += p.x;
+    return acc;
+}
+var a = {x: 2, y: 3};
+var sum = 0;
+for (var r = 0; r < 100; r++) sum = getX(a);
+var b = {y: 1, x: 5};
+sum += getX(b);
+result = sum;
+)JS";
+    for (Architecture arch : kAllArchs) {
+        if (arch == Architecture::NoMapBC)
+            continue; // BC removes the guard; unsound by design.
+        EXPECT_EQ(runWith(arch, src).resultString,
+                  std::to_string(100 + 250))
+            << architectureName(arch);
+    }
+}
+
+TEST(Engine, OutOfBoundsReadDeopts)
+{
+    // After the hot loop trains on in-bounds accesses, a final call
+    // walks past the end: undefined must flow per JS semantics.
+    const char *src = R"JS(
+function at(arr, i) {
+    return arr[i];
+}
+function sumFirst(arr, k) {
+    var acc = 0;
+    for (var i = 0; i < k; i++) {
+        var v = at(arr, i);
+        if (v === undefined) acc += 1000;
+        else acc += v;
+    }
+    return acc;
+}
+var data = [];
+for (var i = 0; i < 100; i++) data[i] = 1;
+var out = 0;
+for (var r = 0; r < 100; r++) out = sumFirst(data, 100);
+out = sumFirst(data, 102);
+result = out;
+)JS";
+    for (Architecture arch : kAllArchs) {
+        if (arch == Architecture::NoMapBC)
+            continue;
+        EXPECT_EQ(runWith(arch, src).resultString,
+                  std::to_string(100 + 2000))
+            << architectureName(arch);
+    }
+}
+
+TEST(Engine, HoleReadDeopts)
+{
+    const char *src = R"JS(
+function sumAll(arr) {
+    var acc = 0;
+    for (var i = 0; i < arr.length; i++) {
+        var v = arr[i];
+        if (v === undefined) acc += 7;
+        else acc += v;
+    }
+    return acc;
+}
+var dense = [];
+for (var i = 0; i < 64; i++) dense[i] = 1;
+var out = 0;
+for (var r = 0; r < 100; r++) out = sumAll(dense);
+var holey = [];
+holey[0] = 1;
+holey[5] = 1;
+out += sumAll(holey);
+result = out;
+)JS";
+    // holey: length 6, values [1,u,u,u,u,1] -> 1 + 4*7 + 1 = 30.
+    for (Architecture arch : kAllArchs) {
+        if (arch == Architecture::NoMapBC)
+            continue;
+        EXPECT_EQ(runWith(arch, src).resultString,
+                  std::to_string(64 + 30))
+            << architectureName(arch);
+    }
+}
+
+TEST(Engine, DeoptCountIsTiny)
+{
+    // Paper III-A2: in steady state, checks practically never fail.
+    EngineResult r = runWith(Architecture::Base, kSumLoop);
+    EXPECT_GT(r.stats.ftlFunctionCalls, 0u);
+    EXPECT_EQ(r.stats.deopts, 0u);
+}
+
+TEST(Engine, PrintOutsideLoops)
+{
+    const char *src = R"JS(
+print("hello", 42);
+print("bye");
+)JS";
+    EngineResult r = runWith(Architecture::NoMap, src);
+    EXPECT_EQ(r.printed, "hello 42\nbye\n");
+}
+
+TEST(Engine, InstructionBucketsPartition)
+{
+    EngineResult r = runWith(Architecture::NoMap, kSumLoop);
+    uint64_t total = r.stats.totalInstructions();
+    EXPECT_GT(total, 0u);
+    EXPECT_GT(r.stats.instrIn(InstrBucket::TmOpt), 0u);
+    EXPECT_GT(r.stats.instrIn(InstrBucket::NoFtl), 0u);
+    // Base never runs transactional code.
+    EngineResult base = runWith(Architecture::Base, kSumLoop);
+    EXPECT_EQ(base.stats.instrIn(InstrBucket::TmOpt), 0u);
+    EXPECT_EQ(base.stats.instrIn(InstrBucket::TmUnopt), 0u);
+}
+
+TEST(Engine, RtmTracksSmallerTransactions)
+{
+    EngineResult rot = runWith(Architecture::NoMap, kSumLoop);
+    EngineResult rtm = runWith(Architecture::NoMapRTM, kSumLoop);
+    // Both run correctly; RTM commits are bounded by L1D capacity.
+    EXPECT_EQ(rot.resultString, rtm.resultString);
+}
+
+TEST(Engine, SwitchSemantics)
+{
+    const char *src = R"JS(
+function classify(n) {
+    var label = 0;
+    switch (n % 5) {
+      case 0: label = 100; break;
+      case 1:
+      case 2: label = 200; break;
+      case 3: label = label + 300;   // falls through into default
+      default: label = label + 1;
+    }
+    return label;
+}
+var s = 0;
+for (var i = 0; i < 200; i++) {
+    switch (i % 10) {
+      case 7: continue;   // continue skips the enclosing switch
+      default: ;
+    }
+    s += classify(i);
+}
+result = s;
+)JS";
+    // Full sum over 200 iterations is 32080 (40 of each class:
+    // 100 + 200 + 200 + 301 + 1). The continue skips i%10==7, whose
+    // class is i%5==2 -> 200, twenty times.
+    std::string expected = std::to_string(32080 - 20 * 200);
+    for (Architecture arch : kAllArchs)
+        EXPECT_EQ(runWith(arch, src).resultString, expected)
+            << architectureName(arch);
+}
+
+TEST(Engine, SwitchOnStrings)
+{
+    const char *src = R"JS(
+function kindOf(s) {
+    switch (s) {
+      case "a": return 1;
+      case "bb": return 2;
+      default: return 0;
+    }
+}
+result = "" + kindOf("a") + kindOf("bb") + kindOf("zz");
+)JS";
+    EXPECT_EQ(runWith(Architecture::NoMap, src).resultString, "120");
+}
+
+TEST(Engine, SequentialRunsShareGlobals)
+{
+    EngineConfig config;
+    config.arch = Architecture::NoMap;
+    Engine engine(config);
+    engine.run("var shared = 40;");
+    EngineResult r = engine.run("result = shared + 2;");
+    EXPECT_EQ(r.resultString, "42");
+}
+
+TEST(Engine, GlobalsAccumulateAcrossCalls)
+{
+    const char *src = R"JS(
+var counter = 0;
+function bump(k) {
+    for (var i = 0; i < k; i++) counter = counter + 1;
+}
+for (var r = 0; r < 120; r++) bump(50);
+result = counter;
+)JS";
+    for (Architecture arch : kAllArchs)
+        EXPECT_EQ(runWith(arch, src).resultString, "6000")
+            << architectureName(arch);
+}
+
+} // namespace
+} // namespace nomap

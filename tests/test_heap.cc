@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "htm/transaction.h"
+#include "vm/heap.h"
+
+namespace nomap {
+namespace {
+
+class HeapTest : public ::testing::Test
+{
+  protected:
+    HeapTest() : heap(shapes, strings) {}
+
+    ShapeTable shapes;
+    StringTable strings;
+    Heap heap;
+};
+
+TEST_F(HeapTest, ObjectPropertiesAndShapes)
+{
+    Value a = heap.allocObject();
+    Value b = heap.allocObject();
+    uint32_t x = strings.intern("x");
+    uint32_t y = strings.intern("y");
+
+    heap.setProperty(a.payload(), x, Value::int32(1));
+    heap.setProperty(a.payload(), y, Value::int32(2));
+    heap.setProperty(b.payload(), x, Value::int32(3));
+    heap.setProperty(b.payload(), y, Value::int32(4));
+
+    // Same insertion order -> same shape (hidden class sharing).
+    EXPECT_EQ(heap.object(a.payload()).shape,
+              heap.object(b.payload()).shape);
+    EXPECT_EQ(heap.getProperty(a.payload(), x), Value::int32(1));
+    EXPECT_EQ(heap.getProperty(b.payload(), y), Value::int32(4));
+
+    // Different order -> different shape.
+    Value c = heap.allocObject();
+    heap.setProperty(c.payload(), y, Value::int32(9));
+    heap.setProperty(c.payload(), x, Value::int32(8));
+    EXPECT_NE(heap.object(c.payload()).shape,
+              heap.object(a.payload()).shape);
+    EXPECT_EQ(heap.getProperty(c.payload(), x), Value::int32(8));
+}
+
+TEST_F(HeapTest, MissingPropertyIsUndefined)
+{
+    Value a = heap.allocObject();
+    EXPECT_TRUE(heap.getProperty(a.payload(), strings.intern("nope"))
+                    .isUndefined());
+}
+
+TEST_F(HeapTest, ArrayBasicsAndElongation)
+{
+    Value arr = heap.allocArray(3);
+    uint32_t id = arr.payload();
+    heap.setElement(id, 0, Value::int32(10));
+    heap.setElement(id, 2, Value::int32(30));
+    EXPECT_EQ(heap.getElement(id, 0), Value::int32(10));
+    EXPECT_TRUE(heap.getElement(id, 1).isUndefined());
+    EXPECT_EQ(heap.array(id).length(), 3u);
+    EXPECT_FALSE(heap.array(id).hasHoles);
+
+    // Write past the end: elongate, creating a hole at 3..4.
+    heap.setElement(id, 5, Value::int32(60));
+    EXPECT_EQ(heap.array(id).length(), 6u);
+    EXPECT_TRUE(heap.array(id).hasHoles);
+    EXPECT_TRUE(heap.getElement(id, 4).isUndefined());
+    // Out-of-bounds read yields undefined, never crashes.
+    EXPECT_TRUE(heap.getElement(id, 100).isUndefined());
+    EXPECT_TRUE(heap.getElement(id, -1).isUndefined());
+}
+
+TEST_F(HeapTest, ElongationMovesStorageAddress)
+{
+    Value arr = heap.allocArray(2);
+    uint32_t id = arr.payload();
+    Addr before = heap.array(id).baseAddr;
+    heap.setElement(id, 100, Value::int32(1));
+    EXPECT_NE(heap.array(id).baseAddr, before);
+}
+
+TEST_F(HeapTest, DistinctAllocationsDistinctLines)
+{
+    Value a = heap.allocObject();
+    Value b = heap.allocObject();
+    Addr addr_a = heap.object(a.payload()).baseAddr;
+    Addr addr_b = heap.object(b.payload()).baseAddr;
+    EXPECT_NE(lineBase(addr_a), lineBase(addr_b));
+}
+
+TEST_F(HeapTest, PushPop)
+{
+    Value arr = heap.allocArray(0);
+    uint32_t id = arr.payload();
+    EXPECT_EQ(heap.arrayPush(id, Value::int32(1)), 1u);
+    EXPECT_EQ(heap.arrayPush(id, Value::int32(2)), 2u);
+    EXPECT_EQ(heap.arrayPop(id), Value::int32(2));
+    EXPECT_EQ(heap.arrayPop(id), Value::int32(1));
+    EXPECT_TRUE(heap.arrayPop(id).isUndefined());
+}
+
+TEST_F(HeapTest, Globals)
+{
+    uint32_t g = heap.globalIndex("counter");
+    EXPECT_EQ(heap.globalIndex("counter"), g); // Stable.
+    EXPECT_TRUE(heap.getGlobal(g).isUndefined());
+    heap.setGlobal(g, Value::int32(5));
+    EXPECT_EQ(heap.getGlobal(g), Value::int32(5));
+    EXPECT_EQ(heap.findGlobal("counter"), static_cast<int32_t>(g));
+    EXPECT_EQ(heap.findGlobal("missing"), -1);
+}
+
+// ---- Transactional rollback ------------------------------------------------
+
+class HeapTxTest : public HeapTest
+{
+  protected:
+    HeapTxTest() : tm(HtmMode::Rot)
+    {
+        tm.setRollbackClient(&heap);
+        heap.setTransactionManager(&tm);
+    }
+
+    TransactionManager tm;
+};
+
+TEST_F(HeapTxTest, RollbackRestoresSlots)
+{
+    Value o = heap.allocObject();
+    uint32_t x = strings.intern("x");
+    heap.setProperty(o.payload(), x, Value::int32(1));
+
+    tm.begin();
+    heap.setProperty(o.payload(), x, Value::int32(99));
+    EXPECT_EQ(heap.getProperty(o.payload(), x), Value::int32(99));
+    tm.abort(AbortCode::ExplicitCheck);
+    EXPECT_EQ(heap.getProperty(o.payload(), x), Value::int32(1));
+}
+
+TEST_F(HeapTxTest, RollbackRemovesAddedProperty)
+{
+    Value o = heap.allocObject();
+    uint32_t x = strings.intern("x");
+    uint32_t shape_before = heap.object(o.payload()).shape;
+
+    tm.begin();
+    heap.setProperty(o.payload(), x, Value::int32(5));
+    tm.abort(AbortCode::ExplicitCheck);
+
+    EXPECT_EQ(heap.object(o.payload()).shape, shape_before);
+    EXPECT_TRUE(heap.getProperty(o.payload(), x).isUndefined());
+}
+
+TEST_F(HeapTxTest, RollbackRestoresArrayElements)
+{
+    Value arr = heap.allocArray(4);
+    uint32_t id = arr.payload();
+    heap.setElement(id, 1, Value::int32(11));
+
+    tm.begin();
+    heap.setElement(id, 1, Value::int32(77));
+    heap.setElement(id, 2, Value::int32(88));
+    tm.abort(AbortCode::ExplicitCheck);
+
+    EXPECT_EQ(heap.getElement(id, 1), Value::int32(11));
+    EXPECT_TRUE(heap.getElement(id, 2).isUndefined());
+}
+
+TEST_F(HeapTxTest, RollbackUndoesElongation)
+{
+    Value arr = heap.allocArray(2);
+    uint32_t id = arr.payload();
+    Addr addr_before = heap.array(id).baseAddr;
+
+    tm.begin();
+    heap.setElement(id, 50, Value::int32(1));
+    EXPECT_EQ(heap.array(id).length(), 51u);
+    tm.abort(AbortCode::ExplicitCheck);
+
+    EXPECT_EQ(heap.array(id).length(), 2u);
+    EXPECT_FALSE(heap.array(id).hasHoles);
+    EXPECT_EQ(heap.array(id).baseAddr, addr_before);
+}
+
+TEST_F(HeapTxTest, RollbackUndoesPushPop)
+{
+    Value arr = heap.allocArray(0);
+    uint32_t id = arr.payload();
+    heap.arrayPush(id, Value::int32(1));
+
+    tm.begin();
+    heap.arrayPush(id, Value::int32(2));
+    heap.arrayPop(id);
+    heap.arrayPop(id);
+    EXPECT_EQ(heap.array(id).length(), 0u);
+    tm.abort(AbortCode::ExplicitCheck);
+
+    ASSERT_EQ(heap.array(id).length(), 1u);
+    EXPECT_EQ(heap.getElement(id, 0), Value::int32(1));
+}
+
+TEST_F(HeapTxTest, RollbackRestoresGlobals)
+{
+    uint32_t g = heap.globalIndex("total");
+    heap.setGlobal(g, Value::int32(10));
+
+    tm.begin();
+    heap.setGlobal(g, Value::int32(20));
+    heap.setGlobal(g, Value::int32(30));
+    tm.abort(AbortCode::ExplicitCheck);
+
+    EXPECT_EQ(heap.getGlobal(g), Value::int32(10));
+}
+
+TEST_F(HeapTxTest, CommitKeepsWrites)
+{
+    uint32_t g = heap.globalIndex("total");
+    tm.begin();
+    heap.setGlobal(g, Value::int32(42));
+    EXPECT_TRUE(tm.end().committed);
+    EXPECT_EQ(heap.getGlobal(g), Value::int32(42));
+}
+
+TEST_F(HeapTxTest, WritesOutsideTransactionNotLogged)
+{
+    uint32_t g = heap.globalIndex("total");
+    heap.setGlobal(g, Value::int32(1));
+    uint64_t logged = heap.stats().undoEntriesLogged;
+    heap.setGlobal(g, Value::int32(2));
+    EXPECT_EQ(heap.stats().undoEntriesLogged, logged);
+}
+
+TEST_F(HeapTxTest, InterleavedMutationsRollBackInOrder)
+{
+    Value o = heap.allocObject();
+    uint32_t x = strings.intern("x");
+    Value arr = heap.allocArray(8);
+    uint32_t aid = arr.payload();
+    heap.setProperty(o.payload(), x, arr);
+    heap.setElement(aid, 0, Value::int32(100));
+
+    tm.begin();
+    for (int i = 0; i < 8; ++i)
+        heap.setElement(aid, i, Value::int32(i));
+    heap.setProperty(o.payload(), x, Value::int32(0));
+    heap.setElement(aid, 0, Value::int32(-1));
+    tm.abort(AbortCode::ExplicitCheck);
+
+    EXPECT_EQ(heap.getProperty(o.payload(), x), arr);
+    EXPECT_EQ(heap.getElement(aid, 0), Value::int32(100));
+    for (int i = 1; i < 8; ++i)
+        EXPECT_TRUE(heap.getElement(aid, i).isUndefined());
+}
+
+TEST_F(HeapTest, DisplayStrings)
+{
+    EXPECT_EQ(heap.valueToDisplayString(Value::int32(3)), "3");
+    EXPECT_EQ(heap.valueToDisplayString(Value::boolean(true)), "true");
+    EXPECT_EQ(heap.valueToDisplayString(Value::undefined()), "undefined");
+    Value arr = heap.allocArray(0);
+    heap.arrayPush(arr.payload(), Value::int32(1));
+    heap.arrayPush(arr.payload(), Value::int32(2));
+    EXPECT_EQ(heap.valueToDisplayString(arr), "1,2");
+}
+
+} // namespace
+} // namespace nomap

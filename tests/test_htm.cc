@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "htm/transaction.h"
+
+namespace nomap {
+namespace {
+
+/** Rollback client that just counts calls. */
+class CountingClient : public RollbackClient
+{
+  public:
+    void txCheckpoint() override { ++checkpoints; }
+    void txRollback() override { ++rollbacks; }
+    void txDiscardLog() override { ++discards; }
+
+    int checkpoints = 0;
+    int rollbacks = 0;
+    int discards = 0;
+};
+
+TEST(Htm, CommitPath)
+{
+    TransactionManager tm(HtmMode::Rot);
+    CountingClient client;
+    tm.setRollbackClient(&client);
+
+    EXPECT_FALSE(tm.inTransaction());
+    uint32_t begin_cost = tm.begin();
+    EXPECT_EQ(begin_cost, TransactionManager::kRotBeginCycles);
+    EXPECT_TRUE(tm.inTransaction());
+    EXPECT_TRUE(tm.recordWrite(0x1000));
+
+    CommitResult r = tm.end();
+    EXPECT_TRUE(r.committed);
+    EXPECT_EQ(r.cycles, TransactionManager::kRotCommitCycles);
+    EXPECT_FALSE(tm.inTransaction());
+    EXPECT_EQ(client.checkpoints, 1);
+    EXPECT_EQ(client.discards, 1);
+    EXPECT_EQ(client.rollbacks, 0);
+    EXPECT_EQ(tm.stats().commits, 1u);
+}
+
+TEST(Htm, ExplicitAbortRollsBack)
+{
+    TransactionManager tm(HtmMode::Rot);
+    CountingClient client;
+    tm.setRollbackClient(&client);
+
+    tm.begin();
+    tm.recordWrite(0x2000);
+    uint32_t cost = tm.abort(AbortCode::ExplicitCheck);
+    EXPECT_EQ(cost, TransactionManager::kAbortCycles);
+    EXPECT_FALSE(tm.inTransaction());
+    EXPECT_EQ(client.rollbacks, 1);
+    EXPECT_EQ(tm.stats().aborts, 1u);
+    EXPECT_EQ(tm.stats().abortsByCode[static_cast<size_t>(
+                  AbortCode::ExplicitCheck)],
+              1u);
+}
+
+TEST(Htm, FlattenedNesting)
+{
+    TransactionManager tm(HtmMode::Rot);
+    CountingClient client;
+    tm.setRollbackClient(&client);
+
+    tm.begin();
+    EXPECT_EQ(tm.begin(), 0u); // Inner begin is free.
+    EXPECT_EQ(client.checkpoints, 1);
+
+    CommitResult inner = tm.end();
+    EXPECT_TRUE(inner.committed);
+    EXPECT_EQ(inner.cycles, 0u);
+    EXPECT_TRUE(tm.inTransaction()); // Still in the outer.
+
+    CommitResult outer = tm.end();
+    EXPECT_TRUE(outer.committed);
+    EXPECT_FALSE(tm.inTransaction());
+    EXPECT_EQ(tm.stats().begins, 1u);
+    EXPECT_EQ(tm.stats().commits, 1u);
+}
+
+TEST(Htm, StickyOverflowAbortsAtEnd)
+{
+    TransactionManager tm(HtmMode::Rot);
+    CountingClient client;
+    tm.setRollbackClient(&client);
+
+    tm.begin();
+    tm.noteArithmeticOverflow();
+    EXPECT_TRUE(tm.stickyOverflow());
+    CommitResult r = tm.end();
+    EXPECT_FALSE(r.committed);
+    EXPECT_EQ(r.abortCode, AbortCode::StickyOverflow);
+    EXPECT_EQ(client.rollbacks, 1);
+    EXPECT_FALSE(tm.stickyOverflow()); // Cleared by the abort.
+}
+
+TEST(Htm, SofClearedAtOutermostBegin)
+{
+    TransactionManager tm(HtmMode::Rot);
+    tm.begin();
+    tm.noteArithmeticOverflow();
+    tm.abort(AbortCode::ExplicitCheck);
+    tm.begin();
+    EXPECT_FALSE(tm.stickyOverflow());
+    tm.end();
+}
+
+TEST(Htm, RotWriteCapacityIsL2Sized)
+{
+    TransactionManager tm(HtmMode::Rot);
+    tm.begin();
+    // 256KB / 64B = 4096 lines total; sequential lines spread over
+    // sets, so we can insert up to 4096 distinct lines.
+    bool ok = true;
+    for (Addr a = 0; a < 256 * 1024 && ok; a += kLineSize)
+        ok = tm.recordWrite(a);
+    EXPECT_TRUE(ok);
+    // One more line now overflows some set.
+    EXPECT_FALSE(tm.recordWrite(256 * 1024));
+    EXPECT_EQ(tm.stats().abortsByCode[static_cast<size_t>(
+                  AbortCode::Capacity)],
+              1u);
+}
+
+TEST(Htm, RtmWriteCapacityIsL1Sized)
+{
+    TransactionManager tm(HtmMode::Rtm);
+    tm.begin();
+    bool ok = true;
+    for (Addr a = 0; a < 32 * 1024 && ok; a += kLineSize)
+        ok = tm.recordWrite(a);
+    EXPECT_TRUE(ok);
+    EXPECT_FALSE(tm.recordWrite(32 * 1024));
+}
+
+TEST(Htm, RotIgnoresReads)
+{
+    TransactionManager tm(HtmMode::Rot);
+    tm.begin();
+    // Far more reads than any cache could hold: ROT never aborts.
+    for (Addr a = 0; a < 4 * 1024 * 1024; a += kLineSize)
+        EXPECT_TRUE(tm.recordRead(a));
+    EXPECT_TRUE(tm.end().committed);
+}
+
+TEST(Htm, RtmTracksReadsInL2)
+{
+    TransactionManager tm(HtmMode::Rtm);
+    tm.begin();
+    bool ok = true;
+    for (Addr a = 0; a < 256 * 1024 && ok; a += kLineSize)
+        ok = tm.recordRead(a);
+    EXPECT_TRUE(ok);
+    EXPECT_FALSE(tm.recordRead(256 * 1024));
+}
+
+TEST(Htm, ReadLatencyFactor)
+{
+    TransactionManager rot(HtmMode::Rot);
+    TransactionManager rtm(HtmMode::Rtm);
+    EXPECT_DOUBLE_EQ(rot.readLatencyFactor(), 1.0);
+    EXPECT_DOUBLE_EQ(rtm.readLatencyFactor(), 1.2);
+}
+
+TEST(Htm, FootprintStatsOnCommit)
+{
+    TransactionManager tm(HtmMode::Rot);
+    tm.begin();
+    for (Addr a = 0; a < 10 * kLineSize; a += kLineSize)
+        tm.recordWrite(a);
+    // Two writes to the same line count once.
+    tm.recordWrite(0);
+    EXPECT_EQ(tm.currentWriteFootprintBytes(), 10u * kLineSize);
+    tm.end();
+    EXPECT_EQ(tm.stats().totalWriteFootprintBytes, 10u * kLineSize);
+    EXPECT_EQ(tm.stats().maxWriteFootprintBytes, 10u * kLineSize);
+    EXPECT_GE(tm.stats().maxWriteWaysUsed, 1u);
+}
+
+TEST(Htm, AbortCodeNames)
+{
+    EXPECT_STREQ(abortCodeName(AbortCode::Capacity), "capacity");
+    EXPECT_STREQ(abortCodeName(AbortCode::StickyOverflow),
+                 "sticky-overflow");
+}
+
+} // namespace
+} // namespace nomap

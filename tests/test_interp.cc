@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+
+namespace nomap {
+namespace {
+
+/**
+ * Interpreter/Baseline tier behaviour, exercised through tier-capped
+ * engines: profiling feedback, inline caches, OSR landing, and the
+ * cost asymmetry between the tiers.
+ */
+
+EngineResult
+runCapped(Tier cap, const std::string &src)
+{
+    EngineConfig config;
+    config.maxTier = cap;
+    Engine engine(config);
+    return engine.run(src);
+}
+
+TEST(Interp, SemanticCornerCases)
+{
+    // All handled by runtime calls: no checks, no crashes.
+    const char *src = R"JS(
+var a = [];
+a[3] = 5;                 // hole at 0..2
+var hole = a[1];          // undefined
+var oob = a[100];         // undefined
+var s = "x" + 1 + true;   // string concat with coercions
+var d = 7 / 2;            // fractional
+var m = -7 % 3;           // negative modulo
+var shift = -1 >>> 28;    // unsigned shift
+result = "" + hole + "|" + oob + "|" + s + "|" + d + "|" + m +
+         "|" + shift;
+)JS";
+    EngineResult r = runCapped(Tier::Interpreter, src);
+    EXPECT_EQ(r.resultString, "undefined|undefined|x1true|3.5|-1|15");
+}
+
+TEST(Interp, LoopProfilesCollectTripCounts)
+{
+    EngineConfig config;
+    config.maxTier = Tier::Interpreter;
+    Engine engine(config);
+    engine.run(R"JS(
+function f(n) {
+    var s = 0;
+    for (var i = 0; i < n; i++) s += i;
+    return s;
+}
+var out = 0;
+for (var r = 0; r < 10; r++) out = f(25);
+result = out;
+)JS");
+    const CompiledProgram *program = engine.program();
+    ASSERT_NE(program, nullptr);
+    int32_t id = program->findFunction("f");
+    ASSERT_GE(id, 0);
+    const FunctionProfile &prof =
+        program->functions[static_cast<size_t>(id)]->profile;
+    EXPECT_EQ(prof.callCount, 10u);
+    ASSERT_EQ(prof.loops.size(), 1u);
+    EXPECT_NEAR(prof.loops[0].avgTripCount(), 25.0, 1.0);
+}
+
+TEST(Interp, ArithProfilesRecordKinds)
+{
+    EngineConfig config;
+    config.maxTier = Tier::Interpreter;
+    Engine engine(config);
+    engine.run(R"JS(
+function add(a, b) { return a + b; }
+add(1, 2);
+add(1.5, 2);
+result = add(3, 4);
+)JS");
+    const CompiledProgram *program = engine.program();
+    int32_t id = program->findFunction("add");
+    const BytecodeFunction &fn =
+        *program->functions[static_cast<size_t>(id)];
+    bool found = false;
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+        if (fn.code[pc].op == Opcode::Binary) {
+            found = true;
+            EXPECT_TRUE(fn.profile.arith[pc].lhsMask & kMaskInt32);
+            EXPECT_TRUE(fn.profile.arith[pc].lhsMask & kMaskDouble);
+            EXPECT_TRUE(fn.profile.arith[pc].rhsMask & kMaskInt32);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Interp, OverflowRecordedInProfile)
+{
+    EngineConfig config;
+    config.maxTier = Tier::Interpreter;
+    Engine engine(config);
+    engine.run(R"JS(
+function add(a, b) { return a + b; }
+result = add(2000000000, 2000000000);
+)JS");
+    const CompiledProgram *program = engine.program();
+    const BytecodeFunction &fn = *program->functions[static_cast<size_t>(
+        program->findFunction("add"))];
+    bool saw = false;
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+        if (fn.code[pc].op == Opcode::Binary)
+            saw |= fn.profile.arith[pc].sawIntOverflow;
+    }
+    EXPECT_TRUE(saw);
+}
+
+TEST(Interp, PropertyProfilesTrackShapes)
+{
+    EngineConfig config;
+    config.maxTier = Tier::Baseline;
+    Engine engine(config);
+    engine.run(R"JS(
+function get(o) { return o.v; }
+var mono = {v: 1};
+for (var i = 0; i < 20; i++) get(mono);
+result = get(mono);
+)JS");
+    const CompiledProgram *program = engine.program();
+    const BytecodeFunction &fn = *program->functions[static_cast<size_t>(
+        program->findFunction("get"))];
+    bool found = false;
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+        if (fn.code[pc].op == Opcode::GetProp) {
+            found = true;
+            EXPECT_TRUE(fn.profile.property[pc].monomorphicObject());
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Interp, PolymorphicSitesMarked)
+{
+    EngineConfig config;
+    config.maxTier = Tier::Baseline;
+    Engine engine(config);
+    engine.run(R"JS(
+function get(o) { return o.v; }
+var a = {v: 1};
+var b = {w: 2, v: 3};
+for (var i = 0; i < 20; i++) { get(a); get(b); }
+result = get(a);
+)JS");
+    const CompiledProgram *program = engine.program();
+    const BytecodeFunction &fn = *program->functions[static_cast<size_t>(
+        program->findFunction("get"))];
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+        if (fn.code[pc].op == Opcode::GetProp) {
+            EXPECT_TRUE(fn.profile.property[pc].polymorphic);
+            EXPECT_FALSE(fn.profile.property[pc].monomorphicObject());
+        }
+    }
+}
+
+TEST(Interp, BaselineCheaperThanInterpreter)
+{
+    const char *src = R"JS(
+function f(n) { var s = 0; for (var i = 0; i < n; i++) s += i; return s; }
+var out = 0;
+for (var r = 0; r < 40; r++) out = f(200);
+result = out;
+)JS";
+    EngineResult interp = runCapped(Tier::Interpreter, src);
+    EngineResult baseline = runCapped(Tier::Baseline, src);
+    EXPECT_EQ(interp.resultString, baseline.resultString);
+    EXPECT_LT(baseline.stats.totalInstructions(),
+              interp.stats.totalInstructions());
+    // Everything below FTL lands in the NoFTL bucket.
+    EXPECT_EQ(baseline.stats.instrIn(InstrBucket::NoTm), 0u);
+    EXPECT_EQ(baseline.stats.instrIn(InstrBucket::TmOpt), 0u);
+}
+
+TEST(Interp, RecursionDepth)
+{
+    const char *src = R"JS(
+function down(n) { if (n <= 0) return 0; return 1 + down(n - 1); }
+result = down(200);
+)JS";
+    EXPECT_EQ(runCapped(Tier::Interpreter, src).resultString, "200");
+}
+
+TEST(Interp, LogicalShortCircuit)
+{
+    const char *src = R"JS(
+var calls = 0;
+function bump() { calls = calls + 1; return true; }
+var a = false && bump();
+var b = true || bump();
+var c = true && bump();
+result = "" + calls + a + b + c;
+)JS";
+    EXPECT_EQ(runCapped(Tier::Interpreter, src).resultString,
+              "1falsetruetrue");
+}
+
+TEST(Interp, TernaryAndCompound)
+{
+    const char *src = R"JS(
+var x = 10;
+x += 5; x -= 3; x *= 2; x /= 4; x <<= 2; x |= 1; x ^= 2; x &= 31;
+var y = x > 20 ? "big" : "small";
+result = "" + x + y;
+)JS";
+    // x: 10+5=15, -3=12, *2=24, /4=6, <<2=24, |1=25, ^2=27, &31=27.
+    EXPECT_EQ(runCapped(Tier::Interpreter, src).resultString,
+              "27big");
+}
+
+TEST(Interp, PrePostIncrementSemantics)
+{
+    const char *src = R"JS(
+var i = 5;
+var a = i++;
+var b = ++i;
+var arr = [10, 20];
+var c = arr[0]++;
+var o = {n: 1};
+var d = --o.n;
+result = "" + a + b + c + arr[0] + d + o.n;
+)JS";
+    EXPECT_EQ(runCapped(Tier::Interpreter, src).resultString,
+              "5710" "11" "00");
+}
+
+} // namespace
+} // namespace nomap

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "bytecode/compiler.h"
+#include "engine/engine.h"
+#include "ir/builder.h"
+#include "js/parser.h"
+
+namespace nomap {
+namespace {
+
+/**
+ * IR-builder tests need realistic profiles, so we run programs
+ * through a real Engine first and inspect the IR it compiled, or
+ * build IR directly from hand-seeded profiles.
+ */
+class IrTest : public ::testing::Test
+{
+  protected:
+    IrTest() : heap(shapes, strings) {}
+
+    /** Compile to bytecode and hand-seed a profile. */
+    BytecodeFunction &
+    prepare(const std::string &src, const std::string &fn_name)
+    {
+        program = std::make_unique<CompiledProgram>(
+            compile(parseProgram(src), heap));
+        int32_t id = program->findFunction(fn_name);
+        EXPECT_GE(id, 0);
+        return *program->functions[static_cast<size_t>(id)];
+    }
+
+    static uint32_t
+    countOps(const IrFunction &ir, IrOp op)
+    {
+        uint32_t n = 0;
+        for (const IrBlock &block : ir.blocks) {
+            for (const IrInstr &instr : block.instrs)
+                n += instr.op == op;
+        }
+        return n;
+    }
+
+    ShapeTable shapes;
+    StringTable strings;
+    Heap heap;
+    std::unique_ptr<CompiledProgram> program;
+};
+
+TEST_F(IrTest, IntProfileSpeculatesInt32WithOverflowCheck)
+{
+    BytecodeFunction &fn =
+        prepare("function f(a, b) { return a + b; }", "f");
+    // Seed: both operands int32, no overflow seen.
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+        if (fn.code[pc].op == Opcode::Binary) {
+            fn.profile.arith[pc].lhsMask = kMaskInt32;
+            fn.profile.arith[pc].rhsMask = kMaskInt32;
+            fn.profile.arith[pc].resultMask = kMaskInt32;
+        }
+    }
+    IrFunction ir = buildIr(fn, heap, Tier::Ftl);
+    EXPECT_EQ(countOps(ir, IrOp::AddInt), 1u);
+    EXPECT_EQ(countOps(ir, IrOp::CheckOverflow), 1u);
+    EXPECT_EQ(countOps(ir, IrOp::GenericBinary), 0u);
+}
+
+TEST_F(IrTest, OverflowProfileFallsToDouble)
+{
+    BytecodeFunction &fn =
+        prepare("function f(a, b) { return a + b; }", "f");
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+        if (fn.code[pc].op == Opcode::Binary) {
+            fn.profile.arith[pc].lhsMask = kMaskInt32;
+            fn.profile.arith[pc].rhsMask = kMaskInt32;
+            fn.profile.arith[pc].sawIntOverflow = true;
+        }
+    }
+    IrFunction ir = buildIr(fn, heap, Tier::Ftl);
+    EXPECT_EQ(countOps(ir, IrOp::AddInt), 0u);
+    EXPECT_EQ(countOps(ir, IrOp::AddDouble), 1u);
+    EXPECT_EQ(countOps(ir, IrOp::CheckOverflow), 0u);
+}
+
+TEST_F(IrTest, PolymorphicProfileStaysGeneric)
+{
+    BytecodeFunction &fn =
+        prepare("function f(a, b) { return a + b; }", "f");
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+        if (fn.code[pc].op == Opcode::Binary) {
+            fn.profile.arith[pc].lhsMask = kMaskInt32 | kMaskString;
+            fn.profile.arith[pc].rhsMask = kMaskInt32;
+        }
+    }
+    IrFunction ir = buildIr(fn, heap, Tier::Ftl);
+    EXPECT_EQ(countOps(ir, IrOp::GenericBinary), 1u);
+    EXPECT_EQ(countOps(ir, IrOp::AddInt), 0u);
+}
+
+TEST_F(IrTest, UnprofiledSitesStayGeneric)
+{
+    BytecodeFunction &fn =
+        prepare("function f(a, b) { return a + b; }", "f");
+    IrFunction ir = buildIr(fn, heap, Tier::Ftl);
+    EXPECT_EQ(countOps(ir, IrOp::GenericBinary), 1u);
+}
+
+TEST_F(IrTest, ArrayProfileEmitsFastPathWithChecks)
+{
+    BytecodeFunction &fn =
+        prepare("function f(a, i) { return a[i]; }", "f");
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+        if (fn.code[pc].op == Opcode::GetIndex) {
+            fn.profile.index[pc].baseMask = kMaskArray;
+            fn.profile.index[pc].indexMask = kMaskInt32;
+        }
+    }
+    IrFunction ir = buildIr(fn, heap, Tier::Ftl);
+    EXPECT_EQ(countOps(ir, IrOp::CheckArray), 1u);
+    EXPECT_EQ(countOps(ir, IrOp::CheckBounds), 1u);
+    EXPECT_EQ(countOps(ir, IrOp::GetElem), 1u);
+    EXPECT_EQ(countOps(ir, IrOp::CheckNotHole), 1u);
+}
+
+TEST_F(IrTest, OutOfBoundsProfileStaysGeneric)
+{
+    BytecodeFunction &fn =
+        prepare("function f(a, i) { return a[i]; }", "f");
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+        if (fn.code[pc].op == Opcode::GetIndex) {
+            fn.profile.index[pc].baseMask = kMaskArray;
+            fn.profile.index[pc].indexMask = kMaskInt32;
+            fn.profile.index[pc].sawOutOfBounds = true;
+        }
+    }
+    IrFunction ir = buildIr(fn, heap, Tier::Ftl);
+    EXPECT_EQ(countOps(ir, IrOp::GenericGetIndex), 1u);
+    EXPECT_EQ(countOps(ir, IrOp::GetElem), 0u);
+}
+
+TEST_F(IrTest, MonomorphicShapeEmitsCheckShapePlusGetSlot)
+{
+    BytecodeFunction &fn =
+        prepare("function f(o) { return o.x; }", "f");
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+        if (fn.code[pc].op == Opcode::GetProp) {
+            fn.profile.property[pc].baseMask = kMaskObject;
+            fn.profile.property[pc].shape = 3;
+            fn.profile.property[pc].slot = 0;
+        }
+    }
+    IrFunction ir = buildIr(fn, heap, Tier::Ftl);
+    EXPECT_EQ(countOps(ir, IrOp::CheckShape), 1u);
+    EXPECT_EQ(countOps(ir, IrOp::GetSlot), 1u);
+}
+
+TEST_F(IrTest, ArrayLengthUsesGetArrayLen)
+{
+    BytecodeFunction &fn =
+        prepare("function f(a) { return a.length; }", "f");
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+        if (fn.code[pc].op == Opcode::GetProp)
+            fn.profile.property[pc].baseMask = kMaskArray;
+    }
+    IrFunction ir = buildIr(fn, heap, Tier::Ftl);
+    EXPECT_EQ(countOps(ir, IrOp::GetArrayLen), 1u);
+    EXPECT_EQ(countOps(ir, IrOp::CheckArray), 1u);
+}
+
+TEST_F(IrTest, ChecksCarrySmpPcsAndAreUnconverted)
+{
+    BytecodeFunction &fn =
+        prepare("function f(a, b) { return a - b; }", "f");
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+        if (fn.code[pc].op == Opcode::Binary) {
+            fn.profile.arith[pc].lhsMask = kMaskInt32;
+            fn.profile.arith[pc].rhsMask = kMaskInt32;
+        }
+    }
+    IrFunction ir = buildIr(fn, heap, Tier::Ftl);
+    for (const IrBlock &block : ir.blocks) {
+        for (const IrInstr &instr : block.instrs) {
+            if (instr.isCheck()) {
+                EXPECT_NE(instr.smpPc, kNoSmp);
+                EXPECT_FALSE(instr.converted);
+            }
+        }
+    }
+}
+
+TEST_F(IrTest, CfgStructureRoundTrips)
+{
+    BytecodeFunction &fn = prepare(
+        "function f(n) { var s = 0;"
+        " for (var i = 0; i < n; i++) { if (i & 1) s += i; }"
+        " return s; }",
+        "f");
+    IrFunction ir = buildIr(fn, heap, Tier::Ftl);
+    ir.verify(); // Would panic on inconsistency.
+    // One loop header block flagged with the loop id.
+    uint32_t headers = 0;
+    for (const IrBlock &block : ir.blocks)
+        headers += block.loopId >= 0;
+    EXPECT_EQ(headers, 1u);
+    std::string printed = ir.print();
+    EXPECT_NE(printed.find("Branch"), std::string::npos);
+}
+
+TEST_F(IrTest, MathBuiltinsBecomeIntrinsics)
+{
+    BytecodeFunction &fn =
+        prepare("function f(x) { return Math.sqrt(x); }", "f");
+    IrFunction ir = buildIr(fn, heap, Tier::Ftl);
+    EXPECT_EQ(countOps(ir, IrOp::Intrinsic), 1u);
+    EXPECT_EQ(countOps(ir, IrOp::CallNative), 0u);
+}
+
+TEST_F(IrTest, PrintStaysRuntimeCall)
+{
+    BytecodeFunction &fn =
+        prepare("function f(x) { print(x); }", "f");
+    IrFunction ir = buildIr(fn, heap, Tier::Ftl);
+    EXPECT_EQ(countOps(ir, IrOp::CallNative), 1u);
+    EXPECT_EQ(countOps(ir, IrOp::Intrinsic), 0u);
+}
+
+} // namespace
+} // namespace nomap

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "js/lexer.h"
+#include "support/logging.h"
+
+namespace nomap {
+namespace {
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    Lexer lexer(src);
+    return lexer.lexAll();
+}
+
+TEST(Lexer, EmptyInput)
+{
+    auto toks = lex("");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, Numbers)
+{
+    auto toks = lex("1 2.5 0x10 1e3 1.5e-2");
+    ASSERT_EQ(toks.size(), 6u);
+    EXPECT_DOUBLE_EQ(toks[0].number, 1.0);
+    EXPECT_DOUBLE_EQ(toks[1].number, 2.5);
+    EXPECT_DOUBLE_EQ(toks[2].number, 16.0);
+    EXPECT_DOUBLE_EQ(toks[3].number, 1000.0);
+    EXPECT_DOUBLE_EQ(toks[4].number, 0.015);
+}
+
+TEST(Lexer, Strings)
+{
+    auto toks = lex("\"hi\" 'there' \"a\\nb\"");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].text, "hi");
+    EXPECT_EQ(toks[1].text, "there");
+    EXPECT_EQ(toks[2].text, "a\nb");
+}
+
+TEST(Lexer, KeywordsVsIdentifiers)
+{
+    auto toks = lex("var varx function fn");
+    EXPECT_EQ(toks[0].kind, TokenKind::KwVar);
+    EXPECT_EQ(toks[1].kind, TokenKind::Identifier);
+    EXPECT_EQ(toks[1].text, "varx");
+    EXPECT_EQ(toks[2].kind, TokenKind::KwFunction);
+    EXPECT_EQ(toks[3].text, "fn");
+}
+
+TEST(Lexer, OperatorMaximalMunch)
+{
+    auto toks = lex("<< <<= < <= === == = >>> >>>= >> >");
+    EXPECT_EQ(toks[0].kind, TokenKind::Shl);
+    EXPECT_EQ(toks[1].kind, TokenKind::ShlAssign);
+    EXPECT_EQ(toks[2].kind, TokenKind::Lt);
+    EXPECT_EQ(toks[3].kind, TokenKind::Le);
+    EXPECT_EQ(toks[4].kind, TokenKind::EqEqEq);
+    EXPECT_EQ(toks[5].kind, TokenKind::EqEq);
+    EXPECT_EQ(toks[6].kind, TokenKind::Assign);
+    EXPECT_EQ(toks[7].kind, TokenKind::UShr);
+    EXPECT_EQ(toks[8].kind, TokenKind::UShrAssign);
+    EXPECT_EQ(toks[9].kind, TokenKind::Shr);
+    EXPECT_EQ(toks[10].kind, TokenKind::Gt);
+}
+
+TEST(Lexer, IncrementDecrement)
+{
+    auto toks = lex("++ -- + - += -=");
+    EXPECT_EQ(toks[0].kind, TokenKind::PlusPlus);
+    EXPECT_EQ(toks[1].kind, TokenKind::MinusMinus);
+    EXPECT_EQ(toks[2].kind, TokenKind::Plus);
+    EXPECT_EQ(toks[3].kind, TokenKind::Minus);
+    EXPECT_EQ(toks[4].kind, TokenKind::PlusAssign);
+    EXPECT_EQ(toks[5].kind, TokenKind::MinusAssign);
+}
+
+TEST(Lexer, Comments)
+{
+    auto toks = lex("a // comment\nb /* block\ncomment */ c");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, LineTracking)
+{
+    auto toks = lex("a\nb\n  c");
+    EXPECT_EQ(toks[0].line, 1u);
+    EXPECT_EQ(toks[1].line, 2u);
+    EXPECT_EQ(toks[2].line, 3u);
+    EXPECT_EQ(toks[2].column, 3u);
+}
+
+TEST(Lexer, BadCharacterFatal)
+{
+    EXPECT_THROW(lex("a # b"), FatalError);
+}
+
+TEST(Lexer, UnterminatedStringFatal)
+{
+    EXPECT_THROW(lex("\"abc"), FatalError);
+}
+
+TEST(Lexer, UnterminatedCommentFatal)
+{
+    EXPECT_THROW(lex("/* abc"), FatalError);
+}
+
+} // namespace
+} // namespace nomap

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "memsim/cache.h"
+#include "memsim/footprint.h"
+#include "memsim/hierarchy.h"
+
+namespace nomap {
+namespace {
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache c(1024, 2); // 8 sets x 2 ways.
+    EXPECT_EQ(c.access(0x1000, false), CacheResult::Miss);
+    EXPECT_EQ(c.access(0x1000, false), CacheResult::Hit);
+    EXPECT_EQ(c.access(0x1020, false), CacheResult::Hit); // Same line.
+    EXPECT_EQ(c.stats().hits, 2u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(1024, 2); // 8 sets; set stride = 8 * 64 = 512 bytes.
+    // Three lines mapping to the same set (stride 512).
+    EXPECT_EQ(c.access(0x0000, false), CacheResult::Miss);
+    EXPECT_EQ(c.access(0x0200, false), CacheResult::Miss);
+    EXPECT_EQ(c.access(0x0000, false), CacheResult::Hit); // Refresh LRU.
+    EXPECT_EQ(c.access(0x0400, false), CacheResult::Miss); // Evicts 0x200.
+    EXPECT_EQ(c.access(0x0200, false), CacheResult::Miss);
+    EXPECT_TRUE(c.contains(0x0000) || c.contains(0x0400));
+}
+
+TEST(Cache, SpeculativeLinesPinned)
+{
+    Cache c(1024, 2);
+    // Fill a set with two speculative writes.
+    EXPECT_EQ(c.access(0x0000, true, true), CacheResult::Miss);
+    EXPECT_EQ(c.access(0x0200, true, true), CacheResult::Miss);
+    EXPECT_TRUE(c.isSpeculative(0x0000));
+    EXPECT_TRUE(c.isSpeculative(0x0200));
+    // A third line in the same set cannot be installed.
+    EXPECT_EQ(c.access(0x0400, true, true), CacheResult::SWConflict);
+    EXPECT_EQ(c.access(0x0400, false, false), CacheResult::SWConflict);
+}
+
+TEST(Cache, FlashClearSwAllowsEviction)
+{
+    Cache c(1024, 2);
+    c.access(0x0000, true, true);
+    c.access(0x0200, true, true);
+    c.flashClearSw();
+    EXPECT_FALSE(c.isSpeculative(0x0000));
+    EXPECT_EQ(c.swLineCount(), 0u);
+    EXPECT_EQ(c.access(0x0400, true, true), CacheResult::Miss);
+}
+
+TEST(Cache, InvalidateSwDiscardsLines)
+{
+    Cache c(1024, 2);
+    c.access(0x0000, true, true);
+    c.access(0x0040, false, false);
+    c.invalidateSw();
+    EXPECT_FALSE(c.contains(0x0000));
+    EXPECT_TRUE(c.contains(0x0040));
+}
+
+TEST(Cache, MaxSwWaysTracked)
+{
+    Cache c(1024, 4);
+    c.access(0x0000, true, true);
+    c.access(0x0400, true, true);
+    c.access(0x0800, true, true);
+    EXPECT_EQ(c.stats().maxSwWaysInSet, 3u);
+}
+
+TEST(Footprint, InsertAndOverflow)
+{
+    FootprintTracker t(1024, 2); // 8 sets x 2 ways.
+    EXPECT_TRUE(t.insert(0x0000));
+    EXPECT_TRUE(t.insert(0x0000)); // Duplicate is fine.
+    EXPECT_EQ(t.lineCount(), 1u);
+    EXPECT_TRUE(t.insert(0x0200)); // Same set, way 2.
+    EXPECT_FALSE(t.insert(0x0400)); // Set full -> overflow.
+    EXPECT_EQ(t.maxWaysUsed(), 2u);
+    EXPECT_EQ(t.footprintBytes(), 128u);
+}
+
+TEST(Footprint, ClearResets)
+{
+    FootprintTracker t(1024, 2);
+    t.insert(0x0000);
+    t.clear();
+    EXPECT_EQ(t.lineCount(), 0u);
+    EXPECT_EQ(t.maxWaysUsed(), 0u);
+    EXPECT_TRUE(t.insert(0x0400));
+}
+
+TEST(Footprint, DistinctSetsIndependent)
+{
+    FootprintTracker t(1024, 2);
+    // Different sets never conflict.
+    for (Addr a = 0; a < 8 * 64; a += 64)
+        EXPECT_TRUE(t.insert(a));
+    EXPECT_EQ(t.lineCount(), 8u);
+    EXPECT_EQ(t.maxWaysUsed(), 1u);
+}
+
+TEST(Hierarchy, LatencyLadder)
+{
+    MemHierarchy mem;
+    uint32_t first = mem.access(0x123456, false);
+    EXPECT_EQ(first, mem.latency().memAccess);
+    uint32_t second = mem.access(0x123456, false);
+    EXPECT_EQ(second, mem.latency().l1Hit);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    MemHierarchy mem;
+    // L1: 32KB 8-way => 64 sets, stride 64*64 = 4096.
+    // Touch 9 lines mapping to the same L1 set; the first gets
+    // evicted from L1 but stays in L2 (L2 has 512 sets).
+    for (int i = 0; i <= 8; ++i)
+        mem.access(0x100000 + static_cast<Addr>(i) * 4096, false);
+    uint32_t lat = mem.access(0x100000, false);
+    EXPECT_EQ(lat, mem.latency().l2Hit);
+}
+
+TEST(Hierarchy, SpeculativeCommitAndDiscard)
+{
+    MemHierarchy mem;
+    mem.access(0x4000, true, true);
+    EXPECT_TRUE(mem.l1().isSpeculative(0x4000));
+    mem.commitSpeculative();
+    EXPECT_FALSE(mem.l1().isSpeculative(0x4000));
+    EXPECT_TRUE(mem.l1().contains(0x4000));
+
+    mem.access(0x8000, true, true);
+    mem.discardSpeculative();
+    EXPECT_FALSE(mem.l1().contains(0x8000));
+}
+
+} // namespace
+} // namespace nomap

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "support/logging.h"
+
+namespace nomap {
+namespace {
+
+/**
+ * NoMap planner and runtime-policy tests: transaction placement,
+ * scope selection, capacity escalation, irrevocable events, tiling.
+ */
+
+EngineResult
+runArch(Architecture arch, const std::string &src, Engine **out = nullptr)
+{
+    static std::unique_ptr<Engine> keeper;
+    EngineConfig config;
+    config.arch = arch;
+    keeper = std::make_unique<Engine>(config);
+    EngineResult r = keeper->run(src);
+    if (out)
+        *out = keeper.get();
+    return r;
+}
+
+TEST(Planner, WrapsHotLoopsOnly)
+{
+    // The cold helper is called a handful of times: no transactions.
+    Engine *engine = nullptr;
+    runArch(Architecture::NoMap, R"JS(
+function hot(a) {
+    var s = 0;
+    for (var i = 0; i < a.length; i++) s = (s + a[i]) & 65535;
+    return s;
+}
+function coldish(x) {
+    var t = 0;
+    for (var i = 0; i < 2; i++) t += x;
+    return t;
+}
+var a = [];
+for (var i = 0; i < 100; i++) a[i] = i;
+var out = 0;
+for (var r = 0; r < 150; r++) out = hot(a);
+out += coldish(1);
+result = out;
+)JS", &engine);
+    const FunctionState *hot = engine->functionState("hot");
+    ASSERT_NE(hot, nullptr);
+    ASSERT_NE(hot->ftl, nullptr);
+    EXPECT_EQ(hot->ftl->planResult.transactionsPlaced, 1u);
+    const FunctionState *cold = engine->functionState("coldish");
+    ASSERT_NE(cold, nullptr);
+    EXPECT_EQ(cold->ftl, nullptr); // Never reached FTL.
+}
+
+TEST(Planner, SkipsLoopsWithPrint)
+{
+    Engine *engine = nullptr;
+    runArch(Architecture::NoMap, R"JS(
+function chatty(n) {
+    var s = 0;
+    for (var i = 0; i < n; i++) {
+        s += i;
+        if (i == 9999) print("never");
+    }
+    return s;
+}
+var out = 0;
+for (var r = 0; r < 150; r++) out = chatty(60);
+result = out;
+)JS", &engine);
+    const FunctionState *state = engine->functionState("chatty");
+    ASSERT_NE(state, nullptr);
+    ASSERT_NE(state->ftl, nullptr);
+    EXPECT_EQ(state->ftl->planResult.transactionsPlaced, 0u);
+    EXPECT_EQ(state->ftl->planResult.nestsSkippedIrrevocable, 1u);
+}
+
+TEST(Planner, IrrevocableEventAbortsIfItFires)
+{
+    // print() in a trained-cold branch that eventually executes from
+    // within a transaction must abort it, not violate isolation.
+    EngineResult r = runArch(Architecture::NoMap, R"JS(
+var mode = 0;
+function maybePrint(n) {
+    var s = 0;
+    for (var i = 0; i < n; i++) {
+        s += i;
+        if (mode == 1 && i == 3) print("inside");
+    }
+    return s;
+}
+var out = 0;
+for (var r2 = 0; r2 < 150; r2++) out = maybePrint(60);
+mode = 1;
+out = maybePrint(60);
+result = out;
+)JS");
+    EXPECT_EQ(r.resultString, "1770");
+    EXPECT_NE(r.printed.find("inside"), std::string::npos);
+}
+
+TEST(Planner, TilesWhenFootprintExceedsCapacity)
+{
+    // 640 KB of writes per call: beyond even the L2 budget -> the
+    // planner must tile, and the program must still be correct.
+    Engine *engine = nullptr;
+    EngineResult r = runArch(Architecture::NoMap, R"JS(
+function fill(dst) {
+    var n = dst.length;
+    for (var i = 0; i < n; i++) dst[i] = i & 1023;
+    return dst[n - 1];
+}
+var dst = [];
+for (var i = 0; i < 80000; i++) dst[i] = 0;
+var out = 0;
+for (var r = 0; r < 80; r++) out = fill(dst);
+result = out;
+)JS", &engine);
+    EXPECT_EQ(r.resultString, std::to_string(79999 & 1023));
+    const FunctionState *state = engine->functionState("fill");
+    ASSERT_NE(state->ftl, nullptr);
+    EXPECT_EQ(state->ftl->planResult.tiledLoops, 1u);
+    EXPECT_GT(r.stats.txCommits, 80u); // Multiple tiles per call.
+    EXPECT_EQ(r.stats.txAbortsCapacity, 0u);
+}
+
+TEST(Planner, CapacityAbortEscalatesScope)
+{
+    // The static estimate sees a small per-iteration footprint, but
+    // the callee-free loop writes via push() growth... instead use a
+    // loop whose trip count explodes after training so the runtime
+    // hits capacity aborts and recompiles with a smaller scope.
+    Engine *engine = nullptr;
+    EngineResult r = runArch(Architecture::NoMap, R"JS(
+function fill(dst, n) {
+    for (var i = 0; i < n; i++) dst[i] = i & 255;
+    return dst[n - 1];
+}
+var dst = [];
+for (var i = 0; i < 80000; i++) dst[i] = 0;
+var out = 0;
+for (var r = 0; r < 130; r++) out = fill(dst, 64);
+out = fill(dst, 80000);
+out = fill(dst, 80000);
+out = fill(dst, 80000);
+result = out;
+)JS", &engine);
+    EXPECT_EQ(r.resultString, std::to_string(79999 & 255));
+    // At least one capacity abort happened, and the engine recompiled
+    // with an escalated (smaller) transaction scope.
+    EXPECT_GT(r.stats.txAbortsCapacity, 0u);
+    EXPECT_GT(r.stats.ftlRecompiles, 0u);
+}
+
+TEST(Planner, RepeatedCheckAbortsDetransactionalize)
+{
+    // After training, every call deopts on a shape change: the
+    // runtime should eventually give up on transactions for the
+    // function instead of aborting forever.
+    Engine *engine = nullptr;
+    EngineConfig config;
+    config.arch = Architecture::NoMap;
+    config.abortEscalationLimit = 4;
+    Engine e(config);
+    EngineResult r = e.run(R"JS(
+function readX(p, n) {
+    var acc = 0;
+    for (var i = 0; i < n; i++) acc += p.x;
+    return acc;
+}
+var trained = {x: 2, y: 0};
+var out = 0;
+for (var r2 = 0; r2 < 130; r2++) out = readX(trained, 30);
+var odd = {y: 1, x: 5};
+for (var r3 = 0; r3 < 20; r3++) out = readX(odd, 30);
+result = out;
+)JS");
+    engine = &e;
+    EXPECT_EQ(r.resultString, "150");
+    EXPECT_GT(r.stats.txAbortsCheck, 0u);
+    EXPECT_GT(r.stats.ftlRecompiles, 0u);
+    const FunctionState *state = engine->functionState("readX");
+    ASSERT_NE(state, nullptr);
+    EXPECT_EQ(state->txScopeLevel, 3u); // Transactions disabled.
+    // Aborts are bounded by the escalation limit, not 20.
+    EXPECT_LE(r.stats.txAbortsCheck, 6u);
+}
+
+TEST(Planner, NestedLoopsWrapAtNestLevel)
+{
+    Engine *engine = nullptr;
+    runArch(Architecture::NoMap, R"JS(
+function mat(a, n) {
+    var s = 0;
+    for (var i = 0; i < n; i++) {
+        for (var j = 0; j < n; j++) {
+            s = (s + a[i * n + j]) & 65535;
+        }
+    }
+    return s;
+}
+var a = [];
+for (var i = 0; i < 400; i++) a[i] = i & 7;
+var out = 0;
+for (var r = 0; r < 150; r++) out = mat(a, 20);
+result = out;
+)JS", &engine);
+    const FunctionState *state = engine->functionState("mat");
+    ASSERT_NE(state->ftl, nullptr);
+    // One transaction around the whole nest, not one per inner loop.
+    EXPECT_EQ(state->ftl->planResult.transactionsPlaced, 1u);
+    EXPECT_EQ(state->ftl->ir.txRegions.size(), 1u);
+}
+
+} // namespace
+} // namespace nomap

@@ -1,0 +1,260 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "vm/builtins.h"
+#include "vm/runtime.h"
+
+namespace nomap {
+namespace {
+
+class RuntimeTest : public ::testing::Test
+{
+  protected:
+    RuntimeTest() : heap(shapes, strings), rt(heap), builtins(rt) {}
+
+    Value str(const std::string &s)
+    {
+        return Value::string(strings.intern(s));
+    }
+
+    ShapeTable shapes;
+    StringTable strings;
+    Heap heap;
+    Runtime rt;
+    Builtins builtins;
+};
+
+TEST_F(RuntimeTest, ToNumberConversions)
+{
+    EXPECT_DOUBLE_EQ(rt.toNumber(Value::int32(7)), 7.0);
+    EXPECT_DOUBLE_EQ(rt.toNumber(Value::boolean(true)), 1.0);
+    EXPECT_DOUBLE_EQ(rt.toNumber(Value::null()), 0.0);
+    EXPECT_TRUE(std::isnan(rt.toNumber(Value::undefined())));
+    EXPECT_DOUBLE_EQ(rt.toNumber(str("3.5")), 3.5);
+    EXPECT_DOUBLE_EQ(rt.toNumber(str("")), 0.0);
+    EXPECT_TRUE(std::isnan(rt.toNumber(str("3x"))));
+}
+
+TEST_F(RuntimeTest, ToBooleanTruthiness)
+{
+    EXPECT_FALSE(rt.toBoolean(Value::int32(0)));
+    EXPECT_TRUE(rt.toBoolean(Value::int32(-1)));
+    EXPECT_FALSE(rt.toBoolean(Value::boxDouble(std::nan(""))));
+    EXPECT_FALSE(rt.toBoolean(Value::undefined()));
+    EXPECT_FALSE(rt.toBoolean(Value::null()));
+    EXPECT_FALSE(rt.toBoolean(str("")));
+    EXPECT_TRUE(rt.toBoolean(str("x")));
+    EXPECT_TRUE(rt.toBoolean(heap.allocObject()));
+}
+
+TEST_F(RuntimeTest, ToInt32Modular)
+{
+    EXPECT_EQ(rt.toInt32(Value::boxDouble(4294967296.0 + 5)), 5);
+    EXPECT_EQ(rt.toInt32(Value::boxDouble(-1.0)), -1);
+    EXPECT_EQ(rt.toInt32(Value::boxDouble(2147483648.0)), INT32_MIN);
+    EXPECT_EQ(rt.toInt32(Value::boxDouble(std::nan(""))), 0);
+    EXPECT_EQ(rt.toInt32(Value::boxDouble(INFINITY)), 0);
+    EXPECT_EQ(rt.toInt32(Value::boxDouble(3.7)), 3);
+}
+
+TEST_F(RuntimeTest, GenericAddSemantics)
+{
+    EXPECT_EQ(rt.genericAdd(Value::int32(2), Value::int32(3)),
+              Value::int32(5));
+    EXPECT_EQ(rt.genericAdd(str("a"), str("b")), str("ab"));
+    EXPECT_EQ(rt.genericAdd(str("n="), Value::int32(4)), str("n=4"));
+    // undefined + number -> NaN.
+    Value v = rt.genericAdd(Value::undefined(), Value::int32(1));
+    EXPECT_TRUE(std::isnan(v.asNumber()));
+}
+
+TEST_F(RuntimeTest, ArithKeepsIntWhenExact)
+{
+    Value v = rt.genericMul(Value::int32(6), Value::int32(7));
+    EXPECT_TRUE(v.isInt32());
+    EXPECT_EQ(v.asInt32(), 42);
+    Value d = rt.genericDiv(Value::int32(1), Value::int32(2));
+    EXPECT_TRUE(d.isBoxedDouble());
+    EXPECT_DOUBLE_EQ(d.asBoxedDouble(), 0.5);
+}
+
+TEST_F(RuntimeTest, BitwiseOps)
+{
+    EXPECT_EQ(rt.genericBitAnd(Value::int32(6), Value::int32(3)),
+              Value::int32(2));
+    EXPECT_EQ(rt.genericShl(Value::int32(1), Value::int32(4)),
+              Value::int32(16));
+    EXPECT_EQ(rt.genericShr(Value::int32(-8), Value::int32(1)),
+              Value::int32(-4));
+    // >>> produces a non-negative number.
+    Value u = rt.genericUShr(Value::int32(-1), Value::int32(0));
+    EXPECT_DOUBLE_EQ(u.asNumber(), 4294967295.0);
+}
+
+TEST_F(RuntimeTest, Comparisons)
+{
+    EXPECT_TRUE(rt.genericLt(Value::int32(1), Value::int32(2))
+                    .asBoolean());
+    EXPECT_TRUE(rt.genericLt(str("abc"), str("abd")).asBoolean());
+    EXPECT_FALSE(
+        rt.genericLt(Value::undefined(), Value::int32(1)).asBoolean());
+}
+
+TEST_F(RuntimeTest, Equality)
+{
+    EXPECT_TRUE(rt.strictEquals(Value::int32(1), Value::boxDouble(1.0)));
+    EXPECT_FALSE(rt.strictEquals(Value::int32(1), str("1")));
+    EXPECT_TRUE(rt.looseEquals(Value::int32(1), str("1")));
+    EXPECT_TRUE(rt.looseEquals(Value::null(), Value::undefined()));
+    EXPECT_FALSE(rt.strictEquals(Value::null(), Value::undefined()));
+    Value o = heap.allocObject();
+    EXPECT_TRUE(rt.strictEquals(o, o));
+    EXPECT_FALSE(rt.strictEquals(o, heap.allocObject()));
+}
+
+TEST_F(RuntimeTest, TypeofResults)
+{
+    EXPECT_EQ(rt.typeofValue(Value::int32(1)), str("number"));
+    EXPECT_EQ(rt.typeofValue(str("x")), str("string"));
+    EXPECT_EQ(rt.typeofValue(Value::undefined()), str("undefined"));
+    EXPECT_EQ(rt.typeofValue(Value::null()), str("object"));
+    EXPECT_EQ(rt.typeofValue(heap.allocArray(0)), str("object"));
+}
+
+TEST_F(RuntimeTest, GenericIndexAccess)
+{
+    Value arr = heap.allocArray(3);
+    heap.setElement(arr.payload(), 0, Value::int32(9));
+    EXPECT_EQ(rt.getIndexGeneric(arr, Value::int32(0)), Value::int32(9));
+    EXPECT_TRUE(rt.getIndexGeneric(arr, Value::int32(7)).isUndefined());
+    EXPECT_TRUE(
+        rt.getIndexGeneric(arr, Value::boxDouble(0.5)).isUndefined());
+
+    // String indexing yields one-character strings.
+    EXPECT_EQ(rt.getIndexGeneric(str("hey"), Value::int32(1)), str("e"));
+
+    // Object indexing falls back to property access.
+    Value o = heap.allocObject();
+    rt.setIndexGeneric(o, str("k"), Value::int32(3));
+    EXPECT_EQ(rt.getIndexGeneric(o, str("k")), Value::int32(3));
+}
+
+TEST_F(RuntimeTest, GenericPropertyAccess)
+{
+    Value arr = heap.allocArray(5);
+    uint32_t len = strings.intern("length");
+    EXPECT_EQ(rt.getPropertyGeneric(arr, len), Value::int32(5));
+    EXPECT_EQ(rt.getPropertyGeneric(str("hello"), len), Value::int32(5));
+    // Property store on a number is silently ignored.
+    rt.setPropertyGeneric(Value::int32(1), len, Value::int32(9));
+}
+
+TEST_F(RuntimeTest, MathBuiltins)
+{
+    Value args2[2] = {Value::int32(2), Value::int32(10)};
+    EXPECT_EQ(builtins.call(BuiltinId::MathPow, args2, 2),
+              Value::int32(1024));
+    Value neg[1] = {Value::boxDouble(-2.5)};
+    EXPECT_DOUBLE_EQ(
+        builtins.call(BuiltinId::MathAbs, neg, 1).asNumber(), 2.5);
+    EXPECT_DOUBLE_EQ(
+        builtins.call(BuiltinId::MathFloor, neg, 1).asNumber(), -3.0);
+    Value four[1] = {Value::int32(4)};
+    EXPECT_DOUBLE_EQ(
+        builtins.call(BuiltinId::MathSqrt, four, 1).asNumber(), 2.0);
+    Value minmax[3] = {Value::int32(3), Value::int32(1), Value::int32(2)};
+    EXPECT_EQ(builtins.call(BuiltinId::MathMin, minmax, 3),
+              Value::int32(1));
+    EXPECT_EQ(builtins.call(BuiltinId::MathMax, minmax, 3),
+              Value::int32(3));
+}
+
+TEST_F(RuntimeTest, MathRandomDeterministic)
+{
+    Builtins b1(rt, 42), b2(rt, 42);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(b1.call(BuiltinId::MathRandom, nullptr, 0),
+                  b2.call(BuiltinId::MathRandom, nullptr, 0));
+    }
+}
+
+TEST_F(RuntimeTest, StringMethods)
+{
+    Value s = str("hello");
+    Value i1[1] = {Value::int32(1)};
+    EXPECT_EQ(builtins.callMethod(s, strings.intern("charCodeAt"), i1, 1),
+              Value::int32('e'));
+    EXPECT_EQ(builtins.callMethod(s, strings.intern("charAt"), i1, 1),
+              str("e"));
+    Value sub[2] = {Value::int32(1), Value::int32(3)};
+    EXPECT_EQ(builtins.callMethod(s, strings.intern("substring"), sub, 2),
+              str("el"));
+    Value needle[1] = {str("llo")};
+    EXPECT_EQ(builtins.callMethod(s, strings.intern("indexOf"), needle, 1),
+              Value::int32(2));
+}
+
+TEST_F(RuntimeTest, ArrayMethods)
+{
+    Value arr = heap.allocArray(0);
+    Value one[1] = {Value::int32(1)};
+    Value two[1] = {Value::int32(2)};
+    builtins.callMethod(arr, strings.intern("push"), one, 1);
+    builtins.callMethod(arr, strings.intern("push"), two, 1);
+    EXPECT_EQ(heap.array(arr.payload()).length(), 2u);
+    EXPECT_EQ(builtins.callMethod(arr, strings.intern("pop"), nullptr, 0),
+              Value::int32(2));
+    Value sep[1] = {str("-")};
+    builtins.callMethod(arr, strings.intern("push"), two, 1);
+    EXPECT_EQ(builtins.callMethod(arr, strings.intern("join"), sep, 1),
+              str("1-2"));
+}
+
+TEST_F(RuntimeTest, StringFromCharCodeAndSplit)
+{
+    Value codes[3] = {Value::int32('a'), Value::int32('b'),
+                      Value::int32('c')};
+    EXPECT_EQ(builtins.call(BuiltinId::StringFromCharCode, codes, 3),
+              str("abc"));
+    Value sep[1] = {str(",")};
+    Value parts = builtins.callMethod(str("a,b,c"),
+                                      strings.intern("split"), sep, 1);
+    ASSERT_TRUE(parts.isArray());
+    EXPECT_EQ(heap.array(parts.payload()).length(), 3u);
+    EXPECT_EQ(heap.getElement(parts.payload(), 1), str("b"));
+}
+
+TEST_F(RuntimeTest, PrintAccumulates)
+{
+    Value args[2] = {str("x"), Value::int32(3)};
+    builtins.call(BuiltinId::Print, args, 2);
+    EXPECT_EQ(builtins.printedOutput(), "x 3\n");
+}
+
+TEST_F(RuntimeTest, ParseIntFloat)
+{
+    Value s1[1] = {str("42")};
+    EXPECT_EQ(builtins.call(BuiltinId::ParseInt, s1, 1), Value::int32(42));
+    Value s2[2] = {str("ff"), Value::int32(16)};
+    EXPECT_EQ(builtins.call(BuiltinId::ParseInt, s2, 2),
+              Value::int32(255));
+    Value s3[1] = {str("2.5x")};
+    EXPECT_DOUBLE_EQ(
+        builtins.call(BuiltinId::ParseFloat, s3, 1).asNumber(), 2.5);
+}
+
+TEST_F(RuntimeTest, BuiltinResolution)
+{
+    BuiltinId id;
+    EXPECT_TRUE(resolveBuiltin("Math", "sqrt", &id));
+    EXPECT_EQ(id, BuiltinId::MathSqrt);
+    EXPECT_TRUE(resolveBuiltin("String", "fromCharCode", &id));
+    EXPECT_FALSE(resolveBuiltin("Math", "nope", &id));
+    EXPECT_FALSE(resolveBuiltin("Other", "sqrt", &id));
+    EXPECT_TRUE(resolveGlobalBuiltin("print", &id));
+    EXPECT_FALSE(resolveGlobalBuiltin("frobnicate", &id));
+}
+
+} // namespace
+} // namespace nomap

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "suites/shootout.h"
+
+namespace nomap {
+namespace {
+
+/**
+ * Every Shootout kernel's native C++ twin must compute exactly the
+ * same result as the VM running the JS-subset source — this is what
+ * makes the Figure 1 model trustworthy.
+ */
+class ShootoutTwin : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(ShootoutTwin, NativeMatchesVm)
+{
+    const ShootoutKernel &kernel = shootoutSuite()[GetParam()];
+    uint64_t instr = 0;
+    double native = kernel.native(&instr);
+    EXPECT_GT(instr, 0u) << kernel.name;
+
+    EngineConfig config;
+    Engine engine(config);
+    EngineResult r = engine.run(kernel.jsSource);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f", native);
+    EXPECT_EQ(r.resultString, buf) << kernel.name;
+}
+
+std::vector<size_t>
+indices()
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < shootoutSuite().size(); ++i)
+        out.push_back(i);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, ShootoutTwin, ::testing::ValuesIn(indices()),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        return shootoutSuite()[info.param].name;
+    });
+
+TEST(Shootout, SuiteShape)
+{
+    EXPECT_EQ(shootoutSuite().size(), 11u);
+    EXPECT_EQ(languageModels().size(), 3u);
+    for (const LanguageModel &model : languageModels())
+        EXPECT_GT(model.dispatchFactor, 0.0);
+}
+
+TEST(Shootout, TierLadderHoldsPerKernel)
+{
+    // Steady-state FTL must beat the interpreter on every kernel.
+    for (const ShootoutKernel &kernel : shootoutSuite()) {
+        EngineConfig interp_config;
+        interp_config.maxTier = Tier::Interpreter;
+        Engine interp_engine(interp_config);
+        double interp =
+            interp_engine.run(kernel.jsSource).stats.totalCycles();
+
+        EngineConfig ftl_config;
+        Engine ftl_engine(ftl_config);
+        double ftl =
+            ftl_engine.run(kernel.jsSource).stats.totalCycles();
+        EXPECT_LT(ftl, interp) << kernel.name;
+    }
+}
+
+} // namespace
+} // namespace nomap

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "suites/suite.h"
+
+namespace nomap {
+namespace {
+
+EngineResult
+runWith(Architecture arch, const std::string &src)
+{
+    EngineConfig config;
+    config.arch = arch;
+    Engine engine(config);
+    return engine.run(src);
+}
+
+TEST(Suites, TableIIIMembership)
+{
+    const auto &ss = sunspiderSuite();
+    const auto &kk = krakenSuite();
+    ASSERT_EQ(ss.size(), 26u);
+    ASSERT_EQ(kk.size(), 14u);
+
+    // Paper Table III: SunSpider AvgS = {1,3,4,5,6,7,10,11,12,13,14,
+    // 15,16,18,19,20}; Kraken AvgS = {1,5,6,7,8,11,12,13,14}.
+    const int ss_avgs[] = {1, 3, 4, 5, 6, 7, 10, 11, 12,
+                           13, 14, 15, 16, 18, 19, 20};
+    const int kk_avgs[] = {1, 5, 6, 7, 8, 11, 12, 13, 14};
+    for (int i = 0; i < 26; ++i) {
+        bool expected = false;
+        for (int x : ss_avgs)
+            expected |= (x == i + 1);
+        EXPECT_EQ(ss[i].inAvgS, expected) << ss[i].id;
+        if (!expected) {
+            EXPECT_FALSE(ss[i].exclusionReason.empty()) << ss[i].id;
+        }
+    }
+    for (int i = 0; i < 14; ++i) {
+        bool expected = false;
+        for (int x : kk_avgs)
+            expected |= (x == i + 1);
+        EXPECT_EQ(kk[i].inAvgS, expected) << kk[i].id;
+    }
+}
+
+TEST(Suites, FindBenchmark)
+{
+    ASSERT_NE(findBenchmark("S01"), nullptr);
+    EXPECT_EQ(findBenchmark("S01")->name, "3d-cube");
+    ASSERT_NE(findBenchmark("K07"), nullptr);
+    EXPECT_EQ(findBenchmark("ZZZ"), nullptr);
+}
+
+/** Differential parameterized test: every benchmark computes the
+ *  same result under every architecture (NoMap_BC excluded: it is
+ *  unsound by design on corner cases, though it also agrees here). */
+class SuiteDifferential
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteDifferential, AllArchitecturesAgree)
+{
+    const BenchmarkSpec *spec = findBenchmark(GetParam());
+    ASSERT_NE(spec, nullptr);
+    EngineResult base = runWith(Architecture::Base, spec->source);
+    ASSERT_FALSE(base.resultString.empty());
+    EXPECT_NE(base.resultString, "undefined") << spec->id;
+
+    const Architecture rest[] = {
+        Architecture::NoMapS, Architecture::NoMapB, Architecture::NoMap,
+        Architecture::NoMapBC, Architecture::NoMapRTM};
+    for (Architecture arch : rest) {
+        EngineResult r = runWith(arch, spec->source);
+        EXPECT_EQ(r.resultString, base.resultString)
+            << spec->id << " under " << architectureName(arch);
+    }
+}
+
+std::vector<std::string>
+allIds()
+{
+    std::vector<std::string> ids;
+    for (const auto &spec : sunspiderSuite())
+        ids.push_back(spec.id);
+    for (const auto &spec : krakenSuite())
+        ids.push_back(spec.id);
+    return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SuiteDifferential, ::testing::ValuesIn(allIds()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(Suites, DeadCodeBenchmarksCollapseUnderNoMap)
+{
+    // S02/S08/S09 are excluded from AvgS because NoMap's DCE removes
+    // their hot loops entirely (paper Table III).
+    for (const char *id : {"S02", "S08", "S09"}) {
+        const BenchmarkSpec *spec = findBenchmark(id);
+        ASSERT_NE(spec, nullptr);
+        uint64_t base = runWith(Architecture::Base, spec->source)
+                            .stats.totalInstructions();
+        uint64_t nomap = runWith(Architecture::NoMap, spec->source)
+                             .stats.totalInstructions();
+        EXPECT_LT(static_cast<double>(nomap),
+                  0.55 * static_cast<double>(base))
+            << id << " should mostly vanish";
+    }
+}
+
+TEST(Suites, NonFtlBenchmarksAreRuntimeDominated)
+{
+    for (const char *id :
+         {"S21", "S22", "S24", "S25", "K02", "K09", "K10"}) {
+        const BenchmarkSpec *spec = findBenchmark(id);
+        ASSERT_NE(spec, nullptr);
+        EngineResult r = runWith(Architecture::Base, spec->source);
+        double noftl = static_cast<double>(
+            r.stats.instrIn(InstrBucket::NoFtl));
+        double total =
+            static_cast<double>(r.stats.totalInstructions());
+        EXPECT_GT(noftl / total, 0.60) << id;
+    }
+}
+
+TEST(Suites, KrakenWriteFootprintsExceedRtmCapacity)
+{
+    // K05-K07 stream through buffers bigger than a 32 KB L1D; under
+    // ROT-style HTM their transactions still commit.
+    for (const char *id : {"K05", "K06", "K07"}) {
+        const BenchmarkSpec *spec = findBenchmark(id);
+        EngineResult rot = runWith(Architecture::NoMap, spec->source);
+        EXPECT_GT(rot.stats.maxWriteFootprintBytes, 32u * 1024) << id;
+        EXPECT_GT(rot.stats.txCommits, 0u) << id;
+    }
+}
+
+} // namespace
+} // namespace nomap

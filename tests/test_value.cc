@@ -1,0 +1,121 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "vm/value.h"
+
+namespace nomap {
+namespace {
+
+TEST(Value, DefaultIsUndefined)
+{
+    Value v;
+    EXPECT_TRUE(v.isUndefined());
+    EXPECT_EQ(v.kind(), ValueKind::Undefined);
+}
+
+TEST(Value, Int32RoundTrip)
+{
+    for (int32_t x : {0, 1, -1, 42, INT32_MIN, INT32_MAX}) {
+        Value v = Value::int32(x);
+        EXPECT_TRUE(v.isInt32());
+        EXPECT_TRUE(v.isNumber());
+        EXPECT_EQ(v.asInt32(), x);
+        EXPECT_DOUBLE_EQ(v.asNumber(), static_cast<double>(x));
+    }
+}
+
+TEST(Value, DoubleRoundTrip)
+{
+    for (double x : {0.5, -3.25, 1e300, -1e-300}) {
+        Value v = Value::boxDouble(x);
+        EXPECT_TRUE(v.isBoxedDouble());
+        EXPECT_DOUBLE_EQ(v.asBoxedDouble(), x);
+    }
+}
+
+TEST(Value, NumberPrefersInt32)
+{
+    EXPECT_TRUE(Value::number(7.0).isInt32());
+    EXPECT_TRUE(Value::number(-5.0).isInt32());
+    EXPECT_TRUE(Value::number(7.5).isBoxedDouble());
+    EXPECT_TRUE(Value::number(1e100).isBoxedDouble());
+    // -0 must stay a double: int32 cannot represent it.
+    EXPECT_TRUE(Value::number(-0.0).isBoxedDouble());
+    EXPECT_TRUE(std::signbit(Value::number(-0.0).asBoxedDouble()));
+}
+
+TEST(Value, NanCanonicalized)
+{
+    // A NaN with a payload that would collide with tag space must be
+    // canonicalized when boxed.
+    double evil;
+    uint64_t evil_bits = 0xfff2000000000005ull; // Looks like an object!
+    std::memcpy(&evil, &evil_bits, sizeof(evil));
+    ASSERT_TRUE(evil != evil);
+    Value v = Value::boxDouble(evil);
+    EXPECT_TRUE(v.isBoxedDouble());
+    EXPECT_FALSE(v.isObject());
+    EXPECT_TRUE(v.asBoxedDouble() != v.asBoxedDouble());
+}
+
+TEST(Value, InfinityStaysDouble)
+{
+    Value pos = Value::boxDouble(INFINITY);
+    Value neg = Value::boxDouble(-INFINITY);
+    EXPECT_TRUE(pos.isBoxedDouble());
+    EXPECT_TRUE(neg.isBoxedDouble());
+    EXPECT_DOUBLE_EQ(neg.asBoxedDouble(), -INFINITY);
+}
+
+TEST(Value, BooleansAndSpecials)
+{
+    EXPECT_TRUE(Value::boolean(true).asBoolean());
+    EXPECT_FALSE(Value::boolean(false).asBoolean());
+    EXPECT_TRUE(Value::boolean(true).isBoolean());
+    EXPECT_TRUE(Value::null().isNull());
+    EXPECT_NE(Value::null(), Value::undefined());
+    EXPECT_NE(Value::boolean(false), Value::undefined());
+}
+
+TEST(Value, ReferenceKinds)
+{
+    Value obj = Value::object(123);
+    EXPECT_TRUE(obj.isObject());
+    EXPECT_EQ(obj.payload(), 123u);
+    EXPECT_EQ(obj.kind(), ValueKind::Object);
+
+    Value arr = Value::array(7);
+    EXPECT_TRUE(arr.isArray());
+    EXPECT_FALSE(arr.isObject());
+
+    Value str = Value::string(55);
+    EXPECT_TRUE(str.isString());
+    EXPECT_EQ(str.payload(), 55u);
+
+    Value fn = Value::function(2);
+    EXPECT_TRUE(fn.isFunction());
+    Value nf = Value::nativeFunction(3);
+    EXPECT_TRUE(nf.isNativeFunction());
+}
+
+TEST(Value, KindMasks)
+{
+    EXPECT_EQ(valueKindMask(ValueKind::Int32), kMaskInt32);
+    EXPECT_EQ(valueKindMask(ValueKind::Array), kMaskArray);
+    uint16_t numeric = kMaskInt32 | kMaskDouble;
+    EXPECT_TRUE(valueKindMask(Value::number(1.5).kind()) & numeric);
+    EXPECT_TRUE(valueKindMask(Value::number(1.0).kind()) & numeric);
+    EXPECT_FALSE(valueKindMask(Value::boolean(true).kind()) & numeric);
+}
+
+TEST(Value, EqualityIsBitwise)
+{
+    EXPECT_EQ(Value::int32(5), Value::int32(5));
+    EXPECT_NE(Value::int32(5), Value::boxDouble(5.0));
+    EXPECT_EQ(Value::object(1), Value::object(1));
+    EXPECT_NE(Value::object(1), Value::object(2));
+}
+
+} // namespace
+} // namespace nomap
