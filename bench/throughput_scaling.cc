@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Serving-layer benchmark: requests/sec vs worker count, per
+ * architecture, over the Shootout kernel mix, plus a cold-vs-warm
+ * program-cache comparison.
+ *
+ * Two effects are measured:
+ *
+ *  1. *Worker scaling.* Isolates are fully independent (per-Engine
+ *     heap/HTM/caches), so throughput should scale with workers up to
+ *     the machine's core count. The table reports requests/sec and
+ *     the speedup vs 1 worker; on a single-core container the ceiling
+ *     is 1x by physics, so the detected hardware concurrency is
+ *     printed next to the table.
+ *
+ *  2. *Compiled-program cache.* A warm cache skips lexing + parsing +
+ *     bytecode compilation. The second table compares cold (cache
+ *     disabled) vs warm (cache pre-seeded) p50 latency on the same
+ *     mix and reports the hit counter.
+ */
+
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/engine_pool.h"
+#include "suites/shootout.h"
+
+using namespace nomap;
+
+namespace {
+
+struct MixResult {
+    double seconds = 0.0;
+    double rps = 0.0;
+    double p50Micros = 0.0;
+    uint64_t cacheHits = 0;
+    uint64_t failures = 0;
+};
+
+/** Expected `result` strings from each kernel's native twin. */
+const std::vector<std::string> &
+expectedResults()
+{
+    static const std::vector<std::string> expected = [] {
+        std::vector<std::string> out;
+        for (const ShootoutKernel &kernel : shootoutSuite()) {
+            uint64_t native_instr = 0;
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.0f",
+                          kernel.native(&native_instr));
+            out.push_back(buf);
+        }
+        return out;
+    }();
+    return expected;
+}
+
+/** Push the kernel mix through a service and time it end-to-end. */
+MixResult
+runMix(size_t num_workers, Architecture arch, size_t repeats,
+       bool use_cache, bool prewarm)
+{
+    const std::vector<ShootoutKernel> &kernels = shootoutSuite();
+    ServiceConfig sc;
+    sc.workers = num_workers;
+    sc.queueCapacity = kernels.size() * repeats + 1;
+    sc.enableProgramCache = use_cache;
+    ExecutionService service(sc);
+
+    if (prewarm) {
+        // Compile every script once so the timed run is all hits.
+        std::vector<std::future<Response>> warmup;
+        for (const ShootoutKernel &kernel : kernels) {
+            Request req;
+            req.source = kernel.jsSource;
+            req.config.arch = arch;
+            warmup.push_back(service.submit(std::move(req)));
+        }
+        for (auto &f : warmup)
+            f.get();
+    }
+    ServiceMetricsSnapshot before = service.metrics();
+
+    auto started = std::chrono::steady_clock::now();
+    std::vector<std::future<Response>> futures;
+    for (size_t r = 0; r < repeats; ++r) {
+        for (const ShootoutKernel &kernel : kernels) {
+            Request req;
+            req.source = kernel.jsSource;
+            req.config.arch = arch;
+            futures.push_back(service.submit(std::move(req)));
+        }
+    }
+    MixResult out;
+    for (size_t i = 0; i < futures.size(); ++i) {
+        Response resp = futures[i].get();
+        if (!resp.ok() ||
+            resp.resultString != expectedResults()[i % kernels.size()])
+            ++out.failures;
+    }
+    auto finished = std::chrono::steady_clock::now();
+
+    ServiceMetricsSnapshot after = service.metrics();
+    out.seconds =
+        std::chrono::duration<double>(finished - started).count();
+    out.rps = out.seconds > 0.0
+                  ? static_cast<double>(futures.size()) / out.seconds
+                  : 0.0;
+    out.p50Micros = after.p50Micros;
+    out.cacheHits = after.cacheHits - before.cacheHits;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Architecture archs[] = {Architecture::Base,
+                                  Architecture::NoMap};
+    const size_t worker_counts[] = {1, 2, 4};
+    constexpr size_t kRepeats = 3;
+
+    std::printf("Throughput scaling over the Shootout kernel mix "
+                "(%zu kernels x %zu repeats)\n",
+                shootoutSuite().size(), kRepeats);
+    std::printf("hardware concurrency: %u core(s) — scaling is "
+                "capped at that many workers\n\n",
+                std::thread::hardware_concurrency());
+
+    std::printf("%-10s %8s %12s %10s %10s\n", "arch", "workers",
+                "req/s", "seconds", "speedup");
+    for (Architecture arch : archs) {
+        double base_rps = 0.0;
+        for (size_t workers : worker_counts) {
+            MixResult r = runMix(workers, arch, kRepeats,
+                                 /*use_cache=*/true,
+                                 /*prewarm=*/true);
+            if (workers == 1)
+                base_rps = r.rps;
+            std::printf("%-10s %8zu %12.2f %10.2f %9.2fx%s\n",
+                        architectureName(arch), workers, r.rps,
+                        r.seconds,
+                        base_rps > 0.0 ? r.rps / base_rps : 0.0,
+                        r.failures ? "  [FAILURES!]" : "");
+        }
+        std::printf("\n");
+    }
+
+    std::printf("Program cache effect (NoMap, 2 workers, same "
+                "mix)\n");
+    std::printf("%-18s %12s %14s %12s\n", "cache", "req/s",
+                "p50 (us)", "hits");
+    MixResult cold = runMix(2, Architecture::NoMap, kRepeats,
+                            /*use_cache=*/false, /*prewarm=*/false);
+    MixResult warm = runMix(2, Architecture::NoMap, kRepeats,
+                            /*use_cache=*/true, /*prewarm=*/true);
+    std::printf("%-18s %12.2f %14.1f %12llu\n", "cold (disabled)",
+                cold.rps, cold.p50Micros,
+                static_cast<unsigned long long>(cold.cacheHits));
+    std::printf("%-18s %12.2f %14.1f %12llu\n", "warm (pre-seeded)",
+                warm.rps, warm.p50Micros,
+                static_cast<unsigned long long>(warm.cacheHits));
+    std::printf("\nwarm/cold p50: %.2fx  (hits=%llu > 0 means "
+                "recompilation was skipped)\n",
+                warm.p50Micros > 0.0 ? cold.p50Micros / warm.p50Micros
+                                     : 0.0,
+                static_cast<unsigned long long>(warm.cacheHits));
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Serving-mode demo: drive N requests through the concurrent
+ * multi-isolate ExecutionService and print the pool metrics JSON.
+ *
+ * Usage:
+ *   nomap_serve [--workers M] [--requests N] [--arch ARCH]
+ *               [--timeout-ms T] [--no-cache]
+ *
+ * The request mix cycles through the Shootout kernels (the same mix
+ * bench/throughput_scaling uses), so repeated scripts exercise the
+ * compiled-program cache while distinct ones keep the isolate pool
+ * honest.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "service/engine_pool.h"
+#include "suites/shootout.h"
+
+using namespace nomap;
+
+namespace {
+
+Architecture
+parseArch(const std::string &name)
+{
+    if (name == "base") return Architecture::Base;
+    if (name == "nomap_s") return Architecture::NoMapS;
+    if (name == "nomap_b") return Architecture::NoMapB;
+    if (name == "nomap") return Architecture::NoMap;
+    if (name == "nomap_bc") return Architecture::NoMapBC;
+    if (name == "nomap_rtm") return Architecture::NoMapRTM;
+    std::fprintf(stderr, "unknown --arch '%s'\n", name.c_str());
+    std::exit(1);
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: nomap_serve [--workers M] [--requests N]\n"
+        "                   [--arch base|nomap_s|nomap_b|nomap|"
+        "nomap_bc|nomap_rtm]\n"
+        "                   [--timeout-ms T] [--no-cache]\n");
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t num_workers = 4;
+    size_t num_requests = 24;
+    Architecture arch = Architecture::NoMap;
+    uint64_t timeout_ms = 0;
+    bool use_cache = true;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (flag == "--workers") {
+            num_workers = std::strtoul(next().c_str(), nullptr, 10);
+        } else if (flag == "--requests") {
+            num_requests = std::strtoul(next().c_str(), nullptr, 10);
+        } else if (flag == "--arch") {
+            arch = parseArch(next());
+        } else if (flag == "--timeout-ms") {
+            timeout_ms = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (flag == "--no-cache") {
+            use_cache = false;
+        } else {
+            usage();
+        }
+    }
+
+    ServiceConfig sc;
+    sc.workers = num_workers;
+    sc.defaultTimeoutMs = timeout_ms;
+    sc.enableProgramCache = use_cache;
+    ExecutionService service(sc);
+
+    const std::vector<ShootoutKernel> &kernels = shootoutSuite();
+    // Expected `result` strings come from each kernel's native twin
+    // (the same cross-validation fig01_shootout performs).
+    std::vector<std::string> expected;
+    expected.reserve(kernels.size());
+    for (const ShootoutKernel &kernel : kernels) {
+        uint64_t native_instr = 0;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.0f",
+                      kernel.native(&native_instr));
+        expected.push_back(buf);
+    }
+    std::printf("serving %zu requests over %zu workers (%s, %zu "
+                "distinct scripts)\n",
+                num_requests, num_workers, architectureName(arch),
+                kernels.size());
+
+    std::vector<std::future<Response>> futures;
+    futures.reserve(num_requests);
+    for (size_t i = 0; i < num_requests; ++i) {
+        Request req;
+        req.source = kernels[i % kernels.size()].jsSource;
+        req.config.arch = arch;
+        futures.push_back(service.submit(std::move(req)));
+    }
+
+    size_t failed = 0;
+    for (size_t i = 0; i < futures.size(); ++i) {
+        Response resp = futures[i].get();
+        const ShootoutKernel &kernel = kernels[i % kernels.size()];
+        if (!resp.ok()) {
+            ++failed;
+            std::fprintf(stderr, "request %zu (%s): %s: %s\n", i,
+                         kernel.name.c_str(),
+                         responseStatusName(resp.status),
+                         resp.error.c_str());
+        } else if (resp.resultString !=
+                   expected[i % kernels.size()]) {
+            ++failed;
+            std::fprintf(stderr,
+                         "request %zu (%s): wrong result %s "
+                         "(want %s)\n",
+                         i, kernel.name.c_str(),
+                         resp.resultString.c_str(),
+                         expected[i % kernels.size()].c_str());
+        }
+    }
+
+    std::printf("%s\n", service.metricsJson().c_str());
+    if (failed != 0) {
+        std::fprintf(stderr, "%zu/%zu requests failed\n", failed,
+                     futures.size());
+        return 1;
+    }
+    return 0;
+}

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include "engine/program_cache.h"
 #include "js/parser.h"
 #include "support/logging.h"
 
@@ -8,14 +9,20 @@ namespace nomap {
 Engine::Engine(const EngineConfig &config)
     : engineConfig(config)
 {
+    initVm();
+}
+
+void
+Engine::initVm()
+{
     shapesPtr = std::make_unique<ShapeTable>();
     stringsPtr = std::make_unique<StringTable>();
     heapPtr = std::make_unique<Heap>(*shapesPtr, *stringsPtr);
     runtimePtr = std::make_unique<Runtime>(*heapPtr);
     builtinsPtr =
-        std::make_unique<Builtins>(*runtimePtr, config.rngSeed);
-    htmPtr =
-        std::make_unique<TransactionManager>(htmModeOf(config.arch));
+        std::make_unique<Builtins>(*runtimePtr, engineConfig.rngSeed);
+    htmPtr = std::make_unique<TransactionManager>(
+        htmModeOf(engineConfig.arch));
     memPtr = std::make_unique<MemHierarchy>();
 
     htmPtr->setRollbackClient(heapPtr.get());
@@ -32,16 +39,75 @@ Engine::Engine(const EngineConfig &config)
     irExec =
         std::make_unique<IrExecutor>(*envPtr, *baselineExec,
                                      engineConfig);
+    acctPtr->setCancelFlag(cancelFlag);
 }
 
 Engine::~Engine() = default;
 
+void
+Engine::resetStats()
+{
+    stats = ExecutionStats();
+    htmPtr->resetStats();
+    memPtr->resetStats();
+    builtinsPtr->clearPrinted();
+}
+
+void
+Engine::reset()
+{
+    // Drop execution state, then everything that holds references to
+    // the VM (reverse construction order), then the VM itself, and
+    // rebuild pristine.
+    programPtr.reset();
+    functionStates.clear();
+    irExec.reset();
+    baselineExec.reset();
+    interpreter.reset();
+    envPtr.reset();
+    acctPtr.reset();
+    memPtr.reset();
+    htmPtr.reset();
+    builtinsPtr.reset();
+    runtimePtr.reset();
+    heapPtr.reset();
+    stringsPtr.reset();
+    shapesPtr.reset();
+    stats = ExecutionStats();
+    hasRun = false;
+    initVm();
+}
+
+void
+Engine::setCancelFlag(const std::atomic<bool> *flag)
+{
+    cancelFlag = flag;
+    acctPtr->setCancelFlag(flag);
+}
+
 EngineResult
 Engine::run(const std::string &source)
 {
-    Program ast = parseProgram(source);
-    programPtr = std::make_unique<CompiledProgram>(
-        compile(ast, *heapPtr));
+    bool cache_hit = false;
+    std::unique_ptr<CompiledProgram> prog;
+    if (programCache && !hasRun) {
+        uint64_t hash = CompiledProgramCache::hashSource(source);
+        prog = programCache->instantiate(hash, source, *heapPtr);
+        if (prog) {
+            cache_hit = true;
+        } else {
+            Program ast = parseProgram(source);
+            prog = std::make_unique<CompiledProgram>(
+                compile(ast, *heapPtr));
+            programCache->insert(hash, source, *prog, *heapPtr);
+        }
+    } else {
+        Program ast = parseProgram(source);
+        prog =
+            std::make_unique<CompiledProgram>(compile(ast, *heapPtr));
+    }
+    programPtr = std::move(prog);
+    hasRun = true;
     envPtr->program = programPtr.get();
 
     functionStates.clear();
@@ -75,6 +141,7 @@ Engine::run(const std::string &source)
     stats.maxWriteWaysUsed = hs.maxWriteWaysUsed;
 
     result.stats = stats;
+    result.programCacheHit = cache_hit;
     return result;
 }
 

@@ -22,6 +22,7 @@
  * @endcode
  */
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -33,6 +34,8 @@
 
 namespace nomap {
 
+class CompiledProgramCache;
+
 /** Outcome of one Engine::run. */
 struct EngineResult {
     /** Value of the program's `result` global (undefined if unset). */
@@ -43,6 +46,8 @@ struct EngineResult {
     std::string printed;
     /** All counters. */
     ExecutionStats stats;
+    /** True when compilation was skipped via the program cache. */
+    bool programCacheHit = false;
 };
 
 /** Per-function tiering state. */
@@ -77,6 +82,47 @@ class Engine : public CallDispatcher
      */
     EngineResult run(const std::string &source);
 
+    // ---- Serving-layer hooks ------------------------------------------
+    /**
+     * Zero every per-run counter (ExecutionStats, HTM summary, memory
+     * hierarchy stats, accumulated print() output) without touching
+     * VM state. A reused isolate calls this between requests so each
+     * run reports clean stats instead of accumulating.
+     */
+    void resetStats();
+
+    /**
+     * Tear the VM down to its freshly-constructed state: new heap,
+     * tables, runtime, HTM, executors, zeroed stats. After reset()
+     * the engine is pristine — it behaves bit-identically to a newly
+     * constructed Engine with the same config, which is what lets the
+     * service pool reuse isolates across unrelated tenants while
+     * keeping per-request determinism, and what makes the shared
+     * program cache applicable again.
+     */
+    void reset();
+
+    /** Has run() executed since construction/reset()? */
+    bool pristine() const { return !hasRun; }
+
+    /**
+     * Attach a shared compiled-program cache. Consulted by run() only
+     * while the engine is pristine (cached programs are only valid
+     * against a pristine heap; see program_cache.h). May be null.
+     */
+    void setProgramCache(CompiledProgramCache *cache)
+    {
+        programCache = cache;
+    }
+
+    /**
+     * Install a cooperative cancellation flag (deadline watchdog).
+     * When the flag becomes true mid-run, run() throws
+     * ExecutionCancelled; the engine must then be reset() or
+     * destroyed. Pass nullptr to detach. Survives reset().
+     */
+    void setCancelFlag(const std::atomic<bool> *flag);
+
     // ---- CallDispatcher ------------------------------------------------
     Value call(uint32_t func_id, const Value *args,
                uint32_t nargs) override;
@@ -95,10 +141,14 @@ class Engine : public CallDispatcher
     const IrFunction *ftlIr(const std::string &name) const;
 
   private:
+    void initVm();
     void maybeTierUp(uint32_t func_id);
     uint64_t hotness(const BytecodeFunction &fn) const;
 
     EngineConfig engineConfig;
+    CompiledProgramCache *programCache = nullptr;
+    const std::atomic<bool> *cancelFlag = nullptr;
+    bool hasRun = false;
 
     // Construction order matters: tables before heap, heap before
     // runtime, everything before executors.

@@ -1,0 +1,116 @@
+#include "engine/program_cache.h"
+
+#include "vm/heap.h"
+
+namespace nomap {
+
+CompiledProgramCache::CompiledProgramCache(size_t capacity)
+    : maxEntries(capacity ? capacity : 1)
+{
+}
+
+uint64_t
+CompiledProgramCache::hashSource(const std::string &source)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : source) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+CompiledProgram
+CompiledProgramCache::cloneProgram(const CompiledProgram &src)
+{
+    CompiledProgram copy;
+    copy.functions.reserve(src.functions.size());
+    for (const auto &fn : src.functions)
+        copy.functions.push_back(std::make_unique<BytecodeFunction>(*fn));
+    copy.functionIds = src.functionIds;
+    return copy;
+}
+
+std::unique_ptr<CompiledProgram>
+CompiledProgramCache::instantiate(uint64_t hash,
+                                  const std::string &source, Heap &heap)
+{
+    std::shared_ptr<const Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = entries.find(hash);
+        if (it != entries.end() && it->second->source == source) {
+            entry = it->second;
+        } else {
+            ++counters.misses;
+            return nullptr;
+        }
+    }
+
+    // Replay the compile's heap side effects and verify the layout
+    // matches: on a pristine heap every intern/global lands on the id
+    // the template's bytecode embeds.
+    StringTable &strings = heap.stringTable();
+    bool ok = true;
+    for (size_t i = 0; ok && i < entry->internedStrings.size(); ++i)
+        ok = strings.intern(entry->internedStrings[i]) == i;
+    for (size_t i = 0; ok && i < entry->globalNames.size(); ++i)
+        ok = heap.globalIndex(entry->globalNames[i]) == i;
+
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!ok) {
+        ++counters.rebindFailures;
+        ++counters.misses;
+        return nullptr;
+    }
+    ++counters.hits;
+    return std::make_unique<CompiledProgram>(
+        cloneProgram(entry->program));
+}
+
+void
+CompiledProgramCache::insert(uint64_t hash, const std::string &source,
+                             const CompiledProgram &program,
+                             const Heap &heap)
+{
+    auto entry = std::make_shared<Entry>();
+    entry->source = source;
+    entry->program = cloneProgram(program);
+
+    const StringTable &strings = heap.stringTable();
+    entry->internedStrings.reserve(strings.size());
+    for (size_t i = 0; i < strings.size(); ++i)
+        entry->internedStrings.push_back(
+            strings.get(static_cast<uint32_t>(i)));
+    entry->globalNames.reserve(heap.globalCount());
+    for (uint32_t i = 0; i < heap.globalCount(); ++i)
+        entry->globalNames.push_back(heap.globalName(i));
+
+    std::lock_guard<std::mutex> lock(mutex);
+    if (entries.count(hash))
+        return;
+    while (entries.size() >= maxEntries && !insertionOrder.empty()) {
+        entries.erase(insertionOrder.front());
+        insertionOrder.pop_front();
+        ++counters.evictions;
+    }
+    entries.emplace(hash, std::move(entry));
+    insertionOrder.push_back(hash);
+    ++counters.insertions;
+}
+
+ProgramCacheStats
+CompiledProgramCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return counters;
+}
+
+size_t
+CompiledProgramCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entries.size();
+}
+
+} // namespace nomap

@@ -1,0 +1,110 @@
+#ifndef NOMAP_ENGINE_PROGRAM_CACHE_H
+#define NOMAP_ENGINE_PROGRAM_CACHE_H
+
+/**
+ * @file
+ * Shared cache of compiled programs, keyed by source hash.
+ *
+ * Lexing + parsing + bytecode compilation is the dominant fixed cost
+ * of a short request, so the serving layer wants to pay it once per
+ * distinct script, not once per request. The complication is that
+ * compile() is not a pure function of the source: it interns property
+ * names into the engine's StringTable and allocates global-variable
+ * slots in its Heap, and the emitted bytecode embeds the resulting
+ * ids. A compiled program is therefore only valid against a heap with
+ * the exact same intern/global layout.
+ *
+ * The cache exploits that every *pristine* Engine (freshly
+ * constructed or reset()) starts from an identical, deterministic
+ * baseline. Each entry captures, alongside a pre-execution clone of
+ * the CompiledProgram, the full string-table and global-table layout
+ * of the heap it was compiled against. Instantiating into another
+ * pristine engine replays that layout (interning the same strings and
+ * creating the same globals, in order) and verifies every id matches;
+ * the replayed heap is then bit-identical to one that ran the real
+ * compiler, so the cloned bytecode — including its zeroed type
+ * profiles — behaves exactly like a fresh compile. If any id
+ * diverges (non-pristine heap), instantiation refuses and the caller
+ * falls back to compiling for real.
+ *
+ * Thread-safe: entries are immutable after insertion and published
+ * via shared_ptr under a mutex; the expensive clone/replay work runs
+ * outside the lock. Bounded with FIFO eviction.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bytecode/compiler.h"
+
+namespace nomap {
+
+class Heap;
+
+/** Monotonic counters describing cache effectiveness. */
+struct ProgramCacheStats {
+    uint64_t hits = 0;           ///< Successful instantiations.
+    uint64_t misses = 0;         ///< Lookups with no usable entry.
+    uint64_t insertions = 0;     ///< Entries captured.
+    uint64_t evictions = 0;      ///< Entries dropped for capacity.
+    uint64_t rebindFailures = 0; ///< Replay refused (dirty heap).
+};
+
+/** Shared, bounded source-hash -> compiled-program cache. */
+class CompiledProgramCache
+{
+  public:
+    explicit CompiledProgramCache(size_t capacity = 256);
+
+    /** FNV-1a hash of the program text. */
+    static uint64_t hashSource(const std::string &source);
+
+    /**
+     * Look up @p source (pre-hashed as @p hash) and, on a hit,
+     * instantiate the cached program into @p heap by replaying the
+     * original compile's intern/global side effects. @p heap must be
+     * pristine (see file comment); returns nullptr on miss or when
+     * the replay detects a layout divergence.
+     */
+    std::unique_ptr<CompiledProgram>
+    instantiate(uint64_t hash, const std::string &source, Heap &heap);
+
+    /**
+     * Capture @p program, which was just compiled against @p heap and
+     * has not executed yet (profiles still zeroed). No-op if an entry
+     * for @p hash already exists.
+     */
+    void insert(uint64_t hash, const std::string &source,
+                const CompiledProgram &program, const Heap &heap);
+
+    ProgramCacheStats stats() const;
+    size_t size() const;
+    size_t capacity() const { return maxEntries; }
+
+  private:
+    struct Entry {
+        std::string source;
+        CompiledProgram program;
+        /** Full string table at capture, in id order. */
+        std::vector<std::string> internedStrings;
+        /** Full global table at capture, in index order. */
+        std::vector<std::string> globalNames;
+    };
+
+    static CompiledProgram cloneProgram(const CompiledProgram &src);
+
+    mutable std::mutex mutex;
+    std::unordered_map<uint64_t, std::shared_ptr<const Entry>> entries;
+    std::deque<uint64_t> insertionOrder;
+    size_t maxEntries;
+    ProgramCacheStats counters;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_ENGINE_PROGRAM_CACHE_H

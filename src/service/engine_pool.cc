@@ -1,0 +1,386 @@
+#include "service/engine_pool.h"
+
+#include <chrono>
+
+#include "support/logging.h"
+
+namespace nomap {
+
+// ---- EnginePool --------------------------------------------------------
+
+EnginePool::EnginePool(size_t max_idle_per_config)
+    : maxIdlePerConfig(max_idle_per_config)
+{
+}
+
+std::string
+EnginePool::keyOf(const EngineConfig &config)
+{
+    return strprintf(
+        "%u|%u|%llu|%llu|%llu|%llu|%llu|%u",
+        static_cast<unsigned>(config.arch),
+        static_cast<unsigned>(config.maxTier),
+        static_cast<unsigned long long>(config.baselineThreshold),
+        static_cast<unsigned long long>(config.dfgThreshold),
+        static_cast<unsigned long long>(config.ftlThreshold),
+        static_cast<unsigned long long>(config.rngSeed),
+        static_cast<unsigned long long>(config.txWatchdogInstructions),
+        static_cast<unsigned>(config.abortEscalationLimit));
+}
+
+std::unique_ptr<Engine>
+EnginePool::acquire(const EngineConfig &config)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = idle.find(keyOf(config));
+        if (it != idle.end() && !it->second.empty()) {
+            std::unique_ptr<Engine> engine =
+                std::move(it->second.back());
+            it->second.pop_back();
+            ++counters.reused;
+            return engine;
+        }
+        ++counters.created;
+    }
+    return std::make_unique<Engine>(config);
+}
+
+void
+EnginePool::release(std::unique_ptr<Engine> engine)
+{
+    if (!engine)
+        return;
+    // Reset outside the lock: it rebuilds the whole VM.
+    engine->reset();
+    engine->setProgramCache(nullptr);
+    engine->setCancelFlag(nullptr);
+    std::lock_guard<std::mutex> lock(mutex);
+    auto &shelf = idle[keyOf(engine->config())];
+    if (shelf.size() < maxIdlePerConfig) {
+        shelf.push_back(std::move(engine));
+    } else {
+        ++counters.discarded;
+    }
+}
+
+void
+EnginePool::discard(std::unique_ptr<Engine> engine)
+{
+    if (!engine)
+        return;
+    engine.reset();
+    std::lock_guard<std::mutex> lock(mutex);
+    ++counters.discarded;
+}
+
+EnginePool::Stats
+EnginePool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return counters;
+}
+
+size_t
+EnginePool::idleCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    size_t n = 0;
+    for (const auto &entry : idle)
+        n += entry.second.size();
+    return n;
+}
+
+// ---- ExecutionService --------------------------------------------------
+
+int64_t
+ExecutionService::nowUs()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+ExecutionService::ExecutionService(ServiceConfig config)
+    : cfg(std::move(config)),
+      programCache(cfg.programCacheCapacity),
+      pool(cfg.maxIdleEnginesPerConfig),
+      queue(cfg.queueCapacity),
+      startUs(nowUs())
+{
+    size_t n = cfg.workers ? cfg.workers : 1;
+    slots.reserve(n);
+    workers.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        slots.push_back(std::make_unique<WorkerSlot>());
+    for (size_t i = 0; i < n; ++i)
+        workers.emplace_back(&ExecutionService::workerMain, this, i);
+    watchdog = std::thread(&ExecutionService::watchdogMain, this);
+}
+
+ExecutionService::~ExecutionService()
+{
+    shutdown();
+}
+
+void
+ExecutionService::shutdown()
+{
+    std::lock_guard<std::mutex> lock(shutdownMutex);
+    if (shutdownDone)
+        return;
+    queue.close();
+    for (std::thread &worker : workers)
+        worker.join();
+    // The watchdog outlives the workers so draining jobs keep their
+    // deadlines enforced.
+    watchdogStop.store(true, std::memory_order_release);
+    watchdog.join();
+    shutdownDone = true;
+}
+
+std::future<Response>
+ExecutionService::submit(Request request)
+{
+    return enqueue(std::move(request), /*block=*/true);
+}
+
+std::future<Response>
+ExecutionService::trySubmit(Request request)
+{
+    return enqueue(std::move(request), /*block=*/false);
+}
+
+std::future<Response>
+ExecutionService::enqueue(Request request, bool block)
+{
+    if (request.id == 0) {
+        request.id =
+            nextRequestId.fetch_add(1, std::memory_order_relaxed);
+    }
+    Job job;
+    job.request = std::move(request);
+    job.enqueuedUs = nowUs();
+    std::future<Response> future = job.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(metricsMutex);
+        ++submitted;
+    }
+    bool accepted = block ? queue.push(std::move(job))
+                          : queue.tryPush(std::move(job));
+    if (!accepted) {
+        // The failed push left the job unmoved: reject in place.
+        Response response;
+        response.id = job.request.id;
+        if (queue.closed()) {
+            response.status = ResponseStatus::Shutdown;
+            response.error = "service is shutting down";
+        } else {
+            response.status = ResponseStatus::QueueFull;
+            response.error = strprintf(
+                "request queue full (capacity %llu)",
+                static_cast<unsigned long long>(queue.capacity()));
+        }
+        {
+            std::lock_guard<std::mutex> lock(metricsMutex);
+            ++rejected;
+        }
+        job.promise.set_value(std::move(response));
+    }
+    return future;
+}
+
+void
+ExecutionService::workerMain(size_t index)
+{
+    WorkerSlot &slot = *slots[index];
+    while (auto job = queue.pop()) {
+        inFlight.fetch_add(1, std::memory_order_relaxed);
+        Response response = execute(*job, slot);
+        recordResponse(response);
+        inFlight.fetch_sub(1, std::memory_order_relaxed);
+        job->promise.set_value(std::move(response));
+    }
+}
+
+void
+ExecutionService::watchdogMain()
+{
+    while (!watchdogStop.load(std::memory_order_acquire)) {
+        int64_t now = nowUs();
+        for (auto &slot : slots) {
+            int64_t deadline =
+                slot->deadlineUs.load(std::memory_order_acquire);
+            if (deadline != 0 && now >= deadline)
+                slot->cancel.store(true, std::memory_order_release);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+Response
+ExecutionService::execute(Job &job, WorkerSlot &slot)
+{
+    Response response;
+    response.id = job.request.id;
+    int64_t started = nowUs();
+    response.queueMicros =
+        static_cast<double>(started - job.enqueuedUs);
+
+    uint64_t timeout_ms = job.request.timeoutMs
+                              ? job.request.timeoutMs
+                              : cfg.defaultTimeoutMs;
+    int64_t deadline =
+        timeout_ms ? job.enqueuedUs +
+                         static_cast<int64_t>(timeout_ms) * 1000
+                   : 0;
+    uint32_t max_retries =
+        job.request.maxRetries >= 0
+            ? static_cast<uint32_t>(job.request.maxRetries)
+            : cfg.defaultMaxRetries;
+
+    if (deadline != 0 && started >= deadline) {
+        response.status = ResponseStatus::Timeout;
+        response.error = strprintf(
+            "deadline of %llu ms expired while queued",
+            static_cast<unsigned long long>(timeout_ms));
+        response.totalMicros =
+            static_cast<double>(nowUs() - job.enqueuedUs);
+        return response;
+    }
+
+    for (uint32_t attempt = 0;; ++attempt) {
+        response.attempts = attempt + 1;
+        std::unique_ptr<Engine> engine =
+            pool.acquire(job.request.config);
+        if (cfg.enableProgramCache)
+            engine->setProgramCache(&programCache);
+        slot.cancel.store(false, std::memory_order_release);
+        engine->setCancelFlag(&slot.cancel);
+        if (deadline != 0)
+            slot.deadlineUs.store(deadline, std::memory_order_release);
+        try {
+            if (cfg.failureInjection &&
+                cfg.failureInjection(job.request, attempt)) {
+                throw std::runtime_error(
+                    "injected transient failure");
+            }
+            EngineResult result = engine->run(job.request.source);
+            slot.deadlineUs.store(0, std::memory_order_release);
+            engine->setCancelFlag(nullptr);
+            response.status = ResponseStatus::Ok;
+            response.resultString = std::move(result.resultString);
+            response.printed = std::move(result.printed);
+            response.stats = result.stats;
+            response.programCacheHit = result.programCacheHit;
+            pool.release(std::move(engine));
+            break;
+        } catch (const ExecutionCancelled &) {
+            slot.deadlineUs.store(0, std::memory_order_release);
+            pool.discard(std::move(engine));
+            response.status = ResponseStatus::Timeout;
+            response.error = strprintf(
+                "deadline of %llu ms exceeded during execution",
+                static_cast<unsigned long long>(timeout_ms));
+            break;
+        } catch (const FatalError &e) {
+            // Deterministic user error: retrying cannot help.
+            slot.deadlineUs.store(0, std::memory_order_release);
+            pool.discard(std::move(engine));
+            response.status = ResponseStatus::Error;
+            response.error = e.what();
+            break;
+        } catch (const std::exception &e) {
+            slot.deadlineUs.store(0, std::memory_order_release);
+            pool.discard(std::move(engine));
+            if (attempt < max_retries) {
+                logMessage(LogLevel::Warning,
+                           "request %llu attempt %u failed (%s); "
+                           "retrying on a fresh isolate",
+                           static_cast<unsigned long long>(
+                               job.request.id),
+                           attempt + 1, e.what());
+                continue;
+            }
+            response.status = ResponseStatus::Error;
+            response.error = strprintf(
+                "failed after %u attempts: %s", attempt + 1,
+                e.what());
+            break;
+        }
+    }
+
+    int64_t finished = nowUs();
+    response.execMicros = static_cast<double>(finished - started);
+    response.totalMicros =
+        static_cast<double>(finished - job.enqueuedUs);
+    return response;
+}
+
+void
+ExecutionService::recordResponse(const Response &response)
+{
+    std::lock_guard<std::mutex> lock(metricsMutex);
+    ++completed;
+    switch (response.status) {
+      case ResponseStatus::Ok:
+        ++succeeded;
+        aggregate.merge(response.stats);
+        break;
+      case ResponseStatus::Timeout:
+        ++timeouts;
+        break;
+      default:
+        ++errors;
+        break;
+    }
+    retriesTotal += response.attempts - 1;
+    latency.record(response.totalMicros);
+}
+
+ServiceMetricsSnapshot
+ExecutionService::metrics() const
+{
+    ServiceMetricsSnapshot snap;
+    snap.uptimeSeconds =
+        static_cast<double>(nowUs() - startUs) / 1e6;
+    snap.workers = workers.size();
+    snap.queueDepth = queue.size();
+    snap.queueCapacity = queue.capacity();
+    snap.inFlight = inFlight.load(std::memory_order_relaxed);
+
+    {
+        std::lock_guard<std::mutex> lock(metricsMutex);
+        snap.submitted = submitted;
+        snap.rejected = rejected;
+        snap.completed = completed;
+        snap.succeeded = succeeded;
+        snap.errors = errors;
+        snap.timeouts = timeouts;
+        snap.retries = retriesTotal;
+        snap.p50Micros = latency.percentile(50.0);
+        snap.p95Micros = latency.percentile(95.0);
+        snap.p99Micros = latency.percentile(99.0);
+        snap.meanMicros = latency.mean();
+        snap.maxMicros = latency.max();
+        snap.aggregate = aggregate;
+    }
+    if (snap.uptimeSeconds > 0.0) {
+        snap.throughputRps =
+            static_cast<double>(snap.completed) / snap.uptimeSeconds;
+    }
+
+    EnginePool::Stats pool_stats = pool.stats();
+    snap.enginesCreated = pool_stats.created;
+    snap.enginesReused = pool_stats.reused;
+    snap.enginesDiscarded = pool_stats.discarded;
+    snap.enginesIdle = pool.idleCount();
+
+    ProgramCacheStats cache_stats = programCache.stats();
+    snap.cacheHits = cache_stats.hits;
+    snap.cacheMisses = cache_stats.misses;
+    snap.cacheEntries = programCache.size();
+    return snap;
+}
+
+} // namespace nomap

@@ -1,0 +1,153 @@
+#include "service/metrics.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace nomap {
+
+namespace {
+/** Geometric bucket growth factor (~25% relative resolution). */
+constexpr double kGrowth = 1.25;
+} // namespace
+
+size_t
+LatencyHistogram::bucketOf(double micros)
+{
+    if (!(micros > 1.0))
+        return 0;
+    double b = std::log(micros) / std::log(kGrowth);
+    if (b >= static_cast<double>(kBuckets - 1))
+        return kBuckets - 1;
+    return static_cast<size_t>(b) + 1;
+}
+
+double
+LatencyHistogram::bucketMidMicros(size_t bucket)
+{
+    if (bucket == 0)
+        return 1.0;
+    // Geometric midpoint of [kGrowth^(b-1), kGrowth^b).
+    return std::pow(kGrowth, static_cast<double>(bucket) - 0.5);
+}
+
+void
+LatencyHistogram::record(double micros)
+{
+    if (micros < 0.0)
+        micros = 0.0;
+    ++buckets[bucketOf(micros)];
+    ++total;
+    sum += micros;
+    if (micros > maxSeen)
+        maxSeen = micros;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return total ? sum / static_cast<double>(total) : 0.0;
+}
+
+double
+LatencyHistogram::percentile(double p) const
+{
+    if (total == 0)
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 100.0)
+        p = 100.0;
+    double rank = p / 100.0 * static_cast<double>(total);
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+        seen += buckets[b];
+        if (static_cast<double>(seen) >= rank && buckets[b] > 0) {
+            double mid = bucketMidMicros(b);
+            return mid > maxSeen ? maxSeen : mid;
+        }
+    }
+    return maxSeen;
+}
+
+std::string
+ServiceMetricsSnapshot::toJson() const
+{
+    std::string out;
+    out += "{\n";
+    out += strprintf("  \"uptime_seconds\": %.3f,\n", uptimeSeconds);
+    out += strprintf("  \"workers\": %llu,\n",
+                     static_cast<unsigned long long>(workers));
+    out += "  \"queue\": {";
+    out += strprintf("\"depth\": %llu, ",
+                     static_cast<unsigned long long>(queueDepth));
+    out += strprintf("\"capacity\": %llu, ",
+                     static_cast<unsigned long long>(queueCapacity));
+    out += strprintf("\"submitted\": %llu, ",
+                     static_cast<unsigned long long>(submitted));
+    out += strprintf("\"rejected\": %llu, ",
+                     static_cast<unsigned long long>(rejected));
+    out += strprintf("\"in_flight\": %llu},\n",
+                     static_cast<unsigned long long>(inFlight));
+    out += "  \"outcomes\": {";
+    out += strprintf("\"completed\": %llu, ",
+                     static_cast<unsigned long long>(completed));
+    out += strprintf("\"ok\": %llu, ",
+                     static_cast<unsigned long long>(succeeded));
+    out += strprintf("\"errors\": %llu, ",
+                     static_cast<unsigned long long>(errors));
+    out += strprintf("\"timeouts\": %llu, ",
+                     static_cast<unsigned long long>(timeouts));
+    out += strprintf("\"retries\": %llu},\n",
+                     static_cast<unsigned long long>(retries));
+    out += "  \"latency_us\": {";
+    out += strprintf("\"p50\": %.1f, ", p50Micros);
+    out += strprintf("\"p95\": %.1f, ", p95Micros);
+    out += strprintf("\"p99\": %.1f, ", p99Micros);
+    out += strprintf("\"mean\": %.1f, ", meanMicros);
+    out += strprintf("\"max\": %.1f},\n", maxMicros);
+    out += strprintf("  \"throughput_rps\": %.2f,\n", throughputRps);
+    out += "  \"engine_pool\": {";
+    out += strprintf("\"created\": %llu, ",
+                     static_cast<unsigned long long>(enginesCreated));
+    out += strprintf("\"reused\": %llu, ",
+                     static_cast<unsigned long long>(enginesReused));
+    out += strprintf("\"discarded\": %llu, ",
+                     static_cast<unsigned long long>(enginesDiscarded));
+    out += strprintf("\"idle\": %llu},\n",
+                     static_cast<unsigned long long>(enginesIdle));
+    out += "  \"program_cache\": {";
+    out += strprintf("\"hits\": %llu, ",
+                     static_cast<unsigned long long>(cacheHits));
+    out += strprintf("\"misses\": %llu, ",
+                     static_cast<unsigned long long>(cacheMisses));
+    out += strprintf("\"entries\": %llu},\n",
+                     static_cast<unsigned long long>(cacheEntries));
+    out += "  \"vm\": {";
+    out += strprintf(
+        "\"instructions\": %llu, ",
+        static_cast<unsigned long long>(aggregate.totalInstructions()));
+    out += strprintf(
+        "\"checks\": %llu, ",
+        static_cast<unsigned long long>(aggregate.totalChecks()));
+    out += strprintf("\"cycles\": %.0f, ", aggregate.totalCycles());
+    out += strprintf("\"deopts\": %llu, ",
+                     static_cast<unsigned long long>(aggregate.deopts));
+    out += strprintf(
+        "\"ftl_compiles\": %llu, ",
+        static_cast<unsigned long long>(aggregate.ftlCompiles));
+    out += strprintf(
+        "\"tx_commits\": %llu, ",
+        static_cast<unsigned long long>(aggregate.txCommits));
+    out += strprintf(
+        "\"tx_aborts\": {\"total\": %llu, \"capacity\": %llu, "
+        "\"check\": %llu, \"sof\": %llu}}\n",
+        static_cast<unsigned long long>(aggregate.txAborts),
+        static_cast<unsigned long long>(aggregate.txAbortsCapacity),
+        static_cast<unsigned long long>(aggregate.txAbortsCheck),
+        static_cast<unsigned long long>(aggregate.txAbortsSof));
+    out += "}";
+    return out;
+}
+
+} // namespace nomap

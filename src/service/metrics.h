@@ -1,0 +1,98 @@
+#ifndef NOMAP_SERVICE_METRICS_H
+#define NOMAP_SERVICE_METRICS_H
+
+/**
+ * @file
+ * Pool-level observability: a log-scale latency histogram and the
+ * aggregate snapshot the service exports (optionally as JSON).
+ *
+ * The histogram uses geometric buckets (~25% relative width) so one
+ * small fixed array covers microseconds to hours with bounded
+ * percentile error — the standard serving-metrics trade-off.
+ * Instances are not internally synchronized; the service records into
+ * them under its metrics mutex.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "engine/stats.h"
+
+namespace nomap {
+
+/** Fixed-size geometric histogram of latencies in microseconds. */
+class LatencyHistogram
+{
+  public:
+    void record(double micros);
+
+    uint64_t count() const { return total; }
+    double mean() const;
+    double max() const { return maxSeen; }
+
+    /** Approximate latency at percentile @p p (0..100). */
+    double percentile(double p) const;
+
+  private:
+    /** 1.25^96 microseconds ≈ 6 hours of range. */
+    static constexpr size_t kBuckets = 96;
+
+    static size_t bucketOf(double micros);
+    static double bucketMidMicros(size_t bucket);
+
+    std::array<uint64_t, kBuckets> buckets{};
+    uint64_t total = 0;
+    double sum = 0.0;
+    double maxSeen = 0.0;
+};
+
+/** Point-in-time view of the whole service. */
+struct ServiceMetricsSnapshot {
+    // ---- Lifecycle -----------------------------------------------------
+    double uptimeSeconds = 0.0;
+    uint64_t workers = 0;
+
+    // ---- Admission -----------------------------------------------------
+    uint64_t queueDepth = 0;
+    uint64_t queueCapacity = 0;
+    uint64_t submitted = 0;
+    uint64_t rejected = 0; ///< QueueFull + Shutdown rejections.
+    uint64_t inFlight = 0; ///< Requests currently inside workers.
+
+    // ---- Outcomes ------------------------------------------------------
+    uint64_t completed = 0;
+    uint64_t succeeded = 0;
+    uint64_t errors = 0;
+    uint64_t timeouts = 0;
+    uint64_t retries = 0; ///< Extra attempts beyond the first.
+
+    // ---- End-to-end latency (microseconds) -----------------------------
+    double p50Micros = 0.0;
+    double p95Micros = 0.0;
+    double p99Micros = 0.0;
+    double meanMicros = 0.0;
+    double maxMicros = 0.0;
+    double throughputRps = 0.0; ///< completed / uptime.
+
+    // ---- Engine pool ---------------------------------------------------
+    uint64_t enginesCreated = 0;
+    uint64_t enginesReused = 0;
+    uint64_t enginesDiscarded = 0;
+    uint64_t enginesIdle = 0;
+
+    // ---- Program cache -------------------------------------------------
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t cacheEntries = 0;
+
+    // ---- Aggregated VM counters (successful requests) ------------------
+    ExecutionStats aggregate;
+
+    /** Render the snapshot as a JSON object (stable key order). */
+    std::string toJson() const;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_SERVICE_METRICS_H

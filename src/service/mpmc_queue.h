@@ -1,0 +1,124 @@
+#ifndef NOMAP_SERVICE_MPMC_QUEUE_H
+#define NOMAP_SERVICE_MPMC_QUEUE_H
+
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer FIFO.
+ *
+ * The service's admission point: a hard capacity turns overload into
+ * explicit backpressure (blocking push) or rejection (tryPush)
+ * instead of unbounded memory growth. close() initiates drain
+ * semantics — producers start failing immediately, consumers keep
+ * popping until the queue is empty and then see end-of-stream.
+ *
+ * Mutex + two condvars rather than a lock-free ring: queue operations
+ * bracket whole script executions, so contention on this lock is
+ * nowhere near the serving hot path, and the blocking semantics come
+ * for free.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace nomap {
+
+template <typename T>
+class BoundedMpmcQueue
+{
+  public:
+    explicit BoundedMpmcQueue(size_t capacity)
+        : cap(capacity ? capacity : 1)
+    {
+    }
+
+    /**
+     * Block until space is available, then enqueue. Returns false
+     * (leaving @p item unmoved) if the queue was closed first.
+     */
+    bool
+    push(T &&item)
+    {
+        std::unique_lock<std::mutex> lock(m);
+        notFull.wait(lock,
+                     [&] { return closedFlag || q.size() < cap; });
+        if (closedFlag)
+            return false;
+        q.push_back(std::move(item));
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /**
+     * Enqueue without blocking. Returns false (leaving @p item
+     * unmoved) when full or closed.
+     */
+    bool
+    tryPush(T &&item)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        if (closedFlag || q.size() >= cap)
+            return false;
+        q.push_back(std::move(item));
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an item is available and dequeue it. Returns
+     * nullopt only when the queue is closed *and* drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(m);
+        notEmpty.wait(lock, [&] { return closedFlag || !q.empty(); });
+        if (q.empty())
+            return std::nullopt;
+        T item = std::move(q.front());
+        q.pop_front();
+        notFull.notify_one();
+        return item;
+    }
+
+    /** Stop admitting; wake every blocked producer and consumer. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(m);
+        closedFlag = true;
+        notFull.notify_all();
+        notEmpty.notify_all();
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return q.size();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return closedFlag;
+    }
+
+    size_t capacity() const { return cap; }
+
+  private:
+    mutable std::mutex m;
+    std::condition_variable notFull;
+    std::condition_variable notEmpty;
+    std::deque<T> q;
+    const size_t cap;
+    bool closedFlag = false;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_SERVICE_MPMC_QUEUE_H

@@ -1,0 +1,90 @@
+#ifndef NOMAP_SERVICE_REQUEST_H
+#define NOMAP_SERVICE_REQUEST_H
+
+/**
+ * @file
+ * The service's wire types: one Request in, one Response out.
+ *
+ * A Request is a script plus the EngineConfig to run it under (the
+ * service is multi-tenant across architectures/configs) and
+ * per-request robustness knobs. A Response always comes back — user
+ * errors, deadline overruns, queue rejection, and shutdown are all
+ * reported as statuses, never as exceptions escaping a worker.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "engine/config.h"
+#include "engine/stats.h"
+
+namespace nomap {
+
+/** How a request ended. */
+enum class ResponseStatus : uint8_t {
+    Ok,        ///< Executed to completion.
+    Error,     ///< User/program error (syntax, semantics, retries spent).
+    Timeout,   ///< Deadline exceeded (queued or executing).
+    QueueFull, ///< Rejected by backpressure (trySubmit on a full queue).
+    Shutdown,  ///< Rejected because the service is shutting down.
+};
+
+/** Printable status name. */
+inline const char *
+responseStatusName(ResponseStatus status)
+{
+    switch (status) {
+      case ResponseStatus::Ok: return "ok";
+      case ResponseStatus::Error: return "error";
+      case ResponseStatus::Timeout: return "timeout";
+      case ResponseStatus::QueueFull: return "queue_full";
+      case ResponseStatus::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+/** One script-execution request. */
+struct Request {
+    /** Caller-chosen id; 0 lets the service assign one. */
+    uint64_t id = 0;
+    /** JS-subset program text. */
+    std::string source;
+    /** VM configuration (architecture, tiers, thresholds, seed). */
+    EngineConfig config;
+    /** End-to-end deadline in ms from submission; 0 = service default. */
+    uint64_t timeoutMs = 0;
+    /** Transient-failure retries; negative = service default. */
+    int32_t maxRetries = -1;
+};
+
+/** The outcome of one Request. */
+struct Response {
+    uint64_t id = 0;
+    ResponseStatus status = ResponseStatus::Ok;
+    /** Human-readable failure description ("" on Ok). */
+    std::string error;
+
+    /** Display string of the program's `result` global. */
+    std::string resultString;
+    /** Everything print() emitted. */
+    std::string printed;
+    /** Per-request counters (isolate stats are reset per request). */
+    ExecutionStats stats;
+    /** True when compilation was skipped via the program cache. */
+    bool programCacheHit = false;
+    /** Execution attempts consumed (1 = no retries). */
+    uint32_t attempts = 1;
+
+    /** Time from submission to worker pickup, microseconds. */
+    double queueMicros = 0.0;
+    /** Time inside the worker (all attempts), microseconds. */
+    double execMicros = 0.0;
+    /** End-to-end latency, microseconds. */
+    double totalMicros = 0.0;
+
+    bool ok() const { return status == ResponseStatus::Ok; }
+};
+
+} // namespace nomap
+
+#endif // NOMAP_SERVICE_REQUEST_H

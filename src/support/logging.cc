@@ -1,7 +1,9 @@
 #include "support/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace nomap {
@@ -20,6 +22,37 @@ vformat(const char *fmt, va_list args)
     std::vector<char> buf(static_cast<size_t>(needed) + 1);
     std::vsnprintf(buf.data(), buf.size(), fmt, args);
     return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::atomic<LogLevel> logLevelValue{LogLevel::Warning};
+
+// Guards the sink: swap and every invocation, so concurrent workers
+// never interleave lines and never race a sink replacement.
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+LogSink &
+sinkSlot()
+{
+    static LogSink sink;
+    return sink;
+}
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    LogSink &sink = sinkSlot();
+    if (sink) {
+        sink(level, msg);
+    } else {
+        std::fprintf(stderr, "%s: %s\n", logLevelName(level),
+                     msg.c_str());
+    }
 }
 
 } // namespace
@@ -51,18 +84,66 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
+    // Deliberately bypasses the sink/mutex: panic may fire while the
+    // logging lock is held, and the process is about to abort anyway.
     std::fprintf(stderr, "panic: %s\n", msg.c_str());
     std::abort();
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warning: return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::Silent: return "silent";
+    }
+    return "?";
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    logLevelValue.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return logLevelValue.load(std::memory_order_relaxed);
+}
+
+void
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    sinkSlot() = std::move(sink);
+}
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    if (level < logLevel() || level == LogLevel::Silent)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    emit(level, msg);
 }
 
 void
 warn(const char *fmt, ...)
 {
+    if (LogLevel::Warning < logLevel())
+        return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit(LogLevel::Warning, msg);
 }
 
 } // namespace nomap

@@ -9,9 +9,15 @@
  * program source, invalid configuration) and throws FatalError so
  * embedders can recover. `panic` reports an internal invariant
  * violation (a bug in the simulator itself) and aborts.
+ *
+ * Diagnostic output (`warn`, `logMessage`) is thread-safe: the active
+ * sink is invoked under a mutex so concurrent service workers never
+ * interleave partial lines, and the severity filter is an atomic so it
+ * can be adjusted while workers are running.
  */
 
 #include <cstdarg>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -37,7 +43,36 @@ std::string strprintf(const char *fmt, ...)
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Emit a warning on stderr (non-fatal). */
+// ---- Leveled diagnostics -----------------------------------------------
+
+/** Severity of a diagnostic message (ordered; Silent disables all). */
+enum class LogLevel : uint8_t { Debug, Info, Warning, Error, Silent };
+
+/** Printable level name ("debug", "info", ...). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Minimum severity that is emitted. Stored in an atomic: safe to call
+ * from any thread at any time. Default is Warning.
+ */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/**
+ * Destination for diagnostic messages. The sink is called with the
+ * formatted message (no trailing newline) while an internal mutex is
+ * held, so invocations are serialized: a sink needs no locking of its
+ * own unless it shares state with non-logging code. Passing an empty
+ * function restores the default sink (one line to stderr).
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+void setLogSink(LogSink sink);
+
+/** Emit a diagnostic at @p level (filtered, serialized). */
+void logMessage(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Emit a warning (non-fatal); shorthand for logMessage(Warning, ...). */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**

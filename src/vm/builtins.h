@@ -74,6 +74,9 @@ class Builtins
     /** Accumulated print() output when no sink is installed. */
     const std::string &printedOutput() const { return printed; }
 
+    /** Drop accumulated print() output (per-request stats reset). */
+    void clearPrinted() { printed.clear(); }
+
     Xorshift64Star &rng() { return rngState; }
 
   private:

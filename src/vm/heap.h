@@ -180,6 +180,21 @@ class Heap : public RollbackClient
     /** Look up a global index without creating it; -1 if absent. */
     int32_t findGlobal(const std::string &name) const;
 
+    /**
+     * Name of global @p index ("" if out of range). Linear scan over
+     * the name map: meant for snapshot/capture paths (program cache),
+     * not execution.
+     */
+    std::string
+    globalName(uint32_t index) const
+    {
+        for (const auto &entry : globalNames) {
+            if (entry.second == index)
+                return entry.first;
+        }
+        return std::string();
+    }
+
     // ---- RollbackClient -------------------------------------------------
     void txCheckpoint() override;
     void txRollback() override;
@@ -190,6 +205,7 @@ class Heap : public RollbackClient
 
     ShapeTable &shapeTable() { return shapes; }
     StringTable &stringTable() { return strings; }
+    const StringTable &stringTable() const { return strings; }
     const HeapStats &stats() const { return statsData; }
 
     /** Render a value for host consumption (tests, print builtin). */
