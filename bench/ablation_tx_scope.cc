@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "engine/engine.h"
+#include "harness.h"
 #include "support/logging.h"
 #include "support/statistics.h"
 
@@ -80,10 +81,12 @@ sweep(Architecture arch)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     sweep(Architecture::NoMap);
-    sweep(Architecture::NoMapRTM);
+    if (!bench::quickMode())
+        sweep(Architecture::NoMapRTM);
     std::printf("Expected shape: transactions fit easily under ROT "
                 "until the write set approaches 256KB, where the "
                 "planner tiles; under RTM the boundary is 32KB, so "

@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "engine/engine.h"
+#include "harness.h"
 #include "suites/shootout.h"
 #include "support/statistics.h"
 
@@ -40,8 +41,9 @@ instructionsOf(const std::string &source, Tier cap,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     std::printf("Figure 1 (modeled): Shootout execution time "
                 "normalized to C (log-scale data)\n\n");
 
@@ -50,7 +52,8 @@ main()
                   "Ruby", "validated"});
 
     std::vector<double> js_ratios, py_ratios, php_ratios, rb_ratios;
-    for (const ShootoutKernel &kernel : shootoutSuite()) {
+    for (const ShootoutKernel &kernel :
+         bench::clipForQuick(shootoutSuite())) {
         // Both sides in dynamic x86-equivalent instructions: the
         // instruction->cycle conversion is identical for native and
         // simulated code, so it cancels out of the ratios.

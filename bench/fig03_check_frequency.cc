@@ -104,10 +104,11 @@ report(const char *title, const std::vector<BenchmarkSpec> &suite)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    report("SunSpider", sunspiderSuite());
-    report("Kraken", krakenSuite());
+    initBench(argc, argv);
+    report("SunSpider", clipForQuick(sunspiderSuite()));
+    report("Kraken", clipForQuick(krakenSuite()));
     std::printf("Paper: AvgT 8.1 (SunSpider) / 8.5 (Kraken) per 100; "
                 "AvgS 11.3 / 12.0.\n"
                 "Paper shares (AvgT): overflow 47%%/29%%, bounds "

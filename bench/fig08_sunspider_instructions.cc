@@ -17,9 +17,11 @@ using namespace nomap;
 using namespace nomap::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto &suite = sunspiderSuite();
+    initBench(argc, argv);
+    const std::vector<BenchmarkSpec> suite =
+        clipForQuick(sunspiderSuite());
     std::printf("Figure 8: SunSpider dynamic instructions, "
                 "normalized to Base\n\n");
 

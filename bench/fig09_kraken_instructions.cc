@@ -16,9 +16,11 @@ using namespace nomap;
 using namespace nomap::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto &suite = krakenSuite();
+    initBench(argc, argv);
+    const std::vector<BenchmarkSpec> suite =
+        clipForQuick(krakenSuite());
     std::printf("Figure 9: Kraken dynamic instructions, normalized "
                 "to Base\n\n");
 

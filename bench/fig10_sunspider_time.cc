@@ -16,9 +16,11 @@ using namespace nomap;
 using namespace nomap::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto &suite = sunspiderSuite();
+    initBench(argc, argv);
+    const std::vector<BenchmarkSpec> suite =
+        clipForQuick(sunspiderSuite());
     std::printf("Figure 10: SunSpider execution time (cycles), "
                 "normalized to Base\n\n");
 

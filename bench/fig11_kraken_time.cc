@@ -15,9 +15,11 @@ using namespace nomap;
 using namespace nomap::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto &suite = krakenSuite();
+    initBench(argc, argv);
+    const std::vector<BenchmarkSpec> suite =
+        clipForQuick(krakenSuite());
     std::printf("Figure 11: Kraken execution time (cycles), "
                 "normalized to Base\n\n");
 

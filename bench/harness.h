@@ -11,6 +11,9 @@
  * paper: AvgS over the Table III subset, AvgT over the whole suite.
  */
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,6 +23,45 @@
 
 namespace nomap {
 namespace bench {
+
+/** True once initBench() has seen --quick (CTest smoke runs). */
+inline bool &
+quickMode()
+{
+    static bool quick = false;
+    return quick;
+}
+
+/**
+ * Parse bench argv. `--quick` switches the binary into smoke mode:
+ * suites are clipped (clipForQuick) and a completion marker is
+ * printed at clean exit, which the CTest smoke tests match with
+ * PASS_REGULAR_EXPRESSION — a crash or early abort never reaches the
+ * atexit handler, so it fails the smoke test.
+ */
+inline void
+initBench(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quickMode() = true;
+    }
+    if (quickMode()) {
+        std::atexit(
+            [] { std::printf("[bench-smoke-complete]\n"); });
+    }
+}
+
+/** Under --quick, keep only the first @p keep entries of a suite. */
+template <typename T>
+std::vector<T>
+clipForQuick(const std::vector<T> &suite, size_t keep = 2)
+{
+    if (!quickMode() || suite.size() <= keep)
+        return suite;
+    return std::vector<T>(suite.begin(),
+                          suite.begin() + static_cast<long>(keep));
+}
 
 /** Result of running one benchmark under one architecture. */
 struct RunResult {

@@ -17,9 +17,10 @@ using namespace nomap;
 using namespace nomap::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const int kRounds = 20;
+    initBench(argc, argv);
+    const int kRounds = quickMode() ? 2 : 20;
     uint64_t ftl_calls = 0;
     uint64_t deopts = 0;
     uint64_t checks = 0;
@@ -38,8 +39,8 @@ main()
             }
         }
     };
-    accumulate(sunspiderSuite());
-    accumulate(krakenSuite());
+    accumulate(clipForQuick(sunspiderSuite()));
+    accumulate(clipForQuick(krakenSuite()));
 
     std::printf("Deoptimization frequency (Base/FTL, %d rounds per "
                 "benchmark)\n\n", kRounds);

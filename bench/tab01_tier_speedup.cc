@@ -51,12 +51,13 @@ measure(const std::vector<BenchmarkSpec> &suite)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     std::printf("Table I: speedup of tiers over the Interpreter "
                 "(steady state)\n\n");
-    SuiteSpeedups ss = measure(sunspiderSuite());
-    SuiteSpeedups kk = measure(krakenSuite());
+    SuiteSpeedups ss = measure(clipForQuick(sunspiderSuite()));
+    SuiteSpeedups kk = measure(clipForQuick(krakenSuite()));
 
     TextTable table;
     table.header({"Highest Tier", "SunSpider AvgS", "SunSpider AvgT",

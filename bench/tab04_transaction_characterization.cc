@@ -60,10 +60,11 @@ report(const char *title, const std::vector<BenchmarkSpec> &suite)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    report("SunSpider", sunspiderSuite());
-    report("Kraken", krakenSuite());
+    initBench(argc, argv);
+    report("SunSpider", clipForQuick(sunspiderSuite()));
+    report("Kraken", clipForQuick(krakenSuite()));
     std::printf("Paper: avg write footprint 44.9 KB (SunSpider) / "
                 "47.4 KB (Kraken); fits the 256 KB 8-way L2 amply.\n");
     return 0;

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "harness.h"
 #include "service/engine_pool.h"
 #include "suites/shootout.h"
 
@@ -117,12 +118,17 @@ runMix(size_t num_workers, Architecture arch, size_t repeats,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     const Architecture archs[] = {Architecture::Base,
                                   Architecture::NoMap};
-    const size_t worker_counts[] = {1, 2, 4};
-    constexpr size_t kRepeats = 3;
+    std::vector<size_t> worker_counts = {1, 2, 4};
+    size_t kRepeats = 3;
+    if (bench::quickMode()) {
+        worker_counts = {1, 2};
+        kRepeats = 1;
+    }
 
     std::printf("Throughput scaling over the Shootout kernel mix "
                 "(%zu kernels x %zu repeats)\n",

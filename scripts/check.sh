@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+#
+# CI driver: the three standard configurations, in order of cost.
+#
+#   1. plain           — full suite (unit, integration, concurrency,
+#                        chaos, examples, bench smokes)
+#   2. address+undefined — full suite under ASan+UBSan
+#   3. thread          — concurrency- and chaos-labeled tests only
+#                        under TSan (the rest is single-threaded and
+#                        just slows down 10x for nothing)
+#
+# Usage: scripts/check.sh [jobs]
+#
+# Build trees live in build-check*/ so they never collide with a
+# developer's ./build. Any failure aborts the run (sanitizers are
+# compiled with -fno-sanitize-recover=all, so findings are fatal).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+step() {
+    echo
+    echo "============================================================"
+    echo "== $*"
+    echo "============================================================"
+}
+
+step "1/3 plain build + full test suite"
+run cmake -B build-check -S . -DNOMAP_SANITIZE=
+run cmake --build build-check -j "$JOBS"
+run env CTEST_OUTPUT_ON_FAILURE=1 \
+    ctest --test-dir build-check -j "$JOBS"
+
+step "2/3 AddressSanitizer + UndefinedBehaviorSanitizer, full suite"
+run cmake -B build-check-asan -S . "-DNOMAP_SANITIZE=address;undefined"
+run cmake --build build-check-asan -j "$JOBS"
+run env CTEST_OUTPUT_ON_FAILURE=1 \
+    ASAN_OPTIONS=abort_on_error=1 \
+    UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir build-check-asan -j "$JOBS"
+
+step "3/3 ThreadSanitizer, concurrency + chaos labels"
+run cmake -B build-check-tsan -S . -DNOMAP_SANITIZE=thread
+run cmake --build build-check-tsan -j "$JOBS"
+run env CTEST_OUTPUT_ON_FAILURE=1 \
+    TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-check-tsan -j "$JOBS" \
+    -L 'concurrency|chaos'
+
+step "all three configurations passed"

@@ -9,6 +9,10 @@ namespace nomap {
 Engine::Engine(const EngineConfig &config)
     : engineConfig(config)
 {
+    if (std::optional<FaultPlan> plan = FaultPlan::fromEnv()) {
+        envPlan = std::make_unique<FaultPlan>(std::move(*plan));
+        armedPlan = envPlan.get();
+    }
     initVm();
 }
 
@@ -40,6 +44,33 @@ Engine::initVm()
         std::make_unique<IrExecutor>(*envPtr, *baselineExec,
                                      engineConfig);
     acctPtr->setCancelFlag(cancelFlag);
+    applyFaultPlan();
+}
+
+void
+Engine::applyFaultPlan()
+{
+    injector.reset();
+    if (armedPlan && !armedPlan->empty())
+        injector = std::make_unique<FaultInjector>(*armedPlan);
+    FaultInjector *inj = injector.get();
+    htmPtr->setFaultInjector(inj);
+    acctPtr->setFaultInjector(inj);
+    envPtr->inj = inj;
+    if (inj) {
+        uint64_t ways = inj->valueOf(FaultSite::HtmWaysSqueeze, 0);
+        if (ways) {
+            htmPtr->squeezeWriteWays(
+                static_cast<uint32_t>(ways));
+        }
+    }
+}
+
+void
+Engine::armFaultPlan(const FaultPlan *plan)
+{
+    armedPlan = plan;
+    applyFaultPlan();
 }
 
 Engine::~Engine() = default;
@@ -170,6 +201,14 @@ Engine::maybeTierUp(uint32_t func_id)
     if (want <= state.tier)
         return;
 
+    // Injected compile failure (engine.compile): the tier-up attempt
+    // is abandoned and the function keeps running its current code;
+    // the next call re-attempts, like a real OOM'd JIT allocation.
+    if ((want == Tier::Dfg || want == Tier::Ftl) && injector &&
+        injector->fire(FaultSite::EngineCompileFail)) {
+        return;
+    }
+
     switch (want) {
       case Tier::Baseline:
         ++stats.baselineCompiles;
@@ -256,7 +295,9 @@ Engine::call(uint32_t func_id, const Value *args, uint32_t nargs)
                 state.consecutiveCheckAborts = 0;
             }
         }
-        if (recompile) {
+        if (recompile &&
+            !(injector &&
+              injector->fire(FaultSite::EngineCompileFail))) {
             state.ftl = std::make_unique<CompiledIr>(compileFunction(
                 fn, *heapPtr, Tier::Ftl, engineConfig.arch,
                 state.txScopeLevel));

@@ -30,6 +30,7 @@
 #include "engine/stats.h"
 #include "ftl/compile.h"
 #include "ftl/ir_executor.h"
+#include "inject/fault_plan.h"
 #include "interp/bytecode_executor.h"
 
 namespace nomap {
@@ -123,6 +124,28 @@ class Engine : public CallDispatcher
      */
     void setCancelFlag(const std::atomic<bool> *flag);
 
+    /**
+     * Arm a deterministic fault plan (see src/inject/fault_plan.h):
+     * a fresh FaultInjector is wired into the HTM manager, the
+     * executors, and the accounting poll site, with all occurrence
+     * counters at zero. @p plan must outlive the engine (or its next
+     * armFaultPlan/reset call). Passing nullptr disarms injection
+     * entirely — including a plan picked up from NOMAP_FAULT_PLAN at
+     * construction. reset() re-arms the current plan with fresh
+     * counters. Note: an htm.ways squeeze applied while armed is only
+     * restored by reset(), not by disarming.
+     */
+    void armFaultPlan(const FaultPlan *plan);
+
+    /**
+     * The live injector (occurrence counters) for the armed plan, or
+     * nullptr when no plan is armed.
+     */
+    const FaultInjector *faultInjector() const
+    {
+        return injector.get();
+    }
+
     // ---- CallDispatcher ------------------------------------------------
     Value call(uint32_t func_id, const Value *args,
                uint32_t nargs) override;
@@ -142,12 +165,18 @@ class Engine : public CallDispatcher
 
   private:
     void initVm();
+    void applyFaultPlan();
     void maybeTierUp(uint32_t func_id);
     uint64_t hotness(const BytecodeFunction &fn) const;
 
     EngineConfig engineConfig;
     CompiledProgramCache *programCache = nullptr;
     const std::atomic<bool> *cancelFlag = nullptr;
+    /** Plan captured from NOMAP_FAULT_PLAN at construction. */
+    std::unique_ptr<FaultPlan> envPlan;
+    /** Currently armed plan (envPlan or caller-provided); nullable. */
+    const FaultPlan *armedPlan = nullptr;
+    std::unique_ptr<FaultInjector> injector;
     bool hasRun = false;
 
     // Construction order matters: tables before heap, heap before

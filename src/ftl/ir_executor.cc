@@ -98,6 +98,20 @@ garbageValue()
     return Value::int32(0);
 }
 
+/** Injection site of a check kind (check.bounds, check.type, ...). */
+FaultSite
+faultSiteOfCheck(CheckKind kind)
+{
+    switch (kind) {
+      case CheckKind::Bounds: return FaultSite::CheckBounds;
+      case CheckKind::Overflow: return FaultSite::CheckOverflow;
+      case CheckKind::Type: return FaultSite::CheckType;
+      case CheckKind::Property: return FaultSite::CheckProperty;
+      case CheckKind::Other: return FaultSite::CheckOther;
+    }
+    return FaultSite::CheckOther;
+}
+
 } // namespace
 
 IrExecutor::IrExecutor(ExecEnv &env_, BytecodeExecutor &baseline_,
@@ -167,8 +181,14 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
 
             // Watchdog: a timer interrupt would abort a transaction
             // that runs unreasonably long (e.g. spinning on garbage
-            // after speculative check removal).
-            if (tx_owner && tx_instr > config.txWatchdogInstructions) {
+            // after speculative check removal). The engine.watchdog
+            // site polls here too — once per in-transaction
+            // instruction — so a FaultPlan can kill a transaction at
+            // any point of its lifetime.
+            if (tx_owner &&
+                (tx_instr > config.txWatchdogInstructions ||
+                 (env.inj &&
+                  env.inj->fire(FaultSite::EngineTxWatchdog)))) {
                 env.acct.chargeCycles(
                     env.htm.abort(AbortCode::Irrevocable));
                 return resume_baseline();
@@ -425,6 +445,30 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                   default:
                     pass = true;
                     break;
+                }
+
+                // Fault injection: force this check to fail. Every
+                // armed check-site counts this occurrence (no
+                // short-circuiting) so occurrence numbering never
+                // depends on which other actions are armed. A forced
+                // failure is only honored where the generic recovery
+                // below can run: unconverted checks need an SMP to
+                // OSR through; converted checks need a live
+                // transaction to abort.
+                if (pass && env.inj) {
+                    CheckKind kind = checkKindOf(instr.op);
+                    bool force =
+                        env.inj->fire(faultSiteOfCheck(kind));
+                    force |= env.inj->fire(FaultSite::CheckAny);
+                    if (!instr.converted && instr.smpPc != kNoSmp) {
+                        force |= env.inj->fire(FaultSite::FtlOsr,
+                                               instr.smpPc);
+                    }
+                    if (force &&
+                        (instr.converted ? env.htm.inTransaction()
+                                         : instr.smpPc != kNoSmp)) {
+                        pass = false;
+                    }
                 }
                 if (pass)
                     break;
@@ -690,6 +734,16 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                     tx_entry_pc = instr.smpPc;
                     tx_instr = 0;
                     tile_count = 0;
+                    // An injected begin-abort (htm.abort*) fires now
+                    // that owner state exists, so recovery follows
+                    // the real abort path.
+                    AbortCode injected =
+                        env.htm.takePendingInjectedAbort();
+                    if (injected != AbortCode::None) {
+                        env.acct.chargeCycles(
+                            env.htm.abort(injected));
+                        return resume_baseline();
+                    }
                 }
                 break;
               }
@@ -727,6 +781,15 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                                    regs.begin() + ir.bytecodeRegs);
                 tx_entry_pc = instr.smpPc;
                 tx_instr = 0;
+                {
+                    AbortCode injected =
+                        env.htm.takePendingInjectedAbort();
+                    if (injected != AbortCode::None) {
+                        env.acct.chargeCycles(
+                            env.htm.abort(injected));
+                        return resume_baseline();
+                    }
+                }
                 break;
               }
             }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "inject/fault_plan.h"
 #include "support/logging.h"
 
 namespace nomap {
@@ -37,6 +38,17 @@ TransactionManager::begin()
     if (rollback)
         rollback->txCheckpoint();
     ++statsData.begins;
+    if (inj) {
+        pendingInjected = AbortCode::None;
+        if (inj->fire(FaultSite::HtmAbortExplicit))
+            pendingInjected = AbortCode::ExplicitCheck;
+        if (inj->fire(FaultSite::HtmAbortCapacity))
+            pendingInjected = AbortCode::Capacity;
+        if (inj->fire(FaultSite::HtmAbortIrrevocable))
+            pendingInjected = AbortCode::Irrevocable;
+        if (inj->fire(FaultSite::HtmSofLatch))
+            sofFlag = true;
+    }
     return htmMode == HtmMode::Rot ? kRotBeginCycles : kRtmBeginCycles;
 }
 
@@ -97,16 +109,34 @@ TransactionManager::finishAbortBookkeeping(AbortCode code)
 {
     depth = 0;
     sofFlag = false;
+    pendingInjected = AbortCode::None;
     writeSet.clear();
     readSet.clear();
     ++statsData.aborts;
     ++statsData.abortsByCode[static_cast<size_t>(code)];
 }
 
+void
+TransactionManager::squeezeWriteWays(uint32_t ways)
+{
+    NOMAP_ASSERT(depth == 0);
+    uint32_t size = htmMode == HtmMode::Rot ? kL2Size : kL1Size;
+    uint32_t orig_ways = htmMode == HtmMode::Rot ? kL2Ways : kL1Ways;
+    if (ways == 0 || ways >= orig_ways)
+        return;
+    // Keep the set count constant: a real associativity squeeze
+    // leaves line indexing untouched and shrinks each set.
+    writeSet = FootprintTracker(size / orig_ways * ways, ways);
+}
+
 bool
 TransactionManager::recordWrite(Addr addr)
 {
     NOMAP_ASSERT(depth > 0);
+    if (inj && inj->fire(FaultSite::HtmStore)) {
+        abort(AbortCode::Capacity);
+        return false;
+    }
     if (writeSet.insert(addr))
         return true;
     abort(AbortCode::Capacity);

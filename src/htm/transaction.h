@@ -36,6 +36,8 @@
 
 namespace nomap {
 
+class FaultInjector;
+
 /** Why a transaction aborted. */
 enum class AbortCode : uint8_t {
     None,
@@ -113,6 +115,38 @@ class TransactionManager
     /** Attach the memory owner that knows how to undo writes. */
     void setRollbackClient(RollbackClient *client) { rollback = client; }
 
+    /**
+     * Arm/disarm deterministic fault injection (see
+     * src/inject/fault_plan.h). The htm.abort* sites fire at the
+     * outermost begin() and stash an abort code the executor consumes
+     * via takePendingInjectedAbort() once its transaction-owner state
+     * is established; htm.sof latches the SOF; htm.store aborts on a
+     * chosen transactional write. Pass nullptr to disarm.
+     */
+    void setFaultInjector(FaultInjector *injector) { inj = injector; }
+
+    /**
+     * Abort code requested by an injected begin-site, cleared on
+     * read. The executor that issued the begin must consult this
+     * immediately and abort the transaction itself so its rollback /
+     * baseline-resume machinery runs exactly as for a real abort.
+     */
+    AbortCode
+    takePendingInjectedAbort()
+    {
+        AbortCode code = pendingInjected;
+        pendingInjected = AbortCode::None;
+        return code;
+    }
+
+    /**
+     * Shrink the write-set associativity to @p ways, keeping the set
+     * count constant (so total capacity shrinks proportionally) —
+     * the htm.ways value-site. No-op outside [1, current ways);
+     * must be called between transactions.
+     */
+    void squeezeWriteWays(uint32_t ways);
+
     /** True while inside a (possibly nested) transaction. */
     bool inTransaction() const { return depth > 0; }
 
@@ -181,6 +215,8 @@ class TransactionManager
 
     HtmMode htmMode;
     RollbackClient *rollback = nullptr;
+    FaultInjector *inj = nullptr;
+    AbortCode pendingInjected = AbortCode::None;
     uint32_t depth = 0;
     bool sofFlag = false;
 

@@ -47,6 +47,8 @@ struct ExecEnv {
     CallDispatcher &dispatcher;
     /** Set by the engine once the program is compiled. */
     CompiledProgram *program = nullptr;
+    /** Armed fault injector, or nullptr (the common case). */
+    FaultInjector *inj = nullptr;
 
     /**
      * Model one data-memory access: cache timing, SW pinning for

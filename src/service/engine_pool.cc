@@ -108,6 +108,16 @@ ExecutionService::ExecutionService(ServiceConfig config)
       queue(cfg.queueCapacity),
       startUs(nowUs())
 {
+    const FaultPlan *plan = cfg.faultPlan;
+    if (!plan) {
+        if (std::optional<FaultPlan> env = FaultPlan::fromEnv()) {
+            envPlan = std::make_unique<FaultPlan>(std::move(*env));
+            plan = envPlan.get();
+        }
+    }
+    if (plan && !plan->empty())
+        injector = std::make_unique<FaultInjector>(*plan);
+
     size_t n = cfg.workers ? cfg.workers : 1;
     slots.reserve(n);
     workers.reserve(n);
@@ -166,13 +176,20 @@ ExecutionService::enqueue(Request request, bool block)
         std::lock_guard<std::mutex> lock(metricsMutex);
         ++submitted;
     }
-    bool accepted = block ? queue.push(std::move(job))
-                          : queue.tryPush(std::move(job));
+    bool injected_reject =
+        injector && injector->fire(FaultSite::ServiceQueueFull);
+    bool accepted = !injected_reject &&
+                    (block ? queue.push(std::move(job))
+                           : queue.tryPush(std::move(job)));
     if (!accepted) {
-        // The failed push left the job unmoved: reject in place.
+        // The failed (or skipped) push left the job unmoved: reject
+        // in place.
         Response response;
         response.id = job.request.id;
-        if (queue.closed()) {
+        if (injected_reject) {
+            response.status = ResponseStatus::QueueFull;
+            response.error = "request queue full (injected fault)";
+        } else if (queue.closed()) {
             response.status = ResponseStatus::Shutdown;
             response.error = "service is shutting down";
         } else {
@@ -260,6 +277,11 @@ ExecutionService::execute(Job &job, WorkerSlot &slot)
         if (deadline != 0)
             slot.deadlineUs.store(deadline, std::memory_order_release);
         try {
+            if (injector &&
+                injector->fire(FaultSite::ServiceRetry)) {
+                throw std::runtime_error(
+                    "injected transient failure (fault plan)");
+            }
             if (cfg.failureInjection &&
                 cfg.failureInjection(job.request, attempt)) {
                 throw std::runtime_error(

@@ -38,6 +38,7 @@
 
 #include "engine/engine.h"
 #include "engine/program_cache.h"
+#include "inject/fault_plan.h"
 #include "service/metrics.h"
 #include "service/mpmc_queue.h"
 #include "service/request.h"
@@ -107,6 +108,14 @@ struct ServiceConfig {
      */
     std::function<bool(const Request &, uint32_t attempt)>
         failureInjection;
+    /**
+     * Deterministic fault plan for the service-level sites
+     * (service.queuefull / service.retry; see src/inject/). Must
+     * outlive the service. When null, NOMAP_FAULT_PLAN is consulted
+     * at construction instead. Engine-level sites of the same
+     * environment plan arm inside each isolate independently.
+     */
+    const FaultPlan *faultPlan = nullptr;
 };
 
 /** Concurrent multi-isolate execution service (see file comment). */
@@ -165,6 +174,10 @@ class ExecutionService
     void recordResponse(const Response &response);
 
     ServiceConfig cfg;
+    /** Plan captured from NOMAP_FAULT_PLAN when cfg.faultPlan is null. */
+    std::unique_ptr<FaultPlan> envPlan;
+    /** Shared across workers; counters are relaxed atomics. */
+    std::unique_ptr<FaultInjector> injector;
     CompiledProgramCache programCache;
     EnginePool pool;
     BoundedMpmcQueue<Job> queue;

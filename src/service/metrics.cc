@@ -6,11 +6,6 @@
 
 namespace nomap {
 
-namespace {
-/** Geometric bucket growth factor (~25% relative resolution). */
-constexpr double kGrowth = 1.25;
-} // namespace
-
 size_t
 LatencyHistogram::bucketOf(double micros)
 {
@@ -20,6 +15,14 @@ LatencyHistogram::bucketOf(double micros)
     if (b >= static_cast<double>(kBuckets - 1))
         return kBuckets - 1;
     return static_cast<size_t>(b) + 1;
+}
+
+double
+LatencyHistogram::bucketFloorMicros(size_t bucket)
+{
+    if (bucket == 0)
+        return 0.0;
+    return std::pow(kGrowth, static_cast<double>(bucket) - 1.0);
 }
 
 double

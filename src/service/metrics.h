@@ -34,13 +34,29 @@ class LatencyHistogram
     /** Approximate latency at percentile @p p (0..100). */
     double percentile(double p) const;
 
-  private:
-    /** 1.25^96 microseconds ≈ 6 hours of range. */
+    // The bucket geometry is part of the external metrics contract
+    // (dashboards bake in the edges), so it is public and pinned by
+    // the golden-file test tests/test_metrics_golden.cc.
+
+    /** Geometric bucket growth factor (~25% relative resolution). */
+    static constexpr double kGrowth = 1.25;
+
+    /** kGrowth^96 microseconds ≈ 6 hours of range. */
     static constexpr size_t kBuckets = 96;
 
+    /** Bucket index covering @p micros. */
     static size_t bucketOf(double micros);
+
+    /**
+     * Lower edge of @p bucket in microseconds. Bucket 0 covers
+     * [0, 1]; bucket b > 0 covers (kGrowth^(b-1), kGrowth^b].
+     */
+    static double bucketFloorMicros(size_t bucket);
+
+    /** Representative (geometric-mid) latency for @p bucket. */
     static double bucketMidMicros(size_t bucket);
 
+  private:
     std::array<uint64_t, kBuckets> buckets{};
     uint64_t total = 0;
     double sum = 0.0;

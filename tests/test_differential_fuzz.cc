@@ -1,9 +1,9 @@
-#include <sstream>
+#include <algorithm>
 
 #include <gtest/gtest.h>
 
 #include "engine/engine.h"
-#include "support/random.h"
+#include "testing/program_generator.h"
 
 namespace nomap {
 namespace {
@@ -20,103 +20,19 @@ namespace {
  * NoMap_BC is included deliberately: the generated programs are
  * trained and replayed on the same data, so even the unsound bound
  * must agree.
+ *
+ * The seed range is overridable (NOMAP_FUZZ_SEED / NOMAP_FUZZ_ITERS)
+ * so a reported failure replays as a one-liner; see
+ * tests/testing/program_generator.h.
  */
-class ProgramGenerator
-{
-  public:
-    explicit ProgramGenerator(uint64_t seed) : rng(seed) {}
-
-    std::string
-    generate()
-    {
-        out.str("");
-        // Globals: two arrays and an object with numeric fields.
-        int len_a = 16 + static_cast<int>(rng.nextBounded(48));
-        int len_b = 16 + static_cast<int>(rng.nextBounded(48));
-        out << "var A = [];\n";
-        out << "for (var i0 = 0; i0 < " << len_a << "; i0++) "
-            << "A[i0] = (i0 * " << (1 + rng.nextBounded(13))
-            << ") % " << (3 + rng.nextBounded(97)) << ";\n";
-        out << "var B = [];\n";
-        out << "for (var i1 = 0; i1 < " << len_b << "; i1++) "
-            << "B[i1] = (i1 % " << (2 + rng.nextBounded(9))
-            << ") * 0.5;\n";
-        out << "var obj = {p: " << rng.nextBounded(50) << ", q: "
-            << rng.nextBounded(50) << ", acc: 0};\n";
-
-        // The hot function.
-        out << "function work(a, b, o, k) {\n";
-        out << "    var s = 0;\n";
-        int stmts = 2 + static_cast<int>(rng.nextBounded(4));
-        for (int i = 0; i < stmts; ++i)
-            emitStatement(i, len_a, len_b);
-        out << "    o.acc = o.acc + (s % 100000);\n";
-        out << "    return s % 1000000;\n";
-        out << "}\n";
-
-        // Training + steady state + a perturbation pass.
-        out << "var out = 0;\n";
-        out << "for (var r = 0; r < 130; r++) {\n";
-        out << "    out = (out + work(A, B, obj, r % 7)) % 16777216;\n";
-        out << "}\n";
-        out << "result = out + obj.acc;\n";
-        return out.str();
-    }
-
-  private:
-    void
-    emitStatement(int idx, int len_a, int len_b)
-    {
-        switch (rng.nextBounded(6)) {
-          case 0: // Int array reduction.
-            out << "    for (var x" << idx << " = 0; x" << idx
-                << " < a.length; x" << idx << "++) { s = (s + a[x"
-                << idx << "] * " << (1 + rng.nextBounded(7))
-                << ") % 1000000; }\n";
-            break;
-          case 1: // Double array reduction.
-            out << "    var d" << idx << " = 0;\n"
-                << "    for (var y" << idx << " = 0; y" << idx
-                << " < b.length; y" << idx << "++) { d" << idx
-                << " += b[y" << idx << "] * 1.25; }\n"
-                << "    s = (s + Math.floor(d" << idx
-                << ")) % 1000000;\n";
-            break;
-          case 2: // Array write loop (read-modify-write).
-            out << "    for (var z" << idx << " = 0; z" << idx
-                << " < a.length; z" << idx << "++) { a[z" << idx
-                << "] = (a[z" << idx << "] + " << rng.nextBounded(5)
-                << ") % 251; }\n";
-            break;
-          case 3: // Property arithmetic.
-            out << "    s = (s + o.p * " << (1 + rng.nextBounded(4))
-                << " + o.q) % 1000000;\n";
-            break;
-          case 4: // Bit mixing with the parameter.
-            out << "    s = (s ^ ((k << " << (1 + rng.nextBounded(5))
-                << ") | (s >> " << (1 + rng.nextBounded(4))
-                << "))) & 1048575;\n";
-            break;
-          case 5: // Conditional accumulate over the smaller array.
-            out << "    for (var w" << idx << " = 0; w" << idx << " < "
-                << std::min(len_a, len_b) << "; w" << idx
-                << "++) { if (a[w" << idx << "] > " << rng.nextBounded(40)
-                << ") s = (s + w" << idx << ") % 1000000; }\n";
-            break;
-        }
-    }
-
-    Xorshift64Star rng;
-    std::ostringstream out;
-};
-
 class DifferentialFuzz : public ::testing::TestWithParam<uint64_t>
 {
 };
 
 TEST_P(DifferentialFuzz, AllArchitecturesAgree)
 {
-    ProgramGenerator gen(GetParam());
+    uint64_t seed = GetParam();
+    testutil::ProgramGenerator gen(seed);
     std::string src = gen.generate();
 
     std::string base_result;
@@ -137,20 +53,25 @@ TEST_P(DifferentialFuzz, AllArchitecturesAgree)
         config.arch = arch;
         Engine engine(config);
         EXPECT_EQ(engine.run(src).resultString, base_result)
-            << "seed " << GetParam() << " under "
-            << architectureName(arch) << "\n"
+            << "seed " << seed << " under " << architectureName(arch)
+            << "\nreproduce: " << testutil::reproHint(seed)
+            << " ./tests/test_differential_fuzz\nprogram:\n"
             << src;
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
-                         ::testing::Range<uint64_t>(1, 33));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DifferentialFuzz,
+    ::testing::Range<uint64_t>(
+        testutil::fuzzSeedFromEnv(1),
+        testutil::fuzzSeedFromEnv(1) +
+            std::max<uint64_t>(1, testutil::fuzzItersFromEnv(32))));
 
 TEST(DifferentialFuzz, TierCapsAgreeToo)
 {
     // The same program must agree across tier caps (interpreter vs
     // full pipeline) — catches profiling-dependent semantics bugs.
-    ProgramGenerator gen(99);
+    testutil::ProgramGenerator gen(99);
     std::string src = gen.generate();
     std::string expected;
     for (Tier cap : {Tier::Interpreter, Tier::Baseline, Tier::Dfg,

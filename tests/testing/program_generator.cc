@@ -1,0 +1,128 @@
+#include "testing/program_generator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace nomap {
+namespace testutil {
+
+// The emitted source is part of the differential-test contract:
+// changing any literal below changes every seed's program, so keep
+// edits deliberate (they invalidate previously reported seeds).
+std::string
+ProgramGenerator::generate()
+{
+    out.str("");
+    // Globals: two arrays and an object with numeric fields.
+    int len_a = 16 + static_cast<int>(rng.nextBounded(48));
+    int len_b = 16 + static_cast<int>(rng.nextBounded(48));
+    out << "var A = [];\n";
+    out << "for (var i0 = 0; i0 < " << len_a << "; i0++) "
+        << "A[i0] = (i0 * " << (1 + rng.nextBounded(13)) << ") % "
+        << (3 + rng.nextBounded(97)) << ";\n";
+    out << "var B = [];\n";
+    out << "for (var i1 = 0; i1 < " << len_b << "; i1++) "
+        << "B[i1] = (i1 % " << (2 + rng.nextBounded(9))
+        << ") * 0.5;\n";
+    out << "var obj = {p: " << rng.nextBounded(50) << ", q: "
+        << rng.nextBounded(50) << ", acc: 0};\n";
+
+    // The hot function.
+    out << "function work(a, b, o, k) {\n";
+    out << "    var s = 0;\n";
+    int stmts = 2 + static_cast<int>(rng.nextBounded(4));
+    for (int i = 0; i < stmts; ++i)
+        emitStatement(i, len_a, len_b);
+    out << "    o.acc = o.acc + (s % 100000);\n";
+    out << "    return s % 1000000;\n";
+    out << "}\n";
+
+    // Training + steady state + a perturbation pass.
+    out << "var out = 0;\n";
+    out << "for (var r = 0; r < 130; r++) {\n";
+    out << "    out = (out + work(A, B, obj, r % 7)) % 16777216;\n";
+    out << "}\n";
+    out << "result = out + obj.acc;\n";
+    return out.str();
+}
+
+void
+ProgramGenerator::emitStatement(int idx, int len_a, int len_b)
+{
+    switch (rng.nextBounded(6)) {
+      case 0: // Int array reduction.
+        out << "    for (var x" << idx << " = 0; x" << idx
+            << " < a.length; x" << idx << "++) { s = (s + a[x" << idx
+            << "] * " << (1 + rng.nextBounded(7))
+            << ") % 1000000; }\n";
+        break;
+      case 1: // Double array reduction.
+        out << "    var d" << idx << " = 0;\n"
+            << "    for (var y" << idx << " = 0; y" << idx
+            << " < b.length; y" << idx << "++) { d" << idx << " += b[y"
+            << idx << "] * 1.25; }\n"
+            << "    s = (s + Math.floor(d" << idx
+            << ")) % 1000000;\n";
+        break;
+      case 2: // Array write loop (read-modify-write).
+        out << "    for (var z" << idx << " = 0; z" << idx
+            << " < a.length; z" << idx << "++) { a[z" << idx
+            << "] = (a[z" << idx << "] + " << rng.nextBounded(5)
+            << ") % 251; }\n";
+        break;
+      case 3: // Property arithmetic.
+        out << "    s = (s + o.p * " << (1 + rng.nextBounded(4))
+            << " + o.q) % 1000000;\n";
+        break;
+      case 4: // Bit mixing with the parameter.
+        out << "    s = (s ^ ((k << " << (1 + rng.nextBounded(5))
+            << ") | (s >> " << (1 + rng.nextBounded(4))
+            << "))) & 1048575;\n";
+        break;
+      case 5: // Conditional accumulate over the smaller array.
+        out << "    for (var w" << idx << " = 0; w" << idx << " < "
+            << std::min(len_a, len_b) << "; w" << idx
+            << "++) { if (a[w" << idx << "] > " << rng.nextBounded(40)
+            << ") s = (s + w" << idx << ") % 1000000; }\n";
+        break;
+    }
+}
+
+namespace {
+
+uint64_t
+uintFromEnv(const char *name, uint64_t fallback)
+{
+    const char *text = std::getenv(name);
+    if (!text || !*text)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (!end || *end != '\0')
+        return fallback;
+    return static_cast<uint64_t>(v);
+}
+
+} // namespace
+
+uint64_t
+fuzzSeedFromEnv(uint64_t fallback)
+{
+    return uintFromEnv("NOMAP_FUZZ_SEED", fallback);
+}
+
+uint64_t
+fuzzItersFromEnv(uint64_t fallback)
+{
+    return uintFromEnv("NOMAP_FUZZ_ITERS", fallback);
+}
+
+std::string
+reproHint(uint64_t seed)
+{
+    return "NOMAP_FUZZ_SEED=" + std::to_string(seed) +
+           " NOMAP_FUZZ_ITERS=1";
+}
+
+} // namespace testutil
+} // namespace nomap

@@ -1,0 +1,60 @@
+#ifndef NOMAP_TESTS_TESTING_PROGRAM_GENERATOR_H
+#define NOMAP_TESTS_TESTING_PROGRAM_GENERATOR_H
+
+/**
+ * @file
+ * Seeded random-program generator shared by the differential-fuzz and
+ * chaos tests.
+ *
+ * Programs are random but deterministic (same seed → same source),
+ * terminating, and exercise the whole pipeline: int/double
+ * arithmetic, array reads/writes, property access, bit mixing, and
+ * data-dependent control flow, run hot enough to reach the FTL tier.
+ *
+ * Reproduction knobs (read by the tests via the helpers below):
+ *
+ *     NOMAP_FUZZ_SEED=<n>   first seed to run (default 1)
+ *     NOMAP_FUZZ_ITERS=<n>  how many consecutive seeds (default 32)
+ *
+ * so any failing seed replays as a one-liner, e.g.
+ * `NOMAP_FUZZ_SEED=17 NOMAP_FUZZ_ITERS=1 ./tests/test_differential_fuzz`.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "support/random.h"
+
+namespace nomap {
+namespace testutil {
+
+/** Deterministic seed → JS-subset program text. */
+class ProgramGenerator
+{
+  public:
+    explicit ProgramGenerator(uint64_t seed) : rng(seed) {}
+
+    /** Generate the program for this generator's seed. */
+    std::string generate();
+
+  private:
+    void emitStatement(int idx, int len_a, int len_b);
+
+    Xorshift64Star rng;
+    std::ostringstream out;
+};
+
+/** NOMAP_FUZZ_SEED, or @p fallback when unset/invalid. */
+uint64_t fuzzSeedFromEnv(uint64_t fallback);
+
+/** NOMAP_FUZZ_ITERS, or @p fallback when unset/invalid. */
+uint64_t fuzzItersFromEnv(uint64_t fallback);
+
+/** "NOMAP_FUZZ_SEED=<seed> NOMAP_FUZZ_ITERS=1" repro hint. */
+std::string reproHint(uint64_t seed);
+
+} // namespace testutil
+} // namespace nomap
+
+#endif // NOMAP_TESTS_TESTING_PROGRAM_GENERATOR_H
