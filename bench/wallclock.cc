@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Host wall-clock throughput of the simulator itself (not a paper
+ * artifact): nanoseconds of host time per simulated guest
+ * instruction, per suite, reported as p50/p95 over repeated full
+ * passes. This is the regression gauge for executor-dispatch and
+ * accounting changes — guest-visible stats are pinned bit-identical
+ * by test_accounting_diff, so the only thing allowed to move here is
+ * host speed.
+ *
+ * Writes BENCH_wallclock.json into the working directory. `--quick`
+ * clips the suites and repetition count for the perf-smoke CTest
+ * entry.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace nomap;
+using namespace nomap::bench;
+
+namespace {
+
+/** Nearest-rank percentile of a sample set; 0 if empty. */
+double
+percentileOf(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    double rank = std::ceil(p / 100.0 * static_cast<double>(xs.size()));
+    size_t idx = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+    if (idx >= xs.size())
+        idx = xs.size() - 1;
+    return xs[idx];
+}
+
+struct SuiteTiming {
+    std::string suite;
+    std::string arch;
+    size_t benchmarks = 0;
+    uint64_t guestInstructions = 0;
+    std::vector<double> nsPerInstr;
+};
+
+SuiteTiming
+timeSuite(const std::string &name,
+          const std::vector<BenchmarkSpec> &suite, Architecture arch,
+          int reps)
+{
+    SuiteTiming t;
+    t.suite = name;
+    t.arch = architectureName(arch);
+    t.benchmarks = suite.size();
+
+    // One untimed warmup pass so one-time costs (host allocator,
+    // page-in) don't land in the first sample.
+    runSuite(suite, arch);
+
+    for (int rep = 0; rep < reps; ++rep) {
+        auto start = std::chrono::steady_clock::now();
+        std::vector<RunResult> runs = runSuite(suite, arch);
+        auto end = std::chrono::steady_clock::now();
+        uint64_t instr = 0;
+        for (const RunResult &r : runs)
+            instr += r.stats.totalInstructions();
+        double ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                end - start)
+                .count());
+        t.guestInstructions = instr;
+        t.nsPerInstr.push_back(ns / static_cast<double>(instr));
+    }
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initBench(argc, argv);
+    const int reps = quickMode() ? 2 : 7;
+    std::printf("Host wall-clock per guest instruction "
+                "(%d repetitions%s)\n\n",
+                reps, quickMode() ? ", --quick" : "");
+
+    std::vector<SuiteTiming> timings;
+    for (Architecture arch :
+         {Architecture::Base, Architecture::NoMap}) {
+        timings.push_back(timeSuite(
+            "sunspider", clipForQuick(sunspiderSuite()), arch, reps));
+        timings.push_back(timeSuite(
+            "kraken", clipForQuick(krakenSuite()), arch, reps));
+    }
+
+    TextTable table;
+    table.header({"Suite", "Arch", "GuestInstr", "ns/instr p50",
+                  "ns/instr p95", "ns/instr min"});
+    for (const SuiteTiming &t : timings) {
+        table.row({t.suite, t.arch,
+                   std::to_string(t.guestInstructions),
+                   fmtDouble(percentileOf(t.nsPerInstr, 50.0), 3),
+                   fmtDouble(percentileOf(t.nsPerInstr, 95.0), 3),
+                   fmtDouble(minOf(t.nsPerInstr), 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const char *path = "BENCH_wallclock.json";
+    std::FILE *out = std::fopen(path, "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"quick\": %s,\n  \"repetitions\": %d,\n",
+                 quickMode() ? "true" : "false", reps);
+    std::fprintf(out, "  \"suites\": [\n");
+    for (size_t i = 0; i < timings.size(); ++i) {
+        const SuiteTiming &t = timings[i];
+        std::fprintf(
+            out,
+            "    {\"suite\": \"%s\", \"arch\": \"%s\", "
+            "\"benchmarks\": %zu, \"guest_instructions\": %llu,\n"
+            "     \"ns_per_instr_p50\": %.6f, "
+            "\"ns_per_instr_p95\": %.6f, "
+            "\"ns_per_instr_min\": %.6f}%s\n",
+            t.suite.c_str(), t.arch.c_str(), t.benchmarks,
+            static_cast<unsigned long long>(t.guestInstructions),
+            percentileOf(t.nsPerInstr, 50.0),
+            percentileOf(t.nsPerInstr, 95.0), minOf(t.nsPerInstr),
+            i + 1 < timings.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path);
+    return 0;
+}

@@ -3,7 +3,8 @@
 # CI driver: the three standard configurations, in order of cost.
 #
 #   1. plain           — full suite (unit, integration, concurrency,
-#                        chaos, examples, bench smokes)
+#                        chaos, examples, bench smokes), then the
+#                        perf-smoke label as an explicit step
 #   2. address+undefined — full suite under ASan+UBSan
 #   3. thread          — concurrency- and chaos-labeled tests only
 #                        under TSan (the rest is single-threaded and
@@ -39,6 +40,13 @@ run cmake -B build-check -S . -DNOMAP_SANITIZE=
 run cmake --build build-check -j "$JOBS"
 run env CTEST_OUTPUT_ON_FAILURE=1 \
     ctest --test-dir build-check -j "$JOBS"
+
+step "1b/3 perf-smoke: wallclock gauge clean-exit check"
+# The full run above already exercised perf_smoke_wallclock; repeat it
+# by label so a perf-gauge crash is reported as its own step and the
+# [bench-smoke-complete] marker is checked in isolation.
+run env CTEST_OUTPUT_ON_FAILURE=1 \
+    ctest --test-dir build-check -L perf-smoke
 
 step "2/3 AddressSanitizer + UndefinedBehaviorSanitizer, full suite"
 run cmake -B build-check-asan -S . "-DNOMAP_SANITIZE=address;undefined"

@@ -7,30 +7,39 @@ namespace nomap {
 const char *
 opcodeName(Opcode op)
 {
-    switch (op) {
-      case Opcode::LoadConst: return "LoadConst";
-      case Opcode::Move: return "Move";
-      case Opcode::LoadGlobal: return "LoadGlobal";
-      case Opcode::StoreGlobal: return "StoreGlobal";
-      case Opcode::Binary: return "Binary";
-      case Opcode::Unary: return "Unary";
-      case Opcode::GetProp: return "GetProp";
-      case Opcode::SetProp: return "SetProp";
-      case Opcode::GetIndex: return "GetIndex";
-      case Opcode::SetIndex: return "SetIndex";
-      case Opcode::NewArray: return "NewArray";
-      case Opcode::NewObject: return "NewObject";
-      case Opcode::Call: return "Call";
-      case Opcode::CallNative: return "CallNative";
-      case Opcode::CallMethod: return "CallMethod";
-      case Opcode::Jump: return "Jump";
-      case Opcode::JumpIfTrue: return "JumpIfTrue";
-      case Opcode::JumpIfFalse: return "JumpIfFalse";
-      case Opcode::Return: return "Return";
-      case Opcode::ReturnUndef: return "ReturnUndef";
-      case Opcode::LoopHeader: return "LoopHeader";
+    static const char *const kNames[] = {
+#define NOMAP_BYTECODE_OP_NAME(name) #name,
+        NOMAP_BYTECODE_OP_LIST(NOMAP_BYTECODE_OP_NAME)
+#undef NOMAP_BYTECODE_OP_NAME
+    };
+    static_assert(sizeof(kNames) / sizeof(kNames[0]) == kNumOpcodes);
+    size_t i = static_cast<size_t>(op);
+    return i < kNumOpcodes ? kNames[i] : "?";
+}
+
+void
+BytecodeFunction::computeChargePlan()
+{
+    // Backward suffix scan: runLen[pc] counts the ops from pc through
+    // the end of its straight-line run (terminator included — every
+    // op pays the tier base cost, terminators too); runExtra[pc]
+    // accumulates the tier-independent static extras (the +2
+    // conditional-branch cost every JumpIf pays). The executor
+    // charges base * runLen[pc] + runExtra[pc] once on run entry and
+    // refunds the unexecuted suffix if it exits the run early.
+    size_t n = code.size();
+    runLen.assign(n, 0);
+    runExtra.assign(n, 0);
+    for (size_t pc = n; pc-- > 0;) {
+        const BytecodeInstr &instr = code[pc];
+        bool last = isRunTerminator(instr.op) || pc + 1 == n;
+        uint32_t extra = instr.op == Opcode::JumpIfTrue ||
+                                 instr.op == Opcode::JumpIfFalse
+                             ? 2u
+                             : 0u;
+        runLen[pc] = 1 + (last ? 0 : runLen[pc + 1]);
+        runExtra[pc] = extra + (last ? 0 : runExtra[pc + 1]);
     }
-    return "?";
 }
 
 std::string

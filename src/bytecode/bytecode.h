@@ -41,6 +41,22 @@ struct BytecodeFunction {
     /** Type feedback, sized by the compiler after emission. */
     FunctionProfile profile;
 
+    /**
+     * Static charge plan for batched accounting, one entry per pc
+     * (empty until computeChargePlan runs): the op count and the
+     * static extra-instruction cost of the straight-line run starting
+     * at that pc. See computeChargePlan for the exact definition.
+     */
+    std::vector<uint32_t> runLen;
+    std::vector<uint32_t> runExtra;
+
+    /**
+     * (Re)compute runLen/runExtra from code. The compiler calls this
+     * after emission; the executor calls it lazily for hand-built
+     * functions in tests.
+     */
+    void computeChargePlan();
+
     /** Pretty-print for tests/debugging. */
     std::string disassemble() const;
 };

@@ -73,6 +73,7 @@ class FunctionCompiler
         out.numRegs = highWater;
         out.numLoops = loopCount;
         out.profile.sizeFor(out.code.size(), loopCount);
+        out.computeChargePlan();
     }
 
     // ---- Registers ------------------------------------------------------

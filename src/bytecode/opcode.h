@@ -11,38 +11,74 @@
  * (a, b, c) and one 32-bit immediate.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 namespace nomap {
 
-/** Bytecode operations. */
+/**
+ * X-macro list of bytecode operations, in opcode-value order. The
+ * enum, the name table, and the direct-threaded dispatch tables in
+ * the executor are all generated from this one list so they can never
+ * fall out of sync.
+ */
+#define NOMAP_BYTECODE_OP_LIST(V)                                       \
+    V(LoadConst)   /* a <- constants[imm] */                            \
+    V(Move)        /* a <- b */                                         \
+    V(LoadGlobal)  /* a <- globals[imm] */                              \
+    V(StoreGlobal) /* globals[imm] <- b */                              \
+    V(Binary)      /* a <- b (BinaryOp)imm c        [profiled] */       \
+    V(Unary)       /* a <- (UnaryOp)imm b           [profiled] */       \
+    V(GetProp)     /* a <- b.names[imm]             [profiled, IC] */   \
+    V(SetProp)     /* b.names[imm] <- c             [profiled, IC] */   \
+    V(GetIndex)    /* a <- b[c]                     [profiled] */       \
+    V(SetIndex)    /* a[b] <- c                     [profiled] */       \
+    V(NewArray)    /* a <- [regs b .. b+c-1] */                         \
+    V(NewObject)   /* a <- {desc imm, values regs b .. b+c-1} */        \
+    V(Call)        /* a <- functions[imm](regs b .. b+c-1) */           \
+    V(CallNative)  /* a <- builtin[imm](regs b .. b+c-1) */             \
+    V(CallMethod)  /* a <- b.method[imm>>4](regs c .. c+(imm&15)-1) */  \
+    V(Jump)        /* pc <- imm */                                      \
+    V(JumpIfTrue)  /* if (truthy b) pc <- imm */                        \
+    V(JumpIfFalse) /* if (!truthy b) pc <- imm */                       \
+    V(Return)      /* return b */                                       \
+    V(ReturnUndef) /* return undefined */                               \
+    V(LoopHeader)  /* loop-entry marker; imm = loop id  [profiled] */
+
+/** Bytecode operations (see NOMAP_BYTECODE_OP_LIST for semantics). */
 enum class Opcode : uint8_t {
-    LoadConst,    ///< a <- constants[imm]
-    Move,         ///< a <- b
-    LoadGlobal,   ///< a <- globals[imm]
-    StoreGlobal,  ///< globals[imm] <- b
-    Binary,       ///< a <- b (BinaryOp)imm c        [profiled]
-    Unary,        ///< a <- (UnaryOp)imm b           [profiled]
-    GetProp,      ///< a <- b.names[imm]             [profiled, IC]
-    SetProp,      ///< b.names[imm] <- c             [profiled, IC]
-    GetIndex,     ///< a <- b[c]                     [profiled]
-    SetIndex,     ///< a[b] <- c                     [profiled]
-    NewArray,     ///< a <- [regs b .. b+c-1]
-    NewObject,    ///< a <- {desc imm, values regs b .. b+c-1}
-    Call,         ///< a <- functions[imm](regs b .. b+c-1)
-    CallNative,   ///< a <- builtin[imm](regs b .. b+c-1)
-    CallMethod,   ///< a <- b.method[imm>>4](regs c .. c+(imm&15)-1)
-    Jump,         ///< pc <- imm
-    JumpIfTrue,   ///< if (truthy b) pc <- imm
-    JumpIfFalse,  ///< if (!truthy b) pc <- imm
-    Return,       ///< return b
-    ReturnUndef,  ///< return undefined
-    LoopHeader,   ///< loop-entry marker; imm = loop id  [profiled]
+#define NOMAP_BYTECODE_OP_ENUM(name) name,
+    NOMAP_BYTECODE_OP_LIST(NOMAP_BYTECODE_OP_ENUM)
+#undef NOMAP_BYTECODE_OP_ENUM
 };
+
+/** Number of bytecode operations (dispatch-table size). */
+constexpr size_t kNumOpcodes =
+    static_cast<size_t>(Opcode::LoopHeader) + 1;
 
 /** Printable opcode name. */
 const char *opcodeName(Opcode op);
+
+/**
+ * True for ops that end a straight-line run of bytecode: everything
+ * the executor charges as one batch (see
+ * BytecodeFunction::computeChargePlan).
+ */
+inline bool
+isRunTerminator(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jump:
+      case Opcode::JumpIfTrue:
+      case Opcode::JumpIfFalse:
+      case Opcode::Return:
+      case Opcode::ReturnUndef:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** One bytecode instruction. */
 struct BytecodeInstr {

@@ -76,6 +76,14 @@ struct EngineConfig {
 
     /** Consecutive explicit aborts before detransactionalizing. */
     uint32_t abortEscalationLimit = 8;
+
+    /**
+     * Charge accounting per executed operation instead of per basic
+     * block. Slow reference mode: the batched fast path must produce
+     * bit-identical ExecutionStats (the differential accounting test
+     * runs every suite program both ways and compares).
+     */
+    bool perOpAccounting = false;
 };
 
 } // namespace nomap

@@ -43,6 +43,7 @@ Engine::initVm()
     irExec =
         std::make_unique<IrExecutor>(*envPtr, *baselineExec,
                                      engineConfig);
+    envPtr->perOpAccounting = engineConfig.perOpAccounting;
     acctPtr->setCancelFlag(cancelFlag);
     applyFaultPlan();
 }
@@ -79,6 +80,7 @@ void
 Engine::resetStats()
 {
     stats = ExecutionStats();
+    acctPtr->discardPendingInstructionCycles();
     htmPtr->resetStats();
     memPtr->resetStats();
     builtinsPtr->clearPrinted();
@@ -146,6 +148,10 @@ Engine::run(const std::string &source)
 
     // Execute <main> (always interpreted: top-level runs once).
     interpreter->run(programPtr->main(), nullptr, 0);
+
+    // Convert the batched instruction units into cycles exactly once,
+    // before anything reads the stats.
+    acctPtr->flushInstructionCycles();
 
     EngineResult result;
     int32_t result_global = heapPtr->findGlobal("result");

@@ -16,6 +16,7 @@ compileFunction(const BytecodeFunction &fn, Heap &heap, Tier tier,
         runKindInference(out.ir, out.passStats);
         runLocalCse(out.ir, out.passStats);
         out.ir.verify();
+        computeChargePlan(out.ir);
         return out;
     }
 
@@ -68,6 +69,7 @@ compileFunction(const BytecodeFunction &fn, Heap &heap, Tier tier,
     }
 
     out.ir.verify();
+    computeChargePlan(out.ir);
     return out;
 }
 

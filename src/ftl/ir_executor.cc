@@ -4,92 +4,24 @@
 
 #include "support/logging.h"
 
+/**
+ * Dispatch strategy — same scheme as the bytecode executor. With
+ * NOMAP_COMPUTED_GOTO each op body ends in an indirect jump through a
+ * per-opcode label table (direct threading); without it the bodies
+ * compile as a portable switch. VM_CASE opens an op body, `goto
+ * vm_next` advances to the next instruction, `goto vm_next_newseg`
+ * does the same but re-enters segment charging (transaction-boundary
+ * ops), and Jump/Branch go to vm_seg_entry after retargeting.
+ */
+#if defined(NOMAP_COMPUTED_GOTO)
+#define VM_CASE(name) lbl_##name:
+#else
+#define VM_CASE(name) case IrOp::name:
+#endif
+
 namespace nomap {
 
 namespace {
-
-/** x86-64-equivalent instruction count for one IR op. */
-uint32_t
-baseCost(IrOp op)
-{
-    switch (op) {
-      case IrOp::Nop: return 0;
-      case IrOp::Const: return CostModel::kFtlConst;
-      case IrOp::Move: return CostModel::kFtlMove;
-      case IrOp::AddInt:
-      case IrOp::SubInt:
-      case IrOp::MulInt:
-      case IrOp::NegInt:
-      case IrOp::BitAndInt:
-      case IrOp::BitOrInt:
-      case IrOp::BitXorInt:
-      case IrOp::ShlInt:
-      case IrOp::ShrInt:
-      case IrOp::UShrInt:
-      case IrOp::BitNotInt:
-        return CostModel::kFtlArith;
-      case IrOp::AddDouble:
-      case IrOp::SubDouble:
-      case IrOp::MulDouble:
-      case IrOp::DivDouble:
-      case IrOp::ModDouble:
-      case IrOp::NegDouble:
-        return CostModel::kFtlDoubleArith;
-      case IrOp::CmpInt:
-      case IrOp::CmpDouble:
-      case IrOp::ToDouble:
-      case IrOp::ToBoolean:
-      case IrOp::NotBool:
-        return 1;
-      case IrOp::CheckInt32:
-      case IrOp::CheckNumber:
-      case IrOp::CheckShape:
-      case IrOp::CheckArray:
-      case IrOp::CheckIndexInt:
-      case IrOp::CheckBounds:
-      case IrOp::CheckNotHole:
-        return CostModel::kFtlCheck;
-      case IrOp::CheckBoundsRange:
-        return CostModel::kFtlCheck + 1;
-      case IrOp::CheckOverflow:
-        return CostModel::kFtlOverflowCheck;
-      case IrOp::GetSlot:
-      case IrOp::GetArrayLen:
-      case IrOp::LoadGlobal:
-        return CostModel::kFtlLoad;
-      case IrOp::SetSlot:
-      case IrOp::StoreGlobal:
-        return CostModel::kFtlStore;
-      case IrOp::GetElem:
-        return CostModel::kFtlLoad + 2 * CostModel::kFtlElemAddr;
-      case IrOp::SetElem:
-        return CostModel::kFtlStore + 2 * CostModel::kFtlElemAddr;
-      case IrOp::GenericBinary:
-      case IrOp::GenericUnary:
-      case IrOp::GenericGetProp:
-      case IrOp::GenericSetProp:
-      case IrOp::GenericGetIndex:
-      case IrOp::GenericSetIndex:
-      case IrOp::NewArray:
-      case IrOp::NewObject:
-      case IrOp::Call:
-      case IrOp::CallNative:
-      case IrOp::CallMethod:
-        return CostModel::kFtlCallOverhead;
-      case IrOp::Intrinsic:
-        return 8; // sqrtsd-class inlined sequence.
-      case IrOp::Jump:
-      case IrOp::Return:
-      case IrOp::ReturnUndef:
-        return 1;
-      case IrOp::Branch:
-        return 2;
-      case IrOp::TxBegin: return CostModel::kFtlTxBegin;
-      case IrOp::TxEnd: return CostModel::kFtlTxEnd;
-      case IrOp::TxTile: return 2;
-    }
-    return 1;
-}
 
 /** Deterministic garbage produced by unguarded speculative ops. */
 Value
@@ -124,12 +56,24 @@ Value
 IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                 uint32_t nargs)
 {
+    // Hand-built IR in tests never goes through compileFunction; build
+    // its charge plan on first execution.
+    if (!ir.chargePlanReady)
+        computeChargePlan(ir);
+    return env.perOpAccounting ? runImpl<false>(ir, fn, args, nargs)
+                               : runImpl<true>(ir, fn, args, nargs);
+}
+
+template <bool kBatched>
+Value
+IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
+                    const Value *args, uint32_t nargs)
+{
     std::vector<Value> regs(ir.numRegs, Value::undefined());
     std::vector<uint8_t> overflow(ir.numRegs, 0);
     for (uint32_t i = 0; i < fn.numParams; ++i)
         regs[i] = i < nargs ? args[i] : Value::undefined();
 
-    const bool dfg = ir.tier == Tier::Dfg;
     const bool ftl = ir.tier == Tier::Ftl;
     // Frame prologue + argument marshalling.
     env.acct.chargeInstructions(ir.tier, 8, ir.txAware);
@@ -140,19 +84,30 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
     uint32_t tx_entry_pc = 0;
     uint64_t tx_instr = 0;
     uint64_t tile_count = 0;
+    // Transactional context when the current segment was charged — a
+    // refund must come out of the same cycle bucket even if an abort
+    // has flipped the context since.
+    bool seg_charged_tm = false;
 
-    auto charge = [&](uint32_t cost) {
-        uint32_t scaled =
-            dfg ? static_cast<uint32_t>(
-                      std::lround(cost * CostModel::kDfgFactor))
-                : cost;
-        env.acct.chargeInstructions(ir.tier, scaled, ir.txAware);
-        if (tx_owner)
-            tx_instr += scaled;
-    };
+    uint32_t block = 0;
+    size_t idx = 0;
+    IrBlock *blk = nullptr;
+    const IrInstr *instr = nullptr;
 
     auto sync_tx_flag = [&] {
         env.acct.setInTransaction(env.htm.inTransaction());
+    };
+
+    // Batched mode: take back the charged-but-unexecuted suffix of
+    // the current segment (everything after the op at idx). Zero when
+    // the op at idx ends its segment.
+    [[maybe_unused]] auto refundAfterCurrent = [&] {
+        uint64_t rest = static_cast<uint64_t>(blk->chargeFrom[idx]) -
+                        blk->ownScaled[idx];
+        if (rest) {
+            env.acct.refundInstructions(ir.tier, rest, ir.txAware,
+                                        seg_charged_tm);
+        }
     };
 
     // After an abort (memory already rolled back), re-enter the
@@ -168,193 +123,229 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
         return baseline.runFrom(fn, locals, tx_entry_pc);
     };
 
-    uint32_t block = 0;
-    size_t idx = 0;
-
     try {
-        for (;;) {
+#if defined(NOMAP_COMPUTED_GOTO)
+        static const void *const kDispatch[] = {
+#define NOMAP_IR_OP_LABEL(name) &&lbl_##name,
+            NOMAP_IR_OP_LIST(NOMAP_IR_OP_LABEL)
+#undef NOMAP_IR_OP_LABEL
+        };
+        static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) ==
+                      kNumIrOps);
+#endif
+
+    vm_seg_entry:
+        // Entering a new charge segment: block entry, or the
+        // instruction after a transaction-boundary op (whose
+        // successors execute — and must be charged — under the new
+        // transactional context).
+        if constexpr (kBatched) {
             NOMAP_ASSERT(block < ir.blocks.size());
-            IrBlock &blk = ir.blocks[block];
-            NOMAP_ASSERT(idx < blk.instrs.size());
-            IrInstr &instr = blk.instrs[idx];
-            charge(baseCost(instr.op));
+            blk = &ir.blocks[block];
+            NOMAP_ASSERT(idx < blk->chargeFrom.size());
+            seg_charged_tm = env.acct.inTransaction();
+            env.acct.chargeInstructions(ir.tier, blk->chargeFrom[idx],
+                                        ir.txAware);
+        }
 
-            // Watchdog: a timer interrupt would abort a transaction
-            // that runs unreasonably long (e.g. spinning on garbage
-            // after speculative check removal). The engine.watchdog
-            // site polls here too — once per in-transaction
-            // instruction — so a FaultPlan can kill a transaction at
-            // any point of its lifetime.
-            if (tx_owner &&
-                (tx_instr > config.txWatchdogInstructions ||
-                 (env.inj &&
-                  env.inj->fire(FaultSite::EngineTxWatchdog)))) {
-                env.acct.chargeCycles(
-                    env.htm.abort(AbortCode::Irrevocable));
-                return resume_baseline();
-            }
+    vm_top:
+        NOMAP_ASSERT(block < ir.blocks.size());
+        blk = &ir.blocks[block];
+        NOMAP_ASSERT(idx < blk->instrs.size());
+        instr = &blk->instrs[idx];
+        // Per-op mode pays each op's scaled cost here; batched mode
+        // already paid it as part of the segment charge. The watchdog
+        // counter advances per-op in both modes so its firing point
+        // (and the engine.watchdog injection site below) never moves.
+        if constexpr (!kBatched) {
+            env.acct.chargeInstructions(ir.tier, blk->ownScaled[idx],
+                                        ir.txAware);
+        }
+        if (tx_owner)
+            tx_instr += blk->ownScaled[idx];
 
+        // Watchdog: a timer interrupt would abort a transaction
+        // that runs unreasonably long (e.g. spinning on garbage
+        // after speculative check removal). The engine.watchdog
+        // site polls here too — once per in-transaction
+        // instruction — so a FaultPlan can kill a transaction at
+        // any point of its lifetime.
+        if (tx_owner &&
+            (tx_instr > config.txWatchdogInstructions ||
+             (env.inj && env.inj->fire(FaultSite::EngineTxWatchdog)))) {
+            if constexpr (kBatched)
+                refundAfterCurrent();
+            env.acct.chargeCycles(env.htm.abort(AbortCode::Irrevocable));
+            return resume_baseline();
+        }
+
+        {
             bool in_tx = env.htm.inTransaction();
 
-            switch (instr.op) {
-              case IrOp::Nop:
-                break;
-              case IrOp::Const:
-                regs[instr.dst] = ir.constants[instr.imm];
-                break;
-              case IrOp::Move:
-                regs[instr.dst] = regs[instr.a];
-                overflow[instr.dst] = overflow[instr.a];
-                break;
+#if defined(NOMAP_COMPUTED_GOTO)
+            goto *kDispatch[static_cast<size_t>(instr->op)];
+#else
+            switch (instr->op)
+#endif
+            {
+              VM_CASE(Nop)
+                goto vm_next;
+              VM_CASE(Const)
+                regs[instr->dst] = ir.constants[instr->imm];
+                goto vm_next;
+              VM_CASE(Move)
+                regs[instr->dst] = regs[instr->a];
+                overflow[instr->dst] = overflow[instr->a];
+                goto vm_next;
 
               // ---- Integer arithmetic (sets the overflow flag) -----
-              case IrOp::AddInt:
-              case IrOp::SubInt:
-              case IrOp::MulInt: {
-                Value va = regs[instr.a];
-                Value vb = regs[instr.b];
+              VM_CASE(AddInt)
+              VM_CASE(SubInt)
+              VM_CASE(MulInt) {
+                Value va = regs[instr->a];
+                Value vb = regs[instr->b];
                 if (!va.isInt32() || !vb.isInt32()) {
                     NOMAP_ASSERT(in_tx);
-                    regs[instr.dst] = garbageValue();
-                    overflow[instr.dst] = 0;
-                    break;
+                    regs[instr->dst] = garbageValue();
+                    overflow[instr->dst] = 0;
+                    goto vm_next;
                 }
                 int64_t wide;
                 int64_t x = va.asInt32();
                 int64_t y = vb.asInt32();
-                if (instr.op == IrOp::AddInt)
+                if (instr->op == IrOp::AddInt)
                     wide = x + y;
-                else if (instr.op == IrOp::SubInt)
+                else if (instr->op == IrOp::SubInt)
                     wide = x - y;
                 else
                     wide = x * y;
                 bool ovf = wide < INT32_MIN || wide > INT32_MAX;
-                regs[instr.dst] =
+                regs[instr->dst] =
                     Value::int32(static_cast<int32_t>(wide));
-                overflow[instr.dst] = ovf;
+                overflow[instr->dst] = ovf;
                 if (ovf && in_tx)
                     env.htm.noteArithmeticOverflow();
-                break;
+                goto vm_next;
               }
-              case IrOp::NegInt: {
-                Value va = regs[instr.a];
+              VM_CASE(NegInt) {
+                Value va = regs[instr->a];
                 if (!va.isInt32()) {
                     NOMAP_ASSERT(in_tx);
-                    regs[instr.dst] = garbageValue();
-                    break;
+                    regs[instr->dst] = garbageValue();
+                    goto vm_next;
                 }
                 int32_t x = va.asInt32();
                 bool ovf = (x == 0) || (x == INT32_MIN);
-                regs[instr.dst] =
+                regs[instr->dst] =
                     Value::int32(ovf && x == INT32_MIN ? x : -x);
-                overflow[instr.dst] = ovf;
+                overflow[instr->dst] = ovf;
                 if (ovf && in_tx)
                     env.htm.noteArithmeticOverflow();
-                break;
+                goto vm_next;
               }
 
               // ---- Double arithmetic -------------------------------
-              case IrOp::AddDouble:
-              case IrOp::SubDouble:
-              case IrOp::MulDouble:
-              case IrOp::DivDouble:
-              case IrOp::ModDouble: {
-                Value va = regs[instr.a];
-                Value vb = regs[instr.b];
+              VM_CASE(AddDouble)
+              VM_CASE(SubDouble)
+              VM_CASE(MulDouble)
+              VM_CASE(DivDouble)
+              VM_CASE(ModDouble) {
+                Value va = regs[instr->a];
+                Value vb = regs[instr->b];
                 if (!va.isNumber() || !vb.isNumber()) {
                     NOMAP_ASSERT(in_tx);
-                    regs[instr.dst] = garbageValue();
-                    break;
+                    regs[instr->dst] = garbageValue();
+                    goto vm_next;
                 }
                 double x = va.asNumber();
                 double y = vb.asNumber();
                 double r;
-                switch (instr.op) {
+                switch (instr->op) {
                   case IrOp::AddDouble: r = x + y; break;
                   case IrOp::SubDouble: r = x - y; break;
                   case IrOp::MulDouble: r = x * y; break;
                   case IrOp::DivDouble: r = x / y; break;
                   default: r = std::fmod(x, y); break;
                 }
-                regs[instr.dst] = Value::number(r);
-                break;
+                regs[instr->dst] = Value::number(r);
+                goto vm_next;
               }
-              case IrOp::NegDouble: {
-                Value va = regs[instr.a];
+              VM_CASE(NegDouble) {
+                Value va = regs[instr->a];
                 if (!va.isNumber()) {
                     NOMAP_ASSERT(in_tx);
-                    regs[instr.dst] = garbageValue();
-                    break;
+                    regs[instr->dst] = garbageValue();
+                    goto vm_next;
                 }
-                regs[instr.dst] = Value::boxDouble(-va.asNumber());
-                break;
+                regs[instr->dst] = Value::boxDouble(-va.asNumber());
+                goto vm_next;
               }
 
               // ---- Bitwise / shifts ---------------------------------
-              case IrOp::BitAndInt:
-              case IrOp::BitOrInt:
-              case IrOp::BitXorInt:
-              case IrOp::ShlInt:
-              case IrOp::ShrInt:
-              case IrOp::UShrInt: {
-                Value va = regs[instr.a];
-                Value vb = regs[instr.b];
+              VM_CASE(BitAndInt)
+              VM_CASE(BitOrInt)
+              VM_CASE(BitXorInt)
+              VM_CASE(ShlInt)
+              VM_CASE(ShrInt)
+              VM_CASE(UShrInt) {
+                Value va = regs[instr->a];
+                Value vb = regs[instr->b];
                 if (!va.isInt32() || !vb.isInt32()) {
                     NOMAP_ASSERT(in_tx);
-                    regs[instr.dst] = garbageValue();
-                    break;
+                    regs[instr->dst] = garbageValue();
+                    goto vm_next;
                 }
                 int32_t x = va.asInt32();
                 uint32_t sh = static_cast<uint32_t>(vb.asInt32()) & 31;
-                switch (instr.op) {
+                switch (instr->op) {
                   case IrOp::BitAndInt:
-                    regs[instr.dst] = Value::int32(x & vb.asInt32());
+                    regs[instr->dst] = Value::int32(x & vb.asInt32());
                     break;
                   case IrOp::BitOrInt:
-                    regs[instr.dst] = Value::int32(x | vb.asInt32());
+                    regs[instr->dst] = Value::int32(x | vb.asInt32());
                     break;
                   case IrOp::BitXorInt:
-                    regs[instr.dst] = Value::int32(x ^ vb.asInt32());
+                    regs[instr->dst] = Value::int32(x ^ vb.asInt32());
                     break;
                   case IrOp::ShlInt:
-                    regs[instr.dst] = Value::int32(x << sh);
+                    regs[instr->dst] = Value::int32(x << sh);
                     break;
                   case IrOp::ShrInt:
-                    regs[instr.dst] = Value::int32(x >> sh);
+                    regs[instr->dst] = Value::int32(x >> sh);
                     break;
                   default:
-                    regs[instr.dst] = Value::number(
+                    regs[instr->dst] = Value::number(
                         static_cast<double>(
                             static_cast<uint32_t>(x) >> sh));
                     break;
                 }
-                break;
+                goto vm_next;
               }
-              case IrOp::BitNotInt: {
-                Value va = regs[instr.a];
+              VM_CASE(BitNotInt) {
+                Value va = regs[instr->a];
                 if (!va.isInt32()) {
                     NOMAP_ASSERT(in_tx);
-                    regs[instr.dst] = garbageValue();
-                    break;
+                    regs[instr->dst] = garbageValue();
+                    goto vm_next;
                 }
-                regs[instr.dst] = Value::int32(~va.asInt32());
-                break;
+                regs[instr->dst] = Value::int32(~va.asInt32());
+                goto vm_next;
               }
 
               // ---- Comparisons -------------------------------------
-              case IrOp::CmpInt:
-              case IrOp::CmpDouble: {
-                Value va = regs[instr.a];
-                Value vb = regs[instr.b];
+              VM_CASE(CmpInt)
+              VM_CASE(CmpDouble) {
+                Value va = regs[instr->a];
+                Value vb = regs[instr->b];
                 if (!va.isNumber() || !vb.isNumber()) {
                     NOMAP_ASSERT(in_tx);
-                    regs[instr.dst] = Value::boolean(false);
-                    break;
+                    regs[instr->dst] = Value::boolean(false);
+                    goto vm_next;
                 }
                 double x = va.asNumber();
                 double y = vb.asNumber();
                 bool r;
-                switch (static_cast<BinaryOp>(instr.imm)) {
+                switch (static_cast<BinaryOp>(instr->imm)) {
                   case BinaryOp::Lt: r = x < y; break;
                   case BinaryOp::Le: r = x <= y; break;
                   case BinaryOp::Gt: r = x > y; break;
@@ -366,37 +357,37 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                   default:
                     panic("bad compare subop");
                 }
-                regs[instr.dst] = Value::boolean(r);
-                break;
+                regs[instr->dst] = Value::boolean(r);
+                goto vm_next;
               }
-              case IrOp::ToDouble:
-                regs[instr.dst] =
-                    Value::boxDouble(regs[instr.a].asNumber());
-                break;
-              case IrOp::ToBoolean:
-                regs[instr.dst] = Value::boolean(
-                    env.runtime.toBoolean(regs[instr.a]));
-                break;
-              case IrOp::NotBool:
-                regs[instr.dst] =
-                    Value::boolean(!regs[instr.a].asBoolean());
-                break;
+              VM_CASE(ToDouble)
+                regs[instr->dst] =
+                    Value::boxDouble(regs[instr->a].asNumber());
+                goto vm_next;
+              VM_CASE(ToBoolean)
+                regs[instr->dst] = Value::boolean(
+                    env.runtime.toBoolean(regs[instr->a]));
+                goto vm_next;
+              VM_CASE(NotBool)
+                regs[instr->dst] =
+                    Value::boolean(!regs[instr->a].asBoolean());
+                goto vm_next;
 
               // ---- Checks -------------------------------------------
-              case IrOp::CheckInt32:
-              case IrOp::CheckNumber:
-              case IrOp::CheckShape:
-              case IrOp::CheckArray:
-              case IrOp::CheckIndexInt:
-              case IrOp::CheckBounds:
-              case IrOp::CheckBoundsRange:
-              case IrOp::CheckOverflow:
-              case IrOp::CheckNotHole: {
+              VM_CASE(CheckInt32)
+              VM_CASE(CheckNumber)
+              VM_CASE(CheckShape)
+              VM_CASE(CheckArray)
+              VM_CASE(CheckIndexInt)
+              VM_CASE(CheckBounds)
+              VM_CASE(CheckBoundsRange)
+              VM_CASE(CheckOverflow)
+              VM_CASE(CheckNotHole) {
                 if (ftl)
-                    env.acct.recordCheck(checkKindOf(instr.op));
+                    env.acct.recordCheck(checkKindOf(instr->op));
                 bool pass;
-                Value va = regs[instr.a];
-                switch (instr.op) {
+                Value va = regs[instr->a];
+                switch (instr->op) {
                   case IrOp::CheckInt32:
                   case IrOp::CheckIndexInt:
                     pass = va.isInt32();
@@ -407,13 +398,13 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                   case IrOp::CheckShape:
                     pass = va.isObject() &&
                            env.heap.object(va.payload()).shape ==
-                               instr.imm;
+                               instr->imm;
                     break;
                   case IrOp::CheckArray:
                     pass = va.isArray();
                     break;
                   case IrOp::CheckBounds: {
-                    Value vi = regs[instr.b];
+                    Value vi = regs[instr->b];
                     pass = va.isArray() && vi.isInt32() &&
                            vi.asInt32() >= 0 &&
                            static_cast<uint32_t>(vi.asInt32()) <
@@ -421,8 +412,8 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                     break;
                   }
                   case IrOp::CheckBoundsRange: {
-                    Value lo = regs[instr.b];
-                    Value hi = regs[instr.c];
+                    Value lo = regs[instr->b];
+                    Value hi = regs[instr->c];
                     if (!lo.isInt32() || !hi.isInt32() ||
                         !va.isArray()) {
                         pass = false;
@@ -437,7 +428,7 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                     break;
                   }
                   case IrOp::CheckOverflow:
-                    pass = !overflow[instr.a];
+                    pass = !overflow[instr->a];
                     break;
                   case IrOp::CheckNotHole:
                     pass = !va.isUndefined();
@@ -456,32 +447,34 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                 // OSR through; converted checks need a live
                 // transaction to abort.
                 if (pass && env.inj) {
-                    CheckKind kind = checkKindOf(instr.op);
+                    CheckKind kind = checkKindOf(instr->op);
                     bool force =
                         env.inj->fire(faultSiteOfCheck(kind));
                     force |= env.inj->fire(FaultSite::CheckAny);
-                    if (!instr.converted && instr.smpPc != kNoSmp) {
+                    if (!instr->converted && instr->smpPc != kNoSmp) {
                         force |= env.inj->fire(FaultSite::FtlOsr,
-                                               instr.smpPc);
+                                               instr->smpPc);
                     }
                     if (force &&
-                        (instr.converted ? env.htm.inTransaction()
-                                         : instr.smpPc != kNoSmp)) {
+                        (instr->converted ? env.htm.inTransaction()
+                                          : instr->smpPc != kNoSmp)) {
                         pass = false;
                     }
                 }
                 if (pass)
-                    break;
+                    goto vm_next;
 
-                if (!instr.converted) {
+                if (!instr->converted) {
                     // OSR exit through the stack map: hand the
                     // baseline registers to the Baseline tier at the
                     // SMP's bytecode pc.
                     ++env.acct.stats().deopts;
-                    NOMAP_ASSERT(instr.smpPc != kNoSmp);
+                    NOMAP_ASSERT(instr->smpPc != kNoSmp);
+                    if constexpr (kBatched)
+                        refundAfterCurrent();
                     std::vector<Value> locals(
                         regs.begin(), regs.begin() + ir.bytecodeRegs);
-                    return baseline.runFrom(fn, locals, instr.smpPc);
+                    return baseline.runFrom(fn, locals, instr->smpPc);
                 }
                 // Converted check: transactional abort.
                 ++checkAborts;
@@ -489,90 +482,96 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                     env.htm.abort(AbortCode::ExplicitCheck));
                 if (!tx_owner) {
                     // The transaction belongs to a caller; unwind.
+                    // (Our own catch below refunds the segment suffix
+                    // before rethrowing — no inline refund here.)
                     sync_tx_flag();
                     throw TxAbortUnwind{AbortCode::ExplicitCheck};
                 }
+                if constexpr (kBatched)
+                    refundAfterCurrent();
                 return resume_baseline();
               }
 
               // ---- Memory -------------------------------------------
-              case IrOp::GetSlot: {
-                Value va = regs[instr.a];
+              VM_CASE(GetSlot) {
+                Value va = regs[instr->a];
                 if (!va.isObject() ||
-                    instr.imm >=
+                    instr->imm >=
                         env.heap.object(va.payload()).slots.size()) {
                     NOMAP_ASSERT(in_tx);
-                    regs[instr.dst] = garbageValue();
-                    break;
+                    regs[instr->dst] = garbageValue();
+                    goto vm_next;
                 }
-                regs[instr.dst] =
-                    env.heap.getSlot(va.payload(), instr.imm);
+                regs[instr->dst] =
+                    env.heap.getSlot(va.payload(), instr->imm);
                 env.memAccess(
-                    env.heap.slotAddr(va.payload(), instr.imm), false);
-                break;
+                    env.heap.slotAddr(va.payload(), instr->imm),
+                    false);
+                goto vm_next;
               }
-              case IrOp::SetSlot: {
-                Value va = regs[instr.a];
+              VM_CASE(SetSlot) {
+                Value va = regs[instr->a];
                 if (!va.isObject() ||
-                    instr.imm >=
+                    instr->imm >=
                         env.heap.object(va.payload()).slots.size()) {
                     NOMAP_ASSERT(in_tx);
-                    break; // Speculative store to nowhere.
+                    goto vm_next; // Speculative store to nowhere.
                 }
-                env.heap.setSlot(va.payload(), instr.imm,
-                                 regs[instr.b]);
+                env.heap.setSlot(va.payload(), instr->imm,
+                                 regs[instr->b]);
                 env.memAccess(
-                    env.heap.slotAddr(va.payload(), instr.imm), true);
-                break;
+                    env.heap.slotAddr(va.payload(), instr->imm), true);
+                goto vm_next;
               }
-              case IrOp::GetArrayLen: {
-                Value va = regs[instr.a];
+              VM_CASE(GetArrayLen) {
+                Value va = regs[instr->a];
                 if (!va.isArray()) {
                     NOMAP_ASSERT(in_tx);
-                    regs[instr.dst] = garbageValue();
-                    break;
+                    regs[instr->dst] = garbageValue();
+                    goto vm_next;
                 }
-                regs[instr.dst] = Value::int32(static_cast<int32_t>(
+                regs[instr->dst] = Value::int32(static_cast<int32_t>(
                     env.heap.array(va.payload()).length()));
                 env.memAccess(env.heap.array(va.payload()).baseAddr,
                               false);
-                break;
+                goto vm_next;
               }
-              case IrOp::GetElem: {
-                Value va = regs[instr.a];
-                Value vi = regs[instr.b];
+              VM_CASE(GetElem) {
+                Value va = regs[instr->a];
+                Value vi = regs[instr->b];
                 if (!va.isArray() || !vi.isInt32()) {
                     NOMAP_ASSERT(in_tx);
-                    regs[instr.dst] = garbageValue();
-                    break;
+                    regs[instr->dst] = garbageValue();
+                    goto vm_next;
                 }
                 const JsArray &arr = env.heap.array(va.payload());
                 int32_t i = vi.asInt32();
                 if (i < 0 ||
                     static_cast<uint32_t>(i) >= arr.length()) {
                     NOMAP_ASSERT(in_tx);
-                    regs[instr.dst] = garbageValue();
+                    regs[instr->dst] = garbageValue();
                     if (i >= 0) {
                         env.memAccess(
                             arr.baseAddr + 8ull *
                                 static_cast<uint32_t>(i),
                             false);
                     }
-                    break;
+                    goto vm_next;
                 }
-                regs[instr.dst] = arr.storage[static_cast<size_t>(i)];
+                regs[instr->dst] =
+                    arr.storage[static_cast<size_t>(i)];
                 env.memAccess(env.heap.elementAddr(
                                   va.payload(),
                                   static_cast<uint32_t>(i)),
                               false);
-                break;
+                goto vm_next;
               }
-              case IrOp::SetElem: {
-                Value va = regs[instr.a];
-                Value vi = regs[instr.b];
+              VM_CASE(SetElem) {
+                Value va = regs[instr->a];
+                Value vi = regs[instr->b];
                 if (!va.isArray() || !vi.isInt32()) {
                     NOMAP_ASSERT(in_tx);
-                    break;
+                    goto vm_next;
                 }
                 const JsArray &arr = env.heap.array(va.payload());
                 int32_t i = vi.asInt32();
@@ -586,144 +585,145 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                             throw TxAbortUnwind{AbortCode::Capacity};
                         env.memAccess(addr, true);
                     }
-                    break; // Speculative OOB store: dropped.
+                    goto vm_next; // Speculative OOB store: dropped.
                 }
                 env.heap.setElementFast(va.payload(),
                                         static_cast<uint32_t>(i),
-                                        regs[instr.c]);
+                                        regs[instr->c]);
                 env.memAccess(env.heap.elementAddr(
                                   va.payload(),
                                   static_cast<uint32_t>(i)),
                               true);
-                break;
+                goto vm_next;
               }
-              case IrOp::LoadGlobal:
-                regs[instr.dst] = env.heap.getGlobal(instr.imm);
-                env.memAccess(env.heap.globalAddr(instr.imm), false);
-                break;
-              case IrOp::StoreGlobal:
-                env.heap.setGlobal(instr.imm, regs[instr.a]);
-                env.memAccess(env.heap.globalAddr(instr.imm), true);
-                break;
+              VM_CASE(LoadGlobal)
+                regs[instr->dst] = env.heap.getGlobal(instr->imm);
+                env.memAccess(env.heap.globalAddr(instr->imm), false);
+                goto vm_next;
+              VM_CASE(StoreGlobal)
+                env.heap.setGlobal(instr->imm, regs[instr->a]);
+                env.memAccess(env.heap.globalAddr(instr->imm), true);
+                goto vm_next;
 
               // ---- Generic runtime fallbacks -----------------------
-              case IrOp::GenericBinary:
+              VM_CASE(GenericBinary)
                 env.acct.chargeRuntime(CostModel::kRuntimeGenericOp);
-                regs[instr.dst] = env.runtime.applyBinary(
-                    static_cast<BinaryOp>(instr.imm), regs[instr.a],
-                    regs[instr.b]);
-                break;
-              case IrOp::GenericUnary:
+                regs[instr->dst] = env.runtime.applyBinary(
+                    static_cast<BinaryOp>(instr->imm), regs[instr->a],
+                    regs[instr->b]);
+                goto vm_next;
+              VM_CASE(GenericUnary)
                 env.acct.chargeRuntime(CostModel::kRuntimeGenericOp);
-                regs[instr.dst] = env.runtime.applyUnary(
-                    static_cast<UnaryOp>(instr.imm), regs[instr.a]);
-                break;
-              case IrOp::GenericGetProp: {
+                regs[instr->dst] = env.runtime.applyUnary(
+                    static_cast<UnaryOp>(instr->imm), regs[instr->a]);
+                goto vm_next;
+              VM_CASE(GenericGetProp) {
                 env.acct.chargeRuntime(CostModel::kRuntimePropAccess);
                 Addr addr = 0;
-                regs[instr.dst] = env.runtime.getPropertyGeneric(
-                    regs[instr.a], instr.imm, &addr);
+                regs[instr->dst] = env.runtime.getPropertyGeneric(
+                    regs[instr->a], instr->imm, &addr);
                 env.memAccess(addr, false);
-                break;
+                goto vm_next;
               }
-              case IrOp::GenericSetProp: {
+              VM_CASE(GenericSetProp) {
                 env.acct.chargeRuntime(CostModel::kRuntimePropAccess);
                 Addr addr = 0;
-                env.runtime.setPropertyGeneric(regs[instr.a], instr.imm,
-                                               regs[instr.b], &addr);
+                env.runtime.setPropertyGeneric(regs[instr->a],
+                                               instr->imm,
+                                               regs[instr->b], &addr);
                 env.memAccess(addr, true);
-                break;
+                goto vm_next;
               }
-              case IrOp::GenericGetIndex: {
+              VM_CASE(GenericGetIndex) {
                 env.acct.chargeRuntime(CostModel::kRuntimeIndexAccess);
                 Addr addr = 0;
-                regs[instr.dst] = env.runtime.getIndexGeneric(
-                    regs[instr.a], regs[instr.b], &addr);
+                regs[instr->dst] = env.runtime.getIndexGeneric(
+                    regs[instr->a], regs[instr->b], &addr);
                 env.memAccess(addr, false);
-                break;
+                goto vm_next;
               }
-              case IrOp::GenericSetIndex: {
+              VM_CASE(GenericSetIndex) {
                 env.acct.chargeRuntime(CostModel::kRuntimeIndexAccess);
                 Addr addr = 0;
-                env.runtime.setIndexGeneric(regs[instr.a],
-                                            regs[instr.b],
-                                            regs[instr.c], &addr);
+                env.runtime.setIndexGeneric(regs[instr->a],
+                                            regs[instr->b],
+                                            regs[instr->c], &addr);
                 env.memAccess(addr, true);
-                break;
+                goto vm_next;
               }
-              case IrOp::NewArray: {
+              VM_CASE(NewArray) {
                 env.acct.chargeRuntime(CostModel::kRuntimeAllocation);
-                Value arr = env.heap.allocArray(instr.imm);
-                for (uint32_t i = 0; i < instr.imm; ++i) {
+                Value arr = env.heap.allocArray(instr->imm);
+                for (uint32_t i = 0; i < instr->imm; ++i) {
                     env.heap.setElementFast(arr.payload(), i,
-                                            regs[instr.a + i]);
+                                            regs[instr->a + i]);
                 }
-                regs[instr.dst] = arr;
-                break;
+                regs[instr->dst] = arr;
+                goto vm_next;
               }
-              case IrOp::NewObject: {
+              VM_CASE(NewObject) {
                 env.acct.chargeRuntime(CostModel::kRuntimeAllocation);
                 Value obj = env.heap.allocObject();
                 // The descriptor lives in the bytecode function.
-                const ObjectDesc &desc = fn.objectDescs[instr.imm];
-                for (uint32_t i = 0; i < instr.b; ++i) {
+                const ObjectDesc &desc = fn.objectDescs[instr->imm];
+                for (uint32_t i = 0; i < instr->b; ++i) {
                     env.heap.setProperty(obj.payload(),
                                          desc.nameIds[i],
-                                         regs[instr.a + i]);
+                                         regs[instr->a + i]);
                 }
-                regs[instr.dst] = obj;
-                break;
+                regs[instr->dst] = obj;
+                goto vm_next;
               }
 
-              // ---- Calls ---------------------------------------------
-              case IrOp::Call:
-                regs[instr.dst] = env.dispatcher.call(
-                    instr.imm, regs.data() + instr.a, instr.b);
-                break;
-              case IrOp::CallNative: {
-                auto bid = static_cast<BuiltinId>(instr.imm);
+              // ---- Calls --------------------------------------------
+              VM_CASE(Call)
+                regs[instr->dst] = env.dispatcher.call(
+                    instr->imm, regs.data() + instr->a, instr->b);
+                goto vm_next;
+              VM_CASE(CallNative) {
+                auto bid = static_cast<BuiltinId>(instr->imm);
                 if (bid == BuiltinId::Print)
                     env.irrevocableEvent();
                 env.acct.chargeRuntime(CostModel::kRuntimeNativeCall);
-                regs[instr.dst] = env.builtins.call(
-                    bid, regs.data() + instr.a, instr.b);
-                break;
+                regs[instr->dst] = env.builtins.call(
+                    bid, regs.data() + instr->a, instr->b);
+                goto vm_next;
               }
-              case IrOp::Intrinsic:
-                regs[instr.dst] = env.builtins.call(
-                    static_cast<BuiltinId>(instr.imm),
-                    regs.data() + instr.a, instr.b);
-                break;
-              case IrOp::CallMethod: {
+              VM_CASE(Intrinsic)
+                regs[instr->dst] = env.builtins.call(
+                    static_cast<BuiltinId>(instr->imm),
+                    regs.data() + instr->a, instr->b);
+                goto vm_next;
+              VM_CASE(CallMethod) {
                 env.acct.chargeRuntime(CostModel::kRuntimeMethodCall);
-                uint32_t name_id = instr.imm / 16;
-                uint32_t margs = instr.imm % 16;
-                regs[instr.dst] = env.builtins.callMethod(
-                    regs[instr.a], name_id, regs.data() + instr.b,
+                uint32_t name_id = instr->imm / 16;
+                uint32_t margs = instr->imm % 16;
+                regs[instr->dst] = env.builtins.callMethod(
+                    regs[instr->a], name_id, regs.data() + instr->b,
                     margs);
-                break;
+                goto vm_next;
               }
 
-              // ---- Control flow --------------------------------------
-              case IrOp::Jump:
-                block = instr.imm;
+              // ---- Control flow ------------------------------------
+              VM_CASE(Jump)
+                block = instr->imm;
                 idx = 0;
-                continue;
-              case IrOp::Branch: {
-                bool taken = env.runtime.toBoolean(regs[instr.a]);
-                block = taken ? instr.imm : instr.imm2;
+                goto vm_seg_entry;
+              VM_CASE(Branch) {
+                bool taken = env.runtime.toBoolean(regs[instr->a]);
+                block = taken ? instr->imm : instr->imm2;
                 idx = 0;
-                continue;
+                goto vm_seg_entry;
               }
-              case IrOp::Return:
+              VM_CASE(Return)
                 NOMAP_ASSERT(!tx_owner);
-                return regs[instr.a];
-              case IrOp::ReturnUndef:
+                return regs[instr->a];
+              VM_CASE(ReturnUndef)
                 NOMAP_ASSERT(!tx_owner);
                 return Value::undefined();
 
-              // ---- Transactions --------------------------------------
-              case IrOp::TxBegin: {
+              // ---- Transactions ------------------------------------
+              VM_CASE(TxBegin) {
                 bool outermost = !env.htm.inTransaction();
                 env.acct.chargeCycles(env.htm.begin());
                 sync_tx_flag();
@@ -731,7 +731,7 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                     tx_owner = true;
                     tx_snapshot.assign(
                         regs.begin(), regs.begin() + ir.bytecodeRegs);
-                    tx_entry_pc = instr.smpPc;
+                    tx_entry_pc = instr->smpPc;
                     tx_instr = 0;
                     tile_count = 0;
                     // An injected begin-abort (htm.abort*) fires now
@@ -740,14 +740,16 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                     AbortCode injected =
                         env.htm.takePendingInjectedAbort();
                     if (injected != AbortCode::None) {
+                        if constexpr (kBatched)
+                            refundAfterCurrent();
                         env.acct.chargeCycles(
                             env.htm.abort(injected));
                         return resume_baseline();
                     }
                 }
-                break;
+                goto vm_next_newseg;
               }
-              case IrOp::TxEnd: {
+              VM_CASE(TxEnd) {
                 CommitResult r = env.htm.end();
                 env.acct.chargeCycles(r.cycles);
                 if (r.committed) {
@@ -756,46 +758,73 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                         tx_owner = false;
                     }
                     sync_tx_flag();
-                    break;
+                    goto vm_next_newseg;
                 }
                 // SOF abort at commit (paper Figure 7).
                 if (!tx_owner) {
                     sync_tx_flag();
                     throw TxAbortUnwind{r.abortCode};
                 }
+                if constexpr (kBatched)
+                    refundAfterCurrent();
                 return resume_baseline();
               }
-              case IrOp::TxTile: {
+              VM_CASE(TxTile) {
                 if (!tx_owner)
-                    break; // Nested: tiling disabled.
+                    goto vm_next_newseg; // Nested: tiling disabled.
                 ++tile_count;
-                if (tile_count % instr.imm != 0)
-                    break;
+                if (tile_count % instr->imm != 0)
+                    goto vm_next_newseg;
                 CommitResult r = env.htm.end();
                 env.acct.chargeCycles(r.cycles);
-                if (!r.committed)
+                if (!r.committed) {
+                    if constexpr (kBatched)
+                        refundAfterCurrent();
                     return resume_baseline();
+                }
                 env.mem.commitSpeculative();
                 env.acct.chargeCycles(env.htm.begin());
                 tx_snapshot.assign(regs.begin(),
                                    regs.begin() + ir.bytecodeRegs);
-                tx_entry_pc = instr.smpPc;
+                tx_entry_pc = instr->smpPc;
                 tx_instr = 0;
                 {
                     AbortCode injected =
                         env.htm.takePendingInjectedAbort();
                     if (injected != AbortCode::None) {
+                        if constexpr (kBatched)
+                            refundAfterCurrent();
                         env.acct.chargeCycles(
                             env.htm.abort(injected));
                         return resume_baseline();
                     }
                 }
-                break;
+                goto vm_next_newseg;
               }
             }
-            ++idx;
         }
+
+    vm_next:
+        ++idx;
+        goto vm_top;
+
+    vm_next_newseg:
+        // The op just executed ended a charge segment (transaction
+        // boundary): its successors run under the new transactional
+        // context, so batched mode opens a fresh segment for them.
+        ++idx;
+        goto vm_seg_entry;
     } catch (TxAbortUnwind &unwind) {
+        if constexpr (kBatched) {
+            // The charged segment's ops after the faulting one never
+            // executed — whether the throw came from this frame's own
+            // converted check / capacity overflow or surfaced out of
+            // a callee. (ExecutionCancelled is deliberately NOT
+            // caught: cancellation voids the stats and the engine
+            // must be reset, so there is nothing to refund.)
+            if (blk)
+                refundAfterCurrent();
+        }
         if (!tx_owner) {
             sync_tx_flag();
             throw; // Outer frame owns the transaction.
@@ -805,5 +834,7 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
         return resume_baseline();
     }
 }
+
+#undef VM_CASE
 
 } // namespace nomap

@@ -48,6 +48,18 @@ class IrExecutor
     void resetAbortFeedback() { capAborts = 0; checkAborts = 0; }
 
   private:
+    /**
+     * The dispatch loop. kBatched selects the accounting strategy:
+     * true charges each charge segment's static cost once on segment
+     * entry (refunding the unexecuted suffix on deopt/abort/watchdog
+     * exits), false charges every op individually. Both must produce
+     * bit-identical ExecutionStats; the differential accounting test
+     * enforces it.
+     */
+    template <bool kBatched>
+    Value runImpl(IrFunction &ir, BytecodeFunction &fn,
+                  const Value *args, uint32_t nargs);
+
     ExecEnv &env;
     BytecodeExecutor &baseline;
     const EngineConfig &config;

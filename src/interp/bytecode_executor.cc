@@ -2,6 +2,25 @@
 
 #include "support/logging.h"
 
+/**
+ * Dispatch strategy. With NOMAP_COMPUTED_GOTO (set by CMake when the
+ * compiler supports GNU labels-as-values) each op body ends in an
+ * indirect jump through a per-opcode label table — the classic
+ * direct-threaded interpreter, which gives the branch predictor one
+ * indirect-branch site per opcode instead of a single shared one.
+ * Without it, the same bodies compile as a portable switch.
+ *
+ * Both variants share one skeleton: VM_CASE opens an op body,
+ * `goto vm_next` advances to the next pc, and jump ops go straight to
+ * vm_top after retargeting pc (vm_next also clears the back-edge
+ * flag, so jumps must bypass it — exactly the seed loop's continue).
+ */
+#if defined(NOMAP_COMPUTED_GOTO)
+#define VM_CASE(name) lbl_##name:
+#else
+#define VM_CASE(name) case Opcode::name:
+#endif
+
 namespace nomap {
 
 BytecodeExecutor::BytecodeExecutor(ExecEnv &env_, Tier tier_)
@@ -48,44 +67,95 @@ Value
 BytecodeExecutor::execute(BytecodeFunction &fn, std::vector<Value> &regs,
                           uint32_t pc)
 {
+    // Hand-built functions in tests never go through the compiler;
+    // build their charge plan on first execution.
+    if (fn.runLen.size() != fn.code.size())
+        fn.computeChargePlan();
+    return env.perOpAccounting ? executeImpl<false>(fn, regs, pc)
+                               : executeImpl<true>(fn, regs, pc);
+}
+
+template <bool kBatched>
+Value
+BytecodeExecutor::executeImpl(BytecodeFunction &fn,
+                              std::vector<Value> &regs, uint32_t pc)
+{
     const bool interp = tier == Tier::Interpreter;
+    const uint32_t base = interp ? CostModel::kInterpDispatch
+                                 : CostModel::kBaselineOp;
     FunctionProfile &prof = fn.profile;
     bool came_from_back_edge = false;
+    // Transactional context when the current run was charged — a
+    // refund must come out of the same cycle bucket even if an abort
+    // has flipped the context since.
+    bool run_charged_tm = false;
 
     auto charge = [&](uint32_t amount) {
         env.acct.chargeInstructions(tier, amount);
     };
+    // Batched mode: one charge covers the whole straight-line run
+    // starting at `at` (base cost per op plus the static conditional
+    // -branch extras; see BytecodeFunction::computeChargePlan).
+    auto chargeRunFrom = [&](uint32_t at) {
+        NOMAP_ASSERT(at < fn.runLen.size());
+        run_charged_tm = env.acct.inTransaction();
+        env.acct.chargeInstructions(
+            tier, static_cast<uint64_t>(base) * fn.runLen[at] +
+                      fn.runExtra[at]);
+    };
 
-    for (;;) {
+    const BytecodeInstr *instr = nullptr;
+
+    try {
+        if constexpr (kBatched)
+            chargeRunFrom(pc);
+
+#if defined(NOMAP_COMPUTED_GOTO)
+        static const void *const kDispatch[] = {
+#define NOMAP_BYTECODE_OP_LABEL(name) &&lbl_##name,
+            NOMAP_BYTECODE_OP_LIST(NOMAP_BYTECODE_OP_LABEL)
+#undef NOMAP_BYTECODE_OP_LABEL
+        };
+        static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) ==
+                      kNumOpcodes);
+#endif
+
+    vm_top:
         NOMAP_ASSERT(pc < fn.code.size());
-        const BytecodeInstr &instr = fn.code[pc];
-        // Every op pays the tier's base cost; specific ops add more.
-        charge(interp ? CostModel::kInterpDispatch
-                      : CostModel::kBaselineOp);
+        instr = &fn.code[pc];
+        // Per-op mode pays the tier base cost here, every op; batched
+        // mode already paid it as part of the run charge.
+        if constexpr (!kBatched)
+            charge(base);
 
-        switch (instr.op) {
-          case Opcode::LoadConst:
-            regs[instr.a] = fn.constants[instr.imm];
-            break;
+#if defined(NOMAP_COMPUTED_GOTO)
+        goto *kDispatch[static_cast<size_t>(instr->op)];
+#else
+        switch (instr->op)
+#endif
+        {
+          VM_CASE(LoadConst)
+            regs[instr->a] = fn.constants[instr->imm];
+            goto vm_next;
 
-          case Opcode::Move:
-            regs[instr.a] = regs[instr.b];
-            break;
+          VM_CASE(Move)
+            regs[instr->a] = regs[instr->b];
+            goto vm_next;
 
-          case Opcode::LoadGlobal:
-            regs[instr.a] = env.heap.getGlobal(instr.imm);
-            env.memAccess(env.heap.globalAddr(instr.imm), false);
-            break;
+          VM_CASE(LoadGlobal)
+            regs[instr->a] = env.heap.getGlobal(instr->imm);
+            env.memAccess(env.heap.globalAddr(instr->imm), false);
+            goto vm_next;
 
-          case Opcode::StoreGlobal:
-            env.heap.setGlobal(instr.imm, regs[instr.b]);
-            env.memAccess(env.heap.globalAddr(instr.imm), true);
-            break;
+          VM_CASE(StoreGlobal)
+            env.heap.setGlobal(instr->imm, regs[instr->b]);
+            env.memAccess(env.heap.globalAddr(instr->imm), true);
+            goto vm_next;
 
-          case Opcode::Binary: {
-            Value lhs = regs[instr.b];
-            Value rhs = regs[instr.c];
-            auto op = static_cast<BinaryOp>(instr.imm);
+          VM_CASE(Binary) {
+            Value lhs = regs[instr->b];
+            Value rhs = regs[instr->c];
+            auto op = static_cast<BinaryOp>(instr->imm);
             Value result;
             if (!interp && lhs.isInt32() && rhs.isInt32() &&
                 (op == BinaryOp::Add || op == BinaryOp::Sub)) {
@@ -110,42 +180,44 @@ BytecodeExecutor::execute(BytecodeFunction &fn, std::vector<Value> &regs,
                                            : CostModel::kBaselineArith);
             }
             profileBinary(prof.arith[pc], lhs, rhs, result);
-            regs[instr.a] = result;
-            break;
+            regs[instr->a] = result;
+            goto vm_next;
           }
 
-          case Opcode::Unary: {
-            Value src = regs[instr.b];
+          VM_CASE(Unary) {
+            Value src = regs[instr->b];
             Value result = env.runtime.applyUnary(
-                static_cast<UnaryOp>(instr.imm), src);
+                static_cast<UnaryOp>(instr->imm), src);
             ArithProfile &ap = prof.arith[pc];
             ap.lhsMask |= valueKindMask(src.kind());
             ap.resultMask |= valueKindMask(result.kind());
-            regs[instr.a] = result;
-            break;
+            regs[instr->a] = result;
+            goto vm_next;
           }
 
-          case Opcode::GetProp: {
-            Value base = regs[instr.b];
+          VM_CASE(GetProp) {
+            Value base_v = regs[instr->b];
             PropertyProfile &pp = prof.property[pc];
-            pp.baseMask |= valueKindMask(base.kind());
+            pp.baseMask |= valueKindMask(base_v.kind());
             Addr addr = 0;
             Value result;
-            if (!interp && base.isObject()) {
+            if (!interp && base_v.isObject()) {
                 // Baseline inline cache.
-                const JsObject &obj = env.heap.object(base.payload());
+                const JsObject &obj = env.heap.object(base_v.payload());
                 if (pp.shape == obj.shape && pp.slot >= 0) {
                     result = env.heap.getSlot(
-                        base.payload(), static_cast<uint32_t>(pp.slot));
+                        base_v.payload(),
+                        static_cast<uint32_t>(pp.slot));
                     addr = env.heap.slotAddr(
-                        base.payload(), static_cast<uint32_t>(pp.slot));
+                        base_v.payload(),
+                        static_cast<uint32_t>(pp.slot));
                     charge(CostModel::kBaselineIcHit);
                 } else {
                     result = env.runtime.getPropertyGeneric(
-                        base, instr.imm, &addr);
+                        base_v, instr->imm, &addr);
                     env.acct.chargeRuntime(CostModel::kBaselineIcMiss);
                     int32_t slot = env.heap.shapeTable().lookup(
-                        obj.shape, instr.imm);
+                        obj.shape, instr->imm);
                     if (pp.shape != kInvalidShape &&
                         pp.shape != obj.shape) {
                         pp.polymorphic = true;
@@ -154,77 +226,81 @@ BytecodeExecutor::execute(BytecodeFunction &fn, std::vector<Value> &regs,
                     pp.slot = slot;
                 }
             } else {
-                result = env.runtime.getPropertyGeneric(base, instr.imm,
+                result = env.runtime.getPropertyGeneric(base_v,
+                                                        instr->imm,
                                                         &addr);
                 env.acct.chargeRuntime(CostModel::kRuntimePropAccess);
-                if (base.isObject()) {
+                if (base_v.isObject()) {
                     const JsObject &obj =
-                        env.heap.object(base.payload());
+                        env.heap.object(base_v.payload());
                     if (pp.shape != kInvalidShape &&
                         pp.shape != obj.shape) {
                         pp.polymorphic = true;
                     }
                     pp.shape = obj.shape;
                     pp.slot = env.heap.shapeTable().lookup(obj.shape,
-                                                           instr.imm);
+                                                           instr->imm);
                 }
             }
             env.memAccess(addr, false);
-            regs[instr.a] = result;
-            break;
+            regs[instr->a] = result;
+            goto vm_next;
           }
 
-          case Opcode::SetProp: {
-            Value base = regs[instr.b];
+          VM_CASE(SetProp) {
+            Value base_v = regs[instr->b];
             PropertyProfile &pp = prof.property[pc];
-            pp.baseMask |= valueKindMask(base.kind());
+            pp.baseMask |= valueKindMask(base_v.kind());
             Addr addr = 0;
-            if (base.isObject()) {
-                const JsObject &obj = env.heap.object(base.payload());
+            if (base_v.isObject()) {
+                const JsObject &obj = env.heap.object(base_v.payload());
                 if (!interp && pp.shape == obj.shape && pp.slot >= 0) {
-                    env.heap.setSlot(base.payload(),
+                    env.heap.setSlot(base_v.payload(),
                                      static_cast<uint32_t>(pp.slot),
-                                     regs[instr.c]);
+                                     regs[instr->c]);
                     addr = env.heap.slotAddr(
-                        base.payload(), static_cast<uint32_t>(pp.slot));
+                        base_v.payload(),
+                        static_cast<uint32_t>(pp.slot));
                     charge(CostModel::kBaselineIcHit);
                 } else {
                     if (pp.shape != kInvalidShape &&
                         pp.shape != obj.shape) {
                         pp.polymorphic = true;
                     }
-                    env.runtime.setPropertyGeneric(base, instr.imm,
-                                                   regs[instr.c], &addr);
+                    env.runtime.setPropertyGeneric(base_v, instr->imm,
+                                                   regs[instr->c],
+                                                   &addr);
                     env.acct.chargeRuntime(
                         interp ? CostModel::kRuntimePropAccess
                                : CostModel::kBaselineIcMiss);
                     const JsObject &after =
-                        env.heap.object(base.payload());
+                        env.heap.object(base_v.payload());
                     pp.shape = after.shape;
                     pp.slot = env.heap.shapeTable().lookup(after.shape,
-                                                           instr.imm);
+                                                           instr->imm);
                 }
             } else {
-                env.runtime.setPropertyGeneric(base, instr.imm,
-                                               regs[instr.c], &addr);
+                env.runtime.setPropertyGeneric(base_v, instr->imm,
+                                               regs[instr->c], &addr);
                 env.acct.chargeRuntime(CostModel::kRuntimePropAccess);
             }
             env.memAccess(addr, true);
-            break;
+            goto vm_next;
           }
 
-          case Opcode::GetIndex: {
-            Value base = regs[instr.b];
-            Value index = regs[instr.c];
+          VM_CASE(GetIndex) {
+            Value base_v = regs[instr->b];
+            Value index = regs[instr->c];
             IndexProfile &ip = prof.index[pc];
-            ip.baseMask |= valueKindMask(base.kind());
+            ip.baseMask |= valueKindMask(base_v.kind());
             ip.indexMask |= valueKindMask(index.kind());
             Addr addr = 0;
             Value result =
-                env.runtime.getIndexGeneric(base, index, &addr);
-            if (base.isArray() && index.isInt32()) {
+                env.runtime.getIndexGeneric(base_v, index, &addr);
+            if (base_v.isArray() && index.isInt32()) {
                 int32_t i = index.asInt32();
-                uint32_t len = env.heap.array(base.payload()).length();
+                uint32_t len =
+                    env.heap.array(base_v.payload()).length();
                 if (i < 0 || static_cast<uint32_t>(i) >= len)
                     ip.sawOutOfBounds = true;
                 else if (result.isUndefined())
@@ -235,123 +311,160 @@ BytecodeExecutor::execute(BytecodeFunction &fn, std::vector<Value> &regs,
                                        ? CostModel::kRuntimeIndexAccess
                                        : CostModel::kBaselineIndex);
             env.memAccess(addr, false);
-            regs[instr.a] = result;
-            break;
+            regs[instr->a] = result;
+            goto vm_next;
           }
 
-          case Opcode::SetIndex: {
-            Value base = regs[instr.a];
-            Value index = regs[instr.b];
+          VM_CASE(SetIndex) {
+            Value base_v = regs[instr->a];
+            Value index = regs[instr->b];
             IndexProfile &ip = prof.index[pc];
-            ip.baseMask |= valueKindMask(base.kind());
+            ip.baseMask |= valueKindMask(base_v.kind());
             ip.indexMask |= valueKindMask(index.kind());
-            if (base.isArray() && index.isInt32()) {
+            if (base_v.isArray() && index.isInt32()) {
                 int32_t i = index.asInt32();
-                uint32_t len = env.heap.array(base.payload()).length();
+                uint32_t len =
+                    env.heap.array(base_v.payload()).length();
                 if (i < 0 || static_cast<uint32_t>(i) >= len)
                     ip.sawOutOfBounds = true;
             }
             Addr addr = 0;
-            env.runtime.setIndexGeneric(base, index, regs[instr.c],
+            env.runtime.setIndexGeneric(base_v, index, regs[instr->c],
                                         &addr);
             env.acct.chargeRuntime(interp
                                        ? CostModel::kRuntimeIndexAccess
                                        : CostModel::kBaselineIndex);
             env.memAccess(addr, true);
-            break;
+            goto vm_next;
           }
 
-          case Opcode::NewArray: {
-            Value arr = env.heap.allocArray(instr.c);
-            for (uint16_t i = 0; i < instr.c; ++i) {
+          VM_CASE(NewArray) {
+            Value arr = env.heap.allocArray(instr->c);
+            for (uint16_t i = 0; i < instr->c; ++i) {
                 env.heap.setElementFast(arr.payload(), i,
-                                        regs[instr.b + i]);
+                                        regs[instr->b + i]);
             }
             env.acct.chargeRuntime(CostModel::kRuntimeAllocation);
-            regs[instr.a] = arr;
-            break;
+            regs[instr->a] = arr;
+            goto vm_next;
           }
 
-          case Opcode::NewObject: {
+          VM_CASE(NewObject) {
             Value obj = env.heap.allocObject();
-            const ObjectDesc &desc = fn.objectDescs[instr.imm];
-            for (uint16_t i = 0; i < instr.c; ++i) {
+            const ObjectDesc &desc = fn.objectDescs[instr->imm];
+            for (uint16_t i = 0; i < instr->c; ++i) {
                 env.heap.setProperty(obj.payload(), desc.nameIds[i],
-                                     regs[instr.b + i]);
+                                     regs[instr->b + i]);
             }
             env.acct.chargeRuntime(CostModel::kRuntimeAllocation);
-            regs[instr.a] = obj;
-            break;
+            regs[instr->a] = obj;
+            goto vm_next;
           }
 
-          case Opcode::Call: {
+          VM_CASE(Call) {
             env.acct.chargeRuntime(interp ? CostModel::kRuntimeGenericOp
                                           : CostModel::kBaselineCall);
-            regs[instr.a] = env.dispatcher.call(
-                instr.imm, regs.data() + instr.b, instr.c);
-            break;
+            regs[instr->a] = env.dispatcher.call(
+                instr->imm, regs.data() + instr->b, instr->c);
+            goto vm_next;
           }
 
-          case Opcode::CallNative: {
-            auto bid = static_cast<BuiltinId>(instr.imm);
+          VM_CASE(CallNative) {
+            auto bid = static_cast<BuiltinId>(instr->imm);
             if (bid == BuiltinId::Print)
                 env.irrevocableEvent();
             env.acct.chargeRuntime(CostModel::kRuntimeNativeCall);
-            regs[instr.a] = env.builtins.call(
-                bid, regs.data() + instr.b, instr.c);
-            break;
+            regs[instr->a] = env.builtins.call(
+                bid, regs.data() + instr->b, instr->c);
+            goto vm_next;
           }
 
-          case Opcode::CallMethod: {
-            uint32_t name_id = instr.imm / 16;
-            uint32_t nargs = instr.imm % 16;
+          VM_CASE(CallMethod) {
+            uint32_t name_id = instr->imm / 16;
+            uint32_t nargs = instr->imm % 16;
             env.acct.chargeRuntime(CostModel::kRuntimeMethodCall);
-            regs[instr.a] = env.builtins.callMethod(
-                regs[instr.b], name_id, regs.data() + instr.c, nargs);
-            break;
+            regs[instr->a] = env.builtins.callMethod(
+                regs[instr->b], name_id, regs.data() + instr->c, nargs);
+            goto vm_next;
           }
 
-          case Opcode::Jump:
-            if (instr.imm <= pc) {
+          VM_CASE(Jump)
+            if (instr->imm <= pc) {
                 came_from_back_edge = true;
                 ++prof.backEdgeCount;
             }
-            pc = instr.imm;
-            continue;
+            pc = instr->imm;
+            if constexpr (kBatched)
+                chargeRunFrom(pc);
+            goto vm_top;
 
-          case Opcode::JumpIfTrue:
-          case Opcode::JumpIfFalse: {
-            bool truthy = env.runtime.toBoolean(regs[instr.b]);
-            bool taken = (instr.op == Opcode::JumpIfTrue) == truthy;
-            charge(2);
+          VM_CASE(JumpIfTrue)
+          VM_CASE(JumpIfFalse) {
+            bool truthy = env.runtime.toBoolean(regs[instr->b]);
+            bool taken = (instr->op == Opcode::JumpIfTrue) == truthy;
+            // The conditional-branch extra is static, so batched mode
+            // folded it into the run charge (runExtra).
+            if constexpr (!kBatched)
+                charge(2);
             if (taken) {
-                if (instr.imm <= pc) {
+                if (instr->imm <= pc) {
                     came_from_back_edge = true;
                     ++prof.backEdgeCount;
                 }
-                pc = instr.imm;
-                continue;
+                pc = instr->imm;
+                if constexpr (kBatched)
+                    chargeRunFrom(pc);
+                goto vm_top;
             }
-            break;
+            // A conditional jump terminates its run either way: the
+            // fall-through path starts a fresh one.
+            if constexpr (kBatched)
+                chargeRunFrom(pc + 1);
+            goto vm_next;
           }
 
-          case Opcode::Return:
-            return regs[instr.b];
+          VM_CASE(Return)
+            return regs[instr->b];
 
-          case Opcode::ReturnUndef:
+          VM_CASE(ReturnUndef)
             return Value::undefined();
 
-          case Opcode::LoopHeader: {
-            LoopProfile &lp = prof.loops[instr.imm];
+          VM_CASE(LoopHeader) {
+            LoopProfile &lp = prof.loops[instr->imm];
             if (!came_from_back_edge)
                 ++lp.entries;
             ++lp.totalIterations;
-            break;
+            goto vm_next;
           }
         }
+
+    vm_next:
         came_from_back_edge = false;
         ++pc;
+        goto vm_top;
+    } catch (ExecutionCancelled &) {
+        // Cancellation voids the stats (the engine must be reset), and
+        // the charge that threw was never applied — nothing to refund.
+        throw;
+    } catch (...) {
+        if constexpr (kBatched) {
+            // Mid-run exit (transactional abort unwinding through this
+            // frame, or an abort thrown by a memory access): the ops
+            // after pc in the charged run never executed. Per-op mode
+            // stopped charging at pc, so take the suffix back.
+            if (!isRunTerminator(fn.code[pc].op) &&
+                pc + 1 < fn.code.size()) {
+                env.acct.refundInstructions(
+                    tier,
+                    static_cast<uint64_t>(base) * fn.runLen[pc + 1] +
+                        fn.runExtra[pc + 1],
+                    false, run_charged_tm);
+            }
+        }
+        throw;
     }
 }
+
+#undef VM_CASE
 
 } // namespace nomap

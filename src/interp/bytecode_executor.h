@@ -48,6 +48,17 @@ class BytecodeExecutor
     Value execute(BytecodeFunction &fn, std::vector<Value> &regs,
                   uint32_t pc);
 
+    /**
+     * The dispatch loop. kBatched selects the accounting strategy:
+     * true charges each straight-line run's static cost once on run
+     * entry (refunding the unexecuted suffix on an early exit), false
+     * charges every op individually. Both must produce bit-identical
+     * ExecutionStats; the differential accounting test enforces it.
+     */
+    template <bool kBatched>
+    Value executeImpl(BytecodeFunction &fn, std::vector<Value> &regs,
+                      uint32_t pc);
+
     void profileBinary(ArithProfile &prof, Value lhs, Value rhs,
                        Value result);
 

@@ -49,6 +49,8 @@ struct ExecEnv {
     CompiledProgram *program = nullptr;
     /** Armed fault injector, or nullptr (the common case). */
     FaultInjector *inj = nullptr;
+    /** Per-operation (reference) instead of batched accounting. */
+    bool perOpAccounting = false;
 
     /**
      * Model one data-memory access: cache timing, SW pinning for

@@ -1,5 +1,6 @@
 #include "ir/ir.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "support/logging.h"
@@ -159,69 +160,128 @@ definesDst(IrOp op)
 const char *
 irOpName(IrOp op)
 {
+    static const char *const kNames[] = {
+#define NOMAP_IR_OP_NAME(name) #name,
+        NOMAP_IR_OP_LIST(NOMAP_IR_OP_NAME)
+#undef NOMAP_IR_OP_NAME
+    };
+    static_assert(sizeof(kNames) / sizeof(kNames[0]) == kNumIrOps);
+    size_t i = static_cast<size_t>(op);
+    return i < kNumIrOps ? kNames[i] : "?";
+}
+
+/** x86-64-equivalent instruction count for one IR op. */
+uint32_t
+irBaseCost(IrOp op)
+{
     switch (op) {
-      case IrOp::Nop: return "Nop";
-      case IrOp::Const: return "Const";
-      case IrOp::Move: return "Move";
-      case IrOp::AddInt: return "AddInt";
-      case IrOp::SubInt: return "SubInt";
-      case IrOp::MulInt: return "MulInt";
-      case IrOp::NegInt: return "NegInt";
-      case IrOp::AddDouble: return "AddDouble";
-      case IrOp::SubDouble: return "SubDouble";
-      case IrOp::MulDouble: return "MulDouble";
-      case IrOp::DivDouble: return "DivDouble";
-      case IrOp::ModDouble: return "ModDouble";
-      case IrOp::NegDouble: return "NegDouble";
-      case IrOp::BitAndInt: return "BitAndInt";
-      case IrOp::BitOrInt: return "BitOrInt";
-      case IrOp::BitXorInt: return "BitXorInt";
-      case IrOp::ShlInt: return "ShlInt";
-      case IrOp::ShrInt: return "ShrInt";
-      case IrOp::UShrInt: return "UShrInt";
-      case IrOp::BitNotInt: return "BitNotInt";
-      case IrOp::CmpInt: return "CmpInt";
-      case IrOp::CmpDouble: return "CmpDouble";
-      case IrOp::ToDouble: return "ToDouble";
-      case IrOp::ToBoolean: return "ToBoolean";
-      case IrOp::NotBool: return "NotBool";
-      case IrOp::CheckInt32: return "CheckInt32";
-      case IrOp::CheckNumber: return "CheckNumber";
-      case IrOp::CheckShape: return "CheckShape";
-      case IrOp::CheckArray: return "CheckArray";
-      case IrOp::CheckIndexInt: return "CheckIndexInt";
-      case IrOp::CheckBounds: return "CheckBounds";
-      case IrOp::CheckBoundsRange: return "CheckBoundsRange";
-      case IrOp::CheckOverflow: return "CheckOverflow";
-      case IrOp::CheckNotHole: return "CheckNotHole";
-      case IrOp::GetSlot: return "GetSlot";
-      case IrOp::SetSlot: return "SetSlot";
-      case IrOp::GetArrayLen: return "GetArrayLen";
-      case IrOp::GetElem: return "GetElem";
-      case IrOp::SetElem: return "SetElem";
-      case IrOp::LoadGlobal: return "LoadGlobal";
-      case IrOp::StoreGlobal: return "StoreGlobal";
-      case IrOp::GenericBinary: return "GenericBinary";
-      case IrOp::GenericUnary: return "GenericUnary";
-      case IrOp::GenericGetProp: return "GenericGetProp";
-      case IrOp::GenericSetProp: return "GenericSetProp";
-      case IrOp::GenericGetIndex: return "GenericGetIndex";
-      case IrOp::GenericSetIndex: return "GenericSetIndex";
-      case IrOp::NewArray: return "NewArray";
-      case IrOp::NewObject: return "NewObject";
-      case IrOp::Call: return "Call";
-      case IrOp::CallNative: return "CallNative";
-      case IrOp::Intrinsic: return "Intrinsic";
-      case IrOp::CallMethod: return "CallMethod";
-      case IrOp::Jump: return "Jump";
-      case IrOp::Branch: return "Branch";
-      case IrOp::Return: return "Return";
-      case IrOp::ReturnUndef: return "ReturnUndef";
-      case IrOp::TxBegin: return "TxBegin";
-      case IrOp::TxEnd: return "TxEnd";
-      case IrOp::TxTile: return "TxTile";
+      case IrOp::Nop: return 0;
+      case IrOp::Const: return CostModel::kFtlConst;
+      case IrOp::Move: return CostModel::kFtlMove;
+      case IrOp::AddInt:
+      case IrOp::SubInt:
+      case IrOp::MulInt:
+      case IrOp::NegInt:
+      case IrOp::BitAndInt:
+      case IrOp::BitOrInt:
+      case IrOp::BitXorInt:
+      case IrOp::ShlInt:
+      case IrOp::ShrInt:
+      case IrOp::UShrInt:
+      case IrOp::BitNotInt:
+        return CostModel::kFtlArith;
+      case IrOp::AddDouble:
+      case IrOp::SubDouble:
+      case IrOp::MulDouble:
+      case IrOp::DivDouble:
+      case IrOp::ModDouble:
+      case IrOp::NegDouble:
+        return CostModel::kFtlDoubleArith;
+      case IrOp::CmpInt:
+      case IrOp::CmpDouble:
+      case IrOp::ToDouble:
+      case IrOp::ToBoolean:
+      case IrOp::NotBool:
+        return 1;
+      case IrOp::CheckInt32:
+      case IrOp::CheckNumber:
+      case IrOp::CheckShape:
+      case IrOp::CheckArray:
+      case IrOp::CheckIndexInt:
+      case IrOp::CheckBounds:
+      case IrOp::CheckNotHole:
+        return CostModel::kFtlCheck;
+      case IrOp::CheckBoundsRange:
+        return CostModel::kFtlCheck + 1;
+      case IrOp::CheckOverflow:
+        return CostModel::kFtlOverflowCheck;
+      case IrOp::GetSlot:
+      case IrOp::GetArrayLen:
+      case IrOp::LoadGlobal:
+        return CostModel::kFtlLoad;
+      case IrOp::SetSlot:
+      case IrOp::StoreGlobal:
+        return CostModel::kFtlStore;
+      case IrOp::GetElem:
+        return CostModel::kFtlLoad + 2 * CostModel::kFtlElemAddr;
+      case IrOp::SetElem:
+        return CostModel::kFtlStore + 2 * CostModel::kFtlElemAddr;
+      case IrOp::GenericBinary:
+      case IrOp::GenericUnary:
+      case IrOp::GenericGetProp:
+      case IrOp::GenericSetProp:
+      case IrOp::GenericGetIndex:
+      case IrOp::GenericSetIndex:
+      case IrOp::NewArray:
+      case IrOp::NewObject:
+      case IrOp::Call:
+      case IrOp::CallNative:
+      case IrOp::CallMethod:
+        return CostModel::kFtlCallOverhead;
+      case IrOp::Intrinsic:
+        return 8; // sqrtsd-class inlined sequence.
+      case IrOp::Jump:
+      case IrOp::Return:
+      case IrOp::ReturnUndef:
+        return 1;
+      case IrOp::Branch:
+        return 2;
+      case IrOp::TxBegin: return CostModel::kFtlTxBegin;
+      case IrOp::TxEnd: return CostModel::kFtlTxEnd;
+      case IrOp::TxTile: return 2;
     }
-    return "?";
+    return 1;
+}
+
+void
+computeChargePlan(IrFunction &fn)
+{
+    // The DFG executor scales every op's cost individually (lround
+    // per op, then sum), so the plan must bake the scaling in per op
+    // to stay bit-identical with per-op accounting.
+    bool dfg = fn.tier == Tier::Dfg;
+    for (IrBlock &block : fn.blocks) {
+        size_t n = block.instrs.size();
+        block.ownScaled.assign(n, 0);
+        block.chargeFrom.assign(n, 0);
+        for (size_t i = n; i-- > 0;) {
+            const IrInstr &instr = block.instrs[i];
+            uint32_t cost = irBaseCost(instr.op);
+            uint32_t scaled =
+                dfg ? static_cast<uint32_t>(
+                          std::lround(cost * CostModel::kDfgFactor))
+                    : cost;
+            block.ownScaled[i] = scaled;
+            // A tx-boundary op ends its charge segment: whatever
+            // follows executes under a different transaction state
+            // and must be charged separately (the Tm/NonTm cycle
+            // split depends on inTransaction at charge time).
+            bool segEnd = isTxBoundaryOp(instr.op) || i + 1 == n;
+            block.chargeFrom[i] =
+                scaled + (segEnd ? 0 : block.chargeFrom[i + 1]);
+        }
+    }
+    fn.chargePlanReady = true;
 }
 
 std::string

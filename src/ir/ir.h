@@ -40,74 +40,90 @@
 
 namespace nomap {
 
-/** IR operations. */
+/**
+ * X-macro list of IR operations, in opcode-value order. The enum, the
+ * name table, the static cost table, and the direct-threaded dispatch
+ * table in the executor are generated from this one list so they can
+ * never fall out of sync.
+ */
+#define NOMAP_IR_OP_LIST(V)                                             \
+    V(Nop)                                                              \
+    /* ---- Pure value ops -------------------------------------- */    \
+    V(Const)           /* dst <- constants[imm] */                      \
+    V(Move)            /* dst <- ra */                                  \
+    V(AddInt)          /* dst <- ra + rb (sets overflow flag) */        \
+    V(SubInt)          /* dst <- ra - rb (overflow flag) */             \
+    V(MulInt)          /* dst <- ra * rb (overflow flag) */             \
+    V(NegInt)          /* dst <- -ra (ovf on 0 and INT32_MIN) */        \
+    V(AddDouble)                                                        \
+    V(SubDouble)                                                        \
+    V(MulDouble)                                                        \
+    V(DivDouble)                                                        \
+    V(ModDouble)                                                        \
+    V(NegDouble)                                                        \
+    V(BitAndInt)                                                        \
+    V(BitOrInt)                                                         \
+    V(BitXorInt)                                                        \
+    V(ShlInt)                                                           \
+    V(ShrInt)                                                           \
+    V(UShrInt)                                                          \
+    V(BitNotInt)                                                        \
+    V(CmpInt)          /* dst <- ra (BinaryOp)imm rb, int ops */        \
+    V(CmpDouble)       /* dst <- ra (BinaryOp)imm rb, numeric */        \
+    V(ToDouble)        /* dst <- (double)ra */                          \
+    V(ToBoolean)       /* dst <- truthiness(ra) */                      \
+    V(NotBool)         /* dst <- !ra (ra is boolean) */                 \
+    /* ---- Checks (SMP-guarded speculation guards) ------------- */    \
+    V(CheckInt32)      /* ra is an int32            [Type] */           \
+    V(CheckNumber)     /* ra is a number            [Type] */           \
+    V(CheckShape)      /* ra is object w/ shape imm [Property] */       \
+    V(CheckArray)      /* ra is an array            [Type] */           \
+    V(CheckIndexInt)   /* ra is an int32 index      [Other] */          \
+    V(CheckBounds)     /* rb in [0, len(ra))        [Bounds] */         \
+    V(CheckBoundsRange) /* rb..rc in [0, len(ra))   [Bounds] */         \
+    V(CheckOverflow)   /* ovf flag of reg ra clear  [Overflow] */       \
+    V(CheckNotHole)    /* ra is not undefined       [Other] */          \
+    /* ---- Memory ---------------------------------------------- */    \
+    V(GetSlot)         /* dst <- object(ra).slots[imm] */               \
+    V(SetSlot)         /* object(ra).slots[imm] <- rb */                \
+    V(GetArrayLen)     /* dst <- array(ra).length */                    \
+    V(GetElem)         /* dst <- array(ra)[rb] */                       \
+    V(SetElem)         /* array(ra)[rb] <- rc */                        \
+    V(LoadGlobal)      /* dst <- globals[imm] */                        \
+    V(StoreGlobal)     /* globals[imm] <- ra */                         \
+    /* ---- Generic runtime fallbacks --------------------------- */    \
+    V(GenericBinary)   /* dst <- runtime binop (imm=BinaryOp) */        \
+    V(GenericUnary)    /* dst <- runtime unop (imm=UnaryOp) */          \
+    V(GenericGetProp)  /* dst <- ra.prop[imm] */                        \
+    V(GenericSetProp)  /* ra.prop[imm] <- rb */                         \
+    V(GenericGetIndex) /* dst <- ra[rb] */                              \
+    V(GenericSetIndex) /* ra[rb] <- rc */                               \
+    V(NewArray)        /* dst <- [regs ra .. ra+imm-1] */               \
+    V(NewObject)       /* dst <- {desc imm, values ra..ra+rb-1} */      \
+    /* ---- Calls ----------------------------------------------- */    \
+    V(Call)            /* dst <- functions[imm](ra .. ra+rb-1) */       \
+    V(CallNative)      /* dst <- builtin[imm](...) (runtime) */         \
+    V(Intrinsic)       /* dst <- builtin[imm](...) (inlined) */         \
+    V(CallMethod)      /* dst <- ra.m[imm>>4](rb..rb+(imm&15)-1) */     \
+    /* ---- Control flow ---------------------------------------- */    \
+    V(Jump)            /* goto block imm */                             \
+    V(Branch)          /* if truthy(ra) goto imm else imm2 */           \
+    V(Return)          /* return ra */                                  \
+    V(ReturnUndef)                                                      \
+    /* ---- Transactions (NoMap) -------------------------------- */    \
+    V(TxBegin)         /* Open tx; smpPc = Baseline re-entry pc */      \
+    V(TxEnd)           /* Commit (checks SOF under full NoMap) */       \
+    V(TxTile)          /* Commit + reopen every imm iterations */
+
+/** IR operations (see NOMAP_IR_OP_LIST for semantics). */
 enum class IrOp : uint8_t {
-    Nop,
-
-    // ---- Pure value ops -------------------------------------------------
-    Const,        ///< dst <- constants[imm]
-    Move,         ///< dst <- ra
-    AddInt,       ///< dst <- ra + rb (sets overflow flag of dst)
-    SubInt,       ///< dst <- ra - rb (overflow flag)
-    MulInt,       ///< dst <- ra * rb (overflow flag)
-    NegInt,       ///< dst <- -ra (overflow on 0 and INT32_MIN)
-    AddDouble, SubDouble, MulDouble, DivDouble, ModDouble,
-    NegDouble,
-    BitAndInt, BitOrInt, BitXorInt, ShlInt, ShrInt, UShrInt,
-    BitNotInt,
-    CmpInt,       ///< dst <- ra (BinaryOp)imm rb, int operands
-    CmpDouble,    ///< dst <- ra (BinaryOp)imm rb, numeric operands
-    ToDouble,     ///< dst <- (double)ra
-    ToBoolean,    ///< dst <- truthiness(ra)
-    NotBool,      ///< dst <- !ra (ra is boolean)
-
-    // ---- Checks (SMP-guarded speculation guards) ---------------------
-    CheckInt32,       ///< ra is an int32            [Type]
-    CheckNumber,      ///< ra is a number            [Type]
-    CheckShape,       ///< ra is object w/ shape imm [Property]
-    CheckArray,       ///< ra is an array            [Type]
-    CheckIndexInt,    ///< ra is an int32 index      [Other]
-    CheckBounds,      ///< rb in [0, len(ra))        [Bounds]
-    CheckBoundsRange, ///< rb..rc in [0, len(ra)) (combined) [Bounds]
-    CheckOverflow,    ///< overflow flag of reg ra clear [Overflow]
-    CheckNotHole,     ///< ra is not undefined       [Other]
-
-    // ---- Memory ---------------------------------------------------------
-    GetSlot,      ///< dst <- object(ra).slots[imm]
-    SetSlot,      ///< object(ra).slots[imm] <- rb
-    GetArrayLen,  ///< dst <- array(ra).length
-    GetElem,      ///< dst <- array(ra)[rb]
-    SetElem,      ///< array(ra)[rb] <- rc
-    LoadGlobal,   ///< dst <- globals[imm]
-    StoreGlobal,  ///< globals[imm] <- ra
-
-    // ---- Generic runtime fallbacks ------------------------------------
-    GenericBinary,   ///< dst <- runtime binop (imm=BinaryOp)
-    GenericUnary,    ///< dst <- runtime unop (imm=UnaryOp)
-    GenericGetProp,  ///< dst <- ra.prop[imm]
-    GenericSetProp,  ///< ra.prop[imm] <- rb
-    GenericGetIndex, ///< dst <- ra[rb]
-    GenericSetIndex, ///< ra[rb] <- rc
-    NewArray,        ///< dst <- [regs ra .. ra+imm-1]
-    NewObject,       ///< dst <- {desc imm, values ra .. ra+rb-1}
-
-    // ---- Calls ------------------------------------------------------------
-    Call,        ///< dst <- functions[imm](ra .. ra+rb-1)
-    CallNative,  ///< dst <- builtin[imm](ra .. ra+rb-1) (runtime)
-    Intrinsic,   ///< dst <- builtin[imm](ra .. ra+rb-1) (inlined)
-    CallMethod,  ///< dst <- ra.m[imm>>4](rb .. rb+(imm&15)-1)
-
-    // ---- Control flow ---------------------------------------------------
-    Jump,        ///< goto block imm
-    Branch,      ///< if truthy(ra) goto imm else imm2
-    Return,      ///< return ra
-    ReturnUndef,
-
-    // ---- Transactions (NoMap) ------------------------------------------
-    TxBegin,     ///< Open transaction; smpPc = Baseline re-entry pc.
-    TxEnd,       ///< Commit (checks SOF under full NoMap).
-    TxTile,      ///< Commit + reopen every imm iterations (tiling).
+#define NOMAP_IR_OP_ENUM(name) name,
+    NOMAP_IR_OP_LIST(NOMAP_IR_OP_ENUM)
+#undef NOMAP_IR_OP_ENUM
 };
+
+/** Number of IR operations (dispatch-table size). */
+constexpr size_t kNumIrOps = static_cast<size_t>(IrOp::TxTile) + 1;
 
 /** Sentinel for "no SMP attached". */
 constexpr uint32_t kNoSmp = 0xffffffffu;
@@ -138,6 +154,17 @@ struct IrBlock {
     int32_t loopId = -1;
     /** First bytecode pc this block was built from. */
     uint32_t firstPc = 0;
+
+    /**
+     * Static charge plan for batched accounting, one entry per
+     * instruction (empty until computeChargePlan runs): ownScaled[i]
+     * is instruction i's tier-scaled static cost; chargeFrom[i] is the
+     * summed cost of [i .. end of i's charge segment], where segments
+     * end at transaction-boundary ops (whose successor cost must be
+     * charged under the new transaction state) and at block ends.
+     */
+    std::vector<uint32_t> ownScaled;
+    std::vector<uint32_t> chargeFrom;
 };
 
 /**
@@ -162,6 +189,8 @@ struct IrFunction {
     uint16_t numRegs = 0;
     /** True when NoMap instrumented this function with transactions. */
     bool txAware = false;
+    /** Set once computeChargePlan has filled every block's plan. */
+    bool chargePlanReady = false;
 
     std::vector<IrBlock> blocks;
     std::vector<Value> constants;
@@ -218,6 +247,26 @@ bool definesDst(IrOp op);
 
 /** Printable op name. */
 const char *irOpName(IrOp op);
+
+/** True for transaction-boundary ops (TxBegin/TxEnd/TxTile). */
+inline bool
+isTxBoundaryOp(IrOp op)
+{
+    return op == IrOp::TxBegin || op == IrOp::TxEnd ||
+           op == IrOp::TxTile;
+}
+
+/** Static per-op instruction cost before tier scaling. */
+uint32_t irBaseCost(IrOp op);
+
+/**
+ * (Re)compute every block's ownScaled/chargeFrom from the instruction
+ * stream and the function's tier (DFG scales each op's cost by
+ * kDfgFactor before summing, exactly as the executor's per-op mode
+ * does). The compiler calls this after the pass pipeline; the executor
+ * calls it lazily for hand-built functions in tests.
+ */
+void computeChargePlan(IrFunction &fn);
 
 inline bool
 IrInstr::isCheck() const

@@ -11,95 +11,20 @@ Cache::Cache(uint32_t size_bytes, uint32_t ways_)
     NOMAP_ASSERT(size_bytes % (kLineSize * ways) == 0);
     uint32_t num_sets = size_bytes / (kLineSize * ways);
     NOMAP_ASSERT((num_sets & (num_sets - 1)) == 0);
-    sets.resize(num_sets);
-    for (auto &set : sets)
-        set.lines.resize(ways);
-}
-
-uint32_t
-Cache::setIndex(Addr addr) const
-{
-    return static_cast<uint32_t>((addr / kLineSize) &
-                                 (sets.size() - 1));
-}
-
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return (addr / kLineSize) / sets.size();
-}
-
-void
-Cache::trackSwHighWater(const Set &set)
-{
-    uint32_t sw_ways = 0;
-    for (const Line &line : set.lines) {
-        if (line.valid && line.sw)
-            ++sw_ways;
-    }
-    if (sw_ways > statsData.maxSwWaysInSet)
-        statsData.maxSwWaysInSet = sw_ways;
-}
-
-CacheResult
-Cache::access(Addr addr, bool is_write, bool speculative)
-{
-    Set &set = sets[setIndex(addr)];
-    Addr tag = tagOf(addr);
-    ++lruClock;
-
-    for (Line &line : set.lines) {
-        if (line.valid && line.tag == tag) {
-            line.lruStamp = lruClock;
-            if (is_write && speculative)
-                line.sw = true;
-            ++statsData.hits;
-            trackSwHighWater(set);
-            return CacheResult::Hit;
-        }
-    }
-
-    // Miss: pick a victim. Prefer an invalid way, then the LRU non-SW
-    // line. If every way holds speculative state, installing the new
-    // line would lose transactional writes.
-    Line *victim = nullptr;
-    for (Line &line : set.lines) {
-        if (!line.valid) {
-            victim = &line;
-            break;
-        }
-    }
-    if (!victim) {
-        for (Line &line : set.lines) {
-            if (line.sw)
-                continue;
-            if (!victim || line.lruStamp < victim->lruStamp)
-                victim = &line;
-        }
-    }
-    if (!victim) {
-        ++statsData.misses;
-        return CacheResult::SWConflict;
-    }
-
-    if (victim->valid)
-        ++statsData.evictions;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->sw = is_write && speculative;
-    victim->lruStamp = lruClock;
-    ++statsData.misses;
-    trackSwHighWater(set);
-    return CacheResult::Miss;
+    setMask = num_sets - 1;
+    while ((1u << setShift) < num_sets)
+        ++setShift;
+    lines.resize(static_cast<size_t>(num_sets) * ways);
+    swCount.resize(num_sets, 0);
 }
 
 bool
 Cache::contains(Addr addr) const
 {
-    const Set &set = sets[setIndex(addr)];
+    const Line *set = &lines[static_cast<size_t>(setIndex(addr)) * ways];
     Addr tag = tagOf(addr);
-    for (const Line &line : set.lines) {
-        if (line.valid && line.tag == tag)
+    for (uint32_t w = 0; w < ways; ++w) {
+        if (set[w].valid && set[w].tag == tag)
             return true;
     }
     return false;
@@ -108,11 +33,11 @@ Cache::contains(Addr addr) const
 bool
 Cache::isSpeculative(Addr addr) const
 {
-    const Set &set = sets[setIndex(addr)];
+    const Line *set = &lines[static_cast<size_t>(setIndex(addr)) * ways];
     Addr tag = tagOf(addr);
-    for (const Line &line : set.lines) {
-        if (line.valid && line.tag == tag)
-            return line.sw;
+    for (uint32_t w = 0; w < ways; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return set[w].sw;
     }
     return false;
 }
@@ -120,45 +45,42 @@ Cache::isSpeculative(Addr addr) const
 void
 Cache::flashClearSw()
 {
-    for (Set &set : sets) {
-        for (Line &line : set.lines)
-            line.sw = false;
+    for (uint32_t si : swSets) {
+        Line *set = &lines[static_cast<size_t>(si) * ways];
+        for (uint32_t w = 0; w < ways; ++w)
+            set[w].sw = false;
+        swCount[si] = 0;
     }
+    swSets.clear();
+    swTotal = 0;
 }
 
 void
 Cache::invalidateSw()
 {
-    for (Set &set : sets) {
-        for (Line &line : set.lines) {
-            if (line.sw) {
-                line.sw = false;
-                line.valid = false;
+    for (uint32_t si : swSets) {
+        Line *set = &lines[static_cast<size_t>(si) * ways];
+        for (uint32_t w = 0; w < ways; ++w) {
+            if (set[w].sw) {
+                set[w].sw = false;
+                set[w].valid = false;
             }
         }
+        swCount[si] = 0;
     }
-}
-
-uint32_t
-Cache::swLineCount() const
-{
-    uint32_t count = 0;
-    for (const Set &set : sets) {
-        for (const Line &line : set.lines) {
-            if (line.valid && line.sw)
-                ++count;
-        }
-    }
-    return count;
+    swSets.clear();
+    swTotal = 0;
 }
 
 void
 Cache::invalidateAll()
 {
-    for (Set &set : sets) {
-        for (Line &line : set.lines)
-            line = Line();
-    }
+    for (Line &line : lines)
+        line = Line();
+    for (uint32_t &c : swCount)
+        c = 0;
+    swSets.clear();
+    swTotal = 0;
     lruClock = 0;
 }
 

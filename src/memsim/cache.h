@@ -12,8 +12,15 @@
  * line whose SW bit is set must not be silently evicted: doing so would
  * lose speculative state, so the cache reports the condition to its
  * owner, which translates it into a transaction capacity abort.
+ *
+ * Host-performance notes (this model sits under every simulated load
+ * and store): lines are stored in one flat array indexed by
+ * set * ways, the per-set SW population is maintained incrementally
+ * instead of recounted per access, and commit/abort walk only the
+ * sets that actually hold SW lines rather than the whole cache.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -69,8 +76,68 @@ class Cache
      *        the access is a store whose line must be pinned (SW).
      * @return Hit, Miss, or SWConflict when the line cannot be
      *         installed without evicting speculative state.
+     *
+     * Defined here so it inlines into MemHierarchy::access, which the
+     * executors call for every simulated memory operation.
      */
-    CacheResult access(Addr addr, bool is_write, bool speculative = false);
+    CacheResult
+    access(Addr addr, bool is_write, bool speculative = false)
+    {
+        uint32_t si = setIndex(addr);
+        Line *set = &lines[static_cast<size_t>(si) * ways];
+        Addr tag = tagOf(addr);
+        ++lruClock;
+
+        for (uint32_t w = 0; w < ways; ++w) {
+            Line &line = set[w];
+            if (line.valid && line.tag == tag) {
+                line.lruStamp = lruClock;
+                if (is_write && speculative && !line.sw)
+                    markSw(line, si);
+                ++statsData.hits;
+                trackSwHighWater(si);
+                return CacheResult::Hit;
+            }
+        }
+
+        // Miss: pick a victim. Prefer an invalid way, then the LRU
+        // non-SW line. If every way holds speculative state,
+        // installing the new line would lose transactional writes.
+        // (Invalid lines never carry an SW bit, so the chosen victim
+        // is always non-SW.)
+        Line *victim = nullptr;
+        for (uint32_t w = 0; w < ways; ++w) {
+            if (!set[w].valid) {
+                victim = &set[w];
+                break;
+            }
+        }
+        if (!victim) {
+            for (uint32_t w = 0; w < ways; ++w) {
+                Line &line = set[w];
+                if (line.sw)
+                    continue;
+                if (!victim || line.lruStamp < victim->lruStamp)
+                    victim = &line;
+            }
+        }
+        if (!victim) {
+            ++statsData.misses;
+            return CacheResult::SWConflict;
+        }
+
+        if (victim->valid)
+            ++statsData.evictions;
+        victim->valid = true;
+        victim->tag = tag;
+        victim->sw = false;
+        if (is_write && speculative)
+            markSw(*victim, si);
+        victim->lruStamp = lruClock;
+        ++statsData.misses;
+        trackSwHighWater(si);
+        return CacheResult::Miss;
+    }
 
     /** True if the line is currently resident. */
     bool contains(Addr addr) const;
@@ -85,7 +152,7 @@ class Cache
     void invalidateSw();
 
     /** Number of lines currently holding speculative state. */
-    uint32_t swLineCount() const;
+    uint32_t swLineCount() const { return swTotal; }
 
     /** Drop all lines and reset LRU state (stats are preserved). */
     void invalidateAll();
@@ -93,27 +160,56 @@ class Cache
     const CacheStats &stats() const { return statsData; }
     void resetStats() { statsData = CacheStats(); }
 
-    uint32_t numSets() const { return static_cast<uint32_t>(sets.size()); }
+    uint32_t numSets() const
+    {
+        return static_cast<uint32_t>(swCount.size());
+    }
     uint32_t numWays() const { return ways; }
 
   private:
     struct Line {
         Addr tag = 0;
+        uint64_t lruStamp = 0;
         bool valid = false;
         bool sw = false;
-        uint64_t lruStamp = 0;
     };
 
-    struct Set {
-        std::vector<Line> lines;
-    };
+    uint32_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<uint32_t>((addr / kLineSize) & setMask);
+    }
 
-    uint32_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
-    void trackSwHighWater(const Set &set);
+    Addr
+    tagOf(Addr addr) const
+    {
+        return (addr / kLineSize) >> setShift;
+    }
+
+    /** Set a line's SW bit and maintain the incremental population. */
+    void
+    markSw(Line &line, uint32_t si)
+    {
+        line.sw = true;
+        if (swCount[si]++ == 0)
+            swSets.push_back(si);
+        ++swTotal;
+    }
+
+    void
+    trackSwHighWater(uint32_t si)
+    {
+        if (swCount[si] > statsData.maxSwWaysInSet)
+            statsData.maxSwWaysInSet = swCount[si];
+    }
 
     uint32_t ways;
-    std::vector<Set> sets;
+    uint32_t setMask = 0;   ///< numSets - 1 (numSets is a power of 2).
+    uint32_t setShift = 0;  ///< log2(numSets), for tag extraction.
+    std::vector<Line> lines;      ///< Flat: set * ways + way.
+    std::vector<uint32_t> swCount; ///< SW lines per set.
+    std::vector<uint32_t> swSets;  ///< Sets with swCount > 0 (unique).
+    uint32_t swTotal = 0;
     uint64_t lruClock = 0;
     CacheStats statsData;
 };

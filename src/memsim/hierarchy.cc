@@ -8,19 +8,6 @@ MemHierarchy::MemHierarchy()
 {
 }
 
-uint32_t
-MemHierarchy::access(Addr addr, bool is_write, bool speculative)
-{
-    CacheResult r1 = l1d.access(addr, is_write, speculative);
-    if (r1 == CacheResult::Hit)
-        return lat.l1Hit;
-
-    CacheResult r2 = l2c.access(addr, is_write, speculative);
-    if (r2 == CacheResult::Hit)
-        return lat.l2Hit;
-    return lat.memAccess;
-}
-
 void
 MemHierarchy::commitSpeculative()
 {

@@ -40,8 +40,18 @@ class MemHierarchy
      * @param speculative True for transactional stores whose lines
      *        must be pinned with SW bits.
      * @return Latency of the access in cycles.
+     *
+     * Defined here so the per-memory-op executor paths inline it.
      */
-    uint32_t access(Addr addr, bool is_write, bool speculative = false);
+    uint32_t
+    access(Addr addr, bool is_write, bool speculative = false)
+    {
+        if (l1d.access(addr, is_write, speculative) == CacheResult::Hit)
+            return lat.l1Hit;
+        if (l2c.access(addr, is_write, speculative) == CacheResult::Hit)
+            return lat.l2Hit;
+        return lat.memAccess;
+    }
 
     /** Commit: flash-clear SW bits in both levels. */
     void commitSpeculative();

@@ -11,10 +11,24 @@ LatencyHistogram::bucketOf(double micros)
 {
     if (!(micros > 1.0))
         return 0;
-    double b = std::log(micros) / std::log(kGrowth);
-    if (b >= static_cast<double>(kBuckets - 1))
-        return kBuckets - 1;
-    return static_cast<size_t>(b) + 1;
+    // Bucket b > 0 covers (kGrowth^(b-1), kGrowth^b]: the smallest b
+    // whose upper edge reaches micros. ceil() gets within one bucket;
+    // the correction loops pin the answer to the pow()-computed edges
+    // bucketFloorMicros() exposes, so a value lying exactly on an
+    // edge lands in the bucket the edge closes (edge-inclusive).
+    double b = std::ceil(std::log(micros) / std::log(kGrowth));
+    size_t k = b < 1.0 ? 1 : static_cast<size_t>(b);
+    if (k > kBuckets - 1)
+        k = kBuckets - 1;
+    while (k > 1 &&
+           std::pow(kGrowth, static_cast<double>(k - 1)) >= micros) {
+        --k;
+    }
+    while (k < kBuckets - 1 &&
+           std::pow(kGrowth, static_cast<double>(k)) < micros) {
+        ++k;
+    }
+    return k;
 }
 
 double
@@ -37,6 +51,8 @@ LatencyHistogram::bucketMidMicros(size_t bucket)
 void
 LatencyHistogram::record(double micros)
 {
+    if (!std::isfinite(micros))
+        return; // A NaN sum would poison mean() for good.
     if (micros < 0.0)
         micros = 0.0;
     ++buckets[bucketOf(micros)];

@@ -26,7 +26,11 @@ geomean(const std::vector<double> &xs)
         return 0.0;
     double log_sum = 0.0;
     for (double x : xs) {
-        NOMAP_ASSERT(x > 0.0);
+        // The geometric mean is undefined for non-positive inputs;
+        // log(0)/log(-x) would feed -inf/NaN into figure tables.
+        // (!(x > 0.0) also catches NaN.)
+        if (!(x > 0.0))
+            return 0.0;
         log_sum += std::log(x);
     }
     return std::exp(log_sum / static_cast<double>(xs.size()));

@@ -17,7 +17,10 @@ namespace nomap {
 /** Arithmetic mean of a vector; 0 if empty. */
 double mean(const std::vector<double> &xs);
 
-/** Geometric mean of a vector of positive values; 0 if empty. */
+/**
+ * Geometric mean of a vector of positive values; 0 if empty or if
+ * any input is non-positive (where the mean is undefined).
+ */
 double geomean(const std::vector<double> &xs);
 
 /** Minimum; 0 if empty. */

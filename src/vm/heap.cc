@@ -51,34 +51,6 @@ Heap::allocArray(uint32_t length)
     return Value::array(id);
 }
 
-JsObject &
-Heap::object(uint32_t id)
-{
-    NOMAP_ASSERT(id < objects.size());
-    return *objects[id];
-}
-
-const JsObject &
-Heap::object(uint32_t id) const
-{
-    NOMAP_ASSERT(id < objects.size());
-    return *objects[id];
-}
-
-JsArray &
-Heap::array(uint32_t id)
-{
-    NOMAP_ASSERT(id < arrays.size());
-    return *arrays[id];
-}
-
-const JsArray &
-Heap::array(uint32_t id) const
-{
-    NOMAP_ASSERT(id < arrays.size());
-    return *arrays[id];
-}
-
 void
 Heap::recordTxWrite(Addr addr)
 {
@@ -355,13 +327,6 @@ Heap::findGlobal(const std::string &name) const
                                    : static_cast<int32_t>(it->second);
 }
 
-Value
-Heap::getGlobal(uint32_t index) const
-{
-    NOMAP_ASSERT(index < globals.size());
-    return globals[index];
-}
-
 void
 Heap::setGlobal(uint32_t index, Value v)
 {
@@ -369,12 +334,6 @@ Heap::setGlobal(uint32_t index, Value v)
     logGlobal(index);
     globals[index] = v;
     recordTxWrite(globalAddr(index));
-}
-
-Addr
-Heap::globalAddr(uint32_t index) const
-{
-    return globalsBase + 8ull * index;
 }
 
 // ---- Display -----------------------------------------------------------------

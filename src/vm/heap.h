@@ -30,6 +30,7 @@
 
 #include "htm/transaction.h"
 #include "memsim/addr.h"
+#include "support/logging.h"
 #include "vm/shape.h"
 #include "vm/string_table.h"
 #include "vm/value.h"
@@ -87,10 +88,36 @@ class Heap : public RollbackClient
     /** Allocate an array of @p length undefined elements. */
     Value allocArray(uint32_t length = 0);
 
-    JsObject &object(uint32_t id);
-    const JsObject &object(uint32_t id) const;
-    JsArray &array(uint32_t id);
-    const JsArray &array(uint32_t id) const;
+    // Defined in the header: these sit under every executor memory
+    // op (tens of millions of calls per benchmark pass), so they must
+    // inline into the dispatch loops.
+    JsObject &
+    object(uint32_t id)
+    {
+        NOMAP_ASSERT(id < objects.size());
+        return *objects[id];
+    }
+
+    const JsObject &
+    object(uint32_t id) const
+    {
+        NOMAP_ASSERT(id < objects.size());
+        return *objects[id];
+    }
+
+    JsArray &
+    array(uint32_t id)
+    {
+        NOMAP_ASSERT(id < arrays.size());
+        return *arrays[id];
+    }
+
+    const JsArray &
+    array(uint32_t id) const
+    {
+        NOMAP_ASSERT(id < arrays.size());
+        return *arrays[id];
+    }
 
     // ---- Object properties (all transactional-aware) ------------------
     /**
@@ -173,9 +200,20 @@ class Heap : public RollbackClient
         return static_cast<uint32_t>(globals.size());
     }
 
-    Value getGlobal(uint32_t index) const;
+    Value
+    getGlobal(uint32_t index) const
+    {
+        NOMAP_ASSERT(index < globals.size());
+        return globals[index];
+    }
+
     void setGlobal(uint32_t index, Value v);
-    Addr globalAddr(uint32_t index) const;
+
+    Addr
+    globalAddr(uint32_t index) const
+    {
+        return globalsBase + 8ull * index;
+    }
 
     /** Look up a global index without creating it; -1 if absent. */
     int32_t findGlobal(const std::string &name) const;

@@ -12,6 +12,8 @@
  * handle every input combination.
  */
 
+#include <cmath>
+#include <cstdlib>
 #include <string>
 
 #include "js/ast.h"
@@ -27,17 +29,90 @@ class Runtime
     explicit Runtime(Heap &heap);
 
     // ---- Conversions ----------------------------------------------------
+    // toNumber/toBoolean/toInt32 are defined in the header: they sit
+    // under the interpreter's comparison and arithmetic ops (tens of
+    // millions of calls per benchmark pass) and must inline into the
+    // dispatch loops.
+
     /** ToNumber: booleans/null/strings convert; objects/undefined → NaN. */
-    double toNumber(Value v) const;
+    double
+    toNumber(Value v) const
+    {
+        switch (v.kind()) {
+          case ValueKind::Int32:
+            return static_cast<double>(v.asInt32());
+          case ValueKind::Double:
+            return v.asBoxedDouble();
+          case ValueKind::Boolean:
+            return v.asBoolean() ? 1.0 : 0.0;
+          case ValueKind::Null:
+            return 0.0;
+          case ValueKind::String: {
+            const std::string &s =
+                heapRef.stringTable().get(v.payload());
+            if (s.empty())
+                return 0.0;
+            char *end = nullptr;
+            double d = std::strtod(s.c_str(), &end);
+            // Trailing non-space characters make the conversion fail.
+            while (end && *end == ' ')
+                ++end;
+            if (!end || *end != '\0')
+                return std::nan("");
+            return d;
+          }
+          case ValueKind::Undefined:
+          case ValueKind::Object:
+          case ValueKind::Array:
+          case ValueKind::Function:
+          case ValueKind::NativeFunction:
+          default:
+            return std::nan("");
+        }
+    }
 
     /** ToBoolean (JS truthiness). */
-    bool toBoolean(Value v) const;
+    bool
+    toBoolean(Value v) const
+    {
+        switch (v.kind()) {
+          case ValueKind::Int32:
+            return v.asInt32() != 0;
+          case ValueKind::Double: {
+            double d = v.asBoxedDouble();
+            return d != 0.0 && d == d;
+          }
+          case ValueKind::Boolean:
+            return v.asBoolean();
+          case ValueKind::Undefined:
+          case ValueKind::Null:
+            return false;
+          case ValueKind::String:
+            return !heapRef.stringTable().get(v.payload()).empty();
+          default:
+            return true; // Objects, arrays, functions are truthy.
+        }
+    }
 
     /** ToString for concatenation and display. */
     std::string toString(Value v) const;
 
     /** ToInt32 (modular wrap of the number value, per ECMA-262). */
-    int32_t toInt32(Value v) const;
+    int32_t
+    toInt32(Value v) const
+    {
+        if (v.isInt32())
+            return v.asInt32();
+        double d = toNumber(v);
+        if (d != d || std::isinf(d))
+            return 0;
+        // ECMA-262 modular conversion.
+        double m = std::fmod(std::trunc(d), 4294967296.0);
+        if (m < 0)
+            m += 4294967296.0;
+        uint32_t u = static_cast<uint32_t>(m);
+        return static_cast<int32_t>(u);
+    }
 
     /** ToUint32. */
     uint32_t toUint32(Value v) const;

@@ -9,9 +9,9 @@
  */
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 namespace nomap {
 
@@ -24,7 +24,12 @@ class StringTable
     /** Intern @p s, returning its stable id. */
     uint32_t intern(const std::string &s);
 
-    /** Look up the text for an id. */
+    /**
+     * Look up the text for an id. The reference stays valid across
+     * later intern() calls (storage is a deque, which never moves
+     * existing elements) — builtins hold these references while
+     * interning results.
+     */
     const std::string &get(uint32_t id) const;
 
     /** True if the string is already interned (test helper). */
@@ -33,7 +38,7 @@ class StringTable
     size_t size() const { return strings.size(); }
 
   private:
-    std::vector<std::string> strings;
+    std::deque<std::string> strings;
     std::unordered_map<std::string, uint32_t> ids;
 };
 

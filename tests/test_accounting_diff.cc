@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Differential test for the batched (per-basic-block) accounting fast
+ * path: for every suite program and every architecture, an Engine run
+ * with default batched charging must produce ExecutionStats
+ * bit-identical to the per-operation reference mode
+ * (EngineConfig::perOpAccounting). This is the invariant that lets
+ * the executors charge a block's static cost in one call.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "suites/suite.h"
+
+namespace nomap {
+namespace {
+
+ExecutionStats
+runStats(const std::string &source, Architecture arch, bool per_op)
+{
+    EngineConfig config;
+    config.arch = arch;
+    config.perOpAccounting = per_op;
+    Engine engine(config);
+    return engine.run(source).stats;
+}
+
+void
+expectBitIdentical(const ExecutionStats &batched,
+                   const ExecutionStats &per_op)
+{
+    for (size_t b = 0;
+         b < static_cast<size_t>(InstrBucket::NumBuckets); ++b) {
+        EXPECT_EQ(batched.instr[b], per_op.instr[b])
+            << "instr bucket " << b;
+    }
+    for (size_t k = 0; k < static_cast<size_t>(CheckKind::NumKinds);
+         ++k) {
+        EXPECT_EQ(batched.checks[k], per_op.checks[k])
+            << "check kind " << checkKindName(static_cast<CheckKind>(k));
+    }
+    // Exact equality on the doubles, not near-equality: instruction
+    // cycles accumulate as integer units and meet floating point in
+    // one flush, so the two modes must agree bit for bit.
+    EXPECT_EQ(batched.cyclesTm, per_op.cyclesTm);
+    EXPECT_EQ(batched.cyclesNonTm, per_op.cyclesNonTm);
+    EXPECT_EQ(batched.ftlFunctionCalls, per_op.ftlFunctionCalls);
+    EXPECT_EQ(batched.deopts, per_op.deopts);
+    EXPECT_EQ(batched.baselineCompiles, per_op.baselineCompiles);
+    EXPECT_EQ(batched.dfgCompiles, per_op.dfgCompiles);
+    EXPECT_EQ(batched.ftlCompiles, per_op.ftlCompiles);
+    EXPECT_EQ(batched.ftlRecompiles, per_op.ftlRecompiles);
+    EXPECT_EQ(batched.txCommits, per_op.txCommits);
+    EXPECT_EQ(batched.txAborts, per_op.txAborts);
+    EXPECT_EQ(batched.txAbortsCapacity, per_op.txAbortsCapacity);
+    EXPECT_EQ(batched.txAbortsCheck, per_op.txAbortsCheck);
+    EXPECT_EQ(batched.txAbortsSof, per_op.txAbortsSof);
+    EXPECT_EQ(batched.avgWriteFootprintBytes,
+              per_op.avgWriteFootprintBytes);
+    EXPECT_EQ(batched.maxWriteFootprintBytes,
+              per_op.maxWriteFootprintBytes);
+    EXPECT_EQ(batched.maxWriteWaysUsed, per_op.maxWriteWaysUsed);
+}
+
+void
+compareSuite(const std::vector<BenchmarkSpec> &suite, Architecture arch)
+{
+    for (const BenchmarkSpec &spec : suite) {
+        SCOPED_TRACE(spec.id + " on " + architectureName(arch));
+        expectBitIdentical(runStats(spec.source, arch, false),
+                           runStats(spec.source, arch, true));
+    }
+}
+
+class AccountingDiff : public ::testing::TestWithParam<Architecture>
+{
+};
+
+TEST_P(AccountingDiff, SunSpiderStatsMatchPerOpReference)
+{
+    compareSuite(sunspiderSuite(), GetParam());
+}
+
+TEST_P(AccountingDiff, KrakenStatsMatchPerOpReference)
+{
+    compareSuite(krakenSuite(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchitectures, AccountingDiff,
+    ::testing::Values(Architecture::Base, Architecture::NoMapS,
+                      Architecture::NoMapB, Architecture::NoMap,
+                      Architecture::NoMapBC, Architecture::NoMapRTM),
+    [](const ::testing::TestParamInfo<Architecture> &info) {
+        return std::string(architectureName(info.param));
+    });
+
+} // namespace
+} // namespace nomap

@@ -253,6 +253,20 @@ TEST_F(HeapTxTest, InterleavedMutationsRollBackInOrder)
         EXPECT_TRUE(heap.getElement(aid, i).isUndefined());
 }
 
+TEST_F(HeapTest, StringTableReferencesSurviveGrowth)
+{
+    // Builtins hold get() references while interning derived strings
+    // (e.g. split interning each piece mid-loop); the table must not
+    // move existing storage when it grows. Vector-backed storage made
+    // this a use-after-free that ASan caught under test_suites.
+    uint32_t id = strings.intern("needle in the table");
+    const std::string &ref = strings.get(id);
+    for (int i = 0; i < 4096; ++i)
+        strings.intern("filler-" + std::to_string(i));
+    EXPECT_EQ(ref, "needle in the table");
+    EXPECT_EQ(&ref, &strings.get(id));
+}
+
 TEST_F(HeapTest, DisplayStrings)
 {
     EXPECT_EQ(heap.valueToDisplayString(Value::int32(3)), "3");

@@ -1,5 +1,7 @@
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -154,6 +156,47 @@ TEST(MetricsGolden, BucketGeometryIsSelfConsistent)
     // Overflow clamps into the last bucket.
     EXPECT_EQ(LatencyHistogram::bucketOf(1e30),
               LatencyHistogram::kBuckets - 1);
+}
+
+TEST(MetricsGolden, BucketEdgesAreInclusive)
+{
+    // A value lying exactly on a bucket's upper edge kGrowth^b
+    // belongs to bucket b, not b+1: bucket b > 0 covers
+    // (kGrowth^(b-1), kGrowth^b].
+    for (size_t b = 1; b < LatencyHistogram::kBuckets; ++b) {
+        double edge = std::pow(LatencyHistogram::kGrowth,
+                               static_cast<double>(b));
+        EXPECT_EQ(LatencyHistogram::bucketOf(edge), b)
+            << "upper edge of bucket " << b;
+        // Just past the edge spills into the next bucket.
+        if (b + 1 < LatencyHistogram::kBuckets) {
+            EXPECT_EQ(LatencyHistogram::bucketOf(edge * 1.0001), b + 1)
+                << "past upper edge of bucket " << b;
+        }
+    }
+    // The lower edge is exclusive: bucketFloorMicros(b) itself closes
+    // bucket b-1.
+    EXPECT_EQ(LatencyHistogram::bucketOf(
+                  LatencyHistogram::bucketFloorMicros(2)),
+              1u);
+}
+
+TEST(MetricsGolden, RecordRejectsNonFiniteLatencies)
+{
+    LatencyHistogram h;
+    h.record(std::numeric_limits<double>::quiet_NaN());
+    h.record(std::numeric_limits<double>::infinity());
+    h.record(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+
+    h.record(5.0);
+    h.record(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.mean(), 5.0);
+    EXPECT_EQ(h.max(), 5.0);
+    // Bucket midpoints above the observed max clamp to it.
+    EXPECT_EQ(h.percentile(50.0), 5.0);
 }
 
 } // namespace

@@ -1,0 +1,182 @@
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/mpmc_queue.h"
+
+namespace nomap {
+namespace {
+
+// Direct unit tests for BoundedMpmcQueue's close/drain contract — the
+// service's shutdown path depends on every clause of it: producers
+// fail fast (with their item intact), consumers drain what was
+// admitted and then see end-of-stream, and nobody stays blocked.
+
+TEST(MpmcQueue, CapacityIsClampedToAtLeastOne)
+{
+    BoundedMpmcQueue<int> q(0);
+    EXPECT_EQ(q.capacity(), 1u);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_FALSE(q.tryPush(2));
+}
+
+TEST(MpmcQueue, PushPopFifoOrder)
+{
+    BoundedMpmcQueue<int> q(4);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(q.push(std::move(i)));
+    EXPECT_EQ(q.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        std::optional<int> v = q.pop();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i);
+    }
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MpmcQueue, PushAfterCloseFailsAndLeavesItemUnmoved)
+{
+    BoundedMpmcQueue<std::unique_ptr<std::string>> q(2);
+    q.close();
+    EXPECT_TRUE(q.closed());
+
+    auto item = std::make_unique<std::string>("payload");
+    EXPECT_FALSE(q.push(std::move(item)));
+    // The rejected item must not have been consumed: callers re-route
+    // it (e.g. into a rejection response).
+    ASSERT_NE(item, nullptr);
+    EXPECT_EQ(*item, "payload");
+
+    auto item2 = std::make_unique<std::string>("payload2");
+    EXPECT_FALSE(q.tryPush(std::move(item2)));
+    ASSERT_NE(item2, nullptr);
+    EXPECT_EQ(*item2, "payload2");
+}
+
+TEST(MpmcQueue, PopDrainsRemainingItemsThenReturnsNullopt)
+{
+    BoundedMpmcQueue<int> q(4);
+    ASSERT_TRUE(q.push(1));
+    ASSERT_TRUE(q.push(2));
+    q.close();
+
+    std::optional<int> a = q.pop();
+    std::optional<int> b = q.pop();
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, 1);
+    EXPECT_EQ(*b, 2);
+    // Closed and drained: end-of-stream, repeatedly.
+    EXPECT_FALSE(q.pop().has_value());
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpmcQueue, TryPushRejectsWhenFullWithoutBlocking)
+{
+    BoundedMpmcQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3));
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(*q.pop(), 1);
+    EXPECT_TRUE(q.tryPush(3));
+}
+
+TEST(MpmcQueue, CloseWakesAllBlockedConsumers)
+{
+    BoundedMpmcQueue<int> q(2);
+    constexpr int kConsumers = 4;
+    std::atomic<int> eos{0};
+    std::vector<std::thread> consumers;
+    consumers.reserve(kConsumers);
+    for (int i = 0; i < kConsumers; ++i) {
+        consumers.emplace_back([&] {
+            // Queue is empty and open: this blocks until close().
+            while (q.pop().has_value()) {
+            }
+            eos.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    // No sleep needed for correctness: close() must wake consumers
+    // whether they are already waiting or have not blocked yet.
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+    EXPECT_EQ(eos.load(), kConsumers);
+}
+
+TEST(MpmcQueue, CloseWakesAllBlockedProducers)
+{
+    BoundedMpmcQueue<int> q(1);
+    ASSERT_TRUE(q.push(0)); // Fill to capacity: pushes now block.
+    constexpr int kProducers = 4;
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int i = 0; i < kProducers; ++i) {
+        producers.emplace_back([&, i] {
+            if (!q.push(100 + i))
+                rejected.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    q.close();
+    for (auto &t : producers)
+        t.join();
+    // Every producer either squeezed in before close() or was
+    // rejected by it; none can still be blocked (join() proved that).
+    EXPECT_EQ(rejected.load(), kProducers);
+
+    // What was admitted before the close still drains.
+    std::optional<int> v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 0);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpmcQueue, ConcurrentProducersAndConsumersDeliverEverything)
+{
+    BoundedMpmcQueue<int> q(8);
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 3;
+    constexpr int kPerProducer = 500;
+
+    std::atomic<long long> consumed_sum{0};
+    std::atomic<int> consumed_count{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(q.push(p * kPerProducer + i));
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            while (std::optional<int> v = q.pop()) {
+                consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+                consumed_count.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    // Join producers (first kProducers threads), then close so the
+    // consumers drain the tail and exit.
+    for (int p = 0; p < kProducers; ++p)
+        threads[static_cast<size_t>(p)].join();
+    q.close();
+    for (size_t t = kProducers; t < threads.size(); ++t)
+        threads[t].join();
+
+    constexpr int kTotal = kProducers * kPerProducer;
+    long long expected = 0;
+    for (int i = 0; i < kTotal; ++i)
+        expected += i;
+    EXPECT_EQ(consumed_count.load(), kTotal);
+    EXPECT_EQ(consumed_sum.load(), expected);
+}
+
+} // namespace
+} // namespace nomap

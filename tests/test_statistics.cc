@@ -1,0 +1,76 @@
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/statistics.h"
+
+namespace nomap {
+namespace {
+
+// Edge-case coverage for the summary-statistics helpers every figure
+// and table binary feeds its measurements through. The geomean cases
+// are regression tests: non-positive inputs used to reach log(),
+// producing -inf/NaN (or a panic) instead of a deterministic value.
+
+TEST(Statistics, MeanOfEmptyIsZero)
+{
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Statistics, MeanOfValues)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({-3.0, 3.0}), 0.0);
+}
+
+TEST(Statistics, GeomeanOfEmptyIsZero)
+{
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Statistics, GeomeanOfPositiveValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({1.0, 1.0, 1.0}), 1.0);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(Statistics, GeomeanOfNonPositiveInputsIsZero)
+{
+    // Undefined mathematically; must be a deterministic 0.0 in every
+    // build type rather than log(0)/log(-x) garbage.
+    EXPECT_EQ(geomean({0.0}), 0.0);
+    EXPECT_EQ(geomean({-1.0}), 0.0);
+    EXPECT_EQ(geomean({2.0, 0.0, 8.0}), 0.0);
+    EXPECT_EQ(geomean({2.0, -5.0}), 0.0);
+    EXPECT_EQ(geomean({std::numeric_limits<double>::quiet_NaN()}), 0.0);
+}
+
+TEST(Statistics, GeomeanResultIsAlwaysFiniteForFiniteInput)
+{
+    std::vector<double> xs = {1e-300, 1e300, 0.5, 2.0};
+    double g = geomean(xs);
+    EXPECT_TRUE(std::isfinite(g));
+    EXPECT_GT(g, 0.0);
+}
+
+TEST(Statistics, MinMaxOfEmptyIsZero)
+{
+    EXPECT_EQ(minOf({}), 0.0);
+    EXPECT_EQ(maxOf({}), 0.0);
+}
+
+TEST(Statistics, MinMaxOfValues)
+{
+    EXPECT_DOUBLE_EQ(minOf({3.0, -1.0, 2.0}), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf({3.0, -1.0, 2.0}), 3.0);
+    EXPECT_DOUBLE_EQ(minOf({7.0}), 7.0);
+    EXPECT_DOUBLE_EQ(maxOf({7.0}), 7.0);
+}
+
+} // namespace
+} // namespace nomap
