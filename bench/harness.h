@@ -70,16 +70,22 @@ struct RunResult {
     ExecutionStats stats;
 };
 
-/** Run a whole suite under one architecture. */
+/**
+ * Run a whole suite under one architecture. @p trace_capacity > 0
+ * enables the engine trace ring (bench/wallclock --traced uses it to
+ * gauge tracing overhead); events are discarded, only the cost of
+ * emitting them is measured.
+ */
 inline std::vector<RunResult>
 runSuite(const std::vector<BenchmarkSpec> &suite, Architecture arch,
-         Tier max_tier = Tier::Ftl)
+         Tier max_tier = Tier::Ftl, uint32_t trace_capacity = 0)
 {
     std::vector<RunResult> results;
     for (const BenchmarkSpec &spec : suite) {
         EngineConfig config;
         config.arch = arch;
         config.maxTier = max_tier;
+        config.traceCapacity = trace_capacity;
         Engine engine(config);
         EngineResult r = engine.run(spec.source);
         results.push_back({spec.id, spec.inAvgS, r.stats});

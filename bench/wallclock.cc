@@ -10,13 +10,17 @@
  *
  * Writes BENCH_wallclock.json into the working directory. `--quick`
  * clips the suites and repetition count for the perf-smoke CTest
- * entry.
+ * entry. `--traced` runs every pass with the engine trace ring
+ * enabled (EngineConfig::traceCapacity) to gauge the overhead of
+ * event emission; the default (untraced) mode is the number the
+ * <2%-regression envelope in scripts/check.sh guards.
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "harness.h"
 
@@ -50,7 +54,7 @@ struct SuiteTiming {
 SuiteTiming
 timeSuite(const std::string &name,
           const std::vector<BenchmarkSpec> &suite, Architecture arch,
-          int reps)
+          int reps, uint32_t trace_capacity)
 {
     SuiteTiming t;
     t.suite = name;
@@ -59,11 +63,12 @@ timeSuite(const std::string &name,
 
     // One untimed warmup pass so one-time costs (host allocator,
     // page-in) don't land in the first sample.
-    runSuite(suite, arch);
+    runSuite(suite, arch, Tier::Ftl, trace_capacity);
 
     for (int rep = 0; rep < reps; ++rep) {
         auto start = std::chrono::steady_clock::now();
-        std::vector<RunResult> runs = runSuite(suite, arch);
+        std::vector<RunResult> runs =
+            runSuite(suite, arch, Tier::Ftl, trace_capacity);
         auto end = std::chrono::steady_clock::now();
         uint64_t instr = 0;
         for (const RunResult &r : runs)
@@ -84,18 +89,27 @@ int
 main(int argc, char **argv)
 {
     initBench(argc, argv);
+    bool traced = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--traced") == 0)
+            traced = true;
+    }
+    const uint32_t trace_capacity = traced ? 65536 : 0;
     const int reps = quickMode() ? 2 : 7;
     std::printf("Host wall-clock per guest instruction "
-                "(%d repetitions%s)\n\n",
-                reps, quickMode() ? ", --quick" : "");
+                "(%d repetitions%s%s)\n\n",
+                reps, quickMode() ? ", --quick" : "",
+                traced ? ", --traced" : "");
 
     std::vector<SuiteTiming> timings;
     for (Architecture arch :
          {Architecture::Base, Architecture::NoMap}) {
-        timings.push_back(timeSuite(
-            "sunspider", clipForQuick(sunspiderSuite()), arch, reps));
-        timings.push_back(timeSuite(
-            "kraken", clipForQuick(krakenSuite()), arch, reps));
+        timings.push_back(timeSuite("sunspider",
+                                    clipForQuick(sunspiderSuite()),
+                                    arch, reps, trace_capacity));
+        timings.push_back(timeSuite("kraken",
+                                    clipForQuick(krakenSuite()), arch,
+                                    reps, trace_capacity));
     }
 
     TextTable table;
@@ -116,8 +130,11 @@ main(int argc, char **argv)
         std::fprintf(stderr, "cannot write %s\n", path);
         return 1;
     }
-    std::fprintf(out, "{\n  \"quick\": %s,\n  \"repetitions\": %d,\n",
-                 quickMode() ? "true" : "false", reps);
+    std::fprintf(out,
+                 "{\n  \"quick\": %s,\n  \"traced\": %s,\n"
+                 "  \"repetitions\": %d,\n",
+                 quickMode() ? "true" : "false",
+                 traced ? "true" : "false", reps);
     std::fprintf(out, "  \"suites\": [\n");
     for (size_t i = 0; i < timings.size(); ++i) {
         const SuiteTiming &t = timings[i];

@@ -5,23 +5,30 @@
  *
  * Usage:
  *   nomap_serve [--workers M] [--requests N] [--arch ARCH]
- *               [--timeout-ms T] [--no-cache]
+ *               [--timeout-ms T] [--no-cache] [--trace FILE]
  *
  * The request mix cycles through the Shootout kernels (the same mix
  * bench/throughput_scaling uses), so repeated scripts exercise the
  * compiled-program cache while distinct ones keep the isolate pool
  * honest.
+ *
+ * --trace FILE enables per-request tracing (EngineConfig::
+ * traceCapacity), writes the combined Chrome trace_event JSON of all
+ * requests to FILE (load it in Perfetto / chrome://tracing), and
+ * prints the abort-attribution report to stdout.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <string>
 #include <vector>
 
 #include "service/engine_pool.h"
 #include "suites/shootout.h"
+#include "trace/trace.h"
 
 using namespace nomap;
 
@@ -48,7 +55,8 @@ usage()
         "usage: nomap_serve [--workers M] [--requests N]\n"
         "                   [--arch base|nomap_s|nomap_b|nomap|"
         "nomap_bc|nomap_rtm]\n"
-        "                   [--timeout-ms T] [--no-cache]\n");
+        "                   [--timeout-ms T] [--no-cache] "
+        "[--trace FILE]\n");
     std::exit(1);
 }
 
@@ -62,6 +70,7 @@ main(int argc, char **argv)
     Architecture arch = Architecture::NoMap;
     uint64_t timeout_ms = 0;
     bool use_cache = true;
+    std::string trace_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
@@ -80,6 +89,10 @@ main(int argc, char **argv)
             timeout_ms = std::strtoull(next().c_str(), nullptr, 10);
         } else if (flag == "--no-cache") {
             use_cache = false;
+        } else if (flag == "--trace") {
+            trace_path = next();
+        } else if (flag.rfind("--trace=", 0) == 0) {
+            trace_path = flag.substr(std::strlen("--trace="));
         } else {
             usage();
         }
@@ -114,13 +127,20 @@ main(int argc, char **argv)
         Request req;
         req.source = kernels[i % kernels.size()].jsSource;
         req.config.arch = arch;
+        if (!trace_path.empty())
+            req.config.traceCapacity = 65536;
         futures.push_back(service.submit(std::move(req)));
     }
 
     size_t failed = 0;
+    std::vector<TraceEvent> all_events;
+    uint64_t trace_dropped = 0;
     for (size_t i = 0; i < futures.size(); ++i) {
         Response resp = futures[i].get();
         const ShootoutKernel &kernel = kernels[i % kernels.size()];
+        all_events.insert(all_events.end(), resp.traceEvents.begin(),
+                          resp.traceEvents.end());
+        trace_dropped += resp.traceDropped;
         if (!resp.ok()) {
             ++failed;
             std::fprintf(stderr, "request %zu (%s): %s: %s\n", i,
@@ -140,6 +160,25 @@ main(int argc, char **argv)
     }
 
     std::printf("%s\n", service.metricsJson().c_str());
+
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cannot write trace file '%s'\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        out << chromeTraceJson(all_events);
+        out.close();
+        std::printf("wrote %zu trace event(s) to %s", all_events.size(),
+                    trace_path.c_str());
+        if (trace_dropped != 0)
+            std::printf(" (%llu dropped)",
+                        static_cast<unsigned long long>(trace_dropped));
+        std::printf("\n\n%s",
+                    abortAttributionReport(all_events).c_str());
+    }
+
     if (failed != 0) {
         std::fprintf(stderr, "%zu/%zu requests failed\n", failed,
                      futures.size());

@@ -3,12 +3,15 @@
 # CI driver: the three standard configurations, in order of cost.
 #
 #   1. plain           — full suite (unit, integration, concurrency,
-#                        chaos, examples, bench smokes), then the
-#                        perf-smoke label as an explicit step
+#                        chaos, trace, examples, bench smokes), then
+#                        the perf-smoke label and the disabled-trace
+#                        wallclock envelope as explicit steps
 #   2. address+undefined — full suite under ASan+UBSan
-#   3. thread          — concurrency- and chaos-labeled tests only
-#                        under TSan (the rest is single-threaded and
-#                        just slows down 10x for nothing)
+#   3. thread          — concurrency-, chaos-, and trace-labeled
+#                        tests only under TSan (the rest is
+#                        single-threaded and just slows down 10x for
+#                        nothing; trace rides along because its
+#                        service-span tests cross threads)
 #
 # Usage: scripts/check.sh [jobs]
 #
@@ -48,6 +51,31 @@ step "1b/3 perf-smoke: wallclock gauge clean-exit check"
 run env CTEST_OUTPUT_ON_FAILURE=1 \
     ctest --test-dir build-check -L perf-smoke
 
+step "1c/3 trace label: attribution layer + golden + differential"
+# Also covered by the full run; repeated by label so trace-layer
+# breakage (golden drift, stats perturbation) is its own CI signal.
+run env CTEST_OUTPUT_ON_FAILURE=1 \
+    ctest --test-dir build-check -j "$JOBS" -L trace
+
+step "1d/3 disabled-trace wallclock envelope"
+# Tracing off must stay free: the host ns-per-guest-instruction gauge
+# (p50, any suite/arch) has to stay under NOMAP_WALLCLOCK_MAX_NS.
+# The envelope is deliberately loose — seed baselines sit at 2.8-4.1
+# ns/instr on the reference runner — so it only catches a tracing
+# guard leaking onto the hot path, not machine-to-machine noise.
+run bash -c "cd build-check && ./bench/wallclock --quick"
+MAX_NS="${NOMAP_WALLCLOCK_MAX_NS:-8.0}"
+run python3 - "$MAX_NS" <<'PY'
+import json, sys
+max_ns = float(sys.argv[1])
+with open("build-check/BENCH_wallclock.json") as f:
+    doc = json.load(f)
+worst = max(s["ns_per_instr_p50"] for s in doc["suites"])
+print(f"worst ns/instr p50 = {worst:.3f} (limit {max_ns})")
+if worst > max_ns:
+    sys.exit(f"wallclock envelope exceeded: {worst:.3f} > {max_ns}")
+PY
+
 step "2/3 AddressSanitizer + UndefinedBehaviorSanitizer, full suite"
 run cmake -B build-check-asan -S . "-DNOMAP_SANITIZE=address;undefined"
 run cmake --build build-check-asan -j "$JOBS"
@@ -56,12 +84,12 @@ run env CTEST_OUTPUT_ON_FAILURE=1 \
     UBSAN_OPTIONS=print_stacktrace=1 \
     ctest --test-dir build-check-asan -j "$JOBS"
 
-step "3/3 ThreadSanitizer, concurrency + chaos labels"
+step "3/3 ThreadSanitizer, concurrency + chaos + trace labels"
 run cmake -B build-check-tsan -S . -DNOMAP_SANITIZE=thread
 run cmake --build build-check-tsan -j "$JOBS"
 run env CTEST_OUTPUT_ON_FAILURE=1 \
     TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-check-tsan -j "$JOBS" \
-    -L 'concurrency|chaos'
+    -L 'concurrency|chaos|trace'
 
 step "all three configurations passed"

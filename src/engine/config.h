@@ -84,6 +84,15 @@ struct EngineConfig {
      * runs every suite program both ways and compares).
      */
     bool perOpAccounting = false;
+
+    /**
+     * Trace-buffer capacity in events; 0 (the default) disables
+     * tracing entirely — no buffer is allocated and every trace site
+     * reduces to a null-pointer test. Tracing must not perturb the
+     * simulation: ExecutionStats are bit-identical with tracing on or
+     * off (enforced by the trace differential test).
+     */
+    uint32_t traceCapacity = 0;
 };
 
 } // namespace nomap

@@ -6,6 +6,12 @@
 
 namespace nomap {
 
+// trace.cc renders tiers from a mirrored name table; pin the layout.
+static_assert(static_cast<uint8_t>(Tier::Interpreter) == 0 &&
+              static_cast<uint8_t>(Tier::Baseline) == 1 &&
+              static_cast<uint8_t>(Tier::Dfg) == 2 &&
+              static_cast<uint8_t>(Tier::Ftl) == 3);
+
 Engine::Engine(const EngineConfig &config)
     : engineConfig(config)
 {
@@ -33,9 +39,15 @@ Engine::initVm()
     heapPtr->setTransactionManager(htmPtr.get());
 
     acctPtr = std::make_unique<Accounting>(stats);
+    if (engineConfig.traceCapacity > 0) {
+        tracePtr =
+            std::make_unique<TraceBuffer>(engineConfig.traceCapacity);
+    }
+    htmPtr->setTrace(tracePtr.get(), acctPtr.get());
     envPtr = std::make_unique<ExecEnv>(
         ExecEnv{*heapPtr, *runtimePtr, *builtinsPtr, *htmPtr, *memPtr,
                 *acctPtr, *this, nullptr});
+    envPtr->trace = tracePtr.get();
     interpreter =
         std::make_unique<BytecodeExecutor>(*envPtr, Tier::Interpreter);
     baselineExec =
@@ -84,6 +96,8 @@ Engine::resetStats()
     htmPtr->resetStats();
     memPtr->resetStats();
     builtinsPtr->clearPrinted();
+    if (tracePtr)
+        tracePtr->clear();
 }
 
 void
@@ -98,6 +112,7 @@ Engine::reset()
     baselineExec.reset();
     interpreter.reset();
     envPtr.reset();
+    tracePtr.reset();
     acctPtr.reset();
     memPtr.reset();
     htmPtr.reset();
@@ -221,20 +236,30 @@ Engine::maybeTierUp(uint32_t func_id)
         break;
       case Tier::Dfg:
         state.dfg = std::make_unique<CompiledIr>(
-            compileFunction(fn, *heapPtr, Tier::Dfg,
-                            engineConfig.arch));
+            compileFunction(fn, *heapPtr, Tier::Dfg, engineConfig.arch,
+                            0, tracePtr.get(), acctPtr.get()));
         ++stats.dfgCompiles;
         break;
       case Tier::Ftl:
         state.ftl = std::make_unique<CompiledIr>(
             compileFunction(fn, *heapPtr, Tier::Ftl, engineConfig.arch,
-                            state.txScopeLevel));
+                            state.txScopeLevel, tracePtr.get(),
+                            acctPtr.get()));
         ++stats.ftlCompiles;
         break;
       default:
         break;
     }
     state.tier = want;
+
+    if (tracePtr && tracePtr->enabled()) {
+        TraceEvent event;
+        event.vcycles = acctPtr->virtualCycles();
+        event.type = TraceEventType::TierUp;
+        event.code = static_cast<uint8_t>(want);
+        event.funcId = func_id;
+        tracePtr->emit(event);
+    }
 }
 
 Value
@@ -306,13 +331,21 @@ Engine::call(uint32_t func_id, const Value *args, uint32_t nargs)
               injector->fire(FaultSite::EngineCompileFail))) {
             state.ftl = std::make_unique<CompiledIr>(compileFunction(
                 fn, *heapPtr, Tier::Ftl, engineConfig.arch,
-                state.txScopeLevel));
+                state.txScopeLevel, tracePtr.get(), acctPtr.get()));
             ++stats.ftlRecompiles;
         }
         return v;
       }
     }
     panic("bad tier");
+}
+
+std::string
+Engine::functionName(uint32_t func_id) const
+{
+    if (!programPtr || func_id >= programPtr->functions.size())
+        return "";
+    return programPtr->functions[func_id]->name;
 }
 
 const FunctionState *

@@ -157,6 +157,19 @@ class Engine : public CallDispatcher
     MemHierarchy &memHierarchy() { return *memPtr; }
     const CompiledProgram *program() const { return programPtr.get(); }
 
+    /**
+     * The engine's trace buffer, or nullptr when
+     * EngineConfig::traceCapacity is 0. Callers drain() it between
+     * runs; resetStats()/reset() clear it.
+     */
+    TraceBuffer *trace() { return tracePtr.get(); }
+
+    /**
+     * Resolve a function id to its source name for trace exporters
+     * ("" when unknown / no program loaded).
+     */
+    std::string functionName(uint32_t func_id) const;
+
     /** Tiering state of a function (by name; nullptr if unknown). */
     const FunctionState *functionState(const std::string &name) const;
 
@@ -191,6 +204,7 @@ class Engine : public CallDispatcher
 
     ExecutionStats stats;
     std::unique_ptr<Accounting> acctPtr;
+    std::unique_ptr<TraceBuffer> tracePtr;
     std::unique_ptr<ExecEnv> envPtr;
     std::unique_ptr<BytecodeExecutor> interpreter;
     std::unique_ptr<BytecodeExecutor> baselineExec;

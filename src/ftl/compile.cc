@@ -4,17 +4,66 @@
 
 namespace nomap {
 
+namespace {
+
+/**
+ * Runs passes and attributes their PassStats deltas to PassReport
+ * trace events. A pass that changed nothing emits nothing, so traces
+ * only carry the passes that explain the final code.
+ */
+class PassRunner
+{
+  public:
+    PassRunner(IrFunction &ir, PassStats &stats, TraceBuffer *trace,
+               const TraceClock *clock)
+        : ir(ir), stats(stats), trace(trace), clock(clock)
+    {
+    }
+
+    void
+    run(TracePassId id, void (*pass)(IrFunction &, PassStats &))
+    {
+        uint32_t checks_before = totalChecksRemoved(stats);
+        uint32_t ops_before = totalOpsChanged(stats);
+        pass(ir, stats);
+        if (!trace || !trace->enabled())
+            return;
+        uint32_t checks = totalChecksRemoved(stats) - checks_before;
+        uint32_t ops = totalOpsChanged(stats) - ops_before;
+        if (checks == 0 && ops == 0)
+            return;
+        TraceEvent event;
+        event.vcycles = clock ? clock->virtualCycles() : 0;
+        event.type = TraceEventType::PassReport;
+        event.aux = static_cast<uint16_t>(id);
+        event.funcId = ir.funcId;
+        event.bytes = checks;
+        event.ways = ops;
+        trace->emit(event);
+    }
+
+  private:
+    IrFunction &ir;
+    PassStats &stats;
+    TraceBuffer *trace;
+    const TraceClock *clock;
+};
+
+} // namespace
+
 CompiledIr
 compileFunction(const BytecodeFunction &fn, Heap &heap, Tier tier,
-                Architecture arch, uint32_t tx_scope_level)
+                Architecture arch, uint32_t tx_scope_level,
+                TraceBuffer *trace, const TraceClock *clock)
 {
     CompiledIr out;
     out.ir = buildIr(fn, heap, tier);
+    PassRunner passes(out.ir, out.passStats, trace, clock);
 
     if (tier == Tier::Dfg) {
         // The DFG runs its abstract interpreter and little else.
-        runKindInference(out.ir, out.passStats);
-        runLocalCse(out.ir, out.passStats);
+        passes.run(TracePassId::KindInference, runKindInference);
+        passes.run(TracePassId::LocalCse, runLocalCse);
         out.ir.verify();
         computeChargePlan(out.ir);
         return out;
@@ -27,23 +76,38 @@ compileFunction(const BytecodeFunction &fn, Heap &heap, Tier tier,
         pc.htmMode = htmModeOf(arch);
         pc.scopeLevel = tx_scope_level;
         out.planResult = planTransactions(out.ir, fn.profile, pc);
+        if (trace && trace->enabled()) {
+            for (const LoopPlan &plan : out.planResult.loops) {
+                TraceEvent event;
+                event.vcycles = clock ? clock->virtualCycles() : 0;
+                event.type = TraceEventType::PassReport;
+                event.aux =
+                    static_cast<uint16_t>(TracePassId::Planner);
+                event.funcId = out.ir.funcId;
+                event.pc = plan.headerPc;
+                event.bytes = plan.checksConverted;
+                event.ways = plan.tileEvery;
+                trace->emit(event);
+            }
+        }
     }
 
-    runKindInference(out.ir, out.passStats);
-    runCheckElim(out.ir, out.passStats);
-    runLocalCse(out.ir, out.passStats);
-    runLicm(out.ir, out.passStats);
-    runStoreSink(out.ir, out.passStats);
+    passes.run(TracePassId::KindInference, runKindInference);
+    passes.run(TracePassId::CheckElim, runCheckElim);
+    passes.run(TracePassId::LocalCse, runLocalCse);
+    passes.run(TracePassId::Licm, runLicm);
+    passes.run(TracePassId::StoreSink, runStoreSink);
     // A second round: promotion and hoisting expose more redundancy.
-    runLocalCse(out.ir, out.passStats);
-    runCheckElim(out.ir, out.passStats);
-    runDce(out.ir, out.passStats);
+    passes.run(TracePassId::LocalCse, runLocalCse);
+    passes.run(TracePassId::CheckElim, runCheckElim);
+    passes.run(TracePassId::Dce, runDce);
     for (int i = 0; i < 6; ++i) {
         uint32_t before = out.passStats.emptyLoopsRemoved +
                           out.passStats.deadOpsRemoved;
-        runLoopAccumulatorDce(out.ir, out.passStats);
-        runDce(out.ir, out.passStats);
-        runEmptyLoopElim(out.ir, out.passStats);
+        passes.run(TracePassId::LoopAccumulatorDce,
+                   runLoopAccumulatorDce);
+        passes.run(TracePassId::Dce, runDce);
+        passes.run(TracePassId::EmptyLoopElim, runEmptyLoopElim);
         if (out.passStats.emptyLoopsRemoved +
                 out.passStats.deadOpsRemoved == before) {
             break;
@@ -56,15 +120,16 @@ compileFunction(const BytecodeFunction &fn, Heap &heap, Tier tier,
         break;
       case Architecture::NoMapB:
       case Architecture::NoMapRTM:
-        runBoundsCombine(out.ir, out.passStats);
+        passes.run(TracePassId::BoundsCombine, runBoundsCombine);
         break;
       case Architecture::NoMap:
-        runBoundsCombine(out.ir, out.passStats);
-        runSofElim(out.ir, out.passStats);
+        passes.run(TracePassId::BoundsCombine, runBoundsCombine);
+        passes.run(TracePassId::SofElim, runSofElim);
         break;
       case Architecture::NoMapBC:
-        runBoundsCombine(out.ir, out.passStats);
-        runRemoveConvertedChecks(out.ir, out.passStats);
+        passes.run(TracePassId::BoundsCombine, runBoundsCombine);
+        passes.run(TracePassId::RemoveConvertedChecks,
+                   runRemoveConvertedChecks);
         break;
     }
 

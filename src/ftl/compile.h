@@ -28,10 +28,17 @@ struct CompiledIr {
  * @param tx_scope_level NoMap recompilation escalation: 0 = loop
  *        nest, 1 = innermost, 2 = tiled, 3 = no transactions (set
  *        after repeated capacity aborts at run time).
+ * @param trace Optional sink for PassReport events: one per pass that
+ *        changed the function (checks removed / ops changed deltas)
+ *        plus one per planner-wrapped loop. Null disables.
+ * @param clock Timestamp source for those events (the engine's
+ *        Accounting); null stamps 0.
  */
 CompiledIr compileFunction(const BytecodeFunction &fn, Heap &heap,
                            Tier tier, Architecture arch,
-                           uint32_t tx_scope_level = 0);
+                           uint32_t tx_scope_level = 0,
+                           TraceBuffer *trace = nullptr,
+                           const TraceClock *clock = nullptr);
 
 } // namespace nomap
 

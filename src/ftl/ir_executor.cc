@@ -21,6 +21,14 @@
 
 namespace nomap {
 
+// trace.cc renders Deopt check kinds from a mirrored name table; pin
+// the numeric layout so the two cannot drift apart.
+static_assert(static_cast<uint8_t>(CheckKind::Bounds) == 0 &&
+              static_cast<uint8_t>(CheckKind::Overflow) == 1 &&
+              static_cast<uint8_t>(CheckKind::Type) == 2 &&
+              static_cast<uint8_t>(CheckKind::Property) == 3 &&
+              static_cast<uint8_t>(CheckKind::Other) == 4);
+
 namespace {
 
 /** Deterministic garbage produced by unguarded speculative ops. */
@@ -470,6 +478,16 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
                     // SMP's bytecode pc.
                     ++env.acct.stats().deopts;
                     NOMAP_ASSERT(instr->smpPc != kNoSmp);
+                    if (env.trace && env.trace->enabled()) {
+                        TraceEvent event;
+                        event.vcycles = env.acct.virtualCycles();
+                        event.type = TraceEventType::Deopt;
+                        event.code = static_cast<uint8_t>(
+                            checkKindOf(instr->op));
+                        event.funcId = ir.funcId;
+                        event.pc = instr->smpPc;
+                        env.trace->emit(event);
+                    }
                     if constexpr (kBatched)
                         refundAfterCurrent();
                     std::vector<Value> locals(
@@ -725,6 +743,10 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
               // ---- Transactions ------------------------------------
               VM_CASE(TxBegin) {
                 bool outermost = !env.htm.inTransaction();
+                // Attribute the transaction's trace events to this
+                // function + entry SMP before begin() emits TxBegin.
+                if (outermost && env.trace && env.trace->enabled())
+                    env.htm.setTraceContext(ir.funcId, instr->smpPc);
                 env.acct.chargeCycles(env.htm.begin());
                 sync_tx_flag();
                 if (outermost) {
@@ -783,6 +805,8 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
                     return resume_baseline();
                 }
                 env.mem.commitSpeculative();
+                if (env.trace && env.trace->enabled())
+                    env.htm.setTraceContext(ir.funcId, instr->smpPc);
                 env.acct.chargeCycles(env.htm.begin());
                 tx_snapshot.assign(regs.begin(),
                                    regs.begin() + ir.bytecodeRegs);

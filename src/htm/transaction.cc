@@ -15,6 +15,14 @@ constexpr uint32_t kL1Ways = 8;
 constexpr uint32_t kL2Size = 256 * 1024;
 constexpr uint32_t kL2Ways = 8;
 
+// trace.cc renders abort codes from a mirrored name table; pin the
+// numeric layout so the two cannot drift apart.
+static_assert(static_cast<uint8_t>(AbortCode::None) == 0 &&
+              static_cast<uint8_t>(AbortCode::ExplicitCheck) == 1 &&
+              static_cast<uint8_t>(AbortCode::Capacity) == 2 &&
+              static_cast<uint8_t>(AbortCode::StickyOverflow) == 3 &&
+              static_cast<uint8_t>(AbortCode::Irrevocable) == 4);
+
 } // namespace
 
 TransactionManager::TransactionManager(HtmMode mode)
@@ -40,15 +48,26 @@ TransactionManager::begin()
     ++statsData.begins;
     if (inj) {
         pendingInjected = AbortCode::None;
-        if (inj->fire(FaultSite::HtmAbortExplicit))
+        // Poll every site unconditionally — armed-but-unmatched plans
+        // must see identical occurrence numbering whether or not some
+        // other site fired first — but the *first* match in the fixed
+        // polling order (explicit, capacity, irrevocable) picks the
+        // code. A later site firing on the same begin is consumed
+        // without overriding the earlier one's code.
+        bool fire_explicit = inj->fire(FaultSite::HtmAbortExplicit);
+        bool fire_capacity = inj->fire(FaultSite::HtmAbortCapacity);
+        bool fire_irrevocable = inj->fire(FaultSite::HtmAbortIrrevocable);
+        if (fire_explicit)
             pendingInjected = AbortCode::ExplicitCheck;
-        if (inj->fire(FaultSite::HtmAbortCapacity))
+        else if (fire_capacity)
             pendingInjected = AbortCode::Capacity;
-        if (inj->fire(FaultSite::HtmAbortIrrevocable))
+        else if (fire_irrevocable)
             pendingInjected = AbortCode::Irrevocable;
         if (inj->fire(FaultSite::HtmSofLatch))
             sofFlag = true;
     }
+    if (trace && trace->enabled())
+        emitTxEvent(TraceEventType::TxBegin, AbortCode::None, 0, 0);
     return htmMode == HtmMode::Rot ? kRotBeginCycles : kRtmBeginCycles;
 }
 
@@ -79,6 +98,9 @@ TransactionManager::end()
     statsData.maxWriteWaysUsed =
         std::max(statsData.maxWriteWaysUsed, writeSet.maxWaysUsed());
     statsData.totalReadFootprintBytes += readSet.footprintBytes();
+    if (trace && trace->enabled())
+        emitTxEvent(TraceEventType::TxCommit, AbortCode::None, wf,
+                    writeSet.maxWaysUsed());
 
     depth = 0;
     if (rollback)
@@ -98,10 +120,38 @@ TransactionManager::abort(AbortCode code)
 {
     NOMAP_ASSERT(depth > 0);
     NOMAP_ASSERT(code != AbortCode::None);
+    // Capture the footprint *before* rollback clears it: aborted
+    // transactions — above all capacity aborts, by definition the
+    // largest — must contribute to the footprint maxima, or Table IV
+    // reports the maximum of the survivors only.
+    uint64_t wf = writeSet.footprintBytes();
+    statsData.abortedWriteFootprintBytes += wf;
+    statsData.maxWriteFootprintBytes =
+        std::max(statsData.maxWriteFootprintBytes, wf);
+    statsData.maxWriteWaysUsed =
+        std::max(statsData.maxWriteWaysUsed, writeSet.maxWaysUsed());
+    if (trace && trace->enabled())
+        emitTxEvent(TraceEventType::TxAbort, code, wf,
+                    writeSet.maxWaysUsed());
     if (rollback)
         rollback->txRollback();
     finishAbortBookkeeping(code);
     return kAbortCycles;
+}
+
+void
+TransactionManager::emitTxEvent(TraceEventType type, AbortCode code,
+                                uint64_t bytes, uint32_t ways) const
+{
+    TraceEvent event;
+    event.vcycles = traceClock ? traceClock->virtualCycles() : 0;
+    event.type = type;
+    event.code = static_cast<uint8_t>(code);
+    event.funcId = traceFuncId;
+    event.pc = traceEntryPc;
+    event.bytes = bytes;
+    event.ways = ways;
+    trace->emit(event);
 }
 
 void
@@ -122,10 +172,15 @@ TransactionManager::squeezeWriteWays(uint32_t ways)
     NOMAP_ASSERT(depth == 0);
     uint32_t size = htmMode == HtmMode::Rot ? kL2Size : kL1Size;
     uint32_t orig_ways = htmMode == HtmMode::Rot ? kL2Ways : kL1Ways;
-    if (ways == 0 || ways >= orig_ways)
+    // Compare against the *current* associativity, not the original
+    // geometry, so squeezes are monotone: squeeze(2) then squeeze(4)
+    // leaves the write set at 2 ways instead of re-growing it.
+    if (ways == 0 || ways >= writeSet.numWays())
         return;
     // Keep the set count constant: a real associativity squeeze
-    // leaves line indexing untouched and shrinks each set.
+    // leaves line indexing untouched and shrinks each set. Deriving
+    // the size from the original geometry keeps sets == size/(ways *
+    // line) invariant across repeated squeezes.
     writeSet = FootprintTracker(size / orig_ways * ways, ways);
 }
 

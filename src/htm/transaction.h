@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "memsim/footprint.h"
+#include "trace/trace.h"
 
 namespace nomap {
 
@@ -61,8 +62,17 @@ struct HtmStats {
     uint64_t abortsByCode[5] = {0, 0, 0, 0, 0};
     /** Sum over committed transactions of write footprint bytes. */
     uint64_t totalWriteFootprintBytes = 0;
+    /** Sum over *aborted* transactions of write footprint bytes, as
+     *  captured just before rollback. Kept separate from the
+     *  committed sum so avgWriteFootprintBytes() stays a
+     *  per-committed-transaction average. */
+    uint64_t abortedWriteFootprintBytes = 0;
+    /** Largest footprint of any transaction, committed *or* aborted —
+     *  capacity-aborted transactions are precisely the largest ones,
+     *  so excluding them would report the maximum of the survivors. */
     uint64_t maxWriteFootprintBytes = 0;
-    /** Largest associativity any set needed across all transactions. */
+    /** Largest associativity any set needed across all transactions,
+     *  committed or aborted. */
     uint32_t maxWriteWaysUsed = 0;
     uint64_t totalReadFootprintBytes = 0;
 
@@ -140,12 +150,41 @@ class TransactionManager
     }
 
     /**
+     * Attach a trace sink + deterministic clock. The manager emits
+     * TxBegin / TxCommit / TxAbort events (abort events carry the
+     * pre-rollback footprint). Pass nullptr to detach.
+     */
+    void
+    setTrace(TraceBuffer *buffer, const TraceClock *clock)
+    {
+        trace = buffer;
+        traceClock = clock;
+    }
+
+    /**
+     * Tell the tracer which code the *next* transaction belongs to
+     * (function id + entry SMP pc). Called by the executor right
+     * before the outermost begin(); sticky until the next call, so
+     * retries of the same transaction attribute to the same site.
+     */
+    void
+    setTraceContext(uint32_t func_id, uint32_t entry_pc)
+    {
+        traceFuncId = func_id;
+        traceEntryPc = entry_pc;
+    }
+
+    /**
      * Shrink the write-set associativity to @p ways, keeping the set
      * count constant (so total capacity shrinks proportionally) —
-     * the htm.ways value-site. No-op outside [1, current ways);
-     * must be called between transactions.
+     * the htm.ways value-site. No-op outside [1, current ways), so
+     * repeated squeezes are monotone: a later, larger value can never
+     * re-grow the write set. Must be called between transactions.
      */
     void squeezeWriteWays(uint32_t ways);
+
+    /** Current write-set associativity (after any squeeze). */
+    uint32_t writeWays() const { return writeSet.numWays(); }
 
     /** True while inside a (possibly nested) transaction. */
     bool inTransaction() const { return depth > 0; }
@@ -212,10 +251,16 @@ class TransactionManager
 
   private:
     void finishAbortBookkeeping(AbortCode code);
+    void emitTxEvent(TraceEventType type, AbortCode code, uint64_t bytes,
+                     uint32_t ways) const;
 
     HtmMode htmMode;
     RollbackClient *rollback = nullptr;
     FaultInjector *inj = nullptr;
+    TraceBuffer *trace = nullptr;
+    const TraceClock *traceClock = nullptr;
+    uint32_t traceFuncId = 0;
+    uint32_t traceEntryPc = 0;
     AbortCode pendingInjected = AbortCode::None;
     uint32_t depth = 0;
     bool sofFlag = false;

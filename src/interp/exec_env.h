@@ -49,6 +49,8 @@ struct ExecEnv {
     CompiledProgram *program = nullptr;
     /** Armed fault injector, or nullptr (the common case). */
     FaultInjector *inj = nullptr;
+    /** Trace sink, or nullptr when tracing is disabled. */
+    TraceBuffer *trace = nullptr;
     /** Per-operation (reference) instead of batched accounting. */
     bool perOpAccounting = false;
 

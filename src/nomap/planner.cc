@@ -162,6 +162,7 @@ void
 wrapLoop(IrFunction &fn, NaturalLoop &loop, uint32_t tile_every,
          PlanResult &result)
 {
+    uint32_t converted_before = result.checksConverted;
     uint32_t preheader = ensurePreheader(fn, loop);
     std::vector<uint32_t> exits = ensureDedicatedExits(fn, loop);
 
@@ -210,6 +211,14 @@ wrapLoop(IrFunction &fn, NaturalLoop &loop, uint32_t tile_every,
     fn.txRegions.push_back(std::move(region));
     ++result.transactionsPlaced;
     fn.txAware = true;
+
+    LoopPlan plan;
+    plan.headerPc = fn.blocks[loop.header].firstPc;
+    plan.loopId =
+        loop.loopId >= 0 ? static_cast<uint32_t>(loop.loopId) : 0;
+    plan.checksConverted = result.checksConverted - converted_before;
+    plan.tileEvery = tile_every;
+    result.loops.push_back(plan);
 }
 
 } // namespace

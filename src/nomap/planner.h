@@ -49,6 +49,17 @@ struct PlannerConfig {
     }
 };
 
+/** One loop the planner wrapped (feeds per-loop trace reports). */
+struct LoopPlan {
+    /** Bytecode pc of the loop header (= the TxBegin's entry SMP). */
+    uint32_t headerPc = 0;
+    uint32_t loopId = 0;
+    /** SMP-guarding checks converted to aborts inside this loop. */
+    uint32_t checksConverted = 0;
+    /** Commit-and-reopen interval; 0 = untiled. */
+    uint32_t tileEvery = 0;
+};
+
 /** What the planner did (for tests, ablations, and recompilation). */
 struct PlanResult {
     uint32_t transactionsPlaced = 0;
@@ -57,6 +68,8 @@ struct PlanResult {
     uint32_t nestsSkippedIrrevocable = 0;
     uint32_t nestsSkippedCold = 0;
     uint32_t nestsSkippedCapacity = 0;
+    /** Per-wrapped-loop detail, in placement order. */
+    std::vector<LoopPlan> loops;
 };
 
 /**

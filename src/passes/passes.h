@@ -44,6 +44,28 @@ struct PassStats {
 };
 
 /**
+ * Checks deleted or combined, summed across every counter. The pass
+ * driver diffs this around each pass to attribute removals per pass
+ * in PassReport trace events (the Fig. 3/8/9 explanation signal).
+ */
+inline uint32_t
+totalChecksRemoved(const PassStats &stats)
+{
+    return stats.checksRemovedByKinds + stats.checksRemovedRedundant +
+           stats.boundsChecksCombined + stats.overflowChecksRemoved +
+           stats.checksRemovedUnsafe;
+}
+
+/** Non-check operations deleted, moved, or promoted, summed. */
+inline uint32_t
+totalOpsChanged(const PassStats &stats)
+{
+    return stats.opsCseEliminated + stats.opsHoisted + stats.storesSunk +
+           stats.loadsPromoted + stats.deadOpsRemoved +
+           stats.emptyLoopsRemoved;
+}
+
+/**
  * Static kind inference (models the DFG tier's abstract interpreter):
  * forward dataflow of value kinds through registers; deletes checks
  * whose speculation is already proven (e.g. CheckInt32 on the result

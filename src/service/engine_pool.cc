@@ -1,5 +1,6 @@
 #include "service/engine_pool.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "support/logging.h"
@@ -16,8 +17,10 @@ EnginePool::EnginePool(size_t max_idle_per_config)
 std::string
 EnginePool::keyOf(const EngineConfig &config)
 {
+    // traceCapacity is part of the identity: a shelved traceless
+    // isolate must never serve a request that expects a trace buffer.
     return strprintf(
-        "%u|%u|%llu|%llu|%llu|%llu|%llu|%u",
+        "%u|%u|%llu|%llu|%llu|%llu|%llu|%u|%u",
         static_cast<unsigned>(config.arch),
         static_cast<unsigned>(config.maxTier),
         static_cast<unsigned long long>(config.baselineThreshold),
@@ -25,7 +28,8 @@ EnginePool::keyOf(const EngineConfig &config)
         static_cast<unsigned long long>(config.ftlThreshold),
         static_cast<unsigned long long>(config.rngSeed),
         static_cast<unsigned long long>(config.txWatchdogInstructions),
-        static_cast<unsigned>(config.abortEscalationLimit));
+        static_cast<unsigned>(config.abortEscalationLimit),
+        static_cast<unsigned>(config.traceCapacity));
 }
 
 std::unique_ptr<Engine>
@@ -295,6 +299,11 @@ ExecutionService::execute(Job &job, WorkerSlot &slot)
             response.printed = std::move(result.printed);
             response.stats = result.stats;
             response.programCacheHit = result.programCacheHit;
+            // Drain before release(): reset() clears the buffer.
+            if (TraceBuffer *tb = engine->trace()) {
+                response.traceEvents = tb->drain();
+                response.traceDropped = tb->dropped();
+            }
             pool.release(std::move(engine));
             break;
         } catch (const ExecutionCancelled &) {
@@ -336,6 +345,63 @@ ExecutionService::execute(Job &job, WorkerSlot &slot)
     response.execMicros = static_cast<double>(finished - started);
     response.totalMicros =
         static_cast<double>(finished - job.enqueuedUs);
+
+    // Wrap the engine's events in request-scoped spans. Span
+    // timestamps stay in virtual-cycle coordinates so they nest over
+    // the transaction events in the exporter; the wall-clock
+    // measurements ride along as span payloads (they are the only
+    // nondeterministic fields in a trace).
+    if (response.ok() && job.request.config.traceCapacity > 0) {
+        uint32_t lane = static_cast<uint32_t>(job.request.id);
+        uint64_t end_vc = 0;
+        for (TraceEvent &event : response.traceEvents) {
+            event.tid = lane;
+            end_vc = std::max(end_vc, event.vcycles);
+        }
+        auto span = [lane](TraceEventType type, SpanKind kind,
+                           uint64_t vcycles, uint16_t attempt,
+                           double micros) {
+            TraceEvent event;
+            event.vcycles = vcycles;
+            event.type = type;
+            event.code = static_cast<uint8_t>(kind);
+            event.aux = attempt;
+            event.bytes =
+                micros > 0.0 ? static_cast<uint64_t>(micros) : 0;
+            event.tid = lane;
+            return event;
+        };
+        std::vector<TraceEvent> wrapped;
+        wrapped.reserve(response.traceEvents.size() + 8);
+        wrapped.push_back(span(TraceEventType::SpanBegin,
+                               SpanKind::Request, 0, 0,
+                               response.totalMicros));
+        wrapped.push_back(span(TraceEventType::SpanBegin,
+                               SpanKind::Queue, 0, 0,
+                               response.queueMicros));
+        wrapped.push_back(span(TraceEventType::SpanEnd, SpanKind::Queue,
+                               0, 0, response.queueMicros));
+        for (uint32_t a = 1; a < response.attempts; ++a) {
+            uint16_t attempt = static_cast<uint16_t>(a);
+            wrapped.push_back(span(TraceEventType::SpanBegin,
+                                   SpanKind::Retry, 0, attempt, 0.0));
+            wrapped.push_back(span(TraceEventType::SpanEnd,
+                                   SpanKind::Retry, 0, attempt, 0.0));
+        }
+        uint16_t attempts = static_cast<uint16_t>(response.attempts);
+        wrapped.push_back(span(TraceEventType::SpanBegin,
+                               SpanKind::Execute, 0, attempts,
+                               response.execMicros));
+        wrapped.insert(wrapped.end(), response.traceEvents.begin(),
+                       response.traceEvents.end());
+        wrapped.push_back(span(TraceEventType::SpanEnd,
+                               SpanKind::Execute, end_vc, attempts,
+                               response.execMicros));
+        wrapped.push_back(span(TraceEventType::SpanEnd,
+                               SpanKind::Request, end_vc, 0,
+                               response.totalMicros));
+        response.traceEvents = std::move(wrapped);
+    }
     return response;
 }
 
@@ -357,6 +423,8 @@ ExecutionService::recordResponse(const Response &response)
         break;
     }
     retriesTotal += response.attempts - 1;
+    traceEventsTotal += response.traceEvents.size();
+    traceDropsTotal += response.traceDropped;
     latency.record(response.totalMicros);
 }
 
@@ -380,6 +448,8 @@ ExecutionService::metrics() const
         snap.errors = errors;
         snap.timeouts = timeouts;
         snap.retries = retriesTotal;
+        snap.traceEvents = traceEventsTotal;
+        snap.traceDrops = traceDropsTotal;
         snap.p50Micros = latency.percentile(50.0);
         snap.p95Micros = latency.percentile(95.0);
         snap.p99Micros = latency.percentile(99.0);

@@ -204,6 +204,8 @@ class ExecutionService
     uint64_t errors = 0;
     uint64_t timeouts = 0;
     uint64_t retriesTotal = 0;
+    uint64_t traceEventsTotal = 0;
+    uint64_t traceDropsTotal = 0;
 };
 
 } // namespace nomap

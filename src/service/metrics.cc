@@ -142,6 +142,11 @@ ServiceMetricsSnapshot::toJson() const
                      static_cast<unsigned long long>(cacheMisses));
     out += strprintf("\"entries\": %llu},\n",
                      static_cast<unsigned long long>(cacheEntries));
+    out += "  \"trace\": {";
+    out += strprintf("\"events\": %llu, ",
+                     static_cast<unsigned long long>(traceEvents));
+    out += strprintf("\"drops\": %llu},\n",
+                     static_cast<unsigned long long>(traceDrops));
     out += "  \"vm\": {";
     out += strprintf(
         "\"instructions\": %llu, ",

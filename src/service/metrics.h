@@ -102,6 +102,12 @@ struct ServiceMetricsSnapshot {
     uint64_t cacheMisses = 0;
     uint64_t cacheEntries = 0;
 
+    // ---- Tracing -------------------------------------------------------
+    /** Trace events exported by successful requests (incl. spans). */
+    uint64_t traceEvents = 0;
+    /** Events lost because a per-engine trace buffer filled up. */
+    uint64_t traceDrops = 0;
+
     // ---- Aggregated VM counters (successful requests) ------------------
     ExecutionStats aggregate;
 

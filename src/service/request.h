@@ -14,9 +14,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "engine/config.h"
 #include "engine/stats.h"
+#include "trace/trace.h"
 
 namespace nomap {
 
@@ -81,6 +83,17 @@ struct Response {
     double execMicros = 0.0;
     /** End-to-end latency, microseconds. */
     double totalMicros = 0.0;
+
+    /**
+     * Drained trace events when the request's EngineConfig enabled
+     * tracing (traceCapacity > 0) and the request succeeded: the
+     * engine's events wrapped in request-scoped spans (queue wait,
+     * execute, retries), all stamped with this request's id as the
+     * exporter lane. Empty otherwise.
+     */
+    std::vector<TraceEvent> traceEvents;
+    /** Events the engine's trace buffer dropped (buffer full). */
+    uint64_t traceDropped = 0;
 
     bool ok() const { return status == ResponseStatus::Ok; }
 };

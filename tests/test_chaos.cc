@@ -406,7 +406,72 @@ TEST(Chaos, ServiceQueueFullAndRetryFaults)
     g_combos += 5;
 }
 
-// ---- 6. Census ---------------------------------------------------------
+// ---- 6. Injected-abort code pairing ------------------------------------
+
+/**
+ * When a plan arms several htm.abort* sites on the SAME begin, the
+ * first match in the fixed polling order (explicit, capacity,
+ * irrevocable) picks the abort code, while every site is still polled
+ * so occurrence numbering never depends on what else fired.
+ * Regression: selection used to be last-match-wins, so the pairing of
+ * consumed site and reported abort code was inverted.
+ */
+TEST(Chaos, InjectedAbortFirstMatchWinsAndAllSitesPoll)
+{
+    Observation ref = runOnce(sweepConfig(Architecture::Base),
+                              kSweepProgram, nullptr);
+
+    // Alone, the capacity site converts begin #3 into exactly one
+    // injected capacity abort (the clean run never aborts).
+    FaultPlan cap_only = FaultPlan::parse("htm.abort.capacity@3");
+    Engine cap_engine(sweepConfig(Architecture::NoMap));
+    cap_engine.armFaultPlan(&cap_only);
+    EngineResult cap_r = cap_engine.run(kSweepProgram);
+    EXPECT_GE(cap_r.stats.txAbortsCapacity, 1u);
+    EXPECT_EQ(cap_r.stats.txAbortsCheck, 0u);
+    {
+        Observation got;
+        got.resultString = cap_r.resultString;
+        got.printed = cap_r.printed;
+        got.heap = heapFingerprint(cap_engine);
+        expectSameSemantics(got, ref, "htm.abort.capacity@3 alone");
+    }
+
+    // Both sites on the same begin: the explicit site is polled first
+    // and wins the code; the capacity site's one-shot fire is consumed
+    // without producing a capacity abort.
+    FaultPlan both =
+        FaultPlan::parse("htm.abort@3,htm.abort.capacity@3");
+    Engine both_engine(sweepConfig(Architecture::NoMap));
+    both_engine.armFaultPlan(&both);
+    EngineResult both_r = both_engine.run(kSweepProgram);
+    EXPECT_GE(both_r.stats.txAbortsCheck, 1u);
+    EXPECT_EQ(both_r.stats.txAbortsCapacity, 0u);
+    {
+        Observation got;
+        got.resultString = both_r.resultString;
+        got.printed = both_r.printed;
+        got.heap = heapFingerprint(both_engine);
+        expectSameSemantics(got, ref,
+                            "htm.abort@3,htm.abort.capacity@3");
+    }
+
+    // No short-circuit: all three begin sites saw identical occurrence
+    // numbering even though the explicit site fired.
+    const FaultInjector *inj = both_engine.faultInjector();
+    ASSERT_NE(inj, nullptr);
+    uint64_t explicit_occ =
+        inj->occurrences(FaultSite::HtmAbortExplicit);
+    uint64_t capacity_occ =
+        inj->occurrences(FaultSite::HtmAbortCapacity);
+    uint64_t irrevocable_occ =
+        inj->occurrences(FaultSite::HtmAbortIrrevocable);
+    EXPECT_EQ(explicit_occ, capacity_occ);
+    EXPECT_EQ(capacity_occ, irrevocable_occ);
+    EXPECT_GE(explicit_occ, 3u);
+}
+
+// ---- 7. Census ---------------------------------------------------------
 
 TEST(Chaos, CensusCoversAtLeast200Combos)
 {

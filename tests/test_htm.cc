@@ -179,6 +179,135 @@ TEST(Htm, FootprintStatsOnCommit)
     EXPECT_GE(tm.stats().maxWriteWaysUsed, 1u);
 }
 
+TEST(Htm, FootprintStatsOnAbort)
+{
+    TransactionManager tm(HtmMode::Rot);
+    CountingClient client;
+    tm.setRollbackClient(&client);
+
+    tm.begin();
+    for (Addr a = 0; a < 7 * kLineSize; a += kLineSize)
+        tm.recordWrite(a);
+    tm.abort(AbortCode::ExplicitCheck);
+
+    // Regression: the abort path used to roll the write set back
+    // before sampling it, so aborted transactions (above all capacity
+    // aborts — by definition the largest) never reached the footprint
+    // maxima and Table IV reported the max of the survivors only.
+    EXPECT_EQ(tm.stats().abortedWriteFootprintBytes, 7u * kLineSize);
+    EXPECT_EQ(tm.stats().maxWriteFootprintBytes, 7u * kLineSize);
+    EXPECT_GE(tm.stats().maxWriteWaysUsed, 1u);
+    // The commit-side accumulators stay commit-only: the per-commit
+    // average must not dilute with aborted work.
+    EXPECT_EQ(tm.stats().totalWriteFootprintBytes, 0u);
+    EXPECT_EQ(tm.stats().commits, 0u);
+}
+
+TEST(Htm, SofAbortRecordsFootprint)
+{
+    TransactionManager tm(HtmMode::Rot);
+    tm.begin();
+    for (Addr a = 0; a < 3 * kLineSize; a += kLineSize)
+        tm.recordWrite(a);
+    tm.noteArithmeticOverflow();
+    CommitResult r = tm.end();
+    ASSERT_FALSE(r.committed);
+    // SOF aborts route through abort(), so they contribute too.
+    EXPECT_EQ(tm.stats().abortedWriteFootprintBytes, 3u * kLineSize);
+    EXPECT_EQ(tm.stats().maxWriteFootprintBytes, 3u * kLineSize);
+}
+
+TEST(Htm, CapacityAbortFootprintIsPreOverflow)
+{
+    TransactionManager tm(HtmMode::Rot);
+    tm.begin();
+    bool ok = true;
+    for (Addr a = 0; ok; a += kLineSize)
+        ok = tm.recordWrite(a);
+    // The overflowing line is rejected, so the recorded footprint is
+    // the full pre-overflow write set — the L2 capacity.
+    EXPECT_EQ(tm.stats().maxWriteFootprintBytes, 256u * 1024u);
+    EXPECT_EQ(tm.stats().abortedWriteFootprintBytes, 256u * 1024u);
+    EXPECT_EQ(tm.stats().maxWriteWaysUsed, 8u);
+}
+
+TEST(Htm, SqueezeWriteWaysIsMonotone)
+{
+    TransactionManager tm(HtmMode::Rot);
+    EXPECT_EQ(tm.writeWays(), 8u);
+
+    tm.squeezeWriteWays(2);
+    EXPECT_EQ(tm.writeWays(), 2u);
+
+    // Regression: squeezeWriteWays() used to compare the request
+    // against the ORIGINAL cache geometry, so squeeze(2) followed by
+    // squeeze(4) silently re-grew the write set back to 4 ways.
+    tm.squeezeWriteWays(4);
+    EXPECT_EQ(tm.writeWays(), 2u);
+
+    tm.squeezeWriteWays(1);
+    EXPECT_EQ(tm.writeWays(), 1u);
+
+    // ways >= current and ways == 0 are no-ops.
+    tm.squeezeWriteWays(0);
+    EXPECT_EQ(tm.writeWays(), 1u);
+    tm.squeezeWriteWays(8);
+    EXPECT_EQ(tm.writeWays(), 1u);
+}
+
+TEST(Htm, SqueezeKeepsSetCountInvariant)
+{
+    // A squeeze models reduced associativity, not a smaller cache:
+    // the set count (and thus line->set indexing) must not change.
+    // With 8-way 256KB L2 there are 512 sets; after squeeze(2) the
+    // same 512 sets hold 2 lines each, so 512*2 sequential lines fit
+    // and one more overflows.
+    TransactionManager tm(HtmMode::Rot);
+    tm.squeezeWriteWays(2);
+    tm.begin();
+    bool ok = true;
+    uint32_t lines = 0;
+    for (Addr a = 0; ok; a += kLineSize) {
+        ok = tm.recordWrite(a);
+        if (ok)
+            ++lines;
+    }
+    EXPECT_EQ(lines, 512u * 2u);
+}
+
+TEST(Htm, TraceEmitsTxLifecycle)
+{
+    TraceBuffer buf(16);
+    FixedTraceClock clock{42};
+    TransactionManager tm(HtmMode::Rot);
+    tm.setTrace(&buf, &clock);
+    tm.setTraceContext(/*func_id=*/7, /*entry_pc=*/99);
+
+    tm.begin();
+    tm.recordWrite(0x1000);
+    tm.end();
+
+    tm.begin();
+    tm.recordWrite(0x2000);
+    tm.recordWrite(0x2000 + kLineSize);
+    tm.abort(AbortCode::ExplicitCheck);
+
+    const std::vector<TraceEvent> &ev = buf.events();
+    ASSERT_EQ(ev.size(), 4u);
+    EXPECT_EQ(ev[0].type, TraceEventType::TxBegin);
+    EXPECT_EQ(ev[0].vcycles, 42u);
+    EXPECT_EQ(ev[0].funcId, 7u);
+    EXPECT_EQ(ev[0].pc, 99u);
+    EXPECT_EQ(ev[1].type, TraceEventType::TxCommit);
+    EXPECT_EQ(ev[1].bytes, kLineSize);
+    EXPECT_EQ(ev[2].type, TraceEventType::TxBegin);
+    EXPECT_EQ(ev[3].type, TraceEventType::TxAbort);
+    EXPECT_EQ(ev[3].code,
+              static_cast<uint8_t>(AbortCode::ExplicitCheck));
+    // Abort events carry the pre-rollback footprint.
+    EXPECT_EQ(ev[3].bytes, 2u * kLineSize);
+}
+
 TEST(Htm, AbortCodeNames)
 {
     EXPECT_STREQ(abortCodeName(AbortCode::Capacity), "capacity");

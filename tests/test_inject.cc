@@ -232,6 +232,51 @@ TEST(FaultInjectorEngine, ArmDisarmAndReset)
     EXPECT_EQ(clean.stats.txAborts, 0u);
 }
 
+TEST(FaultInjectorEngine, WaysSqueezeIsMonotoneAcrossRearm)
+{
+    EngineConfig config;
+    config.arch = Architecture::NoMap;
+    Engine engine(config);
+    EXPECT_EQ(engine.htm().writeWays(), 8u);
+
+    FaultPlan narrow = FaultPlan::parse("htm.ways@2");
+    engine.armFaultPlan(&narrow);
+    EXPECT_EQ(engine.htm().writeWays(), 2u);
+
+    // Regression: re-arming with a wider squeeze used to re-grow the
+    // write set, because squeezeWriteWays() compared the request
+    // against the ORIGINAL cache geometry instead of the current
+    // associativity. Squeezes must be monotone.
+    FaultPlan wide = FaultPlan::parse("htm.ways@4");
+    engine.armFaultPlan(&wide);
+    EXPECT_EQ(engine.htm().writeWays(), 2u);
+
+    // Disarming does not restore ways (the squeeze models permanently
+    // degraded hardware for the life of the isolate); a full reset()
+    // rebuilds the VM and re-applies only the armed plan.
+    engine.armFaultPlan(nullptr);
+    EXPECT_EQ(engine.htm().writeWays(), 2u);
+    engine.reset();
+    EXPECT_EQ(engine.htm().writeWays(), 8u);
+}
+
+TEST(FaultInjectorEngine, WaysSqueezeStillExecutesCorrectly)
+{
+    EngineConfig config;
+    config.arch = Architecture::NoMap;
+    Engine plain(config);
+    EngineResult ref = plain.run(kLoopProgram);
+
+    FaultPlan plan = FaultPlan::parse("htm.ways@1");
+    Engine squeezed(config);
+    squeezed.armFaultPlan(&plan);
+    EXPECT_EQ(squeezed.htm().writeWays(), 1u);
+    EngineResult got = squeezed.run(kLoopProgram);
+    // Guest-visible semantics survive the squeeze; only capacity
+    // behavior may differ (this workload's footprint fits either way).
+    EXPECT_EQ(got.resultString, ref.resultString);
+}
+
 TEST(FaultInjectorEngine, EnginePicksUpEnvPlanAtConstruction)
 {
     ::setenv("NOMAP_FAULT_PLAN", "htm.abort@1", 1);

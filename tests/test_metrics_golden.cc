@@ -96,6 +96,8 @@ sampleSnapshot()
     s.cacheHits = 100;
     s.cacheMisses = 14;
     s.cacheEntries = 9;
+    s.traceEvents = 8192;
+    s.traceDrops = 3;
     s.aggregate.instr[0] = 1000;
     s.aggregate.instr[1] = 2000;
     s.aggregate.instr[2] = 300;

@@ -1,0 +1,589 @@
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "inject/fault_plan.h"
+#include "service/engine_pool.h"
+#include "suites/suite.h"
+#include "support/logging.h"
+#include "trace/trace.h"
+
+namespace nomap {
+namespace {
+
+/**
+ * Tests for the trace attribution layer (src/trace/): the ring
+ * buffer's drop policy, both exporters, and — most importantly — the
+ * two system-level invariants:
+ *
+ *  1. **Determinism.** Timestamps come from the engine's virtual
+ *     clock, so the same program under the same config yields a
+ *     bit-identical event stream on every run, machine, and build
+ *     config. Pinned by a golden file (regenerate deliberately with
+ *     NOMAP_UPDATE_GOLDEN=1 ./tests/test_trace) plus a run-twice
+ *     comparison.
+ *
+ *  2. **Zero perturbation.** Enabling tracing must not change a
+ *     single guest-visible counter: ExecutionStats is bit-identical
+ *     with tracing off, on, and on-with-a-tiny-buffer, across all six
+ *     architectures.
+ */
+
+// ---- Golden-file plumbing (same convention as test_metrics_golden) ----
+
+std::string
+goldenPath(const char *name)
+{
+    return std::string(NOMAP_GOLDEN_DIR) + "/" + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+bool
+updateMode()
+{
+    const char *v = std::getenv("NOMAP_UPDATE_GOLDEN");
+    return v && *v && std::string(v) != "0";
+}
+
+void
+checkAgainstGolden(const char *name, const std::string &actual)
+{
+    std::string path = goldenPath(name);
+    if (updateMode()) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << path;
+        out << actual;
+        return;
+    }
+    std::string expected = readFile(path);
+    ASSERT_FALSE(expected.empty())
+        << "missing golden " << path
+        << " — bootstrap with NOMAP_UPDATE_GOLDEN=1";
+    EXPECT_EQ(actual, expected)
+        << "trace output drifted from " << path
+        << "; if intentional, regenerate with NOMAP_UPDATE_GOLDEN=1 "
+           "and review the diff";
+}
+
+// ---- Ring buffer -------------------------------------------------------
+
+TraceEvent
+eventAt(uint64_t vcycles, TraceEventType type = TraceEventType::TxBegin)
+{
+    TraceEvent e;
+    e.vcycles = vcycles;
+    e.type = type;
+    return e;
+}
+
+TEST(TraceBuffer, ZeroCapacityIsDisabled)
+{
+    TraceBuffer buf(0);
+    EXPECT_FALSE(buf.enabled());
+    EXPECT_EQ(buf.capacity(), 0u);
+
+    TraceBuffer on(4);
+    EXPECT_TRUE(on.enabled());
+}
+
+TEST(TraceBuffer, KeepOldestDropPolicy)
+{
+    TraceBuffer buf(4);
+    for (uint64_t i = 1; i <= 6; ++i)
+        buf.emit(eventAt(i));
+
+    // The first 4 events are kept; the newest 2 are dropped, so a
+    // truncated trace is a stable prefix of the full one.
+    ASSERT_EQ(buf.events().size(), 4u);
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(buf.events()[i].vcycles, i + 1);
+    EXPECT_EQ(buf.emitted(), 4u);
+    EXPECT_EQ(buf.dropped(), 2u);
+}
+
+TEST(TraceBuffer, ClearResetsEventsAndCounters)
+{
+    TraceBuffer buf(2);
+    buf.emit(eventAt(1));
+    buf.emit(eventAt(2));
+    buf.emit(eventAt(3));
+    buf.clear();
+    EXPECT_TRUE(buf.events().empty());
+    EXPECT_EQ(buf.emitted(), 0u);
+    EXPECT_EQ(buf.dropped(), 0u);
+    EXPECT_TRUE(buf.enabled()); // Capacity survives a clear.
+}
+
+TEST(TraceBuffer, DrainMovesEventsButKeepsTotals)
+{
+    TraceBuffer buf(8);
+    buf.emit(eventAt(1));
+    buf.emit(eventAt(2));
+    std::vector<TraceEvent> taken = buf.drain();
+    ASSERT_EQ(taken.size(), 2u);
+    EXPECT_TRUE(buf.events().empty());
+    EXPECT_EQ(buf.emitted(), 2u); // Totals are lifetime counters.
+
+    buf.emit(eventAt(3));
+    EXPECT_EQ(buf.events().size(), 1u);
+    EXPECT_EQ(buf.emitted(), 3u);
+}
+
+// ---- Exporters on hand-built streams -----------------------------------
+
+/** Structural JSON check: balanced nesting, terminated strings. */
+void
+expectBalancedJson(const std::string &json)
+{
+    int depth = 0;
+    bool in_str = false, esc = false;
+    for (char c : json) {
+        if (esc) {
+            esc = false;
+            continue;
+        }
+        if (in_str) {
+            if (c == '\\')
+                esc = true;
+            else if (c == '"')
+                in_str = false;
+            continue;
+        }
+        switch (c) {
+          case '"': in_str = true; break;
+          case '{':
+          case '[': ++depth; break;
+          case '}':
+          case ']':
+            --depth;
+            ASSERT_GE(depth, 0);
+            break;
+          default: break;
+        }
+    }
+    EXPECT_FALSE(in_str);
+    EXPECT_EQ(depth, 0);
+}
+
+std::vector<TraceEvent>
+sampleStream()
+{
+    std::vector<TraceEvent> ev;
+    TraceEvent e;
+
+    e.type = TraceEventType::SpanBegin;
+    e.code = 0; // SpanKind::Request
+    e.tid = 7;
+    e.bytes = 1234; // wall micros
+    ev.push_back(e);
+
+    e = TraceEvent();
+    e.type = TraceEventType::TxBegin;
+    e.vcycles = 100;
+    e.funcId = 1;
+    e.pc = 42;
+    e.tid = 7;
+    ev.push_back(e);
+
+    e.type = TraceEventType::TxAbort;
+    e.vcycles = 180;
+    e.code = 2; // Capacity
+    e.bytes = 4096;
+    e.ways = 8;
+    ev.push_back(e);
+
+    e.type = TraceEventType::TxBegin;
+    e.vcycles = 200;
+    e.code = 0;
+    e.bytes = 0;
+    e.ways = 0;
+    ev.push_back(e);
+
+    e.type = TraceEventType::TxCommit;
+    e.vcycles = 300;
+    e.bytes = 2048;
+    e.ways = 4;
+    ev.push_back(e);
+
+    e = TraceEvent();
+    e.type = TraceEventType::Deopt;
+    e.vcycles = 310;
+    e.code = 0; // Bounds
+    e.funcId = 1;
+    e.pc = 17;
+    e.tid = 7;
+    ev.push_back(e);
+
+    e = TraceEvent();
+    e.type = TraceEventType::SpanEnd;
+    e.code = 0;
+    e.vcycles = 320;
+    e.tid = 7;
+    ev.push_back(e);
+    return ev;
+}
+
+TEST(TraceExport, ChromeJsonIsStructurallyValid)
+{
+    std::string json = chromeTraceJson(sampleStream());
+    expectBalancedJson(json);
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"abort_code\":\"Capacity\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"check_kind\":\"Bounds\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+}
+
+TEST(TraceExport, ChromeJsonUsesNameResolver)
+{
+    std::string json = chromeTraceJson(
+        sampleStream(),
+        [](uint32_t id) { return id == 1 ? "work" : ""; });
+    EXPECT_NE(json.find("\"name\":\"tx work\""), std::string::npos);
+    // Unresolved ids fall back to fn#<id>.
+    std::string fallback = chromeTraceJson(sampleStream());
+    EXPECT_NE(fallback.find("\"name\":\"tx fn#1\""),
+              std::string::npos);
+}
+
+TEST(TraceExport, AbortReportRanksByCountWithStableTies)
+{
+    std::vector<TraceEvent> ev;
+    auto abortAt = [&](uint32_t fn, uint32_t pc, uint8_t code,
+                       uint64_t bytes) {
+        TraceEvent e;
+        e.type = TraceEventType::TxAbort;
+        e.funcId = fn;
+        e.pc = pc;
+        e.code = code;
+        e.bytes = bytes;
+        ev.push_back(e);
+    };
+    abortAt(2, 10, 1, 100); // site B: 1 abort
+    abortAt(1, 20, 2, 500); // site A: 3 aborts
+    abortAt(1, 20, 2, 700);
+    abortAt(1, 20, 2, 600);
+    abortAt(3, 30, 1, 50); // site C: 1 abort (ties with B; B first
+                           // by (funcId, pc, code) key order)
+
+    std::string report = abortAttributionReport(ev);
+    EXPECT_NE(report.find("3 of 3 site(s), 5 abort(s) total"),
+              std::string::npos)
+        << report;
+    size_t site_a = report.find("fn#1");
+    size_t site_b = report.find("fn#2");
+    size_t site_c = report.find("fn#3");
+    ASSERT_NE(site_a, std::string::npos);
+    ASSERT_NE(site_b, std::string::npos);
+    ASSERT_NE(site_c, std::string::npos);
+    EXPECT_LT(site_a, site_b);
+    EXPECT_LT(site_b, site_c);
+    // Per-site footprint maxima, not sums.
+    EXPECT_NE(report.find("700"), std::string::npos);
+
+    // top_n truncation keeps the head of the ranking.
+    std::string top1 = abortAttributionReport(ev, 1);
+    EXPECT_NE(top1.find("1 of 3 site(s), 5 abort(s) total"),
+              std::string::npos)
+        << top1;
+    EXPECT_NE(top1.find("fn#1"), std::string::npos);
+    EXPECT_EQ(top1.find("fn#2"), std::string::npos);
+}
+
+// ---- Engine integration ------------------------------------------------
+
+/**
+ * The same hot array-writing loop the chaos sweeps use: tiers to FTL
+ * quickly under the lowered thresholds and opens a transaction per
+ * call, so the trace carries tier-ups, pass reports, and a tx
+ * lifecycle per iteration.
+ */
+const char kTraceProgram[] = R"JS(
+var A = [];
+for (var i = 0; i < 20; i++) A[i] = i % 7;
+function work(a) {
+    var s = 0;
+    for (var j = 0; j < a.length; j++) {
+        a[j] = (a[j] + 3) % 19;
+        s = (s + a[j] * 2) % 1009;
+    }
+    return s;
+}
+var out = 0;
+for (var r = 0; r < 40; r++) out = (out + work(A)) % 65536;
+result = out;
+)JS";
+
+EngineConfig
+traceConfig(Architecture arch, uint32_t capacity)
+{
+    EngineConfig config;
+    config.arch = arch;
+    config.baselineThreshold = 2;
+    config.dfgThreshold = 4;
+    config.ftlThreshold = 8;
+    config.traceCapacity = capacity;
+    return config;
+}
+
+size_t
+countType(const std::vector<TraceEvent> &ev, TraceEventType type)
+{
+    size_t n = 0;
+    for (const TraceEvent &e : ev)
+        if (e.type == type)
+            ++n;
+    return n;
+}
+
+TEST(TraceEngine, EventCountsMatchExecutionStats)
+{
+    FaultPlan plan = FaultPlan::parse("htm.abort@2");
+    Engine engine(traceConfig(Architecture::NoMap, 1 << 16));
+    engine.armFaultPlan(&plan);
+    EngineResult r = engine.run(kTraceProgram);
+
+    ASSERT_NE(engine.trace(), nullptr);
+    EXPECT_EQ(engine.trace()->dropped(), 0u);
+    const std::vector<TraceEvent> &ev = engine.trace()->events();
+
+    EXPECT_EQ(countType(ev, TraceEventType::TxCommit),
+              r.stats.txCommits);
+    EXPECT_EQ(countType(ev, TraceEventType::TxAbort),
+              r.stats.txAborts);
+    EXPECT_GE(r.stats.txAborts, 1u); // The injected one.
+    EXPECT_EQ(countType(ev, TraceEventType::TxBegin),
+              r.stats.txCommits + r.stats.txAborts);
+    EXPECT_EQ(countType(ev, TraceEventType::Deopt), r.stats.deopts);
+    EXPECT_GE(countType(ev, TraceEventType::TierUp), 1u);
+    EXPECT_GE(countType(ev, TraceEventType::PassReport), 1u);
+    // Engine-local events carry no request lane.
+    for (const TraceEvent &e : ev)
+        EXPECT_EQ(e.tid, 0u);
+}
+
+TEST(TraceEngine, GoldenTraceText)
+{
+    FaultPlan plan = FaultPlan::parse("htm.abort@2");
+    Engine engine(traceConfig(Architecture::NoMap, 1 << 16));
+    engine.armFaultPlan(&plan);
+    engine.run(kTraceProgram);
+    ASSERT_NE(engine.trace(), nullptr);
+    checkAgainstGolden("trace_events.golden.txt",
+                       traceText(engine.trace()->events()));
+}
+
+TEST(TraceEngine, TraceIsBitIdenticalAcrossRuns)
+{
+    FaultPlan plan = FaultPlan::parse("htm.abort@2");
+    auto capture = [&plan]() {
+        Engine engine(traceConfig(Architecture::NoMap, 1 << 16));
+        engine.armFaultPlan(&plan);
+        engine.run(kTraceProgram);
+        return engine.trace()->events();
+    };
+    std::vector<TraceEvent> first = capture();
+    std::vector<TraceEvent> second = capture();
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+
+    // reset() also restores determinism on a reused isolate.
+    Engine engine(traceConfig(Architecture::NoMap, 1 << 16));
+    engine.armFaultPlan(&plan);
+    engine.run(kTraceProgram);
+    std::vector<TraceEvent> before = engine.trace()->events();
+    engine.reset();
+    engine.run(kTraceProgram);
+    EXPECT_EQ(engine.trace()->events(), before);
+}
+
+/** All ExecutionStats fields, rendered exactly. */
+std::string
+statsFingerprint(const ExecutionStats &s)
+{
+    std::string out;
+    for (uint64_t v : s.instr)
+        out += strprintf("i%llu ", static_cast<unsigned long long>(v));
+    for (uint64_t v : s.checks)
+        out += strprintf("c%llu ", static_cast<unsigned long long>(v));
+    out += strprintf(
+        "tm=%.17g ntm=%.17g calls=%llu deopts=%llu bc=%llu dc=%llu "
+        "fc=%llu fr=%llu commits=%llu aborts=%llu cap=%llu chk=%llu "
+        "sof=%llu avg=%.17g max=%llu ways=%u",
+        s.cyclesTm, s.cyclesNonTm,
+        static_cast<unsigned long long>(s.ftlFunctionCalls),
+        static_cast<unsigned long long>(s.deopts),
+        static_cast<unsigned long long>(s.baselineCompiles),
+        static_cast<unsigned long long>(s.dfgCompiles),
+        static_cast<unsigned long long>(s.ftlCompiles),
+        static_cast<unsigned long long>(s.ftlRecompiles),
+        static_cast<unsigned long long>(s.txCommits),
+        static_cast<unsigned long long>(s.txAborts),
+        static_cast<unsigned long long>(s.txAbortsCapacity),
+        static_cast<unsigned long long>(s.txAbortsCheck),
+        static_cast<unsigned long long>(s.txAbortsSof),
+        s.avgWriteFootprintBytes,
+        static_cast<unsigned long long>(s.maxWriteFootprintBytes),
+        s.maxWriteWaysUsed);
+    return out;
+}
+
+TEST(TraceEngine, TracingDoesNotPerturbStatsOnAnyArchitecture)
+{
+    const Architecture archs[] = {
+        Architecture::Base,    Architecture::NoMapS,
+        Architecture::NoMapB,  Architecture::NoMap,
+        Architecture::NoMapBC, Architecture::NoMapRTM,
+    };
+    // The plan adds aborts (and, on deopt-capable archs, check
+    // traffic) so the comparison covers the eventful paths too.
+    FaultPlan plan = FaultPlan::parse("htm.abort@2,check.bounds@3");
+
+    for (Architecture arch : archs) {
+        auto runWith = [&](uint32_t capacity) {
+            Engine engine(traceConfig(arch, capacity));
+            engine.armFaultPlan(&plan);
+            return engine.run(kTraceProgram);
+        };
+        EngineResult off = runWith(0);
+        EngineResult on = runWith(1 << 16);
+        // A buffer too small for the run must ALSO not perturb:
+        // events are dropped, never allowed to change behavior.
+        EngineResult tiny = runWith(8);
+
+        EXPECT_EQ(off.resultString, on.resultString)
+            << architectureName(arch);
+        EXPECT_EQ(statsFingerprint(off.stats),
+                  statsFingerprint(on.stats))
+            << architectureName(arch);
+        EXPECT_EQ(statsFingerprint(off.stats),
+                  statsFingerprint(tiny.stats))
+            << architectureName(arch);
+    }
+}
+
+TEST(TraceEngine, TinyBufferCountsDrops)
+{
+    Engine engine(traceConfig(Architecture::NoMap, 8));
+    engine.run(kTraceProgram);
+    ASSERT_NE(engine.trace(), nullptr);
+    EXPECT_EQ(engine.trace()->events().size(), 8u);
+    EXPECT_EQ(engine.trace()->emitted(), 8u);
+    EXPECT_GT(engine.trace()->dropped(), 0u);
+}
+
+TEST(TraceEngine, DisabledByDefault)
+{
+    EngineConfig config;
+    config.arch = Architecture::NoMap;
+    Engine engine(config);
+    EXPECT_EQ(engine.trace(), nullptr);
+}
+
+// ---- Kraken acceptance run ---------------------------------------------
+
+TEST(TraceEngine, KrakenRunExportsValidJsonAndAbortReport)
+{
+    const BenchmarkSpec &k01 = krakenSuite().front();
+    EngineConfig config;
+    config.arch = Architecture::NoMap;
+    config.traceCapacity = 1 << 18;
+    // Guarantee at least one abort so the attribution report has a
+    // site to show even if the workload commits cleanly.
+    FaultPlan plan = FaultPlan::parse("htm.abort@3");
+    Engine engine(config);
+    engine.armFaultPlan(&plan);
+    engine.run(k01.source);
+
+    ASSERT_NE(engine.trace(), nullptr);
+    const std::vector<TraceEvent> &ev = engine.trace()->events();
+    ASSERT_FALSE(ev.empty());
+
+    std::string json = chromeTraceJson(ev, [&](uint32_t id) {
+        return engine.functionName(id);
+    });
+    expectBalancedJson(json);
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""),
+              std::string::npos);
+
+    std::string report = abortAttributionReport(ev);
+    EXPECT_EQ(report.find("0 of 0 site(s)"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("ExplicitCheck"), std::string::npos)
+        << report;
+}
+
+// ---- Service spans -----------------------------------------------------
+
+TEST(TraceService, RequestSpansWrapEngineEvents)
+{
+    ServiceConfig scfg;
+    scfg.workers = 1;
+    ExecutionService service(scfg);
+
+    Request req;
+    req.source = kTraceProgram;
+    req.config = traceConfig(Architecture::NoMap, 1 << 16);
+    Response resp = service.submit(req).get();
+    ASSERT_EQ(resp.status, ResponseStatus::Ok);
+
+    const std::vector<TraceEvent> &ev = resp.traceEvents;
+    ASSERT_GE(ev.size(), 6u);
+    // Outermost: a Request span brackets the whole stream.
+    EXPECT_EQ(ev.front().type, TraceEventType::SpanBegin);
+    EXPECT_EQ(static_cast<SpanKind>(ev.front().code),
+              SpanKind::Request);
+    EXPECT_EQ(ev.back().type, TraceEventType::SpanEnd);
+    EXPECT_EQ(static_cast<SpanKind>(ev.back().code),
+              SpanKind::Request);
+    // Every event, engine ones included, is stamped with the request
+    // lane so multi-request exports separate per tid.
+    for (const TraceEvent &e : ev)
+        EXPECT_EQ(e.tid, static_cast<uint32_t>(resp.id));
+    EXPECT_GE(countType(ev, TraceEventType::TxCommit), 1u);
+    EXPECT_EQ(countType(ev, TraceEventType::SpanBegin),
+              countType(ev, TraceEventType::SpanEnd));
+
+    ServiceMetricsSnapshot m = service.metrics();
+    EXPECT_EQ(m.traceEvents, ev.size());
+    EXPECT_EQ(m.traceDrops, 0u);
+}
+
+TEST(TraceService, UntracedRequestCarriesNoEvents)
+{
+    ServiceConfig scfg;
+    scfg.workers = 1;
+    ExecutionService service(scfg);
+
+    Request req;
+    req.source = "result = 6 * 7;";
+    req.config.arch = Architecture::NoMap;
+    Response resp = service.submit(req).get();
+    ASSERT_EQ(resp.status, ResponseStatus::Ok);
+    EXPECT_TRUE(resp.traceEvents.empty());
+    EXPECT_EQ(resp.traceDropped, 0u);
+    EXPECT_EQ(service.metrics().traceEvents, 0u);
+}
+
+} // namespace
+} // namespace nomap
