@@ -52,6 +52,18 @@ initBench(int argc, char **argv)
     }
 }
 
+/**
+ * Untimed warmup passes to run before timed repetitions. Absorbs
+ * one-time host costs (allocator growth, page-in, code paging) so the
+ * timed samples are steady-state and the median is stable; --quick
+ * keeps a single pass so the smoke tests stay fast.
+ */
+inline int
+warmupPasses()
+{
+    return quickMode() ? 1 : 2;
+}
+
 /** Under --quick, keep only the first @p keep entries of a suite. */
 template <typename T>
 std::vector<T>

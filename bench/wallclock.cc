@@ -2,25 +2,51 @@
  * @file
  * Host wall-clock throughput of the simulator itself (not a paper
  * artifact): nanoseconds of host time per simulated guest
- * instruction, per suite, reported as p50/p95 over repeated full
- * passes. This is the regression gauge for executor-dispatch and
- * accounting changes — guest-visible stats are pinned bit-identical
- * by test_accounting_diff, so the only thing allowed to move here is
- * host speed.
+ * instruction, per suite, reported as median/p50/p95 over repeated
+ * full passes after untimed warmup. This is the regression gauge for
+ * executor-dispatch and accounting changes — guest-visible stats are
+ * pinned bit-identical by test_accounting_diff, so the only thing
+ * allowed to move here is host speed.
  *
- * Writes BENCH_wallclock.json into the working directory. `--quick`
- * clips the suites and repetition count for the perf-smoke CTest
- * entry. `--traced` runs every pass with the engine trace ring
- * enabled (EngineConfig::traceCapacity) to gauge the overhead of
- * event emission; the default (untraced) mode is the number the
- * <2%-regression envelope in scripts/check.sh guards.
+ * To make the committed baseline portable across machines, a fixed
+ * integer/memory calibration kernel is timed immediately after each
+ * suite's passes, and `normalized_ns_per_instr` = median ns/instr
+ * divided by that *adjacent* kernel ns/iteration. Measuring the
+ * kernel next to the suite (rather than once per run) matters on
+ * shared hosts: CPU-steal load comes in multi-second epochs, and a
+ * calibration taken in a different epoch than the suite would skew
+ * the ratio instead of cancelling the load.
+ *
+ * Writes BENCH_wallclock.json (schema_version 3) into the working
+ * directory. Full runs additionally measure the quick-clipped suites
+ * and record them under "quick_suites", so a full-mode baseline can
+ * be checked by the fast `--quick` perf-regression CTest. `--traced`
+ * runs every pass with the engine trace ring enabled
+ * (EngineConfig::traceCapacity) to gauge the overhead of event
+ * emission; the untraced numbers are what the check.sh envelope and
+ * the committed baseline guard.
+ *
+ * `--baseline=FILE` diffs this run against a previously committed
+ * BENCH_wallclock.json. The gate statistic is the *minimum* ns/instr
+ * over the repetitions (host load only ever inflates a sample, so
+ * the min is the most noise-robust estimate of true speed), and a
+ * (suite, arch) only fails when BOTH the raw min ratio and the
+ * calibration-normalized min ratio exceed NOMAP_PERF_TOLERANCE
+ * percent (default 15): a genuine code regression shows through
+ * both metrics, while an epoch mismatch between run and baseline
+ * typically distorts only one. Exit code 1 on regression. Under
+ * sanitizer builds (NOMAP_SANITIZED) the diff is report-only —
+ * sanitizer instrumentation skews the engine and the calibration
+ * kernel differently, so the ratio is not meaningful there.
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "harness.h"
 
@@ -43,27 +69,67 @@ percentileOf(std::vector<double> xs, double p)
     return xs[idx];
 }
 
+/**
+ * ns per iteration of a fixed xorshift64 + array-walk kernel (best of
+ * three runs). ALU work plus L1 traffic, like the interpreter loop,
+ * so it scales with host speed the same way the measured ns/instr
+ * does and their ratio is machine-portable.
+ */
+double
+hostCalibrationNsPerIter()
+{
+    static uint64_t lanes[1024];
+    constexpr uint64_t kIters = 1ull << 24;
+    double best = 0.0;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        std::memset(lanes, 0, sizeof lanes);
+        uint64_t x = 0x9e3779b97f4a7c15ull;
+        auto start = std::chrono::steady_clock::now();
+        for (uint64_t i = 0; i < kIters; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            lanes[i & 1023] += x;
+        }
+        auto end = std::chrono::steady_clock::now();
+        // Volatile sink keeps the kernel from being optimized away.
+        volatile uint64_t sink = x + lanes[0];
+        (void)sink;
+        double ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                end - start)
+                .count());
+        double per = ns / static_cast<double>(kIters);
+        if (attempt == 0 || per < best)
+            best = per;
+    }
+    return best;
+}
+
 struct SuiteTiming {
     std::string suite;
     std::string arch;
     size_t benchmarks = 0;
     uint64_t guestInstructions = 0;
     std::vector<double> nsPerInstr;
+    /** Calibration kernel ns/iter timed right after this suite. */
+    double calibration = 0.0;
 };
 
 SuiteTiming
 timeSuite(const std::string &name,
           const std::vector<BenchmarkSpec> &suite, Architecture arch,
-          int reps, uint32_t trace_capacity)
+          int reps, int warmups, uint32_t trace_capacity)
 {
     SuiteTiming t;
     t.suite = name;
     t.arch = architectureName(arch);
     t.benchmarks = suite.size();
 
-    // One untimed warmup pass so one-time costs (host allocator,
-    // page-in) don't land in the first sample.
-    runSuite(suite, arch, Tier::Ftl, trace_capacity);
+    // Untimed warmup passes so one-time costs (host allocator,
+    // page-in) don't land in the timed samples.
+    for (int w = 0; w < warmups; ++w)
+        runSuite(suite, arch, Tier::Ftl, trace_capacity);
 
     for (int rep = 0; rep < reps; ++rep) {
         auto start = std::chrono::steady_clock::now();
@@ -80,7 +146,259 @@ timeSuite(const std::string &name,
         t.guestInstructions = instr;
         t.nsPerInstr.push_back(ns / static_cast<double>(instr));
     }
+    // Epoch-local calibration: timed here, adjacent to the suite, so
+    // shared-host load epochs hit suite and kernel alike and cancel
+    // in the normalized ratio.
+    t.calibration = hostCalibrationNsPerIter();
     return t;
+}
+
+/** First @p keep entries, independent of --quick (for quick_suites). */
+std::vector<BenchmarkSpec>
+firstN(const std::vector<BenchmarkSpec> &suite, size_t keep)
+{
+    if (suite.size() <= keep)
+        return suite;
+    return std::vector<BenchmarkSpec>(
+        suite.begin(), suite.begin() + static_cast<long>(keep));
+}
+
+void
+emitSuiteArray(std::FILE *out, const char *key,
+               const std::vector<SuiteTiming> &timings, bool last)
+{
+    std::fprintf(out, "  \"%s\": [\n", key);
+    for (size_t i = 0; i < timings.size(); ++i) {
+        const SuiteTiming &t = timings[i];
+        double median = medianOf(t.nsPerInstr);
+        std::fprintf(
+            out,
+            "    {\"suite\": \"%s\", \"arch\": \"%s\", "
+            "\"benchmarks\": %zu, \"guest_instructions\": %llu,\n"
+            "     \"ns_per_instr_median\": %.6f, "
+            "\"ns_per_instr_p50\": %.6f, "
+            "\"ns_per_instr_p95\": %.6f, "
+            "\"ns_per_instr_min\": %.6f,\n"
+            "     \"calibration_ns_per_iter\": %.6f, "
+            "\"normalized_ns_per_instr\": %.6f}%s\n",
+            t.suite.c_str(), t.arch.c_str(), t.benchmarks,
+            static_cast<unsigned long long>(t.guestInstructions),
+            median, percentileOf(t.nsPerInstr, 50.0),
+            percentileOf(t.nsPerInstr, 95.0), minOf(t.nsPerInstr),
+            t.calibration, median / t.calibration,
+            i + 1 < timings.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]%s\n", last ? "" : ",");
+}
+
+// ---------------------------------------------------------------
+// Baseline comparison (--baseline=FILE)
+// ---------------------------------------------------------------
+
+struct BaselineEntry {
+    std::string suite;
+    std::string arch;
+    double normalized = 0.0;
+    /** Raw min ns/instr over reps; 0 when absent (old baselines). */
+    double minRaw = 0.0;
+    /** Epoch-local calibration ns/iter; 0 when absent. */
+    double calibration = 0.0;
+};
+
+bool
+readFile(const char *path, std::string &out)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (!f)
+        return false;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return true;
+}
+
+/** Value of `"key": "..."` inside @p obj, or empty. */
+std::string
+jsonString(const std::string &obj, const char *key)
+{
+    std::string pat = std::string("\"") + key + "\": \"";
+    size_t at = obj.find(pat);
+    if (at == std::string::npos)
+        return "";
+    at += pat.size();
+    size_t end = obj.find('"', at);
+    if (end == std::string::npos)
+        return "";
+    return obj.substr(at, end - at);
+}
+
+/** Value of `"key": <number>` inside @p obj, or @p fallback. */
+double
+jsonNumber(const std::string &obj, const char *key, double fallback)
+{
+    std::string pat = std::string("\"") + key + "\": ";
+    size_t at = obj.find(pat);
+    if (at == std::string::npos)
+        return fallback;
+    return std::strtod(obj.c_str() + at + pat.size(), nullptr);
+}
+
+/**
+ * Parse the (suite, arch, normalized) entries of one `"key": [...]`
+ * array in a self-authored BENCH_wallclock.json. The writer's format
+ * is fixed (see emitSuiteArray), so a scanner is sufficient — no
+ * general JSON parser needed.
+ */
+std::vector<BaselineEntry>
+parseSuiteArray(const std::string &json, const char *key)
+{
+    std::vector<BaselineEntry> entries;
+    std::string pat = std::string("\"") + key + "\": [";
+    size_t at = json.find(pat);
+    if (at == std::string::npos)
+        return entries;
+    size_t end = json.find(']', at);
+    if (end == std::string::npos)
+        return entries;
+    std::string body = json.substr(at + pat.size(), end - at - pat.size());
+    size_t pos = 0;
+    while ((pos = body.find('{', pos)) != std::string::npos) {
+        size_t close = body.find('}', pos);
+        if (close == std::string::npos)
+            break;
+        std::string obj = body.substr(pos, close - pos + 1);
+        BaselineEntry e;
+        e.suite = jsonString(obj, "suite");
+        e.arch = jsonString(obj, "arch");
+        e.normalized = jsonNumber(obj, "normalized_ns_per_instr", 0.0);
+        e.minRaw = jsonNumber(obj, "ns_per_instr_min", 0.0);
+        e.calibration = jsonNumber(obj, "calibration_ns_per_iter", 0.0);
+        if (!e.suite.empty() && !e.arch.empty() && e.normalized > 0.0)
+            entries.push_back(e);
+        pos = close + 1;
+    }
+    return entries;
+}
+
+/**
+ * Diff @p current against the committed baseline at @p path.
+ * Returns 0 if every (suite, arch) is within tolerance, 1 on
+ * regression (always 0 when @p report_only).
+ *
+ * Gate statistic: min ns/instr over reps (load only inflates
+ * samples, so the min estimates unloaded speed best). A suite is
+ * REGRESSED only when both the raw min ratio and the normalized
+ * (min / epoch-local calibration) ratio exceed the tolerance —
+ * real regressions move both, epoch skew usually moves one.
+ */
+int
+compareToBaseline(const char *path,
+                  const std::vector<SuiteTiming> &current,
+                  bool quick, bool report_only)
+{
+    std::string json;
+    if (!readFile(path, json)) {
+        std::fprintf(stderr, "cannot read baseline %s\n", path);
+        return report_only ? 0 : 1;
+    }
+    // A quick run compares against the baseline's quick-clipped
+    // entries (a full-mode baseline records them as "quick_suites";
+    // a quick-mode baseline as "suites"). A full run compares
+    // against full "suites".
+    std::vector<BaselineEntry> base;
+    if (quick) {
+        base = parseSuiteArray(json, "quick_suites");
+        if (base.empty() &&
+            json.find("\"quick\": true") != std::string::npos)
+            base = parseSuiteArray(json, "suites");
+    } else {
+        base = parseSuiteArray(json, "suites");
+    }
+    if (base.empty()) {
+        std::fprintf(stderr,
+                     "baseline %s has no comparable entries for this "
+                     "mode (%s)\n",
+                     path, quick ? "quick" : "full");
+        return report_only ? 0 : 1;
+    }
+
+    double tolerance = 15.0;
+    if (const char *env = std::getenv("NOMAP_PERF_TOLERANCE")) {
+        double v = std::strtod(env, nullptr);
+        if (v > 0.0)
+            tolerance = v;
+    }
+
+    // Fallback calibration for pre-v3 baselines that recorded only a
+    // single run-level kernel timing (first occurrence in the file
+    // is the top-level field).
+    double base_global_cal =
+        jsonNumber(json, "calibration_ns_per_iter", 0.0);
+
+    std::printf("Baseline comparison vs %s (min ns/instr over reps, "
+                "raw and normalized, tolerance %.1f%%%s)\n\n",
+                path, tolerance,
+                report_only ? ", report-only: sanitized build" : "");
+    TextTable table;
+    table.header({"Suite", "Arch", "Base-min", "Cur-min", "RawRatio",
+                  "NormRatio", "Verdict"});
+    int regressions = 0;
+    for (const SuiteTiming &t : current) {
+        const BaselineEntry *match = nullptr;
+        for (const BaselineEntry &e : base) {
+            if (e.suite == t.suite && e.arch == t.arch) {
+                match = &e;
+                break;
+            }
+        }
+        double cur_min = minOf(t.nsPerInstr);
+        if (!match) {
+            table.row({t.suite, t.arch, "-", fmtDouble(cur_min, 3),
+                       "-", "-", "no-baseline"});
+            continue;
+        }
+        double base_cal = match->calibration > 0.0
+                              ? match->calibration
+                              : base_global_cal;
+        double raw_ratio = 0.0;
+        if (match->minRaw > 0.0)
+            raw_ratio = cur_min / match->minRaw;
+        double norm_ratio;
+        if (match->minRaw > 0.0 && base_cal > 0.0) {
+            norm_ratio = (cur_min / t.calibration) /
+                         (match->minRaw / base_cal);
+        } else {
+            // Old baseline without min fields: median-normalized
+            // comparison is all that is available.
+            norm_ratio = (medianOf(t.nsPerInstr) / t.calibration) /
+                         match->normalized;
+        }
+        double limit = 1.0 + tolerance / 100.0;
+        // Both metrics must agree before a regression is declared;
+        // with only one metric available, it decides alone.
+        bool regressed = norm_ratio > limit &&
+                         (raw_ratio == 0.0 || raw_ratio > limit);
+        if (regressed)
+            ++regressions;
+        table.row({t.suite, t.arch,
+                   match->minRaw > 0.0 ? fmtDouble(match->minRaw, 3)
+                                       : "-",
+                   fmtDouble(cur_min, 3),
+                   raw_ratio > 0.0 ? fmtDouble(raw_ratio, 3) : "-",
+                   fmtDouble(norm_ratio, 3),
+                   regressed ? "REGRESSED" : "ok"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    if (regressions > 0) {
+        std::printf("%d suite(s) regressed beyond %.1f%%%s\n",
+                    regressions, tolerance,
+                    report_only ? " (ignored: sanitized build)" : "");
+        return report_only ? 0 : 1;
+    }
+    std::printf("all suites within tolerance\n");
+    return 0;
 }
 
 } // namespace
@@ -90,37 +408,71 @@ main(int argc, char **argv)
 {
     initBench(argc, argv);
     bool traced = false;
+    const char *baseline_path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--traced") == 0)
             traced = true;
+        else if (std::strncmp(argv[i], "--baseline=", 11) == 0)
+            baseline_path = argv[i] + 11;
     }
     const uint32_t trace_capacity = traced ? 65536 : 0;
-    const int reps = quickMode() ? 2 : 7;
+    const int kQuickReps = 3, kQuickWarmups = 1;
+    const int kFullReps = 7, kFullWarmups = 2;
+    const bool quick = quickMode();
+    const int reps = quick ? kQuickReps : kFullReps;
+    const int warmups = quick ? kQuickWarmups : kFullWarmups;
+
+    // Run-level calibration: recorded for the JSON header and the
+    // console banner. The per-suite (epoch-local) calibrations taken
+    // inside timeSuite are what normalization and the baseline gate
+    // actually use.
+    double calibration = hostCalibrationNsPerIter();
     std::printf("Host wall-clock per guest instruction "
-                "(%d repetitions%s%s)\n\n",
-                reps, quickMode() ? ", --quick" : "",
-                traced ? ", --traced" : "");
+                "(%d repetitions after %d warmup pass(es)%s%s)\n"
+                "calibration kernel: %.4f ns/iter\n\n",
+                reps, warmups, quick ? ", --quick" : "",
+                traced ? ", --traced" : "", calibration);
 
     std::vector<SuiteTiming> timings;
     for (Architecture arch :
          {Architecture::Base, Architecture::NoMap}) {
         timings.push_back(timeSuite("sunspider",
                                     clipForQuick(sunspiderSuite()),
-                                    arch, reps, trace_capacity));
+                                    arch, reps, warmups,
+                                    trace_capacity));
         timings.push_back(timeSuite("kraken",
                                     clipForQuick(krakenSuite()), arch,
-                                    reps, trace_capacity));
+                                    reps, warmups, trace_capacity));
+    }
+
+    // Full runs also measure the quick-clipped suites, so the
+    // committed full-mode baseline carries entries the fast --quick
+    // perf-regression CTest can compare against.
+    std::vector<SuiteTiming> quick_timings;
+    if (!quick) {
+        for (Architecture arch :
+             {Architecture::Base, Architecture::NoMap}) {
+            quick_timings.push_back(
+                timeSuite("sunspider", firstN(sunspiderSuite(), 2),
+                          arch, kQuickReps, kQuickWarmups,
+                          trace_capacity));
+            quick_timings.push_back(
+                timeSuite("kraken", firstN(krakenSuite(), 2), arch,
+                          kQuickReps, kQuickWarmups, trace_capacity));
+        }
     }
 
     TextTable table;
-    table.header({"Suite", "Arch", "GuestInstr", "ns/instr p50",
-                  "ns/instr p95", "ns/instr min"});
+    table.header({"Suite", "Arch", "GuestInstr", "ns/instr med",
+                  "ns/instr p95", "ns/instr min", "normalized"});
     for (const SuiteTiming &t : timings) {
+        double median = medianOf(t.nsPerInstr);
         table.row({t.suite, t.arch,
                    std::to_string(t.guestInstructions),
-                   fmtDouble(percentileOf(t.nsPerInstr, 50.0), 3),
+                   fmtDouble(median, 3),
                    fmtDouble(percentileOf(t.nsPerInstr, 95.0), 3),
-                   fmtDouble(minOf(t.nsPerInstr), 3)});
+                   fmtDouble(minOf(t.nsPerInstr), 3),
+                   fmtDouble(median / t.calibration, 3)});
     }
     std::printf("%s\n", table.render().c_str());
 
@@ -131,28 +483,28 @@ main(int argc, char **argv)
         return 1;
     }
     std::fprintf(out,
-                 "{\n  \"quick\": %s,\n  \"traced\": %s,\n"
-                 "  \"repetitions\": %d,\n",
-                 quickMode() ? "true" : "false",
-                 traced ? "true" : "false", reps);
-    std::fprintf(out, "  \"suites\": [\n");
-    for (size_t i = 0; i < timings.size(); ++i) {
-        const SuiteTiming &t = timings[i];
-        std::fprintf(
-            out,
-            "    {\"suite\": \"%s\", \"arch\": \"%s\", "
-            "\"benchmarks\": %zu, \"guest_instructions\": %llu,\n"
-            "     \"ns_per_instr_p50\": %.6f, "
-            "\"ns_per_instr_p95\": %.6f, "
-            "\"ns_per_instr_min\": %.6f}%s\n",
-            t.suite.c_str(), t.arch.c_str(), t.benchmarks,
-            static_cast<unsigned long long>(t.guestInstructions),
-            percentileOf(t.nsPerInstr, 50.0),
-            percentileOf(t.nsPerInstr, 95.0), minOf(t.nsPerInstr),
-            i + 1 < timings.size() ? "," : "");
-    }
-    std::fprintf(out, "  ]\n}\n");
+                 "{\n  \"schema_version\": 3,\n"
+                 "  \"quick\": %s,\n  \"traced\": %s,\n"
+                 "  \"repetitions\": %d,\n"
+                 "  \"warmup_passes\": %d,\n"
+                 "  \"calibration_ns_per_iter\": %.6f,\n",
+                 quick ? "true" : "false", traced ? "true" : "false",
+                 reps, warmups, calibration);
+    emitSuiteArray(out, "suites", timings, quick_timings.empty());
+    if (!quick_timings.empty())
+        emitSuiteArray(out, "quick_suites", quick_timings, true);
+    std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("wrote %s\n", path);
+
+    if (baseline_path) {
+#ifdef NOMAP_SANITIZED
+        const bool report_only = true;
+#else
+        const bool report_only = false;
+#endif
+        return compareToBaseline(baseline_path, timings, quick,
+                                 report_only);
+    }
     return 0;
 }

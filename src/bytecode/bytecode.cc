@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/logging.h"
+
 namespace nomap {
 
 const char *
@@ -27,14 +29,41 @@ BytecodeFunction::computeChargePlan()
     // conditional-branch cost every JumpIf pays). The executor
     // charges base * runLen[pc] + runExtra[pc] once on run entry and
     // refunds the unexecuted suffix if it exits the run early.
+    //
+    // Ops are classified through genericOpcodeOf so the plan is
+    // invariant under quickening: a superinstruction counts as its
+    // first fused op, and the plain tail ops it covers remain in the
+    // code array with their own runLen entries, so recomputing the
+    // plan on a quickened function yields the original plan.
     size_t n = code.size();
+    // One-time structural validation, so the executor hot loops can
+    // dispatch without per-op bounds checks: every jump lands inside
+    // the code array, and control cannot fall off the end (the last
+    // op is an unconditional exit).
+    NOMAP_ASSERT(n > 0);
+    {
+        Opcode last = genericOpcodeOf(code[n - 1].op);
+        NOMAP_ASSERT(last == Opcode::Jump || last == Opcode::Return ||
+                     last == Opcode::ReturnUndef);
+    }
+    for (size_t pc = 0; pc < n; ++pc) {
+        switch (genericOpcodeOf(code[pc].op)) {
+          case Opcode::Jump:
+          case Opcode::JumpIfTrue:
+          case Opcode::JumpIfFalse:
+            NOMAP_ASSERT(code[pc].imm < n);
+            break;
+          default:
+            break;
+        }
+    }
     runLen.assign(n, 0);
     runExtra.assign(n, 0);
     for (size_t pc = n; pc-- > 0;) {
-        const BytecodeInstr &instr = code[pc];
-        bool last = isRunTerminator(instr.op) || pc + 1 == n;
-        uint32_t extra = instr.op == Opcode::JumpIfTrue ||
-                                 instr.op == Opcode::JumpIfFalse
+        Opcode gop = genericOpcodeOf(code[pc].op);
+        bool last = isRunTerminator(gop) || pc + 1 == n;
+        uint32_t extra = gop == Opcode::JumpIfTrue ||
+                                 gop == Opcode::JumpIfFalse
                              ? 2u
                              : 0u;
         runLen[pc] = 1 + (last ? 0 : runLen[pc + 1]);

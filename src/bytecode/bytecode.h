@@ -42,6 +42,15 @@ struct BytecodeFunction {
     FunctionProfile profile;
 
     /**
+     * Set once the static quickening pass (superinstruction fusion)
+     * has run over this function; dynamic per-op rewrites happen
+     * independently as feedback warms up. Cleared copies of cached
+     * programs start false, so cache hits re-quicken from scratch
+     * exactly like fresh compiles.
+     */
+    bool quickened = false;
+
+    /**
      * Static charge plan for batched accounting, one entry per pc
      * (empty until computeChargePlan runs): the op count and the
      * static extra-instruction cost of the straight-line run starting

@@ -18,12 +18,12 @@
 namespace nomap {
 
 /**
- * X-macro list of bytecode operations, in opcode-value order. The
- * enum, the name table, and the direct-threaded dispatch tables in
- * the executor are all generated from this one list so they can never
- * fall out of sync.
+ * X-macro list of the generic (compiler-emitted) bytecode operations,
+ * in opcode-value order. The enum, the name table, and the
+ * direct-threaded dispatch tables in the executor are all generated
+ * from this one list so they can never fall out of sync.
  */
-#define NOMAP_BYTECODE_OP_LIST(V)                                       \
+#define NOMAP_BYTECODE_GENERIC_OP_LIST(V)                               \
     V(LoadConst)   /* a <- constants[imm] */                            \
     V(Move)        /* a <- b */                                         \
     V(LoadGlobal)  /* a <- globals[imm] */                              \
@@ -46,6 +46,31 @@ namespace nomap {
     V(ReturnUndef) /* return undefined */                               \
     V(LoopHeader)  /* loop-entry marker; imm = loop id  [profiled] */
 
+/**
+ * X-macro list of quickened bytecode operations. A warm executor
+ * rewrites generic ops to these in place (see the "Quickening"
+ * comment in bytecode_executor.cc); they are pure host-side
+ * accelerations — every quickened form charges, profiles, and
+ * computes exactly like the generic sequence it replaced, so guest
+ * behaviour (results, ExecutionStats, traces) is bit-identical. The
+ * superinstructions (QCmpBranch, QConstCmpBranch) occupy the pc of
+ * the first fused op; the remaining ops of the pair/triple stay in
+ * place, so jump targets into the middle of a fused sequence still
+ * execute the plain tail ops and every pc-indexed side table
+ * (profiles, charge plans, SMPs) stays valid.
+ */
+#define NOMAP_BYTECODE_QUICK_OP_LIST(V)                                 \
+    V(QAddII)          /* Binary Add, int32 operands observed */        \
+    V(QSubII)          /* Binary Sub, int32 operands observed */        \
+    V(QGetPropMono)    /* GetProp, monomorphic IC hit observed */       \
+    V(QCmpBranch)      /* Binary cmp fused with next JumpIf */          \
+    V(QConstCmpBranch) /* LoadConst + Binary cmp + JumpIf triple */
+
+/** All bytecode operations: generic ops first, quickened after. */
+#define NOMAP_BYTECODE_OP_LIST(V)                                       \
+    NOMAP_BYTECODE_GENERIC_OP_LIST(V)                                   \
+    NOMAP_BYTECODE_QUICK_OP_LIST(V)
+
 /** Bytecode operations (see NOMAP_BYTECODE_OP_LIST for semantics). */
 enum class Opcode : uint8_t {
 #define NOMAP_BYTECODE_OP_ENUM(name) name,
@@ -54,21 +79,60 @@ enum class Opcode : uint8_t {
 };
 
 /** Number of bytecode operations (dispatch-table size). */
+#define NOMAP_BYTECODE_OP_COUNT(name) +1
 constexpr size_t kNumOpcodes =
+    0 NOMAP_BYTECODE_OP_LIST(NOMAP_BYTECODE_OP_COUNT);
+#undef NOMAP_BYTECODE_OP_COUNT
+
+/** Number of generic (compiler-emitted) operations. */
+constexpr size_t kNumGenericOpcodes =
     static_cast<size_t>(Opcode::LoopHeader) + 1;
 
 /** Printable opcode name. */
 const char *opcodeName(Opcode op);
 
+/** True for ops installed by quickening (never compiler-emitted). */
+inline bool
+isQuickened(Opcode op)
+{
+    return static_cast<size_t>(op) >= kNumGenericOpcodes;
+}
+
+/**
+ * The generic op a quickened form was rewritten from (identity for
+ * generic ops). Charge plans, run classification, and any other
+ * pc-indexed static analysis must look through quickening via this
+ * mapping so a plan computed before or after quickening is identical.
+ */
+inline Opcode
+genericOpcodeOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::QAddII:
+      case Opcode::QSubII:
+      case Opcode::QCmpBranch:
+        return Opcode::Binary;
+      case Opcode::QGetPropMono:
+        return Opcode::GetProp;
+      case Opcode::QConstCmpBranch:
+        return Opcode::LoadConst;
+      default:
+        return op;
+    }
+}
+
 /**
  * True for ops that end a straight-line run of bytecode: everything
  * the executor charges as one batch (see
- * BytecodeFunction::computeChargePlan).
+ * BytecodeFunction::computeChargePlan). Quickened superinstructions
+ * classify as their first fused op (not a terminator): the run still
+ * ends at the JumpIf op that remains in place at the end of the fused
+ * sequence, so the charge plan is unchanged by quickening.
  */
 inline bool
 isRunTerminator(Opcode op)
 {
-    switch (op) {
+    switch (genericOpcodeOf(op)) {
       case Opcode::Jump:
       case Opcode::JumpIfTrue:
       case Opcode::JumpIfFalse:

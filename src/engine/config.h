@@ -86,6 +86,16 @@ struct EngineConfig {
     bool perOpAccounting = false;
 
     /**
+     * Rewrite warm bytecode in place to quickened forms
+     * (superinstructions, monomorphic slot loads, int32 arith) and
+     * run the quickening-enabled executor variants. Host-side
+     * acceleration only: results, ExecutionStats, and traces are
+     * bit-identical with quickening on or off (enforced by the
+     * quickening differential test). Off is the reference mode.
+     */
+    bool quickening = true;
+
+    /**
      * Trace-buffer capacity in events; 0 (the default) disables
      * tracing entirely — no buffer is allocated and every trace site
      * reduces to a null-pointer test. Tracing must not perturb the

@@ -56,6 +56,7 @@ Engine::initVm()
         std::make_unique<IrExecutor>(*envPtr, *baselineExec,
                                      engineConfig);
     envPtr->perOpAccounting = engineConfig.perOpAccounting;
+    envPtr->quickening = engineConfig.quickening;
     acctPtr->setCancelFlag(cancelFlag);
     applyFaultPlan();
 }

@@ -12,6 +12,14 @@
  * vm_next` advances to the next instruction, `goto vm_next_newseg`
  * does the same but re-enters segment charging (transaction-boundary
  * ops), and Jump/Branch go to vm_seg_entry after retargeting.
+ *
+ * The loop walks the function's flat predecoded run stream (see
+ * ExecInstr in ir/ir.h): one contiguous array of 32-byte records in
+ * block order, branch targets pre-resolved to flat indices, the
+ * batched charge plan folded into each record. Per-op bounds checks
+ * are unnecessary — computeChargePlan validates once that every block
+ * ends in a terminator and every branch target is in range, so `ip`
+ * can only move between valid records.
  */
 #if defined(NOMAP_COMPUTED_GOTO)
 #define VM_CASE(name) lbl_##name:
@@ -48,6 +56,7 @@ faultSiteOfCheck(CheckKind kind)
       case CheckKind::Type: return FaultSite::CheckType;
       case CheckKind::Property: return FaultSite::CheckProperty;
       case CheckKind::Other: return FaultSite::CheckOther;
+      case CheckKind::NumKinds: break;
     }
     return FaultSite::CheckOther;
 }
@@ -65,22 +74,55 @@ IrExecutor::run(IrFunction &ir, BytecodeFunction &fn, const Value *args,
                 uint32_t nargs)
 {
     // Hand-built IR in tests never goes through compileFunction; build
-    // its charge plan on first execution.
+    // its charge plan (and flat run stream) on first execution.
     if (!ir.chargePlanReady)
         computeChargePlan(ir);
-    return env.perOpAccounting ? runImpl<false>(ir, fn, args, nargs)
-                               : runImpl<true>(ir, fn, args, nargs);
+    // Select the specialized loop once per run. env.inj is armed (or
+    // not) for a whole engine run, and TraceBuffer::enabled() is
+    // fixed at construction, so neither can change under a running
+    // frame.
+    unsigned feat = (env.perOpAccounting ? 0u : kFeatBatched) |
+                    (env.inj ? kFeatInject : 0u) |
+                    (env.trace && env.trace->enabled() ? kFeatTrace
+                                                       : 0u);
+    switch (feat) {
+      case 0:
+        return runImpl<0>(ir, fn, args, nargs);
+      case kFeatBatched:
+        return runImpl<kFeatBatched>(ir, fn, args, nargs);
+      case kFeatInject:
+        return runImpl<kFeatInject>(ir, fn, args, nargs);
+      case kFeatBatched | kFeatInject:
+        return runImpl<kFeatBatched | kFeatInject>(ir, fn, args,
+                                                   nargs);
+      case kFeatTrace:
+        return runImpl<kFeatTrace>(ir, fn, args, nargs);
+      case kFeatBatched | kFeatTrace:
+        return runImpl<kFeatBatched | kFeatTrace>(ir, fn, args, nargs);
+      case kFeatInject | kFeatTrace:
+        return runImpl<kFeatInject | kFeatTrace>(ir, fn, args, nargs);
+      default:
+        return runImpl<kFeatBatched | kFeatInject | kFeatTrace>(
+            ir, fn, args, nargs);
+    }
 }
 
-template <bool kBatched>
+template <unsigned kFeat>
 Value
 IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
                     const Value *args, uint32_t nargs)
 {
-    std::vector<Value> regs(ir.numRegs, Value::undefined());
-    std::vector<uint8_t> overflow(ir.numRegs, 0);
-    for (uint32_t i = 0; i < fn.numParams; ++i)
-        regs[i] = i < nargs ? args[i] : Value::undefined();
+    constexpr bool kBatched = (kFeat & kFeatBatched) != 0;
+    constexpr bool kInject = (kFeat & kFeatInject) != 0;
+    constexpr bool kTrace = (kFeat & kFeatTrace) != 0;
+
+    FrameLease frameLease(env, ir.numRegs);
+    FlagLease flagLease(env, ir.numRegs);
+    Value *const R = frameLease.regs().data();
+    uint8_t *const OVF = flagLease.flags().data();
+    for (uint32_t i = 0; i < fn.numParams && i < nargs; ++i)
+        R[i] = args[i];
+    const Value *const consts = ir.constants.data();
 
     const bool ftl = ir.tier == Tier::Ftl;
     // Frame prologue + argument marshalling.
@@ -97,21 +139,19 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
     // has flipped the context since.
     bool seg_charged_tm = false;
 
-    uint32_t block = 0;
-    size_t idx = 0;
-    IrBlock *blk = nullptr;
-    const IrInstr *instr = nullptr;
+    const ExecInstr *const base = ir.flat.data();
+    const ExecInstr *ip = base;
 
     auto sync_tx_flag = [&] {
         env.acct.setInTransaction(env.htm.inTransaction());
     };
 
     // Batched mode: take back the charged-but-unexecuted suffix of
-    // the current segment (everything after the op at idx). Zero when
-    // the op at idx ends its segment.
+    // the current segment (everything after the op at ip). Zero when
+    // the op at ip ends its segment.
     [[maybe_unused]] auto refundAfterCurrent = [&] {
-        uint64_t rest = static_cast<uint64_t>(blk->chargeFrom[idx]) -
-                        blk->ownScaled[idx];
+        uint64_t rest =
+            static_cast<uint64_t>(ip->chargeFrom) - ip->ownScaled;
         if (rest) {
             env.acct.refundInstructions(ir.tier, rest, ir.txAware,
                                         seg_charged_tm);
@@ -148,106 +188,100 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
         // successors execute — and must be charged — under the new
         // transactional context).
         if constexpr (kBatched) {
-            NOMAP_ASSERT(block < ir.blocks.size());
-            blk = &ir.blocks[block];
-            NOMAP_ASSERT(idx < blk->chargeFrom.size());
             seg_charged_tm = env.acct.inTransaction();
-            env.acct.chargeInstructions(ir.tier, blk->chargeFrom[idx],
+            env.acct.chargeInstructions(ir.tier, ip->chargeFrom,
                                         ir.txAware);
         }
 
     vm_top:
-        NOMAP_ASSERT(block < ir.blocks.size());
-        blk = &ir.blocks[block];
-        NOMAP_ASSERT(idx < blk->instrs.size());
-        instr = &blk->instrs[idx];
         // Per-op mode pays each op's scaled cost here; batched mode
         // already paid it as part of the segment charge. The watchdog
         // counter advances per-op in both modes so its firing point
         // (and the engine.watchdog injection site below) never moves.
         if constexpr (!kBatched) {
-            env.acct.chargeInstructions(ir.tier, blk->ownScaled[idx],
+            env.acct.chargeInstructions(ir.tier, ip->ownScaled,
                                         ir.txAware);
         }
-        if (tx_owner)
-            tx_instr += blk->ownScaled[idx];
+        if (tx_owner) {
+            tx_instr += ip->ownScaled;
 
-        // Watchdog: a timer interrupt would abort a transaction
-        // that runs unreasonably long (e.g. spinning on garbage
-        // after speculative check removal). The engine.watchdog
-        // site polls here too — once per in-transaction
-        // instruction — so a FaultPlan can kill a transaction at
-        // any point of its lifetime.
-        if (tx_owner &&
-            (tx_instr > config.txWatchdogInstructions ||
-             (env.inj && env.inj->fire(FaultSite::EngineTxWatchdog)))) {
-            if constexpr (kBatched)
-                refundAfterCurrent();
-            env.acct.chargeCycles(env.htm.abort(AbortCode::Irrevocable));
-            return resume_baseline();
+            // Watchdog: a timer interrupt would abort a transaction
+            // that runs unreasonably long (e.g. spinning on garbage
+            // after speculative check removal). The engine.watchdog
+            // site polls here too — once per in-transaction
+            // instruction — so a FaultPlan can kill a transaction at
+            // any point of its lifetime.
+            bool kill = tx_instr > config.txWatchdogInstructions;
+            if constexpr (kInject)
+                kill = kill ||
+                       env.inj->fire(FaultSite::EngineTxWatchdog);
+            if (kill) {
+                if constexpr (kBatched)
+                    refundAfterCurrent();
+                env.acct.chargeCycles(
+                    env.htm.abort(AbortCode::Irrevocable));
+                return resume_baseline();
+            }
         }
 
         {
-            bool in_tx = env.htm.inTransaction();
-
 #if defined(NOMAP_COMPUTED_GOTO)
-            goto *kDispatch[static_cast<size_t>(instr->op)];
+            goto *kDispatch[static_cast<size_t>(ip->op)];
 #else
-            switch (instr->op)
+            switch (ip->op)
 #endif
             {
               VM_CASE(Nop)
                 goto vm_next;
               VM_CASE(Const)
-                regs[instr->dst] = ir.constants[instr->imm];
+                R[ip->dst] = consts[ip->imm];
                 goto vm_next;
               VM_CASE(Move)
-                regs[instr->dst] = regs[instr->a];
-                overflow[instr->dst] = overflow[instr->a];
+                R[ip->dst] = R[ip->a];
+                OVF[ip->dst] = OVF[ip->a];
                 goto vm_next;
 
               // ---- Integer arithmetic (sets the overflow flag) -----
               VM_CASE(AddInt)
               VM_CASE(SubInt)
               VM_CASE(MulInt) {
-                Value va = regs[instr->a];
-                Value vb = regs[instr->b];
+                Value va = R[ip->a];
+                Value vb = R[ip->b];
                 if (!va.isInt32() || !vb.isInt32()) {
-                    NOMAP_ASSERT(in_tx);
-                    regs[instr->dst] = garbageValue();
-                    overflow[instr->dst] = 0;
+                    NOMAP_ASSERT(env.htm.inTransaction());
+                    R[ip->dst] = garbageValue();
+                    OVF[ip->dst] = 0;
                     goto vm_next;
                 }
                 int64_t wide;
                 int64_t x = va.asInt32();
                 int64_t y = vb.asInt32();
-                if (instr->op == IrOp::AddInt)
+                if (ip->op == IrOp::AddInt)
                     wide = x + y;
-                else if (instr->op == IrOp::SubInt)
+                else if (ip->op == IrOp::SubInt)
                     wide = x - y;
                 else
                     wide = x * y;
                 bool ovf = wide < INT32_MIN || wide > INT32_MAX;
-                regs[instr->dst] =
-                    Value::int32(static_cast<int32_t>(wide));
-                overflow[instr->dst] = ovf;
-                if (ovf && in_tx)
+                R[ip->dst] = Value::int32(static_cast<int32_t>(wide));
+                OVF[ip->dst] = ovf;
+                if (ovf && env.htm.inTransaction())
                     env.htm.noteArithmeticOverflow();
                 goto vm_next;
               }
               VM_CASE(NegInt) {
-                Value va = regs[instr->a];
+                Value va = R[ip->a];
                 if (!va.isInt32()) {
-                    NOMAP_ASSERT(in_tx);
-                    regs[instr->dst] = garbageValue();
+                    NOMAP_ASSERT(env.htm.inTransaction());
+                    R[ip->dst] = garbageValue();
                     goto vm_next;
                 }
                 int32_t x = va.asInt32();
                 bool ovf = (x == 0) || (x == INT32_MIN);
-                regs[instr->dst] =
+                R[ip->dst] =
                     Value::int32(ovf && x == INT32_MIN ? x : -x);
-                overflow[instr->dst] = ovf;
-                if (ovf && in_tx)
+                OVF[ip->dst] = ovf;
+                if (ovf && env.htm.inTransaction())
                     env.htm.noteArithmeticOverflow();
                 goto vm_next;
               }
@@ -258,34 +292,34 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
               VM_CASE(MulDouble)
               VM_CASE(DivDouble)
               VM_CASE(ModDouble) {
-                Value va = regs[instr->a];
-                Value vb = regs[instr->b];
+                Value va = R[ip->a];
+                Value vb = R[ip->b];
                 if (!va.isNumber() || !vb.isNumber()) {
-                    NOMAP_ASSERT(in_tx);
-                    regs[instr->dst] = garbageValue();
+                    NOMAP_ASSERT(env.htm.inTransaction());
+                    R[ip->dst] = garbageValue();
                     goto vm_next;
                 }
                 double x = va.asNumber();
                 double y = vb.asNumber();
                 double r;
-                switch (instr->op) {
+                switch (ip->op) {
                   case IrOp::AddDouble: r = x + y; break;
                   case IrOp::SubDouble: r = x - y; break;
                   case IrOp::MulDouble: r = x * y; break;
                   case IrOp::DivDouble: r = x / y; break;
                   default: r = std::fmod(x, y); break;
                 }
-                regs[instr->dst] = Value::number(r);
+                R[ip->dst] = Value::number(r);
                 goto vm_next;
               }
               VM_CASE(NegDouble) {
-                Value va = regs[instr->a];
+                Value va = R[ip->a];
                 if (!va.isNumber()) {
-                    NOMAP_ASSERT(in_tx);
-                    regs[instr->dst] = garbageValue();
+                    NOMAP_ASSERT(env.htm.inTransaction());
+                    R[ip->dst] = garbageValue();
                     goto vm_next;
                 }
-                regs[instr->dst] = Value::boxDouble(-va.asNumber());
+                R[ip->dst] = Value::boxDouble(-va.asNumber());
                 goto vm_next;
               }
 
@@ -296,64 +330,63 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
               VM_CASE(ShlInt)
               VM_CASE(ShrInt)
               VM_CASE(UShrInt) {
-                Value va = regs[instr->a];
-                Value vb = regs[instr->b];
+                Value va = R[ip->a];
+                Value vb = R[ip->b];
                 if (!va.isInt32() || !vb.isInt32()) {
-                    NOMAP_ASSERT(in_tx);
-                    regs[instr->dst] = garbageValue();
+                    NOMAP_ASSERT(env.htm.inTransaction());
+                    R[ip->dst] = garbageValue();
                     goto vm_next;
                 }
                 int32_t x = va.asInt32();
                 uint32_t sh = static_cast<uint32_t>(vb.asInt32()) & 31;
-                switch (instr->op) {
+                switch (ip->op) {
                   case IrOp::BitAndInt:
-                    regs[instr->dst] = Value::int32(x & vb.asInt32());
+                    R[ip->dst] = Value::int32(x & vb.asInt32());
                     break;
                   case IrOp::BitOrInt:
-                    regs[instr->dst] = Value::int32(x | vb.asInt32());
+                    R[ip->dst] = Value::int32(x | vb.asInt32());
                     break;
                   case IrOp::BitXorInt:
-                    regs[instr->dst] = Value::int32(x ^ vb.asInt32());
+                    R[ip->dst] = Value::int32(x ^ vb.asInt32());
                     break;
                   case IrOp::ShlInt:
-                    regs[instr->dst] = Value::int32(x << sh);
+                    R[ip->dst] = Value::int32(x << sh);
                     break;
                   case IrOp::ShrInt:
-                    regs[instr->dst] = Value::int32(x >> sh);
+                    R[ip->dst] = Value::int32(x >> sh);
                     break;
                   default:
-                    regs[instr->dst] = Value::number(
-                        static_cast<double>(
-                            static_cast<uint32_t>(x) >> sh));
+                    R[ip->dst] = Value::number(static_cast<double>(
+                        static_cast<uint32_t>(x) >> sh));
                     break;
                 }
                 goto vm_next;
               }
               VM_CASE(BitNotInt) {
-                Value va = regs[instr->a];
+                Value va = R[ip->a];
                 if (!va.isInt32()) {
-                    NOMAP_ASSERT(in_tx);
-                    regs[instr->dst] = garbageValue();
+                    NOMAP_ASSERT(env.htm.inTransaction());
+                    R[ip->dst] = garbageValue();
                     goto vm_next;
                 }
-                regs[instr->dst] = Value::int32(~va.asInt32());
+                R[ip->dst] = Value::int32(~va.asInt32());
                 goto vm_next;
               }
 
               // ---- Comparisons -------------------------------------
               VM_CASE(CmpInt)
               VM_CASE(CmpDouble) {
-                Value va = regs[instr->a];
-                Value vb = regs[instr->b];
+                Value va = R[ip->a];
+                Value vb = R[ip->b];
                 if (!va.isNumber() || !vb.isNumber()) {
-                    NOMAP_ASSERT(in_tx);
-                    regs[instr->dst] = Value::boolean(false);
+                    NOMAP_ASSERT(env.htm.inTransaction());
+                    R[ip->dst] = Value::boolean(false);
                     goto vm_next;
                 }
                 double x = va.asNumber();
                 double y = vb.asNumber();
                 bool r;
-                switch (static_cast<BinaryOp>(instr->imm)) {
+                switch (static_cast<BinaryOp>(ip->imm)) {
                   case BinaryOp::Lt: r = x < y; break;
                   case BinaryOp::Le: r = x <= y; break;
                   case BinaryOp::Gt: r = x > y; break;
@@ -365,20 +398,18 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
                   default:
                     panic("bad compare subop");
                 }
-                regs[instr->dst] = Value::boolean(r);
+                R[ip->dst] = Value::boolean(r);
                 goto vm_next;
               }
               VM_CASE(ToDouble)
-                regs[instr->dst] =
-                    Value::boxDouble(regs[instr->a].asNumber());
+                R[ip->dst] = Value::boxDouble(R[ip->a].asNumber());
                 goto vm_next;
               VM_CASE(ToBoolean)
-                regs[instr->dst] = Value::boolean(
-                    env.runtime.toBoolean(regs[instr->a]));
+                R[ip->dst] =
+                    Value::boolean(env.runtime.toBoolean(R[ip->a]));
                 goto vm_next;
               VM_CASE(NotBool)
-                regs[instr->dst] =
-                    Value::boolean(!regs[instr->a].asBoolean());
+                R[ip->dst] = Value::boolean(!R[ip->a].asBoolean());
                 goto vm_next;
 
               // ---- Checks -------------------------------------------
@@ -392,10 +423,10 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
               VM_CASE(CheckOverflow)
               VM_CASE(CheckNotHole) {
                 if (ftl)
-                    env.acct.recordCheck(checkKindOf(instr->op));
+                    env.acct.recordCheck(checkKindOfUnchecked(ip->op));
                 bool pass;
-                Value va = regs[instr->a];
-                switch (instr->op) {
+                Value va = R[ip->a];
+                switch (ip->op) {
                   case IrOp::CheckInt32:
                   case IrOp::CheckIndexInt:
                     pass = va.isInt32();
@@ -406,13 +437,13 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
                   case IrOp::CheckShape:
                     pass = va.isObject() &&
                            env.heap.object(va.payload()).shape ==
-                               instr->imm;
+                               ip->imm;
                     break;
                   case IrOp::CheckArray:
                     pass = va.isArray();
                     break;
                   case IrOp::CheckBounds: {
-                    Value vi = regs[instr->b];
+                    Value vi = R[ip->b];
                     pass = va.isArray() && vi.isInt32() &&
                            vi.asInt32() >= 0 &&
                            static_cast<uint32_t>(vi.asInt32()) <
@@ -420,8 +451,8 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
                     break;
                   }
                   case IrOp::CheckBoundsRange: {
-                    Value lo = regs[instr->b];
-                    Value hi = regs[instr->c];
+                    Value lo = R[ip->b];
+                    Value hi = R[ip->c];
                     if (!lo.isInt32() || !hi.isInt32() ||
                         !va.isArray()) {
                         pass = false;
@@ -436,7 +467,7 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
                     break;
                   }
                   case IrOp::CheckOverflow:
-                    pass = !overflow[instr->a];
+                    pass = !OVF[ip->a];
                     break;
                   case IrOp::CheckNotHole:
                     pass = !va.isUndefined();
@@ -454,45 +485,46 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
                 // below can run: unconverted checks need an SMP to
                 // OSR through; converted checks need a live
                 // transaction to abort.
-                if (pass && env.inj) {
-                    CheckKind kind = checkKindOf(instr->op);
-                    bool force =
-                        env.inj->fire(faultSiteOfCheck(kind));
-                    force |= env.inj->fire(FaultSite::CheckAny);
-                    if (!instr->converted && instr->smpPc != kNoSmp) {
-                        force |= env.inj->fire(FaultSite::FtlOsr,
-                                               instr->smpPc);
-                    }
-                    if (force &&
-                        (instr->converted ? env.htm.inTransaction()
-                                          : instr->smpPc != kNoSmp)) {
-                        pass = false;
+                if constexpr (kInject) {
+                    if (pass) {
+                        CheckKind kind = checkKindOfUnchecked(ip->op);
+                        bool force =
+                            env.inj->fire(faultSiteOfCheck(kind));
+                        force |= env.inj->fire(FaultSite::CheckAny);
+                        if (!ip->converted && ip->smpPc != kNoSmp) {
+                            force |= env.inj->fire(FaultSite::FtlOsr,
+                                                   ip->smpPc);
+                        }
+                        if (force &&
+                            (ip->converted ? env.htm.inTransaction()
+                                           : ip->smpPc != kNoSmp)) {
+                            pass = false;
+                        }
                     }
                 }
                 if (pass)
                     goto vm_next;
 
-                if (!instr->converted) {
+                if (!ip->converted) {
                     // OSR exit through the stack map: hand the
                     // baseline registers to the Baseline tier at the
                     // SMP's bytecode pc.
                     ++env.acct.stats().deopts;
-                    NOMAP_ASSERT(instr->smpPc != kNoSmp);
-                    if (env.trace && env.trace->enabled()) {
+                    NOMAP_ASSERT(ip->smpPc != kNoSmp);
+                    if constexpr (kTrace) {
                         TraceEvent event;
                         event.vcycles = env.acct.virtualCycles();
                         event.type = TraceEventType::Deopt;
                         event.code = static_cast<uint8_t>(
-                            checkKindOf(instr->op));
+                            checkKindOfUnchecked(ip->op));
                         event.funcId = ir.funcId;
-                        event.pc = instr->smpPc;
+                        event.pc = ip->smpPc;
                         env.trace->emit(event);
                     }
                     if constexpr (kBatched)
                         refundAfterCurrent();
-                    std::vector<Value> locals(
-                        regs.begin(), regs.begin() + ir.bytecodeRegs);
-                    return baseline.runFrom(fn, locals, instr->smpPc);
+                    std::vector<Value> locals(R, R + ir.bytecodeRegs);
+                    return baseline.runFrom(fn, locals, ip->smpPc);
                 }
                 // Converted check: transactional abort.
                 ++checkAborts;
@@ -512,62 +544,66 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
 
               // ---- Memory -------------------------------------------
               VM_CASE(GetSlot) {
-                Value va = regs[instr->a];
-                if (!va.isObject() ||
-                    instr->imm >=
-                        env.heap.object(va.payload()).slots.size()) {
-                    NOMAP_ASSERT(in_tx);
-                    regs[instr->dst] = garbageValue();
+                Value va = R[ip->a];
+                if (!va.isObject()) {
+                    NOMAP_ASSERT(env.htm.inTransaction());
+                    R[ip->dst] = garbageValue();
                     goto vm_next;
                 }
-                regs[instr->dst] =
-                    env.heap.getSlot(va.payload(), instr->imm);
-                env.memAccess(
-                    env.heap.slotAddr(va.payload(), instr->imm),
-                    false);
+                const JsObject &obj =
+                    env.heap.object(va.payload());
+                if (ip->imm >= obj.slots.size()) {
+                    NOMAP_ASSERT(env.htm.inTransaction());
+                    R[ip->dst] = garbageValue();
+                    goto vm_next;
+                }
+                R[ip->dst] = obj.slots[ip->imm];
+                env.memAccess(obj.baseAddr + 8ull * ip->imm, false);
                 goto vm_next;
               }
               VM_CASE(SetSlot) {
-                Value va = regs[instr->a];
-                if (!va.isObject() ||
-                    instr->imm >=
-                        env.heap.object(va.payload()).slots.size()) {
-                    NOMAP_ASSERT(in_tx);
+                Value va = R[ip->a];
+                if (!va.isObject()) {
+                    NOMAP_ASSERT(env.htm.inTransaction());
                     goto vm_next; // Speculative store to nowhere.
                 }
-                env.heap.setSlot(va.payload(), instr->imm,
-                                 regs[instr->b]);
-                env.memAccess(
-                    env.heap.slotAddr(va.payload(), instr->imm), true);
+                const JsObject &obj =
+                    env.heap.object(va.payload());
+                if (ip->imm >= obj.slots.size()) {
+                    NOMAP_ASSERT(env.htm.inTransaction());
+                    goto vm_next; // Speculative store to nowhere.
+                }
+                env.heap.setSlot(va.payload(), ip->imm, R[ip->b]);
+                env.memAccess(obj.baseAddr + 8ull * ip->imm, true);
                 goto vm_next;
               }
               VM_CASE(GetArrayLen) {
-                Value va = regs[instr->a];
+                Value va = R[ip->a];
                 if (!va.isArray()) {
-                    NOMAP_ASSERT(in_tx);
-                    regs[instr->dst] = garbageValue();
+                    NOMAP_ASSERT(env.htm.inTransaction());
+                    R[ip->dst] = garbageValue();
                     goto vm_next;
                 }
-                regs[instr->dst] = Value::int32(static_cast<int32_t>(
-                    env.heap.array(va.payload()).length()));
-                env.memAccess(env.heap.array(va.payload()).baseAddr,
-                              false);
+                const JsArray &arr = env.heap.array(va.payload());
+                R[ip->dst] = Value::int32(
+                    static_cast<int32_t>(arr.length()));
+                env.memAccess(arr.baseAddr, false);
                 goto vm_next;
               }
               VM_CASE(GetElem) {
-                Value va = regs[instr->a];
-                Value vi = regs[instr->b];
+                Value va = R[ip->a];
+                Value vi = R[ip->b];
                 if (!va.isArray() || !vi.isInt32()) {
-                    NOMAP_ASSERT(in_tx);
-                    regs[instr->dst] = garbageValue();
+                    NOMAP_ASSERT(env.htm.inTransaction());
+                    R[ip->dst] = garbageValue();
                     goto vm_next;
                 }
                 const JsArray &arr = env.heap.array(va.payload());
                 int32_t i = vi.asInt32();
                 if (i < 0 ||
                     static_cast<uint32_t>(i) >= arr.length()) {
-                    NOMAP_ASSERT(in_tx);
-                    regs[instr->dst] = garbageValue();
+                    NOMAP_ASSERT(env.htm.inTransaction());
+                    R[ip->dst] = garbageValue();
                     if (i >= 0) {
                         env.memAccess(
                             arr.baseAddr + 8ull *
@@ -576,26 +612,24 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
                     }
                     goto vm_next;
                 }
-                regs[instr->dst] =
-                    arr.storage[static_cast<size_t>(i)];
-                env.memAccess(env.heap.elementAddr(
-                                  va.payload(),
-                                  static_cast<uint32_t>(i)),
+                R[ip->dst] = arr.storage[static_cast<size_t>(i)];
+                env.memAccess(arr.baseAddr +
+                                  8ull * static_cast<uint32_t>(i),
                               false);
                 goto vm_next;
               }
               VM_CASE(SetElem) {
-                Value va = regs[instr->a];
-                Value vi = regs[instr->b];
+                Value va = R[ip->a];
+                Value vi = R[ip->b];
                 if (!va.isArray() || !vi.isInt32()) {
-                    NOMAP_ASSERT(in_tx);
+                    NOMAP_ASSERT(env.htm.inTransaction());
                     goto vm_next;
                 }
                 const JsArray &arr = env.heap.array(va.payload());
                 int32_t i = vi.asInt32();
                 if (i < 0 ||
                     static_cast<uint32_t>(i) >= arr.length()) {
-                    NOMAP_ASSERT(in_tx);
+                    NOMAP_ASSERT(env.htm.inTransaction());
                     if (i >= 0) {
                         Addr addr = arr.baseAddr +
                                     8ull * static_cast<uint32_t>(i);
@@ -607,135 +641,127 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
                 }
                 env.heap.setElementFast(va.payload(),
                                         static_cast<uint32_t>(i),
-                                        regs[instr->c]);
-                env.memAccess(env.heap.elementAddr(
-                                  va.payload(),
-                                  static_cast<uint32_t>(i)),
+                                        R[ip->c]);
+                env.memAccess(arr.baseAddr +
+                                  8ull * static_cast<uint32_t>(i),
                               true);
                 goto vm_next;
               }
               VM_CASE(LoadGlobal)
-                regs[instr->dst] = env.heap.getGlobal(instr->imm);
-                env.memAccess(env.heap.globalAddr(instr->imm), false);
+                R[ip->dst] = env.heap.getGlobal(ip->imm);
+                env.memAccess(env.heap.globalAddr(ip->imm), false);
                 goto vm_next;
               VM_CASE(StoreGlobal)
-                env.heap.setGlobal(instr->imm, regs[instr->a]);
-                env.memAccess(env.heap.globalAddr(instr->imm), true);
+                env.heap.setGlobal(ip->imm, R[ip->a]);
+                env.memAccess(env.heap.globalAddr(ip->imm), true);
                 goto vm_next;
 
               // ---- Generic runtime fallbacks -----------------------
               VM_CASE(GenericBinary)
                 env.acct.chargeRuntime(CostModel::kRuntimeGenericOp);
-                regs[instr->dst] = env.runtime.applyBinary(
-                    static_cast<BinaryOp>(instr->imm), regs[instr->a],
-                    regs[instr->b]);
+                R[ip->dst] = env.runtime.applyBinary(
+                    static_cast<BinaryOp>(ip->imm), R[ip->a],
+                    R[ip->b]);
                 goto vm_next;
               VM_CASE(GenericUnary)
                 env.acct.chargeRuntime(CostModel::kRuntimeGenericOp);
-                regs[instr->dst] = env.runtime.applyUnary(
-                    static_cast<UnaryOp>(instr->imm), regs[instr->a]);
+                R[ip->dst] = env.runtime.applyUnary(
+                    static_cast<UnaryOp>(ip->imm), R[ip->a]);
                 goto vm_next;
               VM_CASE(GenericGetProp) {
                 env.acct.chargeRuntime(CostModel::kRuntimePropAccess);
                 Addr addr = 0;
-                regs[instr->dst] = env.runtime.getPropertyGeneric(
-                    regs[instr->a], instr->imm, &addr);
+                R[ip->dst] = env.runtime.getPropertyGeneric(
+                    R[ip->a], ip->imm, &addr);
                 env.memAccess(addr, false);
                 goto vm_next;
               }
               VM_CASE(GenericSetProp) {
                 env.acct.chargeRuntime(CostModel::kRuntimePropAccess);
                 Addr addr = 0;
-                env.runtime.setPropertyGeneric(regs[instr->a],
-                                               instr->imm,
-                                               regs[instr->b], &addr);
+                env.runtime.setPropertyGeneric(R[ip->a], ip->imm,
+                                               R[ip->b], &addr);
                 env.memAccess(addr, true);
                 goto vm_next;
               }
               VM_CASE(GenericGetIndex) {
                 env.acct.chargeRuntime(CostModel::kRuntimeIndexAccess);
                 Addr addr = 0;
-                regs[instr->dst] = env.runtime.getIndexGeneric(
-                    regs[instr->a], regs[instr->b], &addr);
+                R[ip->dst] = env.runtime.getIndexGeneric(
+                    R[ip->a], R[ip->b], &addr);
                 env.memAccess(addr, false);
                 goto vm_next;
               }
               VM_CASE(GenericSetIndex) {
                 env.acct.chargeRuntime(CostModel::kRuntimeIndexAccess);
                 Addr addr = 0;
-                env.runtime.setIndexGeneric(regs[instr->a],
-                                            regs[instr->b],
-                                            regs[instr->c], &addr);
+                env.runtime.setIndexGeneric(R[ip->a], R[ip->b],
+                                            R[ip->c], &addr);
                 env.memAccess(addr, true);
                 goto vm_next;
               }
               VM_CASE(NewArray) {
                 env.acct.chargeRuntime(CostModel::kRuntimeAllocation);
-                Value arr = env.heap.allocArray(instr->imm);
-                for (uint32_t i = 0; i < instr->imm; ++i) {
+                Value arr = env.heap.allocArray(ip->imm);
+                for (uint32_t i = 0; i < ip->imm; ++i) {
                     env.heap.setElementFast(arr.payload(), i,
-                                            regs[instr->a + i]);
+                                            R[ip->a + i]);
                 }
-                regs[instr->dst] = arr;
+                R[ip->dst] = arr;
                 goto vm_next;
               }
               VM_CASE(NewObject) {
                 env.acct.chargeRuntime(CostModel::kRuntimeAllocation);
                 Value obj = env.heap.allocObject();
                 // The descriptor lives in the bytecode function.
-                const ObjectDesc &desc = fn.objectDescs[instr->imm];
-                for (uint32_t i = 0; i < instr->b; ++i) {
+                const ObjectDesc &desc = fn.objectDescs[ip->imm];
+                for (uint32_t i = 0; i < ip->b; ++i) {
                     env.heap.setProperty(obj.payload(),
                                          desc.nameIds[i],
-                                         regs[instr->a + i]);
+                                         R[ip->a + i]);
                 }
-                regs[instr->dst] = obj;
+                R[ip->dst] = obj;
                 goto vm_next;
               }
 
               // ---- Calls --------------------------------------------
               VM_CASE(Call)
-                regs[instr->dst] = env.dispatcher.call(
-                    instr->imm, regs.data() + instr->a, instr->b);
+                R[ip->dst] =
+                    env.dispatcher.call(ip->imm, R + ip->a, ip->b);
                 goto vm_next;
               VM_CASE(CallNative) {
-                auto bid = static_cast<BuiltinId>(instr->imm);
+                auto bid = static_cast<BuiltinId>(ip->imm);
                 if (bid == BuiltinId::Print)
                     env.irrevocableEvent();
                 env.acct.chargeRuntime(CostModel::kRuntimeNativeCall);
-                regs[instr->dst] = env.builtins.call(
-                    bid, regs.data() + instr->a, instr->b);
+                R[ip->dst] = env.builtins.call(bid, R + ip->a, ip->b);
                 goto vm_next;
               }
               VM_CASE(Intrinsic)
-                regs[instr->dst] = env.builtins.call(
-                    static_cast<BuiltinId>(instr->imm),
-                    regs.data() + instr->a, instr->b);
+                R[ip->dst] = env.builtins.call(
+                    static_cast<BuiltinId>(ip->imm), R + ip->a, ip->b);
                 goto vm_next;
               VM_CASE(CallMethod) {
                 env.acct.chargeRuntime(CostModel::kRuntimeMethodCall);
-                uint32_t name_id = instr->imm / 16;
-                uint32_t margs = instr->imm % 16;
-                regs[instr->dst] = env.builtins.callMethod(
-                    regs[instr->a], name_id, regs.data() + instr->b,
-                    margs);
+                uint32_t name_id = ip->imm / 16;
+                uint32_t margs = ip->imm % 16;
+                R[ip->dst] = env.builtins.callMethod(
+                    R[ip->a], name_id, R + ip->b, margs);
                 goto vm_next;
               }
 
               // ---- Control flow ------------------------------------
               VM_CASE(Jump)
-                block = instr->imm;
-                idx = 0;
+                ip = base + ip->imm;
                 goto vm_seg_entry;
               VM_CASE(Branch) {
-                bool taken = env.runtime.toBoolean(regs[instr->a]);
-                block = taken ? instr->imm : instr->imm2;
-                idx = 0;
+                bool taken = env.runtime.toBoolean(R[ip->a]);
+                ip = base + (taken ? ip->imm : ip->imm2);
                 goto vm_seg_entry;
               }
               VM_CASE(Return)
                 NOMAP_ASSERT(!tx_owner);
-                return regs[instr->a];
+                return R[ip->a];
               VM_CASE(ReturnUndef)
                 NOMAP_ASSERT(!tx_owner);
                 return Value::undefined();
@@ -745,15 +771,16 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
                 bool outermost = !env.htm.inTransaction();
                 // Attribute the transaction's trace events to this
                 // function + entry SMP before begin() emits TxBegin.
-                if (outermost && env.trace && env.trace->enabled())
-                    env.htm.setTraceContext(ir.funcId, instr->smpPc);
+                if constexpr (kTrace) {
+                    if (outermost)
+                        env.htm.setTraceContext(ir.funcId, ip->smpPc);
+                }
                 env.acct.chargeCycles(env.htm.begin());
                 sync_tx_flag();
                 if (outermost) {
                     tx_owner = true;
-                    tx_snapshot.assign(
-                        regs.begin(), regs.begin() + ir.bytecodeRegs);
-                    tx_entry_pc = instr->smpPc;
+                    tx_snapshot.assign(R, R + ir.bytecodeRegs);
+                    tx_entry_pc = ip->smpPc;
                     tx_instr = 0;
                     tile_count = 0;
                     // An injected begin-abort (htm.abort*) fires now
@@ -795,7 +822,7 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
                 if (!tx_owner)
                     goto vm_next_newseg; // Nested: tiling disabled.
                 ++tile_count;
-                if (tile_count % instr->imm != 0)
+                if (tile_count % ip->imm != 0)
                     goto vm_next_newseg;
                 CommitResult r = env.htm.end();
                 env.acct.chargeCycles(r.cycles);
@@ -805,12 +832,11 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
                     return resume_baseline();
                 }
                 env.mem.commitSpeculative();
-                if (env.trace && env.trace->enabled())
-                    env.htm.setTraceContext(ir.funcId, instr->smpPc);
+                if constexpr (kTrace)
+                    env.htm.setTraceContext(ir.funcId, ip->smpPc);
                 env.acct.chargeCycles(env.htm.begin());
-                tx_snapshot.assign(regs.begin(),
-                                   regs.begin() + ir.bytecodeRegs);
-                tx_entry_pc = instr->smpPc;
+                tx_snapshot.assign(R, R + ir.bytecodeRegs);
+                tx_entry_pc = ip->smpPc;
                 tx_instr = 0;
                 {
                     AbortCode injected =
@@ -829,14 +855,14 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
         }
 
     vm_next:
-        ++idx;
+        ++ip;
         goto vm_top;
 
     vm_next_newseg:
         // The op just executed ended a charge segment (transaction
         // boundary): its successors run under the new transactional
         // context, so batched mode opens a fresh segment for them.
-        ++idx;
+        ++ip;
         goto vm_seg_entry;
     } catch (TxAbortUnwind &unwind) {
         if constexpr (kBatched) {
@@ -846,8 +872,7 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
             // a callee. (ExecutionCancelled is deliberately NOT
             // caught: cancellation voids the stats and the engine
             // must be reset, so there is nothing to refund.)
-            if (blk)
-                refundAfterCurrent();
+            refundAfterCurrent();
         }
         if (!tx_owner) {
             sync_tx_flag();

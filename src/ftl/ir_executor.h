@@ -49,14 +49,29 @@ class IrExecutor
 
   private:
     /**
-     * The dispatch loop. kBatched selects the accounting strategy:
-     * true charges each charge segment's static cost once on segment
-     * entry (refunding the unexecuted suffix on deopt/abort/watchdog
-     * exits), false charges every op individually. Both must produce
-     * bit-identical ExecutionStats; the differential accounting test
-     * enforces it.
+     * Feature mask bits for runImpl. Each combination compiles a
+     * separate copy of the dispatch loop, selected once per run, so a
+     * disabled feature costs nothing on the hot path — not even a
+     * predicted branch.
      */
-    template <bool kBatched>
+    static constexpr unsigned kFeatBatched = 1u; ///< Batched accounting.
+    static constexpr unsigned kFeatInject = 2u;  ///< Fault plan armed.
+    static constexpr unsigned kFeatTrace = 4u;   ///< Trace sink live.
+
+    /**
+     * The dispatch loop, walking the function's flat predecoded run
+     * stream. kFeat & kFeatBatched selects the accounting strategy:
+     * set charges each charge segment's static cost once on segment
+     * entry (refunding the unexecuted suffix on deopt/abort/watchdog
+     * exits), clear charges every op individually. kFeatInject
+     * compiles in the fault-injection polls (env.inj is non-null for
+     * the whole run or not at all); kFeatTrace the trace-event emits
+     * (TraceBuffer::enabled() is fixed at construction). Every
+     * variant must produce bit-identical results, ExecutionStats, and
+     * traces; the differential accounting/trace/chaos tests enforce
+     * it.
+     */
+    template <unsigned kFeat>
     Value runImpl(IrFunction &ir, BytecodeFunction &fn,
                   const Value *args, uint32_t nargs);
 

@@ -14,6 +14,29 @@
  * `goto vm_next` advances to the next pc, and jump ops go straight to
  * vm_top after retargeting pc (vm_next also clears the back-edge
  * flag, so jumps must bypass it — exactly the seed loop's continue).
+ *
+ * Quickening. Warm code is rewritten in place (op field only; pc,
+ * operands, and code length never change) to pre-resolved forms:
+ *
+ *   Binary Add/Sub  -> QAddII/QSubII     after an int32 fast-path hit
+ *   GetProp         -> QGetPropMono      after a Baseline IC hit
+ *   cmp ; JumpIf    -> QCmpBranch ; JumpIf          (static, 1st run)
+ *   LoadConst ; cmp ; JumpIf
+ *                   -> QConstCmpBranch ; QCmpBranch ; JumpIf
+ *
+ * The superinstruction sits at the pc of the first fused op and
+ * executes the whole sequence in one dispatch; the tail ops remain in
+ * place, so a jump into the middle of a fused sequence lands on plain
+ * executable code and every pc-indexed side table stays valid. Each
+ * fused body advances `pc` (and clears the back-edge flag) between
+ * phases and replays the generic charge-call sequence exactly — the
+ * number and order of Accounting calls is observable through the
+ * cancellation-poll counter and fault injection, so it must match the
+ * unfused execution call for call. The quickened bodies are compiled
+ * into every variant (they are semantically complete, including slow
+ * fallbacks to the generic bodies); only the *rewriting* is gated on
+ * kFeatQuicken, so a non-quickening engine simply never encounters
+ * them.
  */
 #if defined(NOMAP_COMPUTED_GOTO)
 #define VM_CASE(name) lbl_##name:
@@ -22,6 +45,61 @@
 #endif
 
 namespace nomap {
+
+namespace {
+
+/** A Binary op whose result both branches on and compares int32s. */
+bool
+isCompareBinary(const BytecodeInstr &instr)
+{
+    if (instr.op != Opcode::Binary)
+        return false;
+    switch (static_cast<BinaryOp>(instr.imm)) {
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+      case BinaryOp::Eq:
+      case BinaryOp::NotEq:
+      case BinaryOp::StrictEq:
+      case BinaryOp::StrictNotEq:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isJumpIf(const BytecodeInstr &instr)
+{
+    return instr.op == Opcode::JumpIfTrue ||
+           instr.op == Opcode::JumpIfFalse;
+}
+
+/**
+ * Inline evaluation of a compare on two int32s. Exact: every generic
+ * compare reduces to a numeric comparison when both operands are
+ * int32 (Lt..Ge via toNumber, Eq/StrictEq via asNumber), and int32 ->
+ * double conversion is lossless.
+ */
+bool
+evalIntCompare(BinaryOp op, int32_t a, int32_t b)
+{
+    switch (op) {
+      case BinaryOp::Lt: return a < b;
+      case BinaryOp::Le: return a <= b;
+      case BinaryOp::Gt: return a > b;
+      case BinaryOp::Ge: return a >= b;
+      case BinaryOp::Eq:
+      case BinaryOp::StrictEq: return a == b;
+      case BinaryOp::NotEq:
+      case BinaryOp::StrictNotEq: return a != b;
+      default:
+        panic("evalIntCompare: not a compare op");
+    }
+}
+
+} // namespace
 
 BytecodeExecutor::BytecodeExecutor(ExecEnv &env_, Tier tier_)
     : env(env_), tier(tier_)
@@ -33,7 +111,8 @@ Value
 BytecodeExecutor::run(BytecodeFunction &fn, const Value *args,
                       uint32_t nargs)
 {
-    std::vector<Value> regs(fn.numRegs, Value::undefined());
+    FrameLease frame(env, fn.numRegs);
+    std::vector<Value> &regs = frame.regs();
     for (uint32_t i = 0; i < fn.numParams; ++i)
         regs[i] = i < nargs ? args[i] : Value::undefined();
     return execute(fn, regs, 0);
@@ -43,7 +122,8 @@ Value
 BytecodeExecutor::runFrom(BytecodeFunction &fn,
                           const std::vector<Value> &locals, uint32_t pc)
 {
-    std::vector<Value> regs(fn.numRegs, Value::undefined());
+    FrameLease frame(env, fn.numRegs);
+    std::vector<Value> &regs = frame.regs();
     for (size_t i = 0; i < locals.size() && i < regs.size(); ++i)
         regs[i] = locals[i];
     return execute(fn, regs, pc);
@@ -63,6 +143,30 @@ BytecodeExecutor::profileBinary(ArithProfile &prof, Value lhs, Value rhs,
         prof.sawIntOverflow = true;
 }
 
+void
+BytecodeExecutor::quickenStatic(BytecodeFunction &fn)
+{
+    fn.quickened = true;
+    size_t n = fn.code.size();
+    for (size_t pc = 0; pc + 1 < n; ++pc) {
+        BytecodeInstr &i0 = fn.code[pc];
+        const BytecodeInstr &i1 = fn.code[pc + 1];
+        if (isCompareBinary(i0) && isJumpIf(i1) && i1.b == i0.a) {
+            i0.op = Opcode::QCmpBranch;
+            continue;
+        }
+        // The triple head is only installed when the pair behind it
+        // fuses too (the next loop iteration rewrites it), so the
+        // QConstCmpBranch body can unconditionally chain into the
+        // QCmpBranch body.
+        if (i0.op == Opcode::LoadConst && pc + 2 < n &&
+            isCompareBinary(i1) && (i1.b == i0.a || i1.c == i0.a) &&
+            isJumpIf(fn.code[pc + 2]) && fn.code[pc + 2].b == i1.a) {
+            i0.op = Opcode::QConstCmpBranch;
+        }
+    }
+}
+
 Value
 BytecodeExecutor::execute(BytecodeFunction &fn, std::vector<Value> &regs,
                           uint32_t pc)
@@ -71,19 +175,40 @@ BytecodeExecutor::execute(BytecodeFunction &fn, std::vector<Value> &regs,
     // build their charge plan on first execution.
     if (fn.runLen.size() != fn.code.size())
         fn.computeChargePlan();
-    return env.perOpAccounting ? executeImpl<false>(fn, regs, pc)
-                               : executeImpl<true>(fn, regs, pc);
+    // Select the loop variant once per call; inside the loop every
+    // feature decision is a compile-time constant.
+    if (env.quickening) {
+        if (!fn.quickened)
+            quickenStatic(fn);
+        return env.perOpAccounting
+                   ? executeImpl<kFeatQuicken>(fn, regs, pc)
+                   : executeImpl<kFeatQuicken | kFeatBatched>(fn, regs,
+                                                              pc);
+    }
+    return env.perOpAccounting
+               ? executeImpl<0>(fn, regs, pc)
+               : executeImpl<kFeatBatched>(fn, regs, pc);
 }
 
-template <bool kBatched>
+template <unsigned kFeat>
 Value
 BytecodeExecutor::executeImpl(BytecodeFunction &fn,
                               std::vector<Value> &regs, uint32_t pc)
 {
+    constexpr bool kBatched = (kFeat & kFeatBatched) != 0;
+    constexpr bool kQuicken = (kFeat & kFeatQuicken) != 0;
+
     const bool interp = tier == Tier::Interpreter;
     const uint32_t base = interp ? CostModel::kInterpDispatch
                                  : CostModel::kBaselineOp;
     FunctionProfile &prof = fn.profile;
+    // Hot pointers hoisted out of the loop. The code array never
+    // resizes during execution (quickening rewrites the op field in
+    // place), and frames never resize, so these stay valid across
+    // calls dispatched from op bodies.
+    BytecodeInstr *const code = fn.code.data();
+    const Value *const constants = fn.constants.data();
+    Value *const R = regs.data();
     bool came_from_back_edge = false;
     // Transactional context when the current run was charged — a
     // refund must come out of the same cycle bucket even if an abort
@@ -121,8 +246,10 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
 #endif
 
     vm_top:
-        NOMAP_ASSERT(pc < fn.code.size());
-        instr = &fn.code[pc];
+        // No bounds check here: computeChargePlan validated once that
+        // every jump target is in range and the function cannot fall
+        // off the end of its code.
+        instr = &code[pc];
         // Per-op mode pays the tier base cost here, every op; batched
         // mode already paid it as part of the run charge.
         if constexpr (!kBatched)
@@ -135,26 +262,27 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
 #endif
         {
           VM_CASE(LoadConst)
-            regs[instr->a] = fn.constants[instr->imm];
+            R[instr->a] = constants[instr->imm];
             goto vm_next;
 
           VM_CASE(Move)
-            regs[instr->a] = regs[instr->b];
+            R[instr->a] = R[instr->b];
             goto vm_next;
 
           VM_CASE(LoadGlobal)
-            regs[instr->a] = env.heap.getGlobal(instr->imm);
+            R[instr->a] = env.heap.getGlobal(instr->imm);
             env.memAccess(env.heap.globalAddr(instr->imm), false);
             goto vm_next;
 
           VM_CASE(StoreGlobal)
-            env.heap.setGlobal(instr->imm, regs[instr->b]);
+            env.heap.setGlobal(instr->imm, R[instr->b]);
             env.memAccess(env.heap.globalAddr(instr->imm), true);
             goto vm_next;
 
-          VM_CASE(Binary) {
-            Value lhs = regs[instr->b];
-            Value rhs = regs[instr->c];
+          VM_CASE(Binary)
+          binary_generic: {
+            Value lhs = R[instr->b];
+            Value rhs = R[instr->c];
             auto op = static_cast<BinaryOp>(instr->imm);
             Value result;
             if (!interp && lhs.isInt32() && rhs.isInt32() &&
@@ -169,6 +297,11 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
                 if (wide >= INT32_MIN && wide <= INT32_MAX) {
                     result = Value::int32(static_cast<int32_t>(wide));
                     charge(2);
+                    if constexpr (kQuicken) {
+                        code[pc].op = op == BinaryOp::Add
+                                          ? Opcode::QAddII
+                                          : Opcode::QSubII;
+                    }
                 } else {
                     result = env.runtime.applyBinary(op, lhs, rhs);
                     env.acct.chargeRuntime(CostModel::kRuntimeGenericOp);
@@ -180,23 +313,123 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
                                            : CostModel::kBaselineArith);
             }
             profileBinary(prof.arith[pc], lhs, rhs, result);
-            regs[instr->a] = result;
+            R[instr->a] = result;
+            goto vm_next;
+          }
+
+          VM_CASE(QAddII) {
+            // Binary Add that has gone int32 at least once: decode
+            // straight to the int32 path, fall back to the full
+            // generic body (with identical charging) on a miss.
+            Value lhs = R[instr->b];
+            Value rhs = R[instr->c];
+            if (!interp && lhs.isInt32() && rhs.isInt32()) {
+                int64_t wide =
+                    static_cast<int64_t>(lhs.asInt32()) + rhs.asInt32();
+                if (wide >= INT32_MIN && wide <= INT32_MAX) {
+                    Value result =
+                        Value::int32(static_cast<int32_t>(wide));
+                    charge(2);
+                    profileBinary(prof.arith[pc], lhs, rhs, result);
+                    R[instr->a] = result;
+                    goto vm_next;
+                }
+            }
+            goto binary_generic;
+          }
+
+          VM_CASE(QSubII) {
+            Value lhs = R[instr->b];
+            Value rhs = R[instr->c];
+            if (!interp && lhs.isInt32() && rhs.isInt32()) {
+                int64_t wide =
+                    static_cast<int64_t>(lhs.asInt32()) - rhs.asInt32();
+                if (wide >= INT32_MIN && wide <= INT32_MAX) {
+                    Value result =
+                        Value::int32(static_cast<int32_t>(wide));
+                    charge(2);
+                    profileBinary(prof.arith[pc], lhs, rhs, result);
+                    R[instr->a] = result;
+                    goto vm_next;
+                }
+            }
+            goto binary_generic;
+          }
+
+          VM_CASE(QConstCmpBranch)
+            // LoadConst phase of the fused const+cmp+branch triple,
+            // then chain into the pair superinstruction that the
+            // static pass installed at pc+1. Mirrors vm_next between
+            // the phases: advance pc, clear the back-edge flag, and
+            // (per-op mode) pay the next op's base cost.
+            R[instr->a] = constants[instr->imm];
+            came_from_back_edge = false;
+            ++pc;
+            instr = &code[pc];
+            if constexpr (!kBatched)
+                charge(base);
+            goto qcmp_branch_body;
+
+          VM_CASE(QCmpBranch)
+          qcmp_branch_body: {
+            // Compare phase: the original Binary compare at this pc.
+            // Identical computation, charges, and profile update;
+            // int32 operands additionally skip the runtime dispatch.
+            Value lhs = R[instr->b];
+            Value rhs = R[instr->c];
+            auto op = static_cast<BinaryOp>(instr->imm);
+            Value result;
+            bool truthy;
+            if (lhs.isInt32() && rhs.isInt32()) {
+                truthy =
+                    evalIntCompare(op, lhs.asInt32(), rhs.asInt32());
+                result = Value::boolean(truthy);
+            } else {
+                result = env.runtime.applyBinary(op, lhs, rhs);
+                truthy = env.runtime.toBoolean(result);
+            }
+            env.acct.chargeRuntime(interp ? CostModel::kRuntimeGenericOp
+                                          : CostModel::kBaselineArith);
+            profileBinary(prof.arith[pc], lhs, rhs, result);
+            R[instr->a] = result;
+
+            // Branch phase: the JumpIf op still in place at pc+1.
+            came_from_back_edge = false;
+            ++pc;
+            instr = &code[pc];
+            if constexpr (!kBatched) {
+                charge(base);
+                charge(2);
+            }
+            if ((instr->op == Opcode::JumpIfTrue) == truthy) {
+                if (instr->imm <= pc) {
+                    came_from_back_edge = true;
+                    ++prof.backEdgeCount;
+                }
+                pc = instr->imm;
+                if constexpr (kBatched)
+                    chargeRunFrom(pc);
+                goto vm_top;
+            }
+            if constexpr (kBatched)
+                chargeRunFrom(pc + 1);
             goto vm_next;
           }
 
           VM_CASE(Unary) {
-            Value src = regs[instr->b];
+            Value src = R[instr->b];
             Value result = env.runtime.applyUnary(
                 static_cast<UnaryOp>(instr->imm), src);
             ArithProfile &ap = prof.arith[pc];
             ap.lhsMask |= valueKindMask(src.kind());
             ap.resultMask |= valueKindMask(result.kind());
-            regs[instr->a] = result;
+            R[instr->a] = result;
             goto vm_next;
           }
 
-          VM_CASE(GetProp) {
-            Value base_v = regs[instr->b];
+          VM_CASE(GetProp)
+          getprop_generic: {
+            Value base_v = R[instr->b];
             PropertyProfile &pp = prof.property[pc];
             pp.baseMask |= valueKindMask(base_v.kind());
             Addr addr = 0;
@@ -212,6 +445,8 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
                         base_v.payload(),
                         static_cast<uint32_t>(pp.slot));
                     charge(CostModel::kBaselineIcHit);
+                    if constexpr (kQuicken)
+                        code[pc].op = Opcode::QGetPropMono;
                 } else {
                     result = env.runtime.getPropertyGeneric(
                         base_v, instr->imm, &addr);
@@ -243,12 +478,36 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
                 }
             }
             env.memAccess(addr, false);
-            regs[instr->a] = result;
+            R[instr->a] = result;
             goto vm_next;
           }
 
+          VM_CASE(QGetPropMono) {
+            // GetProp that has hit its monomorphic IC: decode straight
+            // to the slot load, fall back to the generic body (which
+            // re-profiles and repairs the IC) on any mismatch.
+            Value base_v = R[instr->b];
+            if (!interp && base_v.isObject()) {
+                PropertyProfile &pp = prof.property[pc];
+                const JsObject &obj = env.heap.object(base_v.payload());
+                if (pp.shape == obj.shape && pp.slot >= 0) {
+                    pp.baseMask |= valueKindMask(base_v.kind());
+                    uint32_t slot = static_cast<uint32_t>(pp.slot);
+                    Value result =
+                        env.heap.getSlot(base_v.payload(), slot);
+                    charge(CostModel::kBaselineIcHit);
+                    env.memAccess(
+                        env.heap.slotAddr(base_v.payload(), slot),
+                        false);
+                    R[instr->a] = result;
+                    goto vm_next;
+                }
+            }
+            goto getprop_generic;
+          }
+
           VM_CASE(SetProp) {
-            Value base_v = regs[instr->b];
+            Value base_v = R[instr->b];
             PropertyProfile &pp = prof.property[pc];
             pp.baseMask |= valueKindMask(base_v.kind());
             Addr addr = 0;
@@ -257,7 +516,7 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
                 if (!interp && pp.shape == obj.shape && pp.slot >= 0) {
                     env.heap.setSlot(base_v.payload(),
                                      static_cast<uint32_t>(pp.slot),
-                                     regs[instr->c]);
+                                     R[instr->c]);
                     addr = env.heap.slotAddr(
                         base_v.payload(),
                         static_cast<uint32_t>(pp.slot));
@@ -268,7 +527,7 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
                         pp.polymorphic = true;
                     }
                     env.runtime.setPropertyGeneric(base_v, instr->imm,
-                                                   regs[instr->c],
+                                                   R[instr->c],
                                                    &addr);
                     env.acct.chargeRuntime(
                         interp ? CostModel::kRuntimePropAccess
@@ -281,7 +540,7 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
                 }
             } else {
                 env.runtime.setPropertyGeneric(base_v, instr->imm,
-                                               regs[instr->c], &addr);
+                                               R[instr->c], &addr);
                 env.acct.chargeRuntime(CostModel::kRuntimePropAccess);
             }
             env.memAccess(addr, true);
@@ -289,8 +548,8 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
           }
 
           VM_CASE(GetIndex) {
-            Value base_v = regs[instr->b];
-            Value index = regs[instr->c];
+            Value base_v = R[instr->b];
+            Value index = R[instr->c];
             IndexProfile &ip = prof.index[pc];
             ip.baseMask |= valueKindMask(base_v.kind());
             ip.indexMask |= valueKindMask(index.kind());
@@ -311,13 +570,13 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
                                        ? CostModel::kRuntimeIndexAccess
                                        : CostModel::kBaselineIndex);
             env.memAccess(addr, false);
-            regs[instr->a] = result;
+            R[instr->a] = result;
             goto vm_next;
           }
 
           VM_CASE(SetIndex) {
-            Value base_v = regs[instr->a];
-            Value index = regs[instr->b];
+            Value base_v = R[instr->a];
+            Value index = R[instr->b];
             IndexProfile &ip = prof.index[pc];
             ip.baseMask |= valueKindMask(base_v.kind());
             ip.indexMask |= valueKindMask(index.kind());
@@ -329,7 +588,7 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
                     ip.sawOutOfBounds = true;
             }
             Addr addr = 0;
-            env.runtime.setIndexGeneric(base_v, index, regs[instr->c],
+            env.runtime.setIndexGeneric(base_v, index, R[instr->c],
                                         &addr);
             env.acct.chargeRuntime(interp
                                        ? CostModel::kRuntimeIndexAccess
@@ -342,10 +601,10 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
             Value arr = env.heap.allocArray(instr->c);
             for (uint16_t i = 0; i < instr->c; ++i) {
                 env.heap.setElementFast(arr.payload(), i,
-                                        regs[instr->b + i]);
+                                        R[instr->b + i]);
             }
             env.acct.chargeRuntime(CostModel::kRuntimeAllocation);
-            regs[instr->a] = arr;
+            R[instr->a] = arr;
             goto vm_next;
           }
 
@@ -354,18 +613,18 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
             const ObjectDesc &desc = fn.objectDescs[instr->imm];
             for (uint16_t i = 0; i < instr->c; ++i) {
                 env.heap.setProperty(obj.payload(), desc.nameIds[i],
-                                     regs[instr->b + i]);
+                                     R[instr->b + i]);
             }
             env.acct.chargeRuntime(CostModel::kRuntimeAllocation);
-            regs[instr->a] = obj;
+            R[instr->a] = obj;
             goto vm_next;
           }
 
           VM_CASE(Call) {
             env.acct.chargeRuntime(interp ? CostModel::kRuntimeGenericOp
                                           : CostModel::kBaselineCall);
-            regs[instr->a] = env.dispatcher.call(
-                instr->imm, regs.data() + instr->b, instr->c);
+            R[instr->a] = env.dispatcher.call(
+                instr->imm, R + instr->b, instr->c);
             goto vm_next;
           }
 
@@ -374,8 +633,8 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
             if (bid == BuiltinId::Print)
                 env.irrevocableEvent();
             env.acct.chargeRuntime(CostModel::kRuntimeNativeCall);
-            regs[instr->a] = env.builtins.call(
-                bid, regs.data() + instr->b, instr->c);
+            R[instr->a] = env.builtins.call(
+                bid, R + instr->b, instr->c);
             goto vm_next;
           }
 
@@ -383,8 +642,8 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
             uint32_t name_id = instr->imm / 16;
             uint32_t nargs = instr->imm % 16;
             env.acct.chargeRuntime(CostModel::kRuntimeMethodCall);
-            regs[instr->a] = env.builtins.callMethod(
-                regs[instr->b], name_id, regs.data() + instr->c, nargs);
+            R[instr->a] = env.builtins.callMethod(
+                R[instr->b], name_id, R + instr->c, nargs);
             goto vm_next;
           }
 
@@ -400,7 +659,7 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
 
           VM_CASE(JumpIfTrue)
           VM_CASE(JumpIfFalse) {
-            bool truthy = env.runtime.toBoolean(regs[instr->b]);
+            bool truthy = env.runtime.toBoolean(R[instr->b]);
             bool taken = (instr->op == Opcode::JumpIfTrue) == truthy;
             // The conditional-branch extra is static, so batched mode
             // folded it into the run charge (runExtra).
@@ -424,7 +683,7 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
           }
 
           VM_CASE(Return)
-            return regs[instr->b];
+            return R[instr->b];
 
           VM_CASE(ReturnUndef)
             return Value::undefined();
@@ -451,7 +710,9 @@ BytecodeExecutor::executeImpl(BytecodeFunction &fn,
             // Mid-run exit (transactional abort unwinding through this
             // frame, or an abort thrown by a memory access): the ops
             // after pc in the charged run never executed. Per-op mode
-            // stopped charging at pc, so take the suffix back.
+            // stopped charging at pc, so take the suffix back. Fused
+            // bodies advance pc between their phases, so pc is the op
+            // that was executing in generic terms either way.
             if (!isRunTerminator(fn.code[pc].op) &&
                 pc + 1 < fn.code.size()) {
                 env.acct.refundInstructions(

@@ -19,6 +19,11 @@
  * resumes execution at an arbitrary bytecode pc with a materialized
  * register file, which is exactly what a deoptimizing SMP (or an
  * aborting NoMap transaction) transfers to.
+ *
+ * The dispatch loop is multi-versioned over a compile-time feature
+ * mask (see kFeat* below) selected once per call, so the common
+ * configuration — batched accounting, quickening on — runs a loop
+ * with zero feature checks compiled into it.
  */
 
 #include <vector>
@@ -45,19 +50,39 @@ class BytecodeExecutor
                   uint32_t pc);
 
   private:
+    /**
+     * Feature mask bits for executeImpl. Each combination compiles a
+     * separate copy of the dispatch loop, so a disabled feature costs
+     * nothing — not even a predicted branch.
+     */
+    static constexpr unsigned kFeatBatched = 1u; ///< Batched accounting.
+    static constexpr unsigned kFeatQuicken = 2u; ///< Rewrite warm ops.
+
     Value execute(BytecodeFunction &fn, std::vector<Value> &regs,
                   uint32_t pc);
 
     /**
-     * The dispatch loop. kBatched selects the accounting strategy:
-     * true charges each straight-line run's static cost once on run
-     * entry (refunding the unexecuted suffix on an early exit), false
-     * charges every op individually. Both must produce bit-identical
-     * ExecutionStats; the differential accounting test enforces it.
+     * The dispatch loop. kFeat & kFeatBatched selects the accounting
+     * strategy: set charges each straight-line run's static cost once
+     * on run entry (refunding the unexecuted suffix on an early exit),
+     * clear charges every op individually. kFeat & kFeatQuicken
+     * enables in-place rewriting of generic ops to their quickened
+     * forms as feedback warms up. Every variant must produce
+     * bit-identical results, ExecutionStats, and traces; the
+     * differential accounting and quickening tests enforce it.
      */
-    template <bool kBatched>
+    template <unsigned kFeat>
     Value executeImpl(BytecodeFunction &fn, std::vector<Value> &regs,
                       uint32_t pc);
+
+    /**
+     * One-shot superinstruction fusion over a function's code:
+     * rewrites compare+branch pairs to QCmpBranch and
+     * const+compare+branch triples to QConstCmpBranch, in place. All
+     * constituent ops keep their pc and operands, so jump targets,
+     * profiles, and charge plans are untouched.
+     */
+    static void quickenStatic(BytecodeFunction &fn);
 
     void profileBinary(ArithProfile &prof, Value lhs, Value rhs,
                        Value result);

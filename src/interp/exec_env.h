@@ -11,6 +11,8 @@
  * tiering policy.
  */
 
+#include <vector>
+
 #include "engine/accounting.h"
 #include "htm/transaction.h"
 #include "memsim/hierarchy.h"
@@ -53,6 +55,17 @@ struct ExecEnv {
     TraceBuffer *trace = nullptr;
     /** Per-operation (reference) instead of batched accounting. */
     bool perOpAccounting = false;
+    /** Rewrite warm bytecode to quickened forms (EngineConfig). */
+    bool quickening = true;
+    /**
+     * Recycled register-file storage for FrameLease: guest calls are
+     * frequent and frames come in a handful of sizes, so executors
+     * reuse vectors instead of paying a heap allocation per call.
+     * Purely host-side — guest-visible behaviour is unchanged.
+     */
+    std::vector<std::vector<Value>> framePool{};
+    /** Recycled overflow-flag storage (FlagLease; see framePool). */
+    std::vector<std::vector<uint8_t>> flagPool{};
 
     /**
      * Model one data-memory access: cache timing, SW pinning for
@@ -93,6 +106,65 @@ struct ExecEnv {
             throw TxAbortUnwind{AbortCode::Irrevocable};
         }
     }
+};
+
+/**
+ * RAII lease of a register file from ExecEnv::framePool. Acquires a
+ * recycled vector (or a fresh one), sizes it to @p n slots of
+ * undefined, and returns it to the pool on scope exit — including
+ * exceptional unwinds, so aborts and deopts recycle frames too.
+ */
+class FrameLease
+{
+  public:
+    FrameLease(ExecEnv &env, size_t n) : envRef(env)
+    {
+        if (!env.framePool.empty()) {
+            frame = std::move(env.framePool.back());
+            env.framePool.pop_back();
+        }
+        frame.assign(n, Value::undefined());
+    }
+
+    ~FrameLease() { envRef.framePool.push_back(std::move(frame)); }
+
+    FrameLease(const FrameLease &) = delete;
+    FrameLease &operator=(const FrameLease &) = delete;
+
+    std::vector<Value> &regs() { return frame; }
+
+  private:
+    ExecEnv &envRef;
+    std::vector<Value> frame;
+};
+
+/**
+ * FrameLease's sibling for the IR executor's overflow-flag array:
+ * leases a zero-filled byte vector from ExecEnv::flagPool and returns
+ * it on scope exit.
+ */
+class FlagLease
+{
+  public:
+    FlagLease(ExecEnv &env, size_t n) : envRef(env)
+    {
+        if (!env.flagPool.empty()) {
+            store = std::move(env.flagPool.back());
+            env.flagPool.pop_back();
+        }
+        store.assign(n, 0);
+    }
+
+    ~FlagLease() { envRef.flagPool.push_back(std::move(store)); }
+
+    FlagLease(const FlagLease &) = delete;
+    FlagLease &operator=(const FlagLease &) = delete;
+
+    std::vector<uint8_t> &flags() { return store; }
+
+  private:
+    ExecEnv &envRef;
+    std::vector<uint8_t> store;
 };
 
 } // namespace nomap

@@ -48,7 +48,12 @@ class IrBuilder
         isLeader[0] = true;
         for (size_t pc = 0; pc < fn.code.size(); ++pc) {
             const BytecodeInstr &instr = fn.code[pc];
-            switch (instr.op) {
+            // Decode through genericOpcodeOf: a warm function may have
+            // been quickened by the bytecode executor before tiering
+            // up, and fusion keeps every constituent op in place with
+            // operands intact, so the generic mapping recovers the
+            // original instruction stream exactly.
+            switch (genericOpcodeOf(instr.op)) {
               case Opcode::Jump:
                 isLeader[instr.imm] = true;
                 if (pc + 1 < fn.code.size())
@@ -183,7 +188,10 @@ class IrBuilder
     void
     translate(uint32_t pc)
     {
-        const BytecodeInstr &bc = fn.code[pc];
+        // Copy so quickened ops can be decoded as their generic form
+        // (operands are untouched by quickening; only `op` differs).
+        BytecodeInstr bc = fn.code[pc];
+        bc.op = genericOpcodeOf(bc.op);
         switch (bc.op) {
           case Opcode::LoadConst:
             emit(IrOp::Const, bc.a, 0, 0, 0, bc.imm);
@@ -268,6 +276,13 @@ class IrBuilder
           case Opcode::LoopHeader:
             // Structural marker only (block.loopId already set).
             break;
+          case Opcode::QAddII:
+          case Opcode::QSubII:
+          case Opcode::QGetPropMono:
+          case Opcode::QCmpBranch:
+          case Opcode::QConstCmpBranch:
+            // Unreachable: genericOpcodeOf above mapped these away.
+            panic("quickened opcode survived genericOpcodeOf");
         }
     }
 

@@ -7,46 +7,12 @@
 
 namespace nomap {
 
-bool
-isCheckOp(IrOp op)
-{
-    switch (op) {
-      case IrOp::CheckInt32:
-      case IrOp::CheckNumber:
-      case IrOp::CheckShape:
-      case IrOp::CheckArray:
-      case IrOp::CheckIndexInt:
-      case IrOp::CheckBounds:
-      case IrOp::CheckBoundsRange:
-      case IrOp::CheckOverflow:
-      case IrOp::CheckNotHole:
-        return true;
-      default:
-        return false;
-    }
-}
-
 CheckKind
 checkKindOf(IrOp op)
 {
-    switch (op) {
-      case IrOp::CheckBounds:
-      case IrOp::CheckBoundsRange:
-        return CheckKind::Bounds;
-      case IrOp::CheckOverflow:
-        return CheckKind::Overflow;
-      case IrOp::CheckInt32:
-      case IrOp::CheckNumber:
-      case IrOp::CheckArray:
-        return CheckKind::Type;
-      case IrOp::CheckShape:
-        return CheckKind::Property;
-      case IrOp::CheckIndexInt:
-      case IrOp::CheckNotHole:
-        return CheckKind::Other;
-      default:
+    if (!isCheckOp(op))
         panic("checkKindOf on non-check op");
-    }
+    return checkKindOfUnchecked(op);
 }
 
 bool
@@ -279,6 +245,59 @@ computeChargePlan(IrFunction &fn)
             bool segEnd = isTxBoundaryOp(instr.op) || i + 1 == n;
             block.chargeFrom[i] =
                 scaled + (segEnd ? 0 : block.chargeFrom[i + 1]);
+        }
+    }
+
+    // One-time structural validation, so the executor hot loop can
+    // dispatch without per-op bounds checks: every block is non-empty
+    // and ends in a terminator (control cannot walk off a block), and
+    // every branch target names an existing block.
+    size_t nblocks = fn.blocks.size();
+    NOMAP_ASSERT(nblocks > 0);
+    for (const IrBlock &block : fn.blocks) {
+        NOMAP_ASSERT(!block.instrs.empty());
+        IrOp last = block.instrs.back().op;
+        NOMAP_ASSERT(last == IrOp::Jump || last == IrOp::Branch ||
+                     last == IrOp::Return ||
+                     last == IrOp::ReturnUndef);
+    }
+
+    // Flat predecode: concatenate the blocks into one contiguous
+    // stream, fold each instruction's charge-plan entries into its
+    // record, and rewrite Jump/Branch targets to flat indices.
+    fn.flatStart.assign(nblocks, 0);
+    size_t total = 0;
+    for (size_t bi = 0; bi < nblocks; ++bi) {
+        fn.flatStart[bi] = static_cast<uint32_t>(total);
+        total += fn.blocks[bi].instrs.size();
+    }
+    fn.flat.clear();
+    fn.flat.reserve(total);
+    for (const IrBlock &block : fn.blocks) {
+        for (size_t i = 0; i < block.instrs.size(); ++i) {
+            const IrInstr &instr = block.instrs[i];
+            ExecInstr e;
+            e.op = instr.op;
+            e.converted = instr.converted;
+            e.dst = instr.dst;
+            e.a = instr.a;
+            e.b = instr.b;
+            e.c = instr.c;
+            e.imm = instr.imm;
+            e.imm2 = instr.imm2;
+            e.smpPc = instr.smpPc;
+            e.ownScaled = block.ownScaled[i];
+            e.chargeFrom = block.chargeFrom[i];
+            if (instr.op == IrOp::Jump) {
+                NOMAP_ASSERT(instr.imm < nblocks);
+                e.imm = fn.flatStart[instr.imm];
+            } else if (instr.op == IrOp::Branch) {
+                NOMAP_ASSERT(instr.imm < nblocks &&
+                             instr.imm2 < nblocks);
+                e.imm = fn.flatStart[instr.imm];
+                e.imm2 = fn.flatStart[instr.imm2];
+            }
+            fn.flat.push_back(e);
         }
     }
     fn.chargePlanReady = true;

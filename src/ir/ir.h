@@ -168,6 +168,33 @@ struct IrBlock {
 };
 
 /**
+ * One predecoded instruction of the flat run format the executor
+ * dispatches over (see IrFunction::flat). A copy of the IrInstr
+ * fields plus the instruction's charge-plan entries, packed so the
+ * hot loop touches exactly one 32-byte record per op with no
+ * per-block indirection. Jump/Branch targets are rewritten from
+ * block ids to flat indices at predecode time.
+ */
+struct ExecInstr {
+    IrOp op = IrOp::Nop;
+    /** NoMap converted this check's SMP into a transactional abort. */
+    bool converted = false;
+    uint16_t dst = 0;
+    uint16_t a = 0;
+    uint16_t b = 0;
+    uint16_t c = 0;
+    /** Jump/Branch: flat index of the target block's first entry. */
+    uint32_t imm = 0;
+    uint32_t imm2 = 0;
+    /** Bytecode pc of the SMP this check deopts to (kNoSmp if none). */
+    uint32_t smpPc = kNoSmp;
+    /** This op's tier-scaled static cost (IrBlock::ownScaled). */
+    uint32_t ownScaled = 0;
+    /** Cost of [this .. charge-segment end] (IrBlock::chargeFrom). */
+    uint32_t chargeFrom = 0;
+};
+
+/**
  * One transaction region created by the NoMap planner: TxBegin sits
  * at the end of @p beginBlock (the loop preheader), TxEnd at the top
  * of each block in @p endBlocks (dedicated loop-exit blocks).
@@ -197,6 +224,17 @@ struct IrFunction {
     /** Transaction regions (filled by the NoMap planner). */
     std::vector<TxRegion> txRegions;
 
+    /**
+     * Flat run format: every block's instructions predecoded into one
+     * contiguous array in block order, with branch targets rewritten
+     * to flat indices and the charge plan folded into each record.
+     * Built by computeChargePlan alongside the per-block plan; the
+     * executor walks this instead of the block structure.
+     */
+    std::vector<ExecInstr> flat;
+    /** flatStart[b] = flat index of block b's first instruction. */
+    std::vector<uint32_t> flatStart;
+
     /** Allocate a fresh pass temporary register. */
     uint16_t
     allocTemp()
@@ -223,12 +261,54 @@ struct IrFunction {
 };
 
 // ---- Classification helpers used by passes and executors ---------------
+// Inline: the executor hot loop classifies every executed check op.
 
 /** True for the Check* family. */
-bool isCheckOp(IrOp op);
+inline bool
+isCheckOp(IrOp op)
+{
+    switch (op) {
+      case IrOp::CheckInt32:
+      case IrOp::CheckNumber:
+      case IrOp::CheckShape:
+      case IrOp::CheckArray:
+      case IrOp::CheckIndexInt:
+      case IrOp::CheckBounds:
+      case IrOp::CheckBoundsRange:
+      case IrOp::CheckOverflow:
+      case IrOp::CheckNotHole:
+        return true;
+      default:
+        return false;
+    }
+}
 
-/** Figure-3 category of a check op. */
+/** Figure-3 category of a check op (asserts on non-check ops). */
 CheckKind checkKindOf(IrOp op);
+
+/**
+ * checkKindOf without the non-check assert, for call sites that have
+ * already established the op is a check.
+ */
+inline CheckKind
+checkKindOfUnchecked(IrOp op)
+{
+    switch (op) {
+      case IrOp::CheckBounds:
+      case IrOp::CheckBoundsRange:
+        return CheckKind::Bounds;
+      case IrOp::CheckOverflow:
+        return CheckKind::Overflow;
+      case IrOp::CheckInt32:
+      case IrOp::CheckNumber:
+      case IrOp::CheckArray:
+        return CheckKind::Type;
+      case IrOp::CheckShape:
+        return CheckKind::Property;
+      default:
+        return CheckKind::Other;
+    }
+}
 
 /** True if the op reads heap/global memory. */
 bool readsMemory(IrOp op);
@@ -263,8 +343,12 @@ uint32_t irBaseCost(IrOp op);
  * (Re)compute every block's ownScaled/chargeFrom from the instruction
  * stream and the function's tier (DFG scales each op's cost by
  * kDfgFactor before summing, exactly as the executor's per-op mode
- * does). The compiler calls this after the pass pipeline; the executor
- * calls it lazily for hand-built functions in tests.
+ * does), then build the flat predecoded run stream from it. Also
+ * performs the one-time structural validation (non-empty terminated
+ * blocks, in-range branch targets) that lets the executor hot loop
+ * dispatch without per-op bounds checks. The compiler calls this
+ * after the pass pipeline; the executor calls it lazily for
+ * hand-built functions in tests.
  */
 void computeChargePlan(IrFunction &fn);
 

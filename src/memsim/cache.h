@@ -84,8 +84,26 @@ class Cache
     access(Addr addr, bool is_write, bool speculative = false)
     {
         uint32_t si = setIndex(addr);
-        Line *set = &lines[static_cast<size_t>(si) * ways];
         Addr tag = tagOf(addr);
+
+        // Consecutive accesses usually land on the line the previous
+        // access touched (8 values share each 64-byte line), so a
+        // one-entry MRU filter skips the associative scan most of the
+        // time. The updates below are exactly the scan's hit path, so
+        // the model is unchanged; an evicted, retagged, or invalidated
+        // MRU line fails the valid/set/tag compare and falls through.
+        Line *m = mru;
+        if (m && m->valid && mruSet == si && m->tag == tag) {
+            m->lruStamp = ++lruClock;
+            if (is_write && speculative && !m->sw)
+                markSw(*m, si);
+            ++statsData.hits;
+            if (swTotal != 0)
+                trackSwHighWater(si);
+            return CacheResult::Hit;
+        }
+
+        Line *set = &lines[static_cast<size_t>(si) * ways];
         ++lruClock;
 
         for (uint32_t w = 0; w < ways; ++w) {
@@ -95,7 +113,13 @@ class Cache
                 if (is_write && speculative && !line.sw)
                     markSw(line, si);
                 ++statsData.hits;
-                trackSwHighWater(si);
+                mru = &line;
+                mruSet = si;
+                // swTotal == 0 implies every swCount entry is 0, so
+                // the high-water compare can't move — skip the
+                // swCount[] load on the non-transactional fast path.
+                if (swTotal != 0)
+                    trackSwHighWater(si);
                 return CacheResult::Hit;
             }
         }
@@ -134,8 +158,11 @@ class Cache
         if (is_write && speculative)
             markSw(*victim, si);
         victim->lruStamp = lruClock;
+        mru = victim;
+        mruSet = si;
         ++statsData.misses;
-        trackSwHighWater(si);
+        if (swTotal != 0)
+            trackSwHighWater(si);
         return CacheResult::Miss;
     }
 
@@ -207,6 +234,9 @@ class Cache
     uint32_t setMask = 0;   ///< numSets - 1 (numSets is a power of 2).
     uint32_t setShift = 0;  ///< log2(numSets), for tag extraction.
     std::vector<Line> lines;      ///< Flat: set * ways + way.
+    Line *mru = nullptr;   ///< Last line hit/installed (never dangles:
+                           ///< `lines` is sized once in the ctor).
+    uint32_t mruSet = 0;   ///< Set index of @ref mru.
     std::vector<uint32_t> swCount; ///< SW lines per set.
     std::vector<uint32_t> swSets;  ///< Sets with swCount > 0 (unique).
     uint32_t swTotal = 0;

@@ -37,6 +37,19 @@ geomean(const std::vector<double> &xs)
 }
 
 double
+medianOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::vector<double> sorted(xs);
+    std::sort(sorted.begin(), sorted.end());
+    size_t mid = sorted.size() / 2;
+    if (sorted.size() % 2 == 1)
+        return sorted[mid];
+    return (sorted[mid - 1] + sorted[mid]) / 2.0;
+}
+
+double
 minOf(const std::vector<double> &xs)
 {
     if (xs.empty())

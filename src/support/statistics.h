@@ -23,6 +23,13 @@ double mean(const std::vector<double> &xs);
  */
 double geomean(const std::vector<double> &xs);
 
+/**
+ * True median: middle element for odd sizes, average of the two
+ * middle elements for even sizes; 0 if empty. More robust than the
+ * nearest-rank p50 for small benchmark repetition counts.
+ */
+double medianOf(const std::vector<double> &xs);
+
 /** Minimum; 0 if empty. */
 double minOf(const std::vector<double> &xs);
 

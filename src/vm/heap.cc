@@ -224,7 +224,7 @@ Heap::setProperty(uint32_t obj_id, uint32_t name_id, Value v,
 }
 
 void
-Heap::setSlot(uint32_t obj_id, uint32_t slot, Value v)
+Heap::setSlotTracked(uint32_t obj_id, uint32_t slot, Value v)
 {
     logObjectSlot(obj_id, slot);
     object(obj_id).slots[slot] = v;
@@ -271,7 +271,7 @@ Heap::setElement(uint32_t arr_id, int64_t index, Value v, Addr *addr_out)
 }
 
 void
-Heap::setElementFast(uint32_t arr_id, uint32_t index, Value v)
+Heap::setElementFastTracked(uint32_t arr_id, uint32_t index, Value v)
 {
     logArrayElem(arr_id, index);
     array(arr_id).storage[index] = v;
@@ -328,9 +328,8 @@ Heap::findGlobal(const std::string &name) const
 }
 
 void
-Heap::setGlobal(uint32_t index, Value v)
+Heap::setGlobalTracked(uint32_t index, Value v)
 {
-    NOMAP_ASSERT(index < globals.size());
     logGlobal(index);
     globals[index] = v;
     recordTxWrite(globalAddr(index));

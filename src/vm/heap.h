@@ -142,8 +142,22 @@ class Heap : public RollbackClient
         return object(obj_id).slots[slot];
     }
 
-    /** Direct slot write (FTL fast path after a shape check). */
-    void setSlot(uint32_t obj_id, uint32_t slot, Value v);
+    /**
+     * Direct slot write (FTL fast path after a shape check). Outside
+     * a transaction neither the undo log nor the write set needs to
+     * see the store, so it inlines to a plain assignment; the tracked
+     * path (log + store + recordTxWrite, original order) is out of
+     * line.
+     */
+    void
+    setSlot(uint32_t obj_id, uint32_t slot, Value v)
+    {
+        if (logging || inTx()) {
+            setSlotTracked(obj_id, slot, v);
+            return;
+        }
+        object(obj_id).slots[slot] = v;
+    }
 
     /** Address of an object slot (for the cache model). */
     Addr
@@ -174,8 +188,17 @@ class Heap : public RollbackClient
         return array(arr_id).storage[index];
     }
 
-    /** In-bounds fast-path write (FTL after a bounds check). */
-    void setElementFast(uint32_t arr_id, uint32_t index, Value v);
+    /** In-bounds fast-path write (FTL after a bounds check); inline
+     *  non-transactional store as in setSlot. */
+    void
+    setElementFast(uint32_t arr_id, uint32_t index, Value v)
+    {
+        if (logging || inTx()) {
+            setElementFastTracked(arr_id, index, v);
+            return;
+        }
+        array(arr_id).storage[index] = v;
+    }
 
     /** Address of array element (for the cache model). */
     Addr
@@ -207,7 +230,16 @@ class Heap : public RollbackClient
         return globals[index];
     }
 
-    void setGlobal(uint32_t index, Value v);
+    void
+    setGlobal(uint32_t index, Value v)
+    {
+        NOMAP_ASSERT(index < globals.size());
+        if (logging || inTx()) {
+            setGlobalTracked(index, v);
+            return;
+        }
+        globals[index] = v;
+    }
 
     Addr
     globalAddr(uint32_t index) const
@@ -251,6 +283,13 @@ class Heap : public RollbackClient
 
   private:
     bool inTx() const { return htm && htm->inTransaction(); }
+
+    // Out-of-line halves of the inline write fast paths: undo-log the
+    // old value, store, and record the transactional write.
+    void setSlotTracked(uint32_t obj_id, uint32_t slot, Value v);
+    void setElementFastTracked(uint32_t arr_id, uint32_t index,
+                               Value v);
+    void setGlobalTracked(uint32_t index, Value v);
 
     Addr allocAddr(uint64_t bytes);
 

@@ -4,47 +4,9 @@
 
 namespace nomap {
 
-uint16_t
-valueKindMask(ValueKind kind)
+void
+corruptValuePanic()
 {
-    switch (kind) {
-      case ValueKind::Int32: return kMaskInt32;
-      case ValueKind::Double: return kMaskDouble;
-      case ValueKind::Boolean: return kMaskBoolean;
-      case ValueKind::Undefined: return kMaskUndefined;
-      case ValueKind::Null: return kMaskNull;
-      case ValueKind::Object: return kMaskObject;
-      case ValueKind::Array: return kMaskArray;
-      case ValueKind::String: return kMaskString;
-      case ValueKind::Function: return kMaskFunction;
-      case ValueKind::NativeFunction: return kMaskNative;
-    }
-    return 0;
-}
-
-ValueKind
-Value::kind() const
-{
-    if (isInt32())
-        return ValueKind::Int32;
-    if (isBoxedDouble())
-        return ValueKind::Double;
-    if (isBoolean())
-        return ValueKind::Boolean;
-    if (isUndefined())
-        return ValueKind::Undefined;
-    if (isNull())
-        return ValueKind::Null;
-    if (isObject())
-        return ValueKind::Object;
-    if (isArray())
-        return ValueKind::Array;
-    if (isString())
-        return ValueKind::String;
-    if (isFunction())
-        return ValueKind::Function;
-    if (isNativeFunction())
-        return ValueKind::NativeFunction;
     panic("corrupt value bits");
 }
 

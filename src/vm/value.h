@@ -37,6 +37,9 @@ enum class ValueKind : uint8_t {
     NativeFunction, ///< Builtin (index into the builtin registry).
 };
 
+/** Out-of-line cold path for Value::kind() on corrupt bits. */
+[[noreturn]] void corruptValuePanic();
+
 /** Bitmask form of ValueKind used by type-feedback profiles. */
 enum ValueKindMask : uint16_t {
     kMaskInt32 = 1 << 0,
@@ -51,8 +54,16 @@ enum ValueKindMask : uint16_t {
     kMaskNative = 1 << 9,
 };
 
-/** Convert a kind to its profile mask bit. */
-uint16_t valueKindMask(ValueKind kind);
+/**
+ * Convert a kind to its profile mask bit. The mask enumerators are in
+ * ValueKind order (static_asserts below), so this is a single shift —
+ * it runs once per profiled op in the warm-up tiers.
+ */
+inline uint16_t
+valueKindMask(ValueKind kind)
+{
+    return static_cast<uint16_t>(1u << static_cast<unsigned>(kind));
+}
 
 /** A NaN-boxed value. Trivially copyable; 8 bytes. */
 class Value
@@ -147,8 +158,35 @@ class Value
     bool isFunction() const { return tag() == kTagFunction; }
     bool isNativeFunction() const { return tag() == kTagNative; }
 
-    /** Runtime kind. */
-    ValueKind kind() const;
+    /**
+     * Runtime kind. Inline: executor type checks and feedback
+     * profiling call this per op, so it must compile down to a tag
+     * dispatch, not a call.
+     */
+    ValueKind
+    kind() const
+    {
+        uint64_t t = tag();
+        if (t < kTagInt32)
+            return ValueKind::Double;
+        switch (t) {
+          case kTagInt32: return ValueKind::Int32;
+          case kTagObject: return ValueKind::Object;
+          case kTagArray: return ValueKind::Array;
+          case kTagString: return ValueKind::String;
+          case kTagFunction: return ValueKind::Function;
+          case kTagNative: return ValueKind::NativeFunction;
+          case kTagSpecial:
+            switch (bits & 0xffffffffu) {
+              case 0: return ValueKind::Undefined;
+              case 1: return ValueKind::Null;
+              case 2:
+              case 3: return ValueKind::Boolean;
+            }
+            break;
+        }
+        corruptValuePanic();
+    }
 
     // ---- Accessors (caller must check the predicate first) -----------
     int32_t
@@ -212,6 +250,27 @@ class Value
 };
 
 static_assert(sizeof(Value) == 8, "Value must stay NaN-box sized");
+
+// valueKindMask's shift relies on the mask bits tracking ValueKind's
+// enumerator order.
+static_assert(kMaskInt32 == 1u << static_cast<unsigned>(ValueKind::Int32));
+static_assert(kMaskDouble ==
+              1u << static_cast<unsigned>(ValueKind::Double));
+static_assert(kMaskBoolean ==
+              1u << static_cast<unsigned>(ValueKind::Boolean));
+static_assert(kMaskUndefined ==
+              1u << static_cast<unsigned>(ValueKind::Undefined));
+static_assert(kMaskNull == 1u << static_cast<unsigned>(ValueKind::Null));
+static_assert(kMaskObject ==
+              1u << static_cast<unsigned>(ValueKind::Object));
+static_assert(kMaskArray ==
+              1u << static_cast<unsigned>(ValueKind::Array));
+static_assert(kMaskString ==
+              1u << static_cast<unsigned>(ValueKind::String));
+static_assert(kMaskFunction ==
+              1u << static_cast<unsigned>(ValueKind::Function));
+static_assert(kMaskNative ==
+              1u << static_cast<unsigned>(ValueKind::NativeFunction));
 
 } // namespace nomap
 

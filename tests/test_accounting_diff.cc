@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "bytecode/compiler.h"
+#include "bytecode/opcode.h"
 #include "engine/engine.h"
 #include "suites/suite.h"
 
@@ -95,6 +97,37 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<Architecture> &info) {
         return std::string(architectureName(info.param));
     });
+
+// Quickening interacts with the charge plan: in-place rewrites and
+// superinstruction fusion happen AFTER computeChargePlan ran at
+// compile time, so batched-segment refunds on deopt/abort stay an
+// exact inverse only if the plan is invariant under the rewrites
+// (computeChargePlan classifies ops through genericOpcodeOf). Verify
+// by recomputing the plan from live, quickened+fused code and
+// comparing it to the stored plan.
+TEST(AccountingChargePlan, InvariantUnderQuickening)
+{
+    EngineConfig config;
+    config.arch = Architecture::NoMap;
+    Engine engine(config);
+    engine.run(sunspiderSuite()[0].source);
+    const CompiledProgram *prog = engine.program();
+    ASSERT_NE(prog, nullptr);
+    bool any_quickened = false;
+    for (const auto &fnp : prog->functions) {
+        const BytecodeFunction &fn = *fnp;
+        SCOPED_TRACE(fn.name);
+        for (const BytecodeInstr &instr : fn.code)
+            any_quickened = any_quickened || isQuickened(instr.op);
+        BytecodeFunction copy = fn;
+        copy.computeChargePlan();
+        EXPECT_EQ(copy.runLen, fn.runLen);
+        EXPECT_EQ(copy.runExtra, fn.runExtra);
+    }
+    // Guard against vacuity: the run above must actually have
+    // rewritten something.
+    EXPECT_TRUE(any_quickened);
+}
 
 } // namespace
 } // namespace nomap

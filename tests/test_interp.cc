@@ -81,8 +81,10 @@ result = add(3, 4);
     const BytecodeFunction &fn =
         *program->functions[static_cast<size_t>(id)];
     bool found = false;
+    // Warm ops may have been quickened in place; classify through the
+    // generic mapping.
     for (size_t pc = 0; pc < fn.code.size(); ++pc) {
-        if (fn.code[pc].op == Opcode::Binary) {
+        if (genericOpcodeOf(fn.code[pc].op) == Opcode::Binary) {
             found = true;
             EXPECT_TRUE(fn.profile.arith[pc].lhsMask & kMaskInt32);
             EXPECT_TRUE(fn.profile.arith[pc].lhsMask & kMaskDouble);
@@ -106,7 +108,7 @@ result = add(2000000000, 2000000000);
         program->findFunction("add"))];
     bool saw = false;
     for (size_t pc = 0; pc < fn.code.size(); ++pc) {
-        if (fn.code[pc].op == Opcode::Binary)
+        if (genericOpcodeOf(fn.code[pc].op) == Opcode::Binary)
             saw |= fn.profile.arith[pc].sawIntOverflow;
     }
     EXPECT_TRUE(saw);
@@ -128,7 +130,7 @@ result = get(mono);
         program->findFunction("get"))];
     bool found = false;
     for (size_t pc = 0; pc < fn.code.size(); ++pc) {
-        if (fn.code[pc].op == Opcode::GetProp) {
+        if (genericOpcodeOf(fn.code[pc].op) == Opcode::GetProp) {
             found = true;
             EXPECT_TRUE(fn.profile.property[pc].monomorphicObject());
         }
@@ -152,7 +154,7 @@ result = get(a);
     const BytecodeFunction &fn = *program->functions[static_cast<size_t>(
         program->findFunction("get"))];
     for (size_t pc = 0; pc < fn.code.size(); ++pc) {
-        if (fn.code[pc].op == Opcode::GetProp) {
+        if (genericOpcodeOf(fn.code[pc].op) == Opcode::GetProp) {
             EXPECT_TRUE(fn.profile.property[pc].polymorphic);
             EXPECT_FALSE(fn.profile.property[pc].monomorphicObject());
         }

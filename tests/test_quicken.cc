@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Differential test for bytecode quickening and superinstruction
+ * fusion: for every suite program and every architecture, an Engine
+ * run with quickening enabled (the default) must be bit-identical —
+ * result value, print output, every ExecutionStats counter, and the
+ * full trace-event stream including virtual-cycle timestamps — to the
+ * generic reference path (EngineConfig::quickening = false). The
+ * in-place rewrites are a pure host-speed optimization; nothing
+ * guest-visible may move.
+ *
+ * The equivalence must also hold under armed deterministic fault
+ * plans: quickening changes neither which injection sites execute nor
+ * their order, so occurrence-counted faults fire at the same points
+ * and recover identically on both paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/compiler.h"
+#include "bytecode/opcode.h"
+#include "engine/engine.h"
+#include "inject/fault_plan.h"
+#include "suites/suite.h"
+#include "trace/trace.h"
+
+namespace nomap {
+namespace {
+
+struct Outcome {
+    std::string result;
+    std::string printed;
+    ExecutionStats stats;
+    std::vector<TraceEvent> events;
+};
+
+Outcome
+runOutcome(const std::string &source, Architecture arch, bool quicken,
+           uint32_t trace_capacity, const FaultPlan *plan)
+{
+    EngineConfig config;
+    config.arch = arch;
+    config.quickening = quicken;
+    config.traceCapacity = trace_capacity;
+    Engine engine(config);
+    if (plan)
+        engine.armFaultPlan(plan);
+    EngineResult r = engine.run(source);
+    Outcome out;
+    out.result = r.resultString;
+    out.printed = r.printed;
+    out.stats = r.stats;
+    if (engine.trace())
+        out.events = engine.trace()->events();
+    return out;
+}
+
+void
+expectSameStats(const ExecutionStats &quickened,
+                const ExecutionStats &generic)
+{
+    for (size_t b = 0;
+         b < static_cast<size_t>(InstrBucket::NumBuckets); ++b) {
+        EXPECT_EQ(quickened.instr[b], generic.instr[b])
+            << "instr bucket " << b;
+    }
+    for (size_t k = 0; k < static_cast<size_t>(CheckKind::NumKinds);
+         ++k) {
+        EXPECT_EQ(quickened.checks[k], generic.checks[k])
+            << "check kind " << checkKindName(static_cast<CheckKind>(k));
+    }
+    // Exact equality on the doubles (see test_accounting_diff):
+    // quickened dispatch must charge the very same integer units in
+    // the very same order.
+    EXPECT_EQ(quickened.cyclesTm, generic.cyclesTm);
+    EXPECT_EQ(quickened.cyclesNonTm, generic.cyclesNonTm);
+    EXPECT_EQ(quickened.ftlFunctionCalls, generic.ftlFunctionCalls);
+    EXPECT_EQ(quickened.deopts, generic.deopts);
+    EXPECT_EQ(quickened.baselineCompiles, generic.baselineCompiles);
+    EXPECT_EQ(quickened.dfgCompiles, generic.dfgCompiles);
+    EXPECT_EQ(quickened.ftlCompiles, generic.ftlCompiles);
+    EXPECT_EQ(quickened.ftlRecompiles, generic.ftlRecompiles);
+    EXPECT_EQ(quickened.txCommits, generic.txCommits);
+    EXPECT_EQ(quickened.txAborts, generic.txAborts);
+    EXPECT_EQ(quickened.txAbortsCapacity, generic.txAbortsCapacity);
+    EXPECT_EQ(quickened.txAbortsCheck, generic.txAbortsCheck);
+    EXPECT_EQ(quickened.txAbortsSof, generic.txAbortsSof);
+    EXPECT_EQ(quickened.avgWriteFootprintBytes,
+              generic.avgWriteFootprintBytes);
+    EXPECT_EQ(quickened.maxWriteFootprintBytes,
+              generic.maxWriteFootprintBytes);
+    EXPECT_EQ(quickened.maxWriteWaysUsed, generic.maxWriteWaysUsed);
+}
+
+void
+expectSameOutcome(const Outcome &quickened, const Outcome &generic)
+{
+    EXPECT_EQ(quickened.result, generic.result);
+    EXPECT_EQ(quickened.printed, generic.printed);
+    expectSameStats(quickened.stats, generic.stats);
+    // Element-wise trace equality, virtual-cycle timestamps included:
+    // quickening must not shift when any event is emitted.
+    ASSERT_EQ(quickened.events.size(), generic.events.size());
+    for (size_t i = 0; i < quickened.events.size(); ++i) {
+        EXPECT_TRUE(quickened.events[i] == generic.events[i])
+            << "trace event " << i << " differs";
+    }
+}
+
+void
+compareSuite(const std::vector<BenchmarkSpec> &suite, Architecture arch,
+             uint32_t trace_capacity = 0,
+             const FaultPlan *plan = nullptr)
+{
+    for (const BenchmarkSpec &spec : suite) {
+        SCOPED_TRACE(spec.id + " on " + architectureName(arch));
+        expectSameOutcome(
+            runOutcome(spec.source, arch, true, trace_capacity, plan),
+            runOutcome(spec.source, arch, false, trace_capacity, plan));
+    }
+}
+
+/** First @p keep entries (keeps the fault/trace sweeps affordable). */
+std::vector<BenchmarkSpec>
+prefix(const std::vector<BenchmarkSpec> &suite, size_t keep)
+{
+    if (suite.size() <= keep)
+        return suite;
+    return std::vector<BenchmarkSpec>(
+        suite.begin(), suite.begin() + static_cast<long>(keep));
+}
+
+class Quicken : public ::testing::TestWithParam<Architecture>
+{
+};
+
+TEST_P(Quicken, SunSpiderMatchesGenericPath)
+{
+    compareSuite(sunspiderSuite(), GetParam());
+}
+
+TEST_P(Quicken, KrakenMatchesGenericPath)
+{
+    compareSuite(krakenSuite(), GetParam());
+}
+
+TEST_P(Quicken, FaultPlansMatchGenericPath)
+{
+    const char *plans[] = {"htm.abort@2", "check.bounds@5",
+                           "check.any@3", "engine.watchdog@400"};
+    for (const char *text : plans) {
+        SCOPED_TRACE(text);
+        FaultPlan plan = FaultPlan::parse(text);
+        compareSuite(prefix(sunspiderSuite(), 2), GetParam(), 0,
+                     &plan);
+        compareSuite(prefix(krakenSuite(), 2), GetParam(), 0, &plan);
+    }
+}
+
+TEST_P(Quicken, TracingMatchesGenericPath)
+{
+    // Trace ring large enough that no event is evicted, so the
+    // streams compare element-for-element with timestamps.
+    const uint32_t capacity = 1u << 16;
+    compareSuite(prefix(sunspiderSuite(), 2), GetParam(), capacity);
+    compareSuite(prefix(krakenSuite(), 2), GetParam(), capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchitectures, Quicken,
+    ::testing::Values(Architecture::Base, Architecture::NoMapS,
+                      Architecture::NoMapB, Architecture::NoMap,
+                      Architecture::NoMapBC, Architecture::NoMapRTM),
+    [](const ::testing::TestParamInfo<Architecture> &info) {
+        return std::string(architectureName(info.param));
+    });
+
+// The differential above is only meaningful if quickening actually
+// rewrites something: after a run that tiers functions up, the warm
+// functions must contain quickened opcodes.
+TEST(QuickenStructure, HotProgramContainsQuickenedOps)
+{
+    EngineConfig config;
+    config.arch = Architecture::NoMap;
+    Engine engine(config);
+    engine.run(sunspiderSuite()[0].source);
+    const CompiledProgram *prog = engine.program();
+    ASSERT_NE(prog, nullptr);
+    bool any_quickened_fn = false;
+    bool any_quickened_op = false;
+    for (const auto &fn : prog->functions) {
+        any_quickened_fn = any_quickened_fn || fn->quickened;
+        for (const BytecodeInstr &instr : fn->code)
+            any_quickened_op = any_quickened_op || isQuickened(instr.op);
+    }
+    EXPECT_TRUE(any_quickened_fn);
+    EXPECT_TRUE(any_quickened_op);
+}
+
+// And the reference mode must stay pristine: with quickening off, no
+// rewrite may ever happen, or the differential compares quickened
+// against quickened.
+TEST(QuickenStructure, ReferenceModeNeverRewrites)
+{
+    EngineConfig config;
+    config.arch = Architecture::NoMap;
+    config.quickening = false;
+    Engine engine(config);
+    engine.run(sunspiderSuite()[0].source);
+    const CompiledProgram *prog = engine.program();
+    ASSERT_NE(prog, nullptr);
+    for (const auto &fn : prog->functions) {
+        EXPECT_FALSE(fn->quickened) << fn->name;
+        for (const BytecodeInstr &instr : fn->code)
+            EXPECT_FALSE(isQuickened(instr.op)) << fn->name;
+    }
+}
+
+} // namespace
+} // namespace nomap
