@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Soak benchmark: sustained mixed traffic against the TCP serving
+ * front-end, thousands of concurrent connections from one
+ * single-threaded event-loop client.
+ *
+ * The server is in-process (ephemeral port) but every byte crosses a
+ * real loopback socket. Each connection runs closed-loop: one request
+ * in flight, the next sent the moment the response lands. Program
+ * sizes are heavy-tailed (quantized Pareto over loop trip counts —
+ * many small scripts, a fat tail of big ones), drawn from a
+ * deterministic PRNG so runs are reproducible; quantization means
+ * repeated sizes exercise the compiled-program cache the way real
+ * multi-tenant traffic would.
+ *
+ * Reported (JSON on stdout): throughput, latency p50/p95/p99, shed
+ * rate under admission control, differential-check verdict (every Ok
+ * response's result string must match the in-process Engine::run
+ * reference for its program — the PR-1 guarantee, held under load),
+ * plus the server's own sharded metrics snapshot.
+ *
+ *   soak [--quick] [--connections N] [--duration-s S] [--shards K]
+ *        [--workers W] [--shed-depth D] [--arch ARCH]
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fcntl.h>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "harness.h"
+#include "net/poller.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "support/logging.h"
+
+using namespace nomap;
+using namespace nomap::bench;
+
+namespace {
+
+// ---- Heavy-tailed program mix ------------------------------------------
+
+/** xorshift64* — deterministic across runs and platforms. */
+struct Rng {
+    uint64_t state = 0x9e3779b97f4a7c15ull;
+    uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dull;
+    }
+};
+
+/** One program size bucket (quantized Pareto). */
+struct SizeBucket {
+    uint32_t iterations;
+    double weight;
+    std::string source;
+    std::string expected; ///< In-process reference result string.
+};
+
+std::string
+programFor(uint32_t iterations)
+{
+    return strprintf(
+        "function churn(n) {\n"
+        "    var acc = 0;\n"
+        "    for (var i = 0; i < n; i++) {\n"
+        "        acc = (acc * 31 + i) %% 65521;\n"
+        "        acc = acc + (acc %% 13);\n"
+        "    }\n"
+        "    return acc;\n"
+        "}\n"
+        "result = churn(%u);\n",
+        iterations);
+}
+
+/**
+ * Doubling sizes from 100 to ~51k iterations, weight ~ size^-1.1:
+ * a discrete Pareto. Quick mode stops at ~3k so the smoke run is
+ * seconds, not minutes.
+ */
+std::vector<SizeBucket>
+makeBuckets(Architecture arch)
+{
+    std::vector<SizeBucket> buckets;
+    uint32_t cap = quickMode() ? 3200 : 51200;
+    for (uint32_t n = 100; n <= cap; n *= 2) {
+        SizeBucket bucket;
+        bucket.iterations = n;
+        bucket.weight = 1.0 / std::pow(static_cast<double>(n), 1.1);
+        bucket.source = programFor(n);
+        EngineConfig config;
+        config.arch = arch;
+        Engine engine(config);
+        bucket.expected = engine.run(bucket.source).resultString;
+        buckets.push_back(std::move(bucket));
+    }
+    return buckets;
+}
+
+size_t
+sampleBucket(const std::vector<SizeBucket> &buckets, Rng *rng)
+{
+    double total = 0;
+    for (const SizeBucket &bucket : buckets)
+        total += bucket.weight;
+    double u = static_cast<double>(rng->next() >> 11) *
+               (1.0 / 9007199254740992.0) * total;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        u -= buckets[i].weight;
+        if (u <= 0)
+            return i;
+    }
+    return buckets.size() - 1;
+}
+
+// ---- Event-loop client --------------------------------------------------
+
+struct SoakConn {
+    int fd = -1;
+    FrameDecoder decoder;
+    std::string outbuf;
+    size_t outPos = 0;
+    bool inflight = false;
+    uint64_t nextId = 1;
+    size_t bucketIdx = 0;
+    std::chrono::steady_clock::time_point sentAt;
+};
+
+struct SoakStats {
+    uint64_t sent = 0;
+    uint64_t ok = 0;
+    uint64_t shed = 0;
+    uint64_t otherErrors = 0;
+    uint64_t mismatches = 0;
+    std::vector<double> latenciesUs;
+};
+
+double
+percentileOf(std::vector<double> *xs, double p)
+{
+    if (xs->empty())
+        return 0;
+    std::sort(xs->begin(), xs->end());
+    size_t rank = static_cast<size_t>(
+        p / 100.0 * static_cast<double>(xs->size() - 1) + 0.5);
+    return (*xs)[std::min(rank, xs->size() - 1)];
+}
+
+int
+connectTo(uint16_t port)
+{
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("socket: %s", std::strerror(errno));
+    sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int err = errno;
+        ::close(fd);
+        fatal("connect: %s", std::strerror(err));
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Nonblocking from here on: the event loop owns this socket.
+    int flags = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    return fd;
+}
+
+void
+queueNextRequest(SoakConn *conn, const std::vector<SizeBucket> &buckets,
+                 Rng *rng, Architecture arch, SoakStats *stats)
+{
+    conn->bucketIdx = sampleBucket(buckets, rng);
+    WireRequest request;
+    request.id = conn->nextId++;
+    request.arch = static_cast<uint8_t>(arch);
+    request.tenant = "tenant-" + std::to_string(rng->next() % 8);
+    request.source = buckets[conn->bucketIdx].source;
+    conn->outbuf += frameMessage(encodeRequestPayload(request));
+    conn->inflight = true;
+    conn->sentAt = std::chrono::steady_clock::now();
+    stats->sent++;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initBench(argc, argv);
+
+    size_t num_connections = quickMode() ? 64 : 1000;
+    double duration_s = quickMode() ? 2.0 : 10.0;
+    size_t num_shards = 2;
+    size_t num_workers = 2;
+    size_t shed_depth = 256;
+    Architecture arch = Architecture::NoMap;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (flag == "--connections")
+            num_connections = std::strtoul(next(), nullptr, 10);
+        else if (flag == "--duration-s")
+            duration_s = std::strtod(next(), nullptr);
+        else if (flag == "--shards")
+            num_shards = std::strtoul(next(), nullptr, 10);
+        else if (flag == "--workers")
+            num_workers = std::strtoul(next(), nullptr, 10);
+        else if (flag == "--shed-depth")
+            shed_depth = std::strtoul(next(), nullptr, 10);
+        else if (flag == "--arch") {
+            std::string name = next();
+            if (name == "base") arch = Architecture::Base;
+            else if (name == "nomap_s") arch = Architecture::NoMapS;
+            else if (name == "nomap_b") arch = Architecture::NoMapB;
+            else if (name == "nomap") arch = Architecture::NoMap;
+            else if (name == "nomap_bc") arch = Architecture::NoMapBC;
+            else if (name == "nomap_rtm")
+                arch = Architecture::NoMapRTM;
+            else
+                fatal("unknown --arch '%s'", name.c_str());
+        }
+    }
+
+    std::vector<SizeBucket> buckets = makeBuckets(arch);
+
+    ServerConfig server_config;
+    server_config.backlog = 1024;
+    server_config.maxConnections = num_connections + 64;
+    server_config.service.shards = num_shards;
+    server_config.service.shedQueueDepth = shed_depth;
+    server_config.service.shard.workers = num_workers;
+    server_config.service.shard.queueCapacity = 8192;
+    NoMapServer server(std::move(server_config));
+    server.start();
+
+    std::fprintf(stderr,
+                 "soak: %zu connections, %.1fs, %zu shards x %zu "
+                 "workers, shed depth %zu, %s backend\n",
+                 num_connections, duration_s, num_shards, num_workers,
+                 shed_depth, Poller::backendName());
+
+    Poller poller;
+    std::unordered_map<int, std::unique_ptr<SoakConn>> conns;
+    Rng rng;
+    SoakStats stats;
+
+    for (size_t i = 0; i < num_connections; ++i) {
+        auto conn = std::make_unique<SoakConn>();
+        conn->fd = connectTo(server.port());
+        queueNextRequest(conn.get(), buckets, &rng, arch, &stats);
+        poller.add(conn->fd, kPollIn | kPollOut);
+        conns[conn->fd] = std::move(conn);
+    }
+
+    auto started = std::chrono::steady_clock::now();
+    auto deadline =
+        started + std::chrono::duration<double>(duration_s);
+    // After the send window closes, allow in-flight requests this
+    // long to drain before giving up.
+    auto drain_deadline =
+        deadline + std::chrono::seconds(quickMode() ? 30 : 120);
+
+    std::vector<Poller::Event> events;
+    size_t open = conns.size();
+    while (open > 0) {
+        auto now = std::chrono::steady_clock::now();
+        bool sending = now < deadline;
+        if (!sending && now > drain_deadline)
+            break;
+        poller.wait(&events, 100);
+        for (const Poller::Event &event : events) {
+            auto it = conns.find(event.fd);
+            if (it == conns.end())
+                continue;
+            SoakConn *conn = it->second.get();
+            bool dead = false;
+
+            if (event.ready & kPollOut) {
+                while (conn->outPos < conn->outbuf.size()) {
+                    ssize_t n = ::send(
+                        conn->fd, conn->outbuf.data() + conn->outPos,
+                        conn->outbuf.size() - conn->outPos,
+                        MSG_NOSIGNAL);
+                    if (n > 0) {
+                        conn->outPos += static_cast<size_t>(n);
+                        continue;
+                    }
+                    if (n < 0 &&
+                        (errno == EAGAIN || errno == EWOULDBLOCK))
+                        break;
+                    if (n < 0 && errno == EINTR)
+                        continue;
+                    dead = true;
+                    break;
+                }
+                if (conn->outPos == conn->outbuf.size()) {
+                    conn->outbuf.clear();
+                    conn->outPos = 0;
+                }
+            }
+
+            if (!dead && (event.ready & kPollIn)) {
+                char buf[64 * 1024];
+                for (;;) {
+                    ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+                    if (n > 0) {
+                        conn->decoder.feed(
+                            buf, static_cast<size_t>(n));
+                        if (static_cast<size_t>(n) < sizeof(buf))
+                            break;
+                        continue;
+                    }
+                    if (n < 0 &&
+                        (errno == EAGAIN || errno == EWOULDBLOCK))
+                        break;
+                    if (n < 0 && errno == EINTR)
+                        continue;
+                    dead = true;
+                    break;
+                }
+                std::string payload, error;
+                while (!dead &&
+                       conn->decoder.next(&payload, &error) ==
+                           FrameDecoder::Result::Frame) {
+                    WireResponse response;
+                    if (!decodeResponsePayload(payload, &response,
+                                               &error)) {
+                        dead = true;
+                        break;
+                    }
+                    double us =
+                        std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() -
+                            conn->sentAt)
+                            .count();
+                    stats.latenciesUs.push_back(us);
+                    auto status =
+                        static_cast<ResponseStatus>(response.status);
+                    if (status == ResponseStatus::Ok) {
+                        stats.ok++;
+                        if (response.resultString !=
+                            buckets[conn->bucketIdx].expected)
+                            stats.mismatches++;
+                    } else if (status == ResponseStatus::Shed) {
+                        stats.shed++;
+                    } else {
+                        stats.otherErrors++;
+                    }
+                    conn->inflight = false;
+                    if (sending) {
+                        queueNextRequest(conn, buckets, &rng, arch,
+                                         &stats);
+                    }
+                }
+            }
+
+            bool idle = !conn->inflight &&
+                        conn->outPos == conn->outbuf.size();
+            if (dead || (!sending && idle)) {
+                poller.remove(conn->fd);
+                ::close(conn->fd);
+                conns.erase(it);
+                open--;
+                continue;
+            }
+            uint32_t want = kPollIn;
+            if (conn->outPos < conn->outbuf.size())
+                want |= kPollOut;
+            poller.modify(conn->fd, want);
+        }
+    }
+
+    double elapsed_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    uint64_t answered = stats.ok + stats.shed + stats.otherErrors;
+    double shed_rate =
+        answered ? static_cast<double>(stats.shed) /
+                       static_cast<double>(answered)
+                 : 0;
+
+    std::string server_metrics = server.metricsJson();
+    server.stop();
+
+    std::printf(
+        "{\n"
+        "  \"soak\": {\n"
+        "    \"connections\": %zu,\n"
+        "    \"duration_s\": %.2f,\n"
+        "    \"sent\": %llu,\n"
+        "    \"answered\": %llu,\n"
+        "    \"ok\": %llu,\n"
+        "    \"shed\": %llu,\n"
+        "    \"errors\": %llu,\n"
+        "    \"result_mismatches\": %llu,\n"
+        "    \"throughput_rps\": %.1f,\n"
+        "    \"shed_rate\": %.4f,\n"
+        "    \"latency_us\": {\"p50\": %.1f, \"p95\": %.1f, "
+        "\"p99\": %.1f}\n"
+        "  },\n"
+        "  \"server\": ",
+        num_connections, elapsed_s,
+        static_cast<unsigned long long>(stats.sent),
+        static_cast<unsigned long long>(answered),
+        static_cast<unsigned long long>(stats.ok),
+        static_cast<unsigned long long>(stats.shed),
+        static_cast<unsigned long long>(stats.otherErrors),
+        static_cast<unsigned long long>(stats.mismatches),
+        static_cast<double>(answered) / elapsed_s, shed_rate,
+        percentileOf(&stats.latenciesUs, 50),
+        percentileOf(&stats.latenciesUs, 95),
+        percentileOf(&stats.latenciesUs, 99));
+    std::printf("%s\n}\n", server_metrics.c_str());
+
+    // The soak fails loudly if the differential guarantee broke or
+    // nothing got through.
+    if (stats.mismatches != 0 || stats.ok == 0)
+        return 1;
+    return 0;
+}

@@ -1,16 +1,22 @@
 /**
  * @file
- * Serving-mode demo: drive N requests through the concurrent
- * multi-isolate ExecutionService and print the pool metrics JSON.
+ * Serving-mode demo, in-process or over TCP.
  *
  * Usage:
  *   nomap_serve [--workers M] [--requests N] [--arch ARCH]
  *               [--timeout-ms T] [--no-cache] [--trace FILE]
+ *   nomap_serve --listen PORT [--shards S] [--shed-depth D] ...
+ *   nomap_serve --connect HOST:PORT [--requests N] [--arch ARCH]
+ *   nomap_serve --loopback [--shards S] [--requests N] ...
  *
- * The request mix cycles through the Shootout kernels (the same mix
- * bench/throughput_scaling uses), so repeated scripts exercise the
- * compiled-program cache while distinct ones keep the isolate pool
- * honest.
+ * Default mode drives N requests through the in-process
+ * ExecutionService and prints the pool metrics JSON. --listen serves
+ * the sharded pool over TCP until SIGINT/SIGTERM. --connect is the
+ * matching driver client: it sends the Shootout kernel mix, then
+ * checks every response bit-for-bit (result string, printed output,
+ * stats digest) against a sequential in-process Engine::run of the
+ * same source — the differential guarantee, asserted across the wire.
+ * --loopback runs both ends in one process as a self-test.
  *
  * --trace FILE enables per-request tracing (EngineConfig::
  * traceCapacity), writes the combined Chrome trace_event JSON of all
@@ -18,14 +24,22 @@
  * prints the abort-attribution report to stdout.
  */
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "engine/engine.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "service/engine_pool.h"
 #include "suites/shootout.h"
 #include "trace/trace.h"
@@ -56,8 +70,161 @@ usage()
         "                   [--arch base|nomap_s|nomap_b|nomap|"
         "nomap_bc|nomap_rtm]\n"
         "                   [--timeout-ms T] [--no-cache] "
-        "[--trace FILE]\n");
+        "[--trace FILE]\n"
+        "       nomap_serve --listen PORT [--shards S] "
+        "[--shed-depth D]\n"
+        "       nomap_serve --connect HOST:PORT [--requests N]\n"
+        "       nomap_serve --loopback [--shards S] [--requests N]\n");
     std::exit(1);
+}
+
+volatile std::sig_atomic_t gStopRequested = 0;
+
+void
+onSignal(int)
+{
+    gStopRequested = 1;
+}
+
+/**
+ * Drive @p num_requests of the kernel mix through a live server and
+ * verify each response bit-for-bit against a sequential in-process
+ * Engine::run. Returns the number of mismatches.
+ */
+size_t
+driveClient(const std::string &host, uint16_t port,
+            size_t num_requests, Architecture arch)
+{
+    const std::vector<ShootoutKernel> &kernels = shootoutSuite();
+
+    // Sequential in-process reference for the differential check.
+    struct Reference {
+        std::string resultString;
+        std::string printed;
+        WireResponse digest;
+    };
+    std::vector<Reference> refs;
+    refs.reserve(kernels.size());
+    for (const ShootoutKernel &kernel : kernels) {
+        EngineConfig config;
+        config.arch = arch;
+        Engine engine(config);
+        EngineResult r = engine.run(kernel.jsSource);
+        Response asResponse;
+        asResponse.stats = r.stats;
+        Reference ref;
+        ref.resultString = r.resultString;
+        ref.printed = r.printed;
+        ref.digest = responseToWire(asResponse);
+        refs.push_back(std::move(ref));
+    }
+
+    NetClient client;
+    client.connect(host, port);
+
+    // Pipeline everything, then collect; responses arrive in
+    // completion order and are matched back by id.
+    for (size_t i = 0; i < num_requests; ++i) {
+        WireRequest request;
+        request.id = i + 1;
+        request.arch = static_cast<uint8_t>(arch);
+        request.tenant = "tenant-" + std::to_string(i % 4);
+        request.source = kernels[i % kernels.size()].jsSource;
+        client.sendRequest(request);
+    }
+    std::map<uint64_t, WireResponse> byId;
+    for (size_t i = 0; i < num_requests; ++i) {
+        WireResponse response = client.recvResponse();
+        byId[response.id] = response;
+    }
+
+    size_t failed = 0;
+    for (size_t i = 0; i < num_requests; ++i) {
+        auto it = byId.find(i + 1);
+        if (it == byId.end()) {
+            std::fprintf(stderr, "request %zu: no response\n", i);
+            ++failed;
+            continue;
+        }
+        const WireResponse &got = it->second;
+        const Reference &ref = refs[i % kernels.size()];
+        if (got.status != static_cast<uint8_t>(ResponseStatus::Ok)) {
+            std::fprintf(stderr, "request %zu: status %u: %s\n", i,
+                         static_cast<unsigned>(got.status),
+                         got.error.c_str());
+            ++failed;
+            continue;
+        }
+        bool same = got.resultString == ref.resultString &&
+                    got.printed == ref.printed &&
+                    got.instructions == ref.digest.instructions &&
+                    got.checks == ref.digest.checks &&
+                    got.cyclesBits == ref.digest.cyclesBits &&
+                    got.txCommits == ref.digest.txCommits &&
+                    got.txAborts == ref.digest.txAborts &&
+                    got.deopts == ref.digest.deopts;
+        if (!same) {
+            std::fprintf(stderr,
+                         "request %zu: differs from in-process run "
+                         "(result %s want %s)\n",
+                         i, got.resultString.c_str(),
+                         ref.resultString.c_str());
+            ++failed;
+        }
+    }
+    std::printf("%zu/%zu responses bit-identical to in-process "
+                "execution\n",
+                num_requests - failed, num_requests);
+    return failed;
+}
+
+int
+serverMode(uint16_t port, size_t shards, size_t shed_depth,
+           size_t workers)
+{
+    ServerConfig config;
+    config.port = port;
+    config.service.shards = shards;
+    config.service.shedQueueDepth = shed_depth;
+    config.service.shard.workers = workers;
+    NoMapServer server(std::move(config));
+    server.start();
+    std::printf("listening on %s:%u (%zu shards, %s backend)\n",
+                server.config().bindHost.c_str(),
+                static_cast<unsigned>(server.port()), shards,
+                Poller::backendName());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    while (!gStopRequested)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    server.stop();
+    std::printf("%s\n", server.metricsJson().c_str());
+    return 0;
+}
+
+int
+loopbackMode(size_t shards, size_t shed_depth, size_t workers,
+             size_t num_requests, Architecture arch)
+{
+    ServerConfig config;
+    config.service.shards = shards;
+    config.service.shedQueueDepth = shed_depth;
+    config.service.shard.workers = workers;
+    NoMapServer server(std::move(config));
+    server.start();
+    std::printf("loopback server on port %u (%zu shards, %s "
+                "backend)\n",
+                static_cast<unsigned>(server.port()), shards,
+                Poller::backendName());
+
+    size_t failed =
+        driveClient("127.0.0.1", server.port(), num_requests, arch);
+    server.stop();
+    std::printf("%s\n", server.metricsJson().c_str());
+    return failed == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -67,9 +234,14 @@ main(int argc, char **argv)
 {
     size_t num_workers = 4;
     size_t num_requests = 24;
+    size_t num_shards = 2;
+    size_t shed_depth = 0;
     Architecture arch = Architecture::NoMap;
     uint64_t timeout_ms = 0;
     bool use_cache = true;
+    bool loopback = false;
+    int listen_port = -1;
+    std::string connect_to;
     std::string trace_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -83,12 +255,30 @@ main(int argc, char **argv)
             num_workers = std::strtoul(next().c_str(), nullptr, 10);
         } else if (flag == "--requests") {
             num_requests = std::strtoul(next().c_str(), nullptr, 10);
+        } else if (flag == "--shards") {
+            num_shards = std::strtoul(next().c_str(), nullptr, 10);
+        } else if (flag == "--shed-depth") {
+            shed_depth = std::strtoul(next().c_str(), nullptr, 10);
         } else if (flag == "--arch") {
             arch = parseArch(next());
         } else if (flag == "--timeout-ms") {
             timeout_ms = std::strtoull(next().c_str(), nullptr, 10);
         } else if (flag == "--no-cache") {
             use_cache = false;
+        } else if (flag == "--listen") {
+            listen_port =
+                static_cast<int>(std::strtoul(next().c_str(),
+                                              nullptr, 10));
+        } else if (flag.rfind("--listen=", 0) == 0) {
+            listen_port = static_cast<int>(std::strtoul(
+                flag.c_str() + std::strlen("--listen="), nullptr,
+                10));
+        } else if (flag == "--connect") {
+            connect_to = next();
+        } else if (flag.rfind("--connect=", 0) == 0) {
+            connect_to = flag.substr(std::strlen("--connect="));
+        } else if (flag == "--loopback") {
+            loopback = true;
         } else if (flag == "--trace") {
             trace_path = next();
         } else if (flag.rfind("--trace=", 0) == 0) {
@@ -96,6 +286,25 @@ main(int argc, char **argv)
         } else {
             usage();
         }
+    }
+
+    if (loopback) {
+        return loopbackMode(num_shards, shed_depth, num_workers,
+                            num_requests, arch);
+    }
+    if (listen_port >= 0) {
+        return serverMode(static_cast<uint16_t>(listen_port),
+                          num_shards, shed_depth, num_workers);
+    }
+    if (!connect_to.empty()) {
+        size_t colon = connect_to.rfind(':');
+        if (colon == std::string::npos)
+            usage();
+        std::string host = connect_to.substr(0, colon);
+        uint16_t port = static_cast<uint16_t>(std::strtoul(
+            connect_to.c_str() + colon + 1, nullptr, 10));
+        return driveClient(host, port, num_requests, arch) == 0 ? 0
+                                                                : 1;
     }
 
     ServiceConfig sc;

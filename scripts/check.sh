@@ -7,11 +7,13 @@
 #                        the perf-smoke label and the disabled-trace
 #                        wallclock envelope as explicit steps
 #   2. address+undefined — full suite under ASan+UBSan
-#   3. thread          — concurrency-, chaos-, and trace-labeled
+#   3. thread          — concurrency-, chaos-, trace-, and net-labeled
 #                        tests only under TSan (the rest is
 #                        single-threaded and just slows down 10x for
 #                        nothing; trace rides along because its
-#                        service-span tests cross threads)
+#                        service-span tests cross threads, net because
+#                        the server's event loop and shard workers
+#                        race by construction)
 #
 # Usage: scripts/check.sh [jobs]
 #
@@ -78,6 +80,13 @@ if worst > max_ns:
     sys.exit(f"wallclock envelope exceeded: {worst:.3f} > {max_ns}")
 PY
 
+step "1e/3 net label: wire codec + loopback differential + chaos"
+# Also covered by the full run; repeated by label so serving-stack
+# breakage (codec drift, router instability, a fault site that stops
+# being content-preserving) is its own CI signal.
+run env CTEST_OUTPUT_ON_FAILURE=1 \
+    ctest --test-dir build-check -j "$JOBS" -L net
+
 step "2/3 AddressSanitizer + UndefinedBehaviorSanitizer, full suite"
 run cmake -B build-check-asan -S . "-DNOMAP_SANITIZE=address;undefined"
 run cmake --build build-check-asan -j "$JOBS"
@@ -95,13 +104,13 @@ run env CTEST_OUTPUT_ON_FAILURE=1 \
     UBSAN_OPTIONS=print_stacktrace=1 \
     ctest --test-dir build-check-asan -L perf-smoke
 
-step "3/3 ThreadSanitizer, concurrency + chaos + trace labels"
+step "3/3 ThreadSanitizer, concurrency + chaos + trace + net labels"
 run cmake -B build-check-tsan -S . -DNOMAP_SANITIZE=thread
 run cmake --build build-check-tsan -j "$JOBS"
 run env CTEST_OUTPUT_ON_FAILURE=1 \
     TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-check-tsan -j "$JOBS" \
-    -L 'concurrency|chaos|trace'
+    -L 'concurrency|chaos|trace|net'
 
 step "3b/3 perf-smoke under TSan (report-only baseline diff)"
 run env CTEST_OUTPUT_ON_FAILURE=1 \

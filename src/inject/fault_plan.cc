@@ -35,6 +35,11 @@ constexpr SiteNameEntry kSiteNames[] = {
     {FaultSite::ServiceQueueFull, "service.queuefull"},
     {FaultSite::ServiceCancel, "service.cancel"},
     {FaultSite::ServiceRetry, "service.retry"},
+    {FaultSite::ServiceShardFull, "service.shardfull"},
+    {FaultSite::NetAccept, "net.accept"},
+    {FaultSite::NetRead, "net.read"},
+    {FaultSite::NetWrite, "net.write"},
+    {FaultSite::NetFrameDefer, "net.frame"},
 };
 
 std::string

@@ -57,6 +57,20 @@
  *                              chargeCycles cancellation poll
  *     service.retry@N          fail the N-th service execution
  *                              attempt with a transient error
+ *     service.shardfull@N      shed the N-th sharded-service
+ *                              admission as if the shard queue were
+ *                              over the shed threshold
+ *     net.accept@N             close the N-th accepted connection
+ *                              immediately (models accept()/fd
+ *                              failure; clients must reconnect)
+ *     net.read@N               clamp the N-th socket read to one byte
+ *                              (short read: frames arrive in pieces)
+ *     net.write@N              clamp the N-th socket write to one
+ *                              byte (short write: responses dribble)
+ *     net.frame@N              defer processing of the N-th decoded
+ *                              request frame by one poll cycle
+ *                              (models a slow client's request
+ *                              straggling in)
  *
  * Triggers are one-shot: each action fires at most once per injector.
  * Disarmed sites cost a single branch on a nullable pointer; an armed
@@ -99,10 +113,15 @@ enum class FaultSite : uint8_t {
     ServiceQueueFull,    ///< service.queuefull
     ServiceCancel,       ///< service.cancel
     ServiceRetry,        ///< service.retry
+    ServiceShardFull,    ///< service.shardfull
+    NetAccept,           ///< net.accept
+    NetRead,             ///< net.read
+    NetWrite,            ///< net.write
+    NetFrameDefer,       ///< net.frame
 };
 
 constexpr size_t kNumFaultSites =
-    static_cast<size_t>(FaultSite::ServiceRetry) + 1;
+    static_cast<size_t>(FaultSite::NetFrameDefer) + 1;
 
 /** Canonical grammar name of a site ("htm.abort", "check.bounds"...). */
 const char *faultSiteName(FaultSite site);

@@ -1,0 +1,126 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/logging.h"
+
+namespace nomap {
+
+NetClient::~NetClient()
+{
+    close();
+}
+
+void
+NetClient::connect(const std::string &host, uint16_t port)
+{
+    close();
+    fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("socket() failed: %s", std::strerror(errno));
+
+    sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        close();
+        fatal("bad address '%s'", host.c_str());
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int err = errno;
+        close();
+        fatal("connect to %s:%u failed: %s", host.c_str(),
+              static_cast<unsigned>(port), std::strerror(err));
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    decoder = FrameDecoder();
+}
+
+void
+NetClient::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+void
+NetClient::sendRequest(const WireRequest &request)
+{
+    sendBytes(frameMessage(encodeRequestPayload(request)));
+}
+
+void
+NetClient::sendBytes(const std::string &bytes)
+{
+    if (fd < 0)
+        fatal("NetClient: send on a closed connection");
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t n = ::send(fd, bytes.data() + sent,
+                           bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            close();
+            fatal("NetClient: send failed: %s", std::strerror(err));
+        }
+        sent += static_cast<size_t>(n);
+    }
+}
+
+WireResponse
+NetClient::recvResponse()
+{
+    if (fd < 0)
+        fatal("NetClient: recv on a closed connection");
+    for (;;) {
+        std::string payload, error;
+        FrameDecoder::Result result = decoder.next(&payload, &error);
+        if (result == FrameDecoder::Result::Error) {
+            close();
+            fatal("NetClient: protocol error: %s", error.c_str());
+        }
+        if (result == FrameDecoder::Result::Frame) {
+            WireResponse response;
+            if (!decodeResponsePayload(payload, &response, &error)) {
+                close();
+                fatal("NetClient: bad response payload: %s",
+                      error.c_str());
+            }
+            return response;
+        }
+        char buf[64 * 1024];
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0) {
+            decoder.feed(buf, static_cast<size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        int err = n < 0 ? errno : 0;
+        close();
+        if (n == 0)
+            fatal("NetClient: connection closed by server");
+        fatal("NetClient: read failed: %s", std::strerror(err));
+    }
+}
+
+WireResponse
+NetClient::call(const WireRequest &request)
+{
+    sendRequest(request);
+    return recvResponse();
+}
+
+} // namespace nomap

@@ -1,0 +1,65 @@
+#ifndef NOMAP_NET_CLIENT_H
+#define NOMAP_NET_CLIENT_H
+
+/**
+ * @file
+ * NetClient: a small blocking client for the NoMap wire protocol.
+ *
+ * One TCP connection, synchronous framing: sendRequest() writes one
+ * framed request, recvResponse() blocks until one complete response
+ * frame arrives. Pipelining works — send N requests, then receive N
+ * responses; the server answers in completion order, matched by id.
+ * Errors (connect failure, peer EOF mid-frame, protocol violations)
+ * throw FatalError; this is the test/driver client, not a resilient
+ * production SDK — the event-loop client lives in bench/soak.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "net/wire.h"
+
+namespace nomap {
+
+class NetClient
+{
+  public:
+    NetClient() = default;
+    ~NetClient();
+
+    NetClient(const NetClient &) = delete;
+    NetClient &operator=(const NetClient &) = delete;
+
+    /** Connect to host:port (IPv4 dotted quad). Throws FatalError. */
+    void connect(const std::string &host, uint16_t port);
+
+    void close();
+
+    bool connected() const { return fd >= 0; }
+
+    /** Frame and send one request. Throws FatalError on I/O error. */
+    void sendRequest(const WireRequest &request);
+
+    /**
+     * Send raw bytes verbatim — no framing. Lets tests drive the
+     * server with truncated or hostile byte streams.
+     */
+    void sendBytes(const std::string &bytes);
+
+    /**
+     * Block until one complete response frame arrives and decode it.
+     * Throws FatalError on EOF, I/O error, or protocol error.
+     */
+    WireResponse recvResponse();
+
+    /** sendRequest + recvResponse. */
+    WireResponse call(const WireRequest &request);
+
+  private:
+    int fd = -1;
+    FrameDecoder decoder;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_NET_CLIENT_H

@@ -1,0 +1,196 @@
+#include "net/poller.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+#if NOMAP_EPOLL
+#include <sys/epoll.h>
+#endif
+
+#include "support/logging.h"
+
+namespace nomap {
+
+#if NOMAP_EPOLL
+
+namespace {
+
+uint32_t
+toEpoll(uint32_t interest)
+{
+    uint32_t events = 0;
+    if (interest & kPollIn)
+        events |= EPOLLIN;
+    if (interest & kPollOut)
+        events |= EPOLLOUT;
+    return events;
+}
+
+} // namespace
+
+Poller::Poller()
+{
+    epollFd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epollFd < 0)
+        fatal("epoll_create1: %s", std::strerror(errno));
+}
+
+Poller::~Poller()
+{
+    if (epollFd >= 0)
+        ::close(epollFd);
+}
+
+void
+Poller::add(int fd, uint32_t mask)
+{
+    epoll_event ev{};
+    ev.events = toEpoll(mask);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0)
+        fatal("epoll_ctl(ADD, %d): %s", fd, std::strerror(errno));
+    interest[fd] = mask;
+}
+
+void
+Poller::modify(int fd, uint32_t mask)
+{
+    epoll_event ev{};
+    ev.events = toEpoll(mask);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epollFd, EPOLL_CTL_MOD, fd, &ev) != 0)
+        fatal("epoll_ctl(MOD, %d): %s", fd, std::strerror(errno));
+    interest[fd] = mask;
+}
+
+void
+Poller::remove(int fd)
+{
+    if (::epoll_ctl(epollFd, EPOLL_CTL_DEL, fd, nullptr) != 0)
+        fatal("epoll_ctl(DEL, %d): %s", fd, std::strerror(errno));
+    interest.erase(fd);
+}
+
+void
+Poller::clear()
+{
+    for (const auto &entry : interest)
+        ::epoll_ctl(epollFd, EPOLL_CTL_DEL, entry.first, nullptr);
+    interest.clear();
+}
+
+size_t
+Poller::wait(std::vector<Event> *out, int timeout_ms)
+{
+    out->clear();
+    std::vector<epoll_event> ready(
+        interest.empty() ? 1 : interest.size());
+    int n = ::epoll_wait(epollFd, ready.data(),
+                         static_cast<int>(ready.size()), timeout_ms);
+    if (n < 0) {
+        if (errno == EINTR)
+            return 0;
+        fatal("epoll_wait: %s", std::strerror(errno));
+    }
+    out->reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        Event event;
+        event.fd = ready[static_cast<size_t>(i)].data.fd;
+        uint32_t bits = ready[static_cast<size_t>(i)].events;
+        if (bits & (EPOLLIN | EPOLLERR | EPOLLHUP))
+            event.ready |= kPollIn;
+        if (bits & EPOLLOUT)
+            event.ready |= kPollOut;
+        if (event.ready)
+            out->push_back(event);
+    }
+    return out->size();
+}
+
+const char *
+Poller::backendName()
+{
+    return "epoll";
+}
+
+#else // portable poll(2) backend
+
+Poller::Poller() = default;
+
+Poller::~Poller() = default;
+
+void
+Poller::add(int fd, uint32_t mask)
+{
+    interest[fd] = mask;
+}
+
+void
+Poller::modify(int fd, uint32_t mask)
+{
+    auto it = interest.find(fd);
+    if (it == interest.end())
+        fatal("poll backend: modify of unwatched fd %d", fd);
+    it->second = mask;
+}
+
+void
+Poller::remove(int fd)
+{
+    if (interest.erase(fd) == 0)
+        fatal("poll backend: remove of unwatched fd %d", fd);
+}
+
+void
+Poller::clear()
+{
+    interest.clear();
+}
+
+size_t
+Poller::wait(std::vector<Event> *out, int timeout_ms)
+{
+    out->clear();
+    std::vector<pollfd> fds;
+    fds.reserve(interest.size());
+    for (const auto &entry : interest) {
+        pollfd p{};
+        p.fd = entry.first;
+        if (entry.second & kPollIn)
+            p.events |= POLLIN;
+        if (entry.second & kPollOut)
+            p.events |= POLLOUT;
+        fds.push_back(p);
+    }
+    int n = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (n < 0) {
+        if (errno == EINTR)
+            return 0;
+        fatal("poll: %s", std::strerror(errno));
+    }
+    for (const pollfd &p : fds) {
+        if (p.revents == 0)
+            continue;
+        Event event;
+        event.fd = p.fd;
+        if (p.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL))
+            event.ready |= kPollIn;
+        if (p.revents & POLLOUT)
+            event.ready |= kPollOut;
+        if (event.ready)
+            out->push_back(event);
+    }
+    return out->size();
+}
+
+const char *
+Poller::backendName()
+{
+    return "poll";
+}
+
+#endif
+
+} // namespace nomap

@@ -1,0 +1,92 @@
+#ifndef NOMAP_NET_POLLER_H
+#define NOMAP_NET_POLLER_H
+
+/**
+ * @file
+ * Readiness multiplexing behind one small interface.
+ *
+ * The server and the soak client both run single-threaded event
+ * loops over hundreds-to-thousands of nonblocking sockets; this class
+ * hides which kernel facility watches them. Two backends, selected at
+ * configure time by the CMake probe (same pattern as computed-goto
+ * dispatch):
+ *
+ *  - **epoll** (NOMAP_EPOLL): O(ready) waits, the right choice for
+ *    thousands of mostly-idle connections.
+ *  - **portable poll(2)**: rebuilds the pollfd array per wait —
+ *    O(watched) — but works on any POSIX system; forced with
+ *    -DNOMAP_PORTABLE_POLL=ON so CI can keep it honest on Linux too.
+ *
+ * Semantics are the intersection of the two: level-triggered
+ * readiness, one interest mask per fd, error/hangup folded into
+ * readability (the subsequent read() observes EOF or the error, which
+ * is the single code path the server wants).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace nomap {
+
+/** Interest/readiness bits (level-triggered). */
+enum : uint32_t {
+    kPollIn = 1u << 0,  ///< Readable (or EOF/error pending).
+    kPollOut = 1u << 1, ///< Writable.
+};
+
+class Poller
+{
+  public:
+    /** One ready fd from wait(). */
+    struct Event {
+        int fd = -1;
+        uint32_t ready = 0; ///< kPollIn / kPollOut bits.
+    };
+
+    /** Throws FatalError if the backend cannot be set up. */
+    Poller();
+    ~Poller();
+
+    Poller(const Poller &) = delete;
+    Poller &operator=(const Poller &) = delete;
+
+    /** Watch @p fd for @p interest (kPollIn/kPollOut mask). */
+    void add(int fd, uint32_t interest);
+
+    /** Replace the interest mask of a watched fd. */
+    void modify(int fd, uint32_t interest);
+
+    /** Stop watching @p fd (must precede close() of the fd). */
+    void remove(int fd);
+
+    /**
+     * Drop every watched fd (best effort — fds may already be
+     * closed). Teardown helper.
+     */
+    void clear();
+
+    /**
+     * Block up to @p timeout_ms (-1 = indefinitely) for readiness.
+     * Clears and fills @p out; returns the number of ready fds.
+     * EINTR is absorbed (returns 0).
+     */
+    size_t wait(std::vector<Event> *out, int timeout_ms);
+
+    size_t watchedCount() const { return interest.size(); }
+
+    /** "epoll" or "poll" — which backend this build selected. */
+    static const char *backendName();
+
+  private:
+    /** fd -> interest mask; source of truth for both backends. */
+    std::map<int, uint32_t> interest;
+#if NOMAP_EPOLL
+    int epollFd = -1;
+#endif
+};
+
+} // namespace nomap
+
+#endif // NOMAP_NET_POLLER_H

@@ -1,0 +1,483 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/logging.h"
+
+namespace nomap {
+
+namespace {
+
+void
+setNonBlocking(int fd)
+{
+    int flags = fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        fatal("fcntl(O_NONBLOCK) failed: %s", std::strerror(errno));
+}
+
+void
+setCloexec(int fd)
+{
+    fcntl(fd, F_SETFD, FD_CLOEXEC);
+}
+
+} // namespace
+
+NoMapServer::NoMapServer(ServerConfig config)
+    : cfg(std::move(config))
+{
+    const FaultPlan *plan = cfg.faultPlan;
+    if (!plan) {
+        if (std::optional<FaultPlan> env = FaultPlan::fromEnv()) {
+            envPlan = std::make_unique<FaultPlan>(std::move(*env));
+            plan = envPlan.get();
+        }
+    }
+    if (plan && !plan->empty())
+        injector = std::make_unique<FaultInjector>(*plan);
+
+    // One resolved plan drives the whole stack: the net.* sites here,
+    // service.shardfull at the router, service.* inside each shard.
+    ShardedServiceConfig serviceCfg = cfg.service;
+    if (!serviceCfg.faultPlan)
+        serviceCfg.faultPlan = plan;
+    sharded = std::make_unique<ShardedService>(std::move(serviceCfg));
+}
+
+NoMapServer::~NoMapServer()
+{
+    stop();
+}
+
+void
+NoMapServer::start()
+{
+    if (loopThread.joinable())
+        return;
+    stopFlag.store(false, std::memory_order_relaxed);
+
+    listenFd = socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        fatal("socket() failed: %s", std::strerror(errno));
+    setCloexec(listenFd);
+    int one = 1;
+    setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg.port);
+    if (inet_pton(AF_INET, cfg.bindHost.c_str(), &addr.sin_addr) != 1) {
+        close(listenFd);
+        listenFd = -1;
+        fatal("bad bind address '%s'", cfg.bindHost.c_str());
+    }
+    if (bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+             sizeof(addr)) < 0 ||
+        listen(listenFd, cfg.backlog) < 0) {
+        int err = errno;
+        close(listenFd);
+        listenFd = -1;
+        fatal("bind/listen on %s:%u failed: %s", cfg.bindHost.c_str(),
+              static_cast<unsigned>(cfg.port), std::strerror(err));
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr), &len);
+    boundPort = ntohs(addr.sin_port);
+    setNonBlocking(listenFd);
+
+    int pipefd[2];
+    if (pipe(pipefd) < 0) {
+        close(listenFd);
+        listenFd = -1;
+        fatal("pipe() failed: %s", std::strerror(errno));
+    }
+    wakeR = pipefd[0];
+    wakeW = pipefd[1];
+    setNonBlocking(wakeR);
+    setNonBlocking(wakeW);
+    setCloexec(wakeR);
+    setCloexec(wakeW);
+
+    poller.add(listenFd, kPollIn);
+    poller.add(wakeR, kPollIn);
+
+    loopThread = std::thread([this] { loopMain(); });
+}
+
+void
+NoMapServer::stop()
+{
+    if (!loopThread.joinable())
+        return;
+    stopFlag.store(true, std::memory_order_release);
+    ssize_t ignored = write(wakeW, "x", 1);
+    (void)ignored;
+    loopThread.join();
+
+    // Drain the back-end *before* tearing down the completion plumbing:
+    // worker callbacks append completions and poke wakeW until every
+    // in-flight request has resolved.
+    sharded->shutdown();
+
+    for (auto &entry : conns) {
+        close(entry.second->fd);
+        closed.fetch_add(1, std::memory_order_relaxed);
+    }
+    conns.clear();
+    connsById.clear();
+    poller.clear();
+    close(listenFd);
+    close(wakeR);
+    close(wakeW);
+    listenFd = wakeR = wakeW = -1;
+    {
+        std::lock_guard<std::mutex> lock(completionMutex);
+        completions.clear();
+    }
+    loopThread = std::thread();
+}
+
+NetConnectionCounters
+NoMapServer::connectionCounters() const
+{
+    NetConnectionCounters c;
+    c.accepted = accepted.load(std::memory_order_relaxed);
+    c.closed = closed.load(std::memory_order_relaxed);
+    c.active = c.accepted - c.closed;
+    c.acceptFaults = acceptFaults.load(std::memory_order_relaxed);
+    c.readErrors = readErrors.load(std::memory_order_relaxed);
+    c.writeErrors = writeErrors.load(std::memory_order_relaxed);
+    c.decodeErrors = decodeErrors.load(std::memory_order_relaxed);
+    c.framesIn = framesIn.load(std::memory_order_relaxed);
+    c.framesOut = framesOut.load(std::memory_order_relaxed);
+    c.deferredFrames = deferredFrames.load(std::memory_order_relaxed);
+    c.bytesIn = bytesIn.load(std::memory_order_relaxed);
+    c.bytesOut = bytesOut.load(std::memory_order_relaxed);
+    return c;
+}
+
+ShardedMetricsSnapshot
+NoMapServer::metrics() const
+{
+    ShardedMetricsSnapshot snap = sharded->metrics();
+    snap.connections = connectionCounters();
+    return snap;
+}
+
+// ---- Event loop --------------------------------------------------------
+
+void
+NoMapServer::loopMain()
+{
+    std::vector<Poller::Event> events;
+    while (!stopFlag.load(std::memory_order_acquire)) {
+        // Deferred frames (net.frame) are replayed next cycle, so cap
+        // the wait whenever any exist; otherwise sleep long — every
+        // state change that matters pokes the self-pipe or a socket.
+        bool hasDeferred = false;
+        for (auto &entry : conns) {
+            if (!entry.second->deferred.empty()) {
+                hasDeferred = true;
+                break;
+            }
+        }
+        poller.wait(&events, hasDeferred ? 10 : 500);
+
+        for (const Poller::Event &event : events) {
+            if (event.fd == listenFd) {
+                handleAccept();
+                continue;
+            }
+            if (event.fd == wakeR) {
+                char buf[256];
+                while (read(wakeR, buf, sizeof(buf)) > 0) {
+                }
+                continue;
+            }
+            auto it = conns.find(event.fd);
+            if (it == conns.end())
+                continue; // Closed earlier this batch.
+            Conn *conn = it->second.get();
+            if (event.ready & kPollIn)
+                handleReadable(conn);
+            // Re-check: the read side may have closed the conn.
+            if (conns.count(event.fd) && (event.ready & kPollOut))
+                handleWritable(conn);
+        }
+
+        drainCompletions();
+
+        // Replay frames net.frame held back one cycle.
+        std::vector<std::pair<uint64_t, std::string>> replay;
+        for (auto &entry : conns) {
+            Conn *conn = entry.second.get();
+            for (std::string &payload : conn->deferred)
+                replay.emplace_back(conn->id, std::move(payload));
+            conn->deferred.clear();
+        }
+        for (auto &[id, payload] : replay) {
+            if (Conn *conn = connById(id))
+                processFrame(conn, std::move(payload));
+        }
+    }
+}
+
+void
+NoMapServer::handleAccept()
+{
+    for (;;) {
+        int fd = accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            // Transient resource exhaustion (EMFILE & co): count it
+            // and keep serving the connections we already have.
+            acceptFaults.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        // Injected accept failure: the kernel handed us a socket but
+        // the server "fails" it — closed before any byte is served.
+        if (injector && injector->fire(FaultSite::NetAccept)) {
+            acceptFaults.fetch_add(1, std::memory_order_relaxed);
+            close(fd);
+            continue;
+        }
+        if (conns.size() >= cfg.maxConnections) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+            closed.fetch_add(1, std::memory_order_relaxed);
+            close(fd);
+            continue;
+        }
+        setNonBlocking(fd);
+        setCloexec(fd);
+        int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conn->id = nextConnId++;
+        connsById[conn->id] = conn.get();
+        poller.add(fd, kPollIn);
+        conns[fd] = std::move(conn);
+        accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+NoMapServer::handleReadable(Conn *conn)
+{
+    // A closing connection (poisoned decoder) is flush-only: don't
+    // read more input, and don't report the same protocol error twice.
+    if (conn->closing)
+        return;
+    for (;;) {
+        char buf[64 * 1024];
+        size_t want = sizeof(buf);
+        // Injected short read: deliver one byte this syscall. The
+        // stream content is unchanged — only its arrival granularity —
+        // so responses must still be bit-identical.
+        if (injector && injector->fire(FaultSite::NetRead))
+            want = 1;
+        ssize_t n = read(conn->fd, buf, want);
+        if (n > 0) {
+            bytesIn.fetch_add(static_cast<uint64_t>(n),
+                              std::memory_order_relaxed);
+            conn->decoder.feed(buf, static_cast<size_t>(n));
+            if (want == 1)
+                break; // One byte per poll cycle while the fault arms.
+            if (static_cast<size_t>(n) < want)
+                break; // Drained the socket.
+            continue;
+        }
+        if (n == 0) { // Peer closed.
+            closeConn(conn);
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        readErrors.fetch_add(1, std::memory_order_relaxed);
+        closeConn(conn);
+        return;
+    }
+
+    // Pull every complete frame out of the decoder.
+    for (;;) {
+        std::string payload, error;
+        FrameDecoder::Result result =
+            conn->decoder.next(&payload, &error);
+        if (result == FrameDecoder::Result::NeedMore)
+            break;
+        if (result == FrameDecoder::Result::Error) {
+            // Unresynchronizable: answer with one error frame, then
+            // close once it flushes.
+            decodeErrors.fetch_add(1, std::memory_order_relaxed);
+            WireResponse wire;
+            wire.status = static_cast<uint8_t>(ResponseStatus::Error);
+            wire.error = "protocol error: " + error;
+            queueResponse(conn, wire);
+            conn->closing = true;
+            flushConn(conn);
+            return;
+        }
+        framesIn.fetch_add(1, std::memory_order_relaxed);
+        // Injected frame deferral: hold the decoded frame one poll
+        // cycle. Ordering within the connection is preserved (the
+        // replay queue is FIFO), so responses stay deterministic.
+        if (injector && injector->fire(FaultSite::NetFrameDefer)) {
+            deferredFrames.fetch_add(1, std::memory_order_relaxed);
+            conn->deferred.push_back(std::move(payload));
+            continue;
+        }
+        processFrame(conn, std::move(payload));
+        if (!connById(conn->id))
+            return; // processFrame closed it.
+    }
+}
+
+void
+NoMapServer::processFrame(Conn *conn, std::string payload)
+{
+    WireRequest wire;
+    std::string error;
+    Request request;
+    if (!decodeRequestPayload(payload, &wire, &error) ||
+        !wireToRequest(wire, &request, &error)) {
+        // Malformed request *payload* (framing was fine): the stream
+        // is still in sync, so answer Error and keep the connection.
+        decodeErrors.fetch_add(1, std::memory_order_relaxed);
+        WireResponse response;
+        response.id = wire.id;
+        response.status = static_cast<uint8_t>(ResponseStatus::Error);
+        response.error = "bad request: " + error;
+        queueResponse(conn, response);
+        flushConn(conn);
+        return;
+    }
+    request.connectionId = conn->id;
+    conn->pending++;
+
+    uint64_t connId = conn->id;
+    sharded->submitAsync(
+        std::move(request), [this, connId](Response response) {
+            // Worker thread (or the loop thread itself when shed
+            // inline): encode here, hand the loop finished bytes.
+            std::string frame =
+                frameMessage(encodeResponsePayload(
+                    responseToWire(response)));
+            {
+                std::lock_guard<std::mutex> lock(completionMutex);
+                completions.emplace_back(connId, std::move(frame));
+            }
+            ssize_t ignored = write(wakeW, "x", 1);
+            (void)ignored;
+        });
+}
+
+void
+NoMapServer::drainCompletions()
+{
+    std::vector<std::pair<uint64_t, std::string>> batch;
+    {
+        std::lock_guard<std::mutex> lock(completionMutex);
+        batch.swap(completions);
+    }
+    for (auto &[connId, frame] : batch) {
+        Conn *conn = connById(connId);
+        if (!conn)
+            continue; // Peer vanished before its response landed.
+        if (conn->pending > 0)
+            conn->pending--;
+        conn->outbuf.append(frame);
+        framesOut.fetch_add(1, std::memory_order_relaxed);
+        flushConn(conn);
+    }
+}
+
+void
+NoMapServer::queueResponse(Conn *conn, const WireResponse &wire)
+{
+    conn->outbuf.append(frameMessage(encodeResponsePayload(wire)));
+    framesOut.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+NoMapServer::handleWritable(Conn *conn)
+{
+    flushConn(conn);
+}
+
+void
+NoMapServer::flushConn(Conn *conn)
+{
+    while (conn->outPos < conn->outbuf.size()) {
+        size_t remaining = conn->outbuf.size() - conn->outPos;
+        // Injected short write: one byte per syscall. Content and
+        // order are unchanged; only packetization degrades.
+        if (injector && injector->fire(FaultSite::NetWrite))
+            remaining = 1;
+        ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->outPos,
+                           remaining, MSG_NOSIGNAL);
+        if (n > 0) {
+            conn->outPos += static_cast<size_t>(n);
+            bytesOut.fetch_add(static_cast<uint64_t>(n),
+                               std::memory_order_relaxed);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        if (n < 0 && errno == EINTR)
+            continue;
+        writeErrors.fetch_add(1, std::memory_order_relaxed);
+        closeConn(conn);
+        return;
+    }
+    if (conn->outPos == conn->outbuf.size()) {
+        conn->outbuf.clear();
+        conn->outPos = 0;
+        if (conn->closing && conn->pending == 0) {
+            closeConn(conn);
+            return;
+        }
+    }
+    updateWriteInterest(conn);
+}
+
+void
+NoMapServer::updateWriteInterest(Conn *conn)
+{
+    uint32_t want = kPollIn;
+    if (conn->outPos < conn->outbuf.size())
+        want |= kPollOut;
+    poller.modify(conn->fd, want);
+}
+
+void
+NoMapServer::closeConn(Conn *conn)
+{
+    poller.remove(conn->fd);
+    close(conn->fd);
+    connsById.erase(conn->id);
+    conns.erase(conn->fd); // Destroys *conn.
+    closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+NoMapServer::Conn *
+NoMapServer::connById(uint64_t id)
+{
+    auto it = connsById.find(id);
+    return it == connsById.end() ? nullptr : it->second;
+}
+
+} // namespace nomap

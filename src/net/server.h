@@ -1,0 +1,171 @@
+#ifndef NOMAP_NET_SERVER_H
+#define NOMAP_NET_SERVER_H
+
+/**
+ * @file
+ * NoMapServer: a TCP front-end over ShardedService.
+ *
+ * Architecture: one event-loop thread owns every socket (accept, read,
+ * decode, write); execution happens on the sharded service's worker
+ * threads. The two meet at exactly one seam — workers encode the
+ * finished response, append it to a mutex-protected completion queue
+ * keyed by *connection id* (never by fd, which the kernel recycles),
+ * and poke a self-pipe so the loop wakes and flushes. The loop never
+ * blocks on execution; workers never touch a socket. That single
+ * seam is what keeps the whole stack TSan-clean.
+ *
+ * Robustness mirrors the engine's HTM discipline — bounded work, then
+ * graceful degradation: oversized frames poison the connection (a
+ * length-prefixed stream cannot be resynchronized), per-request
+ * decode errors answer with a status=Error frame instead of killing
+ * the stream, admission control sheds with status=Shed, and the
+ * net.accept / net.read / net.write / net.frame fault sites let the
+ * chaos suite drive every one of those paths deterministically.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "inject/fault_plan.h"
+#include "net/poller.h"
+#include "net/wire.h"
+#include "service/metrics.h"
+#include "service/sharded_service.h"
+
+namespace nomap {
+
+/** Tuning for NoMapServer. */
+struct ServerConfig {
+    /** Address to bind ("127.0.0.1"; use "0.0.0.0" to serve out). */
+    std::string bindHost = "127.0.0.1";
+    /** TCP port; 0 picks an ephemeral port (read it via port()). */
+    uint16_t port = 0;
+    /** listen(2) backlog. */
+    int backlog = 128;
+    /** Hard cap on concurrent connections; excess are closed. */
+    size_t maxConnections = 4096;
+    /** The sharded execution back-end. */
+    ShardedServiceConfig service;
+    /**
+     * Fault plan for net.* sites. Must outlive the server; when null,
+     * NOMAP_FAULT_PLAN is consulted. The resolved plan is also handed
+     * to the sharded service unless service.faultPlan is already set.
+     */
+    const FaultPlan *faultPlan = nullptr;
+};
+
+/** TCP server fronting ShardedService (see file comment). */
+class NoMapServer
+{
+  public:
+    explicit NoMapServer(ServerConfig config = ServerConfig());
+    ~NoMapServer();
+
+    NoMapServer(const NoMapServer &) = delete;
+    NoMapServer &operator=(const NoMapServer &) = delete;
+
+    /**
+     * Bind, listen, and start the event-loop thread. Throws
+     * FatalError when the address cannot be bound. Idempotent once
+     * running.
+     */
+    void start();
+
+    /** Stop accepting, drain execution, join the loop. Idempotent. */
+    void stop();
+
+    /** The bound TCP port (after start()); 0 before. */
+    uint16_t port() const { return boundPort; }
+
+    bool running() const { return loopThread.joinable(); }
+
+    /** The back-end (tests reach through for shard-level asserts). */
+    ShardedService &service() { return *sharded; }
+
+    /** Connection-layer counters (monotonic since start). */
+    NetConnectionCounters connectionCounters() const;
+
+    /** Full snapshot: shards + router + live connection counters. */
+    ShardedMetricsSnapshot metrics() const;
+    std::string metricsJson() const { return metrics().toJson(); }
+
+    const ServerConfig &config() const { return cfg; }
+
+  private:
+    /** Per-connection state; owned by the event loop. */
+    struct Conn {
+        int fd = -1;
+        uint64_t id = 0;
+        FrameDecoder decoder;
+        /** Encoded-but-unsent bytes (outPos = sent prefix). */
+        std::string outbuf;
+        size_t outPos = 0;
+        /** Requests submitted but not yet answered on this conn. */
+        size_t pending = 0;
+        /** Close once outbuf drains and pending hits zero. */
+        bool closing = false;
+        /** Frames held back one poll cycle by net.frame. */
+        std::vector<std::string> deferred;
+    };
+
+    void loopMain();
+    void handleAccept();
+    void handleReadable(Conn *conn);
+    void handleWritable(Conn *conn);
+    void processFrame(Conn *conn, std::string payload);
+    void drainCompletions();
+    void queueResponse(Conn *conn, const WireResponse &wire);
+    void flushConn(Conn *conn);
+    void updateWriteInterest(Conn *conn);
+    void closeConn(Conn *conn);
+    Conn *connById(uint64_t id);
+
+    ServerConfig cfg;
+    /** Plan captured from NOMAP_FAULT_PLAN when cfg.faultPlan null. */
+    std::unique_ptr<FaultPlan> envPlan;
+    /** Injector for the net.* sites (event-loop thread only). */
+    std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<ShardedService> sharded;
+
+    Poller poller;
+    int listenFd = -1;
+    int wakeR = -1; ///< Self-pipe read end (in the poll set).
+    int wakeW = -1; ///< Self-pipe write end (workers poke this).
+    uint16_t boundPort = 0;
+    std::thread loopThread;
+    std::atomic<bool> stopFlag{false};
+
+    /** fd -> connection (loop thread only). */
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;
+    /** id -> connection; completions resolve through this, never fd. */
+    std::unordered_map<uint64_t, Conn *> connsById;
+    uint64_t nextConnId = 1; ///< 0 is the in-process sentinel.
+
+    /** Worker -> loop handoff: (connection id, encoded frame). */
+    std::mutex completionMutex;
+    std::vector<std::pair<uint64_t, std::string>> completions;
+
+    // ---- Counters (relaxed atomics; snapshotted for metrics) -----------
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> closed{0};
+    std::atomic<uint64_t> acceptFaults{0};
+    std::atomic<uint64_t> readErrors{0};
+    std::atomic<uint64_t> writeErrors{0};
+    std::atomic<uint64_t> decodeErrors{0};
+    std::atomic<uint64_t> framesIn{0};
+    std::atomic<uint64_t> framesOut{0};
+    std::atomic<uint64_t> deferredFrames{0};
+    std::atomic<uint64_t> bytesIn{0};
+    std::atomic<uint64_t> bytesOut{0};
+};
+
+} // namespace nomap
+
+#endif // NOMAP_NET_SERVER_H

@@ -15,7 +15,7 @@ EnginePool::EnginePool(size_t max_idle_per_config)
 }
 
 std::string
-EnginePool::keyOf(const EngineConfig &config)
+engineConfigKey(const EngineConfig &config)
 {
     // traceCapacity is part of the identity: a shelved traceless
     // isolate must never serve a request that expects a trace buffer.
@@ -37,7 +37,7 @@ EnginePool::acquire(const EngineConfig &config)
 {
     {
         std::lock_guard<std::mutex> lock(mutex);
-        auto it = idle.find(keyOf(config));
+        auto it = idle.find(engineConfigKey(config));
         if (it != idle.end() && !it->second.empty()) {
             std::unique_ptr<Engine> engine =
                 std::move(it->second.back());
@@ -60,7 +60,7 @@ EnginePool::release(std::unique_ptr<Engine> engine)
     engine->setProgramCache(nullptr);
     engine->setCancelFlag(nullptr);
     std::lock_guard<std::mutex> lock(mutex);
-    auto &shelf = idle[keyOf(engine->config())];
+    auto &shelf = idle[engineConfigKey(engine->config())];
     if (shelf.size() < maxIdlePerConfig) {
         shelf.push_back(std::move(engine));
     } else {
@@ -165,17 +165,14 @@ ExecutionService::trySubmit(Request request)
     return enqueue(std::move(request), /*block=*/false);
 }
 
-std::future<Response>
-ExecutionService::enqueue(Request request, bool block)
+bool
+ExecutionService::pushJob(Job &&job, bool block, Response *rejection)
 {
-    if (request.id == 0) {
-        request.id =
+    if (job.request.id == 0) {
+        job.request.id =
             nextRequestId.fetch_add(1, std::memory_order_relaxed);
     }
-    Job job;
-    job.request = std::move(request);
     job.enqueuedUs = nowUs();
-    std::future<Response> future = job.promise.get_future();
     {
         std::lock_guard<std::mutex> lock(metricsMutex);
         ++submitted;
@@ -185,30 +182,71 @@ ExecutionService::enqueue(Request request, bool block)
     bool accepted = !injected_reject &&
                     (block ? queue.push(std::move(job))
                            : queue.tryPush(std::move(job)));
-    if (!accepted) {
-        // The failed (or skipped) push left the job unmoved: reject
-        // in place.
-        Response response;
-        response.id = job.request.id;
-        if (injected_reject) {
-            response.status = ResponseStatus::QueueFull;
-            response.error = "request queue full (injected fault)";
-        } else if (queue.closed()) {
-            response.status = ResponseStatus::Shutdown;
-            response.error = "service is shutting down";
-        } else {
-            response.status = ResponseStatus::QueueFull;
-            response.error = strprintf(
-                "request queue full (capacity %llu)",
-                static_cast<unsigned long long>(queue.capacity()));
-        }
-        {
-            std::lock_guard<std::mutex> lock(metricsMutex);
-            ++rejected;
-        }
-        job.promise.set_value(std::move(response));
+    if (accepted) {
+        // High-water mark of the queue depth: the admission-control
+        // signal the shed policy keys on. size() right after the push
+        // may already include later pushes, which only ever raises
+        // the mark — fine for a maximum.
+        uint64_t depth = queue.size();
+        std::lock_guard<std::mutex> lock(metricsMutex);
+        if (depth > queueDepthHighWater)
+            queueDepthHighWater = depth;
+        return true;
+    }
+    // The failed (or skipped) push left the job unmoved: reject in
+    // place.
+    rejection->id = job.request.id;
+    if (injected_reject) {
+        rejection->status = ResponseStatus::QueueFull;
+        rejection->error = "request queue full (injected fault)";
+    } else if (queue.closed()) {
+        rejection->status = ResponseStatus::Shutdown;
+        rejection->error = "service is shutting down";
+    } else {
+        rejection->status = ResponseStatus::QueueFull;
+        rejection->error = strprintf(
+            "request queue full (capacity %llu)",
+            static_cast<unsigned long long>(queue.capacity()));
+    }
+    {
+        std::lock_guard<std::mutex> lock(metricsMutex);
+        ++rejected;
+    }
+    return false;
+}
+
+std::future<Response>
+ExecutionService::enqueue(Request request, bool block)
+{
+    Job job;
+    job.request = std::move(request);
+    std::future<Response> future = job.promise.get_future();
+    Response rejection;
+    if (!pushJob(std::move(job), block, &rejection)) {
+        // pushJob left the job unmoved, so its promise is still ours
+        // to fulfill.
+        job.promise.set_value(std::move(rejection));
     }
     return future;
+}
+
+void
+ExecutionService::submitAsync(Request request,
+                              std::function<void(Response)> done)
+{
+    Job job;
+    job.request = std::move(request);
+    job.done = std::move(done);
+    Response rejection;
+    if (!pushJob(std::move(job), /*block=*/false, &rejection))
+        job.done(std::move(rejection));
+}
+
+void
+ExecutionService::recordShed()
+{
+    std::lock_guard<std::mutex> lock(metricsMutex);
+    ++shedCount;
 }
 
 void
@@ -220,7 +258,10 @@ ExecutionService::workerMain(size_t index)
         Response response = execute(*job, slot);
         recordResponse(response);
         inFlight.fetch_sub(1, std::memory_order_relaxed);
-        job->promise.set_value(std::move(response));
+        if (job->done)
+            job->done(std::move(response));
+        else
+            job->promise.set_value(std::move(response));
     }
 }
 
@@ -244,6 +285,7 @@ ExecutionService::execute(Job &job, WorkerSlot &slot)
 {
     Response response;
     response.id = job.request.id;
+    response.shard = job.request.shard;
     int64_t started = nowUs();
     response.queueMicros =
         static_cast<double>(started - job.enqueuedUs);
@@ -371,11 +413,21 @@ ExecutionService::execute(Job &job, WorkerSlot &slot)
             event.tid = lane;
             return event;
         };
+        // The Request span carries the routing identity: funcId =
+        // shard index, pc = wire connection id (both 0 for
+        // in-process submissions). Exporters surface them so traces
+        // can be grouped by shard/connection.
+        auto tag_routing = [&](TraceEvent event) {
+            event.funcId = job.request.shard;
+            event.pc =
+                static_cast<uint32_t>(job.request.connectionId);
+            return event;
+        };
         std::vector<TraceEvent> wrapped;
         wrapped.reserve(response.traceEvents.size() + 8);
-        wrapped.push_back(span(TraceEventType::SpanBegin,
-                               SpanKind::Request, 0, 0,
-                               response.totalMicros));
+        wrapped.push_back(tag_routing(span(TraceEventType::SpanBegin,
+                                           SpanKind::Request, 0, 0,
+                                           response.totalMicros)));
         wrapped.push_back(span(TraceEventType::SpanBegin,
                                SpanKind::Queue, 0, 0,
                                response.queueMicros));
@@ -397,9 +449,9 @@ ExecutionService::execute(Job &job, WorkerSlot &slot)
         wrapped.push_back(span(TraceEventType::SpanEnd,
                                SpanKind::Execute, end_vc, attempts,
                                response.execMicros));
-        wrapped.push_back(span(TraceEventType::SpanEnd,
-                               SpanKind::Request, end_vc, 0,
-                               response.totalMicros));
+        wrapped.push_back(tag_routing(span(TraceEventType::SpanEnd,
+                                           SpanKind::Request, end_vc,
+                                           0, response.totalMicros)));
         response.traceEvents = std::move(wrapped);
     }
     return response;
@@ -443,6 +495,8 @@ ExecutionService::metrics() const
         std::lock_guard<std::mutex> lock(metricsMutex);
         snap.submitted = submitted;
         snap.rejected = rejected;
+        snap.shed = shedCount;
+        snap.queueDepthHighWater = queueDepthHighWater;
         snap.completed = completed;
         snap.succeeded = succeeded;
         snap.errors = errors;

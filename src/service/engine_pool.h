@@ -46,6 +46,14 @@
 namespace nomap {
 
 /**
+ * Stable identity of an EngineConfig: every behavior knob, rendered
+ * as a string. Used by EnginePool to key idle isolates and by the
+ * shard router to key placement (same identity -> same shard, so a
+ * tenant's isolates and compiled programs stay shard-local).
+ */
+std::string engineConfigKey(const EngineConfig &config);
+
+/**
  * Idle-isolate pool keyed by EngineConfig. acquire() reuses a warm
  * isolate when one exists for the config (constructing otherwise);
  * release() resets it to pristine and shelves it. Thread-safe.
@@ -74,9 +82,6 @@ class EnginePool
     size_t idleCount() const;
 
   private:
-    /** Stable identity of an EngineConfig (all behavior knobs). */
-    static std::string keyOf(const EngineConfig &config);
-
     mutable std::mutex mutex;
     std::unordered_map<std::string,
                        std::vector<std::unique_ptr<Engine>>>
@@ -141,6 +146,27 @@ class ExecutionService
     std::future<Response> trySubmit(Request request);
 
     /**
+     * Callback-style submission for event-loop callers (the TCP
+     * front-end): never blocks, and @p done is invoked exactly once
+     * with the Response — from a worker thread on completion, or
+     * inline when admission rejects the request (full queue,
+     * shutdown). The callback must not throw and should be cheap; the
+     * server's completion path hands off to its poll loop.
+     */
+    void submitAsync(Request request,
+                     std::function<void(Response)> done);
+
+    /** Requests currently queued (admission-control signal). */
+    size_t queueDepth() const { return queue.size(); }
+
+    /**
+     * Count one request load-shed at this shard's door (the sharded
+     * router sheds before enqueueing, so the shed never enters the
+     * queue; this keeps the counter in the shard's own snapshot).
+     */
+    void recordShed();
+
+    /**
      * Stop admission, drain every queued request, join all threads.
      * Idempotent; also invoked by the destructor.
      */
@@ -155,6 +181,8 @@ class ExecutionService
     struct Job {
         Request request;
         std::promise<Response> promise;
+        /** Callback delivery (submitAsync); promise unused when set. */
+        std::function<void(Response)> done;
         int64_t enqueuedUs = 0;
     };
 
@@ -168,6 +196,8 @@ class ExecutionService
     static int64_t nowUs();
 
     std::future<Response> enqueue(Request request, bool block);
+    /** Shared push path; fills the rejection Response on failure. */
+    bool pushJob(Job &&job, bool block, Response *rejection);
     void workerMain(size_t index);
     void watchdogMain();
     Response execute(Job &job, WorkerSlot &slot);
@@ -199,6 +229,8 @@ class ExecutionService
     ExecutionStats aggregate;
     uint64_t submitted = 0;
     uint64_t rejected = 0;
+    uint64_t shedCount = 0;
+    uint64_t queueDepthHighWater = 0;
     uint64_t completed = 0;
     uint64_t succeeded = 0;
     uint64_t errors = 0;

@@ -92,22 +92,39 @@ LatencyHistogram::percentile(double p) const
 std::string
 ServiceMetricsSnapshot::toJson() const
 {
+    return toJson(0);
+}
+
+std::string
+ServiceMetricsSnapshot::toJson(int indent) const
+{
+    std::string pad(indent > 0 ? static_cast<size_t>(indent) : 0,
+                    ' ');
     std::string out;
     out += "{\n";
+    out += pad;
     out += strprintf("  \"uptime_seconds\": %.3f,\n", uptimeSeconds);
+    out += pad;
     out += strprintf("  \"workers\": %llu,\n",
                      static_cast<unsigned long long>(workers));
+    out += pad;
     out += "  \"queue\": {";
     out += strprintf("\"depth\": %llu, ",
                      static_cast<unsigned long long>(queueDepth));
+    out += strprintf(
+        "\"high_water\": %llu, ",
+        static_cast<unsigned long long>(queueDepthHighWater));
     out += strprintf("\"capacity\": %llu, ",
                      static_cast<unsigned long long>(queueCapacity));
     out += strprintf("\"submitted\": %llu, ",
                      static_cast<unsigned long long>(submitted));
     out += strprintf("\"rejected\": %llu, ",
                      static_cast<unsigned long long>(rejected));
+    out += strprintf("\"shed\": %llu, ",
+                     static_cast<unsigned long long>(shed));
     out += strprintf("\"in_flight\": %llu},\n",
                      static_cast<unsigned long long>(inFlight));
+    out += pad;
     out += "  \"outcomes\": {";
     out += strprintf("\"completed\": %llu, ",
                      static_cast<unsigned long long>(completed));
@@ -119,13 +136,16 @@ ServiceMetricsSnapshot::toJson() const
                      static_cast<unsigned long long>(timeouts));
     out += strprintf("\"retries\": %llu},\n",
                      static_cast<unsigned long long>(retries));
+    out += pad;
     out += "  \"latency_us\": {";
     out += strprintf("\"p50\": %.1f, ", p50Micros);
     out += strprintf("\"p95\": %.1f, ", p95Micros);
     out += strprintf("\"p99\": %.1f, ", p99Micros);
     out += strprintf("\"mean\": %.1f, ", meanMicros);
     out += strprintf("\"max\": %.1f},\n", maxMicros);
+    out += pad;
     out += strprintf("  \"throughput_rps\": %.2f,\n", throughputRps);
+    out += pad;
     out += "  \"engine_pool\": {";
     out += strprintf("\"created\": %llu, ",
                      static_cast<unsigned long long>(enginesCreated));
@@ -135,6 +155,7 @@ ServiceMetricsSnapshot::toJson() const
                      static_cast<unsigned long long>(enginesDiscarded));
     out += strprintf("\"idle\": %llu},\n",
                      static_cast<unsigned long long>(enginesIdle));
+    out += pad;
     out += "  \"program_cache\": {";
     out += strprintf("\"hits\": %llu, ",
                      static_cast<unsigned long long>(cacheHits));
@@ -142,11 +163,13 @@ ServiceMetricsSnapshot::toJson() const
                      static_cast<unsigned long long>(cacheMisses));
     out += strprintf("\"entries\": %llu},\n",
                      static_cast<unsigned long long>(cacheEntries));
+    out += pad;
     out += "  \"trace\": {";
     out += strprintf("\"events\": %llu, ",
                      static_cast<unsigned long long>(traceEvents));
     out += strprintf("\"drops\": %llu},\n",
                      static_cast<unsigned long long>(traceDrops));
+    out += pad;
     out += "  \"vm\": {";
     out += strprintf(
         "\"instructions\": %llu, ",
@@ -170,6 +193,73 @@ ServiceMetricsSnapshot::toJson() const
         static_cast<unsigned long long>(aggregate.txAbortsCapacity),
         static_cast<unsigned long long>(aggregate.txAbortsCheck),
         static_cast<unsigned long long>(aggregate.txAbortsSof));
+    out += pad;
+    out += "}";
+    return out;
+}
+
+std::string
+NetConnectionCounters::toJson() const
+{
+    std::string out = "{";
+    out += strprintf("\"accepted\": %llu, ",
+                     static_cast<unsigned long long>(accepted));
+    out += strprintf("\"active\": %llu, ",
+                     static_cast<unsigned long long>(active));
+    out += strprintf("\"closed\": %llu, ",
+                     static_cast<unsigned long long>(closed));
+    out += strprintf("\"accept_faults\": %llu, ",
+                     static_cast<unsigned long long>(acceptFaults));
+    out += strprintf("\"read_errors\": %llu, ",
+                     static_cast<unsigned long long>(readErrors));
+    out += strprintf("\"write_errors\": %llu, ",
+                     static_cast<unsigned long long>(writeErrors));
+    out += strprintf("\"decode_errors\": %llu, ",
+                     static_cast<unsigned long long>(decodeErrors));
+    out += strprintf("\"frames_in\": %llu, ",
+                     static_cast<unsigned long long>(framesIn));
+    out += strprintf("\"frames_out\": %llu, ",
+                     static_cast<unsigned long long>(framesOut));
+    out += strprintf("\"deferred_frames\": %llu, ",
+                     static_cast<unsigned long long>(deferredFrames));
+    out += strprintf("\"bytes_in\": %llu, ",
+                     static_cast<unsigned long long>(bytesIn));
+    out += strprintf("\"bytes_out\": %llu}",
+                     static_cast<unsigned long long>(bytesOut));
+    return out;
+}
+
+std::string
+ShardedMetricsSnapshot::toJson() const
+{
+    std::string out;
+    out += "{\n";
+    out += strprintf("  \"shards\": %llu,\n",
+                     static_cast<unsigned long long>(shards));
+    out += strprintf("  \"shed_queue_depth\": %llu,\n",
+                     static_cast<unsigned long long>(shedQueueDepth));
+    out += "  \"router\": {";
+    out += strprintf("\"routed\": %llu, ",
+                     static_cast<unsigned long long>(routed));
+    out += strprintf("\"shed\": %llu},\n",
+                     static_cast<unsigned long long>(shedTotal));
+    out += "  \"connections\": ";
+    out += connections.toJson();
+    out += ",\n";
+    out += "  \"per_shard\": [\n";
+    for (size_t i = 0; i < perShard.size(); ++i) {
+        const Shard &shard = perShard[i];
+        out += strprintf("    {\"shard\": %llu, ",
+                         static_cast<unsigned long long>(i));
+        out += strprintf("\"routed\": %llu, ",
+                         static_cast<unsigned long long>(shard.routed));
+        out += strprintf("\"shed\": %llu,\n",
+                         static_cast<unsigned long long>(shard.shed));
+        out += "     \"service\": ";
+        out += shard.service.toJson(5);
+        out += i + 1 < perShard.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n";
     out += "}";
     return out;
 }

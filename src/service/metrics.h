@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "engine/stats.h"
 
@@ -71,9 +72,13 @@ struct ServiceMetricsSnapshot {
 
     // ---- Admission -----------------------------------------------------
     uint64_t queueDepth = 0;
+    /** Deepest the queue has ever been (admission-control signal). */
+    uint64_t queueDepthHighWater = 0;
     uint64_t queueCapacity = 0;
     uint64_t submitted = 0;
     uint64_t rejected = 0; ///< QueueFull + Shutdown rejections.
+    /** Requests load-shed by queue-depth admission control. */
+    uint64_t shed = 0;
     uint64_t inFlight = 0; ///< Requests currently inside workers.
 
     // ---- Outcomes ------------------------------------------------------
@@ -110,6 +115,64 @@ struct ServiceMetricsSnapshot {
 
     // ---- Aggregated VM counters (successful requests) ------------------
     ExecutionStats aggregate;
+
+    /** Render the snapshot as a JSON object (stable key order). */
+    std::string toJson() const;
+
+    /**
+     * Same object rendered with @p indent leading spaces per line,
+     * for embedding as a per-shard section of a sharded snapshot.
+     */
+    std::string toJson(int indent) const;
+};
+
+/**
+ * Wire-level counters of the TCP front-end. Lives here (not in
+ * src/net/) so the sharded snapshot can embed it without the service
+ * layer depending on sockets; a snapshot taken without a server in
+ * front reports all zeros.
+ */
+struct NetConnectionCounters {
+    uint64_t accepted = 0;      ///< Connections accept()ed.
+    uint64_t active = 0;        ///< Currently open.
+    uint64_t closed = 0;        ///< Closed (either side).
+    uint64_t acceptFaults = 0;  ///< net.accept injected failures.
+    uint64_t readErrors = 0;    ///< recv() errors (not EOF).
+    uint64_t writeErrors = 0;   ///< send() errors.
+    uint64_t decodeErrors = 0;  ///< Malformed/oversized frames.
+    uint64_t framesIn = 0;      ///< Complete request frames decoded.
+    uint64_t framesOut = 0;     ///< Response frames fully written.
+    uint64_t deferredFrames = 0; ///< net.frame slow-client deferrals.
+    uint64_t bytesIn = 0;
+    uint64_t bytesOut = 0;
+
+    /** Render as a JSON object (stable key order). */
+    std::string toJson() const;
+};
+
+/**
+ * Point-in-time view of the whole sharded front-end: one per-shard
+ * section per ExecutionService shard (each a full
+ * ServiceMetricsSnapshot plus the router's counters for that shard)
+ * and the wire counters when a TCP server fronts the shards.
+ */
+struct ShardedMetricsSnapshot {
+    uint64_t shards = 0;
+    /** Shed threshold in effect (0 = shedding disabled). */
+    uint64_t shedQueueDepth = 0;
+    /** Totals across shards (router-side). */
+    uint64_t routed = 0;
+    uint64_t shedTotal = 0;
+
+    struct Shard {
+        uint64_t routed = 0; ///< Requests the router sent here.
+        uint64_t shed = 0;   ///< Requests shed at this shard's door.
+        ServiceMetricsSnapshot service;
+    };
+    std::vector<Shard> perShard;
+
+    /** Wire counters (all zero without a TCP server in front). */
+    NetConnectionCounters connections;
 
     /** Render the snapshot as a JSON object (stable key order). */
     std::string toJson() const;

@@ -29,6 +29,7 @@ enum class ResponseStatus : uint8_t {
     Timeout,   ///< Deadline exceeded (queued or executing).
     QueueFull, ///< Rejected by backpressure (trySubmit on a full queue).
     Shutdown,  ///< Rejected because the service is shutting down.
+    Shed,      ///< Load-shed by admission control (shard over depth).
 };
 
 /** Printable status name. */
@@ -41,6 +42,7 @@ responseStatusName(ResponseStatus status)
       case ResponseStatus::Timeout: return "timeout";
       case ResponseStatus::QueueFull: return "queue_full";
       case ResponseStatus::Shutdown: return "shutdown";
+      case ResponseStatus::Shed: return "shed";
     }
     return "?";
 }
@@ -57,6 +59,24 @@ struct Request {
     uint64_t timeoutMs = 0;
     /** Transient-failure retries; negative = service default. */
     int32_t maxRetries = -1;
+    /**
+     * Routing key for the sharded front-end: requests with the same
+     * tenant + EngineConfig identity always land on the same shard
+     * (isolate-pool and program-cache affinity). Empty is a valid
+     * tenant.
+     */
+    std::string tenant;
+    /**
+     * Shard the router chose (stamped by ShardedService::submitAsync;
+     * callers need not set it). Tags the request's trace span.
+     */
+    uint32_t shard = 0;
+    /**
+     * Originating wire connection, 0 when the request did not come in
+     * over TCP. Tags the request's trace span so a Perfetto view can
+     * be grouped by connection.
+     */
+    uint64_t connectionId = 0;
 };
 
 /** The outcome of one Request. */
@@ -76,6 +96,8 @@ struct Response {
     bool programCacheHit = false;
     /** Execution attempts consumed (1 = no retries). */
     uint32_t attempts = 1;
+    /** Shard that served (or shed) the request; 0 when unsharded. */
+    uint32_t shard = 0;
 
     /** Time from submission to worker pickup, microseconds. */
     double queueMicros = 0.0;

@@ -1,0 +1,159 @@
+#include "service/sharded_service.h"
+
+#include <utility>
+
+#include "support/logging.h"
+
+namespace nomap {
+
+// ---- ShardRouter -------------------------------------------------------
+
+ShardRouter::ShardRouter(size_t shard_count)
+    : shards(shard_count ? shard_count : 1)
+{
+}
+
+uint64_t
+ShardRouter::keyHash(const std::string &tenant,
+                     const EngineConfig &config)
+{
+    // FNV-1a over "tenant\0config-identity". The config identity is
+    // the same string EnginePool keys isolates by, so router placement
+    // and pool affinity agree by construction.
+    uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](const std::string &s) {
+        for (unsigned char c : s) {
+            h ^= c;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(tenant);
+    h ^= 0; // Separator byte keeps ("ab","") != ("a","b...").
+    h *= 1099511628211ull;
+    mix(engineConfigKey(config));
+    return h;
+}
+
+size_t
+ShardRouter::route(const Request &request) const
+{
+    return static_cast<size_t>(
+        keyHash(request.tenant, request.config) % shards);
+}
+
+// ---- ShardedService ----------------------------------------------------
+
+ShardedService::ShardedService(ShardedServiceConfig config)
+    : cfg(std::move(config)), router(cfg.shards)
+{
+    const FaultPlan *plan = cfg.faultPlan;
+    if (!plan) {
+        if (std::optional<FaultPlan> env = FaultPlan::fromEnv()) {
+            envPlan = std::make_unique<FaultPlan>(std::move(*env));
+            plan = envPlan.get();
+        }
+    }
+    if (plan && !plan->empty())
+        injector = std::make_unique<FaultInjector>(*plan);
+
+    size_t n = router.shardCount();
+    shards.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        ServiceConfig sc = cfg.shard;
+        // Hand the shard the resolved plan explicitly: each shard
+        // arms its own injector (fresh counters), and resolving here
+        // keeps a mid-run NOMAP_FAULT_PLAN change from skewing shards.
+        sc.faultPlan = plan;
+        shards.push_back(
+            std::make_unique<ExecutionService>(std::move(sc)));
+        routedCounts.push_back(
+            std::make_unique<std::atomic<uint64_t>>(0));
+        shedCounts.push_back(
+            std::make_unique<std::atomic<uint64_t>>(0));
+    }
+}
+
+ShardedService::~ShardedService()
+{
+    shutdown();
+}
+
+void
+ShardedService::shutdown()
+{
+    for (auto &shard : shards)
+        shard->shutdown();
+}
+
+size_t
+ShardedService::shardOf(const Request &request) const
+{
+    return router.route(request);
+}
+
+void
+ShardedService::submitAsync(Request request,
+                            std::function<void(Response)> done)
+{
+    size_t index = router.route(request);
+    request.shard = static_cast<uint32_t>(index);
+
+    bool forced_shed =
+        injector && injector->fire(FaultSite::ServiceShardFull);
+    bool over_depth =
+        cfg.shedQueueDepth != 0 &&
+        shards[index]->queueDepth() >= cfg.shedQueueDepth;
+    if (forced_shed || over_depth) {
+        shedCounts[index]->fetch_add(1, std::memory_order_relaxed);
+        shards[index]->recordShed();
+        Response response;
+        response.id = request.id;
+        response.shard = request.shard;
+        response.status = ResponseStatus::Shed;
+        response.error =
+            forced_shed
+                ? strprintf("shard %zu shed (injected fault)", index)
+                : strprintf(
+                      "shard %zu shed: queue depth >= %llu", index,
+                      static_cast<unsigned long long>(
+                          cfg.shedQueueDepth));
+        done(std::move(response));
+        return;
+    }
+
+    routedCounts[index]->fetch_add(1, std::memory_order_relaxed);
+    shards[index]->submitAsync(std::move(request), std::move(done));
+}
+
+std::future<Response>
+ShardedService::submit(Request request)
+{
+    auto promise = std::make_shared<std::promise<Response>>();
+    std::future<Response> future = promise->get_future();
+    submitAsync(std::move(request), [promise](Response response) {
+        promise->set_value(std::move(response));
+    });
+    return future;
+}
+
+ShardedMetricsSnapshot
+ShardedService::metrics() const
+{
+    ShardedMetricsSnapshot snap;
+    snap.shards = shards.size();
+    snap.shedQueueDepth = cfg.shedQueueDepth;
+    snap.perShard.reserve(shards.size());
+    for (size_t i = 0; i < shards.size(); ++i) {
+        ShardedMetricsSnapshot::Shard section;
+        section.routed =
+            routedCounts[i]->load(std::memory_order_relaxed);
+        section.shed = shedCounts[i]->load(std::memory_order_relaxed);
+        section.service = shards[i]->metrics();
+        snap.routed += section.routed;
+        snap.shedTotal += section.shed;
+        snap.perShard.push_back(std::move(section));
+    }
+    return snap;
+}
+
+} // namespace nomap

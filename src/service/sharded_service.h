@@ -1,0 +1,149 @@
+#ifndef NOMAP_SERVICE_SHARDED_SERVICE_H
+#define NOMAP_SERVICE_SHARDED_SERVICE_H
+
+/**
+ * @file
+ * Sharded serving: N independent ExecutionService shards behind a
+ * stable router, with queue-depth admission control in front.
+ *
+ * Why shard at all? Each ExecutionService owns its isolate pool,
+ * compiled-program cache, and request queue; routing every request
+ * for a given (tenant, EngineConfig) identity to the same shard keeps
+ * the warm isolates and compiled programs for that identity
+ * shard-local, so the pool hit rate survives scale-out instead of
+ * being diluted across all workers (the thread/data-placement lesson
+ * from the STM mapping literature, applied one level up).
+ *
+ * Admission control: HTM-style robustness discipline — bounded work,
+ * then graceful degradation. A request that finds its routed shard's
+ * queue at or above ShardedServiceConfig::shedQueueDepth is *shed*
+ * immediately with ResponseStatus::Shed rather than queued behind a
+ * backlog it would only time out in. The shed is counted per shard
+ * and surfaces in the sharded metrics snapshot; clients treat Shed as
+ * "retry later against a less loaded system".
+ *
+ * Determinism: routing is a pure function of (tenant, EngineConfig),
+ * so the same request mix always lands on the same shards; execution
+ * inside each shard keeps the PR-1 differential guarantee
+ * (bit-identical to sequential in-process runs).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "inject/fault_plan.h"
+#include "service/engine_pool.h"
+#include "service/metrics.h"
+#include "service/request.h"
+
+namespace nomap {
+
+/**
+ * Stable shard placement: FNV-1a over tenant + EngineConfig identity,
+ * reduced modulo the shard count. A pure function — no state — so
+ * routing is reproducible across processes and restarts.
+ */
+class ShardRouter
+{
+  public:
+    explicit ShardRouter(size_t shard_count);
+
+    /** Shard index for @p request (same inputs -> same shard). */
+    size_t route(const Request &request) const;
+
+    /** The underlying hash (exposed for tests/diagnostics). */
+    static uint64_t keyHash(const std::string &tenant,
+                            const EngineConfig &config);
+
+    size_t shardCount() const { return shards; }
+
+  private:
+    const size_t shards;
+};
+
+/** Tuning for ShardedService. */
+struct ShardedServiceConfig {
+    /** Number of ExecutionService shards (clamped to >= 1). */
+    size_t shards = 2;
+    /** Template applied to every shard (workers, queue, cache...). */
+    ServiceConfig shard;
+    /**
+     * Queue-depth admission control: a request whose routed shard
+     * already holds this many queued requests is shed immediately
+     * with ResponseStatus::Shed. 0 disables shedding (overload then
+     * surfaces as blocking or QueueFull at the shard itself).
+     */
+    size_t shedQueueDepth = 0;
+    /**
+     * Fault plan for the router-level service.shardfull site. Must
+     * outlive the service; when null, NOMAP_FAULT_PLAN is consulted.
+     * The same plan is also handed to every shard (service.* sites
+     * arm per shard with independent counters).
+     */
+    const FaultPlan *faultPlan = nullptr;
+};
+
+/** N ExecutionService shards behind a stable router (file comment). */
+class ShardedService
+{
+  public:
+    explicit ShardedService(
+        ShardedServiceConfig config = ShardedServiceConfig());
+    ~ShardedService();
+
+    ShardedService(const ShardedService &) = delete;
+    ShardedService &operator=(const ShardedService &) = delete;
+
+    /**
+     * Route, apply admission control, and submit. Never blocks.
+     * @p done is invoked exactly once: inline on shed/rejection,
+     * from a shard worker on completion. Stamps Request::shard.
+     */
+    void submitAsync(Request request,
+                     std::function<void(Response)> done);
+
+    /** Future-style convenience wrapper over submitAsync. */
+    std::future<Response> submit(Request request);
+
+    /** The shard the router would pick for @p request. */
+    size_t shardOf(const Request &request) const;
+
+    size_t shardCount() const { return shards.size(); }
+
+    /** Direct shard access (tests, metrics drilling). */
+    ExecutionService &shard(size_t index) { return *shards[index]; }
+
+    /** Stop admission on every shard, drain, join. Idempotent. */
+    void shutdown();
+
+    /**
+     * Snapshot every shard plus router counters. The connections
+     * section is zeroed; a fronting TCP server fills it in before
+     * rendering (NoMapServer::metrics()).
+     */
+    ShardedMetricsSnapshot metrics() const;
+    std::string metricsJson() const { return metrics().toJson(); }
+
+    const ShardedServiceConfig &config() const { return cfg; }
+
+  private:
+    ShardedServiceConfig cfg;
+    /** Plan captured from NOMAP_FAULT_PLAN when cfg.faultPlan null. */
+    std::unique_ptr<FaultPlan> envPlan;
+    /** Router-level injector (service.shardfull). */
+    std::unique_ptr<FaultInjector> injector;
+    ShardRouter router;
+    std::vector<std::unique_ptr<ExecutionService>> shards;
+    /** Per-shard router counters (relaxed; exact totals). */
+    std::vector<std::unique_ptr<std::atomic<uint64_t>>> routedCounts;
+    std::vector<std::unique_ptr<std::atomic<uint64_t>>> shedCounts;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_SERVICE_SHARDED_SERVICE_H

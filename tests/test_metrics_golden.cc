@@ -74,9 +74,11 @@ sampleSnapshot()
     s.uptimeSeconds = 12.5;
     s.workers = 4;
     s.queueDepth = 3;
+    s.queueDepthHighWater = 17;
     s.queueCapacity = 64;
     s.submitted = 120;
     s.rejected = 2;
+    s.shed = 6;
     s.inFlight = 1;
     s.completed = 114;
     s.succeeded = 108;
@@ -123,6 +125,44 @@ TEST(MetricsGolden, SnapshotJsonMatchesGolden)
 {
     checkAgainstGolden("metrics_snapshot.golden.json",
                        sampleSnapshot().toJson() + "\n");
+}
+
+/** Sharded/net wrapper with every section populated and distinct. */
+ShardedMetricsSnapshot
+sampleShardedSnapshot()
+{
+    ShardedMetricsSnapshot s;
+    s.shards = 2;
+    s.shedQueueDepth = 32;
+    s.routed = 150;
+    s.shedTotal = 9;
+    for (uint64_t i = 0; i < 2; ++i) {
+        ShardedMetricsSnapshot::Shard shard;
+        shard.routed = 70 + i * 10;
+        shard.shed = 4 + i;
+        shard.service = sampleSnapshot();
+        shard.service.workers = 2 + i;
+        s.perShard.push_back(std::move(shard));
+    }
+    s.connections.accepted = 40;
+    s.connections.active = 5;
+    s.connections.closed = 35;
+    s.connections.acceptFaults = 1;
+    s.connections.readErrors = 2;
+    s.connections.writeErrors = 3;
+    s.connections.decodeErrors = 4;
+    s.connections.framesIn = 500;
+    s.connections.framesOut = 480;
+    s.connections.deferredFrames = 6;
+    s.connections.bytesIn = 123456;
+    s.connections.bytesOut = 654321;
+    return s;
+}
+
+TEST(MetricsGolden, ShardedSnapshotJsonMatchesGolden)
+{
+    checkAgainstGolden("metrics_sharded_snapshot.golden.json",
+                       sampleShardedSnapshot().toJson() + "\n");
 }
 
 TEST(MetricsGolden, HistogramBucketEdgesMatchGolden)
