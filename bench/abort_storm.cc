@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Adversarial abort-storm workload: static vs adaptive planning (not
+ * a paper artifact — the evaluation harness for the adaptive
+ * controller, src/nomap/adaptive.{h,cc}).
+ *
+ * The storm program's hot loop writes a 16384-element array: ~128 KB
+ * of contiguous write footprint, comfortably inside the nominal
+ * 256 KB 8-way ROT write capacity. The bench then arms `htm.ways@1`
+ * (src/inject/), squeezing the write set to one way — 32 KB — so
+ * every nominal-geometry transaction capacity-aborts around line 512.
+ *
+ *  - **Static NoMap** escalates blindly: nest -> innermost -> tiled
+ *    (with tiles sized from the *nominal* capacity, which still
+ *    overflow the squeezed hardware) -> level 3, no transactions. It
+ *    ends the run committing nothing and paying full price for every
+ *    formerly-converted check.
+ *
+ *  - **--adaptive NoMap** reads the abort telemetry: the smallest
+ *    footprint observed at a capacity abort (~32 KB) *is* the
+ *    squeezed capacity, so the controller re-plans at the tiled
+ *    scope with a learned ~16 KB budget whose tiles fit one-way
+ *    hardware — and keeps committing, checks converted.
+ *
+ * Emits BENCH_adaptive.json (static-vs-adaptive commit rate and
+ * guest cycles) into the working directory. `--report` additionally
+ * prints the trace-layer abort-attribution report before/after
+ * adaptation plus the controller's own summary. `--quick` clips the
+ * rounds for the CTest smoke run.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness.h"
+#include "trace/trace.h"
+
+using namespace nomap;
+using namespace nomap::bench;
+
+namespace {
+
+/** The storm: one hot function, ~2048 contiguous written lines. */
+std::string
+stormProgram(int rounds)
+{
+    std::string src = R"JS(
+var N = 16384;
+var A = [];
+for (var i = 0; i < N; i++) A[i] = i % 17;
+function storm(a, n) {
+    var s = 0;
+    for (var j = 0; j < n; j++) {
+        a[j] = (a[j] + j) % 1021;
+        s = (s + a[j]) % 65536;
+    }
+    return s;
+}
+var out = 0;
+for (var r = 0; r < )JS";
+    src += std::to_string(rounds);
+    src += R"JS(; r++) out = (out + storm(A, N)) % 65536;
+result = out;
+)JS";
+    return src;
+}
+
+struct StormRun {
+    std::string resultString;
+    ExecutionStats stats;
+    uint64_t begins = 0;
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    double commitRate = 0.0; ///< commits / begins (0 when no begins).
+    std::string attributionBefore; ///< Abort sites, pre-adaptation.
+    std::string attributionAfter;  ///< Abort sites, post-adaptation.
+    std::string controllerReport;
+};
+
+StormRun
+runStorm(bool adaptive, const std::string &src, const FaultPlan *plan,
+         bool want_reports)
+{
+    EngineConfig config;
+    config.arch = Architecture::NoMap;
+    config.adaptive = adaptive;
+    if (want_reports)
+        config.traceCapacity = 1 << 16;
+    Engine engine(config);
+    engine.armFaultPlan(plan);
+    EngineResult r = engine.run(src);
+
+    StormRun run;
+    run.resultString = r.resultString;
+    run.stats = r.stats;
+    const HtmStats &hs = engine.htm().stats();
+    run.begins = hs.begins;
+    run.commits = hs.commits;
+    run.aborts = hs.aborts;
+    run.commitRate = hs.begins
+                         ? static_cast<double>(hs.commits) /
+                               static_cast<double>(hs.begins)
+                         : 0.0;
+
+    if (want_reports && engine.trace()) {
+        // Split the event stream at the last adaptive revision so the
+        // attribution report shows the storm before the controller
+        // reacted vs the (ideally quiet) tail after it.
+        std::vector<TraceEvent> events = engine.trace()->drain();
+        uint64_t split = 0;
+        for (const TraceEvent &e : events) {
+            if (e.type == TraceEventType::PassReport &&
+                e.aux == static_cast<uint16_t>(TracePassId::Adaptive)) {
+                split = e.vcycles;
+            }
+        }
+        std::vector<TraceEvent> before, after;
+        for (const TraceEvent &e : events)
+            (e.vcycles <= split ? before : after).push_back(e);
+        auto resolver = [&engine](uint32_t id) {
+            return engine.functionName(id);
+        };
+        run.attributionBefore =
+            abortAttributionReport(before, 5, resolver);
+        run.attributionAfter =
+            abortAttributionReport(after, 5, resolver);
+    }
+    if (engine.adaptive())
+        run.controllerReport = engine.adaptive()->report();
+    return run;
+}
+
+void
+printRun(const char *label, const StormRun &run)
+{
+    std::printf("%-10s result=%s commits=%llu aborts=%llu "
+                "begins=%llu commit-rate=%.3f guest-cycles=%llu\n",
+                label, run.resultString.c_str(),
+                static_cast<unsigned long long>(run.commits),
+                static_cast<unsigned long long>(run.aborts),
+                static_cast<unsigned long long>(run.begins),
+                run.commitRate,
+                static_cast<unsigned long long>(
+                    run.stats.totalCycles()));
+}
+
+void
+emitJsonRun(std::FILE *out, const char *key, const StormRun &run,
+            bool last)
+{
+    std::fprintf(
+        out,
+        "  \"%s\": {\"result\": \"%s\", \"begins\": %llu, "
+        "\"commits\": %llu, \"aborts\": %llu,\n"
+        "    \"commit_rate\": %.6f, \"guest_cycles\": %llu, "
+        "\"guest_instructions\": %llu}%s\n",
+        key, run.resultString.c_str(),
+        static_cast<unsigned long long>(run.begins),
+        static_cast<unsigned long long>(run.commits),
+        static_cast<unsigned long long>(run.aborts), run.commitRate,
+        static_cast<unsigned long long>(run.stats.totalCycles()),
+        static_cast<unsigned long long>(
+            run.stats.totalInstructions()),
+        last ? "" : ",");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initBench(argc, argv);
+    bool report = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--report") == 0)
+            report = true;
+    }
+
+    const int rounds = quickMode() ? 60 : 200;
+    const std::string src = stormProgram(rounds);
+    FaultPlan squeeze = FaultPlan::parse("htm.ways@1");
+
+    std::printf("Abort storm: %d rounds of a 16384-element write "
+                "loop under htm.ways@1 (write set squeezed to one "
+                "way, 32 KB)\n\n",
+                rounds);
+
+    StormRun s = runStorm(false, src, &squeeze, false);
+    StormRun a = runStorm(true, src, &squeeze, report);
+    printRun("static", s);
+    printRun("adaptive", a);
+
+    if (s.resultString != a.resultString) {
+        std::fprintf(stderr,
+                     "FAIL: static/adaptive results diverge "
+                     "(%s vs %s)\n",
+                     s.resultString.c_str(), a.resultString.c_str());
+        return 1;
+    }
+    bool wins = a.commitRate > s.commitRate &&
+                a.stats.totalCycles() < s.stats.totalCycles();
+    std::printf("\nadaptive %s static (commit rate %.3f vs %.3f, "
+                "guest cycles %llu vs %llu)\n",
+                wins ? "beats" : "DOES NOT BEAT", a.commitRate,
+                s.commitRate,
+                static_cast<unsigned long long>(a.stats.totalCycles()),
+                static_cast<unsigned long long>(
+                    s.stats.totalCycles()));
+
+    if (report) {
+        std::printf("\n--- abort attribution before adaptation ---\n%s",
+                    a.attributionBefore.c_str());
+        std::printf("\n--- abort attribution after adaptation ---\n%s",
+                    a.attributionAfter.c_str());
+        std::printf("\n--- controller ---\n%s",
+                    a.controllerReport.c_str());
+    }
+
+    const char *path = "BENCH_adaptive.json";
+    std::FILE *out = std::fopen(path, "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"schema_version\": 1,\n  \"quick\": %s,\n"
+                 "  \"rounds\": %d,\n  \"fault_plan\": \"%s\",\n",
+                 quickMode() ? "true" : "false", rounds,
+                 squeeze.toString().c_str());
+    emitJsonRun(out, "static", s, false);
+    emitJsonRun(out, "adaptive", a, true);
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path);
+
+    return wins ? 0 : 1;
+}

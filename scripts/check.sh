@@ -3,17 +3,20 @@
 # CI driver: the three standard configurations, in order of cost.
 #
 #   1. plain           — full suite (unit, integration, concurrency,
-#                        chaos, trace, examples, bench smokes), then
-#                        the perf-smoke label and the disabled-trace
-#                        wallclock envelope as explicit steps
+#                        chaos, trace, adaptive, examples, bench
+#                        smokes), then the perf-smoke label and the
+#                        disabled-trace wallclock envelope as explicit
+#                        steps
 #   2. address+undefined — full suite under ASan+UBSan
-#   3. thread          — concurrency-, chaos-, trace-, and net-labeled
-#                        tests only under TSan (the rest is
-#                        single-threaded and just slows down 10x for
-#                        nothing; trace rides along because its
-#                        service-span tests cross threads, net because
-#                        the server's event loop and shard workers
-#                        race by construction)
+#   3. thread          — concurrency-, chaos-, trace-, net-, and
+#                        adaptive-labeled tests only under TSan (the
+#                        rest is single-threaded and just slows down
+#                        10x for nothing; trace rides along because
+#                        its service-span tests cross threads, net
+#                        because the server's event loop and shard
+#                        workers race by construction, adaptive
+#                        because the controller consumes telemetry
+#                        the chaos storms also stress)
 #
 # Usage: scripts/check.sh [jobs]
 #
@@ -87,6 +90,13 @@ step "1e/3 net label: wire codec + loopback differential + chaos"
 run env CTEST_OUTPUT_ON_FAILURE=1 \
     ctest --test-dir build-check -j "$JOBS" -L net
 
+step "1f/3 adaptive label: controller properties + differential + storms"
+# Also covered by the full run; repeated by label so adaptive-planner
+# breakage (a revision on an unfaulted run, capacity-model golden
+# drift, a storm that stops converging) is its own CI signal.
+run env CTEST_OUTPUT_ON_FAILURE=1 \
+    ctest --test-dir build-check -j "$JOBS" -L adaptive
+
 step "2/3 AddressSanitizer + UndefinedBehaviorSanitizer, full suite"
 run cmake -B build-check-asan -S . "-DNOMAP_SANITIZE=address;undefined"
 run cmake --build build-check-asan -j "$JOBS"
@@ -104,13 +114,13 @@ run env CTEST_OUTPUT_ON_FAILURE=1 \
     UBSAN_OPTIONS=print_stacktrace=1 \
     ctest --test-dir build-check-asan -L perf-smoke
 
-step "3/3 ThreadSanitizer, concurrency + chaos + trace + net labels"
+step "3/3 ThreadSanitizer, concurrency + chaos + trace + net + adaptive labels"
 run cmake -B build-check-tsan -S . -DNOMAP_SANITIZE=thread
 run cmake --build build-check-tsan -j "$JOBS"
 run env CTEST_OUTPUT_ON_FAILURE=1 \
     TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-check-tsan -j "$JOBS" \
-    -L 'concurrency|chaos|trace|net'
+    -L 'concurrency|chaos|trace|net|adaptive'
 
 step "3b/3 perf-smoke under TSan (report-only baseline diff)"
 run env CTEST_OUTPUT_ON_FAILURE=1 \

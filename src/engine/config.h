@@ -96,6 +96,26 @@ struct EngineConfig {
     bool quickening = true;
 
     /**
+     * Adaptive transaction planning: attach an AdaptiveController to
+     * the HTM telemetry stream and revise per-function transaction
+     * scopes from observed abort behavior (learned capacity budgets,
+     * per-site blacklists, re-widening) instead of the static
+     * escalation ladder. Deterministic: decisions are a pure function
+     * of the virtual-cycle telemetry stream, and an abort-free run
+     * is bit-identical to static planning (enforced by the adaptive
+     * differential test). Ignored for Architecture::Base.
+     */
+    bool adaptive = false;
+
+    /**
+     * Capacity-model flavor for the HTM write/read sets.
+     * WaysAssoc (the default) is the paper's set-associative cache
+     * geometry and the reference mode; LimitedSet models a
+     * fixed-entry transactional write buffer (FORTH TR-450-style).
+     */
+    CapacityModelKind capacityModel = CapacityModelKind::WaysAssoc;
+
+    /**
      * Trace-buffer capacity in events; 0 (the default) disables
      * tracing entirely — no buffer is allocated and every trace site
      * reduces to a null-pointer test. Tracing must not perturb the

@@ -32,7 +32,7 @@ Engine::initVm()
     builtinsPtr =
         std::make_unique<Builtins>(*runtimePtr, engineConfig.rngSeed);
     htmPtr = std::make_unique<TransactionManager>(
-        htmModeOf(engineConfig.arch));
+        htmModeOf(engineConfig.arch), engineConfig.capacityModel);
     memPtr = std::make_unique<MemHierarchy>();
 
     htmPtr->setRollbackClient(heapPtr.get());
@@ -78,6 +78,19 @@ Engine::applyFaultPlan()
                 static_cast<uint32_t>(ways));
         }
     }
+
+    // (Re)build the adaptive controller *after* any ways squeeze so
+    // its re-widen ceiling reflects the capacity the model actually
+    // has. Re-arming resets controller state along with the injector
+    // counters, keeping the two occurrence streams aligned.
+    adaptivePtr.reset();
+    if (engineConfig.adaptive && usesTransactions(engineConfig.arch)) {
+        AdaptiveConfig ac;
+        ac.siteBlacklistStreak = engineConfig.abortEscalationLimit;
+        ac.modelCapacityBytes = htmPtr->writeCapacityBytes();
+        adaptivePtr = std::make_unique<AdaptiveController>(ac);
+    }
+    htmPtr->setTelemetry(adaptivePtr.get());
 }
 
 void
@@ -245,7 +258,7 @@ Engine::maybeTierUp(uint32_t func_id)
         state.ftl = std::make_unique<CompiledIr>(
             compileFunction(fn, *heapPtr, Tier::Ftl, engineConfig.arch,
                             state.txScopeLevel, tracePtr.get(),
-                            acctPtr.get()));
+                            acctPtr.get(), planOverridesFor(state)));
         ++stats.ftlCompiles;
         break;
       default:
@@ -261,6 +274,78 @@ Engine::maybeTierUp(uint32_t func_id)
         event.funcId = func_id;
         tracePtr->emit(event);
     }
+}
+
+PlanOverrides
+Engine::planOverridesFor(const FunctionState &state) const
+{
+    PlanOverrides ov;
+    // The default WaysAssoc model *is* the paper geometry the planner
+    // already assumes; only a swapped-in model re-routes the planner
+    // to the live capacity oracle (keeps static compiles bit-stable).
+    if (engineConfig.capacityModel != CapacityModelKind::WaysAssoc)
+        ov.capacityBytes = htmPtr->writeCapacityBytes();
+    if (adaptivePtr) {
+        ov.budgetOverrideBytes = state.capacityOverrideBytes;
+        ov.blacklistPcs = state.blacklistedPcs;
+    }
+    return ov;
+}
+
+void
+Engine::recompileFtl(uint32_t func_id, FunctionState &state)
+{
+    NOMAP_ASSERT(state.activeRuns == 0);
+    // Injected compile failure: the function keeps its current code
+    // (the revised plan state stays and rides the next recompile).
+    if (injector && injector->fire(FaultSite::EngineCompileFail))
+        return;
+    BytecodeFunction &fn = *programPtr->functions[func_id];
+    state.ftl = std::make_unique<CompiledIr>(compileFunction(
+        fn, *heapPtr, Tier::Ftl, engineConfig.arch, state.txScopeLevel,
+        tracePtr.get(), acctPtr.get(), planOverridesFor(state)));
+    ++stats.ftlRecompiles;
+}
+
+void
+Engine::applyAdaptiveRevision(uint32_t func_id, FunctionState &state)
+{
+    std::optional<PlanRevision> rev =
+        adaptivePtr->takePending(func_id);
+    if (!rev)
+        return;
+
+    // adaptive.blacklist: force the function untransactional instead
+    // of whatever was decided (models an operator kill switch).
+    if (injector && injector->fire(FaultSite::AdaptiveBlacklist)) {
+        adaptivePtr->noteForcedBlacklist(func_id);
+        state.txScopeLevel = 3;
+        state.capacityOverrideBytes = 0;
+    } else if (injector &&
+               injector->fire(FaultSite::AdaptiveDecision)) {
+        // adaptive.decision: veto this application; the controller
+        // rolls back and re-decides once the streaks rebuild.
+        adaptivePtr->noteVetoed(*rev);
+        return;
+    } else {
+        state.txScopeLevel = rev->scopeLevel;
+        state.capacityOverrideBytes = rev->capacityOverrideBytes;
+        state.blacklistedPcs = rev->blacklistPcs;
+    }
+
+    if (tracePtr && tracePtr->enabled()) {
+        TraceEvent event;
+        event.vcycles = acctPtr->virtualCycles();
+        event.type = TraceEventType::PassReport;
+        event.aux = static_cast<uint16_t>(TracePassId::Adaptive);
+        event.funcId = func_id;
+        event.pc = rev->hasAddedBlacklistPc ? rev->addedBlacklistPc
+                                            : 0;
+        event.bytes = state.capacityOverrideBytes;
+        event.ways = state.txScopeLevel;
+        tracePtr->emit(event);
+    }
+    recompileFtl(func_id, state);
 }
 
 Value
@@ -288,7 +373,27 @@ Engine::call(uint32_t func_id, const Value *args, uint32_t nargs)
             static_cast<size_t>(AbortCode::ExplicitCheck)];
         uint64_t commits_before = htmPtr->stats().commits;
 
-        Value v = irExec->run(state.ftl->ir, fn, args, nargs);
+        // Guard the activation: replacing state.ftl mid-run would
+        // free IR an outer recursive activation still executes.
+        ++state.activeRuns;
+        Value v;
+        try {
+            v = irExec->run(state.ftl->ir, fn, args, nargs);
+        } catch (...) {
+            --state.activeRuns;
+            throw;
+        }
+        --state.activeRuns;
+
+        if (adaptivePtr) {
+            // Adaptive mode: the controller already decided from the
+            // telemetry stream; apply once no activation is live.
+            if (state.activeRuns == 0 &&
+                adaptivePtr->hasPending(func_id)) {
+                applyAdaptiveRevision(func_id, state);
+            }
+            return v;
+        }
 
         // NoMap runtime policy (paper V-C): repeated capacity aborts
         // shrink the transaction scope and recompile; repeated
@@ -305,14 +410,13 @@ Engine::call(uint32_t func_id, const Value *args, uint32_t nargs)
             state.consecutiveCapacityAborts = 0;
             state.consecutiveCheckAborts = 0;
         }
-        bool recompile = false;
         if (new_caps > 0) {
             state.consecutiveCapacityAborts +=
                 static_cast<uint32_t>(new_caps);
             if (state.consecutiveCapacityAborts >= 2 &&
                 state.txScopeLevel < 3) {
                 ++state.txScopeLevel;
-                recompile = true;
+                state.pendingRecompile = true;
                 state.consecutiveCapacityAborts = 0;
             }
         }
@@ -323,17 +427,15 @@ Engine::call(uint32_t func_id, const Value *args, uint32_t nargs)
                     engineConfig.abortEscalationLimit &&
                 state.txScopeLevel < 3) {
                 state.txScopeLevel = 3;
-                recompile = true;
+                state.pendingRecompile = true;
                 state.consecutiveCheckAborts = 0;
             }
         }
-        if (recompile &&
-            !(injector &&
-              injector->fire(FaultSite::EngineCompileFail))) {
-            state.ftl = std::make_unique<CompiledIr>(compileFunction(
-                fn, *heapPtr, Tier::Ftl, engineConfig.arch,
-                state.txScopeLevel, tracePtr.get(), acctPtr.get()));
-            ++stats.ftlRecompiles;
+        // Deferred while recursive activations were live (the old IR
+        // must stay allocated until the outermost frame returns).
+        if (state.pendingRecompile && state.activeRuns == 0) {
+            state.pendingRecompile = false;
+            recompileFtl(func_id, state);
         }
         return v;
       }

@@ -32,6 +32,7 @@
 #include "ftl/ir_executor.h"
 #include "inject/fault_plan.h"
 #include "interp/bytecode_executor.h"
+#include "nomap/adaptive.h"
 
 namespace nomap {
 
@@ -60,6 +61,20 @@ struct FunctionState {
     uint32_t txScopeLevel = 0;
     uint32_t consecutiveCapacityAborts = 0;
     uint32_t consecutiveCheckAborts = 0;
+    /** Adaptive mode: learned planner budget (0 = default). */
+    uint64_t capacityOverrideBytes = 0;
+    /** Adaptive mode: blacklisted loop-header pcs, ascending. */
+    std::vector<uint32_t> blacklistedPcs;
+    /**
+     * Live activations of this function's FTL code (recursion depth).
+     * Replacing `ftl` while an outer activation still executes the
+     * old IR would be a use-after-free, so recompiles decided inside
+     * a recursive call are deferred until the outermost activation
+     * returns (see pendingRecompile).
+     */
+    uint32_t activeRuns = 0;
+    /** A scope-escalation recompile is owed once activeRuns == 0. */
+    bool pendingRecompile = false;
 };
 
 /** One self-contained VM + JIT + hardware model instance. */
@@ -165,6 +180,16 @@ class Engine : public CallDispatcher
     TraceBuffer *trace() { return tracePtr.get(); }
 
     /**
+     * The adaptive controller, or nullptr unless
+     * EngineConfig::adaptive is set (and the architecture places
+     * transactions at all). Rebuilt fresh by reset()/armFaultPlan().
+     */
+    const AdaptiveController *adaptive() const
+    {
+        return adaptivePtr.get();
+    }
+
+    /**
      * Resolve a function id to its source name for trace exporters
      * ("" when unknown / no program loaded).
      */
@@ -181,6 +206,10 @@ class Engine : public CallDispatcher
     void applyFaultPlan();
     void maybeTierUp(uint32_t func_id);
     uint64_t hotness(const BytecodeFunction &fn) const;
+    PlanOverrides planOverridesFor(const FunctionState &state) const;
+    void recompileFtl(uint32_t func_id, FunctionState &state);
+    void applyAdaptiveRevision(uint32_t func_id,
+                               FunctionState &state);
 
     EngineConfig engineConfig;
     CompiledProgramCache *programCache = nullptr;
@@ -201,6 +230,7 @@ class Engine : public CallDispatcher
     std::unique_ptr<Builtins> builtinsPtr;
     std::unique_ptr<TransactionManager> htmPtr;
     std::unique_ptr<MemHierarchy> memPtr;
+    std::unique_ptr<AdaptiveController> adaptivePtr;
 
     ExecutionStats stats;
     std::unique_ptr<Accounting> acctPtr;

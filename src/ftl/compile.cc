@@ -54,7 +54,8 @@ class PassRunner
 CompiledIr
 compileFunction(const BytecodeFunction &fn, Heap &heap, Tier tier,
                 Architecture arch, uint32_t tx_scope_level,
-                TraceBuffer *trace, const TraceClock *clock)
+                TraceBuffer *trace, const TraceClock *clock,
+                const PlanOverrides &overrides)
 {
     CompiledIr out;
     out.ir = buildIr(fn, heap, tier);
@@ -75,6 +76,9 @@ compileFunction(const BytecodeFunction &fn, Heap &heap, Tier tier,
         PlannerConfig pc;
         pc.htmMode = htmModeOf(arch);
         pc.scopeLevel = tx_scope_level;
+        pc.capacityBytes = overrides.capacityBytes;
+        pc.budgetOverrideBytes = overrides.budgetOverrideBytes;
+        pc.blacklistPcs = overrides.blacklistPcs;
         out.planResult = planTransactions(out.ir, fn.profile, pc);
         if (trace && trace->enabled()) {
             for (const LoopPlan &plan : out.planResult.loops) {

@@ -23,6 +23,19 @@ struct CompiledIr {
 };
 
 /**
+ * Adaptive-mode knobs forwarded to the planner (see PlannerConfig).
+ * The defaults reproduce static planning exactly.
+ */
+struct PlanOverrides {
+    /** Actual HTM-model write capacity; 0 = paper geometry table. */
+    uint64_t capacityBytes = 0;
+    /** Controller-learned absolute budget; 0 = fraction of capacity. */
+    uint64_t budgetOverrideBytes = 0;
+    /** Blacklisted loop-header pcs, ascending. */
+    std::vector<uint32_t> blacklistPcs;
+};
+
+/**
  * Compile @p fn at @p tier for @p arch.
  *
  * @param tx_scope_level NoMap recompilation escalation: 0 = loop
@@ -33,12 +46,15 @@ struct CompiledIr {
  *        plus one per planner-wrapped loop. Null disables.
  * @param clock Timestamp source for those events (the engine's
  *        Accounting); null stamps 0.
+ * @param overrides Adaptive-controller planner knobs; the default
+ *        reproduces static planning bit-for-bit.
  */
 CompiledIr compileFunction(const BytecodeFunction &fn, Heap &heap,
                            Tier tier, Architecture arch,
                            uint32_t tx_scope_level = 0,
                            TraceBuffer *trace = nullptr,
-                           const TraceClock *clock = nullptr);
+                           const TraceClock *clock = nullptr,
+                           const PlanOverrides &overrides = {});
 
 } // namespace nomap
 

@@ -769,12 +769,12 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
               // ---- Transactions ------------------------------------
               VM_CASE(TxBegin) {
                 bool outermost = !env.htm.inTransaction();
-                // Attribute the transaction's trace events to this
-                // function + entry SMP before begin() emits TxBegin.
-                if constexpr (kTrace) {
-                    if (outermost)
-                        env.htm.setTraceContext(ir.funcId, ip->smpPc);
-                }
+                // Attribute the transaction's trace/telemetry events
+                // to this function + entry SMP before begin() emits
+                // TxBegin. Unconditional: the adaptive controller
+                // consumes the telemetry stream with tracing off.
+                if (outermost)
+                    env.htm.setTraceContext(ir.funcId, ip->smpPc);
                 env.acct.chargeCycles(env.htm.begin());
                 sync_tx_flag();
                 if (outermost) {
@@ -832,8 +832,7 @@ IrExecutor::runImpl(IrFunction &ir, BytecodeFunction &fn,
                     return resume_baseline();
                 }
                 env.mem.commitSpeculative();
-                if constexpr (kTrace)
-                    env.htm.setTraceContext(ir.funcId, ip->smpPc);
+                env.htm.setTraceContext(ir.funcId, ip->smpPc);
                 env.acct.chargeCycles(env.htm.begin());
                 tx_snapshot.assign(R, R + ir.bytecodeRegs);
                 tx_entry_pc = ip->smpPc;

@@ -25,11 +25,13 @@ static_assert(static_cast<uint8_t>(AbortCode::None) == 0 &&
 
 } // namespace
 
-TransactionManager::TransactionManager(HtmMode mode)
-    : htmMode(mode),
-      writeSet(mode == HtmMode::Rot ? kL2Size : kL1Size,
-               mode == HtmMode::Rot ? kL2Ways : kL1Ways),
-      readSet(kL2Size, kL2Ways)
+TransactionManager::TransactionManager(HtmMode mode,
+                                       CapacityModelKind capacity_kind)
+    : htmMode(mode), capacityKind(capacity_kind),
+      writeSet(makeWriteCapacityModel(
+          capacity_kind, mode == HtmMode::Rot ? kL2Size : kL1Size,
+          mode == HtmMode::Rot ? kL2Ways : kL1Ways)),
+      readSet(makeReadCapacityModel(capacity_kind, kL2Size, kL2Ways))
 {
 }
 
@@ -41,8 +43,8 @@ TransactionManager::begin()
         return 0; // Flattened nesting: inner begins are free.
 
     sofFlag = false;
-    writeSet.clear();
-    readSet.clear();
+    writeSet->clear();
+    readSet->clear();
     if (rollback)
         rollback->txCheckpoint();
     ++statsData.begins;
@@ -66,8 +68,7 @@ TransactionManager::begin()
         if (inj->fire(FaultSite::HtmSofLatch))
             sofFlag = true;
     }
-    if (trace && trace->enabled())
-        emitTxEvent(TraceEventType::TxBegin, AbortCode::None, 0, 0);
+    emitTxEvent(TraceEventType::TxBegin, AbortCode::None, 0, 0);
     return htmMode == HtmMode::Rot ? kRotBeginCycles : kRtmBeginCycles;
 }
 
@@ -91,22 +92,21 @@ TransactionManager::end()
         return result;
     }
 
-    uint64_t wf = writeSet.footprintBytes();
+    uint64_t wf = writeSet->footprintBytes();
     statsData.totalWriteFootprintBytes += wf;
     statsData.maxWriteFootprintBytes =
         std::max(statsData.maxWriteFootprintBytes, wf);
     statsData.maxWriteWaysUsed =
-        std::max(statsData.maxWriteWaysUsed, writeSet.maxWaysUsed());
-    statsData.totalReadFootprintBytes += readSet.footprintBytes();
-    if (trace && trace->enabled())
-        emitTxEvent(TraceEventType::TxCommit, AbortCode::None, wf,
-                    writeSet.maxWaysUsed());
+        std::max(statsData.maxWriteWaysUsed, writeSet->maxWaysUsed());
+    statsData.totalReadFootprintBytes += readSet->footprintBytes();
+    emitTxEvent(TraceEventType::TxCommit, AbortCode::None, wf,
+                writeSet->maxWaysUsed());
 
     depth = 0;
     if (rollback)
         rollback->txDiscardLog();
-    writeSet.clear();
-    readSet.clear();
+    writeSet->clear();
+    readSet->clear();
     ++statsData.commits;
 
     result.committed = true;
@@ -124,15 +124,14 @@ TransactionManager::abort(AbortCode code)
     // transactions — above all capacity aborts, by definition the
     // largest — must contribute to the footprint maxima, or Table IV
     // reports the maximum of the survivors only.
-    uint64_t wf = writeSet.footprintBytes();
+    uint64_t wf = writeSet->footprintBytes();
     statsData.abortedWriteFootprintBytes += wf;
     statsData.maxWriteFootprintBytes =
         std::max(statsData.maxWriteFootprintBytes, wf);
     statsData.maxWriteWaysUsed =
-        std::max(statsData.maxWriteWaysUsed, writeSet.maxWaysUsed());
-    if (trace && trace->enabled())
-        emitTxEvent(TraceEventType::TxAbort, code, wf,
-                    writeSet.maxWaysUsed());
+        std::max(statsData.maxWriteWaysUsed, writeSet->maxWaysUsed());
+    emitTxEvent(TraceEventType::TxAbort, code, wf,
+                writeSet->maxWaysUsed());
     if (rollback)
         rollback->txRollback();
     finishAbortBookkeeping(code);
@@ -143,6 +142,9 @@ void
 TransactionManager::emitTxEvent(TraceEventType type, AbortCode code,
                                 uint64_t bytes, uint32_t ways) const
 {
+    bool traced = trace && trace->enabled();
+    if (!traced && !telemetry)
+        return;
     TraceEvent event;
     event.vcycles = traceClock ? traceClock->virtualCycles() : 0;
     event.type = type;
@@ -151,7 +153,10 @@ TransactionManager::emitTxEvent(TraceEventType type, AbortCode code,
     event.pc = traceEntryPc;
     event.bytes = bytes;
     event.ways = ways;
-    trace->emit(event);
+    if (traced)
+        trace->emit(event);
+    if (telemetry)
+        telemetry->onTxEvent(event);
 }
 
 void
@@ -160,8 +165,8 @@ TransactionManager::finishAbortBookkeeping(AbortCode code)
     depth = 0;
     sofFlag = false;
     pendingInjected = AbortCode::None;
-    writeSet.clear();
-    readSet.clear();
+    writeSet->clear();
+    readSet->clear();
     ++statsData.aborts;
     ++statsData.abortsByCode[static_cast<size_t>(code)];
 }
@@ -170,18 +175,9 @@ void
 TransactionManager::squeezeWriteWays(uint32_t ways)
 {
     NOMAP_ASSERT(depth == 0);
-    uint32_t size = htmMode == HtmMode::Rot ? kL2Size : kL1Size;
-    uint32_t orig_ways = htmMode == HtmMode::Rot ? kL2Ways : kL1Ways;
-    // Compare against the *current* associativity, not the original
-    // geometry, so squeezes are monotone: squeeze(2) then squeeze(4)
-    // leaves the write set at 2 ways instead of re-growing it.
-    if (ways == 0 || ways >= writeSet.numWays())
-        return;
-    // Keep the set count constant: a real associativity squeeze
-    // leaves line indexing untouched and shrinks each set. Deriving
-    // the size from the original geometry keeps sets == size/(ways *
-    // line) invariant across repeated squeezes.
-    writeSet = FootprintTracker(size / orig_ways * ways, ways);
+    // Monotonicity (a later, larger value never re-grows the set)
+    // and set-count preservation live inside the model.
+    writeSet->squeezeWays(ways);
 }
 
 bool
@@ -192,7 +188,7 @@ TransactionManager::recordWrite(Addr addr)
         abort(AbortCode::Capacity);
         return false;
     }
-    if (writeSet.insert(addr))
+    if (writeSet->insert(addr))
         return true;
     abort(AbortCode::Capacity);
     return false;
@@ -204,7 +200,7 @@ TransactionManager::recordRead(Addr addr)
     NOMAP_ASSERT(depth > 0);
     if (htmMode != HtmMode::Rtm)
         return true; // ROT does not track reads at all.
-    if (readSet.insert(addr))
+    if (readSet->insert(addr))
         return true;
     abort(AbortCode::Capacity);
     return false;

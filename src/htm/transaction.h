@@ -30,8 +30,10 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "htm/capacity_model.h"
 #include "memsim/footprint.h"
 #include "trace/trace.h"
 
@@ -118,9 +120,14 @@ struct CommitResult {
 class TransactionManager
 {
   public:
-    explicit TransactionManager(HtmMode mode = HtmMode::Rot);
+    explicit TransactionManager(
+        HtmMode mode = HtmMode::Rot,
+        CapacityModelKind capacity_kind = CapacityModelKind::WaysAssoc);
 
     HtmMode mode() const { return htmMode; }
+
+    /** Capacity geometry this manager models. */
+    CapacityModelKind capacityModelKind() const { return capacityKind; }
 
     /** Attach the memory owner that knows how to undo writes. */
     void setRollbackClient(RollbackClient *client) { rollback = client; }
@@ -162,6 +169,15 @@ class TransactionManager
     }
 
     /**
+     * Attach a telemetry sink that receives every TxBegin / TxCommit
+     * / TxAbort event, independently of the trace buffer (and with
+     * tracing disabled entirely). The adaptive controller listens
+     * here. Pass nullptr to detach. Events carry the same payload the
+     * tracer sees, stamped from the same clock (0 without one).
+     */
+    void setTelemetry(TxTelemetrySink *sink) { telemetry = sink; }
+
+    /**
      * Tell the tracer which code the *next* transaction belongs to
      * (function id + entry SMP pc). Called by the executor right
      * before the outermost begin(); sticky until the next call, so
@@ -184,7 +200,17 @@ class TransactionManager
     void squeezeWriteWays(uint32_t ways);
 
     /** Current write-set associativity (after any squeeze). */
-    uint32_t writeWays() const { return writeSet.numWays(); }
+    uint32_t writeWays() const { return writeSet->numWays(); }
+
+    /**
+     * Total write capacity in bytes under the current model and
+     * squeeze state — the oracle the planner consults so plan and
+     * hardware agree on one geometry.
+     */
+    uint64_t writeCapacityBytes() const
+    {
+        return writeSet->capacityBytes();
+    }
 
     /** True while inside a (possibly nested) transaction. */
     bool inTransaction() const { return depth > 0; }
@@ -236,7 +262,7 @@ class TransactionManager
     /** Write footprint of the current transaction, in bytes. */
     uint64_t currentWriteFootprintBytes() const
     {
-        return writeSet.footprintBytes();
+        return writeSet->footprintBytes();
     }
 
     const HtmStats &stats() const { return statsData; }
@@ -255,18 +281,20 @@ class TransactionManager
                      uint32_t ways) const;
 
     HtmMode htmMode;
+    CapacityModelKind capacityKind;
     RollbackClient *rollback = nullptr;
     FaultInjector *inj = nullptr;
     TraceBuffer *trace = nullptr;
     const TraceClock *traceClock = nullptr;
+    TxTelemetrySink *telemetry = nullptr;
     uint32_t traceFuncId = 0;
     uint32_t traceEntryPc = 0;
     AbortCode pendingInjected = AbortCode::None;
     uint32_t depth = 0;
     bool sofFlag = false;
 
-    FootprintTracker writeSet;
-    FootprintTracker readSet;
+    std::unique_ptr<CapacityModel> writeSet;
+    std::unique_ptr<CapacityModel> readSet;
 
     HtmStats statsData;
 };

@@ -40,6 +40,8 @@ constexpr SiteNameEntry kSiteNames[] = {
     {FaultSite::NetRead, "net.read"},
     {FaultSite::NetWrite, "net.write"},
     {FaultSite::NetFrameDefer, "net.frame"},
+    {FaultSite::AdaptiveDecision, "adaptive.decision"},
+    {FaultSite::AdaptiveBlacklist, "adaptive.blacklist"},
 };
 
 std::string

@@ -71,6 +71,13 @@
  *                              request frame by one poll cycle
  *                              (models a slow client's request
  *                              straggling in)
+ *     adaptive.decision@N      veto the N-th adaptive plan-revision
+ *                              application (the controller rolls its
+ *                              assumed state back and re-decides)
+ *     adaptive.blacklist@N     at the N-th adaptive revision
+ *                              application, force the function
+ *                              untransactional (pinned level 3)
+ *                              instead of the decided revision
  *
  * Triggers are one-shot: each action fires at most once per injector.
  * Disarmed sites cost a single branch on a nullable pointer; an armed
@@ -118,10 +125,12 @@ enum class FaultSite : uint8_t {
     NetRead,             ///< net.read
     NetWrite,            ///< net.write
     NetFrameDefer,       ///< net.frame
+    AdaptiveDecision,    ///< adaptive.decision
+    AdaptiveBlacklist,   ///< adaptive.blacklist
 };
 
 constexpr size_t kNumFaultSites =
-    static_cast<size_t>(FaultSite::NetFrameDefer) + 1;
+    static_cast<size_t>(FaultSite::AdaptiveBlacklist) + 1;
 
 /** Canonical grammar name of a site ("htm.abort", "check.bounds"...). */
 const char *faultSiteName(FaultSite site);

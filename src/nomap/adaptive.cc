@@ -1,0 +1,307 @@
+#include "nomap/adaptive.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "support/logging.h"
+
+namespace nomap {
+
+namespace {
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+} // namespace
+
+const char *
+revisionCauseName(RevisionCause cause)
+{
+    switch (cause) {
+      case RevisionCause::Shrink: return "shrink";
+      case RevisionCause::Tighten: return "tighten";
+      case RevisionCause::Blacklist: return "blacklist";
+      case RevisionCause::Rewiden: return "rewiden";
+    }
+    return "?";
+}
+
+AdaptiveController::AdaptiveController(const AdaptiveConfig &config)
+    : cfg(config)
+{
+    NOMAP_ASSERT(cfg.capacityShrinkStreak > 0);
+    NOMAP_ASSERT(cfg.siteBlacklistStreak > 0);
+    NOMAP_ASSERT(cfg.stabilityWindowCommits > 0);
+}
+
+void
+AdaptiveController::propose(uint32_t func_id, FuncState &f,
+                            RevisionCause cause, uint32_t level,
+                            uint64_t override_bytes, uint32_t added_pc,
+                            bool has_added_pc, uint64_t vcycles)
+{
+    PlanRevision rev;
+    rev.funcId = func_id;
+    rev.cause = cause;
+    rev.prevScopeLevel = f.level;
+    rev.prevCapacityOverrideBytes = f.overrideBytes;
+    if (has_added_pc) {
+        auto it = std::lower_bound(f.blacklistPcs.begin(),
+                                   f.blacklistPcs.end(), added_pc);
+        if (it == f.blacklistPcs.end() || *it != added_pc) {
+            f.blacklistPcs.insert(it, added_pc);
+            rev.addedBlacklistPc = added_pc;
+            rev.hasAddedBlacklistPc = true;
+        }
+    }
+    f.level = level;
+    f.overrideBytes = override_bytes;
+    rev.scopeLevel = level;
+    rev.capacityOverrideBytes = override_bytes;
+    rev.blacklistPcs = f.blacklistPcs;
+    rev.vcycles = vcycles;
+    rev.ordinal = static_cast<uint32_t>(decidedLog.size()) + 1;
+
+    if (f.revisions == 0) {
+        f.abortsBeforeFirst = f.aborts;
+        f.commitsBeforeFirst = f.commits;
+    }
+    f.abortsAtLast = f.aborts;
+    f.commitsAtLast = f.commits;
+    ++f.revisions;
+    if (cause == RevisionCause::Rewiden)
+        ++f.rewidens;
+
+    f.pending = rev;
+    decidedLog.push_back(rev);
+}
+
+void
+AdaptiveController::onTxEvent(const TraceEvent &event)
+{
+    FuncState &f = funcs[event.funcId];
+    switch (event.type) {
+      case TraceEventType::TxBegin:
+        ++f.begins;
+        return;
+
+      case TraceEventType::TxCommit: {
+        ++f.commits;
+        // A clean commit breaks every abort streak (the static
+        // policy's "clean call zeroes both counters", per site).
+        f.capStreak = 0;
+        f.siteStreaks.erase(event.pc);
+        ++f.cleanCommits;
+        if (f.pending || f.pinnedOff ||
+            f.rewidens >= cfg.rewidenBudget ||
+            f.cleanCommits < cfg.stabilityWindowCommits ||
+            (f.level == 0 && f.overrideBytes == 0)) {
+            return;
+        }
+        // Stability window elapsed: walk one step back. First widen
+        // the learned budget toward the model capacity, then (once
+        // the override is gone) de-escalate the scope level.
+        f.cleanCommits = 0;
+        if (f.overrideBytes > 0) {
+            uint64_t widened = f.overrideBytes * 2;
+            if (cfg.modelCapacityBytes == 0 ||
+                widened >= cfg.modelCapacityBytes / 2) {
+                widened = 0; // Back to the planner's default budget.
+            }
+            propose(event.funcId, f, RevisionCause::Rewiden, f.level,
+                    widened, 0, false, event.vcycles);
+        } else {
+            propose(event.funcId, f, RevisionCause::Rewiden,
+                    f.level - 1, 0, 0, false, event.vcycles);
+        }
+        return;
+      }
+
+      case TraceEventType::TxAbort:
+        break; // Handled below.
+
+      default:
+        return; // Not a transaction event; ignore.
+    }
+
+    ++f.aborts;
+    f.cleanCommits = 0;
+    AbortCode code = static_cast<AbortCode>(event.code);
+
+    if (code == AbortCode::Capacity ||
+        code == AbortCode::StickyOverflow) {
+        ++f.capStreak;
+        if (event.bytes > 0) {
+            f.minAbortFootprint = std::min(
+                f.minAbortFootprint,
+                std::max<uint64_t>(event.bytes, kLineSize));
+        }
+        if (f.pending || f.pinnedOff ||
+            f.capStreak < cfg.capacityShrinkStreak || f.level >= 3) {
+            return;
+        }
+        f.capStreak = 0;
+        uint64_t learned = 0;
+        if (f.minAbortFootprint != UINT64_MAX) {
+            learned = std::max<uint64_t>(
+                cfg.minOverrideBytes,
+                static_cast<uint64_t>(
+                    static_cast<double>(f.minAbortFootprint) *
+                    cfg.footprintSafetyFraction));
+        }
+        if (f.level < 2) {
+            // Jump straight to the tiled scope with the learned
+            // budget: tiles sized from the *observed* capacity fit
+            // where the static ladder's estimate-sized tiles do not.
+            propose(event.funcId, f, RevisionCause::Shrink, 2, learned,
+                    0, false, event.vcycles);
+        } else if (f.overrideBytes > cfg.minOverrideBytes) {
+            uint64_t tightened =
+                std::max(cfg.minOverrideBytes, f.overrideBytes / 2);
+            propose(event.funcId, f, RevisionCause::Tighten, 2,
+                    tightened, 0, false, event.vcycles);
+        } else if (f.overrideBytes == 0 && learned > 0) {
+            propose(event.funcId, f, RevisionCause::Tighten, 2, learned,
+                    0, false, event.vcycles);
+        } else {
+            // Still aborting at the floor: give up on transactions.
+            propose(event.funcId, f, RevisionCause::Shrink, 3, 0, 0,
+                    false, event.vcycles);
+        }
+        return;
+    }
+
+    // ExplicitCheck / Irrevocable: a semantic abort at a specific
+    // site. Streaks are per (entry pc), so one pathological loop
+    // cannot detransactionalize its siblings.
+    uint32_t &streak = f.siteStreaks[event.pc];
+    ++streak;
+    if (f.pending || f.pinnedOff ||
+        streak < cfg.siteBlacklistStreak) {
+        return;
+    }
+    streak = 0;
+    bool already =
+        std::binary_search(f.blacklistPcs.begin(), f.blacklistPcs.end(),
+                           event.pc);
+    if (already)
+        return;
+    propose(event.funcId, f, RevisionCause::Blacklist, f.level,
+            f.overrideBytes, event.pc, true, event.vcycles);
+}
+
+bool
+AdaptiveController::hasPending(uint32_t func_id) const
+{
+    auto it = funcs.find(func_id);
+    return it != funcs.end() && it->second.pending.has_value();
+}
+
+std::optional<PlanRevision>
+AdaptiveController::takePending(uint32_t func_id)
+{
+    auto it = funcs.find(func_id);
+    if (it == funcs.end() || !it->second.pending)
+        return std::nullopt;
+    std::optional<PlanRevision> rev = std::move(it->second.pending);
+    it->second.pending.reset();
+    return rev;
+}
+
+void
+AdaptiveController::noteVetoed(const PlanRevision &rev)
+{
+    auto it = funcs.find(rev.funcId);
+    if (it == funcs.end())
+        return;
+    FuncState &f = it->second;
+    f.level = rev.prevScopeLevel;
+    f.overrideBytes = rev.prevCapacityOverrideBytes;
+    if (rev.hasAddedBlacklistPc) {
+        auto pos = std::lower_bound(f.blacklistPcs.begin(),
+                                    f.blacklistPcs.end(),
+                                    rev.addedBlacklistPc);
+        if (pos != f.blacklistPcs.end() &&
+            *pos == rev.addedBlacklistPc) {
+            f.blacklistPcs.erase(pos);
+        }
+    }
+}
+
+void
+AdaptiveController::noteForcedBlacklist(uint32_t func_id)
+{
+    FuncState &f = funcs[func_id];
+    f.level = 3;
+    f.overrideBytes = 0;
+    f.pinnedOff = true;
+    f.pending.reset();
+}
+
+std::optional<AdaptiveController::FunctionSnapshot>
+AdaptiveController::functionSnapshot(uint32_t func_id) const
+{
+    auto it = funcs.find(func_id);
+    if (it == funcs.end())
+        return std::nullopt;
+    const FuncState &f = it->second;
+    FunctionSnapshot snap;
+    snap.level = f.level;
+    snap.capacityOverrideBytes = f.overrideBytes;
+    snap.pinnedOff = f.pinnedOff;
+    snap.blacklistPcs = f.blacklistPcs;
+    snap.begins = f.begins;
+    snap.commits = f.commits;
+    snap.aborts = f.aborts;
+    snap.revisions = f.revisions;
+    snap.rewidens = f.rewidens;
+    snap.minAbortFootprintBytes = f.minAbortFootprint;
+    snap.abortsBeforeFirstRevision = f.abortsBeforeFirst;
+    snap.commitsBeforeFirstRevision = f.commitsBeforeFirst;
+    snap.abortsAtLastRevision = f.abortsAtLast;
+    snap.commitsAtLastRevision = f.commitsAtLast;
+    return snap;
+}
+
+std::string
+AdaptiveController::report() const
+{
+    std::string out;
+    appendf(out, "adaptive controller: %" PRIu64 " revision(s)\n",
+            static_cast<uint64_t>(decidedLog.size()));
+    for (const auto &[func_id, f] : funcs) {
+        if (f.revisions == 0 && f.aborts == 0)
+            continue;
+        appendf(out,
+                "  fn#%" PRIu32 " level=%" PRIu32 " override=%" PRIu64
+                " revisions=%" PRIu32 " rewidens=%" PRIu32
+                " commits=%" PRIu64 " aborts=%" PRIu64,
+                func_id, f.level, f.overrideBytes, f.revisions,
+                f.rewidens, f.commits, f.aborts);
+        if (f.pinnedOff)
+            out += " pinned-off";
+        if (!f.blacklistPcs.empty()) {
+            out += " blacklist=[";
+            for (size_t i = 0; i < f.blacklistPcs.size(); ++i) {
+                if (i)
+                    out += ',';
+                appendf(out, "%" PRIu32, f.blacklistPcs[i]);
+            }
+            out += ']';
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace nomap

@@ -1,0 +1,245 @@
+#ifndef NOMAP_NOMAP_ADAPTIVE_H
+#define NOMAP_NOMAP_ADAPTIVE_H
+
+/**
+ * @file
+ * Adaptive transaction planning: the feedback controller behind the
+ * engine's `adaptive` mode.
+ *
+ * The static planner (planner.{h,cc}) chooses transaction scopes from
+ * compile-time estimates; the runtime's static policy escalates one
+ * scope level after repeated aborts. This controller closes the loop
+ * the trace layer opened: it consumes the *complete* per-transaction
+ * telemetry stream (TxBegin / TxCommit / TxAbort events, with abort
+ * code, pre-rollback footprint, and the owning (function, entry-pc)
+ * site) and converts it into per-function plan revisions that the
+ * engine applies at tier-up boundaries:
+ *
+ *  - **Shrink on capacity/SOF aborts.** A function whose transactions
+ *    keep capacity-aborting is re-planned at the tiled scope with a
+ *    *learned* budget: the smallest footprint observed at a capacity
+ *    abort is, by definition, just past what the hardware holds, so
+ *    half of it is a capacity estimate no static geometry table can
+ *    provide (it reflects squeezed ways, limited-set buffers —
+ *    whatever the hardware actually did). Sustained aborts keep
+ *    halving the budget; at the floor the function gives up and goes
+ *    untransactional (level 3).
+ *
+ *  - **Blacklist explicit-aborting sites.** A site (loop entry pc)
+ *    that repeatedly explicit-aborts or goes irrevocable is excluded
+ *    from planning by pc — other loops in the function keep their
+ *    transactions, unlike the static policy's whole-function level 3.
+ *
+ *  - **Re-widen after stability.** After a window of clean commits
+ *    the controller walks back one step (double the budget toward the
+ *    model capacity, then de-escalate the level), bounded by a
+ *    per-function re-widen budget so an oscillating workload settles
+ *    instead of thrashing (hysteresis: shrinking takes 2 consecutive
+ *    aborts, re-widening takes 64 consecutive clean commits).
+ *
+ * **Determinism.** The controller is a pure function of the telemetry
+ * stream: every input (event order, abort codes, footprints,
+ * virtual-cycle timestamps) is itself deterministic, no wall clock or
+ * randomness enters, and decisions are *made* here — the engine only
+ * asks "is a revision pending?" at its (equally deterministic)
+ * FTL-call boundaries. Replaying a recorded stream into a fresh
+ * controller reproduces the identical revision log, which is exactly
+ * what the property tests in tests/test_adaptive.cc assert. On an
+ * abort-free run the controller provably does nothing: every state
+ * change below is triggered by a TxAbort, so unfaulted paper-suite
+ * runs are bit-identical to static planning (the differential test
+ * enforces this across all six architectures).
+ */
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "htm/transaction.h"
+#include "trace/trace.h"
+
+namespace nomap {
+
+/** Why a revision was decided. */
+enum class RevisionCause : uint8_t {
+    Shrink,    ///< Capacity ladder: jump to tiled scope / level 3.
+    Tighten,   ///< Already tiled: halve the learned budget.
+    Blacklist, ///< A site repeatedly explicit-aborted; exclude it.
+    Rewiden,   ///< Stability window elapsed; walk one step back.
+};
+
+/** Printable cause name. */
+const char *revisionCauseName(RevisionCause cause);
+
+/**
+ * One decided plan revision. The engine applies it by recompiling the
+ * function's FTL code with the new scope level, budget override, and
+ * site blacklist (see PlannerConfig).
+ */
+struct PlanRevision {
+    uint32_t funcId = 0;
+    RevisionCause cause = RevisionCause::Shrink;
+    /** Target function-wide scope level (0 nest .. 3 none). */
+    uint32_t scopeLevel = 0;
+    /** Learned planner budget in bytes; 0 = planner default. */
+    uint64_t capacityOverrideBytes = 0;
+    /** Cumulative blacklisted loop-header pcs, ascending. */
+    std::vector<uint32_t> blacklistPcs;
+    /** Virtual-cycle timestamp of the triggering event. */
+    uint64_t vcycles = 0;
+    /** 1-based decision ordinal across the whole controller. */
+    uint32_t ordinal = 0;
+
+    // Rollback data for an injector-vetoed application
+    // (adaptive.decision); not part of the decision identity.
+    uint32_t prevScopeLevel = 0;
+    uint64_t prevCapacityOverrideBytes = 0;
+    uint32_t addedBlacklistPc = 0;
+    bool hasAddedBlacklistPc = false;
+
+    /** Decision identity (what the determinism property compares). */
+    bool
+    sameDecision(const PlanRevision &o) const
+    {
+        return funcId == o.funcId && cause == o.cause &&
+               scopeLevel == o.scopeLevel &&
+               capacityOverrideBytes == o.capacityOverrideBytes &&
+               blacklistPcs == o.blacklistPcs &&
+               vcycles == o.vcycles && ordinal == o.ordinal;
+    }
+};
+
+/** Controller tuning knobs — the hysteresis constants (DESIGN.md §10). */
+struct AdaptiveConfig {
+    /** Consecutive capacity/SOF aborts (function-wide) per shrink. */
+    uint32_t capacityShrinkStreak = 2;
+    /** Consecutive explicit/irrevocable aborts at one site before it
+     *  is blacklisted (the engine seeds this from
+     *  EngineConfig::abortEscalationLimit). */
+    uint32_t siteBlacklistStreak = 8;
+    /** Consecutive clean commits before one re-widen step. */
+    uint32_t stabilityWindowCommits = 64;
+    /** Re-widen steps allowed per function, ever (hysteresis bound). */
+    uint32_t rewidenBudget = 3;
+    /** Learned budget = this fraction of the min abort footprint. */
+    double footprintSafetyFraction = 0.5;
+    /** Floor for the learned budget (and the give-up threshold). */
+    uint64_t minOverrideBytes = 1024;
+    /** Write capacity of the attached HTM model (re-widen ceiling);
+     *  0 = unknown, re-widen clears the override in one step. */
+    uint64_t modelCapacityBytes = 0;
+};
+
+/**
+ * The feedback controller. Attach to a TransactionManager via
+ * setTelemetry(); poll takePending() at tier-up/recompile boundaries.
+ */
+class AdaptiveController final : public TxTelemetrySink
+{
+  public:
+    explicit AdaptiveController(const AdaptiveConfig &config = {});
+
+    const AdaptiveConfig &config() const { return cfg; }
+
+    // ---- Telemetry input (pure state machine) --------------------------
+    void onTxEvent(const TraceEvent &event) override;
+
+    // ---- Engine-side application ---------------------------------------
+    /** Is a revision waiting for @p func_id? */
+    bool hasPending(uint32_t func_id) const;
+
+    /** Take the pending revision for @p func_id, if any. */
+    std::optional<PlanRevision> takePending(uint32_t func_id);
+
+    /**
+     * The engine's injector vetoed @p rev (adaptive.decision site):
+     * roll the assumed level/override/blacklist back so the
+     * controller re-decides once the streaks rebuild.
+     */
+    void noteVetoed(const PlanRevision &rev);
+
+    /**
+     * The engine's injector forced @p func_id untransactional
+     * (adaptive.blacklist site): pin level 3 and stop proposing.
+     */
+    void noteForcedBlacklist(uint32_t func_id);
+
+    // ---- Introspection (tests, benches, reports) -----------------------
+    /** Everything the controller believes about one function. */
+    struct FunctionSnapshot {
+        uint32_t level = 0;
+        uint64_t capacityOverrideBytes = 0;
+        bool pinnedOff = false; ///< Forced level 3 (injection).
+        std::vector<uint32_t> blacklistPcs;
+        uint64_t begins = 0;
+        uint64_t commits = 0;
+        uint64_t aborts = 0;
+        uint32_t revisions = 0;
+        uint32_t rewidens = 0;
+        /** UINT64_MAX when no capacity abort has been observed. */
+        uint64_t minAbortFootprintBytes = UINT64_MAX;
+        /** Totals frozen at the first / latest decision (for the
+         *  convergence metrics: "after" = totals minus AtLast). */
+        uint64_t abortsBeforeFirstRevision = 0;
+        uint64_t commitsBeforeFirstRevision = 0;
+        uint64_t abortsAtLastRevision = 0;
+        uint64_t commitsAtLastRevision = 0;
+    };
+
+    /** Snapshot for @p func_id (nullopt if never seen). */
+    std::optional<FunctionSnapshot>
+    functionSnapshot(uint32_t func_id) const;
+
+    /** All decisions, in decision order. */
+    const std::vector<PlanRevision> &revisionLog() const
+    {
+        return decidedLog;
+    }
+
+    /** Total decisions made (== revisionLog().size()). */
+    uint64_t revisionsDecided() const { return decidedLog.size(); }
+
+    /**
+     * Deterministic text summary, one line per adapted function,
+     * ordered by function id (for reports and the abort-storm bench).
+     */
+    std::string report() const;
+
+  private:
+    struct FuncState {
+        uint32_t level = 0;
+        uint64_t overrideBytes = 0;
+        bool pinnedOff = false;
+        std::vector<uint32_t> blacklistPcs;
+        uint32_t capStreak = 0;
+        uint32_t cleanCommits = 0;
+        uint32_t rewidens = 0;
+        std::map<uint32_t, uint32_t> siteStreaks;
+        uint64_t minAbortFootprint = UINT64_MAX;
+        uint64_t begins = 0;
+        uint64_t commits = 0;
+        uint64_t aborts = 0;
+        uint32_t revisions = 0;
+        uint64_t abortsBeforeFirst = 0;
+        uint64_t commitsBeforeFirst = 0;
+        uint64_t abortsAtLast = 0;
+        uint64_t commitsAtLast = 0;
+        std::optional<PlanRevision> pending;
+    };
+
+    void propose(uint32_t func_id, FuncState &f, RevisionCause cause,
+                 uint32_t level, uint64_t override_bytes,
+                 uint32_t added_pc, bool has_added_pc,
+                 uint64_t vcycles);
+
+    AdaptiveConfig cfg;
+    // Ordered map: report() and snapshots iterate deterministically.
+    std::map<uint32_t, FuncState> funcs;
+    std::vector<PlanRevision> decidedLog;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_NOMAP_ADAPTIVE_H

@@ -116,6 +116,30 @@ containsCall(const IrFunction &fn, const NaturalLoop &loop)
     return false;
 }
 
+/** Any loop-header pc in this nest on the adaptive blacklist? */
+bool
+nestBlacklisted(const IrFunction &fn, const NaturalLoop &nest,
+                const std::vector<NaturalLoop> &loops,
+                const std::vector<uint32_t> &blacklist_pcs)
+{
+    if (blacklist_pcs.empty())
+        return false;
+    auto listed = [&](uint32_t header) {
+        return std::binary_search(blacklist_pcs.begin(),
+                                  blacklist_pcs.end(),
+                                  fn.blocks[header].firstPc);
+    };
+    if (listed(nest.header))
+        return true;
+    for (const NaturalLoop &inner : loops) {
+        if (inner.header != nest.header &&
+            nest.contains(inner.header) && listed(inner.header)) {
+            return true;
+        }
+    }
+    return false;
+}
+
 bool
 loopHasChecks(const IrFunction &fn, const NaturalLoop &loop)
 {
@@ -234,14 +258,24 @@ planTransactions(IrFunction &fn, const FunctionProfile &profile,
     std::vector<uint32_t> idom = computeIdoms(fn);
     std::vector<NaturalLoop> loops = findLoops(fn, idom);
 
-    uint64_t budget = static_cast<uint64_t>(
-        config.capacityBudgetFraction *
-        static_cast<double>(config.writeCapacityBytes()));
+    // An adaptive override *is* the budget (already safety-scaled
+    // from observed abort footprints); otherwise budget = fraction of
+    // the model capacity, as in the paper.
+    uint64_t budget =
+        config.budgetOverrideBytes
+            ? config.budgetOverrideBytes
+            : static_cast<uint64_t>(
+                  config.capacityBudgetFraction *
+                  static_cast<double>(config.writeCapacityBytes()));
 
     // Work on top-level nests, outermost first.
     for (NaturalLoop &nest : loops) {
         if (nest.parentHeader >= 0)
             continue;
+        if (nestBlacklisted(fn, nest, loops, config.blacklistPcs)) {
+            ++result.nestsSkippedBlacklisted;
+            continue;
+        }
         if (containsIrrevocable(fn, nest)) {
             ++result.nestsSkippedIrrevocable;
             continue;

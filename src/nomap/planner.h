@@ -41,10 +41,31 @@ struct PlannerConfig {
     uint32_t scopeLevel = 0;
     /** Minimum average trip count for a loop to be worth wrapping. */
     double minTripCount = 4.0;
+    /**
+     * Write capacity of the actual HTM model in bytes; 0 derives the
+     * paper's cache geometry from htmMode. Set from
+     * TransactionManager::writeCapacityBytes() when the engine runs a
+     * non-default CapacityModel, so plan and hardware share one
+     * capacity oracle.
+     */
+    uint64_t capacityBytes = 0;
+    /**
+     * Adaptive-controller budget override in bytes: when nonzero it
+     * *is* the budget (already safety-scaled from observed abort
+     * footprints), replacing fraction * capacity.
+     */
+    uint64_t budgetOverrideBytes = 0;
+    /**
+     * Loop-header pcs the adaptive controller blacklisted
+     * (ascending). A nest containing one gets no transaction.
+     */
+    std::vector<uint32_t> blacklistPcs;
 
     uint64_t
     writeCapacityBytes() const
     {
+        if (capacityBytes)
+            return capacityBytes;
         return htmMode == HtmMode::Rot ? 256 * 1024 : 32 * 1024;
     }
 };
@@ -68,6 +89,9 @@ struct PlanResult {
     uint32_t nestsSkippedIrrevocable = 0;
     uint32_t nestsSkippedCold = 0;
     uint32_t nestsSkippedCapacity = 0;
+    /** Nests dropped because a contained loop-header pc is on the
+     *  adaptive controller's blacklist. */
+    uint32_t nestsSkippedBlacklisted = 0;
     /** Per-wrapped-loop detail, in placement order. */
     std::vector<LoopPlan> loops;
 };

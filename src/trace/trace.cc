@@ -152,6 +152,7 @@ tracePassName(TracePassId pass)
       case TracePassId::SofElim: return "sof-elim";
       case TracePassId::RemoveConvertedChecks:
         return "remove-converted-checks";
+      case TracePassId::Adaptive: return "adaptive-revision";
     }
     return "?";
 }

@@ -96,6 +96,10 @@ enum class TracePassId : uint16_t {
     BoundsCombine,
     SofElim,
     RemoveConvertedChecks,
+    /** Not a pass: an adaptive plan revision (engine/engine.cc).
+     *  bytes = capacity-override budget, ways = new scope level,
+     *  pc = 0 (function-wide) or the blacklisted site. */
+    Adaptive,
 };
 
 /** Printable pass name. */
@@ -136,6 +140,26 @@ struct TraceEvent {
     uint32_t tid = 0;
 
     bool operator==(const TraceEvent &) const = default;
+};
+
+/**
+ * Receives every transaction-boundary event (TxBegin / TxCommit /
+ * TxAbort) as it happens, independently of whether a TraceBuffer is
+ * attached or enabled. This is the feed the adaptive planner's
+ * controller consumes: unlike the ring buffer — which is sized for
+ * post-hoc attribution and drops the newest events once full — a sink
+ * sees the complete stream, and it works with tracing disabled
+ * entirely. The interface lives here (not in htm/ or nomap/) because
+ * trace sits below both in the link graph. Implementations must not
+ * re-enter the transaction manager.
+ */
+class TxTelemetrySink
+{
+  public:
+    virtual ~TxTelemetrySink() = default;
+
+    /** One TxBegin/TxCommit/TxAbort, same payload as the traced form. */
+    virtual void onTxEvent(const TraceEvent &event) = 0;
 };
 
 /**

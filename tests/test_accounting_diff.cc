@@ -129,5 +129,79 @@ TEST(AccountingChargePlan, InvariantUnderQuickening)
     EXPECT_TRUE(any_quickened);
 }
 
+// Plan revisions land at FTL-call boundaries, where batched
+// accounting may hold pending, not-yet-flushed instruction units; a
+// revision (recompile) must neither drop nor double-charge them, and
+// the abort-side refunds around the storm stay an exact inverse. The
+// recursive storm also pins the activeRuns/pendingRecompile contract:
+// a revision decided while an outer activation of the same function
+// is still executing its (old) FTL code must be deferred to the
+// outermost return — applying it immediately would free IR mid-run
+// (ASan config catches the use-after-free this test was built
+// against).
+TEST(AccountingRevisionBoundary, AdaptiveReplanIsExactlyAccounted)
+{
+    const std::string src = R"JS(
+var N = 16384;
+var A = [];
+for (var i = 0; i < N; i++) A[i] = i % 17;
+function storm(a, n, depth) {
+    var s = 0;
+    for (var j = 0; j < n; j++) {
+        a[j] = (a[j] + j) % 1021;
+        s = (s + a[j]) % 65536;
+    }
+    if (depth > 0) s = (s + storm(a, n, depth - 1)) % 65536;
+    return s;
+}
+var out = 0;
+for (var r = 0; r < 10; r++) out = (out + storm(A, N, 2)) % 65536;
+result = out;
+)JS";
+
+    // Unfaulted Base reference for the semantics check.
+    EngineConfig base;
+    base.arch = Architecture::Base;
+    Engine ref(base);
+    const std::string want = ref.run(src).resultString;
+
+    FaultPlan squeeze = FaultPlan::parse("htm.ways@1");
+    for (bool adaptive : {false, true}) {
+        SCOPED_TRACE(adaptive ? "adaptive replanning"
+                              : "static escalation");
+        ExecutionStats stats[2];
+        for (int per_op = 0; per_op < 2; ++per_op) {
+            EngineConfig config;
+            config.arch = Architecture::NoMap;
+            config.adaptive = adaptive;
+            config.perOpAccounting = per_op != 0;
+            // Tier up fast so most storm calls run FTL transactions.
+            config.baselineThreshold = 2;
+            config.dfgThreshold = 4;
+            config.ftlThreshold = 8;
+            Engine engine(config);
+            engine.armFaultPlan(&squeeze);
+            EngineResult r = engine.run(src);
+            EXPECT_EQ(r.resultString, want);
+            stats[per_op] = r.stats;
+
+            // Vacuity guards: the storm really did force mid-run
+            // replanning (with the recursion live), and no deferred
+            // recompile is left owing at the end.
+            EXPECT_GE(r.stats.txAborts, 2u);
+            EXPECT_GE(r.stats.ftlRecompiles, 1u);
+            if (adaptive) {
+                ASSERT_NE(engine.adaptive(), nullptr);
+                EXPECT_GE(engine.adaptive()->revisionsDecided(), 1u);
+            }
+            const FunctionState *state =
+                engine.functionState("storm");
+            ASSERT_NE(state, nullptr);
+            EXPECT_FALSE(state->pendingRecompile);
+        }
+        expectBitIdentical(stats[0], stats[1]);
+    }
+}
+
 } // namespace
 } // namespace nomap

@@ -1,0 +1,986 @@
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "htm/capacity_model.h"
+#include "inject/fault_plan.h"
+#include "memsim/footprint.h"
+#include "nomap/adaptive.h"
+#include "suites/suite.h"
+#include "trace/trace.h"
+
+namespace nomap {
+namespace {
+
+/**
+ * The adaptive-planning property suite (DESIGN.md §10).
+ *
+ * Three layers of assurance:
+ *
+ *  1. **Controller properties** — the AdaptiveController is a pure
+ *     state machine over the transaction telemetry stream. Synthetic
+ *     streams drive every decision rule directly: the shrink ladder
+ *     is monotone under sustained capacity aborts, the learned budget
+ *     halves until the floor and then gives up, re-widening needs a
+ *     full stability window and is bounded by its budget, site
+ *     blacklists are per-pc, and vetoed decisions roll back and are
+ *     re-decided. Replaying any recorded stream into a fresh
+ *     controller reproduces the identical revision log.
+ *
+ *  2. **Differential vs static** — on unfaulted paper-suite runs the
+ *     controller provably does nothing (every state change needs a
+ *     TxAbort), so `--adaptive` must be bit-identical to static
+ *     planning across all six architectures: result, print output,
+ *     heap state, every ExecutionStats counter, and the full trace
+ *     event stream.
+ *
+ *  3. **Capacity-model contracts** — golden footprint/ways/overflow
+ *     tables for both CapacityModel kinds under deterministic insert
+ *     streams (regenerate with NOMAP_UPDATE_GOLDEN=1), plus the
+ *     cross-parameterization invariant: a transaction that fits a
+ *     smaller model of a kind must fit a larger one.
+ */
+
+// ---- Golden-file helpers (same convention as test_metrics_golden) -----
+
+std::string
+goldenPath(const char *name)
+{
+    return std::string(NOMAP_GOLDEN_DIR) + "/" + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+bool
+updateMode()
+{
+    const char *v = std::getenv("NOMAP_UPDATE_GOLDEN");
+    return v && *v && std::string(v) != "0";
+}
+
+void
+checkAgainstGolden(const char *name, const std::string &actual)
+{
+    std::string path = goldenPath(name);
+    if (updateMode()) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << path;
+        out << actual;
+        return;
+    }
+    std::string expected = readFile(path);
+    ASSERT_FALSE(expected.empty())
+        << "missing golden " << path
+        << " — bootstrap with NOMAP_UPDATE_GOLDEN=1";
+    EXPECT_EQ(actual, expected)
+        << "capacity-model contract drifted from " << path
+        << "; if intentional, regenerate with NOMAP_UPDATE_GOLDEN=1 "
+           "and review the diff";
+}
+
+// ---- Synthetic telemetry ----------------------------------------------
+
+/** Monotone virtual clock for hand-built event streams. */
+struct SynthClock {
+    uint64_t now = 1000;
+    uint64_t
+    tick()
+    {
+        now += 10;
+        return now;
+    }
+};
+
+TraceEvent
+txBegin(uint32_t fn, uint32_t pc, uint64_t vc)
+{
+    TraceEvent e;
+    e.type = TraceEventType::TxBegin;
+    e.funcId = fn;
+    e.pc = pc;
+    e.vcycles = vc;
+    return e;
+}
+
+TraceEvent
+txCommit(uint32_t fn, uint32_t pc, uint64_t bytes, uint64_t vc)
+{
+    TraceEvent e;
+    e.type = TraceEventType::TxCommit;
+    e.funcId = fn;
+    e.pc = pc;
+    e.bytes = bytes;
+    e.vcycles = vc;
+    return e;
+}
+
+TraceEvent
+txAbort(uint32_t fn, uint32_t pc, AbortCode code, uint64_t bytes,
+        uint64_t vc)
+{
+    TraceEvent e;
+    e.type = TraceEventType::TxAbort;
+    e.funcId = fn;
+    e.pc = pc;
+    e.code = static_cast<uint8_t>(code);
+    e.bytes = bytes;
+    e.vcycles = vc;
+    return e;
+}
+
+/**
+ * Feed one event and, like an engine whose FTL-call boundary comes
+ * immediately after, apply (drain) any decision it produced. Returns
+ * the applied revision, if any.
+ */
+std::optional<PlanRevision>
+feed(AdaptiveController &ctl, const TraceEvent &e)
+{
+    ctl.onTxEvent(e);
+    if (ctl.hasPending(e.funcId))
+        return ctl.takePending(e.funcId);
+    return std::nullopt;
+}
+
+/** One full abort: begin + abort, draining any resulting decision. */
+std::optional<PlanRevision>
+oneAbort(AdaptiveController &ctl, SynthClock &clk, uint32_t fn,
+         uint32_t pc, AbortCode code, uint64_t bytes)
+{
+    feed(ctl, txBegin(fn, pc, clk.tick()));
+    return feed(ctl, txAbort(fn, pc, code, bytes, clk.tick()));
+}
+
+/** One clean commit, draining any resulting (re-widen) decision. */
+std::optional<PlanRevision>
+oneCommit(AdaptiveController &ctl, SynthClock &clk, uint32_t fn,
+          uint32_t pc, uint64_t bytes)
+{
+    feed(ctl, txBegin(fn, pc, clk.tick()));
+    return feed(ctl, txCommit(fn, pc, bytes, clk.tick()));
+}
+
+// ---- 1. Controller properties -----------------------------------------
+
+TEST(AdaptiveController, ShrinkLadderIsMonotoneAndTerminates)
+{
+    AdaptiveConfig cfg;
+    cfg.modelCapacityBytes = 256 * 1024;
+    AdaptiveController ctl(cfg);
+    SynthClock clk;
+
+    // Sustained capacity aborts at a 32 KB footprint. Every decision
+    // needs capacityShrinkStreak (2) consecutive aborts.
+    std::vector<PlanRevision> revs;
+    for (int i = 0; i < 40 && revs.size() < 8; ++i) {
+        auto rev = oneAbort(ctl, clk, 1, 4, AbortCode::Capacity, 32768);
+        if (rev)
+            revs.push_back(*rev);
+    }
+
+    // Ladder: jump to tiled with the learned budget (half the minimum
+    // abort footprint), halve to the floor, then give up (level 3).
+    ASSERT_EQ(revs.size(), 6u);
+    EXPECT_EQ(revs[0].cause, RevisionCause::Shrink);
+    EXPECT_EQ(revs[0].scopeLevel, 2u);
+    EXPECT_EQ(revs[0].capacityOverrideBytes, 16384u);
+    const uint64_t expect_override[] = {16384, 8192, 4096, 2048, 1024};
+    for (size_t i = 1; i < 5; ++i) {
+        EXPECT_EQ(revs[i].cause, RevisionCause::Tighten) << i;
+        EXPECT_EQ(revs[i].scopeLevel, 2u) << i;
+        EXPECT_EQ(revs[i].capacityOverrideBytes, expect_override[i])
+            << i;
+    }
+    EXPECT_EQ(revs[5].cause, RevisionCause::Shrink);
+    EXPECT_EQ(revs[5].scopeLevel, 3u);
+    EXPECT_EQ(revs[5].capacityOverrideBytes, 0u);
+
+    // Monotone: levels never decrease, non-zero overrides never grow.
+    for (size_t i = 1; i < revs.size(); ++i) {
+        EXPECT_GE(revs[i].scopeLevel, revs[i - 1].scopeLevel);
+        if (revs[i].capacityOverrideBytes &&
+            revs[i - 1].capacityOverrideBytes) {
+            EXPECT_LE(revs[i].capacityOverrideBytes,
+                      revs[i - 1].capacityOverrideBytes);
+        }
+    }
+
+    // At level 3 the ladder terminates: no further decisions, ever.
+    uint64_t decided = ctl.revisionsDecided();
+    for (int i = 0; i < 20; ++i)
+        oneAbort(ctl, clk, 1, 4, AbortCode::Capacity, 32768);
+    EXPECT_EQ(ctl.revisionsDecided(), decided);
+
+    auto snap = ctl.functionSnapshot(1);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->level, 3u);
+    EXPECT_EQ(snap->minAbortFootprintBytes, 32768u);
+    EXPECT_FALSE(snap->pinnedOff);
+}
+
+TEST(AdaptiveController, ShrinkNeedsConsecutiveAborts)
+{
+    AdaptiveController ctl;
+    SynthClock clk;
+
+    // Alternate abort / clean commit: the streak never reaches 2, so
+    // the controller must hold its fire (hysteresis).
+    for (int i = 0; i < 30; ++i) {
+        EXPECT_FALSE(
+            oneAbort(ctl, clk, 1, 4, AbortCode::Capacity, 32768));
+        EXPECT_FALSE(oneCommit(ctl, clk, 1, 4, 1024));
+    }
+    EXPECT_EQ(ctl.revisionsDecided(), 0u);
+}
+
+TEST(AdaptiveController, SofAbortsCountTowardTheCapacityLadder)
+{
+    AdaptiveController ctl;
+    SynthClock clk;
+    EXPECT_FALSE(
+        oneAbort(ctl, clk, 1, 4, AbortCode::StickyOverflow, 40960));
+    auto rev =
+        oneAbort(ctl, clk, 1, 4, AbortCode::StickyOverflow, 40960);
+    ASSERT_TRUE(rev.has_value());
+    EXPECT_EQ(rev->cause, RevisionCause::Shrink);
+    EXPECT_EQ(rev->scopeLevel, 2u);
+    EXPECT_EQ(rev->capacityOverrideBytes, 20480u);
+}
+
+TEST(AdaptiveController, RewidenNeedsFullStabilityWindowAndIsBounded)
+{
+    AdaptiveConfig cfg;
+    cfg.modelCapacityBytes = 256 * 1024;
+    AdaptiveController ctl(cfg);
+    SynthClock clk;
+
+    // Shrink once: tiled scope, learned budget 16 KB.
+    oneAbort(ctl, clk, 1, 4, AbortCode::Capacity, 32768);
+    auto rev = oneAbort(ctl, clk, 1, 4, AbortCode::Capacity, 32768);
+    ASSERT_TRUE(rev.has_value());
+    ASSERT_EQ(rev->capacityOverrideBytes, 16384u);
+
+    // 63 clean commits: window not elapsed, no decision.
+    for (int i = 0; i < 63; ++i)
+        EXPECT_FALSE(oneCommit(ctl, clk, 1, 4, 1024)) << i;
+
+    // The 64th commit re-widens: budget doubles toward capacity.
+    auto w1 = oneCommit(ctl, clk, 1, 4, 1024);
+    ASSERT_TRUE(w1.has_value());
+    EXPECT_EQ(w1->cause, RevisionCause::Rewiden);
+    EXPECT_EQ(w1->scopeLevel, 2u);
+    EXPECT_EQ(w1->capacityOverrideBytes, 32768u);
+
+    // Next two windows: 64 KB, then the doubled value crosses half
+    // the model capacity and the override clears to the default.
+    std::vector<PlanRevision> widens;
+    for (int i = 0; i < 200; ++i) {
+        auto w = oneCommit(ctl, clk, 1, 4, 1024);
+        if (w)
+            widens.push_back(*w);
+    }
+    ASSERT_EQ(widens.size(), 2u);
+    EXPECT_EQ(widens[0].capacityOverrideBytes, 65536u);
+    EXPECT_EQ(widens[1].capacityOverrideBytes, 0u);
+    EXPECT_EQ(widens[1].scopeLevel, 2u);
+
+    // rewidenBudget (3) exhausted: stability alone never re-widens
+    // again — the level stays where the last step left it.
+    uint64_t decided = ctl.revisionsDecided();
+    for (int i = 0; i < 300; ++i)
+        EXPECT_FALSE(oneCommit(ctl, clk, 1, 4, 1024));
+    EXPECT_EQ(ctl.revisionsDecided(), decided);
+    auto snap = ctl.functionSnapshot(1);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->rewidens, 3u);
+    EXPECT_EQ(snap->level, 2u);
+}
+
+TEST(AdaptiveController, RewidenWithUnknownCapacityClearsOverride)
+{
+    // modelCapacityBytes == 0 (unknown geometry): one stability
+    // window takes the learned budget straight back to the default.
+    AdaptiveController ctl; // default cfg: modelCapacityBytes = 0
+    SynthClock clk;
+    oneAbort(ctl, clk, 1, 4, AbortCode::Capacity, 32768);
+    ASSERT_TRUE(oneAbort(ctl, clk, 1, 4, AbortCode::Capacity, 32768));
+    std::optional<PlanRevision> w;
+    for (int i = 0; i < 64 && !w; ++i)
+        w = oneCommit(ctl, clk, 1, 4, 1024);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(w->cause, RevisionCause::Rewiden);
+    EXPECT_EQ(w->capacityOverrideBytes, 0u);
+    EXPECT_EQ(w->scopeLevel, 2u);
+}
+
+TEST(AdaptiveController, BlacklistIsPerSite)
+{
+    AdaptiveController ctl; // siteBlacklistStreak = 8
+    SynthClock clk;
+
+    // Interleave explicit aborts at pc 7 with clean commits at pc 9:
+    // commits at a *different* site must not break pc 7's streak.
+    std::optional<PlanRevision> rev;
+    int aborts_needed = 0;
+    for (int i = 0; i < 8; ++i) {
+        ++aborts_needed;
+        rev = oneAbort(ctl, clk, 1, 7, AbortCode::ExplicitCheck, 512);
+        if (rev)
+            break;
+        oneCommit(ctl, clk, 1, 9, 1024);
+    }
+    ASSERT_TRUE(rev.has_value());
+    EXPECT_EQ(aborts_needed, 8);
+    EXPECT_EQ(rev->cause, RevisionCause::Blacklist);
+    EXPECT_EQ(rev->scopeLevel, 0u) << "blacklist keeps the scope";
+    ASSERT_TRUE(rev->hasAddedBlacklistPc);
+    EXPECT_EQ(rev->addedBlacklistPc, 7u);
+    EXPECT_EQ(rev->blacklistPcs, std::vector<uint32_t>{7});
+
+    // The sibling site earns its own blacklist independently; the
+    // cumulative pc list stays sorted.
+    for (int i = 0; i < 8; ++i)
+        rev = oneAbort(ctl, clk, 1, 9, AbortCode::Irrevocable, 512);
+    ASSERT_TRUE(rev.has_value());
+    EXPECT_EQ(rev->cause, RevisionCause::Blacklist);
+    EXPECT_EQ(rev->blacklistPcs, (std::vector<uint32_t>{7, 9}));
+
+    // A commit at a site resets that site's streak.
+    for (int i = 0; i < 7; ++i)
+        EXPECT_FALSE(
+            oneAbort(ctl, clk, 1, 11, AbortCode::ExplicitCheck, 512));
+    oneCommit(ctl, clk, 1, 11, 1024);
+    for (int i = 0; i < 7; ++i)
+        EXPECT_FALSE(
+            oneAbort(ctl, clk, 1, 11, AbortCode::ExplicitCheck, 512));
+}
+
+TEST(AdaptiveController, FunctionsAreIndependent)
+{
+    AdaptiveController ctl;
+    SynthClock clk;
+    // Storm function 1; function 2 stays clean.
+    oneAbort(ctl, clk, 1, 4, AbortCode::Capacity, 32768);
+    oneCommit(ctl, clk, 2, 6, 1024);
+    oneAbort(ctl, clk, 1, 4, AbortCode::Capacity, 32768);
+    auto s1 = ctl.functionSnapshot(1);
+    auto s2 = ctl.functionSnapshot(2);
+    ASSERT_TRUE(s1 && s2);
+    EXPECT_EQ(s1->revisions, 1u);
+    EXPECT_EQ(s2->revisions, 0u);
+    EXPECT_EQ(s2->level, 0u);
+    EXPECT_EQ(s2->capacityOverrideBytes, 0u);
+}
+
+TEST(AdaptiveController, VetoRollsBackAndRedecides)
+{
+    AdaptiveController ctl;
+    SynthClock clk;
+    oneAbort(ctl, clk, 1, 4, AbortCode::Capacity, 32768);
+    auto rev = oneAbort(ctl, clk, 1, 4, AbortCode::Capacity, 32768);
+    ASSERT_TRUE(rev.has_value());
+
+    // Veto the application (what the adaptive.decision fault site
+    // does): the controller's assumed state rolls back...
+    ctl.noteVetoed(*rev);
+    auto snap = ctl.functionSnapshot(1);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->level, rev->prevScopeLevel);
+    EXPECT_EQ(snap->capacityOverrideBytes,
+              rev->prevCapacityOverrideBytes);
+
+    // ...and once the abort streak rebuilds it re-decides the same
+    // thing (same cause/level/override — only time and ordinal move).
+    oneAbort(ctl, clk, 1, 4, AbortCode::Capacity, 32768);
+    auto again = oneAbort(ctl, clk, 1, 4, AbortCode::Capacity, 32768);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->cause, rev->cause);
+    EXPECT_EQ(again->scopeLevel, rev->scopeLevel);
+    EXPECT_EQ(again->capacityOverrideBytes,
+              rev->capacityOverrideBytes);
+    EXPECT_EQ(again->blacklistPcs, rev->blacklistPcs);
+
+    // Vetoed blacklists un-add the pc.
+    for (int i = 0; i < 8; ++i)
+        rev = oneAbort(ctl, clk, 1, 7, AbortCode::ExplicitCheck, 512);
+    ASSERT_TRUE(rev && rev->hasAddedBlacklistPc);
+    ctl.noteVetoed(*rev);
+    snap = ctl.functionSnapshot(1);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_TRUE(snap->blacklistPcs.empty());
+}
+
+TEST(AdaptiveController, ForcedBlacklistPinsTheFunctionOff)
+{
+    AdaptiveController ctl;
+    SynthClock clk;
+    ctl.noteForcedBlacklist(1);
+    auto snap = ctl.functionSnapshot(1);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_TRUE(snap->pinnedOff);
+    EXPECT_EQ(snap->level, 3u);
+
+    // Pinned functions never propose again, whatever the telemetry.
+    for (int i = 0; i < 30; ++i) {
+        EXPECT_FALSE(
+            oneAbort(ctl, clk, 1, 4, AbortCode::Capacity, 32768));
+        EXPECT_FALSE(
+            oneAbort(ctl, clk, 1, 7, AbortCode::ExplicitCheck, 512));
+    }
+    for (int i = 0; i < 200; ++i)
+        EXPECT_FALSE(oneCommit(ctl, clk, 1, 4, 1024));
+    EXPECT_EQ(ctl.revisionsDecided(), 0u);
+}
+
+/** Tiny deterministic PRNG (no libc rand: must be cross-platform). */
+struct XorShift64 {
+    uint64_t s;
+    explicit XorShift64(uint64_t seed) : s(seed ? seed : 0x9e3779b9) {}
+    uint64_t
+    next()
+    {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+};
+
+/** A mixed pseudo-random (but fully deterministic) telemetry stream. */
+std::vector<TraceEvent>
+syntheticStream(uint64_t seed, int n)
+{
+    XorShift64 rng(seed);
+    SynthClock clk;
+    std::vector<TraceEvent> out;
+    for (int i = 0; i < n; ++i) {
+        uint32_t fn = 1 + static_cast<uint32_t>(rng.next() % 3);
+        uint32_t pc = 4 + 2 * static_cast<uint32_t>(rng.next() % 4);
+        out.push_back(txBegin(fn, pc, clk.tick()));
+        uint64_t roll = rng.next() % 100;
+        uint64_t bytes = 1024 + (rng.next() % 64) * 1024;
+        if (roll < 40) {
+            AbortCode code = roll < 20 ? AbortCode::Capacity
+                             : roll < 30
+                                 ? AbortCode::ExplicitCheck
+                                 : AbortCode::StickyOverflow;
+            out.push_back(txAbort(fn, pc, code, bytes, clk.tick()));
+        } else {
+            out.push_back(txCommit(fn, pc, bytes, clk.tick()));
+        }
+    }
+    return out;
+}
+
+TEST(AdaptiveController, ReplayingAStreamReproducesTheRevisionLog)
+{
+    for (uint64_t seed : {7ull, 1234ull, 0xdecafbadull}) {
+        std::vector<TraceEvent> stream = syntheticStream(seed, 4000);
+        AdaptiveConfig cfg;
+        cfg.modelCapacityBytes = 256 * 1024;
+
+        AdaptiveController a(cfg), b(cfg);
+        for (const TraceEvent &e : stream)
+            feed(a, e);
+        for (const TraceEvent &e : stream)
+            feed(b, e);
+
+        ASSERT_GT(a.revisionsDecided(), 0u) << "stream too tame";
+        ASSERT_EQ(a.revisionsDecided(), b.revisionsDecided());
+        for (size_t i = 0; i < a.revisionLog().size(); ++i) {
+            EXPECT_TRUE(
+                a.revisionLog()[i].sameDecision(b.revisionLog()[i]))
+                << "seed " << seed << " revision " << i;
+        }
+    }
+}
+
+// ---- 2. Engine-level: replay determinism and the differential ---------
+
+/** Storm workload: ~128 KB of contiguous writes per call (under an
+ *  htm.ways@1 squeeze every nominal-geometry transaction
+ *  capacity-aborts; see bench/abort_storm.cc for the full story). */
+std::string
+stormProgram(int rounds)
+{
+    std::string src = R"JS(
+var N = 16384;
+var A = [];
+for (var i = 0; i < N; i++) A[i] = i % 17;
+function storm(a, n) {
+    var s = 0;
+    for (var j = 0; j < n; j++) {
+        a[j] = (a[j] + j) % 1021;
+        s = (s + a[j]) % 65536;
+    }
+    return s;
+}
+var out = 0;
+for (var r = 0; r < )JS";
+    src += std::to_string(rounds);
+    src += R"JS(; r++) out = (out + storm(A, N)) % 65536;
+result = out;
+)JS";
+    return src;
+}
+
+EngineConfig
+stormConfig(bool adaptive, size_t trace_capacity = 0)
+{
+    EngineConfig config;
+    config.arch = Architecture::NoMap;
+    config.adaptive = adaptive;
+    config.traceCapacity = trace_capacity;
+    // Tier up fast so the run is mostly FTL transactions.
+    config.baselineThreshold = 2;
+    config.dfgThreshold = 4;
+    config.ftlThreshold = 8;
+    return config;
+}
+
+TEST(AdaptiveEngine, RecordedRunReplaysToTheIdenticalRevisionLog)
+{
+    // A live adaptive run under an abort storm, with tracing on: the
+    // trace stream is a complete transcript (Tx* telemetry plus one
+    // PassReport per applied revision marking the engine's
+    // application points). Replaying it into a fresh controller —
+    // draining pending decisions exactly at the application marks —
+    // must reproduce the identical revision log.
+    FaultPlan squeeze = FaultPlan::parse("htm.ways@1");
+    Engine engine(stormConfig(true, 1 << 16));
+    engine.armFaultPlan(&squeeze);
+    engine.run(stormProgram(40));
+
+    ASSERT_NE(engine.adaptive(), nullptr);
+    ASSERT_NE(engine.trace(), nullptr);
+    ASSERT_EQ(engine.trace()->dropped(), 0u)
+        << "trace capacity too small for a faithful transcript";
+    const std::vector<TraceEvent> &events = engine.trace()->events();
+    const std::vector<PlanRevision> &live =
+        engine.adaptive()->revisionLog();
+    ASSERT_GT(live.size(), 0u);
+
+    AdaptiveController replay(engine.adaptive()->config());
+    for (const TraceEvent &e : events) {
+        switch (e.type) {
+          case TraceEventType::TxBegin:
+          case TraceEventType::TxCommit:
+          case TraceEventType::TxAbort:
+            replay.onTxEvent(e);
+            break;
+          case TraceEventType::PassReport:
+            if (e.aux ==
+                static_cast<uint16_t>(TracePassId::Adaptive)) {
+                EXPECT_TRUE(replay.takePending(e.funcId).has_value())
+                    << "application mark with no pending decision";
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    ASSERT_EQ(replay.revisionsDecided(), live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+        EXPECT_TRUE(replay.revisionLog()[i].sameDecision(live[i]))
+            << "revision " << i;
+    }
+}
+
+struct Observation {
+    std::string resultString;
+    std::string printed;
+    std::string heap;
+    ExecutionStats stats;
+    uint64_t revisions = 0;
+};
+
+std::string
+heapFingerprint(Engine &engine)
+{
+    Heap &heap = engine.heap();
+    std::string out;
+    for (uint32_t i = 0; i < heap.globalCount(); ++i) {
+        out += heap.globalName(i);
+        out += '=';
+        out += heap.valueToDisplayString(heap.getGlobal(i));
+        out += '\n';
+    }
+    return out;
+}
+
+Observation
+runOnce(Architecture arch, bool adaptive, const std::string &src)
+{
+    EngineConfig config;
+    config.arch = arch;
+    config.adaptive = adaptive;
+    Engine engine(config);
+    EngineResult r = engine.run(src);
+    Observation obs;
+    obs.resultString = r.resultString;
+    obs.printed = r.printed;
+    obs.heap = heapFingerprint(engine);
+    obs.stats = r.stats;
+    if (engine.adaptive())
+        obs.revisions = engine.adaptive()->revisionsDecided();
+    return obs;
+}
+
+/** Every ExecutionStats field, bit for bit (doubles compared exactly:
+ *  identical event streams must produce identical arithmetic). */
+void
+expectStatsBitIdentical(const ExecutionStats &a,
+                        const ExecutionStats &b,
+                        const std::string &what)
+{
+    for (size_t i = 0;
+         i < static_cast<size_t>(InstrBucket::NumBuckets); ++i)
+        EXPECT_EQ(a.instr[i], b.instr[i]) << what << " instr[" << i
+                                          << "]";
+    for (size_t i = 0; i < static_cast<size_t>(CheckKind::NumKinds);
+         ++i)
+        EXPECT_EQ(a.checks[i], b.checks[i])
+            << what << " checks[" << i << "]";
+    EXPECT_EQ(a.cyclesTm, b.cyclesTm) << what;
+    EXPECT_EQ(a.cyclesNonTm, b.cyclesNonTm) << what;
+    EXPECT_EQ(a.ftlFunctionCalls, b.ftlFunctionCalls) << what;
+    EXPECT_EQ(a.deopts, b.deopts) << what;
+    EXPECT_EQ(a.baselineCompiles, b.baselineCompiles) << what;
+    EXPECT_EQ(a.dfgCompiles, b.dfgCompiles) << what;
+    EXPECT_EQ(a.ftlCompiles, b.ftlCompiles) << what;
+    EXPECT_EQ(a.ftlRecompiles, b.ftlRecompiles) << what;
+    EXPECT_EQ(a.txCommits, b.txCommits) << what;
+    EXPECT_EQ(a.txAborts, b.txAborts) << what;
+    EXPECT_EQ(a.txAbortsCapacity, b.txAbortsCapacity) << what;
+    EXPECT_EQ(a.txAbortsCheck, b.txAbortsCheck) << what;
+    EXPECT_EQ(a.txAbortsSof, b.txAbortsSof) << what;
+    EXPECT_EQ(a.avgWriteFootprintBytes, b.avgWriteFootprintBytes)
+        << what;
+    EXPECT_EQ(a.maxWriteFootprintBytes, b.maxWriteFootprintBytes)
+        << what;
+    EXPECT_EQ(a.maxWriteWaysUsed, b.maxWriteWaysUsed) << what;
+}
+
+const Architecture kAllArchs[] = {
+    Architecture::Base,    Architecture::NoMapS,
+    Architecture::NoMapB,  Architecture::NoMap,
+    Architecture::NoMapBC, Architecture::NoMapRTM,
+};
+
+TEST(AdaptiveEngine, UnfaultedSuitesAreBitIdenticalToStatic)
+{
+    // The differential: with no faults there are no aborts, so the
+    // controller must decide nothing and --adaptive must be
+    // indistinguishable from static planning — results, print
+    // output, heap state, and every counter — on every benchmark of
+    // both paper suites, across all six architectures.
+    for (Architecture arch : kAllArchs) {
+        for (const auto *suite :
+             {&sunspiderSuite(), &krakenSuite()}) {
+            for (const BenchmarkSpec &bench : *suite) {
+                std::string what = std::string(architectureName(arch)) +
+                                   " " + bench.id;
+                Observation s = runOnce(arch, false, bench.source);
+                Observation a = runOnce(arch, true, bench.source);
+                EXPECT_EQ(a.revisions, 0u) << what;
+                EXPECT_EQ(a.resultString, s.resultString) << what;
+                EXPECT_EQ(a.printed, s.printed) << what;
+                EXPECT_EQ(a.heap, s.heap) << what;
+                expectStatsBitIdentical(a.stats, s.stats, what);
+            }
+        }
+    }
+}
+
+TEST(AdaptiveEngine, UnfaultedTraceStreamsAreIdenticalToStatic)
+{
+    // Same differential, one level deeper: the full trace event
+    // stream (every begin/commit/tier-up/pass report with its
+    // virtual-cycle timestamp) must match event for event. A few
+    // representative benchmarks per suite keep the runtime sane.
+    std::vector<const BenchmarkSpec *> picks;
+    for (size_t i = 0; i < 3; ++i) {
+        picks.push_back(&sunspiderSuite()[i]);
+        picks.push_back(&krakenSuite()[i]);
+    }
+    for (Architecture arch : kAllArchs) {
+        for (const BenchmarkSpec *bench : picks) {
+            std::string what = std::string(architectureName(arch)) +
+                               " " + bench->id;
+            std::vector<TraceEvent> streams[2];
+            for (int adaptive = 0; adaptive < 2; ++adaptive) {
+                EngineConfig config;
+                config.arch = arch;
+                config.adaptive = adaptive != 0;
+                config.traceCapacity = 1 << 15;
+                Engine engine(config);
+                engine.run(bench->source);
+                streams[adaptive] = engine.trace()->events();
+            }
+            EXPECT_EQ(streams[0].size(), streams[1].size()) << what;
+            EXPECT_TRUE(streams[0] == streams[1]) << what;
+            EXPECT_EQ(traceText(streams[0]), traceText(streams[1]))
+                << what;
+        }
+    }
+}
+
+TEST(AdaptiveEngine, StormConvergesWhereStaticGivesUp)
+{
+    // Under the one-way squeeze, static escalation ladders to level 3
+    // and stops committing; the adaptive engine learns the squeezed
+    // capacity from abort footprints and keeps transacting. Same
+    // final result as the unfaulted Base reference in all cases.
+    const std::string src = stormProgram(40);
+    Observation ref = runOnce(Architecture::Base, false, src);
+
+    FaultPlan squeeze = FaultPlan::parse("htm.ways@1");
+
+    Engine sEngine(stormConfig(false));
+    sEngine.armFaultPlan(&squeeze);
+    EngineResult sr = sEngine.run(src);
+    const HtmStats &sh = sEngine.htm().stats();
+
+    Engine aEngine(stormConfig(true));
+    aEngine.armFaultPlan(&squeeze);
+    EngineResult ar = aEngine.run(src);
+    const HtmStats &ah = aEngine.htm().stats();
+
+    EXPECT_EQ(sr.resultString, ref.resultString);
+    EXPECT_EQ(ar.resultString, ref.resultString);
+
+    // Static: the whole-function ladder ends untransactional.
+    const FunctionState *sstate = sEngine.functionState("storm");
+    ASSERT_NE(sstate, nullptr);
+    EXPECT_EQ(sstate->txScopeLevel, 3u);
+
+    // Adaptive: strictly more commits, and a converged plan — the
+    // tiled scope with a learned budget that fits one-way hardware.
+    EXPECT_GT(ah.commits, sh.commits);
+    EXPECT_GT(ah.commits, 0u);
+    const FunctionState *astate = aEngine.functionState("storm");
+    ASSERT_NE(astate, nullptr);
+    EXPECT_EQ(astate->txScopeLevel, 2u);
+    EXPECT_GE(astate->capacityOverrideBytes, 1024u);
+    EXPECT_LE(astate->capacityOverrideBytes,
+              aEngine.htm().writeCapacityBytes());
+
+    // Convergence, from the controller's own frozen counters: the
+    // abort rate after the last revision is strictly below the rate
+    // before the first (which was all aborts).
+    ASSERT_NE(aEngine.adaptive(), nullptr);
+    const std::vector<PlanRevision> &log =
+        aEngine.adaptive()->revisionLog();
+    ASSERT_GT(log.size(), 0u);
+    auto snap =
+        aEngine.adaptive()->functionSnapshot(log.front().funcId);
+    ASSERT_TRUE(snap.has_value());
+    uint64_t before_aborts = snap->abortsBeforeFirstRevision;
+    uint64_t before_commits = snap->commitsBeforeFirstRevision;
+    uint64_t after_aborts = snap->aborts - snap->abortsAtLastRevision;
+    uint64_t after_commits =
+        snap->commits - snap->commitsAtLastRevision;
+    ASSERT_GT(before_aborts, 0u);
+    ASSERT_GT(after_commits, 0u);
+    double before_rate =
+        static_cast<double>(before_aborts) /
+        static_cast<double>(before_aborts + before_commits);
+    double after_rate =
+        static_cast<double>(after_aborts) /
+        static_cast<double>(after_aborts + after_commits);
+    EXPECT_LT(after_rate, before_rate);
+    EXPECT_EQ(after_aborts, 0u) << "converged plan still aborting";
+}
+
+TEST(AdaptiveEngine, LimitedSetModelPreservesSemantics)
+{
+    // The swappable geometry changes *when* transactions abort, never
+    // what programs compute. The limited-set model is far smaller
+    // than the cache-backed one, so the storm aborts even unfaulted;
+    // results must still match Base, with and without adaptation.
+    const std::string src = stormProgram(12);
+    Observation ref = runOnce(Architecture::Base, false, src);
+    for (Architecture arch :
+         {Architecture::NoMap, Architecture::NoMapRTM}) {
+        for (int adaptive = 0; adaptive < 2; ++adaptive) {
+            EngineConfig config = stormConfig(adaptive != 0);
+            config.arch = arch;
+            config.capacityModel = CapacityModelKind::LimitedSet;
+            Engine engine(config);
+            EngineResult r = engine.run(src);
+            EXPECT_EQ(r.resultString, ref.resultString)
+                << architectureName(arch) << " adaptive=" << adaptive;
+        }
+    }
+}
+
+// ---- 3. Capacity-model goldens and cross-model invariants -------------
+
+struct StreamSpec {
+    const char *name;
+    uint64_t (*addr)(uint64_t i);
+};
+
+const StreamSpec kStreams[] = {
+    // Contiguous lines: the storm workload's shape.
+    {"seq", [](uint64_t i) { return i * kLineSize; }},
+    // Page-strided: pathological for set-associative geometry (every
+    // address lands in one of 8 sets under 512-set/64-line shapes).
+    {"stride4k", [](uint64_t i) { return i * 4096; }},
+    // Pseudo-random lines from a fixed xorshift walk.
+    {"xorshift",
+     [](uint64_t i) {
+         uint64_t s = i + 0x9e3779b97f4a7c15ull;
+         s ^= s << 13;
+         s ^= s >> 7;
+         s ^= s << 17;
+         return (s % 65536) * kLineSize;
+     }},
+};
+
+/** Insert @p stream until overflow (or @p limit); one golden row. */
+std::string
+modelRow(CapacityModel &model, const char *kind_name,
+         const char *geom_name, const char *squeeze_name,
+         const StreamSpec &stream, uint64_t limit)
+{
+    uint64_t accepted = 0;
+    bool overflowed = false;
+    for (uint64_t i = 0; i < limit; ++i) {
+        if (!model.insert(stream.addr(i))) {
+            overflowed = true;
+            break;
+        }
+        ++accepted;
+    }
+    std::ostringstream row;
+    row << "model=" << kind_name << " geom=" << geom_name
+        << " squeeze=" << squeeze_name << " stream=" << stream.name
+        << " cap=" << model.capacityBytes()
+        << " ways=" << model.numWays() << " accepted=" << accepted
+        << " footprint=" << model.footprintBytes()
+        << " maxWays=" << model.maxWaysUsed() << " overflow="
+        << (overflowed ? std::to_string(accepted) : "none") << "\n";
+    model.clear();
+    return row.str();
+}
+
+TEST(CapacityModelGolden, FootprintWaysOverflowTables)
+{
+    // Pins both models' observable geometry — capacity, ways,
+    // accepted-line counts, footprints, and overflow points — under
+    // the paper's two write geometries (ROT 256K/8, RTM 32K/8), both
+    // nominal and squeezed to one way. Regenerate deliberately with
+    // NOMAP_UPDATE_GOLDEN=1 and review the diff.
+    struct Geom {
+        const char *name;
+        uint32_t bytes;
+        uint32_t ways;
+    };
+    const Geom geoms[] = {{"rot", 256 * 1024, 8}, {"rtm", 32 * 1024, 8}};
+    const CapacityModelKind kinds[] = {CapacityModelKind::WaysAssoc,
+                                       CapacityModelKind::LimitedSet};
+
+    std::string table =
+        "# capacity-model contract: write-set geometry under "
+        "deterministic insert streams\n";
+    for (CapacityModelKind kind : kinds) {
+        for (const Geom &g : geoms) {
+            for (bool squeezed : {false, true}) {
+                for (const StreamSpec &stream : kStreams) {
+                    auto model = makeWriteCapacityModel(kind, g.bytes,
+                                                        g.ways);
+                    if (squeezed)
+                        model->squeezeWays(1);
+                    table += modelRow(*model,
+                                      capacityModelKindName(kind),
+                                      g.name,
+                                      squeezed ? "ways1" : "-",
+                                      stream, 8192);
+                }
+            }
+        }
+    }
+
+    // Read-set companions: the ways-assoc read set overflows like a
+    // cache; the bloom signature records lines but never overflows.
+    table += "# read-set models\n";
+    for (CapacityModelKind kind : kinds) {
+        auto model = makeReadCapacityModel(kind, 256 * 1024, 8);
+        table += modelRow(*model, capacityModelKindName(kind),
+                          "read-rot", "-", kStreams[2], 8192);
+    }
+    checkAgainstGolden("capacity_models.golden.txt", table);
+}
+
+TEST(CapacityModelProperty, FittingASmallerModelImpliesTheLarger)
+{
+    // The cross-model invariant the adaptive controller's learned
+    // budgets lean on: any insert sequence accepted by a smaller
+    // parameterization of a kind is accepted by a larger one.
+    const CapacityModelKind kinds[] = {CapacityModelKind::WaysAssoc,
+                                       CapacityModelKind::LimitedSet};
+    for (CapacityModelKind kind : kinds) {
+        for (const StreamSpec &stream : kStreams) {
+            auto small = makeWriteCapacityModel(kind, 32 * 1024, 8);
+            auto large = makeWriteCapacityModel(kind, 256 * 1024, 8);
+            ASSERT_LT(small->capacityBytes(), large->capacityBytes());
+            for (uint64_t i = 0; i < 8192; ++i) {
+                uint64_t addr = stream.addr(i);
+                if (!small->insert(addr))
+                    break;
+                EXPECT_TRUE(large->insert(addr))
+                    << capacityModelKindName(kind) << " "
+                    << stream.name << " line " << i
+                    << ": fits 32K but not 256K";
+            }
+        }
+    }
+}
+
+TEST(CapacityModelProperty, SqueezeShrinksMonotonically)
+{
+    for (CapacityModelKind kind :
+         {CapacityModelKind::WaysAssoc, CapacityModelKind::LimitedSet}) {
+        auto model = makeWriteCapacityModel(kind, 256 * 1024, 8);
+        uint64_t nominal = model->capacityBytes();
+        model->squeezeWays(2);
+        uint64_t squeezed = model->capacityBytes();
+        EXPECT_LT(squeezed, nominal) << capacityModelKindName(kind);
+        // A later, larger squeeze value never re-grows the set.
+        model->squeezeWays(4);
+        EXPECT_EQ(model->capacityBytes(), squeezed)
+            << capacityModelKindName(kind);
+        model->squeezeWays(1);
+        EXPECT_LT(model->capacityBytes(), squeezed)
+            << capacityModelKindName(kind);
+
+        // And a squeezed model accepts a subset of the nominal one.
+        auto fresh = makeWriteCapacityModel(kind, 256 * 1024, 8);
+        auto tight = makeWriteCapacityModel(kind, 256 * 1024, 8);
+        tight->squeezeWays(1);
+        for (uint64_t i = 0; i < 8192; ++i) {
+            if (!tight->insert(i * kLineSize))
+                break;
+            EXPECT_TRUE(fresh->insert(i * kLineSize))
+                << capacityModelKindName(kind) << " line " << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace nomap
