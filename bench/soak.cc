@@ -1,17 +1,23 @@
 /**
  * @file
  * Soak benchmark: sustained mixed traffic against the TCP serving
- * front-end, thousands of concurrent connections from one
- * single-threaded event-loop client.
+ * front-end from a pool of event-loop client threads.
  *
- * The server is in-process (ephemeral port) but every byte crosses a
- * real loopback socket. Each connection runs closed-loop: one request
- * in flight, the next sent the moment the response lands. Program
- * sizes are heavy-tailed (quantized Pareto over loop trip counts —
- * many small scripts, a fat tail of big ones), drawn from a
- * deterministic PRNG so runs are reproducible; quantization means
- * repeated sizes exercise the compiled-program cache the way real
- * multi-tenant traffic would.
+ * The server is in-process (ephemeral port, `--loops` event loops)
+ * but every byte crosses a real loopback socket. Connections are
+ * partitioned across `--client-threads` client threads, each running
+ * its own Poller-based event loop with its own deterministic PRNG
+ * stream (base seed xor thread id), so the client side scales past
+ * one core the same way the server side does. Each connection keeps
+ * up to `--pipeline` requests in flight, matched to responses by
+ * request id — responses reorder across shards under pipelining, so
+ * every in-flight id carries its own program bucket and send
+ * timestamp.
+ *
+ * Program sizes are heavy-tailed (quantized Pareto over loop trip
+ * counts — many small scripts, a fat tail of big ones); quantization
+ * means repeated sizes exercise the compiled-program cache the way
+ * real multi-tenant traffic would.
  *
  * Reported (JSON on stdout): throughput, latency p50/p95/p99, shed
  * rate under admission control, differential-check verdict (every Ok
@@ -20,7 +26,8 @@
  * plus the server's own sharded metrics snapshot.
  *
  *   soak [--quick] [--connections N] [--duration-s S] [--shards K]
- *        [--workers W] [--shed-depth D] [--arch ARCH]
+ *        [--workers W] [--shed-depth D] [--arch ARCH] [--loops L]
+ *        [--client-threads T] [--pipeline P]
  */
 
 #include <algorithm>
@@ -32,6 +39,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -131,17 +139,26 @@ sampleBucket(const std::vector<SizeBucket> &buckets, Rng *rng)
     return buckets.size() - 1;
 }
 
-// ---- Event-loop client --------------------------------------------------
+// ---- Event-loop client pool --------------------------------------------
+
+/** One request awaiting its response, keyed by wire id. */
+struct Pending {
+    size_t bucketIdx = 0;
+    std::chrono::steady_clock::time_point sentAt;
+};
 
 struct SoakConn {
     int fd = -1;
     FrameDecoder decoder;
     std::string outbuf;
     size_t outPos = 0;
-    bool inflight = false;
     uint64_t nextId = 1;
-    size_t bucketIdx = 0;
-    std::chrono::steady_clock::time_point sentAt;
+    /**
+     * In-flight requests by id. Under pipelining the server answers
+     * in completion order, not send order (shards race), so each id
+     * carries its own expected-result bucket and timestamp.
+     */
+    std::map<uint64_t, Pending> inflight;
 };
 
 struct SoakStats {
@@ -189,109 +206,74 @@ connectTo(uint16_t port)
 }
 
 void
-queueNextRequest(SoakConn *conn, const std::vector<SizeBucket> &buckets,
-                 Rng *rng, Architecture arch, SoakStats *stats)
+queueOneRequest(SoakConn *conn, const std::vector<SizeBucket> &buckets,
+                Rng *rng, Architecture arch, SoakStats *stats)
 {
-    conn->bucketIdx = sampleBucket(buckets, rng);
+    Pending pending;
+    pending.bucketIdx = sampleBucket(buckets, rng);
+    pending.sentAt = std::chrono::steady_clock::now();
     WireRequest request;
     request.id = conn->nextId++;
     request.arch = static_cast<uint8_t>(arch);
     request.tenant = "tenant-" + std::to_string(rng->next() % 8);
-    request.source = buckets[conn->bucketIdx].source;
+    request.source = buckets[pending.bucketIdx].source;
     conn->outbuf += frameMessage(encodeRequestPayload(request));
-    conn->inflight = true;
-    conn->sentAt = std::chrono::steady_clock::now();
+    conn->inflight[request.id] = pending;
     stats->sent++;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+/** Top the connection's pipeline back up to the window size. */
+void
+fillPipeline(SoakConn *conn, const std::vector<SizeBucket> &buckets,
+             Rng *rng, Architecture arch, size_t pipeline,
+             SoakStats *stats)
 {
-    initBench(argc, argv);
+    while (conn->inflight.size() < pipeline)
+        queueOneRequest(conn, buckets, rng, arch, stats);
+}
 
-    size_t num_connections = quickMode() ? 64 : 1000;
-    double duration_s = quickMode() ? 2.0 : 10.0;
-    size_t num_shards = 2;
-    size_t num_workers = 2;
-    size_t shed_depth = 256;
+struct ClientThreadArgs {
+    size_t tid = 0;
+    uint16_t port = 0;
+    size_t connections = 0;
+    size_t pipeline = 1;
     Architecture arch = Architecture::NoMap;
+    const std::vector<SizeBucket> *buckets = nullptr;
+    std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point drainDeadline;
+};
 
-    for (int i = 1; i < argc; ++i) {
-        std::string flag = argv[i];
-        auto next = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : "";
-        };
-        if (flag == "--connections")
-            num_connections = std::strtoul(next(), nullptr, 10);
-        else if (flag == "--duration-s")
-            duration_s = std::strtod(next(), nullptr);
-        else if (flag == "--shards")
-            num_shards = std::strtoul(next(), nullptr, 10);
-        else if (flag == "--workers")
-            num_workers = std::strtoul(next(), nullptr, 10);
-        else if (flag == "--shed-depth")
-            shed_depth = std::strtoul(next(), nullptr, 10);
-        else if (flag == "--arch") {
-            std::string name = next();
-            if (name == "base") arch = Architecture::Base;
-            else if (name == "nomap_s") arch = Architecture::NoMapS;
-            else if (name == "nomap_b") arch = Architecture::NoMapB;
-            else if (name == "nomap") arch = Architecture::NoMap;
-            else if (name == "nomap_bc") arch = Architecture::NoMapBC;
-            else if (name == "nomap_rtm")
-                arch = Architecture::NoMapRTM;
-            else
-                fatal("unknown --arch '%s'", name.c_str());
-        }
-    }
-
-    std::vector<SizeBucket> buckets = makeBuckets(arch);
-
-    ServerConfig server_config;
-    server_config.backlog = 1024;
-    server_config.maxConnections = num_connections + 64;
-    server_config.service.shards = num_shards;
-    server_config.service.shedQueueDepth = shed_depth;
-    server_config.service.shard.workers = num_workers;
-    server_config.service.shard.queueCapacity = 8192;
-    NoMapServer server(std::move(server_config));
-    server.start();
-
-    std::fprintf(stderr,
-                 "soak: %zu connections, %.1fs, %zu shards x %zu "
-                 "workers, shed depth %zu, %s backend\n",
-                 num_connections, duration_s, num_shards, num_workers,
-                 shed_depth, Poller::backendName());
-
+/**
+ * One client thread: a private Poller event loop over its slice of
+ * the connection pool, writing into a private SoakStats (merged by
+ * the main thread after join — no cross-thread sharing while hot).
+ */
+void
+runClientThread(const ClientThreadArgs &args, SoakStats *stats)
+{
+    const std::vector<SizeBucket> &buckets = *args.buckets;
     Poller poller;
     std::unordered_map<int, std::unique_ptr<SoakConn>> conns;
     Rng rng;
-    SoakStats stats;
+    // Distinct deterministic stream per thread; tid 0 keeps the
+    // historical single-threaded sequence.
+    rng.state ^= args.tid * 0xbf58476d1ce4e5b9ull;
 
-    for (size_t i = 0; i < num_connections; ++i) {
+    for (size_t i = 0; i < args.connections; ++i) {
         auto conn = std::make_unique<SoakConn>();
-        conn->fd = connectTo(server.port());
-        queueNextRequest(conn.get(), buckets, &rng, arch, &stats);
+        conn->fd = connectTo(args.port);
+        fillPipeline(conn.get(), buckets, &rng, args.arch,
+                     args.pipeline, stats);
         poller.add(conn->fd, kPollIn | kPollOut);
         conns[conn->fd] = std::move(conn);
     }
-
-    auto started = std::chrono::steady_clock::now();
-    auto deadline =
-        started + std::chrono::duration<double>(duration_s);
-    // After the send window closes, allow in-flight requests this
-    // long to drain before giving up.
-    auto drain_deadline =
-        deadline + std::chrono::seconds(quickMode() ? 30 : 120);
 
     std::vector<Poller::Event> events;
     size_t open = conns.size();
     while (open > 0) {
         auto now = std::chrono::steady_clock::now();
-        bool sending = now < deadline;
-        if (!sending && now > drain_deadline)
+        bool sending = now < args.deadline;
+        if (!sending && now > args.drainDeadline)
             break;
         poller.wait(&events, 100);
         for (const Poller::Event &event : events) {
@@ -354,33 +336,41 @@ main(int argc, char **argv)
                         dead = true;
                         break;
                     }
+                    auto pendingIt = conn->inflight.find(response.id);
+                    if (pendingIt == conn->inflight.end()) {
+                        // Response to an id we never sent (or a
+                        // duplicate) — protocol violation.
+                        stats->otherErrors++;
+                        continue;
+                    }
+                    const Pending &pending = pendingIt->second;
                     double us =
                         std::chrono::duration<double, std::micro>(
                             std::chrono::steady_clock::now() -
-                            conn->sentAt)
+                            pending.sentAt)
                             .count();
-                    stats.latenciesUs.push_back(us);
+                    stats->latenciesUs.push_back(us);
                     auto status =
                         static_cast<ResponseStatus>(response.status);
                     if (status == ResponseStatus::Ok) {
-                        stats.ok++;
+                        stats->ok++;
                         if (response.resultString !=
-                            buckets[conn->bucketIdx].expected)
-                            stats.mismatches++;
+                            buckets[pending.bucketIdx].expected)
+                            stats->mismatches++;
                     } else if (status == ResponseStatus::Shed) {
-                        stats.shed++;
+                        stats->shed++;
                     } else {
-                        stats.otherErrors++;
+                        stats->otherErrors++;
                     }
-                    conn->inflight = false;
+                    conn->inflight.erase(pendingIt);
                     if (sending) {
-                        queueNextRequest(conn, buckets, &rng, arch,
-                                         &stats);
+                        fillPipeline(conn, buckets, &rng, args.arch,
+                                     args.pipeline, stats);
                     }
                 }
             }
 
-            bool idle = !conn->inflight &&
+            bool idle = conn->inflight.empty() &&
                         conn->outPos == conn->outbuf.size();
             if (dead || (!sending && idle)) {
                 poller.remove(conn->fd);
@@ -394,6 +384,133 @@ main(int argc, char **argv)
                 want |= kPollOut;
             poller.modify(conn->fd, want);
         }
+    }
+    for (auto &entry : conns)
+        ::close(entry.second->fd);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initBench(argc, argv);
+
+    size_t num_connections = quickMode() ? 64 : 1000;
+    double duration_s = quickMode() ? 2.0 : 10.0;
+    size_t num_shards = 2;
+    size_t num_workers = 2;
+    size_t shed_depth = 256;
+    size_t num_loops = 1;
+    size_t client_threads = 2;
+    size_t pipeline = 1;
+    Architecture arch = Architecture::NoMap;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (flag == "--connections")
+            num_connections = std::strtoul(next(), nullptr, 10);
+        else if (flag == "--duration-s")
+            duration_s = std::strtod(next(), nullptr);
+        else if (flag == "--shards")
+            num_shards = std::strtoul(next(), nullptr, 10);
+        else if (flag == "--workers")
+            num_workers = std::strtoul(next(), nullptr, 10);
+        else if (flag == "--shed-depth")
+            shed_depth = std::strtoul(next(), nullptr, 10);
+        else if (flag == "--loops")
+            num_loops = std::strtoul(next(), nullptr, 10);
+        else if (flag == "--client-threads")
+            client_threads = std::strtoul(next(), nullptr, 10);
+        else if (flag == "--pipeline")
+            pipeline = std::strtoul(next(), nullptr, 10);
+        else if (flag == "--arch") {
+            std::string name = next();
+            if (name == "base") arch = Architecture::Base;
+            else if (name == "nomap_s") arch = Architecture::NoMapS;
+            else if (name == "nomap_b") arch = Architecture::NoMapB;
+            else if (name == "nomap") arch = Architecture::NoMap;
+            else if (name == "nomap_bc") arch = Architecture::NoMapBC;
+            else if (name == "nomap_rtm")
+                arch = Architecture::NoMapRTM;
+            else
+                fatal("unknown --arch '%s'", name.c_str());
+        }
+    }
+    if (num_loops == 0)
+        num_loops = 1;
+    if (pipeline == 0)
+        pipeline = 1;
+    if (client_threads == 0)
+        client_threads = 1;
+    if (client_threads > num_connections && num_connections > 0)
+        client_threads = num_connections;
+
+    std::vector<SizeBucket> buckets = makeBuckets(arch);
+
+    ServerConfig server_config;
+    server_config.backlog = 1024;
+    server_config.maxConnections = num_connections + 64;
+    server_config.loops = num_loops;
+    server_config.service.shards = num_shards;
+    server_config.service.shedQueueDepth = shed_depth;
+    server_config.service.shard.workers = num_workers;
+    server_config.service.shard.queueCapacity = 8192;
+    NoMapServer server(std::move(server_config));
+    server.start();
+
+    std::fprintf(stderr,
+                 "soak: %zu connections, %.1fs, %zu loops%s, "
+                 "%zu shards x %zu workers, shed depth %zu, "
+                 "%zu client threads, pipeline %zu, %s backend\n",
+                 num_connections, duration_s, server.loopCount(),
+                 server.reuseportActive() ? " (SO_REUSEPORT)" : "",
+                 num_shards, num_workers, shed_depth, client_threads,
+                 pipeline, Poller::backendName());
+
+    auto started = std::chrono::steady_clock::now();
+    auto deadline =
+        started +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(duration_s));
+    // After the send window closes, allow in-flight requests this
+    // long to drain before giving up.
+    auto drain_deadline =
+        deadline + std::chrono::seconds(quickMode() ? 30 : 120);
+
+    std::vector<SoakStats> thread_stats(client_threads);
+    std::vector<std::thread> threads;
+    size_t base = num_connections / client_threads;
+    size_t extra = num_connections % client_threads;
+    for (size_t t = 0; t < client_threads; ++t) {
+        ClientThreadArgs args;
+        args.tid = t;
+        args.port = server.port();
+        args.connections = base + (t < extra ? 1 : 0);
+        args.pipeline = pipeline;
+        args.arch = arch;
+        args.buckets = &buckets;
+        args.deadline = deadline;
+        args.drainDeadline = drain_deadline;
+        threads.emplace_back(runClientThread, args,
+                             &thread_stats[t]);
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    SoakStats stats;
+    for (SoakStats &ts : thread_stats) {
+        stats.sent += ts.sent;
+        stats.ok += ts.ok;
+        stats.shed += ts.shed;
+        stats.otherErrors += ts.otherErrors;
+        stats.mismatches += ts.mismatches;
+        stats.latenciesUs.insert(stats.latenciesUs.end(),
+                                 ts.latenciesUs.begin(),
+                                 ts.latenciesUs.end());
     }
 
     double elapsed_s =
@@ -413,6 +530,9 @@ main(int argc, char **argv)
         "{\n"
         "  \"soak\": {\n"
         "    \"connections\": %zu,\n"
+        "    \"loops\": %zu,\n"
+        "    \"client_threads\": %zu,\n"
+        "    \"pipeline\": %zu,\n"
         "    \"duration_s\": %.2f,\n"
         "    \"sent\": %llu,\n"
         "    \"answered\": %llu,\n"
@@ -426,8 +546,8 @@ main(int argc, char **argv)
         "\"p99\": %.1f}\n"
         "  },\n"
         "  \"server\": ",
-        num_connections, elapsed_s,
-        static_cast<unsigned long long>(stats.sent),
+        num_connections, num_loops, client_threads, pipeline,
+        elapsed_s, static_cast<unsigned long long>(stats.sent),
         static_cast<unsigned long long>(answered),
         static_cast<unsigned long long>(stats.ok),
         static_cast<unsigned long long>(stats.shed),

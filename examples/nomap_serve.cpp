@@ -5,9 +5,10 @@
  * Usage:
  *   nomap_serve [--workers M] [--requests N] [--arch ARCH]
  *               [--timeout-ms T] [--no-cache] [--trace FILE]
- *   nomap_serve --listen PORT [--shards S] [--shed-depth D] ...
+ *   nomap_serve --listen PORT [--shards S] [--loops L]
+ *               [--shed-depth D] ...
  *   nomap_serve --connect HOST:PORT [--requests N] [--arch ARCH]
- *   nomap_serve --loopback [--shards S] [--requests N] ...
+ *   nomap_serve --loopback [--shards S] [--loops L] [--requests N]
  *
  * Default mode drives N requests through the in-process
  * ExecutionService and prints the pool metrics JSON. --listen serves
@@ -71,10 +72,11 @@ usage()
         "nomap_bc|nomap_rtm]\n"
         "                   [--timeout-ms T] [--no-cache] "
         "[--trace FILE]\n"
-        "       nomap_serve --listen PORT [--shards S] "
-        "[--shed-depth D]\n"
+        "       nomap_serve --listen PORT [--shards S] [--loops L]\n"
+        "                   [--shed-depth D]\n"
         "       nomap_serve --connect HOST:PORT [--requests N]\n"
-        "       nomap_serve --loopback [--shards S] [--requests N]\n");
+        "       nomap_serve --loopback [--shards S] [--loops L]\n"
+        "                   [--requests N]\n");
     std::exit(1);
 }
 
@@ -179,19 +181,24 @@ driveClient(const std::string &host, uint16_t port,
 }
 
 int
-serverMode(uint16_t port, size_t shards, size_t shed_depth,
-           size_t workers)
+serverMode(uint16_t port, size_t shards, size_t loops,
+           size_t shed_depth, size_t workers)
 {
     ServerConfig config;
     config.port = port;
+    config.loops = loops;
     config.service.shards = shards;
     config.service.shedQueueDepth = shed_depth;
     config.service.shard.workers = workers;
     NoMapServer server(std::move(config));
     server.start();
-    std::printf("listening on %s:%u (%zu shards, %s backend)\n",
+    std::printf("listening on %s:%u (%zu shards, %zu loop%s%s, %s "
+                "backend)\n",
                 server.config().bindHost.c_str(),
                 static_cast<unsigned>(server.port()), shards,
+                server.loopCount(),
+                server.loopCount() == 1 ? "" : "s",
+                server.reuseportActive() ? " via SO_REUSEPORT" : "",
                 Poller::backendName());
     std::fflush(stdout);
 
@@ -206,18 +213,22 @@ serverMode(uint16_t port, size_t shards, size_t shed_depth,
 }
 
 int
-loopbackMode(size_t shards, size_t shed_depth, size_t workers,
-             size_t num_requests, Architecture arch)
+loopbackMode(size_t shards, size_t loops, size_t shed_depth,
+             size_t workers, size_t num_requests, Architecture arch)
 {
     ServerConfig config;
+    config.loops = loops;
     config.service.shards = shards;
     config.service.shedQueueDepth = shed_depth;
     config.service.shard.workers = workers;
     NoMapServer server(std::move(config));
     server.start();
-    std::printf("loopback server on port %u (%zu shards, %s "
-                "backend)\n",
+    std::printf("loopback server on port %u (%zu shards, %zu "
+                "loop%s%s, %s backend)\n",
                 static_cast<unsigned>(server.port()), shards,
+                server.loopCount(),
+                server.loopCount() == 1 ? "" : "s",
+                server.reuseportActive() ? " via SO_REUSEPORT" : "",
                 Poller::backendName());
 
     size_t failed =
@@ -235,6 +246,7 @@ main(int argc, char **argv)
     size_t num_workers = 4;
     size_t num_requests = 24;
     size_t num_shards = 2;
+    size_t num_loops = 1;
     size_t shed_depth = 0;
     Architecture arch = Architecture::NoMap;
     uint64_t timeout_ms = 0;
@@ -257,6 +269,8 @@ main(int argc, char **argv)
             num_requests = std::strtoul(next().c_str(), nullptr, 10);
         } else if (flag == "--shards") {
             num_shards = std::strtoul(next().c_str(), nullptr, 10);
+        } else if (flag == "--loops") {
+            num_loops = std::strtoul(next().c_str(), nullptr, 10);
         } else if (flag == "--shed-depth") {
             shed_depth = std::strtoul(next().c_str(), nullptr, 10);
         } else if (flag == "--arch") {
@@ -289,12 +303,13 @@ main(int argc, char **argv)
     }
 
     if (loopback) {
-        return loopbackMode(num_shards, shed_depth, num_workers,
-                            num_requests, arch);
+        return loopbackMode(num_shards, num_loops, shed_depth,
+                            num_workers, num_requests, arch);
     }
     if (listen_port >= 0) {
         return serverMode(static_cast<uint16_t>(listen_port),
-                          num_shards, shed_depth, num_workers);
+                          num_shards, num_loops, shed_depth,
+                          num_workers);
     }
     if (!connect_to.empty()) {
         size_t colon = connect_to.rfind(':');

@@ -86,8 +86,13 @@ PY
 step "1e/3 net label: wire codec + loopback differential + chaos"
 # Also covered by the full run; repeated by label so serving-stack
 # breakage (codec drift, router instability, a fault site that stops
-# being content-preserving) is its own CI signal.
-run env CTEST_OUTPUT_ON_FAILURE=1 \
+# being content-preserving) is its own CI signal. Twice: single-loop
+# (the full-run default) and NOMAP_NET_LOOPS=4, which makes every
+# loopback test drive a 4-event-loop server (SO_REUSEPORT where the
+# kernel has it, acceptor round-robin fallback elsewhere).
+run env CTEST_OUTPUT_ON_FAILURE=1 NOMAP_NET_LOOPS=1 \
+    ctest --test-dir build-check -j "$JOBS" -L net
+run env CTEST_OUTPUT_ON_FAILURE=1 NOMAP_NET_LOOPS=4 \
     ctest --test-dir build-check -j "$JOBS" -L net
 
 step "1f/3 adaptive label: controller properties + differential + storms"
@@ -122,7 +127,16 @@ run env CTEST_OUTPUT_ON_FAILURE=1 \
     ctest --test-dir build-check-tsan -j "$JOBS" \
     -L 'concurrency|chaos|trace|net|adaptive'
 
-step "3b/3 perf-smoke under TSan (report-only baseline diff)"
+step "3b/3 TSan net label in 4-loop mode"
+# The multi-loop server's cross-thread seams (completion inboxes,
+# adopted-fd handoff, shared fault injector, server-level counters)
+# only exist with loops > 1, so the net label runs again under TSan
+# with every loopback test on a 4-loop server.
+run env CTEST_OUTPUT_ON_FAILURE=1 NOMAP_NET_LOOPS=4 \
+    TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-check-tsan -j "$JOBS" -L net
+
+step "3c/3 perf-smoke under TSan (report-only baseline diff)"
 run env CTEST_OUTPUT_ON_FAILURE=1 \
     TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-check-tsan -L perf-smoke

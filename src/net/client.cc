@@ -24,6 +24,12 @@ NetClient::connect(const std::string &host, uint16_t port)
     fd = socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
         fatal("socket() failed: %s", std::strerror(errno));
+    if (recvBufferBytes > 0) {
+        // Must land before connect(): the window is negotiated during
+        // the handshake.
+        setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &recvBufferBytes,
+                   sizeof(recvBufferBytes));
+    }
 
     sockaddr_in addr {};
     addr.sin_family = AF_INET;

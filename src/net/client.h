@@ -33,6 +33,13 @@ class NetClient
     /** Connect to host:port (IPv4 dotted quad). Throws FatalError. */
     void connect(const std::string &host, uint16_t port);
 
+    /**
+     * SO_RCVBUF to request on the next connect (0 = kernel default).
+     * A small receive window makes server-side write backpressure
+     * (POLLOUT cycling) reproducible in tests.
+     */
+    void setReceiveBuffer(int bytes) { recvBufferBytes = bytes; }
+
     void close();
 
     bool connected() const { return fd >= 0; }
@@ -57,6 +64,7 @@ class NetClient
 
   private:
     int fd = -1;
+    int recvBufferBytes = 0;
     FrameDecoder decoder;
 };
 

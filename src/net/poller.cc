@@ -57,20 +57,35 @@ Poller::add(int fd, uint32_t mask)
 void
 Poller::modify(int fd, uint32_t mask)
 {
+    auto it = interest.find(fd);
+    if (it == interest.end())
+        fatal("epoll backend: modify of unwatched fd %d", fd);
     epoll_event ev{};
     ev.events = toEpoll(mask);
     ev.data.fd = fd;
-    if (::epoll_ctl(epollFd, EPOLL_CTL_MOD, fd, &ev) != 0)
-        fatal("epoll_ctl(MOD, %d): %s", fd, std::strerror(errno));
-    interest[fd] = mask;
+    if (::epoll_ctl(epollFd, EPOLL_CTL_MOD, fd, &ev) != 0) {
+        // EBADF/ENOENT: the fd was closed (and possibly reused) out
+        // from under us — the kernel already dropped it from the
+        // epoll set, so just forget it. Anything else is a real bug.
+        if (errno != EBADF && errno != ENOENT)
+            fatal("epoll_ctl(MOD, %d): %s", fd, std::strerror(errno));
+        interest.erase(it);
+        return;
+    }
+    it->second = mask;
 }
 
 void
 Poller::remove(int fd)
 {
-    if (::epoll_ctl(epollFd, EPOLL_CTL_DEL, fd, nullptr) != 0)
+    auto it = interest.find(fd);
+    if (it == interest.end())
+        fatal("epoll backend: remove of unwatched fd %d", fd);
+    // Tolerate an fd closed out from under us (see modify()).
+    if (::epoll_ctl(epollFd, EPOLL_CTL_DEL, fd, nullptr) != 0 &&
+        errno != EBADF && errno != ENOENT)
         fatal("epoll_ctl(DEL, %d): %s", fd, std::strerror(errno));
-    interest.erase(fd);
+    interest.erase(it);
 }
 
 void

@@ -55,10 +55,19 @@ class Poller
     /** Watch @p fd for @p interest (kPollIn/kPollOut mask). */
     void add(int fd, uint32_t interest);
 
-    /** Replace the interest mask of a watched fd. */
+    /**
+     * Replace the interest mask of a watched fd. Calling this on a
+     * watched fd that was closed out from under the poller is safe
+     * (teardown races): the entry is dropped instead of updated.
+     * Modifying a never-watched fd is a caller bug and fatal.
+     */
     void modify(int fd, uint32_t interest);
 
-    /** Stop watching @p fd (must precede close() of the fd). */
+    /**
+     * Stop watching @p fd. Normally precedes close() of the fd, but
+     * tolerates the fd having been closed already (see modify()).
+     * Removing a never-watched fd is a caller bug and fatal.
+     */
     void remove(int fd);
 
     /**

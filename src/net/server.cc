@@ -1,5 +1,6 @@
 #include "net/server.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
@@ -34,6 +35,8 @@ setCloexec(int fd)
 NoMapServer::NoMapServer(ServerConfig config)
     : cfg(std::move(config))
 {
+    if (cfg.loops == 0)
+        cfg.loops = 1;
     const FaultPlan *plan = cfg.faultPlan;
     if (!plan) {
         if (std::optional<FaultPlan> env = FaultPlan::fromEnv()) {
@@ -49,6 +52,7 @@ NoMapServer::NoMapServer(ServerConfig config)
     ShardedServiceConfig serviceCfg = cfg.service;
     if (!serviceCfg.faultPlan)
         serviceCfg.faultPlan = plan;
+    serviceCfg.loops = cfg.loops;
     sharded = std::make_unique<ShardedService>(std::move(serviceCfg));
 }
 
@@ -57,92 +61,129 @@ NoMapServer::~NoMapServer()
     stop();
 }
 
-void
-NoMapServer::start()
+int
+NoMapServer::makeListener(uint16_t port, bool wantReuseport,
+                          bool *reuseportOk, bool mustSucceed)
 {
-    if (loopThread.joinable())
-        return;
-    stopFlag.store(false, std::memory_order_relaxed);
-
-    listenFd = socket(AF_INET, SOCK_STREAM, 0);
-    if (listenFd < 0)
-        fatal("socket() failed: %s", std::strerror(errno));
-    setCloexec(listenFd);
+    if (reuseportOk)
+        *reuseportOk = false;
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (mustSucceed)
+            fatal("socket() failed: %s", std::strerror(errno));
+        return -1;
+    }
+    setCloexec(fd);
     int one = 1;
-    setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (wantReuseport) {
+        // Runtime probe: old kernels (or exotic platforms) reject it,
+        // in which case the caller falls back to a single acceptor.
+#ifdef SO_REUSEPORT
+        if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one,
+                       sizeof(one)) == 0 &&
+            reuseportOk)
+            *reuseportOk = true;
+#endif
+    }
 
     sockaddr_in addr {};
     addr.sin_family = AF_INET;
-    addr.sin_port = htons(cfg.port);
+    addr.sin_port = htons(port);
     if (inet_pton(AF_INET, cfg.bindHost.c_str(), &addr.sin_addr) != 1) {
-        close(listenFd);
-        listenFd = -1;
-        fatal("bad bind address '%s'", cfg.bindHost.c_str());
+        close(fd);
+        if (mustSucceed)
+            fatal("bad bind address '%s'", cfg.bindHost.c_str());
+        return -1;
     }
-    if (bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
-             sizeof(addr)) < 0 ||
-        listen(listenFd, cfg.backlog) < 0) {
+    if (bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) < 0 ||
+        listen(fd, cfg.backlog) < 0) {
         int err = errno;
-        close(listenFd);
-        listenFd = -1;
-        fatal("bind/listen on %s:%u failed: %s", cfg.bindHost.c_str(),
-              static_cast<unsigned>(cfg.port), std::strerror(err));
+        close(fd);
+        if (mustSucceed)
+            fatal("bind/listen on %s:%u failed: %s", cfg.bindHost.c_str(),
+                  static_cast<unsigned>(port), std::strerror(err));
+        return -1;
     }
     socklen_t len = sizeof(addr);
-    getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr), &len);
+    getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len);
     boundPort = ntohs(addr.sin_port);
-    setNonBlocking(listenFd);
+    setNonBlocking(fd);
+    return fd;
+}
 
-    int pipefd[2];
-    if (pipe(pipefd) < 0) {
-        close(listenFd);
-        listenFd = -1;
-        fatal("pipe() failed: %s", std::strerror(errno));
+void
+NoMapServer::start()
+{
+    if (!loops.empty())
+        return;
+
+    size_t nloops = std::max<size_t>(1, cfg.loops);
+    bool probeOk = false;
+    int firstFd = makeListener(cfg.port, nloops > 1, &probeOk, true);
+
+    // With SO_REUSEPORT every loop gets its own listener on the same
+    // port and the kernel balances accepts. Bind the extra listeners
+    // up front so a late failure can still fall back cleanly.
+    std::vector<int> listeners;
+    listeners.push_back(firstFd);
+    reuseportMode = nloops > 1 && probeOk;
+    if (reuseportMode) {
+        for (size_t i = 1; i < nloops; ++i) {
+            bool ok = false;
+            int fd = makeListener(boundPort, true, &ok, false);
+            if (fd < 0 || !ok) {
+                if (fd >= 0)
+                    close(fd);
+                reuseportMode = false;
+                break;
+            }
+            listeners.push_back(fd);
+        }
+        if (!reuseportMode) {
+            for (size_t i = 1; i < listeners.size(); ++i)
+                close(listeners[i]);
+            listeners.resize(1);
+        }
     }
-    wakeR = pipefd[0];
-    wakeW = pipefd[1];
-    setNonBlocking(wakeR);
-    setNonBlocking(wakeW);
-    setCloexec(wakeR);
-    setCloexec(wakeW);
 
-    poller.add(listenFd, kPollIn);
-    poller.add(wakeR, kPollIn);
-
-    loopThread = std::thread([this] { loopMain(); });
+    adoptNext = 0;
+    for (size_t i = 0; i < nloops; ++i) {
+        auto loop = std::make_unique<EventLoop>(
+            *this, static_cast<uint32_t>(i + 1));
+        if (i < listeners.size())
+            loop->attachListener(listeners[i]);
+        loops.push_back(std::move(loop));
+    }
+    for (auto &loop : loops)
+        loop->start();
 }
 
 void
 NoMapServer::stop()
 {
-    if (!loopThread.joinable())
+    if (loops.empty())
         return;
-    stopFlag.store(true, std::memory_order_release);
-    ssize_t ignored = write(wakeW, "x", 1);
-    (void)ignored;
-    loopThread.join();
+    for (auto &loop : loops)
+        loop->requestStop();
+    for (auto &loop : loops)
+        loop->join();
 
     // Drain the back-end *before* tearing down the completion plumbing:
-    // worker callbacks append completions and poke wakeW until every
-    // in-flight request has resolved.
+    // worker callbacks append completions and poke the wake pipes until
+    // every in-flight request has resolved.
     sharded->shutdown();
 
-    for (auto &entry : conns) {
-        close(entry.second->fd);
-        closed.fetch_add(1, std::memory_order_relaxed);
-    }
-    conns.clear();
-    connsById.clear();
-    poller.clear();
-    close(listenFd);
-    close(wakeR);
-    close(wakeW);
-    listenFd = wakeR = wakeW = -1;
-    {
-        std::lock_guard<std::mutex> lock(completionMutex);
-        completions.clear();
-    }
-    loopThread = std::thread();
+    for (auto &loop : loops)
+        loop->teardown();
+    // Final per-loop counters outlive the loops so a metrics dump
+    // after stop() (the nomap_serve shutdown path) still reports
+    // them.
+    finalLoopCounters.clear();
+    for (const auto &loop : loops)
+        finalLoopCounters.push_back(loop->counters());
+    loops.clear();
+    reuseportMode = false;
 }
 
 NetConnectionCounters
@@ -152,7 +193,9 @@ NoMapServer::connectionCounters() const
     c.accepted = accepted.load(std::memory_order_relaxed);
     c.closed = closed.load(std::memory_order_relaxed);
     c.active = c.accepted - c.closed;
+    c.rejected = rejected.load(std::memory_order_relaxed);
     c.acceptFaults = acceptFaults.load(std::memory_order_relaxed);
+    c.acceptBackoffs = acceptBackoffs.load(std::memory_order_relaxed);
     c.readErrors = readErrors.load(std::memory_order_relaxed);
     c.writeErrors = writeErrors.load(std::memory_order_relaxed);
     c.decodeErrors = decodeErrors.load(std::memory_order_relaxed);
@@ -169,16 +212,145 @@ NoMapServer::metrics() const
 {
     ShardedMetricsSnapshot snap = sharded->metrics();
     snap.connections = connectionCounters();
+    if (loops.empty()) {
+        snap.eventLoops = finalLoopCounters;
+    } else {
+        for (const auto &loop : loops)
+            snap.eventLoops.push_back(loop->counters());
+    }
     return snap;
 }
 
-// ---- Event loop --------------------------------------------------------
+// ---- EventLoop ---------------------------------------------------------
+
+NoMapServer::EventLoop::EventLoop(NoMapServer &server, uint32_t ordinal)
+    : server(server), ordinal(ordinal)
+{
+}
+
+NoMapServer::EventLoop::~EventLoop()
+{
+    requestStop();
+    join();
+    teardown();
+}
 
 void
-NoMapServer::loopMain()
+NoMapServer::EventLoop::start()
+{
+    stopFlag.store(false, std::memory_order_relaxed);
+    int pipefd[2];
+    if (pipe(pipefd) < 0)
+        fatal("pipe() failed: %s", std::strerror(errno));
+    wakeR = pipefd[0];
+    wakeW = pipefd[1];
+    setNonBlocking(wakeR);
+    setNonBlocking(wakeW);
+    setCloexec(wakeR);
+    setCloexec(wakeW);
+
+    if (listenFd >= 0)
+        poller.add(listenFd, kPollIn);
+    poller.add(wakeR, kPollIn);
+
+    thread = std::thread([this] { loopMain(); });
+}
+
+void
+NoMapServer::EventLoop::requestStop()
+{
+    stopFlag.store(true, std::memory_order_release);
+    wake();
+}
+
+void
+NoMapServer::EventLoop::join()
+{
+    if (thread.joinable())
+        thread.join();
+}
+
+void
+NoMapServer::EventLoop::teardown()
+{
+    for (auto &entry : conns) {
+        close(entry.second->fd);
+        server.closed.fetch_add(1, std::memory_order_relaxed);
+        loopClosed.fetch_add(1, std::memory_order_relaxed);
+    }
+    conns.clear();
+    connsById.clear();
+    poller.clear();
+    {
+        // Adopted-but-never-installed sockets (fallback handoff raced
+        // with shutdown): close without touching accepted/closed.
+        std::lock_guard<std::mutex> lock(adoptMutex);
+        for (int fd : adopted)
+            close(fd);
+        adopted.clear();
+    }
+    if (listenFd >= 0)
+        close(listenFd);
+    if (wakeR >= 0)
+        close(wakeR);
+    if (wakeW >= 0)
+        close(wakeW);
+    listenFd = wakeR = wakeW = -1;
+    {
+        std::lock_guard<std::mutex> lock(completionMutex);
+        completions.clear();
+    }
+    thread = std::thread();
+}
+
+void
+NoMapServer::EventLoop::wake()
+{
+    if (wakeW < 0)
+        return;
+    ssize_t ignored = write(wakeW, "x", 1);
+    (void)ignored;
+}
+
+void
+NoMapServer::EventLoop::postCompletion(uint64_t connId, std::string frame)
+{
+    {
+        std::lock_guard<std::mutex> lock(completionMutex);
+        completions.emplace_back(connId, std::move(frame));
+    }
+    wake();
+}
+
+void
+NoMapServer::EventLoop::adoptSocket(int fd)
+{
+    {
+        std::lock_guard<std::mutex> lock(adoptMutex);
+        adopted.push_back(fd);
+    }
+    wake();
+}
+
+NetLoopCounters
+NoMapServer::EventLoop::counters() const
+{
+    NetLoopCounters c;
+    c.loop = ordinal;
+    c.accepted = loopAccepted.load(std::memory_order_relaxed);
+    c.active = c.accepted - loopClosed.load(std::memory_order_relaxed);
+    c.framesIn = loopFramesIn.load(std::memory_order_relaxed);
+    c.framesOut = loopFramesOut.load(std::memory_order_relaxed);
+    return c;
+}
+
+void
+NoMapServer::EventLoop::loopMain()
 {
     std::vector<Poller::Event> events;
     while (!stopFlag.load(std::memory_order_acquire)) {
+        maybeResumeAccept();
+
         // Deferred frames (net.frame) are replayed next cycle, so cap
         // the wait whenever any exist; otherwise sleep long — every
         // state change that matters pokes the self-pipe or a socket.
@@ -189,7 +361,17 @@ NoMapServer::loopMain()
                 break;
             }
         }
-        poller.wait(&events, hasDeferred ? 10 : 500);
+        int timeout = hasDeferred ? 10 : 500;
+        if (acceptPaused) {
+            auto now = std::chrono::steady_clock::now();
+            auto left = std::chrono::duration_cast<
+                            std::chrono::milliseconds>(acceptResumeAt -
+                                                       now)
+                            .count();
+            timeout = std::min<long long>(timeout,
+                                          std::max<long long>(1, left + 1));
+        }
+        poller.wait(&events, timeout);
 
         for (const Poller::Event &event : events) {
             if (event.fd == listenFd) {
@@ -206,13 +388,22 @@ NoMapServer::loopMain()
             if (it == conns.end())
                 continue; // Closed earlier this batch.
             Conn *conn = it->second.get();
+            uint64_t id = conn->id;
             if (event.ready & kPollIn)
                 handleReadable(conn);
-            // Re-check: the read side may have closed the conn.
-            if (conns.count(event.fd) && (event.ready & kPollOut))
-                handleWritable(conn);
+            if (event.ready & kPollOut) {
+                // Re-look-up *and* match the id: the read side may
+                // have closed the conn, and an accept earlier in this
+                // batch may have reused the fd for a new connection —
+                // `conn` would dangle, and the fresh conn must not be
+                // flushed for the stale event either.
+                auto again = conns.find(event.fd);
+                if (again != conns.end() && again->second->id == id)
+                    handleWritable(again->second.get());
+            }
         }
 
+        drainAdopted();
         drainCompletions();
 
         // Replay frames net.frame held back one cycle.
@@ -231,7 +422,35 @@ NoMapServer::loopMain()
 }
 
 void
-NoMapServer::handleAccept()
+NoMapServer::EventLoop::pauseAccept()
+{
+    if (acceptPaused || listenFd < 0)
+        return;
+    // The listener is level-triggered: with a pending connection we
+    // cannot accept, every wait() would return immediately. Drop accept
+    // interest and re-arm after the backoff tick instead of spinning.
+    acceptPaused = true;
+    acceptResumeAt = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(
+                         std::max(1, server.cfg.acceptBackoffMs));
+    server.acceptBackoffs.fetch_add(1, std::memory_order_relaxed);
+    poller.modify(listenFd, 0);
+}
+
+void
+NoMapServer::EventLoop::maybeResumeAccept()
+{
+    if (!acceptPaused)
+        return;
+    if (std::chrono::steady_clock::now() < acceptResumeAt)
+        return;
+    acceptPaused = false;
+    // Level-triggered: a connection still waiting re-fires immediately.
+    poller.modify(listenFd, kPollIn);
+}
+
+void
+NoMapServer::EventLoop::handleAccept()
 {
     for (;;) {
         int fd = accept(listenFd, nullptr, nullptr);
@@ -240,21 +459,29 @@ NoMapServer::handleAccept()
                 return;
             if (errno == EINTR || errno == ECONNABORTED)
                 continue;
-            // Transient resource exhaustion (EMFILE & co): count it
-            // and keep serving the connections we already have.
-            acceptFaults.fetch_add(1, std::memory_order_relaxed);
+            // Transient resource exhaustion (EMFILE & co): count it,
+            // back off, and keep serving the connections we have.
+            server.acceptFaults.fetch_add(1, std::memory_order_relaxed);
+            pauseAccept();
             return;
         }
         // Injected accept failure: the kernel handed us a socket but
         // the server "fails" it — closed before any byte is served.
-        if (injector && injector->fire(FaultSite::NetAccept)) {
-            acceptFaults.fetch_add(1, std::memory_order_relaxed);
+        if (server.injector &&
+            server.injector->fire(FaultSite::NetAccept)) {
+            server.acceptFaults.fetch_add(1, std::memory_order_relaxed);
             close(fd);
             continue;
         }
-        if (conns.size() >= cfg.maxConnections) {
-            accepted.fetch_add(1, std::memory_order_relaxed);
-            closed.fetch_add(1, std::memory_order_relaxed);
+        // Rejected connections never count as accepted/closed, so
+        // "accepted" keeps meaning served. The cap is checked against
+        // the server-wide totals; with multiple loops accepting
+        // concurrently it is approximate by at most loops-1.
+        uint64_t live =
+            server.accepted.load(std::memory_order_relaxed) -
+            server.closed.load(std::memory_order_relaxed);
+        if (live >= server.cfg.maxConnections) {
+            server.rejected.fetch_add(1, std::memory_order_relaxed);
             close(fd);
             continue;
         }
@@ -262,19 +489,55 @@ NoMapServer::handleAccept()
         setCloexec(fd);
         int one = 1;
         setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        if (server.cfg.sendBufferBytes > 0) {
+            int sz = server.cfg.sendBufferBytes;
+            setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sz, sizeof(sz));
+        }
 
-        auto conn = std::make_unique<Conn>();
-        conn->fd = fd;
-        conn->id = nextConnId++;
-        connsById[conn->id] = conn.get();
-        poller.add(fd, kPollIn);
-        conns[fd] = std::move(conn);
-        accepted.fetch_add(1, std::memory_order_relaxed);
+        if (server.reuseportMode || server.loops.size() <= 1) {
+            installConn(fd);
+            continue;
+        }
+        // Fallback single acceptor: round-robin the socket across all
+        // loops (including this one). adoptNext is only ever touched
+        // here, on the one loop that owns the listener.
+        EventLoop *target =
+            server.loops[server.adoptNext++ % server.loops.size()].get();
+        if (target == this)
+            installConn(fd);
+        else
+            target->adoptSocket(fd);
     }
 }
 
 void
-NoMapServer::handleReadable(Conn *conn)
+NoMapServer::EventLoop::installConn(int fd)
+{
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = server.nextConnId.fetch_add(1, std::memory_order_relaxed);
+    connsById[conn->id] = conn.get();
+    poller.add(fd, kPollIn);
+    conn->interest = kPollIn;
+    conns[fd] = std::move(conn);
+    server.accepted.fetch_add(1, std::memory_order_relaxed);
+    loopAccepted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+NoMapServer::EventLoop::drainAdopted()
+{
+    std::vector<int> batch;
+    {
+        std::lock_guard<std::mutex> lock(adoptMutex);
+        batch.swap(adopted);
+    }
+    for (int fd : batch)
+        installConn(fd);
+}
+
+void
+NoMapServer::EventLoop::handleReadable(Conn *conn)
 {
     // A closing connection (poisoned decoder) is flush-only: don't
     // read more input, and don't report the same protocol error twice.
@@ -286,12 +549,12 @@ NoMapServer::handleReadable(Conn *conn)
         // Injected short read: deliver one byte this syscall. The
         // stream content is unchanged — only its arrival granularity —
         // so responses must still be bit-identical.
-        if (injector && injector->fire(FaultSite::NetRead))
+        if (server.injector && server.injector->fire(FaultSite::NetRead))
             want = 1;
         ssize_t n = read(conn->fd, buf, want);
         if (n > 0) {
-            bytesIn.fetch_add(static_cast<uint64_t>(n),
-                              std::memory_order_relaxed);
+            server.bytesIn.fetch_add(static_cast<uint64_t>(n),
+                                     std::memory_order_relaxed);
             conn->decoder.feed(buf, static_cast<size_t>(n));
             if (want == 1)
                 break; // One byte per poll cycle while the fault arms.
@@ -307,7 +570,7 @@ NoMapServer::handleReadable(Conn *conn)
             break;
         if (errno == EINTR)
             continue;
-        readErrors.fetch_add(1, std::memory_order_relaxed);
+        server.readErrors.fetch_add(1, std::memory_order_relaxed);
         closeConn(conn);
         return;
     }
@@ -322,7 +585,7 @@ NoMapServer::handleReadable(Conn *conn)
         if (result == FrameDecoder::Result::Error) {
             // Unresynchronizable: answer with one error frame, then
             // close once it flushes.
-            decodeErrors.fetch_add(1, std::memory_order_relaxed);
+            server.decodeErrors.fetch_add(1, std::memory_order_relaxed);
             WireResponse wire;
             wire.status = static_cast<uint8_t>(ResponseStatus::Error);
             wire.error = "protocol error: " + error;
@@ -331,12 +594,14 @@ NoMapServer::handleReadable(Conn *conn)
             flushConn(conn);
             return;
         }
-        framesIn.fetch_add(1, std::memory_order_relaxed);
+        server.framesIn.fetch_add(1, std::memory_order_relaxed);
+        loopFramesIn.fetch_add(1, std::memory_order_relaxed);
         // Injected frame deferral: hold the decoded frame one poll
         // cycle. Ordering within the connection is preserved (the
         // replay queue is FIFO), so responses stay deterministic.
-        if (injector && injector->fire(FaultSite::NetFrameDefer)) {
-            deferredFrames.fetch_add(1, std::memory_order_relaxed);
+        if (server.injector &&
+            server.injector->fire(FaultSite::NetFrameDefer)) {
+            server.deferredFrames.fetch_add(1, std::memory_order_relaxed);
             conn->deferred.push_back(std::move(payload));
             continue;
         }
@@ -347,7 +612,7 @@ NoMapServer::handleReadable(Conn *conn)
 }
 
 void
-NoMapServer::processFrame(Conn *conn, std::string payload)
+NoMapServer::EventLoop::processFrame(Conn *conn, std::string payload)
 {
     WireRequest wire;
     std::string error;
@@ -356,7 +621,7 @@ NoMapServer::processFrame(Conn *conn, std::string payload)
         !wireToRequest(wire, &request, &error)) {
         // Malformed request *payload* (framing was fine): the stream
         // is still in sync, so answer Error and keep the connection.
-        decodeErrors.fetch_add(1, std::memory_order_relaxed);
+        server.decodeErrors.fetch_add(1, std::memory_order_relaxed);
         WireResponse response;
         response.id = wire.id;
         response.status = static_cast<uint8_t>(ResponseStatus::Error);
@@ -366,33 +631,32 @@ NoMapServer::processFrame(Conn *conn, std::string payload)
         return;
     }
     request.connectionId = conn->id;
+    request.loop = ordinal;
     conn->pending++;
 
     uint64_t connId = conn->id;
-    sharded->submitAsync(
+    server.sharded->submitAsync(
         std::move(request), [this, connId](Response response) {
             // Worker thread (or the loop thread itself when shed
             // inline): encode here, hand the loop finished bytes.
-            std::string frame =
-                frameMessage(encodeResponsePayload(
-                    responseToWire(response)));
-            {
-                std::lock_guard<std::mutex> lock(completionMutex);
-                completions.emplace_back(connId, std::move(frame));
-            }
-            ssize_t ignored = write(wakeW, "x", 1);
-            (void)ignored;
+            std::string frame = frameMessage(
+                encodeResponsePayload(responseToWire(response)));
+            postCompletion(connId, std::move(frame));
         });
 }
 
 void
-NoMapServer::drainCompletions()
+NoMapServer::EventLoop::drainCompletions()
 {
     std::vector<std::pair<uint64_t, std::string>> batch;
     {
         std::lock_guard<std::mutex> lock(completionMutex);
         batch.swap(completions);
     }
+    // Write batching: append every completed frame to its connection
+    // first, then flush each touched connection once — one coalesced
+    // send per connection per poll cycle, one POLLOUT toggle at most.
+    std::vector<Conn *> dirty;
     for (auto &[connId, frame] : batch) {
         Conn *conn = connById(connId);
         if (!conn)
@@ -400,46 +664,57 @@ NoMapServer::drainCompletions()
         if (conn->pending > 0)
             conn->pending--;
         conn->outbuf.append(frame);
-        framesOut.fetch_add(1, std::memory_order_relaxed);
-        flushConn(conn);
+        server.framesOut.fetch_add(1, std::memory_order_relaxed);
+        loopFramesOut.fetch_add(1, std::memory_order_relaxed);
+        if (!conn->dirty) {
+            conn->dirty = true;
+            dirty.push_back(conn);
+        }
+    }
+    for (Conn *conn : dirty) {
+        conn->dirty = false;
+        flushConn(conn); // May closeConn; each conn appears once.
     }
 }
 
 void
-NoMapServer::queueResponse(Conn *conn, const WireResponse &wire)
+NoMapServer::EventLoop::queueResponse(Conn *conn,
+                                      const WireResponse &wire)
 {
     conn->outbuf.append(frameMessage(encodeResponsePayload(wire)));
-    framesOut.fetch_add(1, std::memory_order_relaxed);
+    server.framesOut.fetch_add(1, std::memory_order_relaxed);
+    loopFramesOut.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
-NoMapServer::handleWritable(Conn *conn)
+NoMapServer::EventLoop::handleWritable(Conn *conn)
 {
     flushConn(conn);
 }
 
 void
-NoMapServer::flushConn(Conn *conn)
+NoMapServer::EventLoop::flushConn(Conn *conn)
 {
     while (conn->outPos < conn->outbuf.size()) {
         size_t remaining = conn->outbuf.size() - conn->outPos;
         // Injected short write: one byte per syscall. Content and
         // order are unchanged; only packetization degrades.
-        if (injector && injector->fire(FaultSite::NetWrite))
+        if (server.injector &&
+            server.injector->fire(FaultSite::NetWrite))
             remaining = 1;
         ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->outPos,
                            remaining, MSG_NOSIGNAL);
         if (n > 0) {
             conn->outPos += static_cast<size_t>(n);
-            bytesOut.fetch_add(static_cast<uint64_t>(n),
-                               std::memory_order_relaxed);
+            server.bytesOut.fetch_add(static_cast<uint64_t>(n),
+                                      std::memory_order_relaxed);
             continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
             break;
         if (n < 0 && errno == EINTR)
             continue;
-        writeErrors.fetch_add(1, std::memory_order_relaxed);
+        server.writeErrors.fetch_add(1, std::memory_order_relaxed);
         closeConn(conn);
         return;
     }
@@ -455,26 +730,32 @@ NoMapServer::flushConn(Conn *conn)
 }
 
 void
-NoMapServer::updateWriteInterest(Conn *conn)
+NoMapServer::EventLoop::updateWriteInterest(Conn *conn)
 {
     uint32_t want = kPollIn;
     if (conn->outPos < conn->outbuf.size())
         want |= kPollOut;
+    // Interest is cached per connection so batched flushes cost one
+    // poller syscall per actual edge, not one per frame.
+    if (want == conn->interest)
+        return;
     poller.modify(conn->fd, want);
+    conn->interest = want;
 }
 
 void
-NoMapServer::closeConn(Conn *conn)
+NoMapServer::EventLoop::closeConn(Conn *conn)
 {
     poller.remove(conn->fd);
     close(conn->fd);
     connsById.erase(conn->id);
     conns.erase(conn->fd); // Destroys *conn.
-    closed.fetch_add(1, std::memory_order_relaxed);
+    server.closed.fetch_add(1, std::memory_order_relaxed);
+    loopClosed.fetch_add(1, std::memory_order_relaxed);
 }
 
-NoMapServer::Conn *
-NoMapServer::connById(uint64_t id)
+NoMapServer::EventLoop::Conn *
+NoMapServer::EventLoop::connById(uint64_t id)
 {
     auto it = connsById.find(id);
     return it == connsById.end() ? nullptr : it->second;

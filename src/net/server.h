@@ -5,25 +5,47 @@
  * @file
  * NoMapServer: a TCP front-end over ShardedService.
  *
- * Architecture: one event-loop thread owns every socket (accept, read,
- * decode, write); execution happens on the sharded service's worker
- * threads. The two meet at exactly one seam — workers encode the
- * finished response, append it to a mutex-protected completion queue
- * keyed by *connection id* (never by fd, which the kernel recycles),
- * and poke a self-pipe so the loop wakes and flushes. The loop never
- * blocks on execution; workers never touch a socket. That single
- * seam is what keeps the whole stack TSan-clean.
+ * Architecture: N **event loops** (ServerConfig::loops), each a
+ * thread owning a Poller, a self-pipe, completion/adoption inboxes,
+ * and its own connection tables. A connection is pinned to the loop
+ * that accepted (or adopted) it for its whole life, so all per-conn
+ * state — decoder, write backlog, pending count — stays
+ * single-threaded-per-loop without locks. Execution happens on the
+ * sharded service's worker threads; the two meet at exactly one seam
+ * per loop: workers encode the finished response, append it to that
+ * loop's mutex-protected completion queue keyed by *connection id*
+ * (never by fd, which the kernel recycles), and poke the loop's
+ * self-pipe. Loops never block on execution; workers never touch a
+ * socket. Those per-loop seams are what keep the stack TSan-clean.
+ *
+ * Listener scaling: when loops > 1 the server probes SO_REUSEPORT at
+ * runtime and, if the kernel supports it, gives every loop its own
+ * listening socket bound to the same port — accepts are then
+ * kernel-balanced with no shared acceptor state at all. When the
+ * probe fails (old kernel, exotic platform) the server falls back to
+ * a single acceptor on loop 1 that hands accepted fds to the other
+ * loops round-robin through their adoption inboxes + wake pipes.
+ *
+ * Write batching: completions are drained once per poll cycle into
+ * each connection's backlog and flushed with one coalesced send per
+ * connection per cycle; POLLOUT interest is an edge (cached mask,
+ * modified only on change), not a per-frame syscall.
  *
  * Robustness mirrors the engine's HTM discipline — bounded work, then
  * graceful degradation: oversized frames poison the connection (a
  * length-prefixed stream cannot be resynchronized), per-request
  * decode errors answer with a status=Error frame instead of killing
- * the stream, admission control sheds with status=Shed, and the
- * net.accept / net.read / net.write / net.frame fault sites let the
- * chaos suite drive every one of those paths deterministically.
+ * the stream, admission control sheds with status=Shed, connections
+ * over maxConnections are *rejected* (counted separately from
+ * served accepts), transient accept failures (EMFILE & co.) drop
+ * accept interest for a short backoff instead of hot-spinning on the
+ * level-triggered listener, and the net.accept / net.read /
+ * net.write / net.frame fault sites let the chaos suite drive every
+ * one of those paths deterministically.
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -49,8 +71,26 @@ struct ServerConfig {
     uint16_t port = 0;
     /** listen(2) backlog. */
     int backlog = 128;
-    /** Hard cap on concurrent connections; excess are closed. */
+    /** Hard cap on concurrent connections; excess are rejected. */
     size_t maxConnections = 4096;
+    /**
+     * Event-loop threads (clamped to >= 1). Each loop gets its own
+     * SO_REUSEPORT listener when the kernel supports it; otherwise
+     * loop 1 accepts and round-robins fds to the others.
+     */
+    size_t loops = 1;
+    /**
+     * After a transient accept(2) failure (EMFILE & co.) the loop
+     * drops accept interest for this long instead of spinning on the
+     * still-readable listener.
+     */
+    int acceptBackoffMs = 50;
+    /**
+     * SO_SNDBUF for accepted sockets; 0 keeps the kernel default.
+     * Small values make write-backpressure (POLLOUT cycling)
+     * reproducible in tests.
+     */
+    int sendBufferBytes = 0;
     /** The sharded execution back-end. */
     ShardedServiceConfig service;
     /**
@@ -72,19 +112,28 @@ class NoMapServer
     NoMapServer &operator=(const NoMapServer &) = delete;
 
     /**
-     * Bind, listen, and start the event-loop thread. Throws
+     * Bind, listen, and start the event-loop threads. Throws
      * FatalError when the address cannot be bound. Idempotent once
      * running.
      */
     void start();
 
-    /** Stop accepting, drain execution, join the loop. Idempotent. */
+    /** Stop accepting, drain execution, join the loops. Idempotent. */
     void stop();
 
     /** The bound TCP port (after start()); 0 before. */
     uint16_t port() const { return boundPort; }
 
-    bool running() const { return loopThread.joinable(); }
+    bool running() const { return !loops.empty(); }
+
+    /** Event loops actually running (0 before start()). */
+    size_t loopCount() const { return loops.size(); }
+
+    /**
+     * True when every loop owns its own SO_REUSEPORT listener; false
+     * in the single-acceptor round-robin fallback (or before start).
+     */
+    bool reuseportActive() const { return reuseportMode; }
 
     /** The back-end (tests reach through for shard-level asserts). */
     ShardedService &service() { return *sharded; }
@@ -99,63 +148,143 @@ class NoMapServer
     const ServerConfig &config() const { return cfg; }
 
   private:
-    /** Per-connection state; owned by the event loop. */
-    struct Conn {
-        int fd = -1;
-        uint64_t id = 0;
-        FrameDecoder decoder;
-        /** Encoded-but-unsent bytes (outPos = sent prefix). */
-        std::string outbuf;
-        size_t outPos = 0;
-        /** Requests submitted but not yet answered on this conn. */
-        size_t pending = 0;
-        /** Close once outbuf drains and pending hits zero. */
-        bool closing = false;
-        /** Frames held back one poll cycle by net.frame. */
-        std::vector<std::string> deferred;
+    /**
+     * One event-loop thread: poller + self-pipe + completion and
+     * adoption inboxes + connection tables. Connections are pinned
+     * here for life; only this loop's thread touches them.
+     */
+    class EventLoop
+    {
+      public:
+        /** @p ordinal is 1-based (0 tags in-process requests). */
+        EventLoop(NoMapServer &server, uint32_t ordinal);
+        ~EventLoop();
+
+        /** Hand this loop its own listening socket (before start). */
+        void attachListener(int fd) { listenFd = fd; }
+
+        void start();
+        void requestStop();
+        void join();
+        /** Close everything (after join + back-end drain). */
+        void teardown();
+
+        /** Worker -> loop handoff (any thread). */
+        void postCompletion(uint64_t connId, std::string frame);
+        /** Acceptor -> loop fd handoff (fallback mode, any thread). */
+        void adoptSocket(int fd);
+
+        NetLoopCounters counters() const;
+
+      private:
+        /** Per-connection state; owned by this loop. */
+        struct Conn {
+            int fd = -1;
+            uint64_t id = 0;
+            FrameDecoder decoder;
+            /** Encoded-but-unsent bytes (outPos = sent prefix). */
+            std::string outbuf;
+            size_t outPos = 0;
+            /** Requests submitted but not yet answered. */
+            size_t pending = 0;
+            /** Close once outbuf drains and pending hits zero. */
+            bool closing = false;
+            /** Poller interest currently installed for fd. */
+            uint32_t interest = kPollIn;
+            /** Already queued for this cycle's coalesced flush. */
+            bool dirty = false;
+            /** Frames held back one poll cycle by net.frame. */
+            std::vector<std::string> deferred;
+        };
+
+        void loopMain();
+        void wake();
+        void handleAccept();
+        void pauseAccept();
+        void maybeResumeAccept();
+        void installConn(int fd);
+        void drainAdopted();
+        void handleReadable(Conn *conn);
+        void handleWritable(Conn *conn);
+        void processFrame(Conn *conn, std::string payload);
+        void drainCompletions();
+        void queueResponse(Conn *conn, const WireResponse &wire);
+        void flushConn(Conn *conn);
+        void updateWriteInterest(Conn *conn);
+        void closeConn(Conn *conn);
+        Conn *connById(uint64_t id);
+
+        NoMapServer &server;
+        const uint32_t ordinal; ///< 1-based loop id.
+
+        Poller poller;
+        int listenFd = -1; ///< Owned; -1 when another loop accepts.
+        int wakeR = -1;    ///< Self-pipe read end (in the poll set).
+        int wakeW = -1;    ///< Self-pipe write end (workers poke this).
+        std::thread thread;
+        std::atomic<bool> stopFlag{false};
+
+        /** fd -> connection (loop thread only). */
+        std::unordered_map<int, std::unique_ptr<Conn>> conns;
+        /** id -> connection; completions resolve through this. */
+        std::unordered_map<uint64_t, Conn *> connsById;
+
+        /** Worker -> loop handoff: (connection id, encoded frame). */
+        std::mutex completionMutex;
+        std::vector<std::pair<uint64_t, std::string>> completions;
+
+        /** Acceptor -> loop handoff (fallback mode). */
+        std::mutex adoptMutex;
+        std::vector<int> adopted;
+
+        /** Accept backoff (satellite: no hot-spin on EMFILE). */
+        bool acceptPaused = false;
+        std::chrono::steady_clock::time_point acceptResumeAt{};
+
+        // Per-loop counters for the metrics "event_loops" section.
+        std::atomic<uint64_t> loopAccepted{0};
+        std::atomic<uint64_t> loopClosed{0};
+        std::atomic<uint64_t> loopFramesIn{0};
+        std::atomic<uint64_t> loopFramesOut{0};
     };
 
-    void loopMain();
-    void handleAccept();
-    void handleReadable(Conn *conn);
-    void handleWritable(Conn *conn);
-    void processFrame(Conn *conn, std::string payload);
-    void drainCompletions();
-    void queueResponse(Conn *conn, const WireResponse &wire);
-    void flushConn(Conn *conn);
-    void updateWriteInterest(Conn *conn);
-    void closeConn(Conn *conn);
-    Conn *connById(uint64_t id);
+    /**
+     * Create a bound+listening socket. @p wantReuseport probes
+     * SO_REUSEPORT; *reuseportOk reports whether the kernel took it.
+     * Fatal when @p mustSucceed, else returns -1 on failure.
+     */
+    int makeListener(uint16_t port, bool wantReuseport,
+                     bool *reuseportOk, bool mustSucceed);
 
     ServerConfig cfg;
     /** Plan captured from NOMAP_FAULT_PLAN when cfg.faultPlan null. */
     std::unique_ptr<FaultPlan> envPlan;
-    /** Injector for the net.* sites (event-loop thread only). */
+    /**
+     * Injector for the net.* sites, shared by every loop: its
+     * counters are relaxed atomics, so exact-count triggers stay
+     * exact and TSan-clean across loops (same contract as the
+     * service-level injector).
+     */
     std::unique_ptr<FaultInjector> injector;
     std::unique_ptr<ShardedService> sharded;
 
-    Poller poller;
-    int listenFd = -1;
-    int wakeR = -1; ///< Self-pipe read end (in the poll set).
-    int wakeW = -1; ///< Self-pipe write end (workers poke this).
+    std::vector<std::unique_ptr<EventLoop>> loops;
+    /** Per-loop counters snapshotted by stop() for post-stop dumps. */
+    std::vector<NetLoopCounters> finalLoopCounters;
+    bool reuseportMode = false;
+    /** Round-robin cursor of the fallback single acceptor. */
+    size_t adoptNext = 0;
     uint16_t boundPort = 0;
-    std::thread loopThread;
-    std::atomic<bool> stopFlag{false};
 
-    /** fd -> connection (loop thread only). */
-    std::unordered_map<int, std::unique_ptr<Conn>> conns;
-    /** id -> connection; completions resolve through this, never fd. */
-    std::unordered_map<uint64_t, Conn *> connsById;
-    uint64_t nextConnId = 1; ///< 0 is the in-process sentinel.
-
-    /** Worker -> loop handoff: (connection id, encoded frame). */
-    std::mutex completionMutex;
-    std::vector<std::pair<uint64_t, std::string>> completions;
+    /** Globally unique; 0 is the in-process sentinel. */
+    std::atomic<uint64_t> nextConnId{1};
 
     // ---- Counters (relaxed atomics; snapshotted for metrics) -----------
     std::atomic<uint64_t> accepted{0};
     std::atomic<uint64_t> closed{0};
+    std::atomic<uint64_t> rejected{0};
     std::atomic<uint64_t> acceptFaults{0};
+    std::atomic<uint64_t> acceptBackoffs{0};
     std::atomic<uint64_t> readErrors{0};
     std::atomic<uint64_t> writeErrors{0};
     std::atomic<uint64_t> decodeErrors{0};

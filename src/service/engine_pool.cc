@@ -414,13 +414,15 @@ ExecutionService::execute(Job &job, WorkerSlot &slot)
             return event;
         };
         // The Request span carries the routing identity: funcId =
-        // shard index, pc = wire connection id (both 0 for
-        // in-process submissions). Exporters surface them so traces
-        // can be grouped by shard/connection.
+        // shard index, pc = wire connection id, aux = event-loop
+        // ordinal (all 0 for in-process submissions). Exporters
+        // surface them so traces can be grouped by
+        // shard/connection/loop.
         auto tag_routing = [&](TraceEvent event) {
             event.funcId = job.request.shard;
             event.pc =
                 static_cast<uint32_t>(job.request.connectionId);
+            event.aux = static_cast<uint16_t>(job.request.loop);
             return event;
         };
         std::vector<TraceEvent> wrapped;

@@ -208,8 +208,12 @@ NetConnectionCounters::toJson() const
                      static_cast<unsigned long long>(active));
     out += strprintf("\"closed\": %llu, ",
                      static_cast<unsigned long long>(closed));
+    out += strprintf("\"rejected\": %llu, ",
+                     static_cast<unsigned long long>(rejected));
     out += strprintf("\"accept_faults\": %llu, ",
                      static_cast<unsigned long long>(acceptFaults));
+    out += strprintf("\"accept_backoffs\": %llu, ",
+                     static_cast<unsigned long long>(acceptBackoffs));
     out += strprintf("\"read_errors\": %llu, ",
                      static_cast<unsigned long long>(readErrors));
     out += strprintf("\"write_errors\": %llu, ",
@@ -230,22 +234,54 @@ NetConnectionCounters::toJson() const
 }
 
 std::string
+NetLoopCounters::toJson() const
+{
+    std::string out = "{";
+    out += strprintf("\"loop\": %llu, ",
+                     static_cast<unsigned long long>(loop));
+    out += strprintf("\"accepted\": %llu, ",
+                     static_cast<unsigned long long>(accepted));
+    out += strprintf("\"active\": %llu, ",
+                     static_cast<unsigned long long>(active));
+    out += strprintf("\"frames_in\": %llu, ",
+                     static_cast<unsigned long long>(framesIn));
+    out += strprintf("\"frames_out\": %llu}",
+                     static_cast<unsigned long long>(framesOut));
+    return out;
+}
+
+std::string
 ShardedMetricsSnapshot::toJson() const
 {
     std::string out;
     out += "{\n";
     out += strprintf("  \"shards\": %llu,\n",
                      static_cast<unsigned long long>(shards));
+    out += strprintf("  \"loops\": %llu,\n",
+                     static_cast<unsigned long long>(loops));
     out += strprintf("  \"shed_queue_depth\": %llu,\n",
                      static_cast<unsigned long long>(shedQueueDepth));
     out += "  \"router\": {";
     out += strprintf("\"routed\": %llu, ",
                      static_cast<unsigned long long>(routed));
-    out += strprintf("\"shed\": %llu},\n",
+    out += strprintf("\"shed\": %llu, ",
                      static_cast<unsigned long long>(shedTotal));
+    out += "\"routed_per_loop\": [";
+    for (size_t i = 0; i < routedPerLoop.size(); ++i) {
+        out += strprintf(
+            "%s%llu", i ? ", " : "",
+            static_cast<unsigned long long>(routedPerLoop[i]));
+    }
+    out += "]},\n";
     out += "  \"connections\": ";
     out += connections.toJson();
     out += ",\n";
+    out += "  \"event_loops\": [";
+    for (size_t i = 0; i < eventLoops.size(); ++i) {
+        out += i ? ", " : "";
+        out += eventLoops[i].toJson();
+    }
+    out += "],\n";
     out += "  \"per_shard\": [\n";
     for (size_t i = 0; i < perShard.size(); ++i) {
         const Shard &shard = perShard[i];

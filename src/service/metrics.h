@@ -133,10 +133,14 @@ struct ServiceMetricsSnapshot {
  * front reports all zeros.
  */
 struct NetConnectionCounters {
-    uint64_t accepted = 0;      ///< Connections accept()ed.
+    uint64_t accepted = 0;      ///< Connections accept()ed and served.
     uint64_t active = 0;        ///< Currently open.
     uint64_t closed = 0;        ///< Closed (either side).
+    /** Turned away at the max-connection cap (never served). */
+    uint64_t rejected = 0;
     uint64_t acceptFaults = 0;  ///< net.accept injected failures.
+    /** Accept-interest backoffs after transient accept() failures. */
+    uint64_t acceptBackoffs = 0;
     uint64_t readErrors = 0;    ///< recv() errors (not EOF).
     uint64_t writeErrors = 0;   ///< send() errors.
     uint64_t decodeErrors = 0;  ///< Malformed/oversized frames.
@@ -150,6 +154,18 @@ struct NetConnectionCounters {
     std::string toJson() const;
 };
 
+/** Per-event-loop slice of the wire counters (1-based loop ids). */
+struct NetLoopCounters {
+    uint64_t loop = 0;     ///< 1-based loop ordinal.
+    uint64_t accepted = 0; ///< Connections pinned to this loop.
+    uint64_t active = 0;   ///< Currently open on this loop.
+    uint64_t framesIn = 0;
+    uint64_t framesOut = 0;
+
+    /** Render as a JSON object (stable key order). */
+    std::string toJson() const;
+};
+
 /**
  * Point-in-time view of the whole sharded front-end: one per-shard
  * section per ExecutionService shard (each a full
@@ -158,11 +174,18 @@ struct NetConnectionCounters {
  */
 struct ShardedMetricsSnapshot {
     uint64_t shards = 0;
+    /** Event loops configured at the router (1 when no TCP server). */
+    uint64_t loops = 0;
     /** Shed threshold in effect (0 = shedding disabled). */
     uint64_t shedQueueDepth = 0;
     /** Totals across shards (router-side). */
     uint64_t routed = 0;
     uint64_t shedTotal = 0;
+    /**
+     * Router admissions by originating event loop; index 0 counts
+     * in-process submissions (no TCP connection behind them).
+     */
+    std::vector<uint64_t> routedPerLoop;
 
     struct Shard {
         uint64_t routed = 0; ///< Requests the router sent here.
@@ -173,6 +196,9 @@ struct ShardedMetricsSnapshot {
 
     /** Wire counters (all zero without a TCP server in front). */
     NetConnectionCounters connections;
+
+    /** Per-loop wire counters (empty without a TCP server). */
+    std::vector<NetLoopCounters> eventLoops;
 
     /** Render the snapshot as a JSON object (stable key order). */
     std::string toJson() const;

@@ -77,6 +77,12 @@ struct Request {
      * be grouped by connection.
      */
     uint64_t connectionId = 0;
+    /**
+     * Event loop the connection is pinned to (1-based ordinal), 0 for
+     * in-process submissions. Stamped by the server; tags the
+     * request's trace span and the router's per-loop counters.
+     */
+    uint32_t loop = 0;
 };
 
 /** The outcome of one Request. */

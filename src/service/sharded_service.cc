@@ -71,6 +71,12 @@ ShardedService::ShardedService(ShardedServiceConfig config)
         shedCounts.push_back(
             std::make_unique<std::atomic<uint64_t>>(0));
     }
+
+    size_t loops = cfg.loops ? cfg.loops : 1;
+    routedByLoop.reserve(loops + 1);
+    for (size_t i = 0; i <= loops; ++i)
+        routedByLoop.push_back(
+            std::make_unique<std::atomic<uint64_t>>(0));
 }
 
 ShardedService::~ShardedService()
@@ -122,6 +128,10 @@ ShardedService::submitAsync(Request request,
     }
 
     routedCounts[index]->fetch_add(1, std::memory_order_relaxed);
+    size_t loopSlot = request.loop;
+    if (loopSlot >= routedByLoop.size())
+        loopSlot = routedByLoop.size() - 1;
+    routedByLoop[loopSlot]->fetch_add(1, std::memory_order_relaxed);
     shards[index]->submitAsync(std::move(request), std::move(done));
 }
 
@@ -141,7 +151,12 @@ ShardedService::metrics() const
 {
     ShardedMetricsSnapshot snap;
     snap.shards = shards.size();
+    snap.loops = cfg.loops ? cfg.loops : 1;
     snap.shedQueueDepth = cfg.shedQueueDepth;
+    snap.routedPerLoop.reserve(routedByLoop.size());
+    for (const auto &counter : routedByLoop)
+        snap.routedPerLoop.push_back(
+            counter->load(std::memory_order_relaxed));
     snap.perShard.reserve(shards.size());
     for (size_t i = 0; i < shards.size(); ++i) {
         ShardedMetricsSnapshot::Shard section;

@@ -80,6 +80,12 @@ struct ShardedServiceConfig {
      */
     size_t shedQueueDepth = 0;
     /**
+     * Event loops of the fronting server (clamped to >= 1); sizes the
+     * router's per-loop admission counters. Requests whose
+     * Request::loop exceeds this are counted in the last bucket.
+     */
+    size_t loops = 1;
+    /**
      * Fault plan for the router-level service.shardfull site. Must
      * outlive the service; when null, NOMAP_FAULT_PLAN is consulted.
      * The same plan is also handed to every shard (service.* sites
@@ -142,6 +148,11 @@ class ShardedService
     /** Per-shard router counters (relaxed; exact totals). */
     std::vector<std::unique_ptr<std::atomic<uint64_t>>> routedCounts;
     std::vector<std::unique_ptr<std::atomic<uint64_t>>> shedCounts;
+    /**
+     * Admissions by originating event loop; slot 0 is in-process
+     * (Request::loop == 0), slots 1..loops are server loops.
+     */
+    std::vector<std::unique_ptr<std::atomic<uint64_t>>> routedByLoop;
 };
 
 } // namespace nomap

@@ -133,9 +133,11 @@ sampleShardedSnapshot()
 {
     ShardedMetricsSnapshot s;
     s.shards = 2;
+    s.loops = 2;
     s.shedQueueDepth = 32;
     s.routed = 150;
     s.shedTotal = 9;
+    s.routedPerLoop = {10, 70, 70}; // Slot 0 = in-process.
     for (uint64_t i = 0; i < 2; ++i) {
         ShardedMetricsSnapshot::Shard shard;
         shard.routed = 70 + i * 10;
@@ -147,7 +149,9 @@ sampleShardedSnapshot()
     s.connections.accepted = 40;
     s.connections.active = 5;
     s.connections.closed = 35;
+    s.connections.rejected = 7;
     s.connections.acceptFaults = 1;
+    s.connections.acceptBackoffs = 2;
     s.connections.readErrors = 2;
     s.connections.writeErrors = 3;
     s.connections.decodeErrors = 4;
@@ -156,6 +160,15 @@ sampleShardedSnapshot()
     s.connections.deferredFrames = 6;
     s.connections.bytesIn = 123456;
     s.connections.bytesOut = 654321;
+    for (uint64_t i = 0; i < 2; ++i) {
+        NetLoopCounters loop;
+        loop.loop = i + 1;
+        loop.accepted = 20 + i;
+        loop.active = 2 + i;
+        loop.framesIn = 250 + i;
+        loop.framesOut = 240 + i;
+        s.eventLoops.push_back(loop);
+    }
     return s;
 }
 
