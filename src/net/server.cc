@@ -115,6 +115,7 @@ NoMapServer::makeListener(uint16_t port, bool wantReuseport,
 void
 NoMapServer::start()
 {
+    std::lock_guard<std::mutex> lock(loopsMutex);
     if (!loops.empty())
         return;
 
@@ -141,9 +142,16 @@ NoMapServer::start()
             listeners.push_back(fd);
         }
         if (!reuseportMode) {
-            for (size_t i = 1; i < listeners.size(); ++i)
-                close(listeners[i]);
-            listeners.resize(1);
+            // The first listener still has SO_REUSEPORT set; keeping
+            // it would let another local process bind the same port
+            // and steal connections while reuseportActive() reports
+            // false. Recreate it plain on the now-known bound port
+            // (must succeed: the port was just released by us, so a
+            // failure here is a genuine race worth dying loudly on).
+            for (int fd : listeners)
+                close(fd);
+            listeners.assign(1, makeListener(boundPort, false, nullptr,
+                                             true));
         }
     }
 
@@ -162,6 +170,7 @@ NoMapServer::start()
 void
 NoMapServer::stop()
 {
+    std::lock_guard<std::mutex> lock(loopsMutex);
     if (loops.empty())
         return;
     for (auto &loop : loops)
@@ -192,7 +201,10 @@ NoMapServer::connectionCounters() const
     NetConnectionCounters c;
     c.accepted = accepted.load(std::memory_order_relaxed);
     c.closed = closed.load(std::memory_order_relaxed);
-    c.active = c.accepted - c.closed;
+    // Two separate relaxed loads: a connection accepted between them
+    // and closed before the second can make closed > accepted, so
+    // clamp instead of letting the unsigned subtraction wrap.
+    c.active = c.accepted >= c.closed ? c.accepted - c.closed : 0;
     c.rejected = rejected.load(std::memory_order_relaxed);
     c.acceptFaults = acceptFaults.load(std::memory_order_relaxed);
     c.acceptBackoffs = acceptBackoffs.load(std::memory_order_relaxed);
@@ -207,11 +219,26 @@ NoMapServer::connectionCounters() const
     return c;
 }
 
+bool
+NoMapServer::running() const
+{
+    std::lock_guard<std::mutex> lock(loopsMutex);
+    return !loops.empty();
+}
+
+size_t
+NoMapServer::loopCount() const
+{
+    std::lock_guard<std::mutex> lock(loopsMutex);
+    return loops.size();
+}
+
 ShardedMetricsSnapshot
 NoMapServer::metrics() const
 {
     ShardedMetricsSnapshot snap = sharded->metrics();
     snap.connections = connectionCounters();
+    std::lock_guard<std::mutex> lock(loopsMutex);
     if (loops.empty()) {
         snap.eventLoops = finalLoopCounters;
     } else {
@@ -338,7 +365,8 @@ NoMapServer::EventLoop::counters() const
     NetLoopCounters c;
     c.loop = ordinal;
     c.accepted = loopAccepted.load(std::memory_order_relaxed);
-    c.active = c.accepted - loopClosed.load(std::memory_order_relaxed);
+    uint64_t closedNow = loopClosed.load(std::memory_order_relaxed);
+    c.active = c.accepted >= closedNow ? c.accepted - closedNow : 0;
     c.framesIn = loopFramesIn.load(std::memory_order_relaxed);
     c.framesOut = loopFramesOut.load(std::memory_order_relaxed);
     return c;
@@ -477,9 +505,9 @@ NoMapServer::EventLoop::handleAccept()
         // "accepted" keeps meaning served. The cap is checked against
         // the server-wide totals; with multiple loops accepting
         // concurrently it is approximate by at most loops-1.
-        uint64_t live =
-            server.accepted.load(std::memory_order_relaxed) -
-            server.closed.load(std::memory_order_relaxed);
+        uint64_t acc = server.accepted.load(std::memory_order_relaxed);
+        uint64_t cls = server.closed.load(std::memory_order_relaxed);
+        uint64_t live = acc >= cls ? acc - cls : 0;
         if (live >= server.cfg.maxConnections) {
             server.rejected.fetch_add(1, std::memory_order_relaxed);
             close(fd);
@@ -605,8 +633,14 @@ NoMapServer::EventLoop::handleReadable(Conn *conn)
             conn->deferred.push_back(std::move(payload));
             continue;
         }
+        // processFrame's malformed-payload path flushes inline, and a
+        // hard send() error there (peer already reset) frees *conn —
+        // capture the id first and re-check through the table, never
+        // through the stale pointer (same discipline as the deferred
+        // replay loop below).
+        uint64_t frameConnId = conn->id;
         processFrame(conn, std::move(payload));
-        if (!connById(conn->id))
+        if (!connById(frameConnId))
             return; // processFrame closed it.
     }
 }

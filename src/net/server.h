@@ -124,10 +124,10 @@ class NoMapServer
     /** The bound TCP port (after start()); 0 before. */
     uint16_t port() const { return boundPort; }
 
-    bool running() const { return !loops.empty(); }
+    bool running() const;
 
     /** Event loops actually running (0 before start()). */
-    size_t loopCount() const { return loops.size(); }
+    size_t loopCount() const;
 
     /**
      * True when every loop owns its own SO_REUSEPORT listener; false
@@ -268,6 +268,15 @@ class NoMapServer
     std::unique_ptr<FaultInjector> injector;
     std::unique_ptr<ShardedService> sharded;
 
+    /**
+     * Guards loops / finalLoopCounters against a metrics dump racing
+     * start()/stop() from another thread (stop() holds it across the
+     * join + drain, so a concurrent metrics() blocks until the loops
+     * are quiesced). Loop threads themselves never take it: the
+     * vector is fully built before any loop starts and only cleared
+     * after every loop has joined.
+     */
+    mutable std::mutex loopsMutex;
     std::vector<std::unique_ptr<EventLoop>> loops;
     /** Per-loop counters snapshotted by stop() for post-stop dumps. */
     std::vector<NetLoopCounters> finalLoopCounters;

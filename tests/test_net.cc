@@ -1050,6 +1050,64 @@ result = 1;
     EXPECT_EQ(server.connectionCounters().active, 0u);
 }
 
+TEST(NetLoopback, MalformedPayloadThenPeerResetDoesNotTouchFreedConn)
+{
+    // Regression canary for the processFrame error-path UAF: a
+    // well-framed but malformed payload makes processFrame queue an
+    // error frame and flush inline; when the peer has already reset
+    // the connection that send() fails hard (ECONNRESET/EPIPE) and
+    // closeConn frees the Conn — the old handleReadable then read
+    // conn->id through the freed pointer. Loopback delivers the
+    // payload and the RST back-to-back, so the kernel hands the
+    // server the data first (queued bytes drain before sk_err) and
+    // fails the send that follows; iterate to cover the remaining
+    // timing window. Under ASan any hit on the old code crashes; the
+    // fixed server must stay up and keep serving.
+    ServerConfig config;
+    config.loops = 1;
+    config.service.shards = 1;
+    config.service.shard.workers = 1;
+    NoMapServer server(std::move(config));
+    server.start();
+
+    const std::string hostile = frameMessage("not a real payload");
+    for (int iter = 0; iter < 64; ++iter) {
+        int fd = socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_in addr {};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(server.port());
+        ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+        ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+        ASSERT_EQ(send(fd, hostile.data(), hostile.size(), MSG_NOSIGNAL),
+                  static_cast<ssize_t>(hostile.size()));
+        // SO_LINGER with zero timeout turns close() into a RST.
+        linger hard {};
+        hard.l_onoff = 1;
+        hard.l_linger = 0;
+        setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+        ::close(fd);
+    }
+
+    // Quiesce: every reset connection the kernel let through accept()
+    // must be closed again (whether one in the accept queue survives
+    // its RST is kernel-specific, so no exact count is asserted).
+    ASSERT_TRUE(eventually([&] {
+        NetConnectionCounters c = server.connectionCounters();
+        return c.accepted > 0 && c.closed == c.accepted;
+    }));
+    NetClient probe;
+    probe.connect("127.0.0.1", server.port());
+    WireRequest request;
+    request.id = 7;
+    request.source = "result = 6 * 7;";
+    EXPECT_EQ(probe.call(request).resultString, "42");
+    server.stop();
+    EXPECT_EQ(server.connectionCounters().active, 0u);
+}
+
 TEST(NetLoopback, MaxConnectionRejectionCountsAsRejected)
 {
     ServerConfig config;
