@@ -203,6 +203,10 @@ struct BaselineEntry {
     double minRaw = 0.0;
     /** Epoch-local calibration ns/iter; 0 when absent. */
     double calibration = 0.0;
+    /** Benchmarks in the suite when the baseline was recorded; 0 when
+     *  absent. A mismatch against the current suite means the
+     *  baseline predates a suite-set change. */
+    size_t benchmarks = 0;
 };
 
 bool
@@ -275,6 +279,8 @@ parseSuiteArray(const std::string &json, const char *key)
         e.normalized = jsonNumber(obj, "normalized_ns_per_instr", 0.0);
         e.minRaw = jsonNumber(obj, "ns_per_instr_min", 0.0);
         e.calibration = jsonNumber(obj, "calibration_ns_per_iter", 0.0);
+        e.benchmarks =
+            static_cast<size_t>(jsonNumber(obj, "benchmarks", 0.0));
         if (!e.suite.empty() && !e.arch.empty() && e.normalized > 0.0)
             entries.push_back(e);
         pos = close + 1;
@@ -292,6 +298,14 @@ parseSuiteArray(const std::string &json, const char *key)
  * REGRESSED only when both the raw min ratio and the normalized
  * (min / epoch-local calibration) ratio exceed the tolerance —
  * real regressions move both, epoch skew usually moves one.
+ *
+ * Staleness vs regression: a baseline that predates the current
+ * schema or suite set (schema_version != 3, a (suite, arch) pair
+ * with no baseline row, or a per-suite benchmark-count change) is
+ * not evidence of a slowdown — the numbers are simply no longer
+ * comparable. Those runs print what they can, say why, and return
+ * 0 with a regenerate reminder instead of failing the gate.
+ * Genuine within-schema regressions still return 1.
  */
 int
 compareToBaseline(const char *path,
@@ -317,11 +331,16 @@ compareToBaseline(const char *path,
         base = parseSuiteArray(json, "suites");
     }
     if (base.empty()) {
+        // A readable baseline with nothing to compare predates the
+        // current schema (e.g. no "quick_suites" array yet) — that is
+        // staleness, not a regression.
         std::fprintf(stderr,
                      "baseline %s has no comparable entries for this "
-                     "mode (%s)\n",
+                     "mode (%s); it predates the current schema — "
+                     "regenerate it with a full ./bench/wallclock "
+                     "run\n",
                      path, quick ? "quick" : "full");
-        return report_only ? 0 : 1;
+        return 0;
     }
 
     double tolerance = 15.0;
@@ -329,6 +348,16 @@ compareToBaseline(const char *path,
         double v = std::strtod(env, nullptr);
         if (v > 0.0)
             tolerance = v;
+    }
+
+    std::vector<std::string> stale_reasons;
+    int base_schema =
+        static_cast<int>(jsonNumber(json, "schema_version", 0.0));
+    if (base_schema != 3) {
+        stale_reasons.push_back(
+            "baseline schema_version is " +
+            std::to_string(base_schema) +
+            ", current writer emits 3");
     }
 
     // Fallback calibration for pre-v3 baselines that recorded only a
@@ -355,8 +384,24 @@ compareToBaseline(const char *path,
         }
         double cur_min = minOf(t.nsPerInstr);
         if (!match) {
+            stale_reasons.push_back("no baseline row for (" +
+                                    t.suite + ", " + t.arch + ")");
             table.row({t.suite, t.arch, "-", fmtDouble(cur_min, 3),
                        "-", "-", "no-baseline"});
+            continue;
+        }
+        if (match->benchmarks > 0 &&
+            match->benchmarks != t.benchmarks) {
+            // The suite's benchmark set changed since the baseline
+            // was recorded; its ns/instr is a different workload.
+            stale_reasons.push_back(
+                "(" + t.suite + ", " + t.arch + ") has " +
+                std::to_string(t.benchmarks) +
+                " benchmarks, baseline recorded " +
+                std::to_string(match->benchmarks));
+            table.row({t.suite, t.arch, fmtDouble(match->minRaw, 3),
+                       fmtDouble(cur_min, 3), "-", "-",
+                       "suite-changed"});
             continue;
         }
         double base_cal = match->calibration > 0.0
@@ -391,6 +436,17 @@ compareToBaseline(const char *path,
                    regressed ? "REGRESSED" : "ok"});
     }
     std::printf("%s\n", table.render().c_str());
+    if (!stale_reasons.empty()) {
+        std::printf("baseline %s predates the current schema/suite "
+                    "set:\n",
+                    path);
+        for (const std::string &r : stale_reasons)
+            std::printf("  - %s\n", r.c_str());
+        std::printf("comparison is report-only; regenerate the "
+                    "committed baseline with a full ./bench/wallclock "
+                    "run\n");
+        return 0;
+    }
     if (regressions > 0) {
         std::printf("%d suite(s) regressed beyond %.1f%%%s\n",
                     regressions, tolerance,

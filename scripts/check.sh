@@ -8,15 +8,17 @@
 #                        disabled-trace wallclock envelope as explicit
 #                        steps
 #   2. address+undefined — full suite under ASan+UBSan
-#   3. thread          — concurrency-, chaos-, trace-, net-, and
-#                        adaptive-labeled tests only under TSan (the
-#                        rest is single-threaded and just slows down
-#                        10x for nothing; trace rides along because
-#                        its service-span tests cross threads, net
-#                        because the server's event loop and shard
+#   3. thread          — concurrency-, chaos-, trace-, net-,
+#                        adaptive-, and stm-labeled tests only under
+#                        TSan (the rest is single-threaded and just
+#                        slows down 10x for nothing; trace rides along
+#                        because its service-span tests cross threads,
+#                        net because the server's event loop and shard
 #                        workers race by construction, adaptive
 #                        because the controller consumes telemetry
-#                        the chaos storms also stress)
+#                        the chaos storms also stress, stm because
+#                        shared-heap sessions run K caller threads
+#                        against one Heap)
 #
 # Usage: scripts/check.sh [jobs]
 #
@@ -102,6 +104,13 @@ step "1f/3 adaptive label: controller properties + differential + storms"
 run env CTEST_OUTPUT_ON_FAILURE=1 \
     ctest --test-dir build-check -j "$JOBS" -L adaptive
 
+step "1g/3 stm label: shared-heap isolate parity + litmus + fallback"
+# Also covered by the full run; repeated by label so shared-heap
+# breakage (K=1 parity drift, a non-serializable litmus outcome, a
+# retry that stops being bit-identical) is its own CI signal.
+run env CTEST_OUTPUT_ON_FAILURE=1 \
+    ctest --test-dir build-check -j "$JOBS" -L stm
+
 step "2/3 AddressSanitizer + UndefinedBehaviorSanitizer, full suite"
 run cmake -B build-check-asan -S . "-DNOMAP_SANITIZE=address;undefined"
 run cmake --build build-check-asan -j "$JOBS"
@@ -109,6 +118,15 @@ run env CTEST_OUTPUT_ON_FAILURE=1 \
     ASAN_OPTIONS=abort_on_error=1 \
     UBSAN_OPTIONS=print_stacktrace=1 \
     ctest --test-dir build-check-asan -j "$JOBS"
+
+step "2a/3 stm label under ASan+UBSan"
+# The shared-heap rollback paths (undo replay, heap-mark truncation,
+# cache-snapshot restore) are exactly where lifetime bugs would hide;
+# run them as their own sanitized step.
+run env CTEST_OUTPUT_ON_FAILURE=1 \
+    ASAN_OPTIONS=abort_on_error=1 \
+    UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir build-check-asan -j "$JOBS" -L stm
 
 step "2b/3 perf-smoke under ASan+UBSan (report-only baseline diff)"
 # Sanitized builds compile with NOMAP_SANITIZED, so the baseline
@@ -119,13 +137,16 @@ run env CTEST_OUTPUT_ON_FAILURE=1 \
     UBSAN_OPTIONS=print_stacktrace=1 \
     ctest --test-dir build-check-asan -L perf-smoke
 
-step "3/3 ThreadSanitizer, concurrency + chaos + trace + net + adaptive labels"
+step "3/3 ThreadSanitizer, concurrency + chaos + trace + net + adaptive + stm labels"
+# stm rides along because shared-heap sessions are the one place K
+# caller threads execute guest programs against a single Heap — the
+# domain-mutex serialization has to be TSan-clean by construction.
 run cmake -B build-check-tsan -S . -DNOMAP_SANITIZE=thread
 run cmake --build build-check-tsan -j "$JOBS"
 run env CTEST_OUTPUT_ON_FAILURE=1 \
     TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-check-tsan -j "$JOBS" \
-    -L 'concurrency|chaos|trace|net|adaptive'
+    -L 'concurrency|chaos|trace|net|adaptive|stm'
 
 step "3b/3 TSan net label in 4-loop mode"
 # The multi-loop server's cross-thread seams (completion inboxes,

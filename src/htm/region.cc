@@ -1,0 +1,107 @@
+#include "htm/region.h"
+
+#include "support/logging.h"
+
+namespace nomap {
+
+namespace {
+
+// Same geometry constants as transaction.cc: ROT bounds writes by L2,
+// RTM by L1D.
+constexpr uint32_t kL1Size = 32 * 1024;
+constexpr uint32_t kL1Ways = 8;
+constexpr uint32_t kL2Size = 256 * 1024;
+constexpr uint32_t kL2Ways = 8;
+
+} // namespace
+
+RegionFootprint::RegionFootprint(HtmMode mode, CapacityModelKind kind)
+    : writeSet(makeWriteCapacityModel(
+          kind, mode == HtmMode::Rot ? kL2Size : kL1Size,
+          mode == HtmMode::Rot ? kL2Ways : kL1Ways))
+{
+}
+
+void
+RegionFootprint::clear()
+{
+    readLinesSet.clear();
+    writeLinesSet.clear();
+    writeSet->clear();
+    capacityExceeded = false;
+}
+
+uint64_t
+ConflictTable::beginRegion()
+{
+    activeStarts.insert(serial);
+    return serial;
+}
+
+void
+ConflictTable::endRegion(uint64_t start_serial)
+{
+    auto it = activeStarts.find(start_serial);
+    NOMAP_ASSERT(it != activeStarts.end());
+    activeStarts.erase(it);
+    prune();
+}
+
+RegionConflict
+ConflictTable::check(const RegionFootprint &fp,
+                     uint64_t start_serial) const
+{
+    RegionConflict out;
+    for (const Record &rec : records) {
+        if (rec.serial <= start_serial)
+            continue;
+        // Writes-vs-writes first, then reads-vs-writes; the
+        // subscribed fallback-lock line sits in the read set, so a
+        // concurrent fallback run is caught here like any data race.
+        for (Addr line : fp.writeLines()) {
+            if (rec.writeLines.count(line)) {
+                out.conflict = true;
+                out.line = line;
+                out.withFallback = rec.fallback;
+                return out;
+            }
+        }
+        for (Addr line : fp.readLines()) {
+            if (rec.writeLines.count(line)) {
+                out.conflict = true;
+                out.line = line;
+                out.withFallback = rec.fallback;
+                return out;
+            }
+        }
+    }
+    return out;
+}
+
+uint64_t
+ConflictTable::commit(const std::unordered_set<Addr> &write_lines,
+                      bool fallback)
+{
+    Record rec;
+    rec.serial = ++serial;
+    rec.fallback = fallback;
+    rec.writeLines = write_lines;
+    if (fallback)
+        rec.writeLines.insert(lineBase(kFallbackLockAddr));
+    records.push_back(std::move(rec));
+    prune();
+    return serial;
+}
+
+void
+ConflictTable::prune()
+{
+    // A record is dead once every in-flight region began at or after
+    // its serial (nobody's probe window reaches back that far).
+    uint64_t min_start =
+        activeStarts.empty() ? serial : *activeStarts.begin();
+    while (!records.empty() && records.front().serial <= min_start)
+        records.pop_front();
+}
+
+} // namespace nomap

@@ -1,0 +1,191 @@
+#ifndef NOMAP_HTM_REGION_H
+#define NOMAP_HTM_REGION_H
+
+/**
+ * @file
+ * Region-level transactional primitives for shared-heap execution.
+ *
+ * A *region* is one complete guest program run executing against a
+ * heap shared by several engine threads (stm/shared_heap.h). Each
+ * region runs as one simulated HTM transaction: its cache-line
+ * footprint is collected while it executes, and at commit time the
+ * footprint is checked for overlap against every region that
+ * committed since this one logically began. Overlap means the
+ * transactions would have conflicted on real hardware, so the later
+ * committer aborts, rolls its heap effects back, and retries — up to
+ * EngineConfig::htmRetryLimit times, after which it takes the
+ * software fallback path.
+ *
+ * The fallback follows Brown's "Template for Implementing Fast
+ * Lock-free Trees Using HTM": every HTM region *subscribes* the
+ * fallback-lock word into its read set at begin, and a fallback run
+ * publishes a write to that word when it commits. Any HTM region that
+ * was logically concurrent with a fallback run therefore conflicts on
+ * the lock line and aborts, which is exactly the mutual exclusion the
+ * template requires — expressed through the same line-overlap
+ * conflict detection as ordinary data conflicts.
+ *
+ * These classes are not internally synchronized: SharedHeapSession
+ * calls them under its domain mutex. They live in src/htm/ (not
+ * src/stm/) because the capacity geometry and line granularity they
+ * reason about belong to the HTM model, and because the VM heap — a
+ * layer below stm — records region write footprints directly.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <unordered_set>
+
+#include "htm/capacity_model.h"
+#include "htm/transaction.h"
+#include "memsim/addr.h"
+
+namespace nomap {
+
+/**
+ * Abstract address of the fallback-lock word. Sits below the heap
+ * bump allocator's first address (0x10000, vm/heap.cc), so it can
+ * never collide with guest data, and is nonzero, so it is never
+ * mistaken for "no address".
+ */
+constexpr Addr kFallbackLockAddr = 0x1000;
+
+/**
+ * The cache-line footprint of one region attempt: the set of lines it
+ * read and wrote, plus a CapacityModel bounding the write set by the
+ * same geometry the per-engine HTM manager uses (ROT: 256 KB 8-way;
+ * RTM: 32 KB 8-way). Capacity overflow is latched, not thrown — the
+ * session checks exceeded() at commit time, keeping region aborts off
+ * the executor's unwind paths entirely.
+ */
+class RegionFootprint
+{
+  public:
+    /** @param mode Geometry source (matches the engine's HTM mode).
+     *  @param kind Capacity-model flavor (EngineConfig::capacityModel). */
+    RegionFootprint(HtmMode mode, CapacityModelKind kind);
+
+    /** Record a read of @p addr's line (0 = no memory touched). */
+    void
+    noteRead(Addr addr)
+    {
+        if (addr == 0)
+            return;
+        readLinesSet.insert(lineBase(addr));
+    }
+
+    /** Record a write of @p addr's line; latches overflow. */
+    void
+    noteWrite(Addr addr)
+    {
+        if (addr == 0)
+            return;
+        Addr line = lineBase(addr);
+        if (writeLinesSet.insert(line).second) {
+            if (!writeSet->insert(line))
+                capacityExceeded = true;
+        }
+    }
+
+    /** Did the write footprint overflow the HTM geometry? */
+    bool exceeded() const { return capacityExceeded; }
+
+    /** Write footprint in bytes (distinct lines x 64). */
+    uint64_t
+    writeFootprintBytes() const
+    {
+        return static_cast<uint64_t>(writeLinesSet.size()) * kLineSize;
+    }
+
+    const std::unordered_set<Addr> &readLines() const
+    {
+        return readLinesSet;
+    }
+    const std::unordered_set<Addr> &writeLines() const
+    {
+        return writeLinesSet;
+    }
+
+    /** Forget everything (between attempts). */
+    void clear();
+
+  private:
+    std::unordered_set<Addr> readLinesSet;
+    std::unordered_set<Addr> writeLinesSet;
+    std::unique_ptr<CapacityModel> writeSet;
+    bool capacityExceeded = false;
+};
+
+/** Outcome of a commit-time conflict probe. */
+struct RegionConflict {
+    bool conflict = false;
+    /** One conflicting line (diagnostics; unordered-set iteration
+     *  order, so only the boolean is deterministic). */
+    Addr line = 0;
+    /** True when the overlap was with a fallback run's lock word. */
+    bool withFallback = false;
+};
+
+/**
+ * The committed-write history that makes logically-concurrent
+ * transactions visible to each other. Execution under the session's
+ * domain mutex is physically serial, so "concurrent" means: region B
+ * began before region A committed. B remembers the commit serial at
+ * its begin; at B's commit, every record with a later serial is a
+ * transaction B raced with, and any line overlap aborts B.
+ */
+class ConflictTable
+{
+  public:
+    /** Serial of the most recent commit (0 = none yet). */
+    uint64_t currentSerial() const { return serial; }
+
+    /**
+     * A region logically begins: remember its start serial so records
+     * it may need to probe are retained. Returns the start serial.
+     */
+    uint64_t beginRegion();
+
+    /** The region with @p start_serial finished (committed *or*
+     *  aborted for good); drop records nobody can probe anymore. */
+    void endRegion(uint64_t start_serial);
+
+    /**
+     * Commit-time probe: does @p fp overlap any write set committed
+     * after @p start_serial? Reads conflict with writes; writes
+     * conflict with writes (two serializable reads never conflict).
+     */
+    RegionConflict check(const RegionFootprint &fp,
+                         uint64_t start_serial) const;
+
+    /**
+     * Publish a committed region's write lines. Fallback runs pass
+     * fallback=true; their record additionally carries the
+     * fallback-lock line, so every subscribed HTM region that was
+     * logically concurrent aborts on it.
+     * @return The new commit serial.
+     */
+    uint64_t commit(const std::unordered_set<Addr> &write_lines,
+                    bool fallback);
+
+  private:
+    struct Record {
+        uint64_t serial = 0;
+        bool fallback = false;
+        std::unordered_set<Addr> writeLines;
+    };
+
+    void prune();
+
+    uint64_t serial = 0;
+    std::deque<Record> records;
+    /** Start serials of in-flight regions (multiset: K threads may
+     *  begin at the same serial). */
+    std::multiset<uint64_t> activeStarts;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_HTM_REGION_H

@@ -42,7 +42,16 @@ constexpr SiteNameEntry kSiteNames[] = {
     {FaultSite::NetFrameDefer, "net.frame"},
     {FaultSite::AdaptiveDecision, "adaptive.decision"},
     {FaultSite::AdaptiveBlacklist, "adaptive.blacklist"},
+    {FaultSite::StmFallback, "stm.fallback"},
 };
+
+/** Does a site consume the ':arg' filter? Only ftl.osr passes a key
+ *  to FaultInjector::fire; an arg anywhere else can never match. */
+bool
+siteTakesArg(FaultSite site)
+{
+    return site == FaultSite::FtlOsr;
+}
 
 std::string
 trim(const std::string &s)
@@ -135,6 +144,11 @@ FaultPlan::parse(const std::string &text)
                   spec.c_str());
         }
         if (colon != std::string::npos) {
+            if (!siteTakesArg(action.site)) {
+                fatal("fault plan: site \"%s\" takes no ':arg' filter "
+                      "(the spec \"%s\" would arm but never fire)",
+                      name.c_str(), spec.c_str());
+            }
             if (!parseUint(rest.substr(colon + 1), &action.arg)) {
                 fatal("fault plan: spec \"%s\" has a malformed ':arg'",
                       spec.c_str());

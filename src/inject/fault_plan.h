@@ -78,6 +78,15 @@
  *                              application, force the function
  *                              untransactional (pinned level 3)
  *                              instead of the decided revision
+ *     stm.fallback@N           doom every HTM attempt of the N-th
+ *                              shared-heap region, driving it through
+ *                              the full retry ladder onto the
+ *                              software fallback path
+ *
+ * Only `ftl.osr` takes a ':arg' filter; a ':arg' on any other site is
+ * rejected at parse time. (Before this check, a plan like
+ * "net.accept@1:7" armed silently and never fired, because no other
+ * call site passes a key to FaultInjector::fire.)
  *
  * Triggers are one-shot: each action fires at most once per injector.
  * Disarmed sites cost a single branch on a nullable pointer; an armed
@@ -127,10 +136,11 @@ enum class FaultSite : uint8_t {
     NetFrameDefer,       ///< net.frame
     AdaptiveDecision,    ///< adaptive.decision
     AdaptiveBlacklist,   ///< adaptive.blacklist
+    StmFallback,         ///< stm.fallback
 };
 
 constexpr size_t kNumFaultSites =
-    static_cast<size_t>(FaultSite::AdaptiveBlacklist) + 1;
+    static_cast<size_t>(FaultSite::StmFallback) + 1;
 
 /** Canonical grammar name of a site ("htm.abort", "check.bounds"...). */
 const char *faultSiteName(FaultSite site);

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "support/counters.h"
 #include "support/logging.h"
 
 namespace nomap {
@@ -204,7 +205,7 @@ NoMapServer::connectionCounters() const
     // Two separate relaxed loads: a connection accepted between them
     // and closed before the second can make closed > accepted, so
     // clamp instead of letting the unsigned subtraction wrap.
-    c.active = c.accepted >= c.closed ? c.accepted - c.closed : 0;
+    c.active = clampedDelta(c.accepted, c.closed);
     c.rejected = rejected.load(std::memory_order_relaxed);
     c.acceptFaults = acceptFaults.load(std::memory_order_relaxed);
     c.acceptBackoffs = acceptBackoffs.load(std::memory_order_relaxed);
@@ -366,7 +367,7 @@ NoMapServer::EventLoop::counters() const
     c.loop = ordinal;
     c.accepted = loopAccepted.load(std::memory_order_relaxed);
     uint64_t closedNow = loopClosed.load(std::memory_order_relaxed);
-    c.active = c.accepted >= closedNow ? c.accepted - closedNow : 0;
+    c.active = clampedDelta(c.accepted, closedNow);
     c.framesIn = loopFramesIn.load(std::memory_order_relaxed);
     c.framesOut = loopFramesOut.load(std::memory_order_relaxed);
     return c;
@@ -507,7 +508,7 @@ NoMapServer::EventLoop::handleAccept()
         // concurrently it is approximate by at most loops-1.
         uint64_t acc = server.accepted.load(std::memory_order_relaxed);
         uint64_t cls = server.closed.load(std::memory_order_relaxed);
-        uint64_t live = acc >= cls ? acc - cls : 0;
+        uint64_t live = clampedDelta(acc, cls);
         if (live >= server.cfg.maxConnections) {
             server.rejected.fetch_add(1, std::memory_order_relaxed);
             close(fd);

@@ -1,0 +1,355 @@
+#include "stm/shared_heap.h"
+
+#include <thread>
+
+#include "support/counters.h"
+#include "support/logging.h"
+
+namespace nomap {
+
+const char *
+regionAbortCauseName(RegionAbortCause cause)
+{
+    switch (cause) {
+      case RegionAbortCause::None: return "none";
+      case RegionAbortCause::Conflict: return "conflict";
+      case RegionAbortCause::Capacity: return "capacity";
+      case RegionAbortCause::Injected: return "injected";
+    }
+    return "?";
+}
+
+namespace {
+
+/** AbortCode rendered into session TxAbort events (the precise cause
+ *  rides in `ways` as a RegionAbortCause). */
+AbortCode
+abortCodeFor(RegionAbortCause cause)
+{
+    switch (cause) {
+      case RegionAbortCause::Capacity:
+        return AbortCode::Capacity;
+      case RegionAbortCause::Conflict:
+      case RegionAbortCause::Injected:
+        return AbortCode::ExplicitCheck;
+      case RegionAbortCause::None:
+        break;
+    }
+    return AbortCode::None;
+}
+
+} // namespace
+
+SharedHeapSession::SharedHeapSession(const SharedHeapConfig &config_,
+                                     const FaultPlan *plan)
+    : config(config_)
+{
+    NOMAP_ASSERT(config.lanes >= 1);
+    shapesPtr = std::make_unique<ShapeTable>();
+    stringsPtr = std::make_unique<StringTable>();
+    heapPtr = std::make_unique<Heap>(*shapesPtr, *stringsPtr);
+
+    ExternalVm vm;
+    vm.shapes = shapesPtr.get();
+    vm.strings = stringsPtr.get();
+    vm.heap = heapPtr.get();
+    for (uint32_t i = 0; i < config.lanes; ++i) {
+        auto lane = std::make_unique<Lane>();
+        lane->engine = std::make_unique<Engine>(config.engine, vm);
+        lane->footprint = std::make_unique<RegionFootprint>(
+            htmModeOf(config.engine.arch), config.engine.capacityModel);
+        if (lane->engine->faultInjector()) {
+            lane->planCopy = std::make_unique<FaultPlan>(
+                lane->engine->faultInjector()->plan());
+        }
+        laneStates.push_back(std::move(lane));
+    }
+
+    if (plan) {
+        sessionPlan = std::make_unique<FaultPlan>(*plan);
+    } else if (std::optional<FaultPlan> env = FaultPlan::fromEnv()) {
+        sessionPlan = std::make_unique<FaultPlan>(std::move(*env));
+    }
+    if (sessionPlan && !sessionPlan->empty())
+        injector = std::make_unique<FaultInjector>(*sessionPlan);
+
+    if (config.sessionTraceCapacity > 0) {
+        sessionTrace =
+            std::make_unique<TraceBuffer>(config.sessionTraceCapacity);
+    }
+}
+
+SharedHeapSession::~SharedHeapSession() = default;
+
+Engine &
+SharedHeapSession::engine(uint32_t lane)
+{
+    NOMAP_ASSERT(lane < laneStates.size());
+    return *laneStates[lane]->engine;
+}
+
+void
+SharedHeapSession::emitEvent(TraceEventType type, uint32_t lane,
+                             uint16_t aux, uint8_t code, uint32_t ways,
+                             uint64_t bytes)
+{
+    if (!sessionTrace || !sessionTrace->enabled())
+        return;
+    TraceEvent event;
+    event.vcycles = eventSerial++;
+    event.type = type;
+    event.code = code;
+    event.aux = aux;
+    event.ways = ways;
+    event.bytes = bytes;
+    event.tid = lane + 1;
+    sessionTrace->emit(event);
+}
+
+RegionResult
+SharedHeapSession::run(uint32_t lane_idx, const std::string &source)
+{
+    NOMAP_ASSERT(lane_idx < laneStates.size());
+    Lane &lane = *laneStates[lane_idx];
+    Engine &eng = *lane.engine;
+
+    std::unique_lock<std::mutex> lock(domainMutex);
+
+    // One stm.fallback occurrence per *logical region*, decided up
+    // front so a doomed region stays doomed across its whole retry
+    // ladder (and an undoomed one never spuriously fires mid-ladder).
+    bool doomed =
+        injector && injector->fire(FaultSite::StmFallback);
+
+    // Retries must draw the same Math.random() sequence the aborted
+    // attempt did; snapshot the raw state once per region.
+    uint64_t rng_snapshot = eng.rng().rawState();
+
+    uint32_t conflict_aborts = 0;
+    uint32_t capacity_aborts = 0;
+    uint32_t injected_aborts = 0;
+
+    for (uint32_t attempt = 1;; ++attempt) {
+        if (!lock.owns_lock())
+            lock.lock();
+
+        bool htm_mode = attempt <= config.engine.htmRetryLimit;
+        // Publish this attempt's logical begin, then drop and retake
+        // the mutex before executing. Any lane that slips in between
+        // commits *inside* this attempt's window, which is exactly
+        // what makes wall-clock-overlapping run() calls logically
+        // concurrent — without the gap, begin-to-probe would sit
+        // entirely inside one mutex hold and no commit could ever
+        // land in a window, making conflict aborts unreachable. The
+        // yield matters: std::mutex is unfair, and without it the
+        // publisher wins the reacquire race nearly every time, which
+        // would silently starve the window again.
+        uint64_t start_serial = conflicts.beginRegion();
+        lock.unlock();
+        std::this_thread::yield();
+        lock.lock();
+        lane.footprint->clear();
+        // Brown's template: HTM attempts subscribe the fallback-lock
+        // word into their read set, so any logically-concurrent
+        // fallback commit conflicts them out.
+        if (htm_mode)
+            lane.footprint->noteRead(kFallbackLockAddr);
+
+        HeapMark mark = heapPtr->mark();
+        size_t shape_mark = shapesPtr->size();
+        size_t string_mark = stringsPtr->size();
+        eng.memHierarchy().save(lane.memSnapshot);
+        heapPtr->setTransactionManager(&eng.htm());
+        if (attempt > 1) {
+            eng.rng().setRawState(rng_snapshot);
+            // Fresh injector counters (and a fresh adaptive
+            // controller) so the retry replays engine-level faults
+            // exactly as the first attempt saw them. Attempt 1 runs
+            // the engine exactly as constructed — part of the K=1
+            // isolate-parity contract.
+            if (lane.planCopy)
+                eng.armFaultPlan(lane.planCopy.get());
+            else if (config.engine.adaptive)
+                eng.armFaultPlan(nullptr);
+        }
+        eng.resetStats();
+        heapPtr->sessionBegin(lane.footprint.get());
+        emitEvent(TraceEventType::TxBegin, lane_idx,
+                  static_cast<uint16_t>(attempt), 0, 0, 0);
+
+        EngineResult er;
+        try {
+            er = eng.run(source);
+        } catch (...) {
+            // Guest error (or cancellation): unwind the region so the
+            // shared heap stays consistent, then let it propagate.
+            heapPtr->sessionAbort(mark);
+            shapesPtr->truncate(shape_mark);
+            stringsPtr->truncate(string_mark);
+            eng.memHierarchy().restore(lane.memSnapshot);
+            conflicts.endRegion(start_serial);
+            throw;
+        }
+
+        RegionAbortCause cause = RegionAbortCause::None;
+        if (htm_mode) {
+            if (doomed) {
+                cause = RegionAbortCause::Injected;
+            } else if (lane.footprint->exceeded()) {
+                cause = RegionAbortCause::Capacity;
+            } else if (conflicts
+                           .check(*lane.footprint, start_serial)
+                           .conflict) {
+                cause = RegionAbortCause::Conflict;
+            }
+        }
+
+        if (cause == RegionAbortCause::None) {
+            uint64_t bytes = lane.footprint->writeFootprintBytes();
+            RegionResult out;
+            out.commitSerial =
+                conflicts.commit(lane.footprint->writeLines(),
+                                 /*fallback=*/!htm_mode);
+            heapPtr->sessionCommit();
+            conflicts.endRegion(start_serial);
+
+            if (htm_mode) {
+                emitEvent(TraceEventType::TxCommit, lane_idx,
+                          static_cast<uint16_t>(attempt), 0, 0, bytes);
+            } else {
+                emitEvent(TraceEventType::TxFallback, lane_idx,
+                          static_cast<uint16_t>(attempt - 1), 0, 0,
+                          bytes);
+            }
+
+            lane.counters.regions += 1;
+            lane.counters.retries += attempt - 1;
+            lane.counters.conflictAborts += conflict_aborts;
+            lane.counters.capacityAborts += capacity_aborts;
+            lane.counters.injectedAborts += injected_aborts;
+            lane.counters.fallbacks += htm_mode ? 0 : 1;
+
+            aggregate.merge(er.stats);
+            aggregate.stmRegions += 1;
+            aggregate.stmRegionRetries += attempt - 1;
+            aggregate.stmConflictAborts += conflict_aborts;
+            aggregate.stmCapacityAborts += capacity_aborts;
+            aggregate.stmInjectedAborts += injected_aborts;
+            aggregate.stmFallbacks += htm_mode ? 0 : 1;
+
+            out.engine = std::move(er);
+            out.attempts = attempt;
+            out.fallback = !htm_mode;
+            out.conflictAborts = conflict_aborts;
+            out.capacityAborts = capacity_aborts;
+            out.injectedAborts = injected_aborts;
+            out.writeFootprintBytes = bytes;
+            return out;
+        }
+
+        // Abort: roll the shared VM state back and retry. Heap, shape
+        // ids, string ids, and the lane's simulated cache contents all
+        // rewind to the attempt's start, so the retry is bit-identical
+        // to a first attempt from this committed state.
+        heapPtr->sessionAbort(mark);
+        shapesPtr->truncate(shape_mark);
+        stringsPtr->truncate(string_mark);
+        eng.memHierarchy().restore(lane.memSnapshot);
+        conflicts.endRegion(start_serial);
+        switch (cause) {
+          case RegionAbortCause::Conflict: ++conflict_aborts; break;
+          case RegionAbortCause::Capacity: ++capacity_aborts; break;
+          case RegionAbortCause::Injected: ++injected_aborts; break;
+          case RegionAbortCause::None: break;
+        }
+        emitEvent(TraceEventType::TxAbort, lane_idx,
+                  static_cast<uint16_t>(attempt),
+                  static_cast<uint8_t>(abortCodeFor(cause)),
+                  static_cast<uint32_t>(cause), 0);
+
+        // Drop the domain lock between attempts so other lanes can
+        // commit (which is also what lets genuine conflicts and
+        // fallback pressure arise under contention).
+        lock.unlock();
+        std::this_thread::yield();
+    }
+}
+
+ExecutionStats
+SharedHeapSession::aggregateStats() const
+{
+    std::lock_guard<std::mutex> lock(domainMutex);
+    return aggregate;
+}
+
+LaneCounters
+SharedHeapSession::laneCounters(uint32_t lane) const
+{
+    NOMAP_ASSERT(lane < laneStates.size());
+    std::lock_guard<std::mutex> lock(domainMutex);
+    return laneStates[lane]->counters;
+}
+
+std::string
+SharedHeapSession::metricsJson() const
+{
+    std::lock_guard<std::mutex> lock(domainMutex);
+
+    LaneCounters totals;
+    for (const auto &lane : laneStates) {
+        totals.regions += lane->counters.regions;
+        totals.retries += lane->counters.retries;
+        totals.conflictAborts += lane->counters.conflictAborts;
+        totals.capacityAborts += lane->counters.capacityAborts;
+        totals.injectedAborts += lane->counters.injectedAborts;
+        totals.fallbacks += lane->counters.fallbacks;
+    }
+    // Derived counter: clamp instead of trusting regions >= fallbacks
+    // (same rule as the net front-end's active-connection gauge).
+    uint64_t htm_commits =
+        clampedDelta(totals.regions, totals.fallbacks);
+
+    std::string json = "{";
+    json += strprintf("\"lanes\":%u,", config.lanes);
+    json += strprintf("\"htm_retry_limit\":%u,",
+                      config.engine.htmRetryLimit);
+    json += strprintf(
+        "\"totals\":{\"regions\":%llu,\"htm_commits\":%llu,"
+        "\"retries\":%llu,\"conflict_aborts\":%llu,"
+        "\"capacity_aborts\":%llu,\"injected_aborts\":%llu,"
+        "\"fallbacks\":%llu},",
+        static_cast<unsigned long long>(totals.regions),
+        static_cast<unsigned long long>(htm_commits),
+        static_cast<unsigned long long>(totals.retries),
+        static_cast<unsigned long long>(totals.conflictAborts),
+        static_cast<unsigned long long>(totals.capacityAborts),
+        static_cast<unsigned long long>(totals.injectedAborts),
+        static_cast<unsigned long long>(totals.fallbacks));
+    json += "\"per_lane\":[";
+    for (size_t i = 0; i < laneStates.size(); ++i) {
+        const LaneCounters &c = laneStates[i]->counters;
+        if (i)
+            json += ",";
+        json += strprintf(
+            "{\"regions\":%llu,\"retries\":%llu,"
+            "\"conflict_aborts\":%llu,\"capacity_aborts\":%llu,"
+            "\"injected_aborts\":%llu,\"fallbacks\":%llu}",
+            static_cast<unsigned long long>(c.regions),
+            static_cast<unsigned long long>(c.retries),
+            static_cast<unsigned long long>(c.conflictAborts),
+            static_cast<unsigned long long>(c.capacityAborts),
+            static_cast<unsigned long long>(c.injectedAborts),
+            static_cast<unsigned long long>(c.fallbacks));
+    }
+    json += "]";
+    if (sessionTrace) {
+        json += strprintf(
+            ",\"trace\":{\"emitted\":%llu,\"dropped\":%llu}",
+            static_cast<unsigned long long>(sessionTrace->emitted()),
+            static_cast<unsigned long long>(sessionTrace->dropped()));
+    }
+    json += "}";
+    return json;
+}
+
+} // namespace nomap

@@ -1,0 +1,238 @@
+#ifndef NOMAP_STM_SHARED_HEAP_H
+#define NOMAP_STM_SHARED_HEAP_H
+
+/**
+ * @file
+ * Shared guest heaps: K engine threads executing against one Heap.
+ *
+ * A SharedHeapSession owns a single ShapeTable/StringTable/Heap triple
+ * and K engines viewing it (Engine's ExternalVm form). Each lane runs
+ * whole guest programs — *regions* — against the shared heap; every
+ * region is one simulated HTM transaction:
+ *
+ *  - While the region executes, the heap's tracked-write funnel and
+ *    ExecEnv::memAccess collect its cache-line footprint into a
+ *    RegionFootprint, bounded by the same geometry as the per-engine
+ *    HTM manager (htm/region.h).
+ *  - At commit, the footprint is probed against every region that
+ *    committed inside this one's logical window (ConflictTable). An
+ *    overlap — or a footprint overflow, or an injected stm.fallback
+ *    doom — aborts the region: the heap rolls back through the region
+ *    undo log, allocator state rewinds to the region's HeapMark, the
+ *    RNG is restored, and the region retries.
+ *  - After EngineConfig::htmRetryLimit HTM attempts, the region takes
+ *    the software fallback path (Brown's retry-then-fallback
+ *    template): it runs without commit-time checks, and its commit
+ *    record carries the fallback-lock line every HTM region subscribes
+ *    into its read set — so logically-concurrent HTM regions abort on
+ *    it, which is the template's mutual exclusion.
+ *
+ * Execution is physically serialized under the session's domain mutex
+ * (each attempt runs start-to-finish holding it; the lock is dropped
+ * and the thread yields between attempts so lanes interleave). The
+ * concurrency being modeled is *logical*: a region's window spans
+ * every commit between its begin serial and its own commit probe, and
+ * the begin is published in its own mutex hold *before* the attempt
+ * queues for execution — so run() calls that overlap in wall-clock
+ * time are logically concurrent, and whichever commits first aborts
+ * the overlapping others. Physical serialization is what makes every
+ * outcome trivially serializable — the simulated conflicts only add
+ * aborts and fallbacks, never wrong results — and what keeps the
+ * session ThreadSanitizer-clean without touching the executors.
+ *
+ * Determinism contract (pinned by tests/test_shared_heap.cc):
+ *  - A K=1 session run is bit-identical to a plain isolate run of the
+ *    same program (result, printed output, ExecutionStats, engine
+ *    trace) on all six architectures.
+ *  - A region that aborts and retries re-executes bit-identically to
+ *    a first attempt from the same committed state: heap ids and
+ *    abstract addresses rewind via HeapMark, shape/string tables
+ *    truncate to their attempt-start sizes (a retry re-derives
+ *    identical ids), the lane's simulated cache contents are restored
+ *    (cycle accounting would otherwise see the aborted attempt's warm
+ *    lines), the Math.random() state is restored, per-run stats are
+ *    reset, and any engine-level fault plan (or adaptive controller)
+ *    is re-armed with fresh counters.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "htm/region.h"
+#include "memsim/hierarchy.h"
+
+namespace nomap {
+
+/** Why one region attempt aborted (None = it committed). */
+enum class RegionAbortCause : uint8_t {
+    None,
+    Conflict, ///< Footprint overlapped a logically-concurrent commit.
+    Capacity, ///< Write footprint overflowed the HTM geometry.
+    Injected, ///< stm.fallback doom (inject/fault_plan.h).
+};
+
+/** Printable cause name ("none", "conflict", ...). */
+const char *regionAbortCauseName(RegionAbortCause cause);
+
+/** Configuration of a SharedHeapSession. */
+struct SharedHeapConfig {
+    /** Applied to every lane's engine (htmRetryLimit lives here). */
+    EngineConfig engine;
+
+    /** Number of engine lanes sharing the heap (K). */
+    uint32_t lanes = 1;
+
+    /**
+     * Capacity of the session's own region-event trace ring (TxBegin /
+     * TxAbort / TxCommit / TxFallback per attempt; 0 disables it).
+     * Separate from EngineConfig::traceCapacity on purpose: engine
+     * trace streams must stay bit-identical to a plain isolate's, so
+     * region events go to a session-owned buffer stamped with a
+     * monotone event ordinal instead of virtual cycles.
+     */
+    uint32_t sessionTraceCapacity = 0;
+};
+
+/** Per-lane region counters (metricsJson / introspection). */
+struct LaneCounters {
+    uint64_t regions = 0;        ///< Regions committed on this lane.
+    uint64_t retries = 0;        ///< Aborted HTM attempts.
+    uint64_t conflictAborts = 0;
+    uint64_t capacityAborts = 0;
+    uint64_t injectedAborts = 0;
+    uint64_t fallbacks = 0;      ///< Regions that committed via fallback.
+};
+
+/** Outcome of one region (one guest program run to commit). */
+struct RegionResult {
+    /** The committed attempt's result — for K=1, bit-identical to a
+     *  plain isolate running the same program. */
+    EngineResult engine;
+    /** Attempts consumed, aborted + committed (1 = first try). */
+    uint32_t attempts = 0;
+    /** True when the committing attempt ran the fallback path. */
+    bool fallback = false;
+    /** ConflictTable serial assigned to the commit. */
+    uint64_t commitSerial = 0;
+    uint32_t conflictAborts = 0;
+    uint32_t capacityAborts = 0;
+    uint32_t injectedAborts = 0;
+    /** Write footprint of the committed attempt, in bytes. */
+    uint64_t writeFootprintBytes = 0;
+};
+
+/**
+ * K engines, one heap. Construct with K = SharedHeapConfig::lanes;
+ * call run() from up to K caller threads, each owning one lane index
+ * (the session has no worker pool of its own). run() on distinct
+ * lanes is safe to call concurrently; a lane must not be used by two
+ * threads at once.
+ */
+class SharedHeapSession
+{
+  public:
+    /**
+     * @param config Session shape and per-engine configuration.
+     * @param plan Session-level fault plan (stm.fallback site), or
+     *        nullptr to consult NOMAP_FAULT_PLAN. Engine-level sites
+     *        in the same plan are armed per engine as usual (the
+     *        Engine constructor reads the environment itself).
+     */
+    explicit SharedHeapSession(const SharedHeapConfig &config,
+                               const FaultPlan *plan = nullptr);
+    ~SharedHeapSession();
+
+    SharedHeapSession(const SharedHeapSession &) = delete;
+    SharedHeapSession &operator=(const SharedHeapSession &) = delete;
+
+    /**
+     * Execute @p source as one region on @p lane, retrying aborts up
+     * to the configured HTM budget and falling back thereafter.
+     * Returns after the region commits. Throws FatalError for guest
+     * program errors (the region's partial effects are rolled back
+     * first, so the shared heap stays consistent).
+     */
+    RegionResult run(uint32_t lane, const std::string &source);
+
+    uint32_t laneCount() const
+    {
+        return static_cast<uint32_t>(laneStates.size());
+    }
+
+    /** The shared heap (globals persist across regions, like
+     *  successive scripts in one page). */
+    Heap &heap() { return *heapPtr; }
+
+    /** Lane @p lane's engine (its trace/stats are per-region). */
+    Engine &engine(uint32_t lane);
+
+    /**
+     * The session's region-event trace, or nullptr when
+     * SharedHeapConfig::sessionTraceCapacity is 0. Event payloads:
+     *   TxBegin     aux = attempt ordinal, tid = lane + 1
+     *   TxCommit    aux = attempt, bytes = write footprint
+     *   TxAbort     aux = attempt, code = mapped AbortCode,
+     *               ways = RegionAbortCause, tid = lane + 1
+     *   TxFallback  aux = HTM attempts burned, bytes = footprint
+     * Timestamps are a session-monotone event ordinal, not cycles.
+     */
+    TraceBuffer *trace() { return sessionTrace.get(); }
+
+    /**
+     * Merged view: every committed region's ExecutionStats folded
+     * together, plus the session's stm* counters (which no Engine
+     * ever writes).
+     */
+    ExecutionStats aggregateStats() const;
+
+    /** Per-lane counters (index < laneCount()). */
+    LaneCounters laneCounters(uint32_t lane) const;
+
+    /** Session metrics as a JSON object (deterministic field order). */
+    std::string metricsJson() const;
+
+  private:
+    struct Lane {
+        std::unique_ptr<Engine> engine;
+        std::unique_ptr<RegionFootprint> footprint;
+        /** Stable copy of the engine's armed plan for per-attempt
+         *  re-arming (fresh injector counters on retry). */
+        std::unique_ptr<FaultPlan> planCopy;
+        /** Reused buffer for the attempt-start cache contents (the
+         *  retry rollback restores it). */
+        MemHierarchy::Snapshot memSnapshot;
+        LaneCounters counters;
+    };
+
+    void emitEvent(TraceEventType type, uint32_t lane, uint16_t aux,
+                   uint8_t code, uint32_t ways, uint64_t bytes);
+
+    SharedHeapConfig config;
+
+    // Same construction order as Engine::initVm — tables before heap,
+    // heap before engines — and the reverse on destruction, so the
+    // engines' raw views never dangle.
+    std::unique_ptr<ShapeTable> shapesPtr;
+    std::unique_ptr<StringTable> stringsPtr;
+    std::unique_ptr<Heap> heapPtr;
+    std::vector<std::unique_ptr<Lane>> laneStates;
+
+    /** Serializes region execution and guards all mutable session
+     *  state below. */
+    mutable std::mutex domainMutex;
+
+    ConflictTable conflicts;
+    std::unique_ptr<FaultPlan> sessionPlan;
+    std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<TraceBuffer> sessionTrace;
+    uint64_t eventSerial = 0;
+    ExecutionStats aggregate;
+};
+
+} // namespace nomap
+
+#endif // NOMAP_STM_SHARED_HEAP_H

@@ -1,0 +1,34 @@
+#ifndef NOMAP_SUPPORT_COUNTERS_H
+#define NOMAP_SUPPORT_COUNTERS_H
+
+/**
+ * @file
+ * Counter arithmetic helpers shared by the metrics producers.
+ */
+
+#include <cstdint>
+
+namespace nomap {
+
+/**
+ * a - b, clamped at zero.
+ *
+ * The standard guard for gauges derived as the difference of two
+ * monotone counters sampled with relaxed loads (e.g. the net
+ * front-end's active connections = accepted - closed): between the two
+ * loads the writer can advance the subtrahend past the sampled
+ * minuend, and the raw difference then wraps to ~2^64. A clamped
+ * difference is momentarily stale instead of absurd. Also the right
+ * spelling for derived counters that are provably non-negative under a
+ * lock — the clamp documents the invariant and keeps a future
+ * refactor to atomics from introducing a wrap.
+ */
+inline uint64_t
+clampedDelta(uint64_t a, uint64_t b)
+{
+    return a >= b ? a - b : 0;
+}
+
+} // namespace nomap
+
+#endif // NOMAP_SUPPORT_COUNTERS_H

@@ -1,0 +1,542 @@
+/**
+ * @file
+ * Shared guest heaps (stm/shared_heap.h): region primitives, the K=1
+ * isolate-parity contract, EMME-style litmus outcomes under K>=2, and
+ * the injected-storm fallback path.
+ *
+ * The load-bearing invariants:
+ *  - A K=1 session run is bit-identical to a plain isolate run of the
+ *    same program — result, printed output, every stat, and the engine
+ *    trace stream — on all six architectures.
+ *  - Region retries are invisible: a region that aborts N times and
+ *    then commits (HTM or fallback) produces exactly the output a
+ *    clean first-attempt run produces.
+ *  - Concurrent lanes admit only serializable outcomes (store
+ *    buffering, message passing, coherence).
+ */
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "htm/region.h"
+#include "stm/shared_heap.h"
+#include "support/counters.h"
+#include "support/logging.h"
+
+namespace nomap {
+namespace {
+
+const Architecture kAllArchs[] = {
+    Architecture::Base,   Architecture::NoMapS, Architecture::NoMapB,
+    Architecture::NoMap,  Architecture::NoMapBC,
+    Architecture::NoMapRTM,
+};
+
+/** Hot enough to tier to FTL and place transactions (NoMap archs). */
+const char *kWorkload = R"JS(
+function makeObj(n) {
+    var obj = {values: [], sum: 0};
+    for (var i = 0; i < n; i++) obj.values[i] = i % 7;
+    return obj;
+}
+function sumInto(obj) {
+    var len = obj.values.length;
+    for (var idx = 0; idx < len; idx++) {
+        obj.sum += obj.values[idx];
+    }
+    return obj.sum;
+}
+var o = makeObj(160);
+var total = 0;
+for (var r = 0; r < 110; r++) {
+    o.sum = 0;
+    total = sumInto(o);
+}
+print(total);
+result = total + Math.floor(Math.random() * 10);
+)JS";
+
+/** Full-field stats comparison (bit-identity, not tolerance). */
+void
+expectStatsIdentical(const ExecutionStats &a, const ExecutionStats &b,
+                     const std::string &context)
+{
+    for (size_t i = 0;
+         i < static_cast<size_t>(InstrBucket::NumBuckets); ++i) {
+        EXPECT_EQ(a.instr[i], b.instr[i])
+            << context << " instr[" << i << "]";
+    }
+    for (size_t i = 0; i < static_cast<size_t>(CheckKind::NumKinds);
+         ++i) {
+        EXPECT_EQ(a.checks[i], b.checks[i])
+            << context << " checks[" << i << "]";
+    }
+    EXPECT_EQ(a.cyclesTm, b.cyclesTm) << context;
+    EXPECT_EQ(a.cyclesNonTm, b.cyclesNonTm) << context;
+    EXPECT_EQ(a.ftlFunctionCalls, b.ftlFunctionCalls) << context;
+    EXPECT_EQ(a.deopts, b.deopts) << context;
+    EXPECT_EQ(a.baselineCompiles, b.baselineCompiles) << context;
+    EXPECT_EQ(a.dfgCompiles, b.dfgCompiles) << context;
+    EXPECT_EQ(a.ftlCompiles, b.ftlCompiles) << context;
+    EXPECT_EQ(a.ftlRecompiles, b.ftlRecompiles) << context;
+    EXPECT_EQ(a.txCommits, b.txCommits) << context;
+    EXPECT_EQ(a.txAborts, b.txAborts) << context;
+    EXPECT_EQ(a.txAbortsCapacity, b.txAbortsCapacity) << context;
+    EXPECT_EQ(a.txAbortsCheck, b.txAbortsCheck) << context;
+    EXPECT_EQ(a.txAbortsSof, b.txAbortsSof) << context;
+    EXPECT_EQ(a.avgWriteFootprintBytes, b.avgWriteFootprintBytes)
+        << context;
+    EXPECT_EQ(a.maxWriteFootprintBytes, b.maxWriteFootprintBytes)
+        << context;
+    EXPECT_EQ(a.maxWriteWaysUsed, b.maxWriteWaysUsed) << context;
+}
+
+std::string
+engineTraceText(Engine &engine)
+{
+    TraceBuffer *buf = engine.trace();
+    return buf ? traceText(buf->drain()) : std::string();
+}
+
+// ---- Region primitives (htm/region.h) ---------------------------------
+
+TEST(RegionFootprint, DeduplicatesLines)
+{
+    RegionFootprint fp(HtmMode::Rot, CapacityModelKind::WaysAssoc);
+    fp.noteWrite(0x10000);
+    fp.noteWrite(0x10008); // same line
+    fp.noteWrite(0x10040); // next line
+    fp.noteRead(0x20000);
+    fp.noteRead(0x20010); // same line
+    fp.noteRead(0); // ignored
+    fp.noteWrite(0); // ignored
+    EXPECT_EQ(fp.writeLines().size(), 2u);
+    EXPECT_EQ(fp.readLines().size(), 1u);
+    EXPECT_EQ(fp.writeFootprintBytes(), 2u * kLineSize);
+    EXPECT_FALSE(fp.exceeded());
+    fp.clear();
+    EXPECT_TRUE(fp.writeLines().empty());
+    EXPECT_TRUE(fp.readLines().empty());
+    EXPECT_EQ(fp.writeFootprintBytes(), 0u);
+}
+
+TEST(RegionFootprint, LatchesCapacityOverflow)
+{
+    // RTM geometry: 32 KB / 8 ways / 64 B lines = 64 sets. Nine
+    // writes at a 64-set stride land in one set and overflow it.
+    RegionFootprint fp(HtmMode::Rtm, CapacityModelKind::WaysAssoc);
+    const Addr stride = 64ull * kLineSize;
+    for (int i = 0; i < 8; ++i)
+        fp.noteWrite(0x10000 + static_cast<Addr>(i) * stride);
+    EXPECT_FALSE(fp.exceeded());
+    fp.noteWrite(0x10000 + 8ull * stride);
+    EXPECT_TRUE(fp.exceeded());
+    // Overflow is latched until clear().
+    fp.noteWrite(0x10000);
+    EXPECT_TRUE(fp.exceeded());
+    fp.clear();
+    EXPECT_FALSE(fp.exceeded());
+}
+
+TEST(ConflictTable, DetectsOverlapOnlyInsideTheWindow)
+{
+    ConflictTable table;
+
+    // Region A begins, then B commits a write to line 0x40000.
+    uint64_t a_start = table.beginRegion();
+    std::unordered_set<Addr> b_writes{lineBase(0x40000)};
+    table.commit(b_writes, /*fallback=*/false);
+
+    // A wrote a disjoint line: no conflict.
+    RegionFootprint disjoint(HtmMode::Rot,
+                             CapacityModelKind::WaysAssoc);
+    disjoint.noteWrite(0x50000);
+    EXPECT_FALSE(table.check(disjoint, a_start).conflict);
+
+    // A wrote the same line: write-write conflict.
+    RegionFootprint ww(HtmMode::Rot, CapacityModelKind::WaysAssoc);
+    ww.noteWrite(0x40010);
+    EXPECT_TRUE(table.check(ww, a_start).conflict);
+
+    // A only *read* the line: read-write conflict.
+    RegionFootprint rw(HtmMode::Rot, CapacityModelKind::WaysAssoc);
+    rw.noteRead(0x40020);
+    EXPECT_TRUE(table.check(rw, a_start).conflict);
+    table.endRegion(a_start);
+
+    // A region beginning *after* B's commit is not in its window.
+    uint64_t late_start = table.beginRegion();
+    EXPECT_FALSE(table.check(ww, late_start).conflict);
+    table.endRegion(late_start);
+}
+
+TEST(ConflictTable, FallbackCommitKillsSubscribedRegions)
+{
+    ConflictTable table;
+    uint64_t start = table.beginRegion();
+
+    // The HTM region subscribed the fallback lock and touched only
+    // private data; a fallback run with a disjoint write set commits.
+    RegionFootprint fp(HtmMode::Rot, CapacityModelKind::WaysAssoc);
+    fp.noteRead(kFallbackLockAddr); // subscription
+    fp.noteWrite(0x90000);
+    std::unordered_set<Addr> fb_writes{lineBase(0x70000)};
+    table.commit(fb_writes, /*fallback=*/true);
+
+    RegionConflict c = table.check(fp, start);
+    EXPECT_TRUE(c.conflict);
+    EXPECT_TRUE(c.withFallback);
+    EXPECT_EQ(c.line, lineBase(kFallbackLockAddr));
+    table.endRegion(start);
+
+    // Without the subscription (a fallback run itself does not
+    // subscribe) the same commit is invisible.
+    uint64_t start2 = table.beginRegion();
+    RegionFootprint unsub(HtmMode::Rot, CapacityModelKind::WaysAssoc);
+    unsub.noteWrite(0x90000);
+    table.commit(fb_writes, /*fallback=*/true);
+    EXPECT_FALSE(table.check(unsub, start2).conflict);
+    table.endRegion(start2);
+}
+
+TEST(Counters, ClampedDeltaNeverWraps)
+{
+    EXPECT_EQ(clampedDelta(10, 3), 7u);
+    EXPECT_EQ(clampedDelta(3, 3), 0u);
+    EXPECT_EQ(clampedDelta(3, 10), 0u); // would wrap to ~2^64
+}
+
+// ---- K=1 isolate parity ------------------------------------------------
+
+TEST(SharedHeap, SingleLaneMatchesPlainIsolateOnAllArchitectures)
+{
+    for (Architecture arch : kAllArchs) {
+        EngineConfig ec;
+        ec.arch = arch;
+        ec.traceCapacity = 4096;
+
+        Engine isolate(ec);
+        EngineResult want = isolate.run(kWorkload);
+        std::string want_trace = engineTraceText(isolate);
+
+        SharedHeapConfig sc;
+        sc.engine = ec;
+        sc.lanes = 1;
+        SharedHeapSession session(sc);
+        RegionResult got = session.run(0, kWorkload);
+        std::string got_trace = engineTraceText(session.engine(0));
+
+        const char *name = architectureName(arch);
+        // A whole program is one region, and on the RTM geometry
+        // (32 KB L1) this workload's write footprint deterministically
+        // overflows — so NoMap_RTM exercises the full retry ladder and
+        // the fallback path here, and parity below proves the retries
+        // are invisible. The ROT archs (256 KB L2) commit first try.
+        if (arch == Architecture::NoMapRTM) {
+            EXPECT_EQ(got.attempts, ec.htmRetryLimit + 1) << name;
+            EXPECT_TRUE(got.fallback) << name;
+            EXPECT_EQ(got.capacityAborts, ec.htmRetryLimit) << name;
+        } else {
+            EXPECT_EQ(got.attempts, 1u) << name;
+            EXPECT_FALSE(got.fallback) << name;
+        }
+        EXPECT_EQ(got.engine.resultString, want.resultString) << name;
+        EXPECT_EQ(got.engine.printed, want.printed) << name;
+        expectStatsIdentical(got.engine.stats, want.stats, name);
+        EXPECT_EQ(got_trace, want_trace) << name;
+
+        // The engine-side stm fields stay zero: only the session's
+        // aggregate carries them.
+        EXPECT_EQ(got.engine.stats.stmRegions, 0u) << name;
+        ExecutionStats agg = session.aggregateStats();
+        EXPECT_EQ(agg.stmRegions, 1u) << name;
+        if (arch == Architecture::NoMapRTM) {
+            EXPECT_EQ(agg.stmRegionRetries, ec.htmRetryLimit) << name;
+            EXPECT_EQ(agg.stmFallbacks, 1u) << name;
+        } else {
+            EXPECT_EQ(agg.stmRegionRetries, 0u) << name;
+            EXPECT_EQ(agg.stmFallbacks, 0u) << name;
+        }
+    }
+}
+
+TEST(SharedHeap, MultiRegionMatchesReusedIsolate)
+{
+    // Globals persist across regions exactly like successive run()
+    // calls on one isolate (with per-request resetStats between).
+    const char *scripts[] = {
+        "var counter = 0; counter = counter + 1; result = counter;",
+        "counter = counter + 1; result = counter;",
+        "counter = counter + 1; result = counter * 10;",
+    };
+
+    EngineConfig ec;
+    ec.arch = Architecture::NoMap;
+    Engine isolate(ec);
+
+    SharedHeapConfig sc;
+    sc.engine = ec;
+    sc.lanes = 1;
+    SharedHeapSession session(sc);
+
+    for (size_t i = 0; i < 3; ++i) {
+        if (i > 0)
+            isolate.resetStats();
+        EngineResult want = isolate.run(scripts[i]);
+        RegionResult got = session.run(0, scripts[i]);
+        std::string context = "script " + std::to_string(i);
+        EXPECT_EQ(got.engine.resultString, want.resultString)
+            << context;
+        expectStatsIdentical(got.engine.stats, want.stats, context);
+    }
+    EXPECT_EQ(session.aggregateStats().stmRegions, 3u);
+}
+
+TEST(SharedHeap, ExternalVmEngineRefusesReset)
+{
+    SharedHeapConfig sc;
+    sc.lanes = 1;
+    SharedHeapSession session(sc);
+    EXPECT_THROW(session.engine(0).reset(), FatalError);
+}
+
+// ---- Litmus (K=2): only serializable outcomes --------------------------
+
+/** Run @p a and @p b concurrently on lanes 0/1 of @p session. */
+std::pair<std::string, std::string>
+runPair(SharedHeapSession &session, const std::string &a,
+        const std::string &b)
+{
+    std::string ra, rb;
+    std::thread ta(
+        [&] { ra = session.run(0, a).engine.resultString; });
+    std::thread tb(
+        [&] { rb = session.run(1, b).engine.resultString; });
+    ta.join();
+    tb.join();
+    return {ra, rb};
+}
+
+SharedHeapConfig
+litmusConfig()
+{
+    SharedHeapConfig sc;
+    sc.engine.arch = Architecture::NoMap;
+    sc.engine.htmRetryLimit = 4;
+    sc.lanes = 2;
+    return sc;
+}
+
+TEST(SharedHeapLitmus, StoreBuffering)
+{
+    // SB: A: x=1; r=y.  B: y=1; r=x.  Region-serializable outcomes
+    // are (0,1) and (1,0); (0,0) and (1,1) would require the regions
+    // to interleave.
+    for (int iter = 0; iter < 24; ++iter) {
+        SharedHeapSession session(litmusConfig());
+        session.run(0, "var x = 0; var y = 0; result = 0;");
+        auto [ra, rb] = runPair(session, "x = 1; result = y;",
+                                "y = 1; result = x;");
+        bool allowed = (ra == "0" && rb == "1") ||
+                       (ra == "1" && rb == "0");
+        EXPECT_TRUE(allowed)
+            << "iteration " << iter << ": forbidden SB outcome ("
+            << ra << "," << rb << ")";
+    }
+}
+
+TEST(SharedHeapLitmus, MessagePassing)
+{
+    // MP: A publishes data then flag; B reads flag then data. Seeing
+    // the flag without the data (or vice versa) is non-serializable.
+    for (int iter = 0; iter < 24; ++iter) {
+        SharedHeapSession session(litmusConfig());
+        session.run(0, "var data = 0; var flag = 0; result = 0;");
+        auto [ra, rb] =
+            runPair(session, "data = 42; flag = 1; result = 0;",
+                    "result = flag * 1000 + data;");
+        (void)ra;
+        EXPECT_TRUE(rb == "0" || rb == "1042")
+            << "iteration " << iter
+            << ": non-serializable MP outcome " << rb;
+    }
+}
+
+TEST(SharedHeapLitmus, CoherenceOnOneLocation)
+{
+    // Two writers to one location: the final value is one of the two
+    // written values, never a blend of torn/aborted state.
+    for (int iter = 0; iter < 24; ++iter) {
+        SharedHeapSession session(litmusConfig());
+        session.run(0, "var x = 0; result = 0;");
+        runPair(session, "x = 1; result = 0;", "x = 2; result = 0;");
+        RegionResult reader = session.run(0, "result = x;");
+        EXPECT_TRUE(reader.engine.resultString == "1" ||
+                    reader.engine.resultString == "2")
+            << "iteration " << iter << ": x = "
+            << reader.engine.resultString;
+    }
+}
+
+TEST(SharedHeapLitmus, ContendedCountersLoseNoIncrements)
+{
+    // Each lane increments a shared counter in its own regions; region
+    // serializability means no increment can be lost.
+    SharedHeapConfig sc = litmusConfig();
+    SharedHeapSession session(sc);
+    session.run(0, "var n = 0; result = 0;");
+    const int kPerLane = 25;
+    auto incr = [&](uint32_t lane) {
+        for (int i = 0; i < kPerLane; ++i)
+            session.run(lane, "n = n + 1; result = n;");
+    };
+    std::thread t0(incr, 0);
+    std::thread t1(incr, 1);
+    t0.join();
+    t1.join();
+    RegionResult reader = session.run(0, "result = n;");
+    EXPECT_EQ(reader.engine.resultString,
+              std::to_string(2 * kPerLane));
+    ExecutionStats agg = session.aggregateStats();
+    EXPECT_EQ(agg.stmRegions, 2u * kPerLane + 2u);
+}
+
+// ---- Injected abort storms and the fallback path (S4) ------------------
+
+TEST(SharedHeapFallback, StormDrainsRetriesThenFallsBack)
+{
+    EngineConfig ec;
+    ec.arch = Architecture::NoMap;
+    ec.htmRetryLimit = 3;
+    ec.traceCapacity = 4096;
+
+    // Clean reference session: same program, no injection.
+    SharedHeapConfig clean_cfg;
+    clean_cfg.engine = ec;
+    clean_cfg.lanes = 1;
+    clean_cfg.sessionTraceCapacity = 64;
+    SharedHeapSession clean(clean_cfg);
+    RegionResult want = clean.run(0, kWorkload);
+    std::string want_trace = engineTraceText(clean.engine(0));
+    EXPECT_EQ(want.attempts, 1u);
+
+    // Stormed session: every HTM attempt of region 1 is doomed.
+    FaultPlan plan = FaultPlan::parse("stm.fallback@1");
+    SharedHeapSession stormed(clean_cfg, &plan);
+    RegionResult got = stormed.run(0, kWorkload);
+    std::string got_trace = engineTraceText(stormed.engine(0));
+
+    EXPECT_EQ(got.attempts, ec.htmRetryLimit + 1);
+    EXPECT_TRUE(got.fallback);
+    EXPECT_EQ(got.injectedAborts, ec.htmRetryLimit);
+    EXPECT_EQ(got.conflictAborts, 0u);
+    EXPECT_EQ(got.capacityAborts, 0u);
+
+    // The committed fallback attempt is bit-identical to the clean
+    // first-attempt run: results, printed output, stats, and the
+    // engine's own trace stream.
+    EXPECT_EQ(got.engine.resultString, want.engine.resultString);
+    EXPECT_EQ(got.engine.printed, want.engine.printed);
+    expectStatsIdentical(got.engine.stats, want.engine.stats,
+                         "storm vs clean");
+    EXPECT_EQ(got_trace, want_trace);
+
+    // Session accounting and the TxFallback region event.
+    ExecutionStats agg = stormed.aggregateStats();
+    EXPECT_EQ(agg.stmRegions, 1u);
+    EXPECT_EQ(agg.stmRegionRetries, ec.htmRetryLimit);
+    EXPECT_EQ(agg.stmInjectedAborts, ec.htmRetryLimit);
+    EXPECT_EQ(agg.stmFallbacks, 1u);
+
+    ASSERT_NE(stormed.trace(), nullptr);
+    std::vector<TraceEvent> events = stormed.trace()->drain();
+    size_t fallbacks = 0, aborts = 0;
+    for (const TraceEvent &e : events) {
+        if (e.type == TraceEventType::TxFallback) {
+            ++fallbacks;
+            EXPECT_EQ(e.aux, ec.htmRetryLimit);
+            EXPECT_EQ(e.tid, 1u);
+        }
+        if (e.type == TraceEventType::TxAbort)
+            ++aborts;
+    }
+    EXPECT_EQ(fallbacks, 1u);
+    EXPECT_EQ(aborts, ec.htmRetryLimit);
+
+    // Only-region semantics: the next region is back on HTM.
+    RegionResult after = stormed.run(0, "result = 1;");
+    EXPECT_EQ(after.attempts, 1u);
+    EXPECT_FALSE(after.fallback);
+}
+
+TEST(SharedHeapFallback, CapacityOverflowForcesFallbackDeterministically)
+{
+    // Growing an array element-by-element reallocates its backing
+    // store each step, so the region's write footprint sweeps far more
+    // lines than the HTM geometry holds — a deterministic capacity
+    // storm with no injection involved.
+    const char *big = R"JS(
+var a = [];
+for (var i = 0; i < 40000; i++) a[i] = i;
+result = a[39999];
+)JS";
+
+    EngineConfig ec;
+    ec.arch = Architecture::NoMap;
+    ec.htmRetryLimit = 2;
+
+    Engine isolate(ec);
+    EngineResult want = isolate.run(big);
+
+    SharedHeapConfig sc;
+    sc.engine = ec;
+    sc.lanes = 1;
+    SharedHeapSession session(sc);
+    RegionResult got = session.run(0, big);
+
+    EXPECT_EQ(got.attempts, 3u);
+    EXPECT_TRUE(got.fallback);
+    EXPECT_EQ(got.capacityAborts, 2u);
+    EXPECT_EQ(got.engine.resultString, want.resultString);
+    expectStatsIdentical(got.engine.stats, want.stats,
+                         "capacity fallback");
+}
+
+TEST(SharedHeapFallback, MetricsJsonReportsTheLadder)
+{
+    EngineConfig ec;
+    ec.htmRetryLimit = 2;
+    SharedHeapConfig sc;
+    sc.engine = ec;
+    sc.lanes = 1;
+    FaultPlan plan = FaultPlan::parse("stm.fallback@1");
+    SharedHeapSession session(sc, &plan);
+    session.run(0, "result = 7;");
+    session.run(0, "result = 8;");
+
+    std::string json = session.metricsJson();
+    EXPECT_NE(json.find("\"lanes\":1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"htm_retry_limit\":2"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"regions\":2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"htm_commits\":1"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"retries\":2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"injected_aborts\":2"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"fallbacks\":1"), std::string::npos)
+        << json;
+
+    LaneCounters lane = session.laneCounters(0);
+    EXPECT_EQ(lane.regions, 2u);
+    EXPECT_EQ(lane.fallbacks, 1u);
+    EXPECT_EQ(lane.injectedAborts, 2u);
+}
+
+} // namespace
+} // namespace nomap
