@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Characterization of the region template-compilation tier (src/jit/,
+ * EngineConfig::jitTier) — not a paper artifact. Two parts:
+ *
+ *  1. Chain census: run the suites with the tier enabled and report
+ *     what buildJitChain produced — how many FTL functions got a
+ *     chain, how many records, how many of those are fused
+ *     superinstructions (CmpBranch* / *IntChkOvf), and how many
+ *     chains are tx-aware (contain transaction-boundary templates and
+ *     therefore never fuse).
+ *
+ *  2. Host throughput: interleaved ftl-vs-jit passes (alternating
+ *     pass for pass, same load epoch, like bench/wallclock) with the
+ *     min-over-reps ns/instr of each and their ratio. Along the way
+ *     every pass's guest-visible stats are compared against the ftl
+ *     reference pass — the exhaustive bit-identity contract lives in
+ *     tests/test_jit.cc; here a divergence aborts the process so the
+ *     --quick smoke test fails loudly instead of reporting a speedup
+ *     for an executor that changed guest behaviour.
+ *
+ * `--quick` clips the suites and repetition counts for the CTest
+ * smoke run.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness.h"
+#include "jit/jit_chain.h"
+
+using namespace nomap;
+using namespace nomap::bench;
+
+namespace {
+
+bool
+isFusedSpec(JitSpec spec)
+{
+    switch (spec) {
+    case JitSpec::CmpBranchLt:
+    case JitSpec::CmpBranchLe:
+    case JitSpec::CmpBranchGt:
+    case JitSpec::CmpBranchGe:
+    case JitSpec::CmpBranchEq:
+    case JitSpec::CmpBranchNe:
+    case JitSpec::AddIntChkOvf:
+    case JitSpec::SubIntChkOvf:
+    case JitSpec::MulIntChkOvf:
+        return true;
+    default:
+        return false;
+    }
+}
+
+struct ChainCensus {
+    size_t functions = 0;
+    size_t chains = 0;
+    size_t aware = 0;
+    size_t records = 0;
+    size_t fused = 0;
+};
+
+/**
+ * Run every benchmark of @p suite with the jit tier enabled and
+ * tally the chains the engine built for its FTL-hot functions.
+ */
+ChainCensus
+censusSuite(const std::vector<BenchmarkSpec> &suite, Architecture arch)
+{
+    ChainCensus census;
+    for (const BenchmarkSpec &spec : suite) {
+        EngineConfig config;
+        config.arch = arch;
+        config.jitTier = true;
+        Engine engine(config);
+        engine.run(spec.source);
+        const CompiledProgram *prog = engine.program();
+        if (!prog)
+            continue;
+        for (const auto &fnp : prog->functions) {
+            ++census.functions;
+            const FunctionState *state =
+                engine.functionState(fnp->name);
+            if (!state || !state->jit)
+                continue;
+            ++census.chains;
+            if (state->jit->aware)
+                ++census.aware;
+            for (const JitInstr &r : state->jit->records) {
+                ++census.records;
+                if (isFusedSpec(r.spec))
+                    ++census.fused;
+            }
+        }
+    }
+    return census;
+}
+
+/** One timed pass; returns host ns per guest instruction. */
+double
+timedPass(const std::vector<BenchmarkSpec> &suite, Architecture arch,
+          bool jit, uint64_t *instr_out, double *cycles_out)
+{
+    auto start = std::chrono::steady_clock::now();
+    std::vector<RunResult> runs =
+        runSuite(suite, arch, Tier::Ftl, 0, jit);
+    auto end = std::chrono::steady_clock::now();
+    uint64_t instr = 0;
+    double cycles = 0.0;
+    for (const RunResult &r : runs) {
+        instr += r.stats.totalInstructions();
+        cycles += r.stats.totalCycles();
+    }
+    *instr_out = instr;
+    *cycles_out = cycles;
+    double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end -
+                                                             start)
+            .count());
+    return ns / static_cast<double>(instr ? instr : 1);
+}
+
+struct TierPair {
+    double ftlMin = 0.0;
+    double jitMin = 0.0;
+};
+
+/**
+ * Interleaved ftl/jit repetitions over one suite. Aborts if the jit
+ * tier's guest-visible instruction or cycle totals ever diverge from
+ * the ftl reference — that would invalidate the ratio (and the tier).
+ */
+TierPair
+measure(const std::vector<BenchmarkSpec> &suite, Architecture arch,
+        int reps, int warmups)
+{
+    uint64_t instr[2];
+    double cycles[2];
+    for (int w = 0; w < warmups; ++w) {
+        timedPass(suite, arch, false, &instr[0], &cycles[0]);
+        timedPass(suite, arch, true, &instr[1], &cycles[1]);
+    }
+    TierPair pair;
+    for (int rep = 0; rep < reps; ++rep) {
+        double ftl =
+            timedPass(suite, arch, false, &instr[0], &cycles[0]);
+        double jit =
+            timedPass(suite, arch, true, &instr[1], &cycles[1]);
+        if (instr[0] != instr[1] || cycles[0] != cycles[1]) {
+            std::fprintf(stderr,
+                         "FATAL: jit tier diverged from ftl "
+                         "(instr %llu vs %llu, cycles %.17g vs "
+                         "%.17g)\n",
+                         static_cast<unsigned long long>(instr[0]),
+                         static_cast<unsigned long long>(instr[1]),
+                         cycles[0], cycles[1]);
+            std::abort();
+        }
+        if (rep == 0 || ftl < pair.ftlMin)
+            pair.ftlMin = ftl;
+        if (rep == 0 || jit < pair.jitMin)
+            pair.jitMin = jit;
+    }
+    return pair;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initBench(argc, argv);
+    const int reps = quickMode() ? 3 : 7;
+    const int warmups = warmupPasses();
+
+    std::printf("Region template tier characterization "
+                "(EngineConfig::jitTier)\n\n");
+
+    TextTable census_table;
+    census_table.header({"Suite", "Arch", "Functions", "Chains",
+                         "Aware", "Records", "Fused", "Fused%"});
+    TextTable speed_table;
+    speed_table.header({"Suite", "Arch", "ftl min ns/i",
+                        "jit min ns/i", "speedup(min)"});
+
+    struct Workload {
+        const char *name;
+        std::vector<BenchmarkSpec> suite;
+    };
+    const Workload workloads[] = {
+        {"sunspider", clipForQuick(sunspiderSuite())},
+        {"kraken", clipForQuick(krakenSuite())},
+    };
+    for (const Workload &w : workloads) {
+        for (Architecture arch :
+             {Architecture::Base, Architecture::NoMap}) {
+            ChainCensus census = censusSuite(w.suite, arch);
+            double fused_pct =
+                census.records
+                    ? 100.0 * static_cast<double>(census.fused) /
+                          static_cast<double>(census.records)
+                    : 0.0;
+            census_table.row(
+                {w.name, architectureName(arch),
+                 std::to_string(census.functions),
+                 std::to_string(census.chains),
+                 std::to_string(census.aware),
+                 std::to_string(census.records),
+                 std::to_string(census.fused),
+                 fmtDouble(fused_pct, 1) + "%"});
+
+            TierPair pair = measure(w.suite, arch, reps, warmups);
+            speed_table.row({w.name, architectureName(arch),
+                             fmtDouble(pair.ftlMin, 3),
+                             fmtDouble(pair.jitMin, 3),
+                             fmtDouble(pair.ftlMin / pair.jitMin,
+                                       3)});
+        }
+    }
+
+    std::printf("Chain census (jit tier enabled)\n%s\n",
+                census_table.render().c_str());
+    std::printf("Interleaved host throughput (min over %d reps, "
+                "guest stats asserted identical)\n%s",
+                reps, speed_table.render().c_str());
+    return 0;
+}

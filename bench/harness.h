@@ -86,11 +86,14 @@ struct RunResult {
  * Run a whole suite under one architecture. @p trace_capacity > 0
  * enables the engine trace ring (bench/wallclock --traced uses it to
  * gauge tracing overhead); events are discarded, only the cost of
- * emitting them is measured.
+ * emitting them is measured. @p jit_tier selects the region
+ * template-compilation tier for FTL-hot functions (bit-identical
+ * stats, host speed only).
  */
 inline std::vector<RunResult>
 runSuite(const std::vector<BenchmarkSpec> &suite, Architecture arch,
-         Tier max_tier = Tier::Ftl, uint32_t trace_capacity = 0)
+         Tier max_tier = Tier::Ftl, uint32_t trace_capacity = 0,
+         bool jit_tier = false)
 {
     std::vector<RunResult> results;
     for (const BenchmarkSpec &spec : suite) {
@@ -98,6 +101,7 @@ runSuite(const std::vector<BenchmarkSpec> &suite, Architecture arch,
         config.arch = arch;
         config.maxTier = max_tier;
         config.traceCapacity = trace_capacity;
+        config.jitTier = jit_tier;
         Engine engine(config);
         EngineResult r = engine.run(spec.source);
         results.push_back({spec.id, spec.inAvgS, r.stats});

@@ -6,8 +6,12 @@
  *
  * Usage:
  *   run_js [--arch base|nomap_s|nomap_b|nomap|nomap_bc|nomap_rtm]
- *          [--tier interp|baseline|dfg|ftl]
+ *          [--tier interp|baseline|dfg|ftl] [--jit]
  *          (<file.js> | --bench S01..S26|K01..K14)
+ *
+ * --jit executes FTL-hot functions through the region template tier
+ * (EngineConfig::jitTier) — host speed only; the printed result and
+ * every statistic must be identical with and without it.
  */
 
 #include <cstdio>
@@ -72,10 +76,12 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: run_js [--arch <arch>] [--tier <tier>] "
-                 "(<file.js> | --bench <id>)\n"
+                 "[--jit] (<file.js> | --bench <id>)\n"
                  "  arch: base nomap_s nomap_b nomap nomap_bc "
                  "nomap_rtm (default base)\n"
                  "  tier: interp baseline dfg ftl (default ftl)\n"
+                 "  --jit: region template tier for FTL-hot "
+                 "functions (same stats, faster host)\n"
                  "  bench ids: S01..S26, K01..K14\n");
     return 2;
 }
@@ -97,6 +103,8 @@ main(int argc, char **argv)
                    i + 1 < argc) {
             if (!parseTier(argv[++i], &config.maxTier))
                 return usage();
+        } else if (std::strcmp(argv[i], "--jit") == 0) {
+            config.jitTier = true;
         } else if (std::strcmp(argv[i], "--bench") == 0 &&
                    i + 1 < argc) {
             const BenchmarkSpec *spec = findBenchmark(argv[++i]);
@@ -126,9 +134,10 @@ main(int argc, char **argv)
     try {
         Engine engine(config);
         EngineResult r = engine.run(source);
-        std::printf("%s under %s (max tier %s)\n", label.c_str(),
+        std::printf("%s under %s (max tier %s%s)\n", label.c_str(),
                     architectureName(config.arch),
-                    tierName(config.maxTier));
+                    tierName(config.maxTier),
+                    config.jitTier ? ", jit templates" : "");
         if (!r.printed.empty())
             std::printf("--- program output ---\n%s----------------"
                         "------\n", r.printed.c_str());

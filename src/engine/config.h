@@ -106,6 +106,17 @@ struct EngineConfig {
     bool quickening = true;
 
     /**
+     * Region template-compilation tier (src/jit/): execute
+     * FTL-compiled functions as chains of build-time-compiled
+     * continuation templates bound per flat-IR record instead of the
+     * direct-threaded FTL executor loop. Host-side acceleration only:
+     * results, ExecutionStats, and traces are bit-identical with the
+     * tier on or off (enforced by the jit differential test). Off is
+     * the reference mode.
+     */
+    bool jitTier = false;
+
+    /**
      * Adaptive transaction planning: attach an AdaptiveController to
      * the HTM telemetry stream and revise per-function transaction
      * scopes from observed abort behavior (learned capacity budgets,

@@ -79,6 +79,9 @@ Engine::initVm()
     irExec =
         std::make_unique<IrExecutor>(*envPtr, *baselineExec,
                                      engineConfig);
+    jitExec =
+        std::make_unique<JitExecutor>(*envPtr, *baselineExec,
+                                      engineConfig);
     envPtr->perOpAccounting = engineConfig.perOpAccounting;
     envPtr->quickening = engineConfig.quickening;
     acctPtr->setCancelFlag(cancelFlag);
@@ -151,6 +154,7 @@ Engine::reset()
     // rebuild pristine.
     programPtr.reset();
     functionStates.clear();
+    jitExec.reset();
     irExec.reset();
     baselineExec.reset();
     interpreter.reset();
@@ -336,6 +340,9 @@ Engine::recompileFtl(uint32_t func_id, FunctionState &state)
     state.ftl = std::make_unique<CompiledIr>(compileFunction(
         fn, *heapPtr, Tier::Ftl, engineConfig.arch, state.txScopeLevel,
         tracePtr.get(), acctPtr.get(), planOverridesFor(state)));
+    // The region chain's literal pool (charge-plan fields, branch
+    // targets) was compiled from the IR just replaced.
+    state.jit.reset();
     ++stats.ftlRecompiles;
 }
 
@@ -410,7 +417,17 @@ Engine::call(uint32_t func_id, const Value *args, uint32_t nargs)
         ++state.activeRuns;
         Value v;
         try {
-            v = irExec->run(state.ftl->ir, fn, args, nargs);
+            if (engineConfig.jitTier) {
+                // Region template tier: compile the chain lazily on
+                // the first FTL-tier call (recompileFtl invalidates
+                // it, so the literals always track the live IR).
+                if (!state.jit)
+                    state.jit = buildJitChain(state.ftl->ir);
+                v = jitExec->run(*state.jit, state.ftl->ir, fn, args,
+                                 nargs);
+            } else {
+                v = irExec->run(state.ftl->ir, fn, args, nargs);
+            }
         } catch (...) {
             --state.activeRuns;
             throw;

@@ -32,6 +32,7 @@
 #include "ftl/ir_executor.h"
 #include "inject/fault_plan.h"
 #include "interp/bytecode_executor.h"
+#include "jit/jit_executor.h"
 #include "nomap/adaptive.h"
 
 namespace nomap {
@@ -57,6 +58,13 @@ struct FunctionState {
     Tier tier = Tier::Interpreter;
     std::unique_ptr<CompiledIr> dfg;
     std::unique_ptr<CompiledIr> ftl;
+    /**
+     * Region template chain compiled from `ftl->ir`
+     * (EngineConfig::jitTier). Built lazily on the first FTL-tier
+     * call; reset whenever `ftl` is recompiled so the chain's
+     * charge-plan literals always track the live IR.
+     */
+    std::unique_ptr<JitChain> jit;
     /** NoMap recompilation escalation (0 nest, 1 inner, 2 tile, 3 off). */
     uint32_t txScopeLevel = 0;
     uint32_t consecutiveCapacityAborts = 0;
@@ -278,6 +286,7 @@ class Engine : public CallDispatcher
     std::unique_ptr<BytecodeExecutor> interpreter;
     std::unique_ptr<BytecodeExecutor> baselineExec;
     std::unique_ptr<IrExecutor> irExec;
+    std::unique_ptr<JitExecutor> jitExec;
 
     std::unique_ptr<CompiledProgram> programPtr;
     std::vector<FunctionState> functionStates;

@@ -19,6 +19,13 @@
  * remaining/sunk checks abort before such garbage can commit. Outside
  * a transaction every fast op is fully guarded by construction and a
  * mismatch is a compiler bug (simulator panic).
+ *
+ * This executor is the *reference semantics* for the region template
+ * tier (src/jit/), which re-implements every op body as a bound
+ * continuation template and is pinned bit-identical by
+ * tests/test_jit.cc — a behavioural change here (charge order, check
+ * sequencing, trace points, injection sites) must be mirrored there,
+ * and the differential will fail until it is.
  */
 
 #include "engine/config.h"

@@ -229,7 +229,12 @@ struct IrFunction {
      * contiguous array in block order, with branch targets rewritten
      * to flat indices and the charge plan folded into each record.
      * Built by computeChargePlan alongside the per-block plan; the
-     * executor walks this instead of the block structure.
+     * executor walks this instead of the block structure, and the
+     * region template tier (src/jit/jit_chain.h) lowers it further
+     * into bound continuation-template chains. Both consumers rely on
+     * the plan's structural invariant that every Jump/Branch target
+     * begins a charge segment (audited by
+     * AccountingChargePlan.FlatJumpTargetsBeginSegments).
      */
     std::vector<ExecInstr> flat;
     /** flatStart[b] = flat index of block b's first instruction. */

@@ -1,0 +1,206 @@
+#include "jit/jit_chain.h"
+
+#include "support/logging.h"
+
+namespace nomap {
+
+const char *
+jitSpecName(JitSpec spec)
+{
+    switch (spec) {
+#define NOMAP_JIT_SPEC_NAME(name)                                       \
+      case JitSpec::name:                                               \
+        return #name;
+        NOMAP_JIT_SPEC_LIST(NOMAP_JIT_SPEC_NAME)
+#undef NOMAP_JIT_SPEC_NAME
+    }
+    return "?";
+}
+
+namespace {
+
+/** Compare subop -> specialized compare template (CmpOther: panic). */
+JitSpec
+cmpSpecOf(uint32_t imm)
+{
+    switch (static_cast<BinaryOp>(imm)) {
+      case BinaryOp::Lt: return JitSpec::CmpLt;
+      case BinaryOp::Le: return JitSpec::CmpLe;
+      case BinaryOp::Gt: return JitSpec::CmpGt;
+      case BinaryOp::Ge: return JitSpec::CmpGe;
+      case BinaryOp::Eq:
+      case BinaryOp::StrictEq: return JitSpec::CmpEq;
+      case BinaryOp::NotEq:
+      case BinaryOp::StrictNotEq: return JitSpec::CmpNe;
+      default: return JitSpec::CmpOther;
+    }
+}
+
+/** Fused compare+branch template of a specialized compare. */
+JitSpec
+cmpBranchSpecOf(JitSpec cmp)
+{
+    switch (cmp) {
+      case JitSpec::CmpLt: return JitSpec::CmpBranchLt;
+      case JitSpec::CmpLe: return JitSpec::CmpBranchLe;
+      case JitSpec::CmpGt: return JitSpec::CmpBranchGt;
+      case JitSpec::CmpGe: return JitSpec::CmpBranchGe;
+      case JitSpec::CmpEq: return JitSpec::CmpBranchEq;
+      default: return JitSpec::CmpBranchNe;
+    }
+}
+
+/** Unfused template of one op (shape-specialized where grouped). */
+JitSpec
+baseSpecOf(const ExecInstr &e)
+{
+    switch (e.op) {
+      case IrOp::Nop: return JitSpec::Nop;
+      case IrOp::Const: return JitSpec::Const;
+      case IrOp::Move: return JitSpec::Move;
+      case IrOp::AddInt: return JitSpec::AddInt;
+      case IrOp::SubInt: return JitSpec::SubInt;
+      case IrOp::MulInt: return JitSpec::MulInt;
+      case IrOp::NegInt: return JitSpec::NegInt;
+      case IrOp::AddDouble: return JitSpec::AddDouble;
+      case IrOp::SubDouble: return JitSpec::SubDouble;
+      case IrOp::MulDouble: return JitSpec::MulDouble;
+      case IrOp::DivDouble: return JitSpec::DivDouble;
+      case IrOp::ModDouble: return JitSpec::ModDouble;
+      case IrOp::NegDouble: return JitSpec::NegDouble;
+      case IrOp::BitAndInt: return JitSpec::BitAndInt;
+      case IrOp::BitOrInt: return JitSpec::BitOrInt;
+      case IrOp::BitXorInt: return JitSpec::BitXorInt;
+      case IrOp::ShlInt: return JitSpec::ShlInt;
+      case IrOp::ShrInt: return JitSpec::ShrInt;
+      case IrOp::UShrInt: return JitSpec::UShrInt;
+      case IrOp::BitNotInt: return JitSpec::BitNotInt;
+      case IrOp::CmpInt:
+      case IrOp::CmpDouble: return cmpSpecOf(e.imm);
+      case IrOp::ToDouble: return JitSpec::ToDouble;
+      case IrOp::ToBoolean: return JitSpec::ToBoolean;
+      case IrOp::NotBool: return JitSpec::NotBool;
+      case IrOp::CheckInt32: return JitSpec::CheckInt32;
+      case IrOp::CheckNumber: return JitSpec::CheckNumber;
+      case IrOp::CheckShape: return JitSpec::CheckShape;
+      case IrOp::CheckArray: return JitSpec::CheckArray;
+      case IrOp::CheckIndexInt: return JitSpec::CheckIndexInt;
+      case IrOp::CheckBounds: return JitSpec::CheckBounds;
+      case IrOp::CheckBoundsRange: return JitSpec::CheckBoundsRange;
+      case IrOp::CheckOverflow: return JitSpec::CheckOverflow;
+      case IrOp::CheckNotHole: return JitSpec::CheckNotHole;
+      case IrOp::GetSlot: return JitSpec::GetSlot;
+      case IrOp::SetSlot: return JitSpec::SetSlot;
+      case IrOp::GetArrayLen: return JitSpec::GetArrayLen;
+      case IrOp::GetElem: return JitSpec::GetElem;
+      case IrOp::SetElem: return JitSpec::SetElem;
+      case IrOp::LoadGlobal: return JitSpec::LoadGlobal;
+      case IrOp::StoreGlobal: return JitSpec::StoreGlobal;
+      case IrOp::GenericBinary: return JitSpec::GenericBinary;
+      case IrOp::GenericUnary: return JitSpec::GenericUnary;
+      case IrOp::GenericGetProp: return JitSpec::GenericGetProp;
+      case IrOp::GenericSetProp: return JitSpec::GenericSetProp;
+      case IrOp::GenericGetIndex: return JitSpec::GenericGetIndex;
+      case IrOp::GenericSetIndex: return JitSpec::GenericSetIndex;
+      case IrOp::NewArray: return JitSpec::NewArray;
+      case IrOp::NewObject: return JitSpec::NewObject;
+      case IrOp::Call: return JitSpec::Call;
+      case IrOp::CallNative: return JitSpec::CallNative;
+      case IrOp::Intrinsic: return JitSpec::Intrinsic;
+      case IrOp::CallMethod: return JitSpec::CallMethod;
+      case IrOp::Jump: return JitSpec::Jump;
+      case IrOp::Branch: return JitSpec::Branch;
+      case IrOp::Return: return JitSpec::Return;
+      case IrOp::ReturnUndef: return JitSpec::ReturnUndef;
+      case IrOp::TxBegin: return JitSpec::TxBegin;
+      case IrOp::TxEnd: return JitSpec::TxEnd;
+      case IrOp::TxTile: return JitSpec::TxTile;
+    }
+    panic("jit: unmapped IR op");
+}
+
+/** Fused int-arith+overflow-check template of an int-arith spec. */
+JitSpec
+arithChkOvfSpecOf(IrOp op)
+{
+    switch (op) {
+      case IrOp::AddInt: return JitSpec::AddIntChkOvf;
+      case IrOp::SubInt: return JitSpec::SubIntChkOvf;
+      default: return JitSpec::MulIntChkOvf;
+    }
+}
+
+} // namespace
+
+std::unique_ptr<JitChain>
+buildJitChain(IrFunction &ir)
+{
+    // Hand-built IR in tests never goes through compileFunction;
+    // build its charge plan (and flat run stream) first, exactly as
+    // the FTL executor would on first run.
+    if (!ir.chargePlanReady)
+        computeChargePlan(ir);
+
+    auto chain = std::make_unique<JitChain>();
+    const std::vector<ExecInstr> &flat = ir.flat;
+    const size_t n = flat.size();
+
+    for (const ExecInstr &e : flat)
+        chain->aware = chain->aware || isTxBoundaryOp(e.op);
+
+    // A record is a jump target when any Jump/Branch retargets to it;
+    // fusion must not swallow such a record into its predecessor's
+    // template, since control flow can enter at it directly.
+    std::vector<bool> isTarget(n, false);
+    for (const ExecInstr &e : flat) {
+        if (e.op == IrOp::Jump) {
+            isTarget[e.imm] = true;
+        } else if (e.op == IrOp::Branch) {
+            isTarget[e.imm] = true;
+            isTarget[e.imm2] = true;
+        }
+    }
+
+    chain->records.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        const ExecInstr &e = flat[i];
+        JitInstr &r = chain->records[i];
+        r.spec = baseSpecOf(e);
+        r.op = e.op;
+        r.converted = e.converted;
+        r.dst = e.dst;
+        r.a = e.a;
+        r.b = e.b;
+        r.c = e.c;
+        r.imm = e.imm;
+        r.imm2 = e.imm2;
+        r.smpPc = e.smpPc;
+        r.ownScaled = e.ownScaled;
+        r.chargeFrom = e.chargeFrom;
+
+        // Superinstruction fusion: pair this record with its
+        // successor when the pair's combined template preserves the
+        // exact per-op charge/check/injection sequence. Disabled in
+        // tx-aware chains (the fused body would skip the per-op
+        // tx-owner watchdog poll between the two components), and
+        // when the successor is a jump target (it must stay
+        // independently enterable — it keeps its standalone template
+        // either way; fused fallthrough simply never reaches it).
+        if (chain->aware || i + 1 >= n || isTarget[i + 1])
+            continue;
+        const ExecInstr &next = flat[i + 1];
+        bool cmp = (e.op == IrOp::CmpInt || e.op == IrOp::CmpDouble) &&
+                   r.spec != JitSpec::CmpOther;
+        if (cmp && next.op == IrOp::Branch && next.a == e.dst) {
+            r.spec = cmpBranchSpecOf(r.spec);
+        } else if ((e.op == IrOp::AddInt || e.op == IrOp::SubInt ||
+                    e.op == IrOp::MulInt) &&
+                   next.op == IrOp::CheckOverflow && next.a == e.dst) {
+            r.spec = arithChkOvfSpecOf(e.op);
+        }
+    }
+
+    return chain;
+}
+
+} // namespace nomap

@@ -1,0 +1,218 @@
+#ifndef NOMAP_JIT_JIT_CHAIN_H
+#define NOMAP_JIT_JIT_CHAIN_H
+
+/**
+ * @file
+ * The compiled-region representation of the template-JIT tier.
+ *
+ * A JitChain is the "region code" the template compiler emits for one
+ * FTL function: the flat predecoded ExecInstr stream (ir/ir.h)
+ * re-packed into JitInstr records, each carrying
+ *
+ *  - a *template binding*: the address of the build-time-compiled
+ *    handler specialized for this record's (opcode, operand-shape)
+ *    pair (`fn`, a computed-goto label captured from the executor),
+ *    so dispatch is one indirect jump through the record itself — no
+ *    opcode table lookup, no operand-shape tests at run time; and
+ *  - the record's *literal pool entry*: the operand registers,
+ *    immediates, SMP and charge-plan fields copied verbatim from the
+ *    ExecInstr, so the handler reads its operands from the record it
+ *    dispatched through.
+ *
+ * Shape specialization happens at bind time (buildJitChain):
+ * grouped FTL bodies are split per opcode (AddInt/SubInt/MulInt each
+ * get their own template), compare ops are split per BinaryOp subop
+ * (the subop test disappears from the hot path), and — in regions
+ * that contain no transaction-boundary ops — adjacent records are
+ * fused into superinstruction templates (compare+branch,
+ * int-arith+overflow-check) that execute both records in one handler
+ * with the exact same observable charge/check/injection sequence as
+ * the FTL executor running them separately.
+ *
+ * Region boundaries are inherited wholesale from the flat stream:
+ * records keep their flat indices (Jump/Branch targets remain valid),
+ * charge segments keep their edges, and every deopt/OSR/abort exit
+ * uses the same machinery as the FTL executor. The chain is a pure
+ * host-side acceleration structure — nothing guest-visible lives
+ * here.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace nomap {
+
+/**
+ * X-macro list of handler templates (the specs), one per
+ * (opcode, operand-shape) pair. Order defines the JitSpec enum and
+ * the label-capture table in the executor; keep the two lists (here
+ * and jit_executor.cc's JIT_CASE bodies) in sync — a static_assert on
+ * the table size enforces it.
+ *
+ * Cmp* specs bake the BinaryOp subop; CmpOther preserves the FTL
+ * executor's "bad compare subop" panic for out-of-range immediates.
+ * The CmpBranch and ArithChkOvf entries are the fused
+ * superinstruction templates (bound only in non-tx-aware chains; the
+ * second record of a fused pair keeps its standalone binding so jump
+ * targets may still land on it).
+ */
+#define NOMAP_JIT_SPEC_LIST(V)                                          \
+    V(Nop)                                                              \
+    V(Const)                                                            \
+    V(Move)                                                             \
+    V(AddInt)                                                           \
+    V(SubInt)                                                           \
+    V(MulInt)                                                           \
+    V(NegInt)                                                           \
+    V(AddDouble)                                                        \
+    V(SubDouble)                                                        \
+    V(MulDouble)                                                        \
+    V(DivDouble)                                                        \
+    V(ModDouble)                                                        \
+    V(NegDouble)                                                        \
+    V(BitAndInt)                                                        \
+    V(BitOrInt)                                                         \
+    V(BitXorInt)                                                        \
+    V(ShlInt)                                                           \
+    V(ShrInt)                                                           \
+    V(UShrInt)                                                          \
+    V(BitNotInt)                                                        \
+    V(CmpLt)                                                            \
+    V(CmpLe)                                                            \
+    V(CmpGt)                                                            \
+    V(CmpGe)                                                            \
+    V(CmpEq)                                                            \
+    V(CmpNe)                                                            \
+    V(CmpOther)                                                         \
+    V(ToDouble)                                                         \
+    V(ToBoolean)                                                        \
+    V(NotBool)                                                          \
+    V(CheckInt32)                                                       \
+    V(CheckNumber)                                                      \
+    V(CheckShape)                                                       \
+    V(CheckArray)                                                       \
+    V(CheckIndexInt)                                                    \
+    V(CheckBounds)                                                      \
+    V(CheckBoundsRange)                                                 \
+    V(CheckOverflow)                                                    \
+    V(CheckNotHole)                                                     \
+    V(GetSlot)                                                          \
+    V(SetSlot)                                                          \
+    V(GetArrayLen)                                                      \
+    V(GetElem)                                                          \
+    V(SetElem)                                                          \
+    V(LoadGlobal)                                                       \
+    V(StoreGlobal)                                                      \
+    V(GenericBinary)                                                    \
+    V(GenericUnary)                                                     \
+    V(GenericGetProp)                                                   \
+    V(GenericSetProp)                                                   \
+    V(GenericGetIndex)                                                  \
+    V(GenericSetIndex)                                                  \
+    V(NewArray)                                                         \
+    V(NewObject)                                                        \
+    V(Call)                                                             \
+    V(CallNative)                                                       \
+    V(Intrinsic)                                                        \
+    V(CallMethod)                                                       \
+    V(Jump)                                                             \
+    V(Branch)                                                           \
+    V(Return)                                                           \
+    V(ReturnUndef)                                                      \
+    V(TxBegin)                                                          \
+    V(TxEnd)                                                            \
+    V(TxTile)                                                           \
+    /* ---- Fused superinstruction templates -------------------- */    \
+    V(CmpBranchLt)                                                      \
+    V(CmpBranchLe)                                                      \
+    V(CmpBranchGt)                                                      \
+    V(CmpBranchGe)                                                      \
+    V(CmpBranchEq)                                                      \
+    V(CmpBranchNe)                                                      \
+    V(AddIntChkOvf)                                                     \
+    V(SubIntChkOvf)                                                     \
+    V(MulIntChkOvf)
+
+/** Handler-template ids (see NOMAP_JIT_SPEC_LIST). */
+enum class JitSpec : uint16_t {
+#define NOMAP_JIT_SPEC_ENUM(name) name,
+    NOMAP_JIT_SPEC_LIST(NOMAP_JIT_SPEC_ENUM)
+#undef NOMAP_JIT_SPEC_ENUM
+};
+
+/** Number of handler templates (label-table size). */
+constexpr size_t kNumJitSpecs =
+    static_cast<size_t>(JitSpec::MulIntChkOvf) + 1;
+
+/** Printable spec name (tests, debugging). */
+const char *jitSpecName(JitSpec spec);
+
+/**
+ * One linked region record: the bound template continuation plus this
+ * record's literal-pool slice. Field meanings match ExecInstr
+ * (ir/ir.h); `fn` is filled by JitExecutor when the chain is bound
+ * against a feature mask (computed-goto builds only — the portable
+ * fallback dispatches on `spec`).
+ */
+struct JitInstr {
+    /** Bound handler-template address (label of the live variant). */
+    const void *fn = nullptr;
+    /** Handler template this record dispatches to. */
+    JitSpec spec = JitSpec::Nop;
+    /** Original op (kept for introspection/validation, not dispatch). */
+    IrOp op = IrOp::Nop;
+    /** NoMap converted this check's SMP into a transactional abort. */
+    bool converted = false;
+    uint16_t dst = 0;
+    uint16_t a = 0;
+    uint16_t b = 0;
+    uint16_t c = 0;
+    /** Jump/Branch: flat index of the target record. */
+    uint32_t imm = 0;
+    uint32_t imm2 = 0;
+    /** Bytecode pc of the SMP this check deopts to (kNoSmp if none). */
+    uint32_t smpPc = kNoSmp;
+    /** This op's tier-scaled static cost. */
+    uint32_t ownScaled = 0;
+    /** Cost of [this .. charge-segment end]. */
+    uint32_t chargeFrom = 0;
+};
+
+/** Sentinel: chain not yet bound against any feature mask. */
+constexpr unsigned kJitUnbound = ~0u;
+
+/**
+ * One compiled region chain (per FTL-compiled function). Records are
+ * index-aligned with IrFunction::flat, so flat branch targets carry
+ * over unchanged and the chain's entry is the same segment edge the
+ * FTL executor enters at. Invalidate (rebuild) whenever the function
+ * is recompiled — records alias nothing, but charge-plan fields must
+ * track the live IR.
+ */
+struct JitChain {
+    std::vector<JitInstr> records;
+    /**
+     * True when the region contains transaction-boundary ops: the
+     * executor runs the tx-owner/watchdog-aware variant and the
+     * binder disables superinstruction fusion (a fused body would
+     * skip the per-op watchdog poll between its two components).
+     */
+    bool aware = false;
+    /** Feature mask `fn` is currently bound for (kJitUnbound: none). */
+    unsigned boundFeat = kJitUnbound;
+};
+
+/**
+ * Compile @p ir's flat stream into a region chain: assign one
+ * specialized template per record, fuse superinstruction pairs where
+ * legal, and copy the literal pool. Computes the charge plan first if
+ * the function never went through compileFunction (hand-built IR in
+ * tests). The chain holds no pointers into @p ir.
+ */
+std::unique_ptr<JitChain> buildJitChain(IrFunction &ir);
+
+} // namespace nomap
+
+#endif // NOMAP_JIT_JIT_CHAIN_H

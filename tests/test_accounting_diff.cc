@@ -13,6 +13,7 @@
 #include "bytecode/compiler.h"
 #include "bytecode/opcode.h"
 #include "engine/engine.h"
+#include "inject/fault_plan.h"
 #include "suites/suite.h"
 
 namespace nomap {
@@ -127,6 +128,102 @@ TEST(AccountingChargePlan, InvariantUnderQuickening)
     // Guard against vacuity: the run above must actually have
     // rewritten something.
     EXPECT_TRUE(any_quickened);
+}
+
+// Region entry audit for the template-JIT tier: the compiled tier
+// (and the FTL executor's vm_seg_entry) charges chargeFrom[t] when
+// control enters flat index t via a Jump/Branch. That is only exact
+// if every such target *begins* a charge segment — otherwise the
+// suffix [t..end] would be charged on top of a segment already
+// charged in full at its head. computeChargePlan guarantees this by
+// ending segments at block ends, and blocks end before every target;
+// the observable consequence is that the record preceding any target
+// closes its segment (its chargeFrom is exactly its own cost). Audit
+// that invariant over every FTL flat stream the suites compile,
+// including streams whose bytecode was quickened into
+// superinstructions before tier-up.
+TEST(AccountingChargePlan, FlatJumpTargetsBeginSegments)
+{
+    size_t targets_audited = 0;
+    for (const BenchmarkSpec &spec : sunspiderSuite()) {
+        EngineConfig config;
+        config.arch = Architecture::NoMap;
+        Engine engine(config);
+        engine.run(spec.source);
+        const CompiledProgram *prog = engine.program();
+        ASSERT_NE(prog, nullptr);
+        for (const auto &fnp : prog->functions) {
+            const IrFunction *ir = engine.ftlIr(fnp->name);
+            if (!ir || ir->flat.empty())
+                continue;
+            SCOPED_TRACE(spec.id + ":" + fnp->name);
+            std::vector<bool> target(ir->flat.size(), false);
+            for (const ExecInstr &e : ir->flat) {
+                if (e.op == IrOp::Jump) {
+                    target[e.imm] = true;
+                } else if (e.op == IrOp::Branch) {
+                    target[e.imm] = true;
+                    target[e.imm2] = true;
+                }
+            }
+            for (size_t t = 1; t < ir->flat.size(); ++t) {
+                if (!target[t])
+                    continue;
+                ++targets_audited;
+                const ExecInstr &prev = ir->flat[t - 1];
+                EXPECT_EQ(prev.chargeFrom, prev.ownScaled)
+                    << "flat " << t - 1
+                    << " does not close its segment before the jump "
+                       "target at "
+                    << t;
+            }
+        }
+    }
+    EXPECT_GT(targets_audited, 0u);
+}
+
+// OSR exits leave the FTL/JIT region mid-block: the check refunds the
+// charged-but-unexecuted suffix of its segment (an exact inverse) and
+// Baseline re-enters at the deopt SMP, charging its own plan from
+// that mid-block pc — on bytecode that quickening may have rewritten
+// into superinstructions after the plan was computed. If either side
+// of that handoff were off by even one unit, batched and per-op
+// accounting would disagree. Force deopts at such mid-block entry
+// points with occurrence-counted check faults and require bit
+// identity, on every architecture.
+TEST(AccountingChargePlan, OsrMidBlockRefundsExactly)
+{
+    const Architecture archs[] = {
+        Architecture::Base,   Architecture::NoMapS,
+        Architecture::NoMapB, Architecture::NoMap,
+        Architecture::NoMapBC, Architecture::NoMapRTM};
+    const char *plans[] = {"check.any@3", "check.bounds@5"};
+    uint64_t total_deopts = 0;
+    for (const char *text : plans) {
+        FaultPlan plan = FaultPlan::parse(text);
+        for (Architecture arch : archs) {
+            for (const BenchmarkSpec &spec :
+                 {sunspiderSuite()[0], sunspiderSuite()[1]}) {
+                SCOPED_TRACE(spec.id + " on " +
+                             architectureName(arch) + " under " +
+                             text);
+                ExecutionStats stats[2];
+                for (int per_op = 0; per_op < 2; ++per_op) {
+                    EngineConfig config;
+                    config.arch = arch;
+                    config.perOpAccounting = per_op != 0;
+                    Engine engine(config);
+                    engine.armFaultPlan(&plan);
+                    stats[per_op] = engine.run(spec.source).stats;
+                }
+                expectBitIdentical(stats[0], stats[1]);
+                total_deopts += stats[0].deopts;
+            }
+        }
+    }
+    // Vacuity guard: the plans really did force OSR exits somewhere
+    // in the sweep (unconverted checks deopt to their SMP).
+    EXPECT_GT(total_deopts, 0u);
 }
 
 // Plan revisions land at FTL-call boundaries, where batched
